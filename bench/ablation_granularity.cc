@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates the Figure 3 discussion: the heap-graph can be built at
+ * field granularity or object granularity.  For a k-node linked list,
+ * field-granularity metrics depend on the struct layout (layout A vs
+ * layout B give opposite In=Out pictures), while object-granularity
+ * metrics are layout-independent -- the reason HeapMD uses object
+ * granularity.
+ */
+
+#include "bench_common.hh"
+
+#include "heapgraph/heap_graph.hh"
+#include "metrics/metric_engine.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+constexpr int kNodes = 64;
+
+/** Object granularity: one vertex per node, one edge per next. */
+double
+objectGranularityInEqOut()
+{
+    HeapGraph graph;
+    Addr prev = 0;
+    for (int i = 0; i < kNodes; ++i) {
+        const Addr node = 0x10000 + 0x40 * i;
+        graph.allocate(node, 16); // data word + next word
+        if (prev != 0)
+            graph.write(prev + 8, node); // next field at offset 8
+        prev = node;
+    }
+    return MetricEngine::sample(graph, 0, 0)
+        .value(MetricId::InEqOut);
+}
+
+/**
+ * Field granularity: each field is its own vertex.  @p data_first
+ * selects Figure 3 layout (A) {data, next} vs layout (B) {next,
+ * data}.  The next field of node i points at the *first field* of
+ * node i+1 (the address the pointer actually holds).
+ */
+double
+fieldGranularityInEqOut(bool data_first)
+{
+    HeapGraph graph;
+    std::vector<Addr> first_field(kNodes), next_field(kNodes);
+    for (int i = 0; i < kNodes; ++i) {
+        const Addr base = 0x10000 + 0x40 * i;
+        const Addr data = data_first ? base : base + 8;
+        const Addr next = data_first ? base + 8 : base;
+        graph.allocate(data, 8);
+        graph.allocate(next, 8);
+        first_field[i] = data_first ? data : next;
+        next_field[i] = next;
+    }
+    for (int i = 0; i + 1 < kNodes; ++i)
+        graph.write(next_field[i], first_field[i + 1]);
+    return MetricEngine::sample(graph, 0, 0)
+        .value(MetricId::InEqOut);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 3 ablation",
+                  "Field- vs object-granularity sensitivity of "
+                  "In=Out on a 64-node linked list");
+
+    TextTable table({"Granularity", "Layout", "In=Out %"});
+    table.addRow({"object", "A {data, next}",
+                  fmtDouble(objectGranularityInEqOut(), 1)});
+    table.addRow({"object", "B {next, data}",
+                  fmtDouble(objectGranularityInEqOut(), 1)});
+    table.addRow({"field", "A {data, next}",
+                  fmtDouble(fieldGranularityInEqOut(true), 1)});
+    table.addRow({"field", "B {next, data}",
+                  fmtDouble(fieldGranularityInEqOut(false), 1)});
+    table.print(std::cout);
+
+    std::printf(
+        "\nPaper shape: at object granularity both layouts give the "
+        "same metrics; at\nfield granularity layout A has only two "
+        "In=Out vertices (~%.0f%%) while layout B\nhas all but two "
+        "(~%.0f%%) -- metrics become layout-sensitive, which is why "
+        "the\nimplementation works at object granularity.\n",
+        100.0 * 2 / (2 * kNodes),
+        100.0 * (2.0 * kNodes - 2) / (2 * kNodes));
+    return 0;
+}

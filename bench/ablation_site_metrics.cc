@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation for the per-allocation-site metric extension (Section 4.4
+ * item 2): when a whole-heap metric fires, per-site metrics attribute
+ * the anomaly to the data structure that caused it -- the diagnostic
+ * refinement the paper sketches for type-aware analysis.
+ *
+ * Scenario: the Figure 10 bug on PC Game (action).  The whole-heap
+ * %indegree=1 violation names the metric; the site breakdown names
+ * the structure (the tree code), matching the ground truth.
+ */
+
+#include "bench_common.hh"
+
+#include "metrics/site_metrics.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+struct SiteSnapshots : public SampleObserver
+{
+    void
+    onSample(const MetricSample &sample,
+             const Process &process) override
+    {
+        if (sample.pointIndex == 5) {
+            before = computeSiteMetrics(process.graph(), 0, 16);
+        } else if (sample.pointIndex == 25) {
+            after = computeSiteMetrics(process.graph(), 0, 16);
+            heapIndeg1 = sample.value(MetricId::Indeg1);
+            for (const SiteMetrics &m : after)
+                names.push_back(process.registry().name(m.site));
+        }
+    }
+
+    std::vector<SiteMetrics> before, after;
+    std::vector<std::string> names;
+    double heapIndeg1 = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Site-metric ablation (Section 4.4)",
+                  "Attributing the Figure 10 anomaly to its data "
+                  "structure via per-site metrics");
+
+    ProcessConfig pcfg = bench::standardConfig().process;
+    Process process(pcfg);
+    SiteSnapshots snap;
+    process.addSampleObserver(&snap);
+
+    auto app = makeApp("PC Game (action)");
+    AppConfig cfg;
+    cfg.inputSeed = 200;
+    cfg.scale = bench::kScale;
+    cfg.faults.enable(FaultKind::TreeMissingParent, 1.0);
+    app->run(process, cfg);
+
+    if (snap.after.empty()) {
+        std::printf("run too short for the snapshot points\n");
+        return 1;
+    }
+
+    std::printf("whole-heap %%indeg=1 at the late snapshot: %.1f\n\n",
+                snap.heapIndeg1);
+    TextTable table({"Allocation site", "Objects", "%indeg=1 (early)",
+                     "%indeg=1 (late)", "indeg=1 objects (delta)"});
+    for (std::size_t i = 0; i < snap.after.size() && i < 8; ++i) {
+        const SiteMetrics &late = snap.after[i];
+        double early_pct = 0.0, early_count = 0.0;
+        for (const SiteMetrics &m : snap.before) {
+            if (m.site == late.site) {
+                early_pct = m.value(MetricId::Indeg1);
+                early_count = static_cast<double>(m.objectCount) *
+                              early_pct / 100.0;
+            }
+        }
+        const double late_count =
+            static_cast<double>(late.objectCount) *
+            late.value(MetricId::Indeg1) / 100.0;
+        table.addRow({snap.names[i],
+                      std::to_string(late.objectCount),
+                      fmtDouble(early_pct, 1),
+                      fmtDouble(late.value(MetricId::Indeg1), 1),
+                      (late_count >= early_count ? "+" : "") +
+                          fmtDouble(late_count - early_count, 0)});
+    }
+    table.print(std::cout);
+
+    const std::size_t culprit = largestPropertyGrowth(
+        snap.before, snap.after, MetricId::Indeg1, true);
+    std::printf("\nattributed structure: %s\n",
+                culprit < snap.names.size()
+                    ? snap.names[culprit].c_str()
+                    : "(none)");
+    std::printf("ground truth: the injected bug corrupts "
+                "BinaryTree splices -- per-site metrics recover the "
+                "structure\nthe whole-heap metric could only hint "
+                "at (Section 4.4's proposed refinement).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates the Section 3 threshold-sensitivity claim: "Increasing
+ * these thresholds moderately does not result in additional metrics
+ * being classified as globally-stable.  On the other hand, decreasing
+ * these thresholds results in fewer metrics being classified as
+ * globally-stable."
+ *
+ * Sweep: the avg-change and stddev thresholds are scaled together by
+ * a factor; the number of stable metrics per program is reported.
+ */
+
+#include "bench_common.hh"
+
+using namespace heapmd;
+
+int
+main()
+{
+    bench::banner("Threshold ablation (Section 3)",
+                  "Stable-metric count vs stability-threshold scale "
+                  "(paper values: +/-1% avg, stddev 5)");
+
+    const std::vector<double> factors = {0.25, 0.5, 0.75, 1.0,
+                                         1.5,  2.0, 3.0};
+    std::vector<std::string> header = {"Benchmark"};
+    for (double f : factors)
+        header.push_back("x" + fmtDouble(f, 2));
+    TextTable table(header);
+
+    // Pre-collect each program's training series once, then rescore
+    // with each threshold setting (the sweep is pure analysis).
+    for (const std::string &name : commercialAppNames()) {
+        auto app = makeApp(name);
+        const HeapMD tool(bench::standardConfig());
+        std::vector<MetricSeries> runs;
+        for (const AppConfig &cfg :
+             makeInputs(1, 12, 1, bench::kScale)) {
+            runs.push_back(tool.observe(*app, cfg).series);
+        }
+
+        std::vector<std::string> row = {name};
+        for (double f : factors) {
+            SummarizerConfig cfg;
+            cfg.thresholds.maxAbsAvgChange = 1.0 * f;
+            cfg.thresholds.maxStdDev = 5.0 * f;
+            MetricSummarizer summarizer(cfg);
+            for (const MetricSeries &series : runs)
+                summarizer.addRun(series);
+            row.push_back(std::to_string(
+                summarizer.buildModel(name).stableMetricCount()));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::printf("\nPaper shape: counts plateau at and above the "
+                "paper's thresholds (x1.0) --\nraising them adds few "
+                "or no metrics; lowering them sheds metrics.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Regenerates the case-study code fragments of Figures 1, 11 and 12:
+ * each buggy fragment is run against its data structure and the named
+ * metric's movement is shown directly on the heap-graph.
+ *
+ *  - Figure 1: doubly-linked insert without prev updates ->
+ *    %indegree=1 rises;
+ *  - Figure 11: wrong-index descriptor transfer -> the leaked
+ *    descriptor's indegree drops to 0 and %indegree=1 falls;
+ *  - Figure 12: circular list head freed with a dangling tail ->
+ *    the predecessor's outdegree collapses.
+ */
+
+#include "bench_common.hh"
+
+#include "istl/circular_list.hh"
+#include "istl/descriptor_table.hh"
+#include "istl/dll.hh"
+#include "metrics/metric_engine.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+double
+metric(const Process &process, MetricId id)
+{
+    return MetricEngine::sample(process.graph(), 0, 0).value(id);
+}
+
+void
+figure1()
+{
+    std::printf("\n--- Figure 1: missing prev-pointer updates in a "
+                "doubly-linked list ---\n");
+    for (const bool buggy : {false, true}) {
+        Process process;
+        HeapApi heap(process);
+        FaultPlan faults;
+        if (buggy)
+            faults.enable(FaultKind::DllMissingPrev, 1.0);
+        istl::Context ctx(heap, faults, 7);
+        istl::Dll list(ctx, 0);
+        list.pushBack();
+        for (int i = 0; i < 199; ++i)
+            list.insertAtCursor(1 + ctx.rng.below(4));
+        std::printf("  %-7s  %%indeg=1 = %5.1f   %%indeg=2 = %5.1f\n",
+                    buggy ? "buggy:" : "fixed:",
+                    metric(process, MetricId::Indeg1),
+                    metric(process, MetricId::Indeg2));
+        list.clear();
+    }
+    std::printf("  Paper: the violation shows on %%indegree=1 "
+                "(calibrated range exceeded).\n");
+}
+
+void
+figure11()
+{
+    std::printf("\n--- Figure 11: wrong-index typo leaks property "
+                "descriptors ---\n");
+    for (const bool buggy : {false, true}) {
+        Process process;
+        HeapApi heap(process);
+        FaultPlan faults;
+        if (buggy)
+            faults.enable(FaultKind::TypoLeak, 1.0);
+        istl::Context ctx(heap, faults, 11);
+        istl::DescriptorTable table(ctx, 64, 48);
+        istl::Dll sink(ctx, 0);
+        std::uint64_t leaked = 0;
+        for (int round = 0; round < 6; ++round) {
+            for (std::uint64_t i = 0; i < 64; ++i)
+                if (table.descriptorAt(i) == kNullAddr)
+                    table.populate(i);
+            for (std::uint64_t i = 0; i < 64; i += 2) {
+                leaked +=
+                    table.transfer(i, sink) != kNullAddr ? 1 : 0;
+                if (sink.size() > 24)
+                    sink.popFront();
+            }
+        }
+        std::printf("  %-7s  %%indeg=1 = %5.1f   %%roots = %5.1f   "
+                    "leaked descriptors = %llu\n",
+                    buggy ? "buggy:" : "fixed:",
+                    metric(process, MetricId::Indeg1),
+                    metric(process, MetricId::Roots),
+                    static_cast<unsigned long long>(leaked));
+    }
+    std::printf("  Paper: detected when %%indegree=1 violated its "
+                "calibrated range.\n");
+}
+
+void
+figure12()
+{
+    std::printf("\n--- Figure 12: circular list freed with a "
+                "dangling tail ---\n");
+    for (const bool buggy : {false, true}) {
+        Process process;
+        HeapApi heap(process);
+        FaultPlan faults;
+        if (buggy)
+            faults.enable(FaultKind::CircularDanglingTail, 1.0);
+        istl::Context ctx(heap, faults, 13);
+        istl::CircularList ring(ctx, 16);
+        for (int i = 0; i < 150; ++i)
+            ring.insert();
+        for (int i = 0; i < 60; ++i) {
+            // The head roves (as the column-list cursor does in the
+            // paper's fragment), so each buggy removal leaves its own
+            // dangling predecessor behind.
+            for (std::uint64_t r = 0; r < 1 + ctx.rng.below(9); ++r)
+                ring.rotate();
+            ring.removeHead();
+            ring.insert();
+        }
+        std::printf("  %-7s  %%indeg=1 = %5.1f   %%outdeg=2 = %5.1f  "
+                    " %%leaves = %5.1f\n",
+                    buggy ? "buggy:" : "fixed:",
+                    metric(process, MetricId::Indeg1),
+                    metric(process, MetricId::Outdeg2),
+                    metric(process, MetricId::Leaves));
+        ring.clear();
+    }
+    std::printf("  Paper: detected when %%indegree=2 violated its "
+                "calibrated range (our ring\n  nodes carry payloads, "
+                "so the shift shows on outdeg=2/leaves as well).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figures 1 / 11 / 12",
+                  "Case-study code fragments run directly against "
+                  "their data structures");
+    figure1();
+    figure11();
+    figure12();
+    return 0;
+}

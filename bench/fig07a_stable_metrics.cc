@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Figure 7(A): for each of the 13 benchmarks (8 SPEC
+ * analogues + 5 commercial analogues), the number of inputs, the
+ * number of globally stable metrics, and one example stable metric
+ * with its average rate of change, stddev of change, and calibrated
+ * min/max.
+ *
+ * Input counts match the paper's (3-6 for most SPEC benchmarks, 100
+ * for gzip/parser/gcc, 50 for the commercial applications).
+ */
+
+#include "bench_common.hh"
+
+using namespace heapmd;
+
+int
+main()
+{
+    bench::banner("Figure 7(A)",
+                  "Identifying globally stable metrics across 13 "
+                  "benchmarks");
+
+    const HeapMD tool(bench::standardConfig());
+    TextTable table({"Benchmark", "# Inputs", "# Stable metrics",
+                     "Example stable metric", "Avg. % rate of change",
+                     "Std. Dev.", "Min % of vertexes",
+                     "Max % of vertexes"});
+
+    for (const std::string &name : allAppNames()) {
+        auto app = makeApp(name);
+        const std::size_t inputs = paperInputCount(name);
+        const TrainingOutcome training = tool.train(
+            *app, makeInputs(1, inputs, 1, bench::kScale));
+
+        const HeapModel::Entry *example =
+            bench::paperExampleMetric(name, training.model);
+        if (example == nullptr) {
+            table.addRow({name, std::to_string(inputs), "0", "-", "-",
+                          "-", "-", "-"});
+            continue;
+        }
+        table.addRow({name, std::to_string(inputs),
+                      std::to_string(
+                          training.model.stableMetricCount()),
+                      metricName(example->id),
+                      bench::pct(example->avgChange, 1),
+                      bench::pct(example->stdDev, 1),
+                      bench::pct(example->minValue, 1),
+                      bench::pct(example->maxValue, 1)});
+    }
+    table.print(std::cout);
+    std::printf("\nPaper shape: every benchmark has at least one "
+                "globally stable metric;\nmost have 1-6; average "
+                "rates of change sit within +/-1%% with stddev <= 5;"
+                "\ncalibrated ranges are narrow for most programs and "
+                "wide for vpr/gcc.\n");
+    return 0;
+}

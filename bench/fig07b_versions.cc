@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 7(B): for each commercial application, five
+ * successive development versions are run on the *same* ten
+ * regression inputs.  The paper's finding: the same metrics are
+ * identified as stable across versions, with (almost) identical
+ * calibrated ranges.
+ */
+
+#include "bench_common.hh"
+
+using namespace heapmd;
+
+int
+main()
+{
+    bench::banner("Figure 7(B)",
+                  "Stable metrics across 5 development versions x 10 "
+                  "shared regression inputs");
+
+    const HeapMD tool(bench::standardConfig());
+    TextTable table({"Benchmark", "# Inputs", "# Versions",
+                     "# Stable (v1)", "Example stable metric",
+                     "Stable in all versions?", "Min % (v1..v5)",
+                     "Max % (v1..v5)"});
+
+    for (const std::string &name : commercialAppNames()) {
+        auto app = makeApp(name);
+
+        // Train each version against the same ten input seeds.
+        std::vector<HeapModel> models;
+        for (std::uint32_t version = 1; version <= 5; ++version) {
+            const TrainingOutcome training = tool.train(
+                *app, makeInputs(1, 10, version, bench::kScale));
+            models.push_back(training.model);
+        }
+
+        const HeapModel::Entry *example =
+            bench::paperExampleMetric(name, models[0]);
+        if (example == nullptr) {
+            table.addRow({name, "10", "5", "0", "-", "-", "-", "-"});
+            continue;
+        }
+
+        bool in_all = true;
+        double min_lo = example->minValue, max_lo = example->minValue;
+        double min_hi = example->maxValue, max_hi = example->maxValue;
+        for (const HeapModel &model : models) {
+            const auto entry = model.entry(example->id);
+            if (!entry) {
+                in_all = false;
+                continue;
+            }
+            min_lo = std::min(min_lo, entry->minValue);
+            max_lo = std::max(max_lo, entry->minValue);
+            min_hi = std::min(min_hi, entry->maxValue);
+            max_hi = std::max(max_hi, entry->maxValue);
+        }
+
+        table.addRow(
+            {name, "10", "5",
+             std::to_string(models[0].stableMetricCount()),
+             metricName(example->id), in_all ? "yes" : "NO",
+             bench::pct(min_lo, 1) + " .. " + bench::pct(max_lo, 1),
+             bench::pct(min_hi, 1) + " .. " + bench::pct(max_hi, 1)});
+    }
+    table.print(std::cout);
+    std::printf("\nPaper shape: the *same* example metric is stable "
+                "in every version, and the\ncalibrated min/max "
+                "values barely move between versions (one exception "
+                "in the paper:\nthe max for PC Game/action drifted "
+                "from 18.5 to 19.7).\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regenerates Figure 10: the percentage of vertices with
+ * indegree = 1 violating its calibrated range on PC Game (action),
+ * caused by a data-structure invariant bug (spliced tree nodes
+ * missing the parent back-pointer from their child -- Figure 8/3(B)).
+ *
+ * Output: the calibrated min/max, a CSV series of the buggy run, the
+ * violation report with its logged call stacks, and the root-cause
+ * hint.
+ */
+
+#include "bench_common.hh"
+
+#include "support/csv.hh"
+
+using namespace heapmd;
+
+int
+main()
+{
+    bench::banner("Figure 10",
+                  "%indegree=1 violating its calibrated range on PC "
+                  "Game (action)");
+
+    const HeapMD tool(bench::standardConfig());
+    auto app = makeApp("PC Game (action)");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 25, 1, bench::kScale));
+
+    const auto entry = training.model.entry(MetricId::Indeg1);
+    if (!entry) {
+        std::printf("Indeg=1 was not stable in training; model has "
+                    "%zu stable metrics.\n",
+                    training.model.stableMetricCount());
+        return 1;
+    }
+    std::printf("Calibrated range for Indeg=1 over 25 training "
+                "inputs: [%s, %s]\n",
+                bench::pct(entry->minValue, 2).c_str(),
+                bench::pct(entry->maxValue, 2).c_str());
+
+    // The buggy input: a call site that splices tree nodes without
+    // fixing the child's parent pointer, exercised heavily.
+    bool shown = false;
+    for (std::uint64_t seed = 200; seed < 206 && !shown; ++seed) {
+        AppConfig buggy;
+        buggy.inputSeed = seed;
+        buggy.scale = bench::kScale;
+        buggy.faults.enable(FaultKind::TreeMissingParent, 1.0);
+        const CheckOutcome out =
+            tool.check(*app, buggy, training.model);
+
+        const BugReport *indeg1_report = nullptr;
+        for (const BugReport &r : out.check.reports) {
+            if (r.metric == MetricId::Indeg1 &&
+                r.direction == AnomalyDirection::AboveMax) {
+                indeg1_report = &r;
+                break;
+            }
+        }
+        if (indeg1_report == nullptr)
+            continue;
+        shown = true;
+
+        std::printf("\nBuggy input (seed %llu): VIOLATION at metric "
+                    "point %llu, observed %.2f%%\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(
+                        indeg1_report->pointIndex),
+                    indeg1_report->observedValue);
+
+        std::printf("\n# CSV series: buggy run (point, indeg1, "
+                    "calib_min, calib_max)\n");
+        CsvWriter csv(std::cout);
+        csv.writeRow({"point", "indeg1", "calib_min", "calib_max"});
+        for (const MetricSample &s : out.run.series.samples()) {
+            csv.writeNumericRow({static_cast<double>(s.pointIndex),
+                                 s.value(MetricId::Indeg1),
+                                 entry->minValue, entry->maxValue},
+                                3);
+        }
+
+        // Call-stack logging around the crossing: paper Section 2.2.
+        if (!indeg1_report->contextLog.empty()) {
+            const FunctionRegistry registry = out.run.registry();
+            std::printf("\nCall-stack log around the crossing "
+                        "(%zu snapshots; first/middle/last shown):\n",
+                        indeg1_report->contextLog.size());
+            const auto &log = indeg1_report->contextLog;
+            for (std::size_t i :
+                 {std::size_t{0}, log.size() / 2, log.size() - 1}) {
+                std::printf("  tick %llu (value %.2f): %s\n",
+                            static_cast<unsigned long long>(
+                                log[i].tick),
+                            log[i].metricValue,
+                            formatStack(log[i].frames, registry)
+                                .c_str());
+            }
+            const FnId suspect = indeg1_report->suspectFunction();
+            if (suspect != kNoFunction) {
+                std::printf("  root-cause hint (most frequent "
+                            "innermost frame): %s\n",
+                            registry.name(suspect).c_str());
+            }
+        }
+        std::printf("\nPaper shape: the series starts inside the "
+                    "calibrated band, climbs as corrupted\nnodes "
+                    "accumulate, and crosses the calibrated maximum "
+                    "-- a data-structure\ninvariant bug of the "
+                    "Figure 8/3(B) kind.\n");
+    }
+    if (!shown) {
+        std::printf("\nNo Indeg=1 violation found on the probed "
+                    "seeds.\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates the Section 4.2 validation: "we also validated HeapMD
+ * by using it to successfully identify artificially-injected bugs in
+ * several SPEC 2000 benchmarks."
+ *
+ * A suitable fault is injected into each SPEC analogue and HeapMD is
+ * asked to flag the buggy inputs against a model trained on clean
+ * inputs.
+ */
+
+#include "bench_common.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+struct Injection
+{
+    const char *program;
+    FaultKind kind;
+    double rate;
+};
+
+std::vector<Injection>
+injections()
+{
+    using FK = FaultKind;
+    return {
+        {"twolf", FK::DllMissingPrev, 1.0},
+        {"crafty", FK::BadHashFunction, 1.0},
+        {"mcf", FK::LocalizationBug, 1.0},
+        {"vpr", FK::CircularDanglingTail, 0.8},
+        {"vortex", FK::SharedStateFree, 1.0},
+        {"gzip", FK::SmallLeak, 0.02},
+        {"parser", FK::TypoLeak, 1.0},
+        {"gcc", FK::DllMissingPrev, 1.0},
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 4.2 validation",
+                  "Artificially injected bugs in the SPEC analogues");
+
+    const HeapMD tool(bench::standardConfig());
+    TextTable table({"Benchmark", "Injected bug", "Buggy inputs",
+                     "Detected", "Clean FP (4 inputs)"});
+
+    for (const Injection &inj : injections()) {
+        auto app = makeApp(inj.program);
+        const TrainingOutcome training = tool.train(
+            *app, makeInputs(1, 30, 1, bench::kScale));
+
+        int detected = 0;
+        const int buggy_inputs = 4;
+        for (std::uint64_t seed = 500; seed < 500 + buggy_inputs;
+             ++seed) {
+            AppConfig cfg;
+            cfg.inputSeed = seed;
+            cfg.scale = bench::kScale;
+            cfg.faults.enable(inj.kind, inj.rate);
+            const CheckOutcome out =
+                tool.check(*app, cfg, training.model);
+            detected += out.check.anomalous() ? 1 : 0;
+        }
+
+        int fp = 0;
+        for (std::uint64_t seed = 800; seed < 804; ++seed) {
+            AppConfig clean;
+            clean.inputSeed = seed;
+            clean.scale = bench::kScale;
+            const CheckOutcome out =
+                tool.check(*app, clean, training.model);
+            fp += out.check.anomalous() ? 1 : 0;
+        }
+
+        table.addRow({inj.program, faultKindName(inj.kind),
+                      std::to_string(buggy_inputs),
+                      std::to_string(detected), std::to_string(fp)});
+    }
+    table.print(std::cout);
+    std::printf("\nPaper shape: injected bugs are flagged on the "
+                "inputs where they manifest, with\nno false positives "
+                "on clean inputs.  (Small leaks are 'well disguised' "
+                "and may be\nmissed -- Section 4.2 reports the same "
+                "for tiny leak counts.)\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Leak hunt: HeapMD and the SWAT baseline side by side on a web
+ * application with an injected Figure 11 typo leak.
+ *
+ * Shows the Table 1 contrast in one run:
+ *  - HeapMD pinpoints the function on the call-stack log when the
+ *    leak moves a stable degree metric out of range;
+ *  - SWAT reports the individual stale objects (and also flags the
+ *    reachable-but-idle session cache -- its false-positive mode).
+ *
+ * Run:  ./build/examples/leak_hunt
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "core/heapmd.hh"
+#include "swat/swat_detector.hh"
+
+using namespace heapmd;
+
+int
+main()
+{
+    HeapMDConfig config;
+    config.process.metricFrequency = 300;
+    const HeapMD tool(config);
+    auto app = makeApp("Interactive web-app.");
+
+    std::printf("Training on 15 clean inputs...\n");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 15));
+
+    // One buggy execution, monitored by both tools at once.
+    AppConfig buggy;
+    buggy.inputSeed = 404;
+    buggy.faults.enable(FaultKind::TypoLeak, 1.0);
+
+    Process process(config.process);
+    ExecutionChecker checker(training.model);
+    checker.attach(process);
+    SwatConfig swat_config;
+    swat_config.stalenessThreshold = 300000;
+    SwatDetector swat(swat_config);
+    swat.attach(process);
+
+    const AppResult ground = app->run(process, buggy);
+    std::printf("\nGround truth: %llu descriptors leaked, "
+                "%llu cache objects (not leaks)\n",
+                static_cast<unsigned long long>(
+                    ground.injectedLeakObjects),
+                static_cast<unsigned long long>(ground.cacheObjects));
+
+    // ---- HeapMD ----------------------------------------------------
+    const CheckResult result = checker.finalize(process);
+    std::printf("\nHeapMD: %zu report(s)\n", result.reports.size());
+    for (const BugReport &report : result.reports) {
+        std::printf("  metric %s went %s its calibrated range "
+                    "[%0.2f, %0.2f] (observed %0.2f)\n",
+                    metricName(report.metric).c_str(),
+                    report.direction == AnomalyDirection::AboveMax
+                        ? "above"
+                        : "below",
+                    report.calibratedMin, report.calibratedMax,
+                    report.observedValue);
+        const FnId suspect = report.suspectFunction();
+        if (suspect != kNoFunction) {
+            std::printf("  suspect function from the call-stack "
+                        "log: %s\n",
+                        process.registry().name(suspect).c_str());
+        }
+    }
+
+    // ---- SWAT ------------------------------------------------------
+    const std::set<Addr> truth(ground.leakAddrs.begin(),
+                               ground.leakAddrs.end());
+    const std::set<Addr> cache(ground.cacheAddrs.begin(),
+                               ground.cacheAddrs.end());
+    std::size_t true_hits = 0, cache_fps = 0, other = 0;
+    for (const LeakReport &leak : swat.finalize(process.now())) {
+        if (truth.count(leak.addr))
+            ++true_hits;
+        else if (cache.count(leak.addr))
+            ++cache_fps;
+        else
+            ++other;
+    }
+    std::printf("\nSWAT: %zu true leaked objects reported, "
+                "%zu cache objects flagged (false positives), "
+                "%zu other\n",
+                true_hits, cache_fps, other);
+
+    std::printf("\nThe Table 1 story: SWAT enumerates stale objects "
+                "(including FP-prone caches);\nHeapMD reports the "
+                "systemic anomaly with a root-cause hint and no "
+                "staleness FPs.\n");
+    return result.anomalous() ? 0 : 1;
+}

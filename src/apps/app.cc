@@ -1,0 +1,93 @@
+#include "apps/app.hh"
+
+#include "apps/spec_apps.hh"
+#include "apps/commercial_apps.hh"
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+AppResult
+SyntheticApp::run(Process &process, const AppConfig &config)
+{
+    HeapApi heap(process);
+    FaultPlan faults = config.faults; // run-local: budgets refill
+    std::uint64_t seed_state =
+        config.inputSeed * 0x9e3779b97f4a7c15ull + config.version;
+    for (char ch : name())
+        seed_state = seed_state * 131 + static_cast<unsigned char>(ch);
+    istl::Context ctx(heap, faults, splitMix64(seed_state));
+
+    AppResult result;
+    const FnId fn_main = heap.intern(name() + "::main");
+    {
+        FunctionScope scope(heap, fn_main);
+        execute(ctx, config, result);
+    }
+    result.fnEntries = process.fnEntries();
+    for (FaultKind kind : faults.activeKinds()) {
+        if (faults.firedCount(kind) > 0)
+            result.firedFaults.push_back(kind);
+    }
+    return result;
+}
+
+const std::vector<std::string> &
+specAppNames()
+{
+    static const std::vector<std::string> names = {
+        "twolf", "crafty", "mcf", "vpr", "vortex", "gzip", "parser",
+        "gcc",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+commercialAppNames()
+{
+    static const std::vector<std::string> names = {
+        "Multimedia", "Interactive web-app.", "PC Game (simulation)",
+        "PC Game (action)", "Productivity",
+    };
+    return names;
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names = specAppNames();
+    const auto &commercial = commercialAppNames();
+    names.insert(names.end(), commercial.begin(), commercial.end());
+    return names;
+}
+
+std::unique_ptr<SyntheticApp>
+makeApp(const std::string &name)
+{
+    if (auto app = apps::makeSpecApp(name))
+        return app;
+    if (auto app = apps::makeCommercialApp(name))
+        return app;
+    HEAPMD_FATAL("unknown application '", name, "'");
+}
+
+std::size_t
+paperInputCount(const std::string &app_name)
+{
+    // Figure 7(A), column "# Inputs".
+    if (app_name == "twolf" || app_name == "crafty" ||
+        app_name == "mcf") {
+        return 3;
+    }
+    if (app_name == "vpr")
+        return 6;
+    if (app_name == "vortex")
+        return 5;
+    if (app_name == "gzip" || app_name == "parser" ||
+        app_name == "gcc") {
+        return 100;
+    }
+    return 50; // the five commercial applications
+}
+
+} // namespace heapmd

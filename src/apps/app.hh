@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic application framework.
+ *
+ * Substitution for the paper's benchmark programs (8 SPEC 2000
+ * benchmarks and 5 commercial Windows applications): each synthetic
+ * app is a heap-intensive program with a distinct data-structure mix,
+ * a startup / steady / shutdown phase structure, input-seed
+ * sensitivity, and a 5-version development lineage (Figure 7(B)).
+ * All heap work goes through the instrumented runtime, so HeapMD
+ * observes exactly what Vulcan instrumentation would have reported.
+ */
+
+#ifndef HEAPMD_APPS_APP_HH
+#define HEAPMD_APPS_APP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hh"
+#include "istl/context.hh"
+#include "runtime/process.hh"
+
+namespace heapmd
+{
+
+/** One run's configuration: the "input" plus program version. */
+struct AppConfig
+{
+    /** Input identity; drives all workload randomness. */
+    std::uint64_t inputSeed = 1;
+
+    /** Development version, 1..5 (Figure 7(B) lineage). */
+    std::uint32_t version = 1;
+
+    /** Bugs compiled into this build of the program. */
+    FaultPlan faults;
+
+    /** Global size/op-count multiplier (benches shrink or grow). */
+    double scale = 1.0;
+};
+
+/** Ground truth recorded while a run executes (for scoring). */
+struct AppResult
+{
+    /** Objects leaked unreachable by injected bugs. */
+    std::uint64_t injectedLeakObjects = 0;
+
+    /** Objects leaked but still reachable (SWAT finds, HeapMD not). */
+    std::uint64_t reachableLeakObjects = 0;
+
+    /** Reachable idle cache objects -- *not* leaks (SWAT FP bait). */
+    std::uint64_t cacheObjects = 0;
+
+    /** Addresses of truly leaked objects (unreachable + reachable). */
+    std::vector<Addr> leakAddrs;
+
+    /** Addresses of idle cache objects (false-positive bait). */
+    std::vector<Addr> cacheAddrs;
+
+    /** Fault kinds that actually fired during the run. */
+    std::vector<FaultKind> firedFaults;
+
+    /** Function entries the run produced. */
+    std::uint64_t fnEntries = 0;
+};
+
+/**
+ * Base class of all synthetic applications.
+ *
+ * run() wires up the instrumented heap and executes the workload
+ * against the given Process (HeapMD's execution logger); subclasses
+ * implement execute() with their personality.
+ */
+class SyntheticApp
+{
+  public:
+    virtual ~SyntheticApp() = default;
+
+    /** Program name as it appears in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /** Execute one run of the program on one input. */
+    AppResult run(Process &process, const AppConfig &config);
+
+  protected:
+    /** Workload body; all heap work must go through @p ctx. */
+    virtual void execute(istl::Context &ctx, const AppConfig &config,
+                         AppResult &result) = 0;
+};
+
+/** Names of the SPEC 2000 analogues, in Figure 7(A) order. */
+const std::vector<std::string> &specAppNames();
+
+/** Names of the commercial analogues, in Figure 7(A) order. */
+const std::vector<std::string> &commercialAppNames();
+
+/** All application names. */
+std::vector<std::string> allAppNames();
+
+/** Instantiate an application by name; fatal on unknown name. */
+std::unique_ptr<SyntheticApp> makeApp(const std::string &name);
+
+/** Number of training inputs the paper used for @p app_name. */
+std::size_t paperInputCount(const std::string &app_name);
+
+} // namespace heapmd
+
+#endif // HEAPMD_APPS_APP_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared parameter-variation helpers for application personalities.
+ */
+
+#ifndef HEAPMD_APPS_APP_TUNING_HH
+#define HEAPMD_APPS_APP_TUNING_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "apps/app.hh"
+#include "support/random.hh"
+
+namespace heapmd
+{
+
+namespace apps
+{
+
+/**
+ * Deterministic per-run variation source.  Splits the input seed and
+ * version into independent streams so the *same* inputs produce the
+ * *same* structural variation across versions (as with real
+ * regression inputs replayed against successive builds).
+ */
+struct Variation
+{
+    explicit Variation(const AppConfig &config)
+        : input(config.inputSeed * 0x9e3779b97f4a7c15ull + 0x1234),
+          scale(config.scale <= 0.0 ? 1.0 : config.scale),
+          version(config.version)
+    {
+        // One global size factor per input: real inputs mostly make
+        // *all* of a program's structures bigger or smaller together,
+        // which keeps composition ratios (and therefore the stable
+        // metrics) tight across inputs.
+        global = 0.75 + input.uniform() * 0.55;
+    }
+
+    /** Uniform double in [lo, hi] from the input stream. */
+    double
+    range(double lo, double hi)
+    {
+        return lo + input.uniform() * (hi - lo);
+    }
+
+    /**
+     * Scaled count: base * global * U[lo, hi] * scale, at least 1.
+     * The default [lo, hi] is a small per-structure jitter; apps pass
+     * wide bounds only where the paper reports wide stable ranges
+     * (e.g. vpr's rings).
+     */
+    std::uint64_t
+    count(std::uint64_t base, double lo = 0.95, double hi = 1.06)
+    {
+        const double v = static_cast<double>(base) * global *
+                         range(lo, hi) * scale;
+        return std::max<std::uint64_t>(1,
+                                       static_cast<std::uint64_t>(v));
+    }
+
+    /** Unscaled count (structure *counts* rather than sizes). */
+    std::uint64_t
+    instances(std::uint64_t base)
+    {
+        return std::max<std::uint64_t>(1, base);
+    }
+
+    /**
+     * Branch probability for an oct-tree of the given depth such
+     * that the expected node count tracks the global size factor
+     * (node count grows like (8 * branch)^depth, so the branch must
+     * move with the depth-th root of the factor), with a small
+     * per-input jitter.
+     */
+    double
+    branchFor(double base, std::uint32_t depth)
+    {
+        const double exponent =
+            1.0 / std::max<std::uint32_t>(1, depth);
+        return base * std::pow(global, exponent) *
+               range(0.995, 1.005);
+    }
+
+    /**
+     * Version drift: a multiplicative nudge of at most +/-2% per
+     * version step, mimicking small allocator-mix changes between
+     * development builds (Figure 7(B) requires ranges to persist).
+     */
+    double
+    drift() const
+    {
+        return 1.0 + 0.02 * (static_cast<double>(version) - 1.0) /
+                         4.0;
+    }
+
+    Rng input;
+    double scale;
+    std::uint32_t version;
+    double global = 1.0;
+};
+
+} // namespace apps
+
+} // namespace heapmd
+
+#endif // HEAPMD_APPS_APP_TUNING_HH

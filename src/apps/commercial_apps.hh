@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Commercial application analogues (Figure 7(A), last five rows;
+ * Figures 7(B), 10; Tables 1 and 2).
+ */
+
+#ifndef HEAPMD_APPS_COMMERCIAL_APPS_HH
+#define HEAPMD_APPS_COMMERCIAL_APPS_HH
+
+#include <memory>
+#include <string>
+
+#include "apps/app.hh"
+
+namespace heapmd
+{
+
+namespace apps
+{
+
+/**
+ * Instantiate a commercial analogue by name ("Multimedia",
+ * "Interactive web-app.", "PC Game (simulation)",
+ * "PC Game (action)", "Productivity").
+ * @return nullptr when @p name is not a commercial analogue.
+ */
+std::unique_ptr<SyntheticApp>
+makeCommercialApp(const std::string &name);
+
+} // namespace apps
+
+} // namespace heapmd
+
+#endif // HEAPMD_APPS_COMMERCIAL_APPS_HH

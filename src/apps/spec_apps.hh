@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SPEC 2000 benchmark analogues (Figure 7(A), first eight rows).
+ */
+
+#ifndef HEAPMD_APPS_SPEC_APPS_HH
+#define HEAPMD_APPS_SPEC_APPS_HH
+
+#include <memory>
+#include <string>
+
+#include "apps/app.hh"
+
+namespace heapmd
+{
+
+namespace apps
+{
+
+/**
+ * Instantiate a SPEC analogue by name ("twolf", "crafty", "mcf",
+ * "vpr", "vortex", "gzip", "parser", "gcc").
+ * @return nullptr when @p name is not a SPEC analogue.
+ */
+std::unique_ptr<SyntheticApp> makeSpecApp(const std::string &name);
+
+} // namespace apps
+
+} // namespace heapmd
+
+#endif // HEAPMD_APPS_SPEC_APPS_HH

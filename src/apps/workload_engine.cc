@@ -1,0 +1,648 @@
+#include "apps/workload_engine.hh"
+
+#include <algorithm>
+
+namespace heapmd
+{
+
+namespace apps
+{
+
+namespace
+{
+
+/** Keys stay well below the heap base (no spurious edges). */
+constexpr std::uint64_t kKeySpace = 1000000;
+
+} // namespace
+
+WorkloadEngine::WorkloadEngine(istl::Context &ctx,
+                               const MixParams &params,
+                               AppResult &result)
+    : ctx_(ctx), params_(params), result_(result)
+{
+}
+
+WorkloadEngine::~WorkloadEngine() = default;
+
+void
+WorkloadEngine::runAll()
+{
+    startup();
+    steady();
+    shutdown();
+}
+
+void
+WorkloadEngine::startup()
+{
+    const MixParams &p = params_;
+
+    for (std::uint64_t i = 0; i < p.dllCount; ++i) {
+        auto dll = std::make_unique<istl::Dll>(ctx_, p.dllPayload);
+        for (std::uint64_t n = 0; n < p.dllTarget; ++n)
+            dll->pushBack();
+        dlls_.push_back(std::move(dll));
+    }
+
+    for (std::uint64_t i = 0; i < p.circCount; ++i) {
+        auto circ =
+            std::make_unique<istl::CircularList>(ctx_, p.circPayload);
+        for (std::uint64_t n = 0; n < p.circTarget; ++n)
+            circ->insert();
+        circs_.push_back(std::move(circ));
+    }
+
+    for (std::uint64_t i = 0; i < p.bstCount; ++i) {
+        auto bst =
+            std::make_unique<istl::BinaryTree>(ctx_, p.bstPayload);
+        for (std::uint64_t n = 0; n < p.bstTarget; ++n)
+            bst->insert(ctx_.rng.below(kKeySpace));
+        bsts_.push_back(std::move(bst));
+    }
+
+    for (std::uint64_t i = 0; i < p.fullTreeCount; ++i) {
+        auto tree = std::make_unique<istl::BinaryTree>(ctx_, 0);
+        tree->buildFull(p.fullTreeDepth);
+        full_trees_.push_back(std::move(tree));
+    }
+
+    for (std::uint64_t i = 0; i < p.octCount; ++i) {
+        auto oct = std::make_unique<istl::OctTree>(ctx_);
+        if (p.octBudget > 0)
+            oct->buildBudget(p.octBudget, p.octBranch);
+        else
+            oct->build(p.octDepth, p.octBranch);
+        octs_.push_back(std::move(oct));
+    }
+
+    for (std::uint64_t i = 0; i < p.hashCount; ++i) {
+        auto hash = std::make_unique<istl::HashTable>(
+            ctx_, p.hashBuckets, p.hashPayload);
+        for (std::uint64_t n = 0; n < p.hashTarget; ++n) {
+            const std::uint64_t key = 1 + ctx_.rng.below(kKeySpace);
+            hash->insert(key);
+            hash_keys_.push_back(key);
+        }
+        hashes_.push_back(std::move(hash));
+    }
+
+    for (std::uint64_t i = 0; i < p.btreeCount; ++i) {
+        auto btree = std::make_unique<istl::BTree>(ctx_);
+        for (std::uint64_t n = 0; n < p.btreeTarget; ++n) {
+            const std::uint64_t key = 1 + ctx_.rng.below(kKeySpace);
+            btree->insert(key);
+            btree_keys_.push_back(key);
+        }
+        btrees_.push_back(std::move(btree));
+    }
+
+    if (p.graphVertices > 0) {
+        graph_ = std::make_unique<istl::AdjGraph>(ctx_, 0);
+        graph_->buildRandom(p.graphVertices, p.graphDegree);
+    }
+
+    if (p.bufferCount > 0) {
+        buffers_ = std::make_unique<istl::BufferPool>(ctx_);
+        for (std::uint64_t i = 0; i < p.bufferCount; ++i)
+            live_buffer_ids_.push_back(buffers_->acquire(p.bufferSize));
+    }
+
+    if (p.handleCount > 0) {
+        handles_ =
+            std::make_unique<istl::HandlePool>(ctx_, p.handlePayload);
+        for (std::uint64_t i = 0; i < p.handleCount; ++i)
+            handles_->acquire();
+    }
+
+    for (std::uint64_t i = 0; i < p.descTables; ++i) {
+        auto desc = std::make_unique<istl::DescriptorTable>(
+            ctx_, p.descSlots, p.descSize);
+        for (std::uint64_t s = 0; s < p.descSlots; ++s)
+            desc->populate(s);
+        descs_.push_back(std::move(desc));
+    }
+
+    archive_ = std::make_unique<istl::Dll>(ctx_, 32);
+
+    if (p.cacheObjects > 0) {
+        cache_ = std::make_unique<istl::Dll>(ctx_,
+                                             p.cacheObjectSize);
+        for (std::uint64_t i = 0; i < p.cacheObjects; ++i) {
+            const Addr node = cache_->pushBack();
+            result_.cacheAddrs.push_back(node);
+            const Addr payload =
+                ctx_.heap.loadPtr(node + istl::Dll::kPayloadOff);
+            if (payload != kNullAddr)
+                result_.cacheAddrs.push_back(payload);
+        }
+        cache_->traverse(); // warmed once, then idle
+        result_.cacheObjects += p.cacheObjects * 2; // node + payload
+    }
+}
+
+void
+WorkloadEngine::steady()
+{
+    const MixParams &p = params_;
+    const std::vector<double> base_weights = {
+        p.wDll,    p.wCirc,   p.wBst,  p.wHash,  p.wBtree,
+        p.wBuffer, p.wHandle, p.wGraph, p.wDesc, p.wShare,
+        p.wTraverse,
+    };
+    double total = 0.0;
+    for (double w : base_weights)
+        total += w;
+    if (total <= 0.0)
+        return;
+
+    weight_mult_.assign(base_weights.size(), 1.0);
+    graph_edge_target_ = static_cast<std::uint64_t>(
+        static_cast<double>(p.graphVertices) * p.graphDegree);
+
+    const std::uint32_t phases = std::max<std::uint32_t>(1, p.phases);
+    const std::uint64_t per_phase =
+        std::max<std::uint64_t>(1, p.steadyOps / phases);
+
+    std::vector<double> weights = base_weights;
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+        if (phase > 0) {
+            phaseTransition();
+            for (std::size_t i = 0; i < weights.size(); ++i)
+                weights[i] = base_weights[i] * weight_mult_[i];
+        }
+        for (std::uint64_t op = 0; op < per_phase; ++op) {
+            runOneOp(weights);
+        }
+    }
+}
+
+void
+WorkloadEngine::runOneOp(const std::vector<double> &weights)
+{
+    {
+        switch (ctx_.rng.weightedPick(weights)) {
+          case 0:
+            stepDll();
+            break;
+          case 1:
+            stepCirc();
+            break;
+          case 2:
+            stepBst();
+            break;
+          case 3:
+            stepHash();
+            break;
+          case 4:
+            stepBtree();
+            break;
+          case 5:
+            stepBuffer();
+            break;
+          case 6:
+            stepHandle();
+            break;
+          case 7:
+            stepGraph();
+            break;
+          case 8:
+            stepDesc();
+            break;
+          case 9:
+            stepShare();
+            break;
+          default:
+            stepTraverse();
+            break;
+        }
+        maybeGenericLeaks();
+    }
+}
+
+std::uint64_t
+WorkloadEngine::effTarget(std::uint64_t base, double mult) const
+{
+    const double v = static_cast<double>(base) * mult;
+    return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+void
+WorkloadEngine::phaseTransition()
+{
+    const MixParams &p = params_;
+    const auto roll = [this](double swing) {
+        return 1.0 + swing * (ctx_.rng.uniform() * 2.0 - 1.0);
+    };
+
+    for (double &m : weight_mult_)
+        m = roll(p.phaseWeightSwing);
+    tmul_dll_ = roll(p.phaseTargetSwing);
+    tmul_circ_ = roll(p.phaseTargetSwing);
+    tmul_bst_ = roll(p.phaseTargetSwing);
+    tmul_hash_ = roll(p.phaseTargetSwing);
+    tmul_btree_ = roll(p.phaseTargetSwing);
+    tmul_buffer_ = roll(p.phaseTargetSwing);
+    tmul_handle_ = roll(p.phaseTargetSwing);
+
+    // Bulk rebuilds: sharp free bursts at phase boundaries (level
+    // loads, document switches).  Structures are rebuilt to only
+    // *half* their target; the steady loop's feedback regrows them
+    // over the following phase, so the dip is visible across several
+    // metric computation points and spikes the affected metrics.
+    if (p.bulkDll && !dlls_.empty()) {
+        istl::Dll &dll = *dlls_[ctx_.rng.below(dlls_.size())];
+        dll.clear();
+        const std::uint64_t target =
+            effTarget(p.dllTarget, tmul_dll_) / 2;
+        for (std::uint64_t n = 0; n < target; ++n)
+            dll.pushBack();
+    }
+    if (p.bulkCirc && !circs_.empty()) {
+        istl::CircularList &circ =
+            *circs_[ctx_.rng.below(circs_.size())];
+        circ.clear();
+        const std::uint64_t target =
+            effTarget(p.circTarget, tmul_circ_) / 2;
+        for (std::uint64_t n = 0; n < target; ++n)
+            circ.insert();
+    }
+    if (p.bulkBst && !bsts_.empty()) {
+        istl::BinaryTree &bst = *bsts_[ctx_.rng.below(bsts_.size())];
+        bst.clear();
+        const std::uint64_t target =
+            effTarget(p.bstTarget, tmul_bst_) / 2;
+        for (std::uint64_t n = 0; n < target; ++n)
+            bst.insert(ctx_.rng.below(kKeySpace));
+    }
+    if (p.bulkHash && !hashes_.empty()) {
+        istl::HashTable &hash =
+            *hashes_[ctx_.rng.below(hashes_.size())];
+        hash.clear();
+        const std::uint64_t target =
+            effTarget(p.hashTarget, tmul_hash_) / 2;
+        for (std::uint64_t n = 0; n < target; ++n) {
+            const std::uint64_t key = 1 + ctx_.rng.below(kKeySpace);
+            hash.insert(key);
+            hash_keys_.push_back(key);
+        }
+    }
+    if (p.bulkBuffers && buffers_ != nullptr) {
+        // Release roughly half; the steady loop refills gradually.
+        for (std::size_t i = 0; i < live_buffer_ids_.size();) {
+            if (ctx_.rng.chance(0.5)) {
+                buffers_->release(live_buffer_ids_[i]);
+                live_buffer_ids_[i] = live_buffer_ids_.back();
+                live_buffer_ids_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+}
+
+void
+WorkloadEngine::shutdown()
+{
+    for (auto &dll : dlls_)
+        dll->clear();
+    dlls_.clear();
+    for (auto &circ : circs_)
+        circ->clear();
+    circs_.clear();
+    for (auto &bst : bsts_)
+        bst->clear();
+    bsts_.clear();
+    for (auto &tree : full_trees_)
+        tree->clear();
+    full_trees_.clear();
+    for (auto &oct : octs_)
+        oct->clear();
+    octs_.clear();
+    for (auto &hash : hashes_)
+        hash->clear();
+    hashes_.clear();
+    for (auto &btree : btrees_)
+        btree->clear();
+    btrees_.clear();
+    graph_.reset();
+    if (buffers_ != nullptr)
+        buffers_->clear();
+    buffers_.reset();
+    if (handles_ != nullptr)
+        handles_->clear();
+    handles_.reset();
+    descs_.clear();
+    archive_.reset();
+    cache_.reset();
+}
+
+void
+WorkloadEngine::stepDll()
+{
+    if (dlls_.empty())
+        return;
+    istl::Dll &dll = *dlls_[ctx_.rng.below(dlls_.size())];
+    const std::uint64_t dll_target =
+        effTarget(params_.dllTarget, tmul_dll_);
+    const bool grow = dll.size() < dll_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        if (dll.size() > 4 && ctx_.rng.chance(0.6)) {
+            // Interior insertion at the program's roving cursor: a
+            // bounded walk, yet positions end up uniformly spread,
+            // so interior-inserted nodes persist in steady state.
+            dll.insertAtCursor(1 + ctx_.rng.below(8));
+        } else {
+            dll.pushBack();
+        }
+    } else {
+        dll.popFront();
+    }
+}
+
+void
+WorkloadEngine::stepCirc()
+{
+    if (circs_.empty())
+        return;
+    istl::CircularList &circ = *circs_[ctx_.rng.below(circs_.size())];
+    const std::uint64_t circ_target =
+        effTarget(params_.circTarget, tmul_circ_);
+    const bool grow = circ.size() < circ_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow)
+        circ.insert();
+    else if (ctx_.rng.chance(0.7))
+        circ.removeHead();
+    else
+        circ.rotate();
+}
+
+void
+WorkloadEngine::stepBst()
+{
+    if (bsts_.empty())
+        return;
+    istl::BinaryTree &bst = *bsts_[ctx_.rng.below(bsts_.size())];
+    const std::uint64_t bst_target =
+        effTarget(params_.bstTarget, tmul_bst_);
+    const bool grow = bst.size() < bst_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        if (ctx_.rng.chance(params_.bstSpliceShare))
+            bst.spliceAbove();
+        else
+            bst.insert(ctx_.rng.below(kKeySpace));
+    } else if (ctx_.rng.chance(params_.bstSpliceShare)) {
+        // Inverse of spliceAbove: keeps the single-child population
+        // stationary instead of accumulating with run length.
+        if (!bst.unspliceRandom())
+            bst.removeRandomLeaf();
+    } else if (ctx_.rng.chance(0.6)) {
+        bst.removeRandomLeaf();
+    } else {
+        bst.find(ctx_.rng.below(kKeySpace));
+    }
+}
+
+void
+WorkloadEngine::stepHash()
+{
+    if (hashes_.empty())
+        return;
+    istl::HashTable &hash = *hashes_[ctx_.rng.below(hashes_.size())];
+    const std::uint64_t hash_target =
+        effTarget(params_.hashTarget, tmul_hash_);
+    const bool grow = hash.size() < hash_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        const std::uint64_t key = 1 + ctx_.rng.below(kKeySpace);
+        hash.insert(key);
+        hash_keys_.push_back(key);
+    } else if (!hash_keys_.empty() && ctx_.rng.chance(0.6)) {
+        const std::size_t i = ctx_.rng.below(hash_keys_.size());
+        hash.erase(hash_keys_[i]);
+        hash_keys_[i] = hash_keys_.back();
+        hash_keys_.pop_back();
+    } else if (!hash_keys_.empty()) {
+        hash.find(hash_keys_[ctx_.rng.below(hash_keys_.size())]);
+    }
+}
+
+void
+WorkloadEngine::stepBtree()
+{
+    if (btrees_.empty())
+        return;
+    istl::BTree &btree = *btrees_[ctx_.rng.below(btrees_.size())];
+    const std::uint64_t btree_target =
+        effTarget(params_.btreeTarget, tmul_btree_);
+    const bool grow = btree.size() < btree_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        const std::uint64_t key = 1 + ctx_.rng.below(kKeySpace);
+        btree.insert(key);
+        btree_keys_.push_back(key);
+    } else if (!btree_keys_.empty() && ctx_.rng.chance(0.5)) {
+        const std::size_t i = ctx_.rng.below(btree_keys_.size());
+        btree.eraseFromLeaf(btree_keys_[i]);
+        btree_keys_[i] = btree_keys_.back();
+        btree_keys_.pop_back();
+    } else if (!btree_keys_.empty()) {
+        btree.contains(btree_keys_[ctx_.rng.below(btree_keys_.size())]);
+    }
+}
+
+void
+WorkloadEngine::stepBuffer()
+{
+    if (buffers_ == nullptr)
+        return;
+    const std::uint64_t buf_target =
+        effTarget(params_.bufferCount, tmul_buffer_);
+    const bool grow = buffers_->liveCount() < buf_target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        live_buffer_ids_.push_back(
+            buffers_->acquire(params_.bufferSize));
+    } else if (!live_buffer_ids_.empty()) {
+        const std::size_t i = ctx_.rng.below(live_buffer_ids_.size());
+        const std::size_t id = live_buffer_ids_[i];
+        if (ctx_.rng.chance(0.15)) {
+            buffers_->grow(id);
+        } else if (ctx_.rng.chance(0.4)) {
+            buffers_->release(id);
+            live_buffer_ids_[i] = live_buffer_ids_.back();
+            live_buffer_ids_.pop_back();
+        } else {
+            buffers_->fill(id, 4);
+        }
+    }
+}
+
+void
+WorkloadEngine::stepHandle()
+{
+    if (handles_ == nullptr)
+        return;
+    const std::uint64_t target =
+        effTarget(params_.handleCount, tmul_handle_);
+    const bool grow = handles_->size() < target
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow)
+        handles_->acquire();
+    else if (ctx_.rng.chance(0.5))
+        handles_->releaseRandom();
+    else
+        handles_->retargetRandom();
+}
+
+void
+WorkloadEngine::stepGraph()
+{
+    if (graph_ == nullptr || graph_->vertexCount() == 0)
+        return;
+    const Addr u =
+        graph_->vertexAt(ctx_.rng.below(graph_->vertexCount()));
+    const bool grow = graph_->edgeCount() < graph_edge_target_
+                          ? ctx_.rng.chance(0.70)
+                          : ctx_.rng.chance(0.30);
+    if (grow) {
+        const Addr v =
+            graph_->vertexAt(ctx_.rng.below(graph_->vertexCount()));
+        graph_->addEdge(u, v);
+    } else {
+        graph_->removeFirstEdge(u);
+    }
+}
+
+void
+WorkloadEngine::stepDesc()
+{
+    if (descs_.empty() || dlls_.empty())
+        return;
+    istl::DescriptorTable &desc =
+        *descs_[ctx_.rng.below(descs_.size())];
+    const std::uint64_t slot = ctx_.rng.below(desc.slotCount());
+    if (desc.descriptorAt(slot) == kNullAddr) {
+        desc.populate(slot);
+        return;
+    }
+    istl::Dll &sink = *dlls_[ctx_.rng.below(dlls_.size())];
+    const Addr leaked = desc.transfer(slot, sink);
+    if (leaked != kNullAddr) {
+        ++result_.injectedLeakObjects;
+        result_.leakAddrs.push_back(leaked);
+    }
+    // Consumer pops soon after, as the original code did.
+    if (sink.size() > params_.dllTarget)
+        sink.popFront();
+}
+
+void
+WorkloadEngine::stepShare()
+{
+    if (hashes_.empty() || dlls_.empty() || hash_keys_.empty())
+        return;
+    istl::HashTable &hash = *hashes_[ctx_.rng.below(hashes_.size())];
+    const std::uint64_t key =
+        hash_keys_[ctx_.rng.below(hash_keys_.size())];
+    const Addr payload = hash.payloadOf(key);
+    if (payload == kNullAddr)
+        return;
+    istl::Dll &dll = *dlls_[ctx_.rng.below(dlls_.size())];
+    Addr node = dll.cursor();
+    if (node == kNullAddr)
+        node = dll.nodeAt(0);
+    if (node == kNullAddr)
+        return;
+    // The hash table owns the payload; the list only borrows it.
+    // Dll::freeNode's SharedStateFree injection site fires from here.
+    dll.sharePayload(node, payload);
+}
+
+void
+WorkloadEngine::stepTraverse()
+{
+    // Periodic read passes keep SWAT's staleness picture honest: one
+    // randomly chosen structure instance per traversal op.
+    // cache_ is deliberately never traversed (reachable but stale),
+    // and archive_ is never traversed after a reachable leak parks
+    // there.
+    switch (ctx_.rng.below(8)) {
+      case 0:
+        if (!dlls_.empty())
+            dlls_[ctx_.rng.below(dlls_.size())]->traverse();
+        break;
+      case 1:
+        if (!circs_.empty())
+            circs_[ctx_.rng.below(circs_.size())]->traverse();
+        break;
+      case 2:
+        if (!bsts_.empty())
+            bsts_[ctx_.rng.below(bsts_.size())]->traverse();
+        else if (!full_trees_.empty())
+            full_trees_[ctx_.rng.below(full_trees_.size())]
+                ->traverse();
+        break;
+      case 3:
+        if (!octs_.empty())
+            octs_[ctx_.rng.below(octs_.size())]->traverse();
+        break;
+      case 4:
+        if (!btrees_.empty())
+            btrees_[ctx_.rng.below(btrees_.size())]->traverse();
+        break;
+      case 5:
+        if (graph_ != nullptr)
+            graph_->traverseSample(48);
+        else if (buffers_ != nullptr)
+            buffers_->touchAll();
+        break;
+      case 6:
+        if (buffers_ != nullptr)
+            buffers_->touchAll();
+        else if (handles_ != nullptr)
+            handles_->touchAll();
+        break;
+      default:
+        if (!descs_.empty())
+            descs_[ctx_.rng.below(descs_.size())]->touchAll();
+        break;
+    }
+}
+
+void
+WorkloadEngine::maybeGenericLeaks()
+{
+    if (ctx_.fire(FaultKind::SmallLeak)) {
+        // Allocate and drop every handle: unreachable, tiny count.
+        const Addr leak = ctx_.heap.malloc(params_.genericLeakSize);
+        ctx_.heap.storeData(leak, ctx_.rng() & 0xFF);
+        ++result_.injectedLeakObjects;
+        result_.leakAddrs.push_back(leak);
+    }
+    if (ctx_.fire(FaultKind::ReachableLeak)) {
+        // Parked in the archive list: reachable, never accessed
+        // again.  SWAT (staleness) finds these; HeapMD cannot.
+        const Addr node = archive_->pushBack();
+        result_.reachableLeakObjects += 2; // node + payload
+        result_.leakAddrs.push_back(node);
+        const Addr payload =
+            ctx_.heap.loadPtr(node + istl::Dll::kPayloadOff);
+        if (payload != kNullAddr)
+            result_.leakAddrs.push_back(payload);
+    }
+}
+
+} // namespace apps
+
+} // namespace heapmd

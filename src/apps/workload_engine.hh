@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Parameterized workload engine shared by the synthetic applications.
+ *
+ * Every application is a personality on top of this engine: it owns a
+ * mix of instrumented data structures, builds them during startup,
+ * churns them at a stationary operation distribution during the
+ * steady phase (which is what makes degree metrics globally stable),
+ * and tears everything down at shutdown.  Fault-injection scenarios
+ * (generic leaks, shared-state payloads) run inside the steady loop.
+ */
+
+#ifndef HEAPMD_APPS_WORKLOAD_ENGINE_HH
+#define HEAPMD_APPS_WORKLOAD_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "istl/adj_graph.hh"
+#include "istl/binary_tree.hh"
+#include "istl/btree.hh"
+#include "istl/buffer_pool.hh"
+#include "istl/circular_list.hh"
+#include "istl/descriptor_table.hh"
+#include "istl/dll.hh"
+#include "istl/handle_pool.hh"
+#include "istl/hash_table.hh"
+#include "istl/oct_tree.hh"
+
+namespace heapmd
+{
+
+namespace apps
+{
+
+/** Structure inventory and steady-state operation mix of one app. */
+struct MixParams
+{
+    /** @name Structure inventory (count 0 disables a structure). */
+    ///@{
+    std::uint64_t dllCount = 0;     //!< doubly-linked lists
+    std::uint64_t dllTarget = 0;    //!< steady-state nodes per list
+    std::uint64_t dllPayload = 0;   //!< payload bytes per node
+
+    std::uint64_t circCount = 0;    //!< circular lists
+    std::uint64_t circTarget = 0;
+    std::uint64_t circPayload = 0;
+
+    std::uint64_t bstCount = 0;     //!< binary search trees
+    std::uint64_t bstTarget = 0;
+    std::uint64_t bstPayload = 0;
+    double bstSpliceShare = 0.10;   //!< fraction of inserts spliced
+
+    std::uint64_t fullTreeCount = 0; //!< buildFull() scene trees
+    std::uint32_t fullTreeDepth = 0;
+
+    std::uint64_t octCount = 0;     //!< oct-trees (built at startup)
+    std::uint32_t octDepth = 0;
+    double octBranch = 0.85;
+    std::uint64_t octBudget = 0;    //!< node budget (0: use depth)
+
+    std::uint64_t hashCount = 0;    //!< chained hash tables
+    std::uint64_t hashBuckets = 0;
+    std::uint64_t hashTarget = 0;
+    std::uint64_t hashPayload = 0;
+
+    std::uint64_t btreeCount = 0;   //!< B-trees
+    std::uint64_t btreeTarget = 0;
+
+    std::uint64_t graphVertices = 0; //!< adjacency-list graph
+    double graphDegree = 0.0;
+
+    std::uint64_t bufferCount = 0;  //!< raw buffer pool
+    std::uint64_t bufferSize = 0;
+
+    std::uint64_t handleCount = 0;  //!< root handle -> payload pairs
+    std::uint64_t handlePayload = 48;
+
+    std::uint64_t descTables = 0;   //!< Figure 11 descriptor tables
+    std::uint64_t descSlots = 0;
+    std::uint64_t descSize = 0;
+
+    std::uint64_t cacheObjects = 0; //!< idle reachable cache (SWAT FP)
+    std::uint64_t cacheObjectSize = 64;
+    ///@}
+
+    /** @name Steady phase. */
+    ///@{
+    std::uint64_t steadyOps = 40000; //!< operations in the steady loop
+
+    /**
+     * Program phases within the steady loop (Section 2.1 discusses
+     * phase behaviour).  Each phase re-rolls operation weights and
+     * structure targets, and may bulk-rebuild structures, making the
+     * affected metrics locally stable or unstable while others stay
+     * globally stable.
+     */
+    std::uint32_t phases = 1;
+    double phaseWeightSwing = 0.0; //!< weight multiplier swing +/-
+    double phaseTargetSwing = 0.0; //!< target multiplier swing +/-
+    bool bulkDll = false;     //!< rebuild one DLL at phase change
+    bool bulkCirc = false;    //!< rebuild one circular list
+    bool bulkBst = false;     //!< rebuild one binary tree
+    bool bulkHash = false;    //!< rebuild one hash table
+    bool bulkBuffers = false; //!< churn half the buffer pool
+
+    double wDll = 0.0;     //!< per-op weights of each structure kind
+    double wCirc = 0.0;
+    double wBst = 0.0;
+    double wHash = 0.0;
+    double wBtree = 0.0;
+    double wBuffer = 0.0;
+    double wHandle = 0.0;
+    double wGraph = 0.0;
+    double wDesc = 0.0;
+    double wShare = 0.0;   //!< share a hash payload into a DLL node
+    double wTraverse = 0.02;
+
+    std::uint64_t genericLeakSize = 48; //!< bytes per leaked object
+    ///@}
+};
+
+/**
+ * Executes the three-phase workload described by a MixParams.
+ * Ground-truth leak/cache accounting is folded into the AppResult.
+ */
+class WorkloadEngine
+{
+  public:
+    WorkloadEngine(istl::Context &ctx, const MixParams &params,
+                   AppResult &result);
+    ~WorkloadEngine();
+
+    WorkloadEngine(const WorkloadEngine &) = delete;
+    WorkloadEngine &operator=(const WorkloadEngine &) = delete;
+
+    /** Build all structures to their targets. */
+    void startup();
+
+    /** Run the stationary churn loop. */
+    void steady();
+
+    /** Tear everything down. */
+    void shutdown();
+
+    /** startup() + steady() + shutdown(). */
+    void runAll();
+
+  private:
+    void runOneOp(const std::vector<double> &weights);
+    void phaseTransition();
+    std::uint64_t effTarget(std::uint64_t base, double mult) const;
+
+    void stepDll();
+    void stepCirc();
+    void stepBst();
+    void stepHash();
+    void stepBtree();
+    void stepBuffer();
+    void stepHandle();
+    void stepGraph();
+    void stepDesc();
+    void stepShare();
+    void stepTraverse();
+    void maybeGenericLeaks();
+
+    istl::Context &ctx_;
+    MixParams params_;
+    AppResult &result_;
+
+    std::vector<std::unique_ptr<istl::Dll>> dlls_;
+    std::vector<std::unique_ptr<istl::CircularList>> circs_;
+    std::vector<std::unique_ptr<istl::BinaryTree>> bsts_;
+    std::vector<std::unique_ptr<istl::BinaryTree>> full_trees_;
+    std::vector<std::unique_ptr<istl::OctTree>> octs_;
+    std::vector<std::unique_ptr<istl::HashTable>> hashes_;
+    std::vector<std::unique_ptr<istl::BTree>> btrees_;
+    std::unique_ptr<istl::AdjGraph> graph_;
+    std::unique_ptr<istl::BufferPool> buffers_;
+    std::vector<std::size_t> live_buffer_ids_;
+    std::unique_ptr<istl::HandlePool> handles_;
+    std::vector<std::unique_ptr<istl::DescriptorTable>> descs_;
+    std::unique_ptr<istl::Dll> archive_; //!< reachable-leak parking
+    std::unique_ptr<istl::Dll> cache_;   //!< idle reachable cache
+    std::vector<std::uint64_t> hash_keys_;
+    std::vector<std::uint64_t> btree_keys_;
+
+    /** Per-phase multipliers (re-rolled at each phase transition). */
+    std::vector<double> weight_mult_;
+    double tmul_dll_ = 1.0;
+    double tmul_circ_ = 1.0;
+    double tmul_bst_ = 1.0;
+    double tmul_hash_ = 1.0;
+    double tmul_btree_ = 1.0;
+    double tmul_buffer_ = 1.0;
+    double tmul_handle_ = 1.0;
+    std::uint64_t graph_edge_target_ = 0;
+};
+
+} // namespace apps
+
+} // namespace heapmd
+
+#endif // HEAPMD_APPS_WORKLOAD_ENGINE_HH

@@ -1,0 +1,120 @@
+#include "core/heapmd.hh"
+
+namespace heapmd
+{
+
+HeapMD::HeapMD(HeapMDConfig config)
+    : config_(config)
+{
+}
+
+namespace
+{
+
+void
+captureNames(const Process &process, RunOutcome &outcome)
+{
+    const FunctionRegistry &registry = process.registry();
+    outcome.functionNames.reserve(registry.size());
+    for (std::size_t id = 0; id < registry.size(); ++id)
+        outcome.functionNames.push_back(
+            registry.name(static_cast<FnId>(id)));
+}
+
+} // namespace
+
+FunctionRegistry
+RunOutcome::registry() const
+{
+    FunctionRegistry registry;
+    for (const std::string &name : functionNames)
+        registry.intern(name);
+    return registry;
+}
+
+RunOutcome
+HeapMD::observe(SyntheticApp &app, const AppConfig &config) const
+{
+    Process process(config_.process);
+    RunOutcome outcome;
+    outcome.app = app.run(process, config);
+    outcome.series = process.series();
+    outcome.series.label = app.name() + " seed " +
+                           std::to_string(config.inputSeed) + " v" +
+                           std::to_string(config.version);
+    outcome.graphStats = process.graph().stats();
+    outcome.liveBlocksAtExit = process.graph().vertexCount();
+    captureNames(process, outcome);
+    return outcome;
+}
+
+TrainingOutcome
+HeapMD::train(SyntheticApp &app,
+              const std::vector<AppConfig> &inputs) const
+{
+    TrainingOutcome outcome{HeapModel{},
+                            MetricSummarizer(config_.summarizer),
+                            {}};
+    for (const AppConfig &input : inputs) {
+        const RunOutcome run = observe(app, input);
+        outcome.summarizer.addRun(run.series);
+    }
+    outcome.model = outcome.summarizer.buildModel(app.name());
+    outcome.suspectTrainingRuns =
+        outcome.summarizer.suspectTrainingRuns(outcome.model);
+    return outcome;
+}
+
+CheckOutcome
+HeapMD::check(SyntheticApp &app, const AppConfig &config,
+              const HeapModel &model) const
+{
+    Process process(config_.process);
+    ExecutionChecker checker(model, config_.checker);
+    checker.attach(process);
+
+    CheckOutcome outcome;
+    outcome.run.app = app.run(process, config);
+    outcome.run.series = process.series();
+    outcome.run.series.label = app.name() + " seed " +
+                               std::to_string(config.inputSeed) +
+                               " v" + std::to_string(config.version);
+    outcome.run.graphStats = process.graph().stats();
+    outcome.run.liveBlocksAtExit = process.graph().vertexCount();
+    captureNames(process, outcome.run);
+    outcome.check = checker.finalize(process);
+    return outcome;
+}
+
+std::vector<AppConfig>
+makeInputs(std::uint64_t first_seed, std::size_t count,
+           std::uint32_t version, double scale)
+{
+    std::vector<AppConfig> inputs;
+    inputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        AppConfig config;
+        config.inputSeed = first_seed + i;
+        config.version = version;
+        config.scale = scale;
+        inputs.push_back(config);
+    }
+    return inputs;
+}
+
+const HeapModel::Entry *
+pickExampleMetric(const HeapModel &model)
+{
+    const HeapModel::Entry *best = nullptr;
+    for (const HeapModel::Entry &e : model.entries()) {
+        if (best == nullptr || e.stableRuns > best->stableRuns ||
+            (e.stableRuns == best->stableRuns &&
+             (e.maxValue - e.minValue) <
+                 (best->maxValue - best->minValue))) {
+            best = &e;
+        }
+    }
+    return best;
+}
+
+} // namespace heapmd

@@ -1,0 +1,68 @@
+#include "detector/bug_report.hh"
+
+#include <map>
+#include <sstream>
+
+namespace heapmd
+{
+
+std::string
+BugReport::describe(const FunctionRegistry &registry) const
+{
+    std::ostringstream os;
+    os << "[" << bugClassName(klass) << "] metric "
+       << metricName(metric) << " = " << observedValue
+       << " outside calibrated range [" << calibratedMin << ", "
+       << calibratedMax << "] ("
+       << (direction == AnomalyDirection::AboveMax ? "above max"
+                                                   : "below min")
+       << ") at metric point " << pointIndex << ", tick " << tick
+       << "\n";
+    const FnId suspect = suspectFunction();
+    if (suspect != kNoFunction)
+        os << "  suspect function: " << registry.name(suspect) << "\n";
+    if (!contextLog.empty()) {
+        os << "  call-stack log (" << contextLog.size()
+           << " snapshots):\n";
+        const auto emit = [&](const StackLogEntry &entry) {
+            os << "    tick " << entry.tick << " value "
+               << entry.metricValue << ": "
+               << formatStack(entry.frames, registry) << "\n";
+        };
+        if (contextLog.size() <= 8) {
+            for (const StackLogEntry &entry : contextLog)
+                emit(entry);
+        } else {
+            for (std::size_t i = 0; i < 4; ++i)
+                emit(contextLog[i]);
+            os << "    ... " << contextLog.size() - 8
+               << " more snapshots ...\n";
+            for (std::size_t i = contextLog.size() - 4;
+                 i < contextLog.size(); ++i) {
+                emit(contextLog[i]);
+            }
+        }
+    }
+    return os.str();
+}
+
+FnId
+BugReport::suspectFunction() const
+{
+    std::map<FnId, std::size_t> counts;
+    for (const StackLogEntry &entry : contextLog) {
+        if (!entry.frames.empty())
+            ++counts[entry.frames.front()];
+    }
+    FnId best = kNoFunction;
+    std::size_t best_count = 0;
+    for (const auto &[fn, count] : counts) {
+        if (count > best_count) {
+            best = fn;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+} // namespace heapmd

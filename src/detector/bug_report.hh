@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bug reports emitted by the anomaly detector.
+ */
+
+#ifndef HEAPMD_DETECTOR_BUG_REPORT_HH
+#define HEAPMD_DETECTOR_BUG_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "detector/classification.hh"
+#include "metrics/metric.hh"
+#include "runtime/call_stack.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/** Which calibrated bound a metric crossed. */
+enum class AnomalyDirection
+{
+    BelowMin, //!< fell under the calibrated minimum
+    AboveMax, //!< rose over the calibrated maximum
+};
+
+/**
+ * One call-stack snapshot logged while a stable metric approached or
+ * crossed its calibrated extreme (Section 2.2's circular-buffer log).
+ */
+struct StackLogEntry
+{
+    Tick tick = 0;                //!< event time of the snapshot
+    std::uint64_t pointIndex = 0; //!< metric computation point ordinal
+    double metricValue = 0.0;     //!< metric value at snapshot time
+    std::vector<FnId> frames;     //!< innermost-first shadow stack
+};
+
+/**
+ * A detected anomaly: the metric, the crossing, and the call-stack
+ * context captured before, during, and after the crossing.
+ */
+struct BugReport
+{
+    BugClass klass = BugClass::HeapAnomaly;
+    MetricId metric = MetricId::Roots;
+    AnomalyDirection direction = AnomalyDirection::AboveMax;
+    double observedValue = 0.0;
+    double calibratedMin = 0.0;
+    double calibratedMax = 0.0;
+    Tick tick = 0;                //!< event time of the violation
+    std::uint64_t pointIndex = 0; //!< sample ordinal of the violation
+    std::vector<StackLogEntry> contextLog; //!< oldest first
+
+    /** Human-readable single-report rendering. */
+    std::string describe(const FunctionRegistry &registry) const;
+
+    /**
+     * Most frequent innermost function across the context log -- the
+     * detector's root-cause hint ("HeapMD is often able to pinpoint
+     * the function responsible", Section 4.3).
+     */
+    FnId suspectFunction() const;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_DETECTOR_BUG_REPORT_HH

@@ -1,0 +1,36 @@
+#include "detector/classification.hh"
+
+namespace heapmd
+{
+
+const char *
+bugClassName(BugClass klass)
+{
+    switch (klass) {
+      case BugClass::HeapAnomaly:
+        return "heap-anomaly";
+      case BugClass::PoorlyDisguised:
+        return "poorly-disguised";
+      case BugClass::Pathological:
+        return "pathological";
+    }
+    return "unknown";
+}
+
+const char *
+bugCategoryName(BugCategory category)
+{
+    switch (category) {
+      case BugCategory::ProgrammingTypo:
+        return "Programming Typos";
+      case BugCategory::SharedState:
+        return "Shared state";
+      case BugCategory::DataStructureInvariant:
+        return "Data struct. Invariants";
+      case BugCategory::Indirect:
+        return "Indirect";
+    }
+    return "unknown";
+}
+
+} // namespace heapmd

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bug taxonomy from Section 4 of the paper.
+ */
+
+#ifndef HEAPMD_DETECTOR_CLASSIFICATION_HH
+#define HEAPMD_DETECTOR_CLASSIFICATION_HH
+
+namespace heapmd
+{
+
+/**
+ * Detectability classes (Section 4.1): how a bug interacts with the
+ * heap-graph degree metrics.
+ */
+enum class BugClass
+{
+    HeapAnomaly,     //!< stable metric leaves its calibrated range
+    PoorlyDisguised, //!< stable metric pinned at a calibrated extreme
+    Pathological,    //!< normally unstable metric becomes stable
+};
+
+/** Display name of a BugClass. */
+const char *bugClassName(BugClass klass);
+
+/**
+ * Root-cause categories of heap-anomaly bugs (Figures 8 and 9,
+ * Table 2).
+ */
+enum class BugCategory
+{
+    ProgrammingTypo,        //!< e.g. wrong index -> leak (Fig. 11)
+    SharedState,            //!< e.g. dangling tail of a shared list
+    DataStructureInvariant, //!< e.g. missing prev/parent pointers
+    Indirect,               //!< logic errors with heap side-effects
+};
+
+/** Display name matching the paper's column headers. */
+const char *bugCategoryName(BugCategory category);
+
+} // namespace heapmd
+
+#endif // HEAPMD_DETECTOR_CLASSIFICATION_HH

@@ -1,0 +1,161 @@
+#include "faults/fault_plan.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+constexpr std::size_t
+idx(FaultKind kind)
+{
+    return static_cast<std::size_t>(kind);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DllMissingPrev:
+        return "dll-missing-prev";
+      case FaultKind::TypoLeak:
+        return "typo-leak";
+      case FaultKind::CircularDanglingTail:
+        return "circular-dangling-tail";
+      case FaultKind::TreeMissingParent:
+        return "tree-missing-parent";
+      case FaultKind::OctTreeDag:
+        return "oct-tree-dag";
+      case FaultKind::BadHashFunction:
+        return "bad-hash-function";
+      case FaultKind::SingleChildTree:
+        return "single-child-tree";
+      case FaultKind::SharedStateFree:
+        return "shared-state-free";
+      case FaultKind::SmallLeak:
+        return "small-leak";
+      case FaultKind::ReachableLeak:
+        return "reachable-leak";
+      case FaultKind::LocalizationBug:
+        return "localization-bug";
+      case FaultKind::BTreeLeafUnlinked:
+        return "btree-leaf-unlinked";
+    }
+    return "unknown";
+}
+
+BugCategory
+faultCategory(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TypoLeak:
+      case FaultKind::SmallLeak:
+      case FaultKind::ReachableLeak:
+        return BugCategory::ProgrammingTypo;
+      case FaultKind::CircularDanglingTail:
+      case FaultKind::SharedStateFree:
+        return BugCategory::SharedState;
+      case FaultKind::DllMissingPrev:
+      case FaultKind::TreeMissingParent:
+      case FaultKind::OctTreeDag:
+      case FaultKind::BTreeLeafUnlinked:
+        return BugCategory::DataStructureInvariant;
+      case FaultKind::BadHashFunction:
+      case FaultKind::SingleChildTree:
+      case FaultKind::LocalizationBug:
+        return BugCategory::Indirect;
+    }
+    return BugCategory::Indirect;
+}
+
+bool
+faultLeaks(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TypoLeak:
+      case FaultKind::SmallLeak:
+      case FaultKind::ReachableLeak:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FaultKind
+faultKindFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    HEAPMD_FATAL("unknown fault kind '", name, "'");
+}
+
+void
+FaultPlan::enable(FaultKind kind, double rate, std::uint64_t budget)
+{
+    if (rate < 0.0 || rate > 1.0)
+        HEAPMD_FATAL("fault rate ", rate, " must be in [0, 1]");
+    Slot &slot = slots_[idx(kind)];
+    slot.active = true;
+    slot.rate = rate;
+    slot.budget = budget;
+    slot.fired = 0;
+}
+
+bool
+FaultPlan::isActive(FaultKind kind) const
+{
+    return slots_[idx(kind)].active;
+}
+
+bool
+FaultPlan::fire(FaultKind kind, Rng &rng)
+{
+    Slot &slot = slots_[idx(kind)];
+    if (!slot.active)
+        return false;
+    if (slot.budget != 0 && slot.fired >= slot.budget)
+        return false;
+    if (!rng.chance(slot.rate))
+        return false;
+    ++slot.fired;
+    return true;
+}
+
+std::uint64_t
+FaultPlan::firedCount(FaultKind kind) const
+{
+    return slots_[idx(kind)].fired;
+}
+
+std::vector<FaultKind>
+FaultPlan::activeKinds() const
+{
+    std::vector<FaultKind> kinds;
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+        if (slots_[i].active)
+            kinds.push_back(static_cast<FaultKind>(i));
+    }
+    return kinds;
+}
+
+bool
+FaultPlan::empty() const
+{
+    return activeKinds().empty();
+}
+
+void
+FaultPlan::resetCounters()
+{
+    for (Slot &slot : slots_)
+        slot.fired = 0;
+}
+
+} // namespace heapmd

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault-injection plans: the bug catalogue of Figures 1, 8, 9, 11, 12.
+ *
+ * The paper found naturally occurring bugs in commercial code; our
+ * substitution injects the same code patterns into the synthetic
+ * workloads' data-structure operations, with ground-truth labels so
+ * the benches can score detections (Tables 1 and 2).
+ */
+
+#ifndef HEAPMD_FAULTS_FAULT_PLAN_HH
+#define HEAPMD_FAULTS_FAULT_PLAN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detector/classification.hh"
+#include "support/random.hh"
+
+namespace heapmd
+{
+
+/** The injectable bug catalogue. */
+enum class FaultKind : std::size_t
+{
+    /** Fig. 1: doubly-linked insert forgets the prev-pointer update. */
+    DllMissingPrev,
+
+    /** Fig. 11: wrong index nulls a live slot -> unreachable leak. */
+    TypoLeak,
+
+    /** Fig. 12: circular-list head freed, tail left dangling. */
+    CircularDanglingTail,
+
+    /** Fig. 10 bug: spliced tree node missing back-pointer from child. */
+    TreeMissingParent,
+
+    /** Sec. 4.3: oct-tree construction shares children (DAG). */
+    OctTreeDag,
+
+    /** Sec. 4.3: degenerate hash function -> a few huge chains. */
+    BadHashFunction,
+
+    /** Sec. 4.3: tree vertices built with one child instead of two. */
+    SingleChildTree,
+
+    /** Shared payload freed while other structures still point at it. */
+    SharedStateFree,
+
+    /** Well-disguised: leak so few objects the metrics barely move. */
+    SmallLeak,
+
+    /** Invisible to HeapMD: leaked but still reachable (SWAT finds). */
+    ReachableLeak,
+
+    /** Sec. 4.3: localization bug producing atypical adjacency lists. */
+    LocalizationBug,
+
+    /** Sec. 4.5: B-tree invariant -- leaf split forgets the sibling
+     *  chain link (B+-tree leaf scans silently skip entries). */
+    BTreeLeafUnlinked,
+};
+
+/** Number of fault kinds. */
+inline constexpr std::size_t kNumFaultKinds = 12;
+
+/** Display name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Parse a display name back to a kind; fatal on unknown name. */
+FaultKind faultKindFromName(const std::string &name);
+
+/** Ground-truth Figure 8/9 category of a fault kind. */
+BugCategory faultCategory(FaultKind kind);
+
+/** True when the fault manifests (partly) as a memory leak. */
+bool faultLeaks(FaultKind kind);
+
+/**
+ * Active faults with trigger rates and optional budgets.
+ *
+ * Containers consult the plan at their injection sites via fire():
+ * the fault triggers with probability @c rate, at most @c budget
+ * times (budget 0 = unlimited).
+ */
+class FaultPlan
+{
+  public:
+    /** A plan with no active faults. */
+    FaultPlan() = default;
+
+    /**
+     * Activate @p kind.
+     * @param rate   per-site trigger probability in [0, 1].
+     * @param budget maximum number of triggers; 0 for unlimited.
+     */
+    void enable(FaultKind kind, double rate = 1.0,
+                std::uint64_t budget = 0);
+
+    /** True when @p kind is enabled (regardless of budget). */
+    bool isActive(FaultKind kind) const;
+
+    /**
+     * Roll the dice at an injection site.
+     * @return true when the fault should be injected here.
+     */
+    bool fire(FaultKind kind, Rng &rng);
+
+    /** Times @p kind actually triggered so far. */
+    std::uint64_t firedCount(FaultKind kind) const;
+
+    /** All enabled kinds. */
+    std::vector<FaultKind> activeKinds() const;
+
+    /** True when no fault is enabled. */
+    bool empty() const;
+
+    /** Reset fired counters (budgets refill). */
+    void resetCounters();
+
+  private:
+    struct Slot
+    {
+        bool active = false;
+        double rate = 0.0;
+        std::uint64_t budget = 0; // 0 = unlimited
+        std::uint64_t fired = 0;
+    };
+
+    std::array<Slot, kNumFaultKinds> slots_{};
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_FAULTS_FAULT_PLAN_HH

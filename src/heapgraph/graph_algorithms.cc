@@ -1,0 +1,177 @@
+#include "heapgraph/graph_algorithms.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+#include "heapgraph/heap_graph.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+/** Compact the live vertex ids into [0, n) for array-based traversal. */
+struct CompactGraph
+{
+    std::vector<ObjectId> ids;                       // index -> id
+    std::unordered_map<ObjectId, std::size_t> index; // id -> index
+    std::vector<std::vector<std::size_t>> out;       // forward edges
+    std::vector<std::vector<std::size_t>> in;        // reverse edges
+};
+
+CompactGraph
+compact(const HeapGraph &graph)
+{
+    CompactGraph cg;
+    cg.ids.reserve(graph.objects().size());
+    for (const auto &[id, rec] : graph.objects()) {
+        (void)rec;
+        cg.index.emplace(id, cg.ids.size());
+        cg.ids.push_back(id);
+    }
+    cg.out.resize(cg.ids.size());
+    cg.in.resize(cg.ids.size());
+    for (const auto &[id, rec] : graph.objects()) {
+        const std::size_t u = cg.index.at(id);
+        for (const auto &[target, mult] : rec.outNeighbors) {
+            (void)mult;
+            const std::size_t v = cg.index.at(target);
+            cg.out[u].push_back(v);
+            cg.in[v].push_back(u);
+        }
+    }
+    return cg;
+}
+
+ComponentSummary
+summarize(const std::vector<std::uint64_t> &sizes)
+{
+    ComponentSummary s;
+    s.count = sizes.size();
+    std::uint64_t total = 0;
+    for (std::uint64_t size : sizes) {
+        total += size;
+        s.largest = std::max(s.largest, size);
+        if (size == 1)
+            ++s.singletons;
+    }
+    if (s.count > 0)
+        s.meanSize = static_cast<double>(total) /
+                     static_cast<double>(s.count);
+    return s;
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+componentSizes(const HeapGraph &graph)
+{
+    const CompactGraph cg = compact(graph);
+    const std::size_t n = cg.ids.size();
+    std::vector<bool> seen(n, false);
+    std::vector<std::uint64_t> sizes;
+    std::vector<std::size_t> stack;
+
+    for (std::size_t start = 0; start < n; ++start) {
+        if (seen[start])
+            continue;
+        std::uint64_t size = 0;
+        stack.push_back(start);
+        seen[start] = true;
+        while (!stack.empty()) {
+            const std::size_t u = stack.back();
+            stack.pop_back();
+            ++size;
+            for (std::size_t v : cg.out[u]) {
+                if (!seen[v]) {
+                    seen[v] = true;
+                    stack.push_back(v);
+                }
+            }
+            for (std::size_t v : cg.in[u]) {
+                if (!seen[v]) {
+                    seen[v] = true;
+                    stack.push_back(v);
+                }
+            }
+        }
+        sizes.push_back(size);
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    return sizes;
+}
+
+ComponentSummary
+connectedComponents(const HeapGraph &graph)
+{
+    return summarize(componentSizes(graph));
+}
+
+ComponentSummary
+stronglyConnectedComponents(const HeapGraph &graph)
+{
+    const CompactGraph cg = compact(graph);
+    const std::size_t n = cg.ids.size();
+
+    // Iterative Tarjan.
+    constexpr std::size_t kUnvisited = ~std::size_t{0};
+    std::vector<std::size_t> low(n, 0), disc(n, kUnvisited);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> scc_stack;
+    std::vector<std::uint64_t> sizes;
+    std::size_t timer = 0;
+
+    struct Frame { std::size_t v; std::size_t child; };
+    std::vector<Frame> call;
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (disc[root] != kUnvisited)
+            continue;
+        call.push_back({root, 0});
+        while (!call.empty()) {
+            Frame &f = call.back();
+            const std::size_t v = f.v;
+            if (f.child == 0) {
+                disc[v] = low[v] = timer++;
+                scc_stack.push_back(v);
+                on_stack[v] = true;
+            }
+            bool descended = false;
+            while (f.child < cg.out[v].size()) {
+                const std::size_t w = cg.out[v][f.child++];
+                if (disc[w] == kUnvisited) {
+                    call.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w])
+                    low[v] = std::min(low[v], disc[w]);
+            }
+            if (descended)
+                continue;
+            if (low[v] == disc[v]) {
+                std::uint64_t size = 0;
+                for (;;) {
+                    const std::size_t w = scc_stack.back();
+                    scc_stack.pop_back();
+                    on_stack[w] = false;
+                    ++size;
+                    if (w == v)
+                        break;
+                }
+                sizes.push_back(size);
+            }
+            call.pop_back();
+            if (!call.empty()) {
+                const std::size_t parent = call.back().v;
+                low[parent] = std::min(low[parent], low[v]);
+            }
+        }
+    }
+    return summarize(sizes);
+}
+
+} // namespace heapmd

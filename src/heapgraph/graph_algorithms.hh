@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Offline whole-graph algorithms over a HeapGraph snapshot.
+ *
+ * The paper lists "the size and number of connected and strongly
+ * connected components" as candidate metrics beyond the seven
+ * degree-based ones (Section 2.1).  These routines implement that
+ * extension; they are O(V + E) and are only run on demand (never on
+ * the hot incremental path).
+ */
+
+#ifndef HEAPMD_HEAPGRAPH_GRAPH_ALGORITHMS_HH
+#define HEAPMD_HEAPGRAPH_GRAPH_ALGORITHMS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace heapmd
+{
+
+class HeapGraph;
+
+/** Summary of a component decomposition of the heap-graph. */
+struct ComponentSummary
+{
+    /** Number of components. */
+    std::uint64_t count = 0;
+
+    /** Size of the largest component (vertices); 0 when empty. */
+    std::uint64_t largest = 0;
+
+    /** Mean component size; 0 when empty. */
+    double meanSize = 0.0;
+
+    /** Number of singleton components. */
+    std::uint64_t singletons = 0;
+};
+
+/**
+ * Weakly-connected components (edges treated as undirected).
+ */
+ComponentSummary connectedComponents(const HeapGraph &graph);
+
+/**
+ * Strongly-connected components (Tarjan's algorithm, iterative so deep
+ * list-shaped heaps cannot overflow the native stack).
+ */
+ComponentSummary stronglyConnectedComponents(const HeapGraph &graph);
+
+/**
+ * Full component-size distribution of the weakly-connected
+ * decomposition, sorted descending.  Used by tests and the extended
+ * metric engine.
+ */
+std::vector<std::uint64_t> componentSizes(const HeapGraph &graph);
+
+} // namespace heapmd
+
+#endif // HEAPMD_HEAPGRAPH_GRAPH_ALGORITHMS_HH

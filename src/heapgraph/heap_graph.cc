@@ -1,0 +1,408 @@
+#include "heapgraph/heap_graph.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+ObjectId
+HeapGraph::allocate(Addr addr, std::uint64_t size, FnId site, Tick tick)
+{
+    if (addr == kNullAddr)
+        HEAPMD_PANIC("allocate at null address");
+    if (size == 0)
+        HEAPMD_PANIC("allocate with size 0");
+
+    // Overlap checks against the neighbours in address order.
+    auto next = by_addr_.lower_bound(addr);
+    if (next != by_addr_.end() && next->first < addr + size)
+        HEAPMD_PANIC("allocation [", addr, ", +", size,
+                     ") overlaps a live object at ", next->first);
+    if (next != by_addr_.begin()) {
+        auto prev = std::prev(next);
+        const ObjectRecord &before = objects_.at(prev->second);
+        if (before.contains(addr))
+            HEAPMD_PANIC("allocation at ", addr,
+                         " lands inside live object ", before.id);
+    }
+
+    const ObjectId id = next_id_++;
+    ObjectRecord rec;
+    rec.id = id;
+    rec.addr = addr;
+    rec.size = size;
+    rec.allocSite = site;
+    rec.allocTick = tick;
+    objects_.emplace(id, std::move(rec));
+    by_addr_.emplace(addr, id);
+    hist_.addVertex();
+
+    ++stats_.allocs;
+    stats_.liveBytes += size;
+    stats_.peakLiveBytes = std::max(stats_.peakLiveBytes,
+                                    stats_.liveBytes);
+    stats_.peakVertices = std::max(stats_.peakVertices,
+                                   hist_.vertexCount());
+    return id;
+}
+
+bool
+HeapGraph::free(Addr addr)
+{
+    auto it = by_addr_.find(addr);
+    if (it == by_addr_.end()) {
+        ++stats_.unknownFrees;
+        return false;
+    }
+    const ObjectId id = it->second;
+    ObjectRecord &rec = objects_.at(id);
+
+    // Sever out-edges: every slot this object holds.
+    while (!rec.slots.empty())
+        removeEdgeInstance(rec, rec.slots.begin()->first);
+
+    // Sever in-edges: every slot elsewhere that targets this object.
+    while (!rec.inRefs.empty()) {
+        const auto [slot, src_id] = *rec.inRefs.begin();
+        ObjectRecord *src = mutableById(src_id);
+        if (src == nullptr)
+            HEAPMD_PANIC("in-ref from freed object ", src_id);
+        removeEdgeInstance(*src, slot);
+    }
+
+    hist_.removeVertex(rec.indegree(), rec.outdegree());
+    stats_.liveBytes -= rec.size;
+    ++stats_.frees;
+    by_addr_.erase(it);
+    objects_.erase(id);
+    return true;
+}
+
+ObjectId
+HeapGraph::reallocate(Addr old_addr, Addr new_addr,
+                      std::uint64_t new_size, FnId site, Tick tick)
+{
+    ++stats_.reallocs;
+
+    if (old_addr == kNullAddr) // realloc(NULL, n) == malloc(n)
+        return allocate(new_addr, new_size, site, tick);
+
+    auto it = by_addr_.find(old_addr);
+    if (it == by_addr_.end()) {
+        ++stats_.unknownFrees;
+        if (new_size == 0)
+            return kNoObject;
+        return allocate(new_addr, new_size, site, tick);
+    }
+
+    if (new_size == 0) { // realloc(p, 0) == free(p)
+        free(old_addr);
+        return kNoObject;
+    }
+
+    ObjectRecord &old_rec = objects_.at(it->second);
+
+    if (new_addr == old_addr) {
+        // In-place resize: in-edges survive; slots beyond the new
+        // extent are severed when shrinking.
+        if (new_size > old_rec.size) {
+            auto next = by_addr_.upper_bound(old_addr);
+            if (next != by_addr_.end() &&
+                next->first < old_addr + new_size) {
+                HEAPMD_PANIC("in-place realloc grows into object at ",
+                             next->first);
+            }
+        }
+        std::vector<Addr> doomed;
+        for (const auto &[slot, target] : old_rec.slots) {
+            (void)target;
+            if (slot - old_rec.addr >= new_size)
+                doomed.push_back(slot);
+        }
+        for (Addr slot : doomed)
+            removeEdgeInstance(old_rec, slot);
+        stats_.liveBytes += new_size; // adjust live-byte accounting
+        stats_.liveBytes -= old_rec.size;
+        stats_.peakLiveBytes = std::max(stats_.peakLiveBytes,
+                                        stats_.liveBytes);
+        old_rec.size = new_size;
+        return old_rec.id;
+    }
+
+    // Moving realloc: capture surviving out-slots (memcpy semantics),
+    // free the old extent (in-edges dangle), then rebuild.
+    struct SavedSlot { std::uint64_t offset; ObjectId target; };
+    std::vector<SavedSlot> saved;
+    saved.reserve(old_rec.slots.size());
+    const ObjectId old_id = old_rec.id;
+    for (const auto &[slot, target] : old_rec.slots) {
+        const std::uint64_t offset = slot - old_rec.addr;
+        if (offset < new_size)
+            saved.push_back({offset, target});
+    }
+
+    free(old_addr);
+
+    const ObjectId new_id = allocate(new_addr, new_size, site, tick);
+    ObjectRecord &new_rec = objects_.at(new_id);
+    for (const SavedSlot &s : saved) {
+        // A copied self-pointer still holds the *old* address: it now
+        // dangles rather than re-targeting the moved object.
+        if (s.target == old_id)
+            continue;
+        ObjectRecord *target = mutableById(s.target);
+        if (target == nullptr)
+            continue; // target freed while severing (defensive)
+        addEdgeInstance(new_rec, new_addr + s.offset, *target);
+    }
+    return new_id;
+}
+
+void
+HeapGraph::write(Addr addr, Addr value)
+{
+    ++stats_.writes;
+
+    ObjectRecord *owner = mutableOwnerOf(addr);
+    if (owner == nullptr) {
+        // Stack/global/unmapped store: not a heap-graph vertex, so no
+        // edge originates here (such referents stay "roots").
+        ++stats_.ignoredWrites;
+        return;
+    }
+
+    const bool had_edge = owner->slots.count(addr) != 0;
+    if (had_edge)
+        removeEdgeInstance(*owner, addr);
+
+    ObjectRecord *target = mutableOwnerOf(value);
+    if (target != nullptr) {
+        addEdgeInstance(*owner, addr, *target);
+        ++stats_.pointerWrites;
+    } else if (had_edge) {
+        ++stats_.clearedSlots;
+    }
+}
+
+const ObjectRecord *
+HeapGraph::objectAt(Addr addr) const
+{
+    return const_cast<HeapGraph *>(this)->mutableOwnerOf(addr);
+}
+
+const ObjectRecord *
+HeapGraph::objectStartingAt(Addr addr) const
+{
+    auto it = by_addr_.find(addr);
+    return it == by_addr_.end() ? nullptr : &objects_.at(it->second);
+}
+
+const ObjectRecord *
+HeapGraph::objectById(ObjectId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool
+HeapGraph::hasEdge(ObjectId u, ObjectId v) const
+{
+    const ObjectRecord *src = objectById(u);
+    return src != nullptr && src->outNeighbors.count(v) != 0;
+}
+
+DegreeHistogram
+HeapGraph::recomputeHistogram() const
+{
+    DegreeHistogram fresh;
+    for (const auto &[id, rec] : objects_) {
+        (void)id;
+        fresh.addVertex();
+        fresh.transition(0, 0, rec.indegree(), rec.outdegree());
+    }
+    return fresh;
+}
+
+void
+HeapGraph::checkConsistency() const
+{
+    if (objects_.size() != by_addr_.size())
+        HEAPMD_PANIC("object map and address map sizes differ");
+    if (hist_.vertexCount() != objects_.size())
+        HEAPMD_PANIC("histogram vertex count drifted");
+
+    std::uint64_t live_bytes = 0;
+    std::uint64_t distinct_edges = 0;
+
+    Addr prev_end = 0;
+    for (const auto &[addr, id] : by_addr_) {
+        const auto oit = objects_.find(id);
+        if (oit == objects_.end())
+            HEAPMD_PANIC("address map references freed object ", id);
+        const ObjectRecord &rec = oit->second;
+        if (rec.addr != addr)
+            HEAPMD_PANIC("address map key disagrees with record");
+        if (addr < prev_end)
+            HEAPMD_PANIC("live objects overlap at ", addr);
+        prev_end = addr + rec.size;
+    }
+
+    for (const auto &[id, rec] : objects_) {
+        if (rec.id != id)
+            HEAPMD_PANIC("object keyed under wrong id");
+        live_bytes += rec.size;
+        distinct_edges += rec.outNeighbors.size();
+
+        // slots <-> outNeighbors multiplicity agreement.
+        std::unordered_map<ObjectId, std::uint32_t> out_mult;
+        for (const auto &[slot, target] : rec.slots) {
+            if (!rec.contains(slot))
+                HEAPMD_PANIC("slot ", slot, " outside object ", id);
+            const ObjectRecord *t = objectById(target);
+            if (t == nullptr)
+                HEAPMD_PANIC("slot targets freed object ", target);
+            ++out_mult[target];
+            // Mirror entry must exist on the target.
+            auto mir = t->inRefs.find(slot);
+            if (mir == t->inRefs.end() || mir->second != id)
+                HEAPMD_PANIC("missing inRef mirror for slot ", slot);
+        }
+        if (out_mult != rec.outNeighbors)
+            HEAPMD_PANIC("outNeighbors multiplicities drifted for ", id);
+
+        // inRefs <-> inNeighbors multiplicity agreement.
+        std::unordered_map<ObjectId, std::uint32_t> in_mult;
+        for (const auto &[slot, src] : rec.inRefs) {
+            const ObjectRecord *s = objectById(src);
+            if (s == nullptr)
+                HEAPMD_PANIC("inRef from freed object ", src);
+            auto sit = s->slots.find(slot);
+            if (sit == s->slots.end() || sit->second != id)
+                HEAPMD_PANIC("inRef without matching source slot");
+            ++in_mult[src];
+        }
+        if (in_mult != rec.inNeighbors)
+            HEAPMD_PANIC("inNeighbors multiplicities drifted for ", id);
+    }
+
+    if (live_bytes != stats_.liveBytes)
+        HEAPMD_PANIC("liveBytes accounting drifted");
+    if (distinct_edges != edge_count_)
+        HEAPMD_PANIC("edge count drifted: ", edge_count_, " vs ",
+                     distinct_edges);
+
+    const DegreeHistogram fresh = recomputeHistogram();
+    const bool same =
+        fresh.vertexCount() == hist_.vertexCount() &&
+        fresh.inEqOutCount() == hist_.inEqOutCount() &&
+        fresh.indegCount(0) == hist_.indegCount(0) &&
+        fresh.indegCount(1) == hist_.indegCount(1) &&
+        fresh.indegCount(2) == hist_.indegCount(2) &&
+        fresh.outdegCount(0) == hist_.outdegCount(0) &&
+        fresh.outdegCount(1) == hist_.outdegCount(1) &&
+        fresh.outdegCount(2) == hist_.outdegCount(2);
+    if (!same)
+        HEAPMD_PANIC("incremental histogram disagrees with recompute");
+}
+
+void
+HeapGraph::clear()
+{
+    objects_.clear();
+    by_addr_.clear();
+    hist_.reset();
+    stats_ = Stats{};
+    edge_count_ = 0;
+    // next_id_ deliberately keeps counting: vertex ids stay unique
+    // across clear() so stale ids can never alias new vertices.
+}
+
+ObjectRecord *
+HeapGraph::mutableOwnerOf(Addr addr)
+{
+    if (addr == kNullAddr || by_addr_.empty())
+        return nullptr;
+    auto it = by_addr_.upper_bound(addr);
+    if (it == by_addr_.begin())
+        return nullptr;
+    --it;
+    ObjectRecord &rec = objects_.at(it->second);
+    return rec.contains(addr) ? &rec : nullptr;
+}
+
+ObjectRecord *
+HeapGraph::mutableById(ObjectId id)
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : &it->second;
+}
+
+void
+HeapGraph::addEdgeInstance(ObjectRecord &u, Addr slot, ObjectRecord &v)
+{
+    if (u.slots.count(slot))
+        HEAPMD_PANIC("slot ", slot, " already holds an edge");
+
+    const std::size_t u_in = u.indegree();
+    const std::size_t u_out = u.outdegree();
+    const std::size_t v_in = v.indegree();
+    const std::size_t v_out = v.outdegree();
+
+    u.slots.emplace(slot, v.id);
+    if (++u.outNeighbors[v.id] == 1)
+        ++edge_count_;
+    v.inRefs.emplace(slot, u.id);
+    ++v.inNeighbors[u.id];
+
+    if (u.id == v.id) {
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+    } else {
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+        hist_.transition(v_in, v_out, v.indegree(), v.outdegree());
+    }
+}
+
+void
+HeapGraph::removeEdgeInstance(ObjectRecord &u, Addr slot)
+{
+    auto sit = u.slots.find(slot);
+    if (sit == u.slots.end())
+        HEAPMD_PANIC("removeEdgeInstance on empty slot ", slot);
+    const ObjectId target_id = sit->second;
+    ObjectRecord *v = mutableById(target_id);
+    if (v == nullptr)
+        HEAPMD_PANIC("edge targets freed object ", target_id);
+
+    const std::size_t u_in = u.indegree();
+    const std::size_t u_out = u.outdegree();
+    const std::size_t v_in = v->indegree();
+    const std::size_t v_out = v->outdegree();
+
+    u.slots.erase(sit);
+    auto out_it = u.outNeighbors.find(target_id);
+    if (out_it == u.outNeighbors.end() || out_it->second == 0)
+        HEAPMD_PANIC("outNeighbors underflow for ", target_id);
+    if (--out_it->second == 0) {
+        u.outNeighbors.erase(out_it);
+        --edge_count_;
+    }
+
+    v->inRefs.erase(slot);
+    auto in_it = v->inNeighbors.find(u.id);
+    if (in_it == v->inNeighbors.end() || in_it->second == 0)
+        HEAPMD_PANIC("inNeighbors underflow for ", u.id);
+    if (--in_it->second == 0)
+        v->inNeighbors.erase(in_it);
+
+    if (u.id == v->id) {
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+    } else {
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+        hist_.transition(v_in, v_out, v->indegree(), v->outdegree());
+    }
+}
+
+} // namespace heapmd

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The heap-graph mirror: HeapMD's image of the monitored heap.
+ *
+ * The execution logger (paper, Section 2.1) maintains "an image of the
+ * heap-graph ... that only stores connectivity information between
+ * objects on the heap".  This class is that image: vertices are live
+ * allocations, and a directed edge u -> v exists iff some pointer-sized
+ * slot inside u currently stores an address within v's extent.  All
+ * seven degree metrics are served in O(1) from an incrementally
+ * maintained DegreeHistogram.
+ */
+
+#ifndef HEAPMD_HEAPGRAPH_HEAP_GRAPH_HH
+#define HEAPMD_HEAPGRAPH_HEAP_GRAPH_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "heapgraph/degree_histogram.hh"
+#include "heapgraph/object_record.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/**
+ * Object-granularity heap-graph with incremental degree maintenance.
+ *
+ * Semantics (see DESIGN.md, "Key design decisions"):
+ *  - interior pointers count: any stored value that resolves to any
+ *    byte of a live object creates an edge (the tool is type-blind);
+ *  - edges are established at write time against the then-live object
+ *    set; freeing a vertex severs its in- and out-edges, and a later
+ *    allocation at the same address does NOT resurrect dangling edges;
+ *  - degrees count distinct neighbours; self-edges are permitted.
+ */
+class HeapGraph
+{
+  public:
+    /** Counters describing the event stream folded into the graph. */
+    struct Stats
+    {
+        std::uint64_t allocs = 0;        //!< allocate() calls
+        std::uint64_t frees = 0;         //!< successful free() calls
+        std::uint64_t reallocs = 0;      //!< reallocate() calls
+        std::uint64_t writes = 0;        //!< write() calls
+        std::uint64_t pointerWrites = 0; //!< writes that created an edge
+        std::uint64_t clearedSlots = 0;  //!< writes that severed an edge
+        std::uint64_t ignoredWrites = 0; //!< writes outside any object
+        std::uint64_t unknownFrees = 0;  //!< free() of a non-object
+        std::uint64_t liveBytes = 0;     //!< bytes currently allocated
+        std::uint64_t peakLiveBytes = 0; //!< high-water mark of the above
+        std::uint64_t peakVertices = 0;  //!< high-water vertex count
+    };
+
+    /**
+     * Register an allocation.
+     *
+     * @param addr  start of the new extent; must not overlap any live
+     *              object (the synthetic address space guarantees it).
+     * @param size  extent size in bytes, > 0.
+     * @param site  function active at the allocation (for reports).
+     * @param tick  event time of the allocation.
+     * @return the id of the new vertex.
+     */
+    ObjectId allocate(Addr addr, std::uint64_t size,
+                      FnId site = kNoFunction, Tick tick = 0);
+
+    /**
+     * Register a deallocation of the object starting at @p addr.
+     * Severs all of its in- and out-edges.
+     *
+     * @return false when @p addr is not the start of a live object
+     *         (double free / wild free); the call is then a no-op.
+     */
+    bool free(Addr addr);
+
+    /**
+     * Register a reallocation.  Models memcpy semantics: out-edges
+     * whose slot offset survives the resize are re-established at the
+     * new address; in-edges dangle (other objects still hold the old
+     * address).  An in-place realloc (same address) keeps in-edges.
+     *
+     * @return the id of the resulting vertex, or kNoObject when
+     *         @p new_size is 0 (pure free).
+     */
+    ObjectId reallocate(Addr old_addr, Addr new_addr,
+                        std::uint64_t new_size,
+                        FnId site = kNoFunction, Tick tick = 0);
+
+    /**
+     * Register a pointer-sized store of @p value at @p addr.
+     * Updates at most one out-slot of the owning object: the previous
+     * edge from that slot (if any) is severed, and a new edge is drawn
+     * when @p value resolves to a live object.
+     */
+    void write(Addr addr, Addr value);
+
+    /** Degree census used by the metric engine. */
+    const DegreeHistogram &histogram() const { return hist_; }
+
+    /** Live vertex count. */
+    std::uint64_t vertexCount() const { return hist_.vertexCount(); }
+
+    /** Distinct-edge count. */
+    std::uint64_t edgeCount() const { return edge_count_; }
+
+    /** Event counters. */
+    const Stats &stats() const { return stats_; }
+
+    /** Object owning @p addr (interval lookup), or nullptr. */
+    const ObjectRecord *objectAt(Addr addr) const;
+
+    /** Object whose extent starts exactly at @p addr, or nullptr. */
+    const ObjectRecord *objectStartingAt(Addr addr) const;
+
+    /** Object by vertex id, or nullptr when freed/unknown. */
+    const ObjectRecord *objectById(ObjectId id) const;
+
+    /** True when the distinct edge u -> v currently exists. */
+    bool hasEdge(ObjectId u, ObjectId v) const;
+
+    /** All live objects, keyed by id (read-only iteration). */
+    const std::unordered_map<ObjectId, ObjectRecord> &
+    objects() const
+    {
+        return objects_;
+    }
+
+    /**
+     * Recompute the degree census from scratch (O(V + E)).
+     * Used by property tests to validate incremental maintenance.
+     */
+    DegreeHistogram recomputeHistogram() const;
+
+    /**
+     * Exhaustively validate internal invariants (slot/inRef symmetry,
+     * neighbour multiplicities, interval-map agreement, histogram).
+     * Panics on any violation; intended for tests.
+     */
+    void checkConsistency() const;
+
+    /** Drop every vertex and reset counters. */
+    void clear();
+
+  private:
+    ObjectRecord *mutableOwnerOf(Addr addr);
+    ObjectRecord *mutableById(ObjectId id);
+
+    /** Draw the edge instance (u, slot) -> v; updates the census. */
+    void addEdgeInstance(ObjectRecord &u, Addr slot, ObjectRecord &v);
+
+    /** Sever the edge instance recorded at (u, slot). */
+    void removeEdgeInstance(ObjectRecord &u, Addr slot);
+
+    std::unordered_map<ObjectId, ObjectRecord> objects_;
+    std::map<Addr, ObjectId> by_addr_;
+    DegreeHistogram hist_;
+    Stats stats_;
+    std::uint64_t edge_count_ = 0;
+    ObjectId next_id_ = 1;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_HEAPGRAPH_HEAP_GRAPH_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-vertex bookkeeping for the heap-graph.
+ */
+
+#ifndef HEAPMD_HEAPGRAPH_OBJECT_RECORD_HH
+#define HEAPMD_HEAPGRAPH_OBJECT_RECORD_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/**
+ * One live heap object (a vertex of the heap-graph).
+ *
+ * The heap-graph is maintained at object granularity (Section 2.1 of
+ * the paper): an edge u -> v exists iff at least one pointer-sized
+ * slot inside u currently stores an address within v's extent.
+ * Degrees count *distinct* neighbours; multiplicities are kept so the
+ * distinct counts can be maintained incrementally and exactly.
+ */
+struct ObjectRecord
+{
+    /** Vertex identity, unique over the life of the graph. */
+    ObjectId id = kNoObject;
+
+    /** Start address of the object's extent. */
+    Addr addr = kNullAddr;
+
+    /** Extent size in bytes (never 0 for a live object). */
+    std::uint64_t size = 0;
+
+    /** Function active when the object was allocated. */
+    FnId allocSite = kNoFunction;
+
+    /** Event time of the allocation. */
+    Tick allocTick = 0;
+
+    /**
+     * Outgoing pointer slots: slot address (within this object's
+     * extent) -> target object id.  Only slots whose stored value
+     * currently resolves to a live object are present.
+     */
+    std::unordered_map<Addr, ObjectId> slots;
+
+    /** Distinct out-neighbour -> number of slots targeting it. */
+    std::unordered_map<ObjectId, std::uint32_t> outNeighbors;
+
+    /**
+     * Incoming references: slot address (within some *other* live
+     * object, or this one for self-edges) -> source object id.
+     * Mirror of the sources' @c slots entries targeting this object;
+     * lets free() sever in-edges without a global scan.
+     */
+    std::unordered_map<Addr, ObjectId> inRefs;
+
+    /** Distinct in-neighbour -> number of slots it points with. */
+    std::unordered_map<ObjectId, std::uint32_t> inNeighbors;
+
+    /** Distinct-neighbour indegree. */
+    std::size_t indegree() const { return inNeighbors.size(); }
+
+    /** Distinct-neighbour outdegree. */
+    std::size_t outdegree() const { return outNeighbors.size(); }
+
+    /** True when @p a falls within this object's extent. */
+    bool
+    contains(Addr a) const
+    {
+        return a >= addr && a - addr < size;
+    }
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_HEAPGRAPH_OBJECT_RECORD_HH

@@ -1,0 +1,155 @@
+#include "istl/adj_graph.hh"
+
+#include <algorithm>
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+AdjGraph::AdjGraph(Context &ctx, std::uint64_t payload_size)
+    : ctx_(ctx), payload_size_(payload_size),
+      fn_add_vertex_(ctx.heap.intern("AdjGraph::addVertex")),
+      fn_add_edge_(ctx.heap.intern("AdjGraph::addEdge")),
+      fn_remove_edge_(ctx.heap.intern("AdjGraph::removeFirstEdge")),
+      fn_build_(ctx.heap.intern("AdjGraph::buildRandom")),
+      fn_traverse_(ctx.heap.intern("AdjGraph::traverse")),
+      fn_clear_(ctx.heap.intern("AdjGraph::clear"))
+{
+}
+
+AdjGraph::~AdjGraph()
+{
+    clear();
+}
+
+Addr
+AdjGraph::addVertex()
+{
+    FunctionScope scope(ctx_.heap, fn_add_vertex_);
+    const Addr vertex = ctx_.heap.malloc(kVertexSize);
+    if (payload_size_ > 0) {
+        const Addr payload = ctx_.heap.malloc(payload_size_);
+        ctx_.heap.storePtr(vertex + kVPayloadOff, payload);
+    }
+    vertices_.push_back(vertex);
+    return vertex;
+}
+
+void
+AdjGraph::addEdge(Addr u, Addr v)
+{
+    FunctionScope scope(ctx_.heap, fn_add_edge_);
+    const Addr edge = ctx_.heap.malloc(kEdgeSize);
+    ctx_.heap.storePtr(edge + kTargetOff, v);
+    const Addr head = ctx_.heap.loadPtr(u + kEdgeHeadOff);
+    ctx_.heap.storePtr(edge + kENextOff, head);
+    ctx_.heap.storePtr(u + kEdgeHeadOff, edge);
+    ++edge_count_;
+}
+
+void
+AdjGraph::removeFirstEdge(Addr u)
+{
+    FunctionScope scope(ctx_.heap, fn_remove_edge_);
+    const Addr edge = ctx_.heap.loadPtr(u + kEdgeHeadOff);
+    if (edge == kNullAddr)
+        return;
+    const Addr next = ctx_.heap.loadPtr(edge + kENextOff);
+    ctx_.heap.storePtr(u + kEdgeHeadOff, next);
+    ctx_.heap.free(edge);
+    if (edge_count_ > 0)
+        --edge_count_;
+}
+
+void
+AdjGraph::buildRandom(std::uint64_t vertex_count, double avg_degree)
+{
+    FunctionScope scope(ctx_.heap, fn_build_);
+    const std::size_t base = vertices_.size();
+    for (std::uint64_t i = 0; i < vertex_count; ++i)
+        addVertex();
+
+    const std::uint64_t edges = static_cast<std::uint64_t>(
+        static_cast<double>(vertex_count) * avg_degree);
+    const bool degenerate = ctx_.fire(FaultKind::LocalizationBug);
+    const Addr hub = vertices_[base];
+    for (std::uint64_t e = 0; e < edges; ++e) {
+        Addr u;
+        if (degenerate) {
+            // BUG (injected): the localization logic collapses and
+            // almost every edge hangs off one hub vertex.
+            u = ctx_.rng.chance(0.95)
+                    ? hub
+                    : vertices_[base + ctx_.rng.below(vertex_count)];
+        } else {
+            u = vertices_[base + ctx_.rng.below(vertex_count)];
+        }
+        const Addr v =
+            vertices_[base + ctx_.rng.below(vertex_count)];
+        addEdge(u, v);
+    }
+}
+
+void
+AdjGraph::traverse()
+{
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    for (Addr vertex : vertices_) {
+        ctx_.heap.touch(vertex);
+        Addr edge = ctx_.heap.loadPtr(vertex + kEdgeHeadOff);
+        std::uint64_t guard = edge_count_ + 16;
+        while (edge != kNullAddr && guard-- > 0) {
+            ctx_.heap.touch(edge);
+            edge = ctx_.heap.loadPtr(edge + kENextOff);
+        }
+    }
+}
+
+void
+AdjGraph::traverseSample(std::uint64_t max_vertices)
+{
+    if (vertices_.empty())
+        return;
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(max_vertices, vertices_.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr vertex = vertices_[ctx_.rng.below(vertices_.size())];
+        ctx_.heap.touch(vertex);
+        Addr edge = ctx_.heap.loadPtr(vertex + kEdgeHeadOff);
+        std::uint64_t guard = 64;
+        while (edge != kNullAddr && guard-- > 0) {
+            ctx_.heap.touch(edge);
+            edge = ctx_.heap.loadPtr(edge + kENextOff);
+        }
+    }
+}
+
+void
+AdjGraph::clear()
+{
+    if (vertices_.empty())
+        return;
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    for (Addr vertex : vertices_) {
+        Addr edge = ctx_.heap.loadPtr(vertex + kEdgeHeadOff);
+        std::uint64_t guard = edge_count_ + 16;
+        while (edge != kNullAddr && guard-- > 0) {
+            const Addr next = ctx_.heap.loadPtr(edge + kENextOff);
+            ctx_.heap.free(edge);
+            edge = next;
+        }
+        const Addr payload = ctx_.heap.loadPtr(vertex + kVPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.free(payload);
+        ctx_.heap.free(vertex);
+    }
+    vertices_.clear();
+    edge_count_ = 0;
+}
+
+} // namespace istl
+
+} // namespace heapmd

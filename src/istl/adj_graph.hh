@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Instrumented adjacency-list graph (the Section 4.3 localization-bug
+ * structure: "atypical graphs, which were represented as adjacency
+ * lists").
+ */
+
+#ifndef HEAPMD_ISTL_ADJ_GRAPH_HH
+#define HEAPMD_ISTL_ADJ_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Directed graph stored as per-vertex edge lists.
+ *
+ * Vertex object (32 bytes): +0 edge-list head, +8 payload pointer,
+ * +16 two data words.  Edge node (32 bytes): +0 target vertex
+ * pointer, +8 next edge pointer, +16 data.
+ *
+ * Injection site: FaultKind::LocalizationBug in buildRandom() -- the
+ * localization logic degenerates and hangs nearly every edge off one
+ * hub vertex, producing the atypical star graphs the paper describes
+ * as an *indirect* bug.
+ */
+class AdjGraph
+{
+  public:
+    static constexpr std::uint64_t kVertexSize = 32;
+    static constexpr std::uint64_t kEdgeHeadOff = 0;
+    static constexpr std::uint64_t kVPayloadOff = 8;
+    static constexpr std::uint64_t kEdgeSize = 32;
+    static constexpr std::uint64_t kTargetOff = 0;
+    static constexpr std::uint64_t kENextOff = 8;
+
+    AdjGraph(Context &ctx, std::uint64_t payload_size = 0);
+    ~AdjGraph();
+
+    AdjGraph(const AdjGraph &) = delete;
+    AdjGraph &operator=(const AdjGraph &) = delete;
+
+    /** Add an isolated vertex. @return its address. */
+    Addr addVertex();
+
+    /** Add a directed edge u -> v (as an edge node). */
+    void addEdge(Addr u, Addr v);
+
+    /** Drop the first edge of @p u (no-op without edges). */
+    void removeFirstEdge(Addr u);
+
+    /**
+     * Populate with @p vertex_count vertices and roughly
+     * @p vertex_count * @p avg_degree random edges (injection site
+     * for LocalizationBug).
+     */
+    void buildRandom(std::uint64_t vertex_count, double avg_degree);
+
+    /** Touch every vertex and edge node. */
+    void traverse();
+
+    /**
+     * Touch a random sample of up to @p max_vertices vertices (and
+     * their edge lists): the cheap periodic read pass the steady
+     * loop uses on large graphs.
+     */
+    void traverseSample(std::uint64_t max_vertices);
+
+    /** Free everything. */
+    void clear();
+
+    std::uint64_t vertexCount() const { return vertices_.size(); }
+    std::uint64_t edgeCount() const { return edge_count_; }
+
+    /** Vertex handle by construction index. */
+    Addr vertexAt(std::size_t i) const { return vertices_[i]; }
+
+  private:
+    Context &ctx_;
+    std::uint64_t payload_size_;
+    std::vector<Addr> vertices_; // program-side (stack/global) roots
+    std::uint64_t edge_count_ = 0;
+    FnId fn_add_vertex_, fn_add_edge_, fn_remove_edge_, fn_build_,
+        fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_ADJ_GRAPH_HH

@@ -1,0 +1,344 @@
+#include "istl/binary_tree.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+namespace
+{
+
+/** Bound on traversal depth so corrupted trees cannot loop forever. */
+constexpr std::uint32_t kDepthGuard = 512;
+
+} // namespace
+
+BinaryTree::BinaryTree(Context &ctx, std::uint64_t payload_size)
+    : ctx_(ctx), payload_size_(payload_size),
+      fn_insert_(ctx.heap.intern("BinaryTree::insert")),
+      fn_splice_(ctx.heap.intern("BinaryTree::spliceAbove")),
+      fn_find_(ctx.heap.intern("BinaryTree::find")),
+      fn_remove_(ctx.heap.intern("BinaryTree::removeLeaf")),
+      fn_build_(ctx.heap.intern("BinaryTree::buildFull")),
+      fn_traverse_(ctx.heap.intern("BinaryTree::traverse")),
+      fn_clear_(ctx.heap.intern("BinaryTree::clear"))
+{
+}
+
+BinaryTree::~BinaryTree()
+{
+    clear();
+}
+
+Addr
+BinaryTree::allocNode(std::uint64_t key)
+{
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    ctx_.heap.storeData(node + kKeyOff, key);
+    key_shadow_[node] = key;
+    if (payload_size_ > 0) {
+        const Addr payload = ctx_.heap.malloc(payload_size_);
+        ctx_.heap.storePtr(node + kPayloadOff, payload);
+    }
+    ++size_;
+    return node;
+}
+
+Addr
+BinaryTree::insert(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_insert_);
+    if (root_ == kNullAddr) {
+        root_ = allocNode(key);
+        return root_;
+    }
+    Addr walk = root_;
+    for (std::uint32_t depth = 0; depth < kDepthGuard; ++depth) {
+        ctx_.heap.touch(walk);
+        const std::uint64_t walk_key = keyOf(walk);
+        const std::uint64_t slot_off =
+            key < walk_key ? kLeftOff : kRightOff;
+        const Addr child = ctx_.heap.loadPtr(walk + slot_off);
+        if (child == kNullAddr) {
+            const Addr node = allocNode(key);
+            ctx_.heap.storePtr(walk + slot_off, node);
+            ctx_.heap.storePtr(node + kParentOff, walk);
+            return node;
+        }
+        walk = child;
+    }
+    return kNullAddr; // pathological depth; drop the insert
+}
+
+Addr
+BinaryTree::spliceAbove()
+{
+    if (root_ == kNullAddr)
+        return kNullAddr;
+    FunctionScope scope(ctx_.heap, fn_splice_);
+
+    // Pick a random node by a random root-to-node walk.
+    Addr target = root_;
+    for (std::uint32_t depth = 0; depth < kDepthGuard; ++depth) {
+        if (ctx_.rng.chance(0.30))
+            break;
+        const Addr left = ctx_.heap.loadPtr(target + kLeftOff);
+        const Addr right = ctx_.heap.loadPtr(target + kRightOff);
+        Addr next = kNullAddr;
+        if (left != kNullAddr && right != kNullAddr)
+            next = ctx_.rng.chance(0.5) ? left : right;
+        else if (left != kNullAddr)
+            next = left;
+        else if (right != kNullAddr)
+            next = right;
+        if (next == kNullAddr)
+            break;
+        target = next;
+    }
+
+    const Addr parent = ctx_.heap.loadPtr(target + kParentOff);
+    const Addr fresh = allocNode(keyOf(target));
+
+    if (parent == kNullAddr) {
+        // Splicing above the root.
+        ctx_.heap.storePtr(fresh + kLeftOff, target);
+        root_ = fresh;
+    } else {
+        const Addr parent_left = ctx_.heap.loadPtr(parent + kLeftOff);
+        const std::uint64_t slot_off =
+            parent_left == target ? kLeftOff : kRightOff;
+        ctx_.heap.storePtr(parent + slot_off, fresh);
+        ctx_.heap.storePtr(fresh + kParentOff, parent);
+        ctx_.heap.storePtr(fresh + kLeftOff, target);
+    }
+
+    if (ctx_.fire(FaultKind::TreeMissingParent)) {
+        // BUG (injected): the spliced node's child keeps its stale
+        // parent pointer, leaving the new node with indegree 1
+        // (the PC Game/action bug of Figure 10).
+    } else {
+        ctx_.heap.storePtr(target + kParentOff, fresh);
+    }
+    return fresh;
+}
+
+Addr
+BinaryTree::find(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_find_);
+    Addr walk = root_;
+    for (std::uint32_t depth = 0;
+         walk != kNullAddr && depth < kDepthGuard; ++depth) {
+        ctx_.heap.touch(walk);
+        const std::uint64_t walk_key = keyOf(walk);
+        if (walk_key == key)
+            return walk;
+        walk = ctx_.heap.loadPtr(
+            walk + (key < walk_key ? kLeftOff : kRightOff));
+    }
+    return kNullAddr;
+}
+
+void
+BinaryTree::removeRandomLeaf()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_remove_);
+
+    Addr walk = root_;
+    for (std::uint32_t depth = 0; depth < kDepthGuard; ++depth) {
+        const Addr left = ctx_.heap.loadPtr(walk + kLeftOff);
+        const Addr right = ctx_.heap.loadPtr(walk + kRightOff);
+        Addr next = kNullAddr;
+        if (left != kNullAddr && right != kNullAddr)
+            next = ctx_.rng.chance(0.5) ? left : right;
+        else if (left != kNullAddr)
+            next = left;
+        else if (right != kNullAddr)
+            next = right;
+        if (next == kNullAddr)
+            break; // walk is a leaf
+        walk = next;
+    }
+
+    if (walk == root_) {
+        clearNode(root_);
+        root_ = kNullAddr;
+        return;
+    }
+    const Addr parent = ctx_.heap.loadPtr(walk + kParentOff);
+    if (parent != kNullAddr) {
+        if (ctx_.heap.loadPtr(parent + kLeftOff) == walk)
+            ctx_.heap.storePtr(parent + kLeftOff, kNullAddr);
+        else if (ctx_.heap.loadPtr(parent + kRightOff) == walk)
+            ctx_.heap.storePtr(parent + kRightOff, kNullAddr);
+    }
+    clearNode(walk);
+}
+
+bool
+BinaryTree::unspliceRandom()
+{
+    if (root_ == kNullAddr)
+        return false;
+    FunctionScope scope(ctx_.heap, fn_splice_);
+
+    // Walk a random path; take the first single-child node found.
+    Addr walk = root_;
+    Addr candidate = kNullAddr;
+    for (std::uint32_t depth = 0; depth < kDepthGuard; ++depth) {
+        const Addr left = ctx_.heap.loadPtr(walk + kLeftOff);
+        const Addr right = ctx_.heap.loadPtr(walk + kRightOff);
+        const bool single =
+            (left == kNullAddr) != (right == kNullAddr);
+        if (single) {
+            candidate = walk;
+            break;
+        }
+        Addr next = kNullAddr;
+        if (left != kNullAddr && right != kNullAddr)
+            next = ctx_.rng.chance(0.5) ? left : right;
+        if (next == kNullAddr)
+            break;
+        walk = next;
+    }
+    if (candidate == kNullAddr)
+        return false;
+
+    const Addr left = ctx_.heap.loadPtr(candidate + kLeftOff);
+    const Addr right = ctx_.heap.loadPtr(candidate + kRightOff);
+    const Addr child = left != kNullAddr ? left : right;
+    const Addr parent = ctx_.heap.loadPtr(candidate + kParentOff);
+    if (parent != kNullAddr) {
+        if (ctx_.heap.loadPtr(parent + kLeftOff) == candidate)
+            ctx_.heap.storePtr(parent + kLeftOff, child);
+        else if (ctx_.heap.loadPtr(parent + kRightOff) == candidate)
+            ctx_.heap.storePtr(parent + kRightOff, child);
+    } else if (root_ == candidate) {
+        root_ = child;
+    }
+    ctx_.heap.storePtr(child + kParentOff, parent);
+    clearNode(candidate);
+    return true;
+}
+
+void
+BinaryTree::buildFull(std::uint32_t depth)
+{
+    FunctionScope scope(ctx_.heap, fn_build_);
+    clear();
+    root_ = buildFullRec(kNullAddr, depth);
+}
+
+Addr
+BinaryTree::buildFullRec(Addr parent, std::uint32_t depth)
+{
+    if (depth == 0)
+        return kNullAddr;
+    const Addr node =
+        allocNode(ctx_.rng.below(1000000));
+    if (parent != kNullAddr) {
+        if (ctx_.fire(FaultKind::TreeMissingParent)) {
+            // BUG (injected): the constructed node is linked from its
+            // parent but never points back -- the parent is "missing
+            // parent pointers from its children" (Figure 10) and is
+            // left with indegree 1.
+        } else {
+            ctx_.heap.storePtr(node + kParentOff, parent);
+        }
+    }
+
+    const bool single_child = ctx_.fire(FaultKind::SingleChildTree);
+    const Addr left = buildFullRec(node, depth - 1);
+    if (left != kNullAddr)
+        ctx_.heap.storePtr(node + kLeftOff, left);
+    if (!single_child) {
+        const Addr right = buildFullRec(node, depth - 1);
+        if (right != kNullAddr)
+            ctx_.heap.storePtr(node + kRightOff, right);
+    }
+    // BUG (injected, SingleChildTree): the right subtree is never
+    // built -- "many tree vertexes having a single child rather than
+    // two" (Section 4.3).
+    return node;
+}
+
+void
+BinaryTree::traverse()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    std::vector<Addr> stack{root_};
+    std::uint64_t guard = size_ * 2 + 16;
+    while (!stack.empty() && guard-- > 0) {
+        const Addr node = stack.back();
+        stack.pop_back();
+        ctx_.heap.touch(node);
+        const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.touch(payload);
+        const Addr left = ctx_.heap.loadPtr(node + kLeftOff);
+        const Addr right = ctx_.heap.loadPtr(node + kRightOff);
+        if (left != kNullAddr)
+            stack.push_back(left);
+        if (right != kNullAddr)
+            stack.push_back(right);
+    }
+}
+
+void
+BinaryTree::clear()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    freeSubtree(root_, kDepthGuard);
+    root_ = kNullAddr;
+}
+
+void
+BinaryTree::freeSubtree(Addr node, std::uint32_t depth_guard)
+{
+    // Iterative so heavily spliced (deep) trees free completely.
+    (void)depth_guard;
+    if (node == kNullAddr)
+        return;
+    std::vector<Addr> stack{node};
+    while (!stack.empty()) {
+        const Addr n = stack.back();
+        stack.pop_back();
+        const Addr left = ctx_.heap.loadPtr(n + kLeftOff);
+        const Addr right = ctx_.heap.loadPtr(n + kRightOff);
+        if (left != kNullAddr)
+            stack.push_back(left);
+        if (right != kNullAddr)
+            stack.push_back(right);
+        clearNode(n);
+    }
+}
+
+void
+BinaryTree::clearNode(Addr node)
+{
+    const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+    if (payload != kNullAddr)
+        ctx_.heap.free(payload);
+    key_shadow_.erase(node);
+    ctx_.heap.free(node);
+    if (size_ > 0)
+        --size_;
+}
+
+std::uint64_t
+BinaryTree::keyOf(Addr node) const
+{
+    auto it = key_shadow_.find(node);
+    return it == key_shadow_.end() ? 0 : it->second;
+}
+
+} // namespace istl
+
+} // namespace heapmd

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Instrumented binary tree with parent pointers (the Figure 10
+ * structure).
+ */
+
+#ifndef HEAPMD_ISTL_BINARY_TREE_HH
+#define HEAPMD_ISTL_BINARY_TREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Binary search tree whose children hold parent back-pointers.
+ *
+ * Node layout (48 bytes):
+ *   +0  key (data word, < heap base so it never forms an edge)
+ *   +8  left child pointer
+ *   +16 right child pointer
+ *   +24 parent pointer
+ *   +32 payload pointer (optional)
+ *   +40 data word
+ *
+ * A node with a parent and c children normally has indegree 1 + c
+ * (the parent's child slot plus each child's parent back-pointer).
+ *
+ * Injection sites:
+ *  - FaultKind::TreeMissingParent in spliceAbove(): the spliced
+ *    node's child keeps its old parent pointer, so the new node has
+ *    indegree 1 (the PC Game/action bug behind Figure 10);
+ *  - FaultKind::SingleChildTree in buildFull(): nodes get one child
+ *    instead of two (the indirect bug of Section 4.3).
+ */
+class BinaryTree
+{
+  public:
+    static constexpr std::uint64_t kNodeSize = 48;
+    static constexpr std::uint64_t kKeyOff = 0;
+    static constexpr std::uint64_t kLeftOff = 8;
+    static constexpr std::uint64_t kRightOff = 16;
+    static constexpr std::uint64_t kParentOff = 24;
+    static constexpr std::uint64_t kPayloadOff = 32;
+    static constexpr std::uint64_t kDataOff = 40;
+
+    BinaryTree(Context &ctx, std::uint64_t payload_size = 0);
+    ~BinaryTree();
+
+    BinaryTree(const BinaryTree &) = delete;
+    BinaryTree &operator=(const BinaryTree &) = delete;
+
+    /** BST leaf insertion. @return the new node's address. */
+    Addr insert(std::uint64_t key);
+
+    /**
+     * Splice a new node onto the edge above a random existing node
+     * (internal insertion; injection site for TreeMissingParent).
+     * @return the new node's address, or kNullAddr on an empty tree.
+     */
+    Addr spliceAbove();
+
+    /** BST lookup walk (touches the path). @return node or null. */
+    Addr find(std::uint64_t key);
+
+    /** Remove a random leaf (no-op when empty). */
+    void removeRandomLeaf();
+
+    /**
+     * Splice OUT a random single-child node (the inverse of
+     * spliceAbove): the parent adopts the only child.  Keeps the
+     * spliced-node population stationary under churn.
+     * @return true when a node was removed.
+     */
+    bool unspliceRandom();
+
+    /**
+     * Build a full tree of the given depth under a fresh root
+     * (injection site for SingleChildTree).
+     */
+    void buildFull(std::uint32_t depth);
+
+    /** In-order traversal touching every node. */
+    void traverse();
+
+    /** Free the whole tree. */
+    void clear();
+
+    std::uint64_t size() const { return size_; }
+    Addr root() const { return root_; }
+
+  private:
+    Addr allocNode(std::uint64_t key);
+    void freeSubtree(Addr node, std::uint32_t depth_guard);
+    Addr buildFullRec(Addr parent, std::uint32_t depth);
+    void clearNode(Addr node);
+
+    /**
+     * Key of @p node.  Keys are written to the simulated heap as
+     * data words; this C++-side mirror models the register/immediate
+     * copies a real program navigates by (data words are not kept in
+     * HeapApi shadow memory).
+     */
+    std::uint64_t keyOf(Addr node) const;
+
+    Context &ctx_;
+    std::uint64_t payload_size_;
+    Addr root_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    std::unordered_map<Addr, std::uint64_t> key_shadow_;
+    FnId fn_insert_, fn_splice_, fn_find_, fn_remove_, fn_build_,
+        fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_BINARY_TREE_HH

@@ -1,0 +1,332 @@
+#include "istl/btree.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+namespace
+{
+
+constexpr std::uint32_t kDepthGuard = 32;
+
+} // namespace
+
+BTree::BTree(Context &ctx)
+    : ctx_(ctx),
+      fn_insert_(ctx.heap.intern("BTree::insert")),
+      fn_find_(ctx.heap.intern("BTree::contains")),
+      fn_erase_(ctx.heap.intern("BTree::eraseFromLeaf")),
+      fn_traverse_(ctx.heap.intern("BTree::traverse")),
+      fn_clear_(ctx.heap.intern("BTree::clear"))
+{
+}
+
+BTree::~BTree()
+{
+    clear();
+}
+
+Addr
+BTree::allocNode(bool leaf)
+{
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    ctx_.heap.storePtr(node + kCountOff, 0);
+    ctx_.heap.storePtr(node + kLeafOff, leaf ? 1 : 0);
+    ++node_count_;
+    return node;
+}
+
+std::uint64_t
+BTree::countOf(Addr node)
+{
+    return ctx_.heap.loadPtr(node + kCountOff);
+}
+
+void
+BTree::setCount(Addr node, std::uint64_t count)
+{
+    ctx_.heap.storePtr(node + kCountOff, count);
+}
+
+bool
+BTree::isLeaf(Addr node)
+{
+    return ctx_.heap.loadPtr(node + kLeafOff) != 0;
+}
+
+std::uint64_t
+BTree::keyAt(Addr node, std::uint32_t i)
+{
+    return ctx_.heap.loadPtr(node + kKeyOff + 8 * i);
+}
+
+void
+BTree::setKey(Addr node, std::uint32_t i, std::uint64_t key)
+{
+    ctx_.heap.storePtr(node + kKeyOff + 8 * i, key);
+}
+
+Addr
+BTree::childAt(Addr node, std::uint32_t i)
+{
+    return ctx_.heap.loadPtr(node + kChildOff + 8 * i);
+}
+
+void
+BTree::setChild(Addr node, std::uint32_t i, Addr child)
+{
+    ctx_.heap.storePtr(node + kChildOff + 8 * i, child);
+}
+
+void
+BTree::insert(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_insert_);
+    if (key == 0 || key >= AddressSpace::kHeapBase)
+        HEAPMD_PANIC("BTree keys must be in (0, heap base)");
+
+    if (root_ == kNullAddr)
+        root_ = allocNode(true);
+
+    if (countOf(root_) == kMaxKeys) {
+        const Addr new_root = allocNode(false);
+        setChild(new_root, 0, root_);
+        root_ = new_root;
+        splitChild(new_root, 0);
+    }
+    insertNonFull(root_, key);
+    ++size_;
+}
+
+void
+BTree::splitChild(Addr parent, std::uint32_t index)
+{
+    const Addr child = childAt(parent, index);
+    const bool child_leaf = isLeaf(child);
+    const Addr sibling = allocNode(child_leaf);
+
+    // Move the top kMinDegree-1 keys (and children) to the sibling.
+    for (std::uint32_t i = 0; i < kMinDegree - 1; ++i)
+        setKey(sibling, i, keyAt(child, i + kMinDegree));
+    if (!child_leaf) {
+        for (std::uint32_t i = 0; i < kMinDegree; ++i) {
+            setChild(sibling, i, childAt(child, i + kMinDegree));
+            setChild(child, i + kMinDegree, kNullAddr);
+        }
+    } else if (ctx_.fire(FaultKind::BTreeLeafUnlinked)) {
+        // BUG (injected): the new sibling never enters the leaf
+        // chain -- range scans over the leaf chain silently skip
+        // its keys, and the sibling keeps indegree 1 / outdegree 0.
+    } else {
+        // Stitch the new sibling into the B+-style leaf chain.
+        ctx_.heap.storePtr(sibling + kNextLeafOff,
+                           ctx_.heap.loadPtr(child + kNextLeafOff));
+        ctx_.heap.storePtr(child + kNextLeafOff, sibling);
+    }
+    setCount(sibling, kMinDegree - 1);
+    const std::uint64_t median = keyAt(child, kMinDegree - 1);
+    setCount(child, kMinDegree - 1);
+
+    // Shift the parent's keys/children right of index.
+    const std::uint64_t pcount = countOf(parent);
+    for (std::uint64_t i = pcount; i > index; --i) {
+        setKey(parent, static_cast<std::uint32_t>(i),
+               keyAt(parent, static_cast<std::uint32_t>(i - 1)));
+        setChild(parent, static_cast<std::uint32_t>(i + 1),
+                 childAt(parent, static_cast<std::uint32_t>(i)));
+    }
+    setKey(parent, index, median);
+    setChild(parent, index + 1, sibling);
+    setCount(parent, pcount + 1);
+}
+
+void
+BTree::insertNonFull(Addr node, std::uint64_t key)
+{
+    for (std::uint32_t depth = 0; depth < kDepthGuard; ++depth) {
+        ctx_.heap.touch(node);
+        std::uint64_t count = countOf(node);
+        if (isLeaf(node)) {
+            // Shift larger keys right and place the new key.
+            std::uint64_t i = count;
+            while (i > 0 &&
+                   keyAt(node, static_cast<std::uint32_t>(i - 1)) >
+                       key) {
+                setKey(node, static_cast<std::uint32_t>(i),
+                       keyAt(node, static_cast<std::uint32_t>(i - 1)));
+                --i;
+            }
+            setKey(node, static_cast<std::uint32_t>(i), key);
+            setCount(node, count + 1);
+            return;
+        }
+
+        // Find the child to descend into.
+        std::uint32_t i = 0;
+        while (i < count && keyAt(node, i) < key)
+            ++i;
+        if (countOf(childAt(node, i)) == kMaxKeys) {
+            splitChild(node, i);
+            if (keyAt(node, i) < key)
+                ++i;
+        }
+        node = childAt(node, i);
+    }
+    HEAPMD_PANIC("BTree::insertNonFull exceeded depth guard");
+}
+
+bool
+BTree::contains(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_find_);
+    Addr node = root_;
+    for (std::uint32_t depth = 0;
+         node != kNullAddr && depth < kDepthGuard; ++depth) {
+        ctx_.heap.touch(node);
+        const std::uint64_t count = countOf(node);
+        std::uint32_t i = 0;
+        while (i < count && keyAt(node, i) < key)
+            ++i;
+        if (i < count && keyAt(node, i) == key)
+            return true;
+        if (isLeaf(node))
+            return false;
+        node = childAt(node, i);
+    }
+    return false;
+}
+
+bool
+BTree::eraseFromLeaf(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_erase_);
+    Addr node = root_;
+    for (std::uint32_t depth = 0;
+         node != kNullAddr && depth < kDepthGuard; ++depth) {
+        const std::uint64_t count = countOf(node);
+        std::uint32_t i = 0;
+        while (i < count && keyAt(node, i) < key)
+            ++i;
+        if (i < count && keyAt(node, i) == key) {
+            if (!isLeaf(node))
+                return false; // lazy deletion: internal keys stay
+            for (std::uint32_t j = i; j + 1 < count; ++j)
+                setKey(node, j, keyAt(node, j + 1));
+            setCount(node, count - 1);
+            if (size_ > 0)
+                --size_;
+            return true;
+        }
+        if (isLeaf(node))
+            return false;
+        node = childAt(node, i);
+    }
+    return false;
+}
+
+void
+BTree::traverse()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    std::vector<Addr> stack{root_};
+    while (!stack.empty()) {
+        const Addr node = stack.back();
+        stack.pop_back();
+        ctx_.heap.touch(node);
+        if (isLeaf(node))
+            continue;
+        const std::uint64_t count = countOf(node);
+        for (std::uint64_t i = 0; i <= count; ++i) {
+            const Addr child =
+                childAt(node, static_cast<std::uint32_t>(i));
+            if (child != kNullAddr)
+                stack.push_back(child);
+        }
+    }
+}
+
+std::uint64_t
+BTree::scanLeaves()
+{
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    // Find the leftmost leaf.
+    Addr node = root_;
+    for (std::uint32_t depth = 0;
+         node != kNullAddr && depth < kDepthGuard; ++depth) {
+        if (isLeaf(node))
+            break;
+        node = childAt(node, 0);
+    }
+    std::uint64_t reached = 0;
+    std::uint64_t guard = node_count_ + 16;
+    while (node != kNullAddr && guard-- > 0) {
+        ctx_.heap.touch(node);
+        ++reached;
+        node = ctx_.heap.loadPtr(node + kNextLeafOff);
+    }
+    return reached;
+}
+
+std::uint64_t
+BTree::leafCount()
+{
+    if (root_ == kNullAddr)
+        return 0;
+    std::uint64_t leaves = 0;
+    std::vector<Addr> stack{root_};
+    while (!stack.empty()) {
+        const Addr node = stack.back();
+        stack.pop_back();
+        if (isLeaf(node)) {
+            ++leaves;
+            continue;
+        }
+        const std::uint64_t count = countOf(node);
+        for (std::uint64_t i = 0; i <= count; ++i) {
+            const Addr child =
+                childAt(node, static_cast<std::uint32_t>(i));
+            if (child != kNullAddr)
+                stack.push_back(child);
+        }
+    }
+    return leaves;
+}
+
+void
+BTree::clear()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    freeSubtree(root_, kDepthGuard);
+    root_ = kNullAddr;
+    size_ = 0;
+}
+
+void
+BTree::freeSubtree(Addr node, std::uint32_t depth_guard)
+{
+    if (node == kNullAddr || depth_guard == 0)
+        return;
+    if (!isLeaf(node)) {
+        const std::uint64_t count = countOf(node);
+        for (std::uint64_t i = 0; i <= count; ++i)
+            freeSubtree(childAt(node, static_cast<std::uint32_t>(i)),
+                        depth_guard - 1);
+    }
+    ctx_.heap.free(node);
+    if (node_count_ > 0)
+        --node_count_;
+}
+
+} // namespace istl
+
+} // namespace heapmd

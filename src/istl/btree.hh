@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Instrumented B-tree (Section 4.5 mentions invariant bugs found in
+ * B-trees; the Productivity workload is built on this structure).
+ */
+
+#ifndef HEAPMD_ISTL_BTREE_HH
+#define HEAPMD_ISTL_BTREE_HH
+
+#include <cstdint>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * B-tree of minimum degree 4 (up to 7 keys / 8 children per node),
+ * with preemptive splitting on the way down.
+ *
+ * Node layout (144 bytes):
+ *   +0   key count (data word, stored through the readable path)
+ *   +8   leaf flag word
+ *   +16  8 child pointers (+16 .. +72)
+ *   +80  7 key words (+80 .. +128)
+ *   +136 next-leaf pointer (B+-tree style leaf chain)
+ *
+ * Internal nodes have outdegree count+1; leaves carry one next-leaf
+ * pointer, so a healthy tree concentrates vertices at outdegree 1
+ * (chained leaves) under a thin spine of high-outdegree internals.
+ *
+ * Injection site: FaultKind::BTreeLeafUnlinked makes splitChild()
+ * forget to stitch the new sibling into the leaf chain -- the B-tree
+ * invariant bug class of Section 4.5.  Unlinked leaves keep
+ * indegree 1 / outdegree 0 instead of 2 / 1.
+ */
+class BTree
+{
+  public:
+    static constexpr std::uint32_t kMinDegree = 4;
+    static constexpr std::uint32_t kMaxKeys = 2 * kMinDegree - 1;
+    static constexpr std::uint32_t kMaxChildren = 2 * kMinDegree;
+    static constexpr std::uint64_t kCountOff = 0;
+    static constexpr std::uint64_t kLeafOff = 8;
+    static constexpr std::uint64_t kChildOff = 16;
+    static constexpr std::uint64_t kKeyOff = 80;
+    static constexpr std::uint64_t kNextLeafOff = 136;
+    static constexpr std::uint64_t kNodeSize = 144;
+
+    explicit BTree(Context &ctx);
+    ~BTree();
+
+    BTree(const BTree &) = delete;
+    BTree &operator=(const BTree &) = delete;
+
+    /** Insert @p key (duplicates allowed; key must be > 0 and below
+     *  the heap base so key words never alias objects). */
+    void insert(std::uint64_t key);
+
+    /** True when @p key is present (touches the search path). */
+    bool contains(std::uint64_t key);
+
+    /**
+     * Remove @p key from its leaf when present (lazy deletion: no
+     * rebalancing, as in many production stores).
+     * @return true when a key was removed.
+     */
+    bool eraseFromLeaf(std::uint64_t key);
+
+    /** Touch every node. */
+    void traverse();
+
+    /**
+     * Walk the leaf chain from the leftmost leaf (touching each
+     * leaf).  @return leaves reached -- fewer than the leaf count
+     * when the chain has been corrupted by BTreeLeafUnlinked.
+     */
+    std::uint64_t scanLeaves();
+
+    /** Number of leaf nodes (via child pointers, chain-independent). */
+    std::uint64_t leafCount();
+
+    /** Free the whole tree. */
+    void clear();
+
+    /** Keys currently stored. */
+    std::uint64_t size() const { return size_; }
+
+    /** Nodes currently allocated. */
+    std::uint64_t nodeCount() const { return node_count_; }
+
+    Addr root() const { return root_; }
+
+  private:
+    Addr allocNode(bool leaf);
+    void freeSubtree(Addr node, std::uint32_t depth_guard);
+
+    std::uint64_t countOf(Addr node);
+    void setCount(Addr node, std::uint64_t count);
+    bool isLeaf(Addr node);
+    std::uint64_t keyAt(Addr node, std::uint32_t i);
+    void setKey(Addr node, std::uint32_t i, std::uint64_t key);
+    Addr childAt(Addr node, std::uint32_t i);
+    void setChild(Addr node, std::uint32_t i, Addr child);
+
+    /** Split the full child at @p index of @p parent. */
+    void splitChild(Addr parent, std::uint32_t index);
+
+    /** Insert into a node known not to be full. */
+    void insertNonFull(Addr node, std::uint64_t key);
+
+    Context &ctx_;
+    Addr root_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    std::uint64_t node_count_ = 0;
+    FnId fn_insert_, fn_find_, fn_erase_, fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_BTREE_HH

@@ -1,0 +1,105 @@
+#include "istl/buffer_pool.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+BufferPool::BufferPool(Context &ctx)
+    : ctx_(ctx),
+      fn_acquire_(ctx.heap.intern("BufferPool::acquire")),
+      fn_grow_(ctx.heap.intern("BufferPool::grow")),
+      fn_fill_(ctx.heap.intern("BufferPool::fill")),
+      fn_release_(ctx.heap.intern("BufferPool::release"))
+{
+}
+
+BufferPool::~BufferPool()
+{
+    clear();
+}
+
+std::size_t
+BufferPool::acquire(std::uint64_t size)
+{
+    FunctionScope scope(ctx_.heap, fn_acquire_);
+    Slot slot;
+    slot.addr = ctx_.heap.malloc(size);
+    slot.size = size;
+    slots_.push_back(slot);
+    return slots_.size() - 1;
+}
+
+void
+BufferPool::grow(std::size_t index)
+{
+    if (index >= slots_.size() || slots_[index].addr == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_grow_);
+    Slot &slot = slots_[index];
+    slot.size *= 2;
+    slot.addr = ctx_.heap.realloc(slot.addr, slot.size);
+}
+
+void
+BufferPool::fill(std::size_t index, std::uint32_t words)
+{
+    if (index >= slots_.size() || slots_[index].addr == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_fill_);
+    const Slot &slot = slots_[index];
+    const std::uint64_t capacity_words = slot.size / 8;
+    for (std::uint32_t w = 0; w < words; ++w) {
+        const std::uint64_t off =
+            capacity_words == 0 ? 0 : ctx_.rng.below(capacity_words);
+        ctx_.heap.storeData(slot.addr + 8 * off, ctx_.rng() & 0xFFFF);
+    }
+}
+
+void
+BufferPool::release(std::size_t index)
+{
+    if (index >= slots_.size() || slots_[index].addr == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_release_);
+    ctx_.heap.free(slots_[index].addr);
+    slots_[index].addr = kNullAddr;
+    slots_[index].size = 0;
+}
+
+void
+BufferPool::touchAll()
+{
+    for (const Slot &slot : slots_) {
+        if (slot.addr != kNullAddr)
+            ctx_.heap.touch(slot.addr);
+    }
+}
+
+void
+BufferPool::clear()
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        release(i);
+    slots_.clear();
+}
+
+std::uint64_t
+BufferPool::liveCount() const
+{
+    std::uint64_t live = 0;
+    for (const Slot &slot : slots_)
+        live += slot.addr != kNullAddr ? 1 : 0;
+    return live;
+}
+
+Addr
+BufferPool::bufferAt(std::size_t index) const
+{
+    return index < slots_.size() ? slots_[index].addr : kNullAddr;
+}
+
+} // namespace istl
+
+} // namespace heapmd

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Instrumented flat-buffer pool (gzip-style leaf-heavy heap traffic).
+ */
+
+#ifndef HEAPMD_ISTL_BUFFER_POOL_HH
+#define HEAPMD_ISTL_BUFFER_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * A pool of raw buffers referenced only from the program stack /
+ * globals (modelled by the C++-side handle vector), so every buffer
+ * is a heap-graph root and leaf.  Buffers grow via realloc, as
+ * compression windows and IO buffers do.
+ */
+class BufferPool
+{
+  public:
+    explicit BufferPool(Context &ctx);
+    ~BufferPool();
+
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+
+    /** Allocate a buffer of @p size bytes. @return pool index. */
+    std::size_t acquire(std::uint64_t size);
+
+    /** Double the buffer at @p index via realloc. */
+    void grow(std::size_t index);
+
+    /** Write some data words into the buffer at @p index. */
+    void fill(std::size_t index, std::uint32_t words);
+
+    /** Free the buffer at @p index (idempotent). */
+    void release(std::size_t index);
+
+    /** Touch every live buffer. */
+    void touchAll();
+
+    /** Free everything. */
+    void clear();
+
+    /** Live buffers. */
+    std::uint64_t liveCount() const;
+
+    /** Address of buffer @p index (kNullAddr when released). */
+    Addr bufferAt(std::size_t index) const;
+
+  private:
+    struct Slot
+    {
+        Addr addr = kNullAddr;
+        std::uint64_t size = 0;
+    };
+
+    Context &ctx_;
+    std::vector<Slot> slots_;
+    FnId fn_acquire_, fn_grow_, fn_fill_, fn_release_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_BUFFER_POOL_HH

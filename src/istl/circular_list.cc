@@ -1,0 +1,155 @@
+#include "istl/circular_list.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+CircularList::CircularList(Context &ctx, std::uint64_t payload_size)
+    : ctx_(ctx), payload_size_(payload_size),
+      fn_insert_(ctx.heap.intern("CircularList::insert")),
+      fn_remove_(ctx.heap.intern("CircularList::removeHead")),
+      fn_traverse_(ctx.heap.intern("CircularList::traverse")),
+      fn_clear_(ctx.heap.intern("CircularList::clear"))
+{
+}
+
+CircularList::~CircularList()
+{
+    clear();
+}
+
+Addr
+CircularList::allocNode()
+{
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    if (payload_size_ > 0) {
+        const Addr payload = ctx_.heap.malloc(payload_size_);
+        ctx_.heap.storePtr(node + kPayloadOff, payload);
+    }
+    ctx_.heap.storeData(node + kDataOff, ctx_.rng() & 0xFFFF);
+    return node;
+}
+
+void
+CircularList::freeNode(Addr node)
+{
+    const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+    if (payload != kNullAddr)
+        ctx_.heap.free(payload);
+    ctx_.heap.free(node);
+}
+
+Addr
+CircularList::insert()
+{
+    FunctionScope scope(ctx_.heap, fn_insert_);
+    const Addr node = allocNode();
+    if (head_ == kNullAddr) {
+        ctx_.heap.storePtr(node + kNextOff, node); // self-ring
+        head_ = node;
+    } else {
+        const Addr succ = ctx_.heap.loadPtr(head_ + kNextOff);
+        ctx_.heap.storePtr(node + kNextOff, succ);
+        ctx_.heap.storePtr(head_ + kNextOff, node);
+    }
+    ++size_;
+    return node;
+}
+
+void
+CircularList::rotate()
+{
+    if (head_ != kNullAddr)
+        head_ = ctx_.heap.loadPtr(head_ + kNextOff);
+}
+
+void
+CircularList::removeHead()
+{
+    if (head_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_remove_);
+
+    const Addr old_head = head_;
+    const Addr new_head = ctx_.heap.loadPtr(old_head + kNextOff);
+
+    if (new_head == old_head) { // singleton ring
+        freeNode(old_head);
+        head_ = kNullAddr;
+        size_ = 0;
+        return;
+    }
+
+    if (ctx_.fire(FaultKind::CircularDanglingTail)) {
+        // BUG (injected): the Figure 12 fragment --
+        //   pNewHead = pHeadColList->next;
+        //   ColListFree(pHeadColList);
+        //   pHeadColList = pNewHead;
+        // The predecessor (ring tail) still points at the freed node.
+        freeNode(old_head);
+        head_ = new_head;
+    } else {
+        const Addr tail = findPredecessor(old_head);
+        if (tail != kNullAddr)
+            ctx_.heap.storePtr(tail + kNextOff, new_head);
+        freeNode(old_head);
+        head_ = new_head;
+    }
+    if (size_ > 0)
+        --size_;
+}
+
+void
+CircularList::traverse()
+{
+    if (head_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    Addr node = head_;
+    std::uint64_t guard = size_ + 16;
+    do {
+        ctx_.heap.touch(node);
+        const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.touch(payload);
+        node = ctx_.heap.loadPtr(node + kNextOff);
+    } while (node != head_ && node != kNullAddr && guard-- > 0);
+}
+
+void
+CircularList::clear()
+{
+    if (head_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    Addr node = ctx_.heap.loadPtr(head_ + kNextOff);
+    std::uint64_t guard = size_ + 16;
+    while (node != head_ && node != kNullAddr && guard-- > 0) {
+        const Addr next = ctx_.heap.loadPtr(node + kNextOff);
+        freeNode(node);
+        node = next;
+    }
+    freeNode(head_);
+    head_ = kNullAddr;
+    size_ = 0;
+}
+
+Addr
+CircularList::findPredecessor(Addr node)
+{
+    Addr walk = node;
+    std::uint64_t guard = size_ + 16;
+    while (guard-- > 0) {
+        const Addr next = ctx_.heap.loadPtr(walk + kNextOff);
+        if (next == node || next == kNullAddr)
+            return next == node ? walk : kNullAddr;
+        walk = next;
+    }
+    return kNullAddr;
+}
+
+} // namespace istl
+
+} // namespace heapmd

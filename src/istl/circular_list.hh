@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Instrumented circular singly-linked list (the Figure 12 structure).
+ */
+
+#ifndef HEAPMD_ISTL_CIRCULAR_LIST_HH
+#define HEAPMD_ISTL_CIRCULAR_LIST_HH
+
+#include <cstdint>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Circular singly-linked list.
+ *
+ * Node layout (32 bytes):
+ *   +0  payload pointer (optional)
+ *   +8  next pointer (last node points back to the head)
+ *   +16 two data words
+ *
+ * Injection site: FaultKind::CircularDanglingTail makes removeHead()
+ * free the head without repairing the tail's next pointer -- the
+ * Figure 12 bug ("the tail of the list now has a dangling pointer").
+ */
+class CircularList
+{
+  public:
+    static constexpr std::uint64_t kNodeSize = 32;
+    static constexpr std::uint64_t kPayloadOff = 0;
+    static constexpr std::uint64_t kNextOff = 8;
+    static constexpr std::uint64_t kDataOff = 16;
+
+    CircularList(Context &ctx, std::uint64_t payload_size = 0);
+    ~CircularList();
+
+    CircularList(const CircularList &) = delete;
+    CircularList &operator=(const CircularList &) = delete;
+
+    /** Insert a node right after the head. @return its address. */
+    Addr insert();
+
+    /** Advance the head pointer by one (cheap rotation). */
+    void rotate();
+
+    /**
+     * Free the head and promote its successor (Figure 12 code path);
+     * injection site for CircularDanglingTail.
+     */
+    void removeHead();
+
+    /** Walk the ring once, touching every node and payload. */
+    void traverse();
+
+    /** Free all nodes. */
+    void clear();
+
+    std::uint64_t size() const { return size_; }
+    Addr head() const { return head_; }
+
+  private:
+    Addr allocNode();
+    void freeNode(Addr node);
+
+    /** Walk to the node whose next is @p node; kNullAddr on failure. */
+    Addr findPredecessor(Addr node);
+
+    Context &ctx_;
+    std::uint64_t payload_size_;
+    Addr head_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    FnId fn_insert_, fn_remove_, fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_CIRCULAR_LIST_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared execution context of the instrumented data structures.
+ */
+
+#ifndef HEAPMD_ISTL_CONTEXT_HH
+#define HEAPMD_ISTL_CONTEXT_HH
+
+#include "faults/fault_plan.hh"
+#include "runtime/heap_api.hh"
+#include "support/random.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Everything a container needs to run "inside" the monitored program:
+ * the instrumented heap, the active fault plan, and a deterministic
+ * random stream.  One context per workload run.
+ */
+struct Context
+{
+    Context(HeapApi &heap_api, FaultPlan &fault_plan,
+            std::uint64_t seed)
+        : heap(heap_api), faults(fault_plan), rng(seed)
+    {
+    }
+
+    HeapApi &heap;
+    FaultPlan &faults;
+    Rng rng;
+
+    /** Convenience: roll a fault at an injection site. */
+    bool
+    fire(FaultKind kind)
+    {
+        return faults.fire(kind, rng);
+    }
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_CONTEXT_HH

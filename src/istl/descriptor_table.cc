@@ -1,0 +1,117 @@
+#include "istl/descriptor_table.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+DescriptorTable::DescriptorTable(Context &ctx,
+                                 std::uint64_t slot_count,
+                                 std::uint64_t desc_size)
+    : ctx_(ctx), slot_count_(slot_count), desc_size_(desc_size),
+      fn_populate_(ctx.heap.intern("DescriptorTable::populate")),
+      fn_transfer_(ctx.heap.intern("DescriptorTable::transfer")),
+      fn_clear_(ctx.heap.intern("DescriptorTable::clear"))
+{
+    if (slot_count_ == 0)
+        HEAPMD_PANIC("descriptor table needs at least one slot");
+    table_ = ctx_.heap.malloc(slot_count_ * 8);
+}
+
+DescriptorTable::~DescriptorTable()
+{
+    clear();
+    ctx_.heap.free(table_);
+}
+
+Addr
+DescriptorTable::slotAddr(std::uint64_t index) const
+{
+    return table_ + 8 * index;
+}
+
+void
+DescriptorTable::populate(std::uint64_t index)
+{
+    if (index >= slot_count_)
+        return;
+    FunctionScope scope(ctx_.heap, fn_populate_);
+    const Addr old = ctx_.heap.loadPtr(slotAddr(index));
+    if (old != kNullAddr)
+        ctx_.heap.free(old);
+    const Addr desc = ctx_.heap.malloc(desc_size_);
+    ctx_.heap.storeData(desc, ctx_.rng() & 0xFFFF);
+    ctx_.heap.storePtr(slotAddr(index), desc);
+}
+
+Addr
+DescriptorTable::transfer(std::uint64_t index, Dll &sink)
+{
+    if (index >= slot_count_)
+        return kNullAddr;
+    FunctionScope scope(ctx_.heap, fn_transfer_);
+
+    const Addr victim = ctx_.heap.loadPtr(slotAddr(index));
+    if (victim == kNullAddr)
+        return kNullAddr;
+
+    const Addr node = sink.pushBack();
+
+    if (slot_count_ > 1 && ctx_.fire(FaultKind::TypoLeak)) {
+        // BUG (injected): the Figure 11 fragment --
+        //   pPropDescList->next = pTableDesc[i].pPropDesc;  // 'i'!
+        //   pTableDesc[j].pPropDesc = NULL;
+        // Slot j's descriptor loses its only reference: leaked.
+        std::uint64_t wrong = ctx_.rng.below(slot_count_);
+        if (wrong == index)
+            wrong = (wrong + 1) % slot_count_;
+        const Addr copied = ctx_.heap.loadPtr(slotAddr(wrong));
+        if (copied != kNullAddr)
+            sink.adoptPayload(node, copied);
+        ctx_.heap.storePtr(slotAddr(index), kNullAddr);
+        return victim;
+    }
+
+    sink.adoptPayload(node, victim);
+    ctx_.heap.storePtr(slotAddr(index), kNullAddr);
+    return kNullAddr;
+}
+
+Addr
+DescriptorTable::descriptorAt(std::uint64_t index)
+{
+    if (index >= slot_count_)
+        return kNullAddr;
+    return ctx_.heap.loadPtr(slotAddr(index));
+}
+
+void
+DescriptorTable::touchAll()
+{
+    ctx_.heap.touch(table_);
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+        const Addr desc = ctx_.heap.loadPtr(slotAddr(i));
+        if (desc != kNullAddr)
+            ctx_.heap.touch(desc);
+    }
+}
+
+void
+DescriptorTable::clear()
+{
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+        const Addr desc = ctx_.heap.loadPtr(slotAddr(i));
+        if (desc != kNullAddr) {
+            ctx_.heap.free(desc);
+            ctx_.heap.storePtr(slotAddr(i), kNullAddr);
+        }
+    }
+}
+
+} // namespace istl
+
+} // namespace heapmd

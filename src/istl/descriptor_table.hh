@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Instrumented descriptor table (the Figure 11 structure).
+ */
+
+#ifndef HEAPMD_ISTL_DESCRIPTOR_TABLE_HH
+#define HEAPMD_ISTL_DESCRIPTOR_TABLE_HH
+
+#include <cstdint>
+
+#include "istl/context.hh"
+#include "istl/dll.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * An array object of pointer slots, each optionally holding a
+ * separately allocated property descriptor -- the pTableDesc[] of
+ * Figure 11.
+ *
+ * Injection site: FaultKind::TypoLeak in transfer(): the code copies
+ * pTableDesc[i] (wrong index) into the consumer list while nulling
+ * pTableDesc[j], leaking the descriptor that slot j owned.
+ */
+class DescriptorTable
+{
+  public:
+    /**
+     * @param ctx        shared instrumentation context.
+     * @param slot_count pointer slots in the table object.
+     * @param desc_size  bytes per descriptor object.
+     */
+    DescriptorTable(Context &ctx, std::uint64_t slot_count,
+                    std::uint64_t desc_size);
+    ~DescriptorTable();
+
+    DescriptorTable(const DescriptorTable &) = delete;
+    DescriptorTable &operator=(const DescriptorTable &) = delete;
+
+    /** Allocate a descriptor into slot @p index (frees any old one). */
+    void populate(std::uint64_t index);
+
+    /**
+     * Move slot @p index's descriptor into @p sink (the Figure 11
+     * code path; injection site for TypoLeak).
+     * @return the address of the descriptor that was *leaked* by an
+     *         injected typo, or kNullAddr when the transfer was
+     *         correct or the slot was empty.
+     */
+    Addr transfer(std::uint64_t index, Dll &sink);
+
+    /** Descriptor currently in slot @p index (kNullAddr if empty). */
+    Addr descriptorAt(std::uint64_t index);
+
+    /** Touch the table and every live descriptor. */
+    void touchAll();
+
+    /** Free all descriptors (the table object stays). */
+    void clear();
+
+    std::uint64_t slotCount() const { return slot_count_; }
+
+    /** The table object's address. */
+    Addr table() const { return table_; }
+
+  private:
+    Addr slotAddr(std::uint64_t index) const;
+
+    Context &ctx_;
+    std::uint64_t slot_count_;
+    std::uint64_t desc_size_;
+    Addr table_ = kNullAddr;
+    FnId fn_populate_, fn_transfer_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_DESCRIPTOR_TABLE_HH

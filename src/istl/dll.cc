@@ -1,0 +1,231 @@
+#include "istl/dll.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+Dll::Dll(Context &ctx, std::uint64_t payload_size)
+    : ctx_(ctx), payload_size_(payload_size),
+      fn_push_(ctx.heap.intern("Dll::push")),
+      fn_insert_(ctx.heap.intern("Dll::insertAfter")),
+      fn_remove_(ctx.heap.intern("Dll::remove")),
+      fn_traverse_(ctx.heap.intern("Dll::traverse")),
+      fn_clear_(ctx.heap.intern("Dll::clear"))
+{
+}
+
+Dll::~Dll()
+{
+    clear();
+}
+
+Addr
+Dll::allocNode()
+{
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    if (payload_size_ > 0) {
+        const Addr payload = ctx_.heap.malloc(payload_size_);
+        ctx_.heap.storePtr(node + kPayloadOff, payload);
+    }
+    // Non-pointer data traffic, as a real program would produce.
+    ctx_.heap.storeData(node + kDataOff + 8, ctx_.rng() & 0xFFFF);
+    return node;
+}
+
+void
+Dll::freeNode(Addr node)
+{
+    if (cursor_ == node)
+        cursor_ = kNullAddr; // don't chase a freed (reusable) address
+    const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+    const Addr shared_flag = ctx_.heap.loadPtr(node + kDataOff);
+    if (payload != kNullAddr) {
+        if (shared_flag == 0) {
+            ctx_.heap.free(payload); // owned: release with the node
+        } else if (ctx_.fire(FaultKind::SharedStateFree)) {
+            // BUG (injected): payload is shared with another owner,
+            // freeing it here leaves that owner dangling.
+            ctx_.heap.free(payload);
+        }
+    }
+    ctx_.heap.free(node);
+}
+
+Addr
+Dll::pushBack()
+{
+    FunctionScope scope(ctx_.heap, fn_push_);
+    const Addr node = allocNode();
+    if (tail_ == kNullAddr) {
+        head_ = tail_ = node;
+    } else {
+        ctx_.heap.storePtr(tail_ + kNextOff, node);
+        ctx_.heap.storePtr(node + kPrevOff, tail_);
+        tail_ = node;
+    }
+    ++size_;
+    return node;
+}
+
+Addr
+Dll::pushFront()
+{
+    FunctionScope scope(ctx_.heap, fn_push_);
+    const Addr node = allocNode();
+    if (head_ == kNullAddr) {
+        head_ = tail_ = node;
+    } else {
+        ctx_.heap.storePtr(node + kNextOff, head_);
+        ctx_.heap.storePtr(head_ + kPrevOff, node);
+        head_ = node;
+    }
+    ++size_;
+    return node;
+}
+
+Addr
+Dll::insertAtCursor(std::uint64_t advance)
+{
+    if (head_ == kNullAddr)
+        return pushBack();
+    if (cursor_ == kNullAddr)
+        cursor_ = head_;
+    for (std::uint64_t i = 0; i < advance; ++i) {
+        const Addr next = ctx_.heap.loadPtr(cursor_ + kNextOff);
+        cursor_ = next != kNullAddr ? next : head_;
+    }
+    return insertAfter(cursor_);
+}
+
+Addr
+Dll::insertAfter(Addr node)
+{
+    if (node == kNullAddr || head_ == kNullAddr)
+        return pushBack();
+
+    FunctionScope scope(ctx_.heap, fn_insert_);
+    const Addr fresh = allocNode();
+    const Addr succ = ctx_.heap.loadPtr(node + kNextOff);
+
+    // The Figure 1 code path:
+    //   pNewAsset->next = pAssetList->next;
+    //   pAssetList->next = pNewAsset;
+    ctx_.heap.storePtr(fresh + kNextOff, succ);
+    ctx_.heap.storePtr(node + kNextOff, fresh);
+
+    if (ctx_.fire(FaultKind::DllMissingPrev)) {
+        // BUG (injected): "prev pointers are not correctly updated
+        // here" -- the new node keeps indegree 1.
+    } else {
+        ctx_.heap.storePtr(fresh + kPrevOff, node);
+        if (succ != kNullAddr)
+            ctx_.heap.storePtr(succ + kPrevOff, fresh);
+    }
+
+    if (succ == kNullAddr)
+        tail_ = fresh;
+    ++size_;
+    return fresh;
+}
+
+void
+Dll::popFront()
+{
+    if (head_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_remove_);
+    const Addr node = head_;
+    const Addr succ = ctx_.heap.loadPtr(node + kNextOff);
+    head_ = succ;
+    if (succ != kNullAddr)
+        ctx_.heap.storePtr(succ + kPrevOff, kNullAddr);
+    else
+        tail_ = kNullAddr;
+    freeNode(node);
+    if (size_ > 0)
+        --size_;
+}
+
+void
+Dll::remove(Addr node)
+{
+    if (node == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_remove_);
+    const Addr prev = ctx_.heap.loadPtr(node + kPrevOff);
+    const Addr next = ctx_.heap.loadPtr(node + kNextOff);
+    if (prev != kNullAddr)
+        ctx_.heap.storePtr(prev + kNextOff, next);
+    else if (head_ == node)
+        head_ = next;
+    if (next != kNullAddr)
+        ctx_.heap.storePtr(next + kPrevOff, prev);
+    else if (tail_ == node)
+        tail_ = prev;
+    freeNode(node);
+    if (size_ > 0)
+        --size_;
+}
+
+void
+Dll::sharePayload(Addr node, Addr payload)
+{
+    const Addr old = ctx_.heap.loadPtr(node + kPayloadOff);
+    const Addr shared_flag = ctx_.heap.loadPtr(node + kDataOff);
+    if (old != kNullAddr && shared_flag == 0)
+        ctx_.heap.free(old);
+    ctx_.heap.storePtr(node + kPayloadOff, payload);
+    ctx_.heap.storePtr(node + kDataOff, 1); // mark shared
+}
+
+void
+Dll::adoptPayload(Addr node, Addr payload)
+{
+    const Addr old = ctx_.heap.loadPtr(node + kPayloadOff);
+    const Addr shared_flag = ctx_.heap.loadPtr(node + kDataOff);
+    if (old != kNullAddr && shared_flag == 0)
+        ctx_.heap.free(old);
+    ctx_.heap.storePtr(node + kPayloadOff, payload);
+    ctx_.heap.storePtr(node + kDataOff, kNullAddr); // mark owned
+}
+
+void
+Dll::traverse()
+{
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    Addr node = head_;
+    std::uint64_t guard = size_ * 2 + 16;
+    while (node != kNullAddr && guard-- > 0) {
+        ctx_.heap.touch(node);
+        const Addr payload = ctx_.heap.loadPtr(node + kPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.touch(payload);
+        node = ctx_.heap.loadPtr(node + kNextOff);
+    }
+}
+
+Addr
+Dll::nodeAt(std::uint64_t index)
+{
+    Addr node = head_;
+    while (node != kNullAddr && index-- > 0)
+        node = ctx_.heap.loadPtr(node + kNextOff);
+    return node;
+}
+
+void
+Dll::clear()
+{
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    std::uint64_t guard = size_ + 16;
+    while (head_ != kNullAddr && guard-- > 0)
+        popFront();
+    head_ = tail_ = cursor_ = kNullAddr;
+    size_ = 0;
+}
+
+} // namespace istl
+
+} // namespace heapmd

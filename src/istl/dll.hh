@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Instrumented doubly-linked list (the Figure 1 structure).
+ */
+
+#ifndef HEAPMD_ISTL_DLL_HH
+#define HEAPMD_ISTL_DLL_HH
+
+#include <cstdint>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Doubly-linked list whose nodes live in the simulated heap.
+ *
+ * Node layout (40 bytes):
+ *   +0  payload pointer (optional separately allocated leaf)
+ *   +8  next pointer
+ *   +16 prev pointer
+ *   +24 two data words
+ *
+ * Interior nodes normally have indegree 2 (predecessor's next and
+ * successor's prev).  Injection site: FaultKind::DllMissingPrev makes
+ * insertAfter() skip the prev-pointer updates, exactly the bug of
+ * Figure 1, leaving the new node with indegree 1.
+ */
+class Dll
+{
+  public:
+    static constexpr std::uint64_t kNodeSize = 40;
+    static constexpr std::uint64_t kPayloadOff = 0;
+    static constexpr std::uint64_t kNextOff = 8;
+    static constexpr std::uint64_t kPrevOff = 16;
+    static constexpr std::uint64_t kDataOff = 24;
+
+    /**
+     * @param ctx          shared instrumentation context.
+     * @param payload_size bytes of leaf payload per node; 0 for none.
+     */
+    Dll(Context &ctx, std::uint64_t payload_size = 0);
+
+    ~Dll();
+
+    Dll(const Dll &) = delete;
+    Dll &operator=(const Dll &) = delete;
+
+    /** Append at the tail. @return the new node's address. */
+    Addr pushBack();
+
+    /** Prepend at the head. @return the new node's address. */
+    Addr pushFront();
+
+    /**
+     * Insert right after @p node (the Figure 1 code path).
+     * Injection site for DllMissingPrev.
+     * @return the new node's address.
+     */
+    Addr insertAfter(Addr node);
+
+    /**
+     * Advance the list's roving cursor by @p advance nodes (wrapping
+     * to the head) and insert after it -- the cheap way a program
+     * inserts at uniformly distributed interior positions.
+     * @return the new node's address.
+     */
+    Addr insertAtCursor(std::uint64_t advance);
+
+    /** Node under the roving cursor (kNullAddr when empty). */
+    Addr cursor() const { return cursor_; }
+
+    /** Unlink and free the head node (no-op when empty). */
+    void popFront();
+
+    /**
+     * Unlink and free @p node using its next/prev pointers, as the
+     * program under test would; with corrupted prev pointers the
+     * unlink is (realistically) incomplete.
+     */
+    void remove(Addr node);
+
+    /**
+     * Attach an externally owned payload to @p node (shared-state
+     * scenarios).  Frees any payload this list owned on that node.
+     */
+    void sharePayload(Addr node, Addr payload);
+
+    /**
+     * Take ownership of @p payload on @p node: the list frees it
+     * with the node.  Frees any payload the node already owned.
+     */
+    void adoptPayload(Addr node, Addr payload);
+
+    /** Walk the list touching every node (and payload). */
+    void traverse();
+
+    /** Node at walk position @p index, or kNullAddr past the end. */
+    Addr nodeAt(std::uint64_t index);
+
+    /** Free all nodes (and owned payloads). */
+    void clear();
+
+    std::uint64_t size() const { return size_; }
+
+    Addr head() const { return head_; }
+    Addr tail() const { return tail_; }
+
+  private:
+    Addr allocNode();
+    void freeNode(Addr node);
+
+    Context &ctx_;
+    std::uint64_t payload_size_;
+    Addr head_ = kNullAddr;
+    Addr tail_ = kNullAddr;
+    Addr cursor_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    FnId fn_push_, fn_insert_, fn_remove_, fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_DLL_HH

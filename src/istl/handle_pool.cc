@@ -1,0 +1,93 @@
+#include "istl/handle_pool.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+HandlePool::HandlePool(Context &ctx, std::uint64_t payload_size)
+    : ctx_(ctx), payload_size_(payload_size),
+      fn_acquire_(ctx.heap.intern("HandlePool::acquire")),
+      fn_release_(ctx.heap.intern("HandlePool::release")),
+      fn_retarget_(ctx.heap.intern("HandlePool::retarget"))
+{
+    if (payload_size_ == 0)
+        HEAPMD_PANIC("HandlePool payloads must be non-empty");
+}
+
+HandlePool::~HandlePool()
+{
+    clear();
+}
+
+Addr
+HandlePool::acquire()
+{
+    FunctionScope scope(ctx_.heap, fn_acquire_);
+    const Addr handle = ctx_.heap.malloc(kHandleSize);
+    const Addr payload = ctx_.heap.malloc(payload_size_);
+    ctx_.heap.storePtr(handle + kPayloadOff, payload);
+    ctx_.heap.storeData(handle + 8, ctx_.rng() & 0xFFFF);
+    handles_.push_back(handle);
+    return handle;
+}
+
+void
+HandlePool::releaseRandom()
+{
+    if (handles_.empty())
+        return;
+    FunctionScope scope(ctx_.heap, fn_release_);
+    const std::size_t i = ctx_.rng.below(handles_.size());
+    const Addr handle = handles_[i];
+    const Addr payload = ctx_.heap.loadPtr(handle + kPayloadOff);
+    if (payload != kNullAddr)
+        ctx_.heap.free(payload);
+    ctx_.heap.free(handle);
+    handles_[i] = handles_.back();
+    handles_.pop_back();
+}
+
+void
+HandlePool::retargetRandom()
+{
+    if (handles_.empty())
+        return;
+    FunctionScope scope(ctx_.heap, fn_retarget_);
+    const Addr handle = handles_[ctx_.rng.below(handles_.size())];
+    const Addr old = ctx_.heap.loadPtr(handle + kPayloadOff);
+    if (old != kNullAddr)
+        ctx_.heap.free(old);
+    const Addr fresh = ctx_.heap.malloc(payload_size_);
+    ctx_.heap.storePtr(handle + kPayloadOff, fresh);
+}
+
+void
+HandlePool::touchAll()
+{
+    for (Addr handle : handles_) {
+        ctx_.heap.touch(handle);
+        const Addr payload = ctx_.heap.loadPtr(handle + kPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.touch(payload);
+    }
+}
+
+void
+HandlePool::clear()
+{
+    for (Addr handle : handles_) {
+        const Addr payload = ctx_.heap.loadPtr(handle + kPayloadOff);
+        if (payload != kNullAddr)
+            ctx_.heap.free(payload);
+        ctx_.heap.free(handle);
+    }
+    handles_.clear();
+}
+
+} // namespace istl
+
+} // namespace heapmd

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instrumented handle pool: root objects holding exactly one pointer.
+ */
+
+#ifndef HEAPMD_ISTL_HANDLE_POOL_HH
+#define HEAPMD_ISTL_HANDLE_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * A pool of handle objects, each referenced only from the program
+ * stack/globals and holding a single pointer to a separately
+ * allocated payload -- the classic "pin/net handle" pattern of EDA
+ * netlists.  A handle has indegree 0 and outdegree 1 (so it counts
+ * toward Outdeg=1 but not In=Out); its payload has indegree 1 and
+ * outdegree 0.
+ *
+ * Handle layout (16 bytes): +0 payload pointer, +8 data word.
+ */
+class HandlePool
+{
+  public:
+    static constexpr std::uint64_t kHandleSize = 16;
+    static constexpr std::uint64_t kPayloadOff = 0;
+
+    /**
+     * @param ctx          shared instrumentation context.
+     * @param payload_size bytes per payload object (> 0).
+     */
+    HandlePool(Context &ctx, std::uint64_t payload_size);
+    ~HandlePool();
+
+    HandlePool(const HandlePool &) = delete;
+    HandlePool &operator=(const HandlePool &) = delete;
+
+    /** Allocate one handle + payload. @return the handle address. */
+    Addr acquire();
+
+    /** Free a random handle and its payload (no-op when empty). */
+    void releaseRandom();
+
+    /** Re-point a random handle at a freshly allocated payload. */
+    void retargetRandom();
+
+    /** Touch every handle and payload. */
+    void touchAll();
+
+    /** Free everything. */
+    void clear();
+
+    std::uint64_t size() const { return handles_.size(); }
+
+  private:
+    Context &ctx_;
+    std::uint64_t payload_size_;
+    std::vector<Addr> handles_; // program-side (stack/global) roots
+    FnId fn_acquire_, fn_release_, fn_retarget_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_HANDLE_POOL_HH

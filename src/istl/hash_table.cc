@@ -1,0 +1,160 @@
+#include "istl/hash_table.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+HashTable::HashTable(Context &ctx, std::uint64_t bucket_count,
+                     std::uint64_t payload_size)
+    : ctx_(ctx), bucket_count_(bucket_count),
+      payload_size_(payload_size),
+      degraded_hash_(ctx.fire(FaultKind::BadHashFunction)),
+      fn_insert_(ctx.heap.intern("HashTable::insert")),
+      fn_find_(ctx.heap.intern("HashTable::find")),
+      fn_erase_(ctx.heap.intern("HashTable::erase")),
+      fn_clear_(ctx.heap.intern("HashTable::clear"))
+{
+    if (bucket_count_ == 0)
+        HEAPMD_PANIC("hash table needs at least one bucket");
+    buckets_ = ctx_.heap.malloc(bucket_count_ * 8);
+}
+
+HashTable::~HashTable()
+{
+    clear();
+    ctx_.heap.free(buckets_);
+}
+
+std::uint64_t
+HashTable::hash(std::uint64_t key) const
+{
+    if (degraded_hash_) {
+        // BUG (injected): "a poorly chosen hash-function that caused
+        // significant collisions" -- everything lands in <= 7 chains.
+        return (key % 7) % bucket_count_;
+    }
+    std::uint64_t state = key;
+    return splitMix64(state) % bucket_count_;
+}
+
+Addr
+HashTable::bucketSlot(std::uint64_t key) const
+{
+    return buckets_ + 8 * hash(key);
+}
+
+Addr
+HashTable::insert(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_insert_);
+
+    // Keys live below the heap base, so key words stored through the
+    // pointer path never alias a live object (and stay readable).
+    const Addr slot = bucketSlot(key);
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    ctx_.heap.storePtr(node + kKeyOff, key);
+    if (payload_size_ > 0) {
+        const Addr payload = ctx_.heap.malloc(payload_size_);
+        ctx_.heap.storePtr(node + kValueOff, payload);
+    }
+    ctx_.heap.storeData(node + kDataOff, ctx_.rng() & 0xFFFF);
+
+    const Addr head = ctx_.heap.loadPtr(slot);
+    ctx_.heap.storePtr(node + kNextOff, head);
+    ctx_.heap.storePtr(slot, node);
+    ++size_;
+    return node;
+}
+
+Addr
+HashTable::find(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_find_);
+    Addr walk = ctx_.heap.loadPtr(bucketSlot(key));
+    std::uint64_t guard = size_ + 16;
+    while (walk != kNullAddr && guard-- > 0) {
+        ctx_.heap.touch(walk);
+        if (ctx_.heap.loadPtr(walk + kKeyOff) == key)
+            return walk;
+        walk = ctx_.heap.loadPtr(walk + kNextOff);
+    }
+    return kNullAddr;
+}
+
+bool
+HashTable::erase(std::uint64_t key)
+{
+    FunctionScope scope(ctx_.heap, fn_erase_);
+    const Addr slot = bucketSlot(key);
+    Addr prev_slot = slot;
+    Addr walk = ctx_.heap.loadPtr(slot);
+    std::uint64_t guard = size_ + 16;
+    while (walk != kNullAddr && guard-- > 0) {
+        if (ctx_.heap.loadPtr(walk + kKeyOff) == key) {
+            const Addr next = ctx_.heap.loadPtr(walk + kNextOff);
+            ctx_.heap.storePtr(prev_slot, next);
+            const Addr payload = ctx_.heap.loadPtr(walk + kValueOff);
+            if (payload != kNullAddr)
+                ctx_.heap.free(payload);
+            ctx_.heap.free(walk);
+            --size_;
+            return true;
+        }
+        prev_slot = walk + kNextOff;
+        walk = ctx_.heap.loadPtr(walk + kNextOff);
+    }
+    return false;
+}
+
+Addr
+HashTable::payloadOf(std::uint64_t key)
+{
+    const Addr node = find(key);
+    if (node == kNullAddr)
+        return kNullAddr;
+    return ctx_.heap.loadPtr(node + kValueOff);
+}
+
+void
+HashTable::clear()
+{
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    for (std::uint64_t b = 0; b < bucket_count_; ++b) {
+        const Addr slot = buckets_ + 8 * b;
+        Addr walk = ctx_.heap.loadPtr(slot);
+        std::uint64_t guard = size_ + 16;
+        while (walk != kNullAddr && guard-- > 0) {
+            const Addr next = ctx_.heap.loadPtr(walk + kNextOff);
+            const Addr payload = ctx_.heap.loadPtr(walk + kValueOff);
+            if (payload != kNullAddr)
+                ctx_.heap.free(payload);
+            ctx_.heap.free(walk);
+            walk = next;
+        }
+        ctx_.heap.storePtr(slot, kNullAddr);
+    }
+    size_ = 0;
+}
+
+std::uint64_t
+HashTable::chainLength(std::uint64_t b)
+{
+    if (b >= bucket_count_)
+        return 0;
+    Addr walk = ctx_.heap.loadPtr(buckets_ + 8 * b);
+    std::uint64_t len = 0;
+    std::uint64_t guard = size_ + 16;
+    while (walk != kNullAddr && guard-- > 0) {
+        ++len;
+        walk = ctx_.heap.loadPtr(walk + kNextOff);
+    }
+    return len;
+}
+
+} // namespace istl
+
+} // namespace heapmd

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instrumented chained hash table (the Section 4.3 "performance bug"
+ * structure).
+ */
+
+#ifndef HEAPMD_ISTL_HASH_TABLE_HH
+#define HEAPMD_ISTL_HASH_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Separate-chaining hash table.
+ *
+ * The bucket array is a single heap object of bucket_count pointer
+ * slots; chain nodes (40 bytes: +0 key word, +8 value payload
+ * pointer, +16 next pointer, +24 data) hang off it.
+ *
+ * Injection site: FaultKind::BadHashFunction (decided at
+ * construction) degrades the hash to key % 7 so all entries collide
+ * into at most seven chains -- the "poorly chosen hash-function"
+ * performance bug of Section 4.3.  The bucket array's outdegree
+ * collapses and chain nodes shift the outdegree distribution.
+ */
+class HashTable
+{
+  public:
+    static constexpr std::uint64_t kNodeSize = 40;
+    static constexpr std::uint64_t kKeyOff = 0;
+    static constexpr std::uint64_t kValueOff = 8;
+    static constexpr std::uint64_t kNextOff = 16;
+    static constexpr std::uint64_t kDataOff = 24;
+
+    /**
+     * @param ctx          shared instrumentation context.
+     * @param bucket_count buckets in the array object.
+     * @param payload_size bytes of value payload per entry (0: none).
+     */
+    HashTable(Context &ctx, std::uint64_t bucket_count,
+              std::uint64_t payload_size = 0);
+    ~HashTable();
+
+    HashTable(const HashTable &) = delete;
+    HashTable &operator=(const HashTable &) = delete;
+
+    /**
+     * Insert (or overwrite) @p key.
+     * @return the chain node's address.
+     */
+    Addr insert(std::uint64_t key);
+
+    /** Chain walk for @p key (touches the chain). */
+    Addr find(std::uint64_t key);
+
+    /** Remove @p key when present. @return true when removed. */
+    bool erase(std::uint64_t key);
+
+    /** Value payload of @p key's node, or kNullAddr. */
+    Addr payloadOf(std::uint64_t key);
+
+    /** Free every chain node (the bucket array stays). */
+    void clear();
+
+    std::uint64_t size() const { return size_; }
+
+    /** The bucket-array object's address. */
+    Addr bucketArray() const { return buckets_; }
+
+    std::uint64_t bucketCount() const { return bucket_count_; }
+
+    /** Length of the chain in bucket @p b (touches the chain). */
+    std::uint64_t chainLength(std::uint64_t b);
+
+  private:
+    std::uint64_t hash(std::uint64_t key) const;
+    Addr bucketSlot(std::uint64_t key) const;
+
+    Context &ctx_;
+    std::uint64_t bucket_count_;
+    std::uint64_t payload_size_;
+    bool degraded_hash_;
+    Addr buckets_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    FnId fn_insert_, fn_find_, fn_erase_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_HASH_TABLE_HH

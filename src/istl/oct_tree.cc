@@ -1,0 +1,149 @@
+#include "istl/oct_tree.hh"
+
+#include <unordered_set>
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+OctTree::OctTree(Context &ctx)
+    : ctx_(ctx),
+      fn_build_(ctx.heap.intern("OctTree::build")),
+      fn_traverse_(ctx.heap.intern("OctTree::traverse")),
+      fn_clear_(ctx.heap.intern("OctTree::clear"))
+{
+}
+
+OctTree::~OctTree()
+{
+    clear();
+}
+
+void
+OctTree::build(std::uint32_t depth, double branch_prob)
+{
+    FunctionScope scope(ctx_.heap, fn_build_);
+    clear();
+    share_pool_.assign(depth + 1, {});
+    root_ = buildRec(depth, branch_prob);
+    share_pool_.clear();
+}
+
+Addr
+OctTree::buildRec(std::uint32_t depth, double branch_prob)
+{
+    const Addr node = ctx_.heap.malloc(kNodeSize);
+    nodes_.push_back(node);
+    ctx_.heap.storeData(node + kDataOff, ctx_.rng() & 0xFFFF);
+
+    if (depth > 0) {
+        for (std::uint32_t c = 0; c < kFanout; ++c) {
+            if (!ctx_.rng.chance(branch_prob))
+                continue;
+            Addr child = kNullAddr;
+            auto &pool = share_pool_[depth - 1];
+            if (!pool.empty() && ctx_.fire(FaultKind::OctTreeDag)) {
+                // BUG (injected): reuse an already-built subtree of
+                // the same depth instead of allocating a fresh one
+                // -- the construction produces an oct-DAG.
+                child = pool[ctx_.rng.below(pool.size())];
+            } else {
+                child = buildRec(depth - 1, branch_prob);
+                pool.push_back(child);
+            }
+            ctx_.heap.storePtr(node + kChildOff + 8 * c, child);
+        }
+    }
+    return node;
+}
+
+void
+OctTree::buildBudget(std::uint64_t node_budget, double branch_prob)
+{
+    FunctionScope scope(ctx_.heap, fn_build_);
+    clear();
+    if (node_budget == 0)
+        return;
+
+    const auto make_node = [this]() {
+        const Addr node = ctx_.heap.malloc(kNodeSize);
+        nodes_.push_back(node);
+        ctx_.heap.storeData(node + kDataOff, ctx_.rng() & 0xFFFF);
+        return node;
+    };
+
+    std::uint64_t remaining = node_budget;
+    root_ = make_node();
+    --remaining;
+
+    // Breadth-first: every popped node receives children while the
+    // budget lasts; recently built nodes double as the DAG share
+    // pool.
+    std::vector<Addr> frontier{root_};
+    std::vector<Addr> pool;
+    std::size_t head = 0;
+    while (remaining > 0 && head < frontier.size()) {
+        const Addr node = frontier[head++];
+        for (std::uint32_t c = 0; c < kFanout && remaining > 0; ++c) {
+            if (!ctx_.rng.chance(branch_prob))
+                continue;
+            Addr child = kNullAddr;
+            if (!pool.empty() && ctx_.fire(FaultKind::OctTreeDag)) {
+                // BUG (injected): reuse an existing subtree -- the
+                // construction produces an oct-DAG.
+                child = pool[ctx_.rng.below(pool.size())];
+            } else {
+                child = make_node();
+                --remaining;
+                frontier.push_back(child);
+                pool.push_back(child);
+            }
+            ctx_.heap.storePtr(node + kChildOff + 8 * c, child);
+        }
+    }
+}
+
+void
+OctTree::traverse()
+{
+    if (root_ == kNullAddr)
+        return;
+    FunctionScope scope(ctx_.heap, fn_traverse_);
+    std::unordered_set<Addr> seen;
+    std::vector<Addr> stack{root_};
+    while (!stack.empty()) {
+        const Addr node = stack.back();
+        stack.pop_back();
+        if (!seen.insert(node).second)
+            continue; // shared subtree: visit once
+        ctx_.heap.touch(node);
+        for (std::uint32_t c = 0; c < kFanout; ++c) {
+            const Addr child =
+                ctx_.heap.loadPtr(node + kChildOff + 8 * c);
+            if (child != kNullAddr)
+                stack.push_back(child);
+        }
+    }
+}
+
+void
+OctTree::clear()
+{
+    if (nodes_.empty()) {
+        root_ = kNullAddr;
+        return;
+    }
+    FunctionScope scope(ctx_.heap, fn_clear_);
+    // Free by allocation record rather than by pointer chasing: every
+    // node is freed exactly once even when the structure is a DAG.
+    for (Addr node : nodes_)
+        ctx_.heap.free(node);
+    nodes_.clear();
+    root_ = kNullAddr;
+}
+
+} // namespace istl
+
+} // namespace heapmd

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Instrumented oct-tree (the Section 4.3 "oct-DAG" structure).
+ */
+
+#ifndef HEAPMD_ISTL_OCT_TREE_HH
+#define HEAPMD_ISTL_OCT_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "istl/context.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+namespace istl
+{
+
+/**
+ * Oct-tree with eight child pointers per node and no parent pointers
+ * (as in spatial-partitioning game code).
+ *
+ * Node layout (80 bytes): eight child pointers at +0..+56, two data
+ * words at +64/+72.  Every non-root node normally has indegree
+ * exactly 1, so the %indegree=1 metric on an oct-tree-heavy heap is
+ * high and stable.
+ *
+ * Injection site: FaultKind::OctTreeDag makes build() reuse an
+ * already-built subtree instead of allocating a new child -- "a
+ * mistake in an oct-tree construction routine that produced an
+ * oct-DAG instead" (Section 4.3).  Shared nodes acquire indegree
+ * >= 2, pinning %indegree=1 at a stable minimum extreme: the paper's
+ * only *poorly disguised* bug.
+ */
+class OctTree
+{
+  public:
+    static constexpr std::uint64_t kNodeSize = 80;
+    static constexpr std::uint64_t kChildOff = 0; //!< 8 slots
+    static constexpr std::uint64_t kDataOff = 64;
+    static constexpr std::uint32_t kFanout = 8;
+
+    explicit OctTree(Context &ctx);
+    ~OctTree();
+
+    OctTree(const OctTree &) = delete;
+    OctTree &operator=(const OctTree &) = delete;
+
+    /**
+     * Build a tree of the given depth; each child slot is populated
+     * with probability @p branch_prob.  Replaces any existing tree.
+     */
+    void build(std::uint32_t depth, double branch_prob = 0.85);
+
+    /**
+     * Build breadth-first until roughly @p node_budget nodes are
+     * allocated (exact up to the last level).  Branching processes
+     * have enormous size variance; spatial partitioning code sizes
+     * its tree to the scene, so workloads use this deterministic
+     * variant.  Injection site for OctTreeDag, as with build().
+     */
+    void buildBudget(std::uint64_t node_budget,
+                     double branch_prob = 0.85);
+
+    /** Touch every reachable node once (DAG-safe). */
+    void traverse();
+
+    /** Free every node (DAG- and double-free-safe by construction). */
+    void clear();
+
+    /** Nodes allocated by the last build(). */
+    std::uint64_t size() const { return nodes_.size(); }
+
+    Addr root() const { return root_; }
+
+  private:
+    Addr buildRec(std::uint32_t depth, double branch_prob);
+
+    Context &ctx_;
+    Addr root_ = kNullAddr;
+    /** All allocated nodes (each exactly once, even when shared). */
+    std::vector<Addr> nodes_;
+    /** Recently built subtrees, per depth, for DAG sharing. */
+    std::vector<std::vector<Addr>> share_pool_;
+    FnId fn_build_, fn_traverse_, fn_clear_;
+};
+
+} // namespace istl
+
+} // namespace heapmd
+
+#endif // HEAPMD_ISTL_OCT_TREE_HH

@@ -1,0 +1,34 @@
+#include "metrics/metric.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+const std::array<std::string, kNumMetrics> kNames = {
+    "Root", "Indeg=1", "Indeg=2", "Leaves", "Outdeg=1", "Outdeg=2",
+    "In=Out",
+};
+
+} // namespace
+
+const std::string &
+metricName(MetricId id)
+{
+    return kNames[metricIndex(id)];
+}
+
+MetricId
+metricFromName(const std::string &name)
+{
+    for (MetricId id : kAllMetrics) {
+        if (kNames[metricIndex(id)] == name)
+            return id;
+    }
+    HEAPMD_PANIC("unknown metric name '", name, "'");
+}
+
+} // namespace heapmd

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Identifiers for the heap-graph degree metrics.
+ */
+
+#ifndef HEAPMD_METRICS_METRIC_HH
+#define HEAPMD_METRICS_METRIC_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace heapmd
+{
+
+/**
+ * The seven degree-based metrics of Section 2.1, in paper order.
+ * Each is a percentage of live heap-graph vertices.
+ */
+enum class MetricId : std::size_t
+{
+    Roots,   //!< % vertices with indegree = 0
+    Indeg1,  //!< % vertices with indegree = 1
+    Indeg2,  //!< % vertices with indegree = 2
+    Leaves,  //!< % vertices with outdegree = 0
+    Outdeg1, //!< % vertices with outdegree = 1
+    Outdeg2, //!< % vertices with outdegree = 2
+    InEqOut, //!< % vertices with indegree = outdegree
+};
+
+/** Number of core metrics. */
+inline constexpr std::size_t kNumMetrics = 7;
+
+/** All metric ids, for iteration. */
+inline constexpr std::array<MetricId, kNumMetrics> kAllMetrics = {
+    MetricId::Roots,   MetricId::Indeg1,  MetricId::Indeg2,
+    MetricId::Leaves,  MetricId::Outdeg1, MetricId::Outdeg2,
+    MetricId::InEqOut,
+};
+
+/** Zero-based index of a metric id. */
+constexpr std::size_t
+metricIndex(MetricId id)
+{
+    return static_cast<std::size_t>(id);
+}
+
+/** Short display name matching the paper's tables (e.g. "Outdeg=1"). */
+const std::string &metricName(MetricId id);
+
+/** Parse a short display name back to an id; panics on unknown name. */
+MetricId metricFromName(const std::string &name);
+
+} // namespace heapmd
+
+#endif // HEAPMD_METRICS_METRIC_HH

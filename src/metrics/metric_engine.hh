@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Computes metric samples from a heap-graph snapshot.
+ */
+
+#ifndef HEAPMD_METRICS_METRIC_ENGINE_HH
+#define HEAPMD_METRICS_METRIC_ENGINE_HH
+
+#include "metrics/metric_sample.hh"
+
+namespace heapmd
+{
+
+class HeapGraph;
+
+/**
+ * Stateless sampler: turns the heap-graph's degree census into the
+ * seven percentage metrics.  O(1) per sample thanks to the
+ * incrementally maintained DegreeHistogram.
+ */
+class MetricEngine
+{
+  public:
+    /** Sample the core metrics at the given point. */
+    static MetricSample sample(const HeapGraph &graph, Tick tick,
+                               std::uint64_t point_index);
+
+    /**
+     * Sample the extension metrics (component structure).
+     * O(V + E); intended for low-rate sampling only.
+     */
+    static ExtendedSample sampleExtended(const HeapGraph &graph,
+                                         Tick tick,
+                                         std::uint64_t point_index);
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_METRICS_METRIC_ENGINE_HH

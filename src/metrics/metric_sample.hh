@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One observation of all metrics at a metric computation point.
+ */
+
+#ifndef HEAPMD_METRICS_METRIC_SAMPLE_HH
+#define HEAPMD_METRICS_METRIC_SAMPLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "metrics/metric.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/**
+ * Values of the seven degree metrics (percent of vertices, 0..100) at
+ * one metric computation point, plus enough context to anchor it in
+ * the run.
+ */
+struct MetricSample
+{
+    /** Event time when the sample was taken. */
+    Tick tick = 0;
+
+    /** Ordinal of the metric computation point (0-based). */
+    std::uint64_t pointIndex = 0;
+
+    /** Live vertex count at the sample (0 => values are all 0). */
+    std::uint64_t vertexCount = 0;
+
+    /** Distinct edge count at the sample. */
+    std::uint64_t edgeCount = 0;
+
+    /** Metric values, indexed by metricIndex(). */
+    std::array<double, kNumMetrics> values{};
+
+    /** Value of a metric by id. */
+    double
+    value(MetricId id) const
+    {
+        return values[metricIndex(id)];
+    }
+};
+
+/**
+ * Optional whole-graph extension metrics (Section 2.1 lists component
+ * counts as candidate metrics).  Sampled at a lower rate because they
+ * cost O(V + E).
+ */
+struct ExtendedSample
+{
+    Tick tick = 0;
+    std::uint64_t pointIndex = 0;
+    std::uint64_t componentCount = 0;   //!< weakly-connected components
+    std::uint64_t largestComponent = 0; //!< vertices in the largest
+    std::uint64_t sccCount = 0;         //!< strongly-connected comps
+    double meanComponentSize = 0.0;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_METRICS_METRIC_SAMPLE_HH

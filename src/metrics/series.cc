@@ -1,0 +1,78 @@
+#include "metrics/series.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+void
+MetricSeries::push(const MetricSample &sample)
+{
+    samples_.push_back(sample);
+}
+
+const MetricSample &
+MetricSeries::at(std::size_t i) const
+{
+    if (i >= samples_.size())
+        HEAPMD_PANIC("MetricSeries index ", i, " out of range ",
+                     samples_.size());
+    return samples_[i];
+}
+
+std::vector<double>
+MetricSeries::valuesOf(MetricId id) const
+{
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    for (const MetricSample &s : samples_)
+        out.push_back(s.value(id));
+    return out;
+}
+
+std::pair<std::size_t, std::size_t>
+MetricSeries::trimmedRange(double fraction) const
+{
+    if (fraction < 0.0 || fraction >= 0.5)
+        HEAPMD_PANIC("trim fraction ", fraction, " must be in [0, 0.5)");
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return {0, n};
+    std::size_t cut = static_cast<std::size_t>(
+        std::floor(static_cast<double>(n) * fraction));
+    // Keep at least two points so a change series exists.
+    while (cut > 0 && n - 2 * cut < 2)
+        --cut;
+    return {cut, n - cut};
+}
+
+std::vector<double>
+MetricSeries::trimmedValuesOf(MetricId id, double fraction) const
+{
+    const auto [first, last] = trimmedRange(fraction);
+    std::vector<double> out;
+    out.reserve(last - first);
+    for (std::size_t i = first; i < last; ++i)
+        out.push_back(samples_[i].value(id));
+    return out;
+}
+
+std::vector<double>
+fluctuationOf(const std::vector<double> &values, double zero_guard)
+{
+    std::vector<double> out;
+    if (values.size() < 2)
+        return out;
+    out.reserve(values.size() - 1);
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+        const double base = values[i];
+        if (std::fabs(base) < zero_guard)
+            continue;
+        out.push_back((values[i + 1] - base) / base * 100.0);
+    }
+    return out;
+}
+
+} // namespace heapmd

@@ -1,0 +1,145 @@
+#include "model/model.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+void
+HeapModel::addEntry(const Entry &entry)
+{
+    if (isStable(entry.id))
+        HEAPMD_PANIC("duplicate model entry for ",
+                     metricName(entry.id));
+    if (entry.minValue > entry.maxValue)
+        HEAPMD_PANIC("model entry with min > max for ",
+                     metricName(entry.id));
+    entries_.push_back(entry);
+}
+
+std::size_t
+HeapModel::globallyStableMetricCount() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.locallyStable ? 0 : 1;
+    return n;
+}
+
+std::size_t
+HeapModel::locallyStableMetricCount() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.locallyStable ? 1 : 0;
+    return n;
+}
+
+bool
+HeapModel::isStable(MetricId id) const
+{
+    return entry(id).has_value();
+}
+
+std::optional<HeapModel::Entry>
+HeapModel::entry(MetricId id) const
+{
+    for (const Entry &e : entries_) {
+        if (e.id == id)
+            return e;
+    }
+    return std::nullopt;
+}
+
+bool
+HeapModel::violates(MetricId id, double value) const
+{
+    const auto e = entry(id);
+    if (!e)
+        return false;
+    return value < e->minValue || value > e->maxValue;
+}
+
+void
+HeapModel::save(std::ostream &os) const
+{
+    os << "heapmd-model v1\n";
+    os << "program " << programName << '\n';
+    os << "runs " << trainingRuns << '\n';
+    os.precision(17);
+    for (const Entry &e : entries_) {
+        os << "metric " << metricName(e.id)
+           << " kind " << (e.locallyStable ? "local" : "global")
+           << " min " << e.minValue
+           << " max " << e.maxValue
+           << " avg " << e.avgChange
+           << " std " << e.stdDev
+           << " stable_runs " << e.stableRuns << '\n';
+    }
+    for (MetricId id : unstableMetrics)
+        os << "unstable " << metricName(id) << '\n';
+    os << "end\n";
+}
+
+HeapModel
+HeapModel::load(std::istream &is)
+{
+    HeapModel model;
+    std::string line;
+
+    if (!std::getline(is, line) || line != "heapmd-model v1")
+        HEAPMD_FATAL("not a heapmd model (bad header)");
+
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "program") {
+            std::string rest;
+            std::getline(ls, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            model.programName = rest;
+        } else if (key == "runs") {
+            ls >> model.trainingRuns;
+        } else if (key == "metric") {
+            Entry e;
+            std::string name, token, kind;
+            ls >> name >> token;
+            if (token == "kind") { // current format
+                ls >> kind >> token;
+                e.locallyStable = kind == "local";
+            } // else: legacy format without the kind field
+            std::string kmax, kavg, kstd, kruns;
+            ls >> e.minValue >> kmax >> e.maxValue >> kavg >>
+                e.avgChange >> kstd >> e.stdDev >> kruns >>
+                e.stableRuns;
+            if (!ls || token != "min" || kmax != "max" ||
+                kavg != "avg" || kstd != "std" ||
+                kruns != "stable_runs") {
+                HEAPMD_FATAL("malformed model metric line: ", line);
+            }
+            e.id = metricFromName(name);
+            model.addEntry(e);
+        } else if (key == "unstable") {
+            std::string name;
+            ls >> name;
+            model.unstableMetrics.push_back(metricFromName(name));
+        } else if (key == "end") {
+            saw_end = true;
+            break;
+        } else {
+            HEAPMD_FATAL("unknown model key '", key, "'");
+        }
+    }
+    if (!saw_end)
+        HEAPMD_FATAL("model document missing 'end'");
+    return model;
+}
+
+} // namespace heapmd

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The calibrated heap-behaviour model produced by training.
+ */
+
+#ifndef HEAPMD_MODEL_MODEL_HH
+#define HEAPMD_MODEL_MODEL_HH
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/metric.hh"
+
+namespace heapmd
+{
+
+/**
+ * The "summarized metric report" of Section 2.1: for each metric that
+ * was identified as globally stable during training, the minimum and
+ * maximum values it attained across the stable training runs.  This
+ * is the entire model the anomaly detector checks against.
+ */
+class HeapModel
+{
+  public:
+    /** Calibration record of one stable metric. */
+    struct Entry
+    {
+        MetricId id = MetricId::Roots;
+        double minValue = 0.0;   //!< calibrated range lower bound
+        double maxValue = 0.0;   //!< calibrated range upper bound
+        double avgChange = 0.0;  //!< mean avg-%-change over stable runs
+        double stdDev = 0.0;     //!< mean change-stddev over stable runs
+        std::size_t stableRuns = 0; //!< training inputs it was stable on
+
+        /**
+         * True for *locally* stable metrics (Section 2.1: flat within
+         * program phases, spiky across them).  These are an opt-in
+         * extension the paper lists as future work; the detector
+         * checks them against a widened range (phase spikes are
+         * expected excursions, not anomalies).
+         */
+        bool locallyStable = false;
+    };
+
+    /** Name of the program the model was calibrated for. */
+    std::string programName;
+
+    /** Number of training inputs consumed. */
+    std::size_t trainingRuns = 0;
+
+    /** Add a stable-metric calibration (one per metric at most). */
+    void addEntry(const Entry &entry);
+
+    /** True when @p id was identified as globally stable. */
+    bool isStable(MetricId id) const;
+
+    /** Calibration of @p id, or nullopt when not stable. */
+    std::optional<Entry> entry(MetricId id) const;
+
+    /** All stable-metric calibrations, in metric order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /**
+     * Metrics that were *never* stable on any training input.  The
+     * execution checker uses these for the "pathological bug" check
+     * (Section 4.1: normally unstable metrics becoming stable).
+     */
+    std::vector<MetricId> unstableMetrics;
+
+    /** Number of stable metrics (global + local entries). */
+    std::size_t stableMetricCount() const { return entries_.size(); }
+
+    /** Number of globally stable entries only. */
+    std::size_t globallyStableMetricCount() const;
+
+    /** Number of locally stable entries only. */
+    std::size_t locallyStableMetricCount() const;
+
+    /**
+     * True when @p value violates the calibrated range of @p id.
+     * Always false for metrics that are not in the model.
+     */
+    bool violates(MetricId id, double value) const;
+
+    /** Serialize as a line-oriented text document. */
+    void save(std::ostream &os) const;
+
+    /** Parse a document produced by save(); fatal on malformed. */
+    static HeapModel load(std::istream &is);
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_MODEL_MODEL_HH

@@ -1,0 +1,85 @@
+#include "model/model_diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace heapmd
+{
+
+std::string
+ModelDiff::describe() const
+{
+    if (metrics.empty())
+        return "models agree: no stability or range changes\n";
+    std::ostringstream os;
+    for (const MetricDiff &d : metrics) {
+        os << metricName(d.id) << ": ";
+        switch (d.kind) {
+          case MetricDiff::Kind::GainedStability:
+            os << "GAINED stability, new range [" << d.newMin << ", "
+               << d.newMax << "]";
+            break;
+          case MetricDiff::Kind::LostStability:
+            os << "LOST stability (was [" << d.oldMin << ", "
+               << d.oldMax << "])";
+            break;
+          case MetricDiff::Kind::RangeShifted:
+            os << "range moved [" << d.oldMin << ", " << d.oldMax
+               << "] -> [" << d.newMin << ", " << d.newMax
+               << "] (shift " << d.shift << ")";
+            break;
+          case MetricDiff::Kind::Unchanged:
+            os << "unchanged";
+            break;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+ModelDiff
+diffModels(const HeapModel &older, const HeapModel &newer,
+           double shift_tolerance)
+{
+    ModelDiff diff;
+    for (MetricId id : kAllMetrics) {
+        const auto old_entry = older.entry(id);
+        const auto new_entry = newer.entry(id);
+        if (!old_entry && !new_entry)
+            continue;
+
+        MetricDiff d;
+        d.id = id;
+        if (old_entry) {
+            d.oldMin = old_entry->minValue;
+            d.oldMax = old_entry->maxValue;
+        }
+        if (new_entry) {
+            d.newMin = new_entry->minValue;
+            d.newMax = new_entry->maxValue;
+        }
+
+        if (old_entry && !new_entry) {
+            d.kind = MetricDiff::Kind::LostStability;
+        } else if (!old_entry && new_entry) {
+            d.kind = MetricDiff::Kind::GainedStability;
+        } else {
+            const double span =
+                std::max(d.oldMax - d.oldMin, 1e-9);
+            const double moved =
+                std::max(std::fabs(d.newMin - d.oldMin),
+                         std::fabs(d.newMax - d.oldMax));
+            d.shift = moved / span;
+            const bool notable = d.shift > shift_tolerance &&
+                                 moved > 1.0; // >1 percentage point
+            d.kind = notable ? MetricDiff::Kind::RangeShifted
+                             : MetricDiff::Kind::Unchanged;
+        }
+        if (d.kind != MetricDiff::Kind::Unchanged)
+            diff.metrics.push_back(d);
+    }
+    return diff;
+}
+
+} // namespace heapmd

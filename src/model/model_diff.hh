@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Model diffing: the "program evolution" application of Section 6.
+ *
+ * "HeapMD's ability to identify stable characteristics of the
+ * heap-graph ... can potentially be used to aid software evolution by
+ * tracking important changes in the heap behavior of different
+ * versions of software."  Comparing two calibrated models shows
+ * exactly that: which metrics gained or lost stability between
+ * builds, and how far the calibrated ranges moved.
+ */
+
+#ifndef HEAPMD_MODEL_MODEL_DIFF_HH
+#define HEAPMD_MODEL_MODEL_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "model/model.hh"
+
+namespace heapmd
+{
+
+/** One metric's change between two models. */
+struct MetricDiff
+{
+    enum class Kind
+    {
+        GainedStability, //!< stable in new, not in old
+        LostStability,   //!< stable in old, not in new
+        RangeShifted,    //!< stable in both, range moved notably
+        Unchanged,       //!< stable in both, ranges agree
+    };
+
+    MetricId id = MetricId::Roots;
+    Kind kind = Kind::Unchanged;
+
+    /** Old calibration (zeroed when not stable in the old model). */
+    double oldMin = 0.0, oldMax = 0.0;
+
+    /** New calibration (zeroed when not stable in the new model). */
+    double newMin = 0.0, newMax = 0.0;
+
+    /**
+     * Range movement score: max bound displacement as a fraction of
+     * the old span (0 when either side is missing).
+     */
+    double shift = 0.0;
+};
+
+/** Full comparison of two models. */
+struct ModelDiff
+{
+    std::vector<MetricDiff> metrics; //!< one entry per changed metric
+
+    /** True when no metric changed stability or range. */
+    bool unchanged() const { return metrics.empty(); }
+
+    /** Human-readable report. */
+    std::string describe() const;
+};
+
+/**
+ * Compare @p older and @p newer.
+ *
+ * @param shift_tolerance ranges whose bounds move by less than this
+ *        fraction of the old span (and less than 1 percentage point)
+ *        count as unchanged; Figure 7(B) shows clean builds move
+ *        their ranges barely at all.
+ */
+ModelDiff diffModels(const HeapModel &older, const HeapModel &newer,
+                     double shift_tolerance = 0.15);
+
+} // namespace heapmd
+
+#endif // HEAPMD_MODEL_MODEL_DIFF_HH

@@ -1,0 +1,212 @@
+#include "model/summarizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+MetricSummarizer::MetricSummarizer(SummarizerConfig config)
+    : config_(config)
+{
+    if (config_.stableInputFraction <= 0.0 ||
+        config_.stableInputFraction > 1.0) {
+        HEAPMD_FATAL("stableInputFraction must be in (0, 1]");
+    }
+}
+
+void
+MetricSummarizer::addRun(const MetricSeries &series)
+{
+    RunAnalysis analysis;
+    analysis.label = series.label;
+    for (MetricId id : kAllMetrics) {
+        const std::size_t i = metricIndex(id);
+        analysis.perMetric[i] =
+            analyzeMetric(series, id, config_.thresholds);
+        analysis.stable[i] =
+            isGloballyStable(analysis.perMetric[i], config_.thresholds);
+        analysis.klass[i] =
+            classify(analysis.perMetric[i], config_.thresholds);
+    }
+    runs_.push_back(std::move(analysis));
+}
+
+std::size_t
+MetricSummarizer::stableRunCount(MetricId id) const
+{
+    const std::size_t i = metricIndex(id);
+    std::size_t count = 0;
+    for (const RunAnalysis &run : runs_)
+        count += run.stable[i] ? 1 : 0;
+    return count;
+}
+
+std::vector<bool>
+MetricSummarizer::rejectOutliers(MetricId id,
+                                 std::vector<bool> qualifying) const
+{
+    const std::size_t i = metricIndex(id);
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < qualifying.size(); ++r)
+        count += qualifying[r] ? 1 : 0;
+    if (count < 3 || config_.outlierGapFraction < 0.0)
+        return qualifying; // too few runs to call anything an outlier
+
+    // Leave-one-out: a run whose envelope sits far beyond the range
+    // of the *other* stable runs carries a bug that manifested during
+    // training; clean extremal runs extend the range only modestly.
+    std::vector<bool> keep = qualifying;
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        if (!qualifying[r])
+            continue;
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (std::size_t o = 0; o < runs_.size(); ++o) {
+            if (!qualifying[o] || o == r)
+                continue;
+            lo = std::min(lo, runs_[o].perMetric[i].minValue);
+            hi = std::max(hi, runs_[o].perMetric[i].maxValue);
+        }
+        const double margin =
+            std::max(config_.outlierGapFraction * (hi - lo),
+                     config_.outlierGapFloor);
+        const FluctuationSummary &fs = runs_[r].perMetric[i];
+        if (fs.maxValue > hi + margin || fs.minValue < lo - margin)
+            keep[r] = false;
+    }
+    return keep;
+}
+
+std::vector<bool>
+MetricSummarizer::rangeContributors(MetricId id) const
+{
+    const std::size_t i = metricIndex(id);
+    std::vector<bool> qualifying(runs_.size(), false);
+    for (std::size_t r = 0; r < runs_.size(); ++r)
+        qualifying[r] = runs_[r].stable[i];
+    return rejectOutliers(id, std::move(qualifying));
+}
+
+std::optional<HeapModel::Entry>
+MetricSummarizer::buildEntry(MetricId id,
+                             const std::vector<bool> &included,
+                             std::size_t stable_runs,
+                             bool locally_stable) const
+{
+    const std::size_t i = metricIndex(id);
+    HeapModel::Entry entry;
+    entry.id = id;
+    entry.stableRuns = stable_runs;
+    entry.locallyStable = locally_stable;
+    entry.minValue = std::numeric_limits<double>::infinity();
+    entry.maxValue = -std::numeric_limits<double>::infinity();
+    double avg_sum = 0.0, std_sum = 0.0;
+    std::size_t contributors = 0;
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        if (!included[r])
+            continue;
+        const FluctuationSummary &fs = runs_[r].perMetric[i];
+        entry.minValue = std::min(entry.minValue, fs.minValue);
+        entry.maxValue = std::max(entry.maxValue, fs.maxValue);
+        avg_sum += fs.avgChange;
+        std_sum += fs.stdDev;
+        ++contributors;
+    }
+    if (contributors == 0)
+        return std::nullopt;
+    entry.avgChange = avg_sum / static_cast<double>(contributors);
+    entry.stdDev = std_sum / static_cast<double>(contributors);
+    if (entry.maxValue < config_.minMeaningfulValue)
+        return std::nullopt; // degenerate near-zero metric
+    return entry;
+}
+
+HeapModel
+MetricSummarizer::buildModel(const std::string &program_name) const
+{
+    HeapModel model;
+    model.programName = program_name;
+    model.trainingRuns = runs_.size();
+    if (runs_.empty())
+        return model;
+
+    const std::size_t needed = std::max<std::size_t>(
+        config_.minStableRuns,
+        static_cast<std::size_t>(std::ceil(
+            config_.stableInputFraction *
+            static_cast<double>(runs_.size()))));
+
+    for (MetricId id : kAllMetrics) {
+        const std::size_t stable_runs = stableRunCount(id);
+        if (stable_runs < needed)
+            continue;
+        const auto entry = buildEntry(id, rangeContributors(id),
+                                      stable_runs, false);
+        if (entry)
+            model.addEntry(*entry);
+    }
+
+    if (config_.includeLocallyStable) {
+        // Future-work extension: metrics that are at least locally
+        // stable (flat within phases) on enough inputs, and not
+        // already in the model as globally stable.
+        for (MetricId id : kAllMetrics) {
+            if (model.isStable(id))
+                continue;
+            const std::size_t i = metricIndex(id);
+            std::vector<bool> qualifying(runs_.size(), false);
+            std::size_t count = 0;
+            for (std::size_t r = 0; r < runs_.size(); ++r) {
+                qualifying[r] =
+                    runs_[r].klass[i] != Stability::Unstable;
+                count += qualifying[r] ? 1 : 0;
+            }
+            if (count < needed)
+                continue;
+            const auto entry = buildEntry(
+                id, rejectOutliers(id, std::move(qualifying)), count,
+                true);
+            if (entry)
+                model.addEntry(*entry);
+        }
+    }
+
+    // Metrics never stable on any input feed the pathological check.
+    for (MetricId id : kAllMetrics) {
+        if (stableRunCount(id) == 0)
+            model.unstableMetrics.push_back(id);
+    }
+    return model;
+}
+
+std::vector<std::size_t>
+MetricSummarizer::suspectTrainingRuns(const HeapModel &model) const
+{
+    std::vector<std::size_t> suspects;
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        bool out_of_range = false;
+        for (const HeapModel::Entry &e : model.entries()) {
+            const std::size_t i = metricIndex(e.id);
+            const FluctuationSummary &fs = runs_[r].perMetric[i];
+            if (runs_[r].stable[i] && rangeContributors(e.id)[r])
+                continue; // this run contributed to the range
+            const double slack = std::max(
+                config_.suspectSlackFraction *
+                    (e.maxValue - e.minValue),
+                config_.suspectSlackAbs);
+            if (fs.minValue < e.minValue - slack ||
+                fs.maxValue > e.maxValue + slack) {
+                out_of_range = true;
+                break;
+            }
+        }
+        if (out_of_range)
+            suspects.push_back(r);
+    }
+    return suspects;
+}
+
+} // namespace heapmd

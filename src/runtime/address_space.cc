@@ -1,0 +1,86 @@
+#include "runtime/address_space.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+std::uint64_t
+AddressSpace::roundToClass(std::uint64_t size)
+{
+    if (size == 0)
+        size = 1;
+    if (size <= 256)
+        return (size + 15) & ~std::uint64_t{15};
+    if (size <= 4096)
+        return (size + 63) & ~std::uint64_t{63};
+    return (size + 4095) & ~std::uint64_t{4095};
+}
+
+Addr
+AddressSpace::allocate(std::uint64_t size)
+{
+    const std::uint64_t cls = roundToClass(size);
+    ++stats_.allocs;
+
+    auto it = free_lists_.find(cls);
+    if (it != free_lists_.end() && !it->second.empty()) {
+        const Addr addr = it->second.back();
+        it->second.pop_back();
+        live_.emplace(addr, cls);
+        ++stats_.reusedBlocks;
+        return addr;
+    }
+
+    const Addr addr = next_;
+    next_ += cls;
+    if (next_ < addr)
+        HEAPMD_PANIC("synthetic address space exhausted");
+    live_.emplace(addr, cls);
+    stats_.bumpBytes += cls;
+    return addr;
+}
+
+bool
+AddressSpace::release(Addr addr)
+{
+    auto it = live_.find(addr);
+    if (it == live_.end()) {
+        ++stats_.doubleFrees;
+        return false;
+    }
+    free_lists_[it->second].push_back(addr);
+    live_.erase(it);
+    ++stats_.frees;
+    return true;
+}
+
+Addr
+AddressSpace::reallocate(Addr addr, std::uint64_t new_size)
+{
+    if (addr == kNullAddr)
+        return allocate(new_size);
+    auto it = live_.find(addr);
+    if (it == live_.end())
+        HEAPMD_PANIC("reallocate of unknown block ", addr);
+    const std::uint64_t new_cls = roundToClass(new_size);
+    if (new_cls == it->second)
+        return addr; // same bin: grow/shrink in place
+    release(addr);
+    return allocate(new_size);
+}
+
+std::uint64_t
+AddressSpace::blockSize(Addr addr) const
+{
+    auto it = live_.find(addr);
+    return it == live_.end() ? 0 : it->second;
+}
+
+bool
+AddressSpace::isLive(Addr addr) const
+{
+    return live_.count(addr) != 0;
+}
+
+} // namespace heapmd

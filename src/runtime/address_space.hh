@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic synthetic heap address space.
+ *
+ * The synthetic workloads do not allocate from the host heap; they
+ * draw addresses from this allocator so that (a) runs are bit-stable
+ * across machines, (b) traces replay exactly, and (c) freed addresses
+ * are *reused* through size-class free lists, so stale pointers can
+ * re-bind to new objects exactly as on a real heap.
+ */
+
+#ifndef HEAPMD_RUNTIME_ADDRESS_SPACE_HH
+#define HEAPMD_RUNTIME_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/**
+ * Bump allocator with LIFO size-class free lists.
+ *
+ * All blocks are aligned to 16 bytes.  Sizes are rounded up to a size
+ * class (16-byte steps to 256, 64-byte steps to 4 KiB, then 4 KiB
+ * pages), mimicking a production allocator's binning so address reuse
+ * across same-class objects is common.
+ */
+class AddressSpace
+{
+  public:
+    /** Heap base; chosen away from 0 so kNullAddr is never mapped. */
+    static constexpr Addr kHeapBase = 0x10000000ull;
+
+    /** Block alignment in bytes. */
+    static constexpr std::uint64_t kAlignment = 16;
+
+    /** Statistics for tests and the overhead bench. */
+    struct Stats
+    {
+        std::uint64_t allocs = 0;
+        std::uint64_t frees = 0;
+        std::uint64_t reusedBlocks = 0; //!< allocs served by free lists
+        std::uint64_t bumpBytes = 0;    //!< fresh bytes carved
+        std::uint64_t doubleFrees = 0;  //!< rejected frees
+    };
+
+    /**
+     * Reserve a block of at least @p size bytes (size 0 is promoted
+     * to 1, as with malloc).  @return the block's start address.
+     */
+    Addr allocate(std::uint64_t size);
+
+    /**
+     * Release the block starting at @p addr.
+     * @return false (and count a double free) when @p addr is not a
+     *         currently allocated block; the call is then a no-op.
+     */
+    bool release(Addr addr);
+
+    /**
+     * Move semantics of realloc over the synthetic space: same size
+     * class stays in place, otherwise allocate-new/release-old.
+     * @return the (possibly unchanged) block address.
+     */
+    Addr reallocate(Addr addr, std::uint64_t new_size);
+
+    /** Rounded (size-class) size of a live block; 0 when unknown. */
+    std::uint64_t blockSize(Addr addr) const;
+
+    /** True when @p addr is the start of a live block. */
+    bool isLive(Addr addr) const;
+
+    /** Number of live blocks. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    const Stats &stats() const { return stats_; }
+
+    /** Size-class rounding used by the allocator (exposed for tests). */
+    static std::uint64_t roundToClass(std::uint64_t size);
+
+  private:
+    Addr next_ = kHeapBase;
+    std::unordered_map<Addr, std::uint64_t> live_; // addr -> class size
+    std::unordered_map<std::uint64_t, std::vector<Addr>> free_lists_;
+    Stats stats_;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_RUNTIME_ADDRESS_SPACE_HH

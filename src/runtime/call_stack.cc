@@ -1,0 +1,75 @@
+#include "runtime/call_stack.hh"
+
+#include <algorithm>
+
+namespace heapmd
+{
+
+FnId
+FunctionRegistry::intern(const std::string &name)
+{
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    const FnId id = static_cast<FnId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+}
+
+std::string
+FunctionRegistry::name(FnId fn) const
+{
+    if (fn < names_.size())
+        return names_[fn];
+    return "<fn#" + std::to_string(fn) + ">";
+}
+
+void
+CallStack::pop(FnId fn)
+{
+    // Common case: balanced.
+    if (!frames_.empty() && frames_.back() == fn) {
+        frames_.pop_back();
+        return;
+    }
+    // Tolerate unwinding past frames (longjmp/exceptions): pop down
+    // to the matching frame when one exists.
+    auto it = std::find(frames_.rbegin(), frames_.rend(), fn);
+    if (it != frames_.rend())
+        frames_.erase(std::prev(it.base()), frames_.end());
+}
+
+FnId
+CallStack::top() const
+{
+    return frames_.empty() ? kNoFunction : frames_.back();
+}
+
+std::vector<FnId>
+CallStack::capture(std::size_t max_frames) const
+{
+    std::vector<FnId> out;
+    const std::size_t n = frames_.size();
+    const std::size_t take =
+        (max_frames == 0) ? n : std::min(max_frames, n);
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i)
+        out.push_back(frames_[n - 1 - i]);
+    return out;
+}
+
+std::string
+formatStack(const std::vector<FnId> &frames,
+            const FunctionRegistry &registry)
+{
+    std::string out;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i)
+            out += " <- ";
+        out += registry.name(frames[i]);
+    }
+    return out.empty() ? "<empty stack>" : out;
+}
+
+} // namespace heapmd

@@ -1,0 +1,102 @@
+#include "runtime/events.hh"
+
+namespace heapmd
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Alloc:
+        return "alloc";
+      case EventKind::Free:
+        return "free";
+      case EventKind::Realloc:
+        return "realloc";
+      case EventKind::Write:
+        return "write";
+      case EventKind::Read:
+        return "read";
+      case EventKind::FnEnter:
+        return "fn-enter";
+      case EventKind::FnExit:
+        return "fn-exit";
+    }
+    return "unknown";
+}
+
+Event
+Event::alloc(Addr addr, std::uint64_t size)
+{
+    Event e;
+    e.kind = EventKind::Alloc;
+    e.addr = addr;
+    e.size = size;
+    return e;
+}
+
+Event
+Event::free(Addr addr)
+{
+    Event e;
+    e.kind = EventKind::Free;
+    e.addr = addr;
+    return e;
+}
+
+Event
+Event::realloc(Addr old_addr, Addr new_addr, std::uint64_t size)
+{
+    Event e;
+    e.kind = EventKind::Realloc;
+    e.addr = old_addr;
+    e.value = new_addr;
+    e.size = size;
+    return e;
+}
+
+Event
+Event::write(Addr addr, Addr value)
+{
+    Event e;
+    e.kind = EventKind::Write;
+    e.addr = addr;
+    e.value = value;
+    return e;
+}
+
+Event
+Event::read(Addr addr)
+{
+    Event e;
+    e.kind = EventKind::Read;
+    e.addr = addr;
+    return e;
+}
+
+Event
+Event::fnEnter(FnId fn)
+{
+    Event e;
+    e.kind = EventKind::FnEnter;
+    e.fn = fn;
+    return e;
+}
+
+Event
+Event::fnExit(FnId fn)
+{
+    Event e;
+    e.kind = EventKind::FnExit;
+    e.fn = fn;
+    return e;
+}
+
+bool
+operator==(const Event &a, const Event &b)
+{
+    return a.kind == b.kind && a.fn == b.fn && a.addr == b.addr &&
+           a.value == b.value && a.size == b.size;
+}
+
+} // namespace heapmd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The event vocabulary produced by instrumented execution.
+ *
+ * This is the substitution for Vulcan binary instrumentation (see
+ * DESIGN.md): whatever the paper's rewritten binary reported to the
+ * execution logger, our instrumented runtime reports as a stream of
+ * these events.  The same stream can be recorded to a trace and
+ * replayed offline (the paper's post-mortem design).
+ */
+
+#ifndef HEAPMD_RUNTIME_EVENTS_HH
+#define HEAPMD_RUNTIME_EVENTS_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/** Kinds of instrumentation events. */
+enum class EventKind : std::uint8_t
+{
+    Alloc,   //!< heap allocation: addr, size
+    Free,    //!< heap deallocation: addr
+    Realloc, //!< heap reallocation: addr (old), value (new addr), size
+    Write,   //!< pointer-sized store: addr, value
+    Read,    //!< pointer-sized load / access: addr
+    FnEnter, //!< function entry: fn
+    FnExit,  //!< function exit: fn
+};
+
+/** Display name of an event kind. */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One instrumentation event.  A flat POD so the trace codec can write
+ * it compactly; unused fields are zero for a given kind.
+ */
+struct Event
+{
+    EventKind kind = EventKind::Write;
+    FnId fn = kNoFunction;    //!< FnEnter/FnExit
+    Addr addr = kNullAddr;    //!< Alloc/Free/Realloc(old)/Write/Read
+    Addr value = kNullAddr;   //!< Write value; Realloc new address
+    std::uint64_t size = 0;   //!< Alloc/Realloc size
+
+    static Event alloc(Addr addr, std::uint64_t size);
+    static Event free(Addr addr);
+    static Event realloc(Addr old_addr, Addr new_addr,
+                         std::uint64_t size);
+    static Event write(Addr addr, Addr value);
+    static Event read(Addr addr);
+    static Event fnEnter(FnId fn);
+    static Event fnExit(FnId fn);
+};
+
+bool operator==(const Event &a, const Event &b);
+
+} // namespace heapmd
+
+#endif // HEAPMD_RUNTIME_EVENTS_HH

@@ -1,0 +1,145 @@
+#include "runtime/heap_api.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+HeapApi::HeapApi(Process &process)
+    : process_(process)
+{
+}
+
+Addr
+HeapApi::malloc(std::uint64_t size)
+{
+    if (size == 0)
+        size = 1;
+    const Addr addr = space_.allocate(size);
+    sizes_.emplace(addr, size);
+    process_.onAlloc(addr, size);
+    return addr;
+}
+
+void
+HeapApi::free(Addr addr)
+{
+    // Report first: a buggy double free is still an observable event.
+    process_.onFree(addr);
+    auto it = sizes_.find(addr);
+    if (it == sizes_.end())
+        return; // invalid free; the logger counted it
+    eraseShadowRange(addr, it->second);
+    sizes_.erase(it);
+    space_.release(addr);
+}
+
+Addr
+HeapApi::realloc(Addr addr, std::uint64_t new_size)
+{
+    if (addr == kNullAddr)
+        return malloc(new_size);
+    auto it = sizes_.find(addr);
+    if (it == sizes_.end())
+        HEAPMD_PANIC("realloc of unknown block ", addr);
+
+    if (new_size == 0) {
+        free(addr);
+        return kNullAddr;
+    }
+
+    const std::uint64_t old_size = it->second;
+    const Addr new_addr = space_.reallocate(addr, new_size);
+
+    if (new_addr == addr) {
+        if (new_size < old_size)
+            eraseShadowRange(addr + new_size, old_size - new_size);
+        it->second = new_size;
+    } else {
+        // Copy surviving pointer slots (memcpy semantics).
+        std::vector<std::pair<Addr, Addr>> moved;
+        const std::uint64_t copy_len =
+            new_size < old_size ? new_size : old_size;
+        auto lo = shadow_.lower_bound(addr);
+        auto hi = shadow_.lower_bound(addr + copy_len);
+        for (auto s = lo; s != hi; ++s)
+            moved.emplace_back(new_addr + (s->first - addr), s->second);
+        eraseShadowRange(addr, old_size);
+        sizes_.erase(it);
+        sizes_.emplace(new_addr, new_size);
+        for (const auto &[slot, value] : moved)
+            shadow_.emplace(slot, value);
+    }
+
+    process_.onRealloc(addr, new_addr, new_size);
+    return new_addr;
+}
+
+void
+HeapApi::storePtr(Addr slot, Addr value)
+{
+    if (value == kNullAddr)
+        shadow_.erase(slot);
+    else
+        shadow_[slot] = value;
+    process_.onWrite(slot, value);
+}
+
+Addr
+HeapApi::loadPtr(Addr slot)
+{
+    process_.onRead(slot);
+    auto it = shadow_.find(slot);
+    return it == shadow_.end() ? kNullAddr : it->second;
+}
+
+void
+HeapApi::storeData(Addr slot, std::uint64_t value)
+{
+    // Data words are not kept in shadow memory (only pointers are
+    // read back by the workloads), but the store is still observable.
+    process_.onWrite(slot, value);
+}
+
+void
+HeapApi::touch(Addr addr)
+{
+    process_.onRead(addr);
+}
+
+FnId
+HeapApi::intern(const std::string &name)
+{
+    return process_.registry().intern(name);
+}
+
+void
+HeapApi::fnEnter(FnId fn)
+{
+    process_.onFnEnter(fn);
+}
+
+void
+HeapApi::fnExit(FnId fn)
+{
+    process_.onFnExit(fn);
+}
+
+std::uint64_t
+HeapApi::blockSize(Addr addr) const
+{
+    auto it = sizes_.find(addr);
+    return it == sizes_.end() ? 0 : it->second;
+}
+
+void
+HeapApi::eraseShadowRange(Addr base, std::uint64_t len)
+{
+    auto lo = shadow_.lower_bound(base);
+    auto hi = shadow_.lower_bound(base + len);
+    shadow_.erase(lo, hi);
+}
+
+} // namespace heapmd

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The instrumented program's view of its heap.
+ *
+ * HeapApi is the substitution for a Vulcan-instrumented binary: every
+ * allocation, deallocation, pointer store and pointer load performed
+ * through it is reported to the execution logger (Process) as the
+ * event the rewritten binary would have produced.  The synthetic
+ * workloads (src/istl, src/apps) perform *all* of their heap work
+ * through this class, including reading their own pointers back from
+ * the simulated memory, so the monitored heap genuinely lives here.
+ */
+
+#ifndef HEAPMD_RUNTIME_HEAP_API_HH
+#define HEAPMD_RUNTIME_HEAP_API_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/address_space.hh"
+#include "runtime/process.hh"
+#include "support/types.hh"
+
+namespace heapmd
+{
+
+/**
+ * Program-side heap: a synthetic address space plus a shadow word
+ * store for pointer slots, with full instrumentation event emission.
+ */
+class HeapApi
+{
+  public:
+    /** @param process the execution logger receiving our events. */
+    explicit HeapApi(Process &process);
+
+    HeapApi(const HeapApi &) = delete;
+    HeapApi &operator=(const HeapApi &) = delete;
+
+    /** Allocate @p size bytes; reports an Alloc event. */
+    Addr malloc(std::uint64_t size);
+
+    /**
+     * Free the block at @p addr; reports a Free event even when the
+     * free is invalid (double free), exactly as an instrumented
+     * buggy binary would.
+     */
+    void free(Addr addr);
+
+    /**
+     * Reallocate to @p new_size; memcpy semantics for stored pointer
+     * slots.  Reports a Realloc event.  @return the new block address.
+     */
+    Addr realloc(Addr addr, std::uint64_t new_size);
+
+    /** Store pointer @p value at @p slot; reports a Write event. */
+    void storePtr(Addr slot, Addr value);
+
+    /**
+     * Load the pointer stored at @p slot; reports a Read event.
+     * @return kNullAddr when the slot holds no pointer.
+     */
+    Addr loadPtr(Addr slot);
+
+    /**
+     * Store a non-pointer word; reports a Write event carrying the
+     * raw value.  (A value that happens to land inside a live object
+     * will create an edge -- the tool is type-blind, as in the paper.)
+     */
+    void storeData(Addr slot, std::uint64_t value);
+
+    /** Report a Read access at @p addr (feeds SWAT's staleness). */
+    void touch(Addr addr);
+
+    /** Intern a function name in the shared registry. */
+    FnId intern(const std::string &name);
+
+    /** Report entry into @p fn. */
+    void fnEnter(FnId fn);
+
+    /** Report exit from @p fn. */
+    void fnExit(FnId fn);
+
+    /** Requested (un-rounded) size of a live block; 0 when unknown. */
+    std::uint64_t blockSize(Addr addr) const;
+
+    /** True when @p addr starts a live block. */
+    bool isLive(Addr addr) const { return sizes_.count(addr) != 0; }
+
+    /** Number of live blocks (program's own view). */
+    std::size_t liveCount() const { return sizes_.size(); }
+
+    /** The underlying synthetic address space (for tests/benches). */
+    const AddressSpace &space() const { return space_; }
+
+    /** The logger this program reports to. */
+    Process &process() { return process_; }
+
+  private:
+    /** Drop shadow slots in [base, base + len). */
+    void eraseShadowRange(Addr base, std::uint64_t len);
+
+    Process &process_;
+    AddressSpace space_;
+    /** Live blocks: requested size by address. */
+    std::unordered_map<Addr, std::uint64_t> sizes_;
+    /** Shadow memory for pointer slots (ordered for range erase). */
+    std::map<Addr, Addr> shadow_;
+};
+
+/**
+ * RAII function-entry marker: the workload's substitute for the
+ * instrumented function prologue/epilogue.
+ */
+class FunctionScope
+{
+  public:
+    FunctionScope(HeapApi &heap, FnId fn)
+        : heap_(heap), fn_(fn)
+    {
+        heap_.fnEnter(fn_);
+    }
+
+    ~FunctionScope() { heap_.fnExit(fn_); }
+
+    FunctionScope(const FunctionScope &) = delete;
+    FunctionScope &operator=(const FunctionScope &) = delete;
+
+  private:
+    HeapApi &heap_;
+    FnId fn_;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_RUNTIME_HEAP_API_HH

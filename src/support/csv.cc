@@ -1,0 +1,49 @@
+#include "support/csv.hh"
+
+#include <cstdio>
+
+namespace heapmd
+{
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells, int digits)
+{
+    char buf[64];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        std::snprintf(buf, sizeof(buf), "%.*f", digits, cells[i]);
+        os_ << buf;
+    }
+    os_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace heapmd

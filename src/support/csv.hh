@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV emitter.
+ *
+ * The paper's GUI plotted metric series live; our substitution writes
+ * the same series as CSV so any offline plotter can render the figures
+ * (see DESIGN.md, substitutions table).
+ */
+
+#ifndef HEAPMD_SUPPORT_CSV_HH
+#define HEAPMD_SUPPORT_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace heapmd
+{
+
+/** Streaming CSV writer with RFC-4180 style quoting. */
+class CsvWriter
+{
+  public:
+    /** Write rows to @p os; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit one row of already-stringified cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Emit a row of doubles with @p digits fractional digits. */
+    void writeNumericRow(const std::vector<double> &cells,
+                         int digits = 4);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ostream &os_;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_CSV_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  -- an internal invariant of HeapMD itself broke; aborts.
+ * fatal()  -- the user asked for something impossible; exits cleanly.
+ * warn()   -- something looks off but execution can continue.
+ * inform() -- neutral progress information.
+ */
+
+#ifndef HEAPMD_SUPPORT_LOGGING_HH
+#define HEAPMD_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace heapmd
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel
+{
+    Quiet,  //!< only panic/fatal
+    Warn,   //!< + warn
+    Info,   //!< + inform (default)
+    Debug,  //!< + debug chatter
+};
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: HeapMD's own logic is broken. */
+#define HEAPMD_PANIC(...) \
+    ::heapmd::detail::panicImpl(__FILE__, __LINE__, \
+                                ::heapmd::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user configuration is unusable. */
+#define HEAPMD_FATAL(...) \
+    ::heapmd::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::heapmd::detail::concat(__VA_ARGS__))
+
+/** Emit a warning (suppressible via setLogLevel). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a neutral informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit debug chatter (only at LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_LOGGING_HH

@@ -1,0 +1,132 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        HEAPMD_PANIC("Rng::below called with bound 0");
+    // Debiased via rejection on the top range.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::between(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        HEAPMD_PANIC("Rng::between called with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)()
+                                                    : below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    // Irwin-Hall with 12 uniforms: mean 6, variance 1.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+}
+
+std::size_t
+Rng::weightedPick(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            HEAPMD_PANIC("negative weight in weightedPick");
+        total += w;
+    }
+    if (total <= 0.0)
+        HEAPMD_PANIC("weightedPick requires a positive total weight");
+    double point = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        point -= weights[i];
+        if (point < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace heapmd

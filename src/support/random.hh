@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload reproducibility matters more than statistical perfection
+ * here: every synthetic application derives all of its behaviour from
+ * an input seed, so runs are bit-identical across machines.  We use
+ * xoshiro256** seeded through SplitMix64, both public domain.
+ */
+
+#ifndef HEAPMD_SUPPORT_RANDOM_HH
+#define HEAPMD_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace heapmd
+{
+
+/** SplitMix64 stepper, used for seeding and cheap hashing. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** PRNG with convenience distributions.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator, plus small
+ * helpers used throughout the synthetic workloads.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /** Approximately normal variate (sum of uniforms, Irwin-Hall). */
+    double gaussian(double mean, double stddev);
+
+    /** Pick an index according to a vector of non-negative weights. */
+    std::size_t weightedPick(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_RANDOM_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-capacity circular buffer.
+ *
+ * Used by the anomaly detector's call-stack logger (Section 2.2 of the
+ * paper): stacks are logged into a circular buffer while a stable
+ * metric approaches its calibrated extreme, so the bug report can show
+ * context before, during, and after the crossing.
+ */
+
+#ifndef HEAPMD_SUPPORT_RING_BUFFER_HH
+#define HEAPMD_SUPPORT_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+/**
+ * Bounded FIFO that overwrites its oldest element when full.
+ *
+ * @tparam T element type; must be copy- or move-assignable.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Create a buffer holding at most @p capacity elements. */
+    explicit RingBuffer(std::size_t capacity)
+        : slots_(capacity)
+    {
+        if (capacity == 0)
+            HEAPMD_PANIC("RingBuffer capacity must be positive");
+    }
+
+    /** Append, evicting the oldest element when at capacity. */
+    void
+    push(T value)
+    {
+        slots_[head_] = std::move(value);
+        head_ = (head_ + 1) % slots_.size();
+        if (size_ < slots_.size())
+            ++size_;
+    }
+
+    /** Number of live elements. */
+    std::size_t size() const { return size_; }
+
+    /** Maximum number of elements. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Element @p i, 0 = oldest surviving element. */
+    const T &
+    at(std::size_t i) const
+    {
+        if (i >= size_)
+            HEAPMD_PANIC("RingBuffer index ", i, " out of range ", size_);
+        const std::size_t start =
+            (head_ + slots_.size() - size_) % slots_.size();
+        return slots_[(start + i) % slots_.size()];
+    }
+
+    /** Copy out the live elements, oldest first. */
+    std::vector<T>
+    snapshot() const
+    {
+        std::vector<T> out;
+        out.reserve(size_);
+        for (std::size_t i = 0; i < size_; ++i)
+            out.push_back(at(i));
+        return out;
+    }
+
+    /** Drop all elements (capacity is retained). */
+    void
+    clear()
+    {
+        size_ = 0;
+        head_ = 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_RING_BUFFER_HH

@@ -1,0 +1,102 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heapmd
+{
+
+void
+RunningStats::push(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+void
+MinMax::push(double x)
+{
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+bool
+MinMax::contains(double x) const
+{
+    return !empty() && x >= min_ && x <= max_;
+}
+
+void
+MinMax::merge(const MinMax &other)
+{
+    if (other.empty())
+        return;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+meanOf(const std::vector<double> &xs)
+{
+    RunningStats rs;
+    for (double x : xs)
+        rs.push(x);
+    return rs.mean();
+}
+
+double
+stddevOf(const std::vector<double> &xs)
+{
+    RunningStats rs;
+    for (double x : xs)
+        rs.push(x);
+    return rs.stddev();
+}
+
+} // namespace heapmd

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small numeric-summary helpers used by the metric machinery.
+ */
+
+#ifndef HEAPMD_SUPPORT_STATS_HH
+#define HEAPMD_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace heapmd
+{
+
+/**
+ * Streaming mean / variance accumulator (Welford's algorithm).
+ *
+ * Numerically stable for long series, used to compute the average
+ * percentage change and standard deviation of change of heap metrics.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the summary. */
+    void push(double x);
+
+    /** Number of samples folded so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Merge another summary into this one. */
+    void merge(const RunningStats &other);
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Inclusive running [min, max] envelope. */
+class MinMax
+{
+  public:
+    /** Widen the envelope to include x. */
+    void push(double x);
+
+    /** True when no sample has been pushed. */
+    bool empty() const { return n_ == 0; }
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** max - min; 0 when empty. */
+    double span() const { return empty() ? 0.0 : max_ - min_; }
+
+    /** True when x lies within [min, max] (inclusive). */
+    bool contains(double x) const;
+
+    /** Widen to include another envelope. */
+    void merge(const MinMax &other);
+
+  private:
+    std::size_t n_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Mean of a vector; 0 when empty. */
+double meanOf(const std::vector<double> &xs);
+
+/** Population standard deviation of a vector; 0 when size < 2. */
+double stddevOf(const std::vector<double> &xs);
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_STATS_HH

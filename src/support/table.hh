@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table printer used by the bench binaries to emit the paper's
+ * tables/figure legends in a readable, diffable format.
+ */
+
+#ifndef HEAPMD_SUPPORT_TABLE_HH
+#define HEAPMD_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace heapmd
+{
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Benchmark", "# Inputs", "# Stable"});
+ *   t.addRow({"vpr", "6", "1"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with column alignment and a rule under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double value, int digits = 2);
+
+/** Format a double as a percentage string, e.g. "12.3%". */
+std::string fmtPercent(double value, int digits = 1);
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_TABLE_HH

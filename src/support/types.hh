@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared across HeapMD.
+ */
+
+#ifndef HEAPMD_SUPPORT_TYPES_HH
+#define HEAPMD_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace heapmd
+{
+
+/** A (synthetic) virtual address in the monitored program's heap. */
+using Addr = std::uint64_t;
+
+/** Identifier of a heap object (vertex of the heap-graph). */
+using ObjectId = std::uint64_t;
+
+/** Identifier of a function in the monitored program. */
+using FnId = std::uint32_t;
+
+/** Monotonic event counter (one tick per runtime event). */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNullAddr = 0;
+
+/** Sentinel for "no object". */
+inline constexpr ObjectId kNoObject = ~std::uint64_t{0};
+
+/** Sentinel for "no function". */
+inline constexpr FnId kNoFunction = ~std::uint32_t{0};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_TYPES_HH

@@ -1,0 +1,142 @@
+#include "swat/swat_detector.hh"
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+
+SwatDetector::SwatDetector(SwatConfig config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+void
+SwatDetector::attach(Process &process)
+{
+    if (process_ != nullptr)
+        HEAPMD_PANIC("SWAT detector already attached");
+    process_ = &process;
+    process.addEventObserver(this);
+}
+
+void
+SwatDetector::onEvent(const Event &event, Tick tick)
+{
+    switch (event.kind) {
+      case EventKind::Alloc: {
+        Tracked t;
+        t.size = event.size;
+        t.allocSite =
+            process_ != nullptr ? process_->callStack().top()
+                                : kNoFunction;
+        t.allocTick = tick;
+        t.lastAccess = tick; // allocation counts as an access
+        by_addr_[event.addr] = t;
+        break;
+      }
+      case EventKind::Free: {
+        auto it = by_addr_.find(event.addr);
+        if (it == by_addr_.end())
+            break;
+        // SWAT runs *during* execution: an object that sat stale past
+        // the threshold was already reported before this (cleanup)
+        // free.  Record it sticky so end-of-run teardown cannot hide
+        // the report.
+        const Tracked &t = it->second;
+        if (tick - t.allocTick >= config_.minObjectAge &&
+            tick - t.lastAccess >= config_.stalenessThreshold) {
+            LeakReport leak;
+            leak.addr = event.addr;
+            leak.size = t.size;
+            leak.allocSite = t.allocSite;
+            leak.allocTick = t.allocTick;
+            leak.lastAccess = t.lastAccess;
+            leak.staleness = tick - t.lastAccess;
+            sticky_.push_back(leak);
+        }
+        by_addr_.erase(it);
+        break;
+      }
+      case EventKind::Realloc: {
+        auto it = by_addr_.find(event.addr);
+        Tracked t;
+        if (it != by_addr_.end()) {
+            t = it->second;
+            by_addr_.erase(it);
+        } else {
+            t.allocTick = tick;
+        }
+        t.size = event.size;
+        t.lastAccess = tick;
+        if (event.size > 0)
+            by_addr_[event.value] = t;
+        break;
+      }
+      case EventKind::Write:
+      case EventKind::Read:
+        recordAccess(event.addr, tick);
+        break;
+      case EventKind::FnEnter:
+      case EventKind::FnExit:
+        break;
+    }
+}
+
+std::vector<LeakReport>
+SwatDetector::finalize(Tick end_tick) const
+{
+    std::vector<LeakReport> leaks = sticky_;
+    for (const auto &[addr, t] : by_addr_) {
+        if (end_tick - t.allocTick < config_.minObjectAge)
+            continue; // too young to judge
+        const Tick staleness = end_tick - t.lastAccess;
+        if (staleness < config_.stalenessThreshold)
+            continue;
+        LeakReport leak;
+        leak.addr = addr;
+        leak.size = t.size;
+        leak.allocSite = t.allocSite;
+        leak.allocTick = t.allocTick;
+        leak.lastAccess = t.lastAccess;
+        leak.staleness = staleness;
+        leaks.push_back(leak);
+    }
+    return leaks;
+}
+
+std::map<Addr, SwatDetector::Tracked>::iterator
+SwatDetector::ownerOf(Addr addr)
+{
+    if (by_addr_.empty())
+        return by_addr_.end();
+    auto it = by_addr_.upper_bound(addr);
+    if (it == by_addr_.begin())
+        return by_addr_.end();
+    --it;
+    const Addr start = it->first;
+    if (addr >= start && addr - start < it->second.size)
+        return it;
+    return by_addr_.end();
+}
+
+void
+SwatDetector::recordAccess(Addr addr, Tick tick)
+{
+    ++total_;
+    auto it = ownerOf(addr);
+    if (it == by_addr_.end())
+        return;
+
+    // Adaptive sampling: frequently-accessed allocation sites are
+    // observed at a decaying rate.
+    std::uint64_t &n = site_accesses_[it->second.allocSite];
+    const double rate = config_.samplingK /
+                        (config_.samplingK + static_cast<double>(n));
+    if (!rng_.chance(rate))
+        return;
+    ++n;
+    ++sampled_;
+    it->second.lastAccess = tick;
+}
+
+} // namespace heapmd

@@ -1,0 +1,60 @@
+#include "trace/trace_format.hh"
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+void
+putVarint(std::ostream &os, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>((value & 0x7F) | 0x80));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+bool
+getVarint(std::istream &is, std::uint64_t &value)
+{
+    value = 0;
+    int shift = 0;
+    for (;;) {
+        const int ch = is.get();
+        if (ch == std::char_traits<char>::eof())
+            return false;
+        const std::uint64_t byte = static_cast<std::uint64_t>(ch);
+        if (shift >= 64)
+            return false; // overlong encoding
+        value |= (byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+        shift += 7;
+    }
+}
+
+void
+putU32(std::ostream &os, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        os.put(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+bool
+getU32(std::istream &is, std::uint32_t &value)
+{
+    value = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int ch = is.get();
+        if (ch == std::char_traits<char>::eof())
+            return false;
+        value |= static_cast<std::uint32_t>(ch & 0xFF) << (8 * i);
+    }
+    return true;
+}
+
+} // namespace trace
+
+} // namespace heapmd

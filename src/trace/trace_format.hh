@@ -1,0 +1,55 @@
+/**
+ * @file
+ * On-disk format of HeapMD event traces.
+ *
+ * Layout:
+ *   magic "HMDT" | u32 version | event* | 0xFF | function table
+ *
+ * Events are encoded as a one-byte kind tag followed by the kind's
+ * fields as LEB128 varints.  The function table (names interned during
+ * the run, in id order) is appended as a footer so call stacks can be
+ * symbolized after replay.
+ */
+
+#ifndef HEAPMD_TRACE_TRACE_FORMAT_HH
+#define HEAPMD_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+/** File magic, little-endian "HMDT". */
+inline constexpr std::uint32_t kMagic = 0x54444d48u;
+
+/** Current format version. */
+inline constexpr std::uint32_t kVersion = 1;
+
+/** Footer marker byte terminating the event stream. */
+inline constexpr std::uint8_t kFooterMarker = 0xFF;
+
+/** Write an unsigned LEB128 varint. */
+void putVarint(std::ostream &os, std::uint64_t value);
+
+/**
+ * Read an unsigned LEB128 varint.
+ * @return false on end-of-stream or malformed input.
+ */
+bool getVarint(std::istream &is, std::uint64_t &value);
+
+/** Write a fixed-width little-endian u32. */
+void putU32(std::ostream &os, std::uint32_t value);
+
+/** Read a fixed-width little-endian u32. */
+bool getU32(std::istream &is, std::uint32_t &value);
+
+} // namespace trace
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_TRACE_FORMAT_HH

@@ -1,0 +1,136 @@
+#include "trace/trace_reader.hh"
+
+#include "runtime/process.hh"
+#include "support/logging.hh"
+#include "trace/trace_format.hh"
+
+namespace heapmd
+{
+
+TraceReader::TraceReader(std::istream &is)
+    : is_(is)
+{
+    std::uint32_t magic = 0, version = 0;
+    if (!trace::getU32(is_, magic) || magic != trace::kMagic)
+        HEAPMD_FATAL("not a HeapMD trace (bad magic)");
+    if (!trace::getU32(is_, version) || version != trace::kVersion)
+        HEAPMD_FATAL("unsupported trace version");
+}
+
+bool
+TraceReader::next(Event &event)
+{
+    if (done_)
+        return false;
+
+    const int tag = is_.get();
+    if (tag == std::char_traits<char>::eof()) {
+        done_ = true;
+        malformed_ = true; // no footer seen
+        return false;
+    }
+    if (static_cast<std::uint8_t>(tag) == trace::kFooterMarker) {
+        done_ = true;
+        readFooter();
+        return false;
+    }
+
+    const auto kind = static_cast<EventKind>(tag);
+    std::uint64_t a = 0, b = 0, c = 0;
+    bool ok = true;
+    event = Event{};
+    event.kind = kind;
+    switch (kind) {
+      case EventKind::Alloc:
+        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b);
+        event.addr = a;
+        event.size = b;
+        break;
+      case EventKind::Free:
+        ok = trace::getVarint(is_, a);
+        event.addr = a;
+        break;
+      case EventKind::Realloc:
+        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b) &&
+             trace::getVarint(is_, c);
+        event.addr = a;
+        event.value = b;
+        event.size = c;
+        break;
+      case EventKind::Write:
+        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b);
+        event.addr = a;
+        event.value = b;
+        break;
+      case EventKind::Read:
+        ok = trace::getVarint(is_, a);
+        event.addr = a;
+        break;
+      case EventKind::FnEnter:
+      case EventKind::FnExit:
+        ok = trace::getVarint(is_, a);
+        event.fn = static_cast<FnId>(a);
+        break;
+      default:
+        ok = false;
+        break;
+    }
+
+    if (!ok) {
+        done_ = true;
+        malformed_ = true;
+        return false;
+    }
+    ++events_;
+    return true;
+}
+
+void
+TraceReader::readFooter()
+{
+    std::uint64_t count = 0;
+    if (!trace::getVarint(is_, count)) {
+        malformed_ = true;
+        return;
+    }
+    names_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t len = 0;
+        if (!trace::getVarint(is_, len)) {
+            malformed_ = true;
+            return;
+        }
+        std::string name(len, '\0');
+        is_.read(name.data(), static_cast<std::streamsize>(len));
+        if (!is_) {
+            malformed_ = true;
+            return;
+        }
+        names_.push_back(std::move(name));
+    }
+}
+
+std::uint64_t
+replayTrace(TraceReader &reader, Process &process)
+{
+    if (process.registry().size() != 0)
+        warn("replaying into a process with a non-empty function "
+             "registry; symbolization may be wrong");
+
+    Event event;
+    std::uint64_t replayed = 0;
+    while (reader.next(event)) {
+        process.onEvent(event);
+        ++replayed;
+    }
+    if (reader.malformed())
+        warn("trace ended without a footer; replayed ", replayed,
+             " events");
+
+    // Rebuild the registry so reports symbolize correctly.
+    for (const std::string &name : reader.functionNames())
+        process.registry().intern(name);
+    return replayed;
+}
+
+} // namespace heapmd

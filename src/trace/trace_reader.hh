@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace decoder and replay.
+ */
+
+#ifndef HEAPMD_TRACE_TRACE_READER_HH
+#define HEAPMD_TRACE_TRACE_READER_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "runtime/events.hh"
+
+namespace heapmd
+{
+
+class Process;
+
+/**
+ * Pull-based decoder for traces written by TraceWriter.
+ *
+ * Usage: construct, then call next() until it returns false; the
+ * function table is available once the footer has been consumed.
+ */
+class TraceReader
+{
+  public:
+    /** @param is source stream (binary); must outlive us. */
+    explicit TraceReader(std::istream &is);
+
+    /**
+     * Decode the next event into @p event.
+     * @return false at the footer (function table is then parsed) or
+     *         on a truncated stream (malformed() will be true).
+     */
+    bool next(Event &event);
+
+    /** True when the stream ended without a well-formed footer. */
+    bool malformed() const { return malformed_; }
+
+    /** Function names from the footer, indexed by FnId. */
+    const std::vector<std::string> &functionNames() const
+    {
+        return names_;
+    }
+
+    /** Events decoded so far. */
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    void readFooter();
+
+    std::istream &is_;
+    std::vector<std::string> names_;
+    std::uint64_t events_ = 0;
+    bool done_ = false;
+    bool malformed_ = false;
+};
+
+/**
+ * Replay a whole trace into @p process.
+ *
+ * The process must be fresh (its function registry empty) so that the
+ * interned ids assigned during replay match the ids in the trace.
+ *
+ * @return number of events replayed.
+ */
+std::uint64_t replayTrace(TraceReader &reader, Process &process);
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_TRACE_READER_HH

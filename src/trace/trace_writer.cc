@@ -1,0 +1,70 @@
+#include "trace/trace_writer.hh"
+
+#include "support/logging.hh"
+#include "trace/trace_format.hh"
+
+namespace heapmd
+{
+
+TraceWriter::TraceWriter(std::ostream &os,
+                         const FunctionRegistry &registry)
+    : os_(os), registry_(registry)
+{
+    trace::putU32(os_, trace::kMagic);
+    trace::putU32(os_, trace::kVersion);
+}
+
+void
+TraceWriter::onEvent(const Event &event, Tick tick)
+{
+    (void)tick; // ticks are implicit: one per event
+    if (finished_)
+        HEAPMD_PANIC("event appended to a finished trace");
+
+    os_.put(static_cast<char>(event.kind));
+    switch (event.kind) {
+      case EventKind::Alloc:
+        trace::putVarint(os_, event.addr);
+        trace::putVarint(os_, event.size);
+        break;
+      case EventKind::Free:
+        trace::putVarint(os_, event.addr);
+        break;
+      case EventKind::Realloc:
+        trace::putVarint(os_, event.addr);
+        trace::putVarint(os_, event.value);
+        trace::putVarint(os_, event.size);
+        break;
+      case EventKind::Write:
+        trace::putVarint(os_, event.addr);
+        trace::putVarint(os_, event.value);
+        break;
+      case EventKind::Read:
+        trace::putVarint(os_, event.addr);
+        break;
+      case EventKind::FnEnter:
+      case EventKind::FnExit:
+        trace::putVarint(os_, event.fn);
+        break;
+    }
+    ++events_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_.put(static_cast<char>(trace::kFooterMarker));
+    trace::putVarint(os_, registry_.size());
+    for (std::size_t id = 0; id < registry_.size(); ++id) {
+        const std::string name = registry_.name(static_cast<FnId>(id));
+        trace::putVarint(os_, name.size());
+        os_.write(name.data(),
+                  static_cast<std::streamsize>(name.size()));
+    }
+    os_.flush();
+}
+
+} // namespace heapmd

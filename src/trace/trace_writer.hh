@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Streaming trace recorder.
+ */
+
+#ifndef HEAPMD_TRACE_TRACE_WRITER_HH
+#define HEAPMD_TRACE_TRACE_WRITER_HH
+
+#include <ostream>
+
+#include "runtime/process.hh"
+
+namespace heapmd
+{
+
+/**
+ * Records the instrumentation event stream to an ostream in the
+ * format of trace_format.hh.  Register it as an EventObserver on the
+ * monitored Process; call finish() once the run completes to append
+ * the function-name footer.
+ */
+class TraceWriter : public EventObserver
+{
+  public:
+    /**
+     * @param os       destination stream (binary); must outlive us.
+     * @param registry registry whose names the footer will carry.
+     */
+    TraceWriter(std::ostream &os, const FunctionRegistry &registry);
+
+    /** Append one event to the stream. */
+    void onEvent(const Event &event, Tick tick) override;
+
+    /**
+     * Terminate the event stream and write the function table.
+     * Idempotent; no events may be appended afterwards.
+     */
+    void finish();
+
+    /** Events written so far. */
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    std::ostream &os_;
+    const FunctionRegistry &registry_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_TRACE_WRITER_HH

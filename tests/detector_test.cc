@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests of the online anomaly detector: range checks, excursion
+ * deduplication, slope-armed call-stack logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detector/anomaly_detector.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+HeapModel
+singleMetricModel(MetricId id, double min, double max)
+{
+    HeapModel model;
+    HeapModel::Entry e;
+    e.id = id;
+    e.minValue = min;
+    e.maxValue = max;
+    model.addEntry(e);
+    return model;
+}
+
+MetricSample
+sampleAt(MetricId id, double value, std::uint64_t point)
+{
+    MetricSample s;
+    s.pointIndex = point;
+    s.tick = point * 100;
+    s.vertexCount = 1000;
+    // Park every metric mid-range so only the metric under test can
+    // trip the detector, then override it.
+    for (MetricId other : kAllMetrics)
+        s.values[metricIndex(other)] = 15.0;
+    s.values[metricIndex(id)] = value;
+    return s;
+}
+
+/** Feed a value sequence into a fresh detector; return it. */
+class DetectorHarness
+{
+  public:
+    DetectorHarness(MetricId id, double min, double max,
+                    DetectorConfig cfg = {})
+        : id_(id), model_(singleMetricModel(id, min, max)),
+          detector_(model_, cfg)
+    {
+    }
+
+    void
+    feed(const std::vector<double> &values)
+    {
+        Process process;
+        for (double v : values)
+            detector_.onSample(sampleAt(id_, v, point_++), process);
+    }
+
+    AnomalyDetector &detector() { return detector_; }
+
+  private:
+    MetricId id_;
+    HeapModel model_;
+    AnomalyDetector detector_;
+    std::uint64_t point_ = 0;
+};
+
+// Default slack for range [10, 20]: max(0.25 * 10, 1.0) = 2.5, so the
+// effective detection bounds are [7.5, 22.5].
+
+TEST(AnomalyDetectorTest, InRangeValuesProduceNoReports)
+{
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0);
+    h.feed({12, 14, 16, 18, 20, 22, 7.6});
+    h.detector().finish();
+    EXPECT_TRUE(h.detector().reports().empty());
+    EXPECT_EQ(h.detector().samplesChecked(), 7u);
+}
+
+TEST(AnomalyDetectorTest, ViolationAboveSlackReported)
+{
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0);
+    h.feed({15, 18, 21, 24, 26, 27, 27, 27});
+    h.detector().finish();
+    ASSERT_EQ(h.detector().reports().size(), 1u);
+    const BugReport &r = h.detector().reports()[0];
+    EXPECT_EQ(r.klass, BugClass::HeapAnomaly);
+    EXPECT_EQ(r.metric, MetricId::Leaves);
+    EXPECT_EQ(r.direction, AnomalyDirection::AboveMax);
+    EXPECT_GT(r.observedValue, 22.5);
+    EXPECT_DOUBLE_EQ(r.calibratedMin, 10.0);
+    EXPECT_DOUBLE_EQ(r.calibratedMax, 20.0);
+}
+
+TEST(AnomalyDetectorTest, ViolationBelowReported)
+{
+    DetectorHarness h(MetricId::Indeg1, 10.0, 20.0);
+    h.feed({15, 12, 9, 6, 5, 5, 5, 5});
+    h.detector().finish();
+    ASSERT_EQ(h.detector().reports().size(), 1u);
+    EXPECT_EQ(h.detector().reports()[0].direction,
+              AnomalyDirection::BelowMin);
+}
+
+TEST(AnomalyDetectorTest, SustainedViolationIsOneExcursion)
+{
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0);
+    std::vector<double> values(40, 30.0);
+    h.feed(values);
+    h.detector().finish();
+    EXPECT_EQ(h.detector().reports().size(), 1u);
+}
+
+TEST(AnomalyDetectorTest, SeparateExcursionsAreSeparateReports)
+{
+    DetectorConfig cfg;
+    cfg.afterSamples = 0; // finalize immediately at the crossing
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0, cfg);
+    h.feed({15, 30, 15, 15, 30, 15});
+    h.detector().finish();
+    EXPECT_EQ(h.detector().reports().size(), 2u);
+}
+
+TEST(AnomalyDetectorTest, PendingReportFlushedByFinish)
+{
+    DetectorConfig cfg;
+    cfg.afterSamples = 10; // wants 10 post-crossing samples
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0, cfg);
+    h.feed({15, 30}); // run ends right after the crossing
+    EXPECT_TRUE(h.detector().reports().empty());
+    h.detector().finish();
+    EXPECT_EQ(h.detector().reports().size(), 1u);
+}
+
+TEST(AnomalyDetectorTest, ReportCarriesContextLog)
+{
+    DetectorConfig cfg;
+    cfg.afterSamples = 2;
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0, cfg);
+    // Approach the max from below (arming), cross, then 2 more.
+    h.feed({15, 19, 21, 22, 25, 26, 26});
+    h.detector().finish();
+    ASSERT_EQ(h.detector().reports().size(), 1u);
+    EXPECT_FALSE(h.detector().reports()[0].contextLog.empty());
+}
+
+TEST(AnomalyDetectorTest, MetricsOutsideModelIgnored)
+{
+    DetectorHarness h(MetricId::Leaves, 10.0, 20.0);
+    Process process;
+    // Roots is not in the model: wild values are fine.
+    MetricSample s = sampleAt(MetricId::Roots, 99.0, 0);
+    h.detector().onSample(s, process);
+    h.detector().finish();
+    EXPECT_TRUE(h.detector().reports().empty());
+}
+
+TEST(AnomalyDetectorTest, NarrowRangeGetsAbsoluteSlack)
+{
+    // Span 0.03 -> slack = max(0.25 * 0.03, 1.0) = 1.0 percentage
+    // point: tiny wiggle cannot fire.
+    DetectorHarness h(MetricId::Roots, 0.04, 0.07);
+    h.feed({0.05, 0.10, 0.90, 1.00, 0.05});
+    h.detector().finish();
+    EXPECT_TRUE(h.detector().reports().empty());
+
+    DetectorHarness h2(MetricId::Roots, 0.04, 0.07);
+    h2.feed({0.05, 1.5, 1.5, 1.5, 1.5});
+    h2.detector().finish();
+    EXPECT_EQ(h2.detector().reports().size(), 1u);
+}
+
+TEST(AnomalyDetectorTest, AttachRegistersWithProcess)
+{
+    const HeapModel model =
+        singleMetricModel(MetricId::Leaves, 0.0, 99.0);
+    ProcessConfig pcfg;
+    pcfg.metricFrequency = 1;
+    Process process(pcfg);
+    AnomalyDetector detector(model);
+    detector.attach(process);
+    process.onFnEnter(0);
+    EXPECT_EQ(detector.samplesChecked(), 1u);
+}
+
+TEST(AnomalyDetectorDeathTest, DoubleAttachPanics)
+{
+    const HeapModel model =
+        singleMetricModel(MetricId::Leaves, 0.0, 99.0);
+    Process process;
+    AnomalyDetector detector(model);
+    detector.attach(process);
+    EXPECT_DEATH(detector.attach(process), "already attached");
+}
+
+TEST(AnomalyDetectorTest, EventLoggingWhileArmedCapturesStacks)
+{
+    // End-to-end through a live Process: approach the maximum and
+    // verify the culprit function shows up in the context log.
+    HeapModel model = singleMetricModel(MetricId::Roots, 0.0, 30.0);
+    ProcessConfig pcfg;
+    pcfg.metricFrequency = 4;
+    Process process(pcfg);
+    DetectorConfig dcfg;
+    dcfg.afterSamples = 1;
+    AnomalyDetector detector(model, dcfg);
+    detector.attach(process);
+
+    const FnId leaker = process.registry().intern("leaky_alloc");
+    const FnId other = process.registry().intern("other_work");
+    // Anchor object so percentages are defined.
+    process.onAlloc(0x100000, 64);
+    Addr next = 0x200000;
+    // Allocate isolated roots until %Roots blows past 30 + slack.
+    for (int i = 0; i < 200; ++i) {
+        process.onFnEnter(leaker);
+        process.onAlloc(next, 64);
+        next += 0x100;
+        process.onFnExit(leaker);
+        process.onFnEnter(other);
+        process.onFnExit(other);
+    }
+    detector.finish();
+    ASSERT_FALSE(detector.reports().empty());
+    const BugReport &r = detector.reports()[0];
+    EXPECT_EQ(r.metric, MetricId::Roots);
+    EXPECT_EQ(r.direction, AnomalyDirection::AboveMax);
+    ASSERT_FALSE(r.contextLog.empty());
+    // The suspect function is derivable from the log.
+    const FnId suspect = r.suspectFunction();
+    EXPECT_TRUE(suspect == leaker || suspect == other);
+    const std::string text = r.describe(process.registry());
+    EXPECT_NE(text.find("Root"), std::string::npos);
+    EXPECT_NE(text.find("above max"), std::string::npos);
+}
+
+TEST(BugReportTest, SuspectFunctionMajority)
+{
+    BugReport r;
+    StackLogEntry e1;
+    e1.frames = {7, 1};
+    StackLogEntry e2;
+    e2.frames = {7, 2};
+    StackLogEntry e3;
+    e3.frames = {9};
+    r.contextLog = {e1, e2, e3};
+    EXPECT_EQ(r.suspectFunction(), 7u);
+
+    BugReport empty;
+    EXPECT_EQ(empty.suspectFunction(), kNoFunction);
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests of the fault-injection plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "faults/fault_plan.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+TEST(FaultPlanTest, EmptyByDefault)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    Rng rng(1);
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        EXPECT_FALSE(plan.isActive(kind));
+        EXPECT_FALSE(plan.fire(kind, rng));
+        EXPECT_EQ(plan.firedCount(kind), 0u);
+    }
+}
+
+TEST(FaultPlanTest, RateOneAlwaysFires)
+{
+    FaultPlan plan;
+    plan.enable(FaultKind::TypoLeak, 1.0);
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(plan.fire(FaultKind::TypoLeak, rng));
+    EXPECT_EQ(plan.firedCount(FaultKind::TypoLeak), 50u);
+}
+
+TEST(FaultPlanTest, RateZeroNeverFires)
+{
+    FaultPlan plan;
+    plan.enable(FaultKind::TypoLeak, 0.0);
+    EXPECT_TRUE(plan.isActive(FaultKind::TypoLeak));
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(plan.fire(FaultKind::TypoLeak, rng));
+}
+
+TEST(FaultPlanTest, FractionalRateApproximated)
+{
+    FaultPlan plan;
+    plan.enable(FaultKind::SmallLeak, 0.25);
+    Rng rng(4);
+    int fired = 0;
+    for (int i = 0; i < 4000; ++i)
+        fired += plan.fire(FaultKind::SmallLeak, rng) ? 1 : 0;
+    EXPECT_NEAR(fired / 4000.0, 0.25, 0.04);
+}
+
+TEST(FaultPlanTest, BudgetCapsTriggers)
+{
+    FaultPlan plan;
+    plan.enable(FaultKind::SmallLeak, 1.0, 5);
+    Rng rng(5);
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        fired += plan.fire(FaultKind::SmallLeak, rng) ? 1 : 0;
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(plan.firedCount(FaultKind::SmallLeak), 5u);
+    plan.resetCounters();
+    EXPECT_EQ(plan.firedCount(FaultKind::SmallLeak), 0u);
+    EXPECT_TRUE(plan.fire(FaultKind::SmallLeak, rng)); // refilled
+}
+
+TEST(FaultPlanTest, ActiveKinds)
+{
+    FaultPlan plan;
+    plan.enable(FaultKind::TypoLeak, 0.5);
+    plan.enable(FaultKind::OctTreeDag, 1.0);
+    const auto kinds = plan.activeKinds();
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanDeathTest, BadRateFatal)
+{
+    FaultPlan plan;
+    EXPECT_DEATH(plan.enable(FaultKind::TypoLeak, 1.5), "rate");
+    EXPECT_DEATH(plan.enable(FaultKind::TypoLeak, -0.1), "rate");
+}
+
+TEST(FaultTaxonomyTest, CategoriesMatchThePaper)
+{
+    // Figure 8/9 ground-truth mapping.
+    EXPECT_EQ(faultCategory(FaultKind::TypoLeak),
+              BugCategory::ProgrammingTypo);
+    EXPECT_EQ(faultCategory(FaultKind::SmallLeak),
+              BugCategory::ProgrammingTypo);
+    EXPECT_EQ(faultCategory(FaultKind::CircularDanglingTail),
+              BugCategory::SharedState);
+    EXPECT_EQ(faultCategory(FaultKind::SharedStateFree),
+              BugCategory::SharedState);
+    EXPECT_EQ(faultCategory(FaultKind::DllMissingPrev),
+              BugCategory::DataStructureInvariant);
+    EXPECT_EQ(faultCategory(FaultKind::TreeMissingParent),
+              BugCategory::DataStructureInvariant);
+    EXPECT_EQ(faultCategory(FaultKind::OctTreeDag),
+              BugCategory::DataStructureInvariant);
+    EXPECT_EQ(faultCategory(FaultKind::BTreeLeafUnlinked),
+              BugCategory::DataStructureInvariant);
+    EXPECT_EQ(faultCategory(FaultKind::BadHashFunction),
+              BugCategory::Indirect);
+    EXPECT_EQ(faultCategory(FaultKind::SingleChildTree),
+              BugCategory::Indirect);
+    EXPECT_EQ(faultCategory(FaultKind::LocalizationBug),
+              BugCategory::Indirect);
+}
+
+TEST(FaultTaxonomyTest, LeakFlag)
+{
+    EXPECT_TRUE(faultLeaks(FaultKind::TypoLeak));
+    EXPECT_TRUE(faultLeaks(FaultKind::SmallLeak));
+    EXPECT_TRUE(faultLeaks(FaultKind::ReachableLeak));
+    EXPECT_FALSE(faultLeaks(FaultKind::DllMissingPrev));
+    EXPECT_FALSE(faultLeaks(FaultKind::BadHashFunction));
+}
+
+TEST(FaultTaxonomyTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i)
+        names.insert(faultKindName(static_cast<FaultKind>(i)));
+    EXPECT_EQ(names.size(), kNumFaultKinds);
+}
+
+TEST(ClassificationTest, DisplayNames)
+{
+    EXPECT_STREQ(bugClassName(BugClass::HeapAnomaly), "heap-anomaly");
+    EXPECT_STREQ(bugClassName(BugClass::PoorlyDisguised),
+                 "poorly-disguised");
+    EXPECT_STREQ(bugClassName(BugClass::Pathological), "pathological");
+    EXPECT_STREQ(bugCategoryName(BugCategory::ProgrammingTypo),
+                 "Programming Typos");
+    EXPECT_STREQ(bugCategoryName(BugCategory::SharedState),
+                 "Shared state");
+    EXPECT_STREQ(
+        bugCategoryName(BugCategory::DataStructureInvariant),
+        "Data struct. Invariants");
+    EXPECT_STREQ(bugCategoryName(BugCategory::Indirect), "Indirect");
+}
+
+} // namespace
+
+} // namespace heapmd

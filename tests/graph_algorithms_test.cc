@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests of the whole-graph component algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heapgraph/graph_algorithms.hh"
+#include "heapgraph/heap_graph.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+Addr
+addrOf(int i)
+{
+    return 0x1000 + 0x100 * static_cast<Addr>(i);
+}
+
+/** Allocate n objects and return their addresses. */
+std::vector<Addr>
+allocN(HeapGraph &g, int n)
+{
+    std::vector<Addr> out;
+    for (int i = 0; i < n; ++i) {
+        g.allocate(addrOf(i), 64);
+        out.push_back(addrOf(i));
+    }
+    return out;
+}
+
+TEST(ComponentsTest, EmptyGraph)
+{
+    HeapGraph g;
+    const ComponentSummary weak = connectedComponents(g);
+    EXPECT_EQ(weak.count, 0u);
+    EXPECT_EQ(weak.largest, 0u);
+    EXPECT_EQ(weak.meanSize, 0.0);
+    EXPECT_EQ(stronglyConnectedComponents(g).count, 0u);
+}
+
+TEST(ComponentsTest, IsolatedVertices)
+{
+    HeapGraph g;
+    allocN(g, 4);
+    const ComponentSummary weak = connectedComponents(g);
+    EXPECT_EQ(weak.count, 4u);
+    EXPECT_EQ(weak.largest, 1u);
+    EXPECT_EQ(weak.singletons, 4u);
+    EXPECT_EQ(stronglyConnectedComponents(g).count, 4u);
+}
+
+TEST(ComponentsTest, ChainIsOneWeakComponentManySccs)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 5);
+    for (int i = 0; i + 1 < 5; ++i)
+        g.write(nodes[i] + 8, nodes[i + 1]);
+    const ComponentSummary weak = connectedComponents(g);
+    EXPECT_EQ(weak.count, 1u);
+    EXPECT_EQ(weak.largest, 5u);
+    EXPECT_EQ(weak.singletons, 0u);
+    const ComponentSummary scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.count, 5u); // no cycles
+    EXPECT_EQ(scc.largest, 1u);
+}
+
+TEST(ComponentsTest, RingIsOneScc)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 6);
+    for (int i = 0; i < 6; ++i)
+        g.write(nodes[i] + 8, nodes[(i + 1) % 6]);
+    const ComponentSummary scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.count, 1u);
+    EXPECT_EQ(scc.largest, 6u);
+    EXPECT_EQ(connectedComponents(g).count, 1u);
+}
+
+TEST(ComponentsTest, TwoIslands)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 6);
+    // island 1: 0 -> 1 -> 2; island 2: 3 <-> 4, 5 isolated
+    g.write(nodes[0] + 8, nodes[1]);
+    g.write(nodes[1] + 8, nodes[2]);
+    g.write(nodes[3] + 8, nodes[4]);
+    g.write(nodes[4] + 8, nodes[3]);
+    const ComponentSummary weak = connectedComponents(g);
+    EXPECT_EQ(weak.count, 3u);
+    EXPECT_EQ(weak.largest, 3u);
+    EXPECT_EQ(weak.singletons, 1u);
+    const ComponentSummary scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.count, 5u); // {0}{1}{2}{3,4}{5}
+    EXPECT_EQ(scc.largest, 2u);
+}
+
+TEST(ComponentsTest, ReverseEdgesCountForWeakConnectivity)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 3);
+    // Both edges point INTO node 0: weakly one component.
+    g.write(nodes[1] + 8, nodes[0]);
+    g.write(nodes[2] + 8, nodes[0]);
+    EXPECT_EQ(connectedComponents(g).count, 1u);
+}
+
+TEST(ComponentsTest, SizesSortedDescending)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 7);
+    g.write(nodes[0] + 8, nodes[1]); // pair
+    g.write(nodes[2] + 8, nodes[3]); // triple
+    g.write(nodes[3] + 8, nodes[4]);
+    const std::vector<std::uint64_t> sizes = componentSizes(g);
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes[0], 3u);
+    EXPECT_EQ(sizes[1], 2u);
+    EXPECT_EQ(sizes[2], 1u);
+    EXPECT_EQ(sizes[3], 1u);
+}
+
+TEST(ComponentsTest, DeepChainDoesNotOverflowStack)
+{
+    // 50k-deep chain: iterative algorithms must survive.
+    HeapGraph g;
+    Addr prev = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr addr = 0x100000 + 0x40 * static_cast<Addr>(i);
+        g.allocate(addr, 32);
+        if (prev != 0)
+            g.write(prev + 8, addr);
+        prev = addr;
+    }
+    EXPECT_EQ(connectedComponents(g).count, 1u);
+    EXPECT_EQ(stronglyConnectedComponents(g).count, 50000u);
+}
+
+TEST(ComponentsTest, MeanSize)
+{
+    HeapGraph g;
+    const auto nodes = allocN(g, 4);
+    g.write(nodes[0] + 8, nodes[1]);
+    const ComponentSummary weak = connectedComponents(g);
+    EXPECT_EQ(weak.count, 3u);
+    EXPECT_NEAR(weak.meanSize, 4.0 / 3.0, 1e-12);
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests of HeapApi: the instrumented program's heap facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/heap_api.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+class HeapApiTest : public ::testing::Test
+{
+  protected:
+    HeapApiTest()
+        : process_(), heap_(process_)
+    {
+    }
+
+    Process process_;
+    HeapApi heap_;
+};
+
+TEST_F(HeapApiTest, MallocReportsAndTracks)
+{
+    const Addr a = heap_.malloc(40);
+    EXPECT_NE(a, kNullAddr);
+    EXPECT_TRUE(heap_.isLive(a));
+    EXPECT_EQ(heap_.blockSize(a), 40u);
+    EXPECT_EQ(process_.graph().vertexCount(), 1u);
+    EXPECT_EQ(process_.graph().objectAt(a)->size, 40u);
+}
+
+TEST_F(HeapApiTest, MallocZeroPromotedToOne)
+{
+    const Addr a = heap_.malloc(0);
+    EXPECT_EQ(heap_.blockSize(a), 1u);
+}
+
+TEST_F(HeapApiTest, FreeClearsEverywhere)
+{
+    const Addr a = heap_.malloc(40);
+    heap_.free(a);
+    EXPECT_FALSE(heap_.isLive(a));
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_F(HeapApiTest, DoubleFreeStillReported)
+{
+    const Addr a = heap_.malloc(40);
+    heap_.free(a);
+    heap_.free(a); // buggy, but observable
+    EXPECT_EQ(process_.graph().stats().unknownFrees, 1u);
+}
+
+TEST_F(HeapApiTest, StoreAndLoadPointer)
+{
+    const Addr a = heap_.malloc(64);
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a + 8, b);
+    EXPECT_EQ(heap_.loadPtr(a + 8), b);
+    EXPECT_TRUE(process_.graph().hasEdge(
+        process_.graph().objectAt(a)->id,
+        process_.graph().objectAt(b)->id));
+    heap_.storePtr(a + 8, kNullAddr);
+    EXPECT_EQ(heap_.loadPtr(a + 8), kNullAddr);
+    EXPECT_EQ(process_.graph().edgeCount(), 0u);
+}
+
+TEST_F(HeapApiTest, LoadEmitsReadEvent)
+{
+    const Addr a = heap_.malloc(16);
+    const Tick before = process_.now();
+    heap_.loadPtr(a);
+    EXPECT_EQ(process_.now(), before + 1);
+}
+
+TEST_F(HeapApiTest, StoreDataDoesNotShadow)
+{
+    const Addr a = heap_.malloc(16);
+    heap_.storeData(a, 1234);
+    EXPECT_EQ(heap_.loadPtr(a), kNullAddr); // data not readable back
+}
+
+TEST_F(HeapApiTest, FreeDropsShadowInRange)
+{
+    const Addr a = heap_.malloc(64);
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a + 8, b);
+    heap_.free(a);
+    // Address likely reused by the next malloc of the same class.
+    const Addr c = heap_.malloc(64);
+    EXPECT_EQ(c, a); // LIFO reuse
+    EXPECT_EQ(heap_.loadPtr(c + 8), kNullAddr); // old shadow gone
+}
+
+TEST_F(HeapApiTest, DanglingPointerValueSurvivesTargetFree)
+{
+    const Addr a = heap_.malloc(64);
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a + 8, b);
+    heap_.free(b);
+    // The stored value still reads back (dangling), but the graph
+    // edge is gone.
+    EXPECT_EQ(heap_.loadPtr(a + 8), b);
+    EXPECT_EQ(process_.graph().edgeCount(), 0u);
+}
+
+TEST_F(HeapApiTest, ReallocGrowInPlaceKeepsShadow)
+{
+    const Addr a = heap_.malloc(20); // class 32
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a, b);
+    const Addr a2 = heap_.realloc(a, 30); // same class
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(heap_.loadPtr(a2), b);
+    EXPECT_EQ(heap_.blockSize(a2), 30u);
+}
+
+TEST_F(HeapApiTest, ReallocMoveCopiesPointerSlots)
+{
+    const Addr a = heap_.malloc(32);
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a + 8, b);
+    const Addr a2 = heap_.realloc(a, 512); // class change -> move
+    EXPECT_NE(a2, a);
+    EXPECT_EQ(heap_.loadPtr(a2 + 8), b);
+    EXPECT_FALSE(heap_.isLive(a));
+    // Graph edge re-established at the new slot.
+    EXPECT_TRUE(process_.graph().hasEdge(
+        process_.graph().objectAt(a2)->id,
+        process_.graph().objectAt(b)->id));
+}
+
+TEST_F(HeapApiTest, ReallocShrinkDropsTailShadow)
+{
+    const Addr a = heap_.malloc(256);
+    const Addr b = heap_.malloc(64);
+    heap_.storePtr(a + 8, b);
+    heap_.storePtr(a + 200, b);
+    const Addr a2 = heap_.realloc(a, 64);
+    EXPECT_EQ(heap_.loadPtr(a2 + 8), b);
+    EXPECT_EQ(heap_.loadPtr(a2 + 200), kNullAddr);
+}
+
+TEST_F(HeapApiTest, ReallocNullIsMalloc)
+{
+    const Addr a = heap_.realloc(kNullAddr, 48);
+    EXPECT_TRUE(heap_.isLive(a));
+}
+
+TEST_F(HeapApiTest, ReallocZeroIsFree)
+{
+    const Addr a = heap_.malloc(48);
+    EXPECT_EQ(heap_.realloc(a, 0), kNullAddr);
+    EXPECT_FALSE(heap_.isLive(a));
+}
+
+TEST_F(HeapApiTest, TouchEmitsRead)
+{
+    const Addr a = heap_.malloc(16);
+    const Tick before = process_.now();
+    heap_.touch(a);
+    EXPECT_EQ(process_.now(), before + 1);
+}
+
+TEST_F(HeapApiTest, FunctionScopeBalances)
+{
+    const FnId fn = heap_.intern("scoped");
+    {
+        FunctionScope scope(heap_, fn);
+        EXPECT_EQ(process_.callStack().top(), fn);
+    }
+    EXPECT_TRUE(process_.callStack().empty());
+    EXPECT_EQ(process_.fnEntries(), 1u);
+}
+
+TEST_F(HeapApiTest, InternSharesProcessRegistry)
+{
+    const FnId fn = heap_.intern("shared_name");
+    EXPECT_EQ(process_.registry().name(fn), "shared_name");
+}
+
+} // namespace
+
+} // namespace heapmd

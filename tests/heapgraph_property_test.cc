@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Property tests of the heap-graph: under arbitrary event sequences,
+ * the incremental degree census must equal a from-scratch recompute,
+ * and every internal invariant must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "heapgraph/heap_graph.hh"
+#include "runtime/address_space.hh"
+#include "support/random.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+/** Compare the incremental census with a from-scratch recompute. */
+void
+expectCensusMatches(const HeapGraph &g)
+{
+    const DegreeHistogram fresh = g.recomputeHistogram();
+    const DegreeHistogram &inc = g.histogram();
+    ASSERT_EQ(fresh.vertexCount(), inc.vertexCount());
+    ASSERT_EQ(fresh.inEqOutCount(), inc.inEqOutCount());
+    for (std::size_t d = 0; d < DegreeHistogram::kExactBuckets; ++d) {
+        ASSERT_EQ(fresh.indegCount(d), inc.indegCount(d))
+            << "indeg bucket " << d;
+        ASSERT_EQ(fresh.outdegCount(d), inc.outdegCount(d))
+            << "outdeg bucket " << d;
+    }
+}
+
+class HeapGraphFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HeapGraphFuzzTest, RandomOpsKeepInvariants)
+{
+    Rng rng(GetParam());
+    HeapGraph g;
+    AddressSpace space;
+    std::vector<Addr> live;
+
+    const int kOps = 3000;
+    for (int op = 0; op < kOps; ++op) {
+        const std::uint64_t kind = rng.below(100);
+        if (kind < 30 || live.empty()) {
+            // Allocate.
+            const std::uint64_t size = 8 + rng.below(256);
+            const Addr addr = space.allocate(size);
+            g.allocate(addr, size);
+            live.push_back(addr);
+        } else if (kind < 45) {
+            // Free a random live block.
+            const std::size_t i = rng.below(live.size());
+            const Addr addr = live[i];
+            EXPECT_TRUE(g.free(addr));
+            space.release(addr);
+            live[i] = live.back();
+            live.pop_back();
+        } else if (kind < 50 && !live.empty()) {
+            // Realloc a random block.
+            const std::size_t i = rng.below(live.size());
+            const Addr old_addr = live[i];
+            const std::uint64_t new_size = 8 + rng.below(512);
+            const Addr new_addr = space.reallocate(old_addr, new_size);
+            g.reallocate(old_addr, new_addr, new_size);
+            live[i] = new_addr;
+        } else if (kind < 55) {
+            // Double free / wild free: must be tolerated.
+            g.free(0xdead0000 + rng.below(0x1000));
+        } else {
+            // Write: mostly pointers to live objects, sometimes junk.
+            const Addr owner = live[rng.below(live.size())];
+            const std::uint64_t owner_size = space.blockSize(owner);
+            const Addr slot =
+                owner + (rng.below(owner_size / 8)) * 8;
+            Addr value = 0;
+            const std::uint64_t v = rng.below(10);
+            if (v < 6) {
+                const Addr target = live[rng.below(live.size())];
+                value = target + rng.below(space.blockSize(target));
+            } else if (v < 8) {
+                value = rng.below(1000); // small data word
+            } else {
+                value = 0; // null out
+            }
+            g.write(slot, value);
+        }
+
+        if (op % 250 == 0) {
+            expectCensusMatches(g);
+            g.checkConsistency();
+        }
+    }
+    expectCensusMatches(g);
+    g.checkConsistency();
+
+    // Tear down completely; the graph must empty out.
+    for (Addr addr : live)
+        EXPECT_TRUE(g.free(addr));
+    EXPECT_EQ(g.vertexCount(), 0u);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_EQ(g.stats().liveBytes, 0u);
+    g.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapGraphFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+class HeapGraphChurnTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HeapGraphChurnTest, AddressReuseNeverAliasesVertices)
+{
+    // Heavy free/alloc churn in one size class: addresses recycle
+    // constantly, vertex ids must never collide and stale edges must
+    // never reappear.
+    Rng rng(GetParam());
+    HeapGraph g;
+    AddressSpace space;
+    std::vector<std::pair<Addr, ObjectId>> live;
+
+    for (int op = 0; op < 2000; ++op) {
+        if (live.size() < 8 || rng.chance(0.55)) {
+            const Addr addr = space.allocate(64);
+            const ObjectId id = g.allocate(addr, 64);
+            for (const auto &[other_addr, other_id] : live) {
+                (void)other_addr;
+                ASSERT_NE(id, other_id);
+            }
+            // Wire the new object to a random live one and back.
+            if (!live.empty()) {
+                const auto &[taddr, tid] = live[rng.below(live.size())];
+                g.write(addr, taddr);
+                g.write(taddr + 8, addr);
+                ASSERT_TRUE(g.hasEdge(id, tid));
+            }
+            live.emplace_back(addr, id);
+        } else {
+            const std::size_t i = rng.below(live.size());
+            const auto [addr, id] = live[i];
+            ASSERT_TRUE(g.free(addr));
+            ASSERT_EQ(g.objectById(id), nullptr);
+            space.release(addr);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    expectCensusMatches(g);
+    g.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapGraphChurnTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Integration tests: the full train -> model -> check pipeline, trace
+ * record/replay through the pipeline, and SWAT-vs-HeapMD end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/heapmd.hh"
+#include "swat/swat_detector.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+HeapMDConfig
+smallConfig()
+{
+    HeapMDConfig cfg;
+    cfg.process.metricFrequency = 200;
+    return cfg;
+}
+
+AppConfig
+input(std::uint64_t seed, double scale = 0.4)
+{
+    AppConfig cfg;
+    cfg.inputSeed = seed;
+    cfg.scale = scale;
+    return cfg;
+}
+
+TEST(PipelineTest, TrainProducesUsableModel)
+{
+    HeapMD tool(smallConfig());
+    auto app = makeApp("Multimedia");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 6, 1, 0.4));
+    EXPECT_EQ(training.model.trainingRuns, 6u);
+    EXPECT_GE(training.model.stableMetricCount(), 1u);
+    EXPECT_EQ(training.summarizer.runCount(), 6u);
+    EXPECT_TRUE(training.suspectTrainingRuns.empty());
+    const HeapModel::Entry *example =
+        pickExampleMetric(training.model);
+    ASSERT_NE(example, nullptr);
+    EXPECT_GE(example->stableRuns, 1u);
+}
+
+TEST(PipelineTest, CleanInputsProduceNoReports)
+{
+    HeapMD tool(smallConfig());
+    auto app = makeApp("Multimedia");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 10, 1, 0.4));
+    for (std::uint64_t seed = 50; seed < 53; ++seed) {
+        const CheckOutcome out =
+            tool.check(*app, input(seed), training.model);
+        EXPECT_FALSE(out.check.anomalous())
+            << "seed " << seed << " first report: "
+            << (out.check.reports.empty()
+                    ? ""
+                    : out.check.reports[0].describe(
+                          FunctionRegistry{}));
+    }
+}
+
+TEST(PipelineTest, InjectedInvariantBugDetectedWithDirection)
+{
+    HeapMD tool(smallConfig());
+    auto app = makeApp("PC Game (action)");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 10, 1, 0.4));
+
+    bool detected = false;
+    for (std::uint64_t seed = 90; seed < 94 && !detected; ++seed) {
+        AppConfig cfg = input(seed);
+        cfg.faults.enable(FaultKind::TreeMissingParent, 1.0);
+        const CheckOutcome out =
+            tool.check(*app, cfg, training.model);
+        for (const BugReport &r : out.check.reports) {
+            if (r.metric == MetricId::Indeg1 &&
+                r.direction == AnomalyDirection::AboveMax) {
+                // The Figure 10 signature: %indegree=1 rises above
+                // its calibrated maximum.
+                detected = true;
+            }
+        }
+    }
+    EXPECT_TRUE(detected);
+}
+
+TEST(PipelineTest, BuggyTrainingInputFlaggedAsSuspect)
+{
+    // Train with one buggy input among clean ones: Section 4.1 says
+    // such inputs show up as range violators against the stable rest.
+    HeapMD tool(smallConfig());
+    auto app = makeApp("Interactive web-app.");
+    std::vector<AppConfig> inputs = makeInputs(1, 9, 1, 0.4);
+    AppConfig buggy = input(99);
+    // A build with a manifest leak: descriptors leak at every typo
+    // site and a steady drip of dropped blocks accumulates, pushing
+    // the run's Leaves/Roots envelope well past the clean spread.
+    buggy.faults.enable(FaultKind::TypoLeak, 1.0);
+    buggy.faults.enable(FaultKind::SmallLeak, 0.04);
+    inputs.push_back(buggy);
+    const TrainingOutcome training = tool.train(*app, inputs);
+    bool flagged = false;
+    for (std::size_t idx : training.suspectTrainingRuns)
+        flagged |= idx == 9;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(PipelineTest, ModelRoundTripsThroughSerialization)
+{
+    HeapMD tool(smallConfig());
+    auto app = makeApp("gzip");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 5, 1, 0.4));
+    std::stringstream ss;
+    training.model.save(ss);
+    const HeapModel loaded = HeapModel::load(ss);
+    EXPECT_EQ(loaded.stableMetricCount(),
+              training.model.stableMetricCount());
+    // Checking against the loaded model behaves identically.
+    const CheckOutcome a = tool.check(*app, input(42), training.model);
+    const CheckOutcome b = tool.check(*app, input(42), loaded);
+    EXPECT_EQ(a.check.reports.size(), b.check.reports.size());
+}
+
+TEST(PipelineTest, OfflineTraceCheckMatchesOnline)
+{
+    // Record a buggy run to a trace, replay it offline into a fresh
+    // checker: the post-mortem design of Section 2 must agree with
+    // online checking.
+    HeapMD tool(smallConfig());
+    auto app = makeApp("PC Game (action)");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 8, 1, 0.4));
+
+    AppConfig cfg = input(91);
+    cfg.faults.enable(FaultKind::TreeMissingParent, 1.0);
+
+    // Online check + recording.
+    ProcessConfig pcfg = smallConfig().process;
+    Process online(pcfg);
+    std::stringstream trace_bytes;
+    TraceWriter writer(trace_bytes, online.registry());
+    online.addEventObserver(&writer);
+    ExecutionChecker online_checker(training.model);
+    online_checker.attach(online);
+    app->run(online, cfg);
+    writer.finish();
+    const CheckResult online_result = online_checker.finalize(online);
+
+    // Offline replay into a fresh process + checker.
+    Process offline(pcfg);
+    ExecutionChecker offline_checker(training.model);
+    offline_checker.attach(offline);
+    TraceReader reader(trace_bytes);
+    replayTrace(reader, offline);
+    const CheckResult offline_result =
+        offline_checker.finalize(offline);
+
+    EXPECT_EQ(offline_result.reports.size(),
+              online_result.reports.size());
+    ASSERT_EQ(offline.series().size(), online.series().size());
+    for (std::size_t i = 0; i < offline.series().size(); ++i) {
+        for (MetricId id : kAllMetrics) {
+            ASSERT_DOUBLE_EQ(offline.series().at(i).value(id),
+                             online.series().at(i).value(id));
+        }
+    }
+}
+
+TEST(PipelineTest, SwatFindsReachableLeakHeapMdMisses)
+{
+    // The Table 1 contrast in miniature: a reachable leak is invisible
+    // to HeapMD's degree metrics but stale to SWAT.
+    HeapMD tool(smallConfig());
+    auto app = makeApp("PC Game (simulation)");
+    const TrainingOutcome training =
+        tool.train(*app, makeInputs(1, 8, 1, 0.4));
+
+    AppConfig cfg = input(77);
+    cfg.faults.enable(FaultKind::ReachableLeak, 0.0015);
+
+    ProcessConfig pcfg = smallConfig().process;
+    Process process(pcfg);
+    ExecutionChecker checker(training.model);
+    checker.attach(process);
+    SwatConfig scfg;
+    scfg.stalenessThreshold = 30000; // scaled to the short test run
+    SwatDetector swat(scfg);
+    swat.attach(process);
+
+    const AppResult appResult = app->run(process, cfg);
+    ASSERT_GT(appResult.reachableLeakObjects, 0u);
+
+    // SWAT: stale archive objects reported (sticky across teardown).
+    const auto leaks = swat.finalize(process.now());
+    EXPECT_GT(leaks.size(), 0u);
+
+    // HeapMD: reachable leak keeps indegree 1 -> no metric anomaly.
+    const CheckResult result = checker.finalize(process);
+    EXPECT_FALSE(result.anomalous());
+}
+
+TEST(PipelineTest, MakeInputsHelper)
+{
+    const auto inputs = makeInputs(10, 3, 2, 0.5);
+    ASSERT_EQ(inputs.size(), 3u);
+    EXPECT_EQ(inputs[0].inputSeed, 10u);
+    EXPECT_EQ(inputs[2].inputSeed, 12u);
+    EXPECT_EQ(inputs[1].version, 2u);
+    EXPECT_DOUBLE_EQ(inputs[1].scale, 0.5);
+}
+
+TEST(PipelineTest, PickExampleMetricPrefersMostStable)
+{
+    HeapModel model;
+    HeapModel::Entry wide;
+    wide.id = MetricId::Roots;
+    wide.minValue = 0;
+    wide.maxValue = 50;
+    wide.stableRuns = 3;
+    model.addEntry(wide);
+    HeapModel::Entry narrow;
+    narrow.id = MetricId::Leaves;
+    narrow.minValue = 10;
+    narrow.maxValue = 12;
+    narrow.stableRuns = 3;
+    model.addEntry(narrow);
+    HeapModel::Entry most;
+    most.id = MetricId::Outdeg1;
+    most.minValue = 0;
+    most.maxValue = 99;
+    most.stableRuns = 5;
+    model.addEntry(most);
+    const HeapModel::Entry *pick = pickExampleMetric(model);
+    ASSERT_NE(pick, nullptr);
+    EXPECT_EQ(pick->id, MetricId::Outdeg1); // most stable runs wins
+    EXPECT_EQ(pickExampleMetric(HeapModel{}), nullptr);
+}
+
+} // namespace
+
+} // namespace heapmd

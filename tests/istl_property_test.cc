@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Property tests over the instrumented containers: long random op
+ * sequences must keep the heap-graph mirror consistent, and fault-free
+ * teardown must leave no live blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "istl/binary_tree.hh"
+#include "istl/btree.hh"
+#include "istl/circular_list.hh"
+#include "istl/dll.hh"
+#include "istl/hash_table.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+class IstlFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    IstlFuzz()
+        : process_(), heap_(process_), faults_(),
+          ctx_(heap_, faults_, GetParam())
+    {
+    }
+
+    Process process_;
+    HeapApi heap_;
+    FaultPlan faults_;
+    istl::Context ctx_;
+};
+
+TEST_P(IstlFuzz, DllRandomOps)
+{
+    istl::Dll dll(ctx_, 24);
+    Rng rng(GetParam() * 3 + 1);
+    for (int i = 0; i < 1500; ++i) {
+        switch (rng.below(5)) {
+          case 0:
+            dll.pushBack();
+            break;
+          case 1:
+            dll.pushFront();
+            break;
+          case 2:
+            dll.insertAtCursor(1 + rng.below(6));
+            break;
+          case 3:
+            dll.popFront();
+            break;
+          default:
+            dll.traverse();
+            break;
+        }
+        if (i % 300 == 0)
+            process_.graph().checkConsistency();
+    }
+    dll.clear();
+    process_.graph().checkConsistency();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_P(IstlFuzz, CircularRandomOps)
+{
+    istl::CircularList ring(ctx_, 16);
+    Rng rng(GetParam() * 5 + 2);
+    for (int i = 0; i < 1500; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            ring.insert();
+            break;
+          case 2:
+            ring.removeHead();
+            break;
+          default:
+            ring.rotate();
+            break;
+        }
+        if (i % 300 == 0) {
+            process_.graph().checkConsistency();
+            // Ring invariant: size() steps return to head.
+            if (ring.size() > 0) {
+                Addr walk = ring.head();
+                for (std::uint64_t s = 0; s < ring.size(); ++s)
+                    walk = heap_.loadPtr(
+                        walk + istl::CircularList::kNextOff);
+                EXPECT_EQ(walk, ring.head());
+            }
+        }
+    }
+    ring.clear();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_P(IstlFuzz, BstRandomOps)
+{
+    istl::BinaryTree tree(ctx_, 16);
+    Rng rng(GetParam() * 7 + 3);
+    for (int i = 0; i < 1200; ++i) {
+        switch (rng.below(6)) {
+          case 0:
+          case 1:
+          case 2:
+            tree.insert(rng.below(100000));
+            break;
+          case 3:
+            tree.spliceAbove();
+            break;
+          case 4:
+            tree.removeRandomLeaf();
+            break;
+          default:
+            tree.find(rng.below(100000));
+            break;
+        }
+        if (i % 300 == 0)
+            process_.graph().checkConsistency();
+    }
+    tree.clear();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_P(IstlFuzz, HashRandomOpsMatchReference)
+{
+    istl::HashTable table(ctx_, 64, 16);
+    std::set<std::uint64_t> reference;
+    Rng rng(GetParam() * 11 + 4);
+    for (int i = 0; i < 1500; ++i) {
+        const std::uint64_t key = 1 + rng.below(300);
+        switch (rng.below(3)) {
+          case 0:
+            if (!reference.count(key)) {
+                table.insert(key);
+                reference.insert(key);
+            }
+            break;
+          case 1: {
+            const bool erased = table.erase(key);
+            EXPECT_EQ(erased, reference.erase(key) > 0);
+            break;
+          }
+          default:
+            EXPECT_EQ(table.find(key) != kNullAddr,
+                      reference.count(key) > 0);
+            break;
+        }
+        if (i % 400 == 0)
+            process_.graph().checkConsistency();
+    }
+    EXPECT_EQ(table.size(), reference.size());
+    table.clear();
+    process_.graph().checkConsistency();
+}
+
+TEST_P(IstlFuzz, BTreeRandomOpsMatchReference)
+{
+    istl::BTree btree(ctx_);
+    std::multiset<std::uint64_t> reference;
+    Rng rng(GetParam() * 13 + 5);
+    for (int i = 0; i < 1200; ++i) {
+        const std::uint64_t key = 1 + rng.below(500);
+        if (rng.chance(0.7)) {
+            btree.insert(key);
+            reference.insert(key);
+        } else if (btree.eraseFromLeaf(key)) {
+            const auto it = reference.find(key);
+            ASSERT_NE(it, reference.end());
+            reference.erase(it);
+        }
+        if (i % 300 == 0) {
+            process_.graph().checkConsistency();
+            // Spot-check membership of a few keys.
+            for (std::uint64_t probe = 1; probe <= 500; probe += 97) {
+                EXPECT_EQ(btree.contains(probe),
+                          reference.count(probe) > 0)
+                    << "probe " << probe;
+            }
+        }
+    }
+    EXPECT_EQ(btree.size(), reference.size());
+    btree.clear();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_P(IstlFuzz, FaultyDllStillTearsDownViaNextChain)
+{
+    // With missing prev pointers, clear() (which walks next) must
+    // still free every node.
+    faults_.enable(FaultKind::DllMissingPrev, 0.7);
+    istl::Dll dll(ctx_, 0);
+    Rng rng(GetParam() * 17 + 6);
+    for (int i = 0; i < 800; ++i) {
+        if (rng.chance(0.7))
+            dll.insertAtCursor(1 + rng.below(4));
+        else
+            dll.popFront();
+    }
+    dll.clear();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IstlFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,801 @@
+/**
+ * @file
+ * Unit tests of the instrumented data structures: heap-graph shape,
+ * correctness of operations, and fault-injection effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "istl/adj_graph.hh"
+#include "istl/binary_tree.hh"
+#include "istl/btree.hh"
+#include "istl/buffer_pool.hh"
+#include "istl/circular_list.hh"
+#include "istl/descriptor_table.hh"
+#include "istl/dll.hh"
+#include "istl/handle_pool.hh"
+#include "istl/hash_table.hh"
+#include "istl/oct_tree.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+class IstlTest : public ::testing::Test
+{
+  protected:
+    IstlTest()
+        : process_(), heap_(process_), faults_(),
+          ctx_(heap_, faults_, 42)
+    {
+    }
+
+    /** Count live graph vertices with the given indegree. */
+    std::uint64_t
+    countIndeg(std::size_t d) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[id, rec] : process_.graph().objects()) {
+            (void)id;
+            n += rec.indegree() == d ? 1 : 0;
+        }
+        return n;
+    }
+
+    Process process_;
+    HeapApi heap_;
+    FaultPlan faults_;
+    istl::Context ctx_;
+};
+
+// ---------------------------------------------------------------- Dll
+
+TEST_F(IstlTest, DllPushAndSize)
+{
+    istl::Dll dll(ctx_, 0);
+    const Addr a = dll.pushBack();
+    const Addr b = dll.pushBack();
+    const Addr c = dll.pushFront();
+    EXPECT_EQ(dll.size(), 3u);
+    EXPECT_EQ(dll.head(), c);
+    EXPECT_EQ(dll.tail(), b);
+    EXPECT_EQ(dll.nodeAt(1), a);
+    EXPECT_EQ(process_.graph().vertexCount(), 3u);
+}
+
+TEST_F(IstlTest, DllInteriorNodesHaveDegreeTwo)
+{
+    istl::Dll dll(ctx_, 0);
+    for (int i = 0; i < 10; ++i)
+        dll.pushBack();
+    // 8 interior nodes: indegree 2 (prev's next + next's prev).
+    EXPECT_EQ(countIndeg(2), 8u);
+    EXPECT_EQ(countIndeg(1), 2u); // the two ends
+    process_.graph().checkConsistency();
+}
+
+TEST_F(IstlTest, DllPopAndRemove)
+{
+    istl::Dll dll(ctx_, 16);
+    dll.pushBack();
+    const Addr b = dll.pushBack();
+    dll.pushBack();
+    dll.remove(b);
+    EXPECT_EQ(dll.size(), 2u);
+    dll.popFront();
+    dll.popFront();
+    EXPECT_EQ(dll.size(), 0u);
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_F(IstlTest, DllClearFreesPayloads)
+{
+    istl::Dll dll(ctx_, 32);
+    for (int i = 0; i < 5; ++i)
+        dll.pushBack();
+    EXPECT_EQ(process_.graph().vertexCount(), 10u); // nodes + payloads
+    dll.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_F(IstlTest, DllInsertAfterLinksBothDirections)
+{
+    istl::Dll dll(ctx_, 0);
+    const Addr a = dll.pushBack();
+    const Addr b = dll.pushBack();
+    const Addr mid = dll.insertAfter(a);
+    EXPECT_EQ(dll.size(), 3u);
+    EXPECT_EQ(heap_.loadPtr(a + istl::Dll::kNextOff), mid);
+    EXPECT_EQ(heap_.loadPtr(mid + istl::Dll::kPrevOff), a);
+    EXPECT_EQ(heap_.loadPtr(mid + istl::Dll::kNextOff), b);
+    EXPECT_EQ(heap_.loadPtr(b + istl::Dll::kPrevOff), mid);
+}
+
+TEST_F(IstlTest, DllMissingPrevFaultLeavesIndegreeOne)
+{
+    faults_.enable(FaultKind::DllMissingPrev, 1.0);
+    istl::Dll dll(ctx_, 0);
+    const Addr a = dll.pushBack(); // pushBack is not the buggy site
+    dll.pushBack();
+    const Addr mid = dll.insertAfter(a);
+    // The Figure 1 bug: mid's prev and succ's prev not updated.
+    EXPECT_EQ(heap_.loadPtr(mid + istl::Dll::kPrevOff), kNullAddr);
+    const ObjectRecord *rec = process_.graph().objectAt(mid);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->indegree(), 1u); // only a's next
+}
+
+TEST_F(IstlTest, DllInsertAtCursorSpreadsPositions)
+{
+    istl::Dll dll(ctx_, 0);
+    for (int i = 0; i < 20; ++i)
+        dll.pushBack();
+    const Addr n = dll.insertAtCursor(7);
+    EXPECT_NE(n, kNullAddr);
+    EXPECT_EQ(dll.size(), 21u);
+    EXPECT_NE(dll.cursor(), kNullAddr);
+}
+
+TEST_F(IstlTest, DllSharedPayloadNotFreedWithoutFault)
+{
+    istl::Dll dll(ctx_, 0);
+    const Addr node = dll.pushBack();
+    const Addr payload = heap_.malloc(64);
+    dll.sharePayload(node, payload);
+    dll.popFront();
+    EXPECT_TRUE(heap_.isLive(payload)); // borrowed, not freed
+    heap_.free(payload);
+}
+
+TEST_F(IstlTest, DllSharedStateFreeFaultFreesSharedPayload)
+{
+    faults_.enable(FaultKind::SharedStateFree, 1.0);
+    istl::Dll dll(ctx_, 0);
+    const Addr node = dll.pushBack();
+    const Addr payload = heap_.malloc(64);
+    dll.sharePayload(node, payload);
+    dll.popFront();
+    EXPECT_FALSE(heap_.isLive(payload)); // the injected bug
+}
+
+TEST_F(IstlTest, DllAdoptPayloadIsFreedWithNode)
+{
+    istl::Dll dll(ctx_, 0);
+    const Addr node = dll.pushBack();
+    const Addr payload = heap_.malloc(64);
+    dll.adoptPayload(node, payload);
+    dll.popFront();
+    EXPECT_FALSE(heap_.isLive(payload));
+}
+
+// ------------------------------------------------------- CircularList
+
+TEST_F(IstlTest, CircularRingShape)
+{
+    istl::CircularList ring(ctx_, 0);
+    for (int i = 0; i < 8; ++i)
+        ring.insert();
+    EXPECT_EQ(ring.size(), 8u);
+    // Every ring node has indegree exactly 1 and outdegree 1.
+    EXPECT_EQ(countIndeg(1), 8u);
+    // Walking next 8 times returns to the head.
+    Addr walk = ring.head();
+    for (int i = 0; i < 8; ++i)
+        walk = heap_.loadPtr(walk + istl::CircularList::kNextOff);
+    EXPECT_EQ(walk, ring.head());
+}
+
+TEST_F(IstlTest, CircularRemoveHeadRepairsRing)
+{
+    istl::CircularList ring(ctx_, 0);
+    for (int i = 0; i < 5; ++i)
+        ring.insert();
+    ring.removeHead();
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(process_.graph().vertexCount(), 4u);
+    // Ring is intact: 4 steps return to head.
+    Addr walk = ring.head();
+    for (int i = 0; i < 4; ++i)
+        walk = heap_.loadPtr(walk + istl::CircularList::kNextOff);
+    EXPECT_EQ(walk, ring.head());
+    EXPECT_EQ(countIndeg(1), 4u);
+}
+
+TEST_F(IstlTest, CircularDanglingTailFault)
+{
+    faults_.enable(FaultKind::CircularDanglingTail, 1.0);
+    istl::CircularList ring(ctx_, 0);
+    for (int i = 0; i < 5; ++i)
+        ring.insert();
+    const Addr old_head = ring.head();
+    ring.removeHead();
+    // The Figure 12 bug: the predecessor still stores the freed
+    // head's address (dangling), so its graph edge is gone.
+    EXPECT_EQ(process_.graph().vertexCount(), 4u);
+    std::uint64_t outdeg_zero = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        outdeg_zero += rec.outdegree() == 0 ? 1 : 0;
+    }
+    EXPECT_EQ(outdeg_zero, 1u); // the node that pointed at old head
+    EXPECT_EQ(process_.graph().objectAt(old_head), nullptr);
+}
+
+TEST_F(IstlTest, CircularSingletonRemove)
+{
+    istl::CircularList ring(ctx_, 16);
+    ring.insert();
+    ring.removeHead();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.head(), kNullAddr);
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_F(IstlTest, CircularRotate)
+{
+    istl::CircularList ring(ctx_, 0);
+    ring.insert();
+    ring.insert();
+    const Addr before = ring.head();
+    ring.rotate();
+    EXPECT_NE(ring.head(), before);
+    ring.rotate();
+    EXPECT_EQ(ring.head(), before);
+}
+
+// --------------------------------------------------------- BinaryTree
+
+TEST_F(IstlTest, BstInsertAndFind)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    tree.insert(50);
+    tree.insert(30);
+    tree.insert(70);
+    tree.insert(60);
+    EXPECT_EQ(tree.size(), 4u);
+    EXPECT_NE(tree.find(60), kNullAddr);
+    EXPECT_EQ(tree.find(99), kNullAddr);
+}
+
+TEST_F(IstlTest, BstParentPointersGiveChildrenExtraIndegree)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    tree.insert(50);
+    tree.insert(30);
+    tree.insert(70);
+    // Root: indeg 2 (both children's parent pointers), out 2.
+    const ObjectRecord *root =
+        process_.graph().objectAt(tree.root());
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->indegree(), 2u);
+    EXPECT_EQ(root->outdegree(), 2u);
+    // Leaves: indeg 1 (parent's child slot), outdeg 1 (parent ptr).
+    EXPECT_EQ(countIndeg(1), 2u);
+}
+
+TEST_F(IstlTest, BstSpliceNormalKeepsBackPointer)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    for (std::uint64_t k : {50, 30, 70, 20, 40, 60, 80})
+        tree.insert(k);
+    const std::uint64_t before = tree.size();
+    const Addr fresh = tree.spliceAbove();
+    ASSERT_NE(fresh, kNullAddr);
+    EXPECT_EQ(tree.size(), before + 1);
+    const ObjectRecord *rec = process_.graph().objectAt(fresh);
+    ASSERT_NE(rec, nullptr);
+    // Correct splice: child's parent pointer updated -> indeg >= 1,
+    // and when it has a child, indeg 2 (unless spliced above root).
+    EXPECT_GE(rec->indegree(), 1u);
+}
+
+TEST_F(IstlTest, BstSpliceFaultLeavesIndegreeOne)
+{
+    faults_.enable(FaultKind::TreeMissingParent, 1.0);
+    istl::BinaryTree tree(ctx_, 0);
+    for (std::uint64_t k : {50, 30, 70, 20, 40, 60, 80})
+        tree.insert(k);
+    for (int i = 0; i < 10; ++i) {
+        const Addr fresh = tree.spliceAbove();
+        ASSERT_NE(fresh, kNullAddr);
+        const ObjectRecord *rec = process_.graph().objectAt(fresh);
+        ASSERT_NE(rec, nullptr);
+        // The Figure 10 bug: missing back-pointer from the child.
+        EXPECT_LE(rec->indegree(), 1u);
+    }
+}
+
+TEST_F(IstlTest, BstBuildFullCounts)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    tree.buildFull(5);
+    EXPECT_EQ(tree.size(), 31u); // 2^5 - 1
+    EXPECT_EQ(process_.graph().vertexCount(), 31u);
+    tree.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_F(IstlTest, BstSingleChildFaultShrinksTree)
+{
+    faults_.enable(FaultKind::SingleChildTree, 1.0);
+    istl::BinaryTree tree(ctx_, 0);
+    tree.buildFull(5);
+    EXPECT_EQ(tree.size(), 5u); // a single path of 5 nodes
+    // Every internal node has exactly one child.
+    std::uint64_t out2 = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        // out: child(ren) + parent pointer
+        out2 += rec.outdegree() >= 3 ? 1 : 0;
+    }
+    EXPECT_EQ(out2, 0u);
+}
+
+TEST_F(IstlTest, BstRemoveRandomLeafShrinks)
+{
+    istl::BinaryTree tree(ctx_, 16);
+    for (std::uint64_t k : {50, 30, 70, 20, 40})
+        tree.insert(k);
+    const std::uint64_t before = tree.size();
+    tree.removeRandomLeaf();
+    EXPECT_EQ(tree.size(), before - 1);
+    process_.graph().checkConsistency();
+}
+
+TEST_F(IstlTest, BstDeepSplicedTreeClearsCompletely)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    tree.insert(500000);
+    for (int i = 0; i < 300; ++i)
+        tree.spliceAbove(); // very deep chains
+    tree.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+// ------------------------------------------------------------ OctTree
+
+TEST_F(IstlTest, OctTreeFullBuildCounts)
+{
+    istl::OctTree oct(ctx_);
+    oct.build(2, 1.0); // 1 + 8 + 64
+    EXPECT_EQ(oct.size(), 73u);
+    EXPECT_EQ(process_.graph().vertexCount(), 73u);
+    // All non-root nodes have indegree exactly 1.
+    EXPECT_EQ(countIndeg(1), 72u);
+    EXPECT_EQ(countIndeg(0), 1u);
+}
+
+TEST_F(IstlTest, OctTreeDagFaultSharesSubtrees)
+{
+    faults_.enable(FaultKind::OctTreeDag, 0.8);
+    istl::OctTree oct(ctx_);
+    oct.build(3, 1.0);
+    // Sharing means far fewer allocations than the full 585 ...
+    EXPECT_LT(oct.size(), 400u);
+    // ... and some nodes have indegree >= 2.
+    std::uint64_t shared = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        shared += rec.indegree() >= 2 ? 1 : 0;
+    }
+    EXPECT_GT(shared, 0u);
+    // DAG-safe teardown frees everything exactly once.
+    oct.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    EXPECT_EQ(process_.graph().stats().unknownFrees, 0u);
+}
+
+TEST_F(IstlTest, OctTreeTraverseVisitsOnce)
+{
+    istl::OctTree oct(ctx_);
+    oct.build(2, 1.0);
+    const Tick before = process_.now();
+    oct.traverse();
+    // 73 touches + child loads; bounded well below double-visiting.
+    EXPECT_LT(process_.now() - before, 73u * 10u);
+}
+
+// ---------------------------------------------------------- HashTable
+
+TEST_F(IstlTest, HashInsertFindErase)
+{
+    istl::HashTable table(ctx_, 64, 16);
+    table.insert(100);
+    table.insert(200);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_NE(table.find(100), kNullAddr);
+    EXPECT_EQ(table.find(300), kNullAddr);
+    EXPECT_NE(table.payloadOf(100), kNullAddr);
+    EXPECT_TRUE(table.erase(100));
+    EXPECT_FALSE(table.erase(100));
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.find(100), kNullAddr);
+}
+
+TEST_F(IstlTest, HashAgainstReferenceMap)
+{
+    istl::HashTable table(ctx_, 32, 0);
+    std::map<std::uint64_t, bool> reference;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t key = 1 + rng.below(200);
+        if (rng.chance(0.6)) {
+            if (!reference.count(key)) {
+                table.insert(key);
+                reference[key] = true;
+            }
+        } else {
+            const bool erased = table.erase(key);
+            EXPECT_EQ(erased, reference.erase(key) > 0);
+        }
+    }
+    for (const auto &[key, present] : reference) {
+        (void)present;
+        EXPECT_NE(table.find(key), kNullAddr) << "key " << key;
+    }
+    EXPECT_EQ(table.size(), reference.size());
+}
+
+TEST_F(IstlTest, HashClearEmptiesChains)
+{
+    istl::HashTable table(ctx_, 16, 24);
+    for (std::uint64_t k = 1; k <= 40; ++k)
+        table.insert(k);
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    // Only the bucket array object remains.
+    EXPECT_EQ(process_.graph().vertexCount(), 1u);
+}
+
+TEST_F(IstlTest, BadHashFaultConcentratesChains)
+{
+    faults_.enable(FaultKind::BadHashFunction, 1.0);
+    istl::HashTable table(ctx_, 64, 0);
+    for (std::uint64_t k = 1; k <= 128; ++k)
+        table.insert(k);
+    std::uint64_t used = 0;
+    for (std::uint64_t b = 0; b < table.bucketCount(); ++b)
+        used += table.chainLength(b) > 0 ? 1 : 0;
+    EXPECT_LE(used, 7u); // key % 7
+    // Entries are still all findable (it is slow, not wrong).
+    for (std::uint64_t k = 1; k <= 128; ++k)
+        EXPECT_NE(table.find(k), kNullAddr);
+}
+
+TEST_F(IstlTest, GoodHashSpreadsChains)
+{
+    istl::HashTable table(ctx_, 64, 0);
+    for (std::uint64_t k = 1; k <= 128; ++k)
+        table.insert(k);
+    std::uint64_t used = 0;
+    for (std::uint64_t b = 0; b < table.bucketCount(); ++b)
+        used += table.chainLength(b) > 0 ? 1 : 0;
+    EXPECT_GT(used, 40u);
+}
+
+// -------------------------------------------------------------- BTree
+
+TEST_F(IstlTest, BTreeInsertAndContains)
+{
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        btree.insert(k * 7 % 1009 + 1);
+    EXPECT_EQ(btree.size(), 200u);
+    EXPECT_GT(btree.nodeCount(), 20u);
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        EXPECT_TRUE(btree.contains(k * 7 % 1009 + 1));
+    EXPECT_FALSE(btree.contains(999999));
+}
+
+TEST_F(IstlTest, BTreeEraseFromLeaf)
+{
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        btree.insert(k);
+    // Some keys are in leaves; erase those that are.
+    std::uint64_t erased = 0;
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        erased += btree.eraseFromLeaf(k) ? 1 : 0;
+    EXPECT_GT(erased, 32u); // most keys live in leaves
+    EXPECT_EQ(btree.size(), 64u - erased);
+}
+
+TEST_F(IstlTest, BTreeClearFreesAllNodes)
+{
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 300; ++k)
+        btree.insert(1 + (k * 37) % 5000);
+    btree.clear();
+    EXPECT_EQ(btree.nodeCount(), 0u);
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_F(IstlTest, BTreeInternalNodesHaveHighOutdegree)
+{
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 400; ++k)
+        btree.insert(1 + (k * 613) % 9001);
+    std::uint64_t internal = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        internal += rec.outdegree() >= 4 ? 1 : 0;
+    }
+    EXPECT_GT(internal, 0u);
+    process_.graph().checkConsistency();
+}
+
+TEST_F(IstlTest, BTreeDuplicateKeysAllowed)
+{
+    istl::BTree btree(ctx_);
+    btree.insert(5);
+    btree.insert(5);
+    btree.insert(5);
+    EXPECT_EQ(btree.size(), 3u);
+    EXPECT_TRUE(btree.contains(5));
+}
+
+TEST_F(IstlTest, BTreeLeafChainIsComplete)
+{
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 300; ++k)
+        btree.insert(1 + (k * 37) % 5000);
+    const std::uint64_t leaves = btree.leafCount();
+    EXPECT_GT(leaves, 10u);
+    // Every leaf is reachable through the next-leaf chain.
+    EXPECT_EQ(btree.scanLeaves(), leaves);
+    // Chained leaves have outdegree 1 (next leaf) except the last.
+    std::uint64_t out1 = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        out1 += rec.outdegree() == 1 ? 1 : 0;
+    }
+    EXPECT_GE(out1, leaves - 1);
+}
+
+TEST_F(IstlTest, BTreeLeafUnlinkedFaultBreaksChain)
+{
+    faults_.enable(FaultKind::BTreeLeafUnlinked, 1.0);
+    istl::BTree btree(ctx_);
+    for (std::uint64_t k = 1; k <= 300; ++k)
+        btree.insert(1 + (k * 37) % 5000);
+    const std::uint64_t leaves = btree.leafCount();
+    // The Section 4.5 invariant bug: split siblings never enter the
+    // chain, so the scan reaches only the first leaf.
+    EXPECT_EQ(btree.scanLeaves(), 1u);
+    // Unlinked leaves have indegree 1 / outdegree 0 instead of 2 / 1.
+    std::uint64_t out0_in1 = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        if (rec.outdegree() == 0 && rec.indegree() == 1)
+            ++out0_in1;
+    }
+    EXPECT_GE(out0_in1, leaves - 1);
+    btree.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+// --------------------------------------------------------- HandlePool
+
+TEST_F(IstlTest, HandlePoolShape)
+{
+    istl::HandlePool pool(ctx_, 48);
+    for (int i = 0; i < 20; ++i)
+        pool.acquire();
+    EXPECT_EQ(pool.size(), 20u);
+    EXPECT_EQ(process_.graph().vertexCount(), 40u);
+    // Handles: indegree 0, outdegree 1; payloads: indegree 1, out 0.
+    std::uint64_t handle_shape = 0, payload_shape = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        if (rec.indegree() == 0 && rec.outdegree() == 1)
+            ++handle_shape;
+        if (rec.indegree() == 1 && rec.outdegree() == 0)
+            ++payload_shape;
+    }
+    EXPECT_EQ(handle_shape, 20u);
+    EXPECT_EQ(payload_shape, 20u);
+}
+
+TEST_F(IstlTest, HandlePoolChurnAndClear)
+{
+    istl::HandlePool pool(ctx_, 32);
+    for (int i = 0; i < 10; ++i)
+        pool.acquire();
+    pool.releaseRandom();
+    pool.releaseRandom();
+    EXPECT_EQ(pool.size(), 8u);
+    EXPECT_EQ(process_.graph().vertexCount(), 16u);
+    pool.retargetRandom(); // payload swapped, counts unchanged
+    EXPECT_EQ(process_.graph().vertexCount(), 16u);
+    pool.touchAll();
+    pool.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    EXPECT_EQ(heap_.liveCount(), 0u);
+    process_.graph().checkConsistency();
+}
+
+TEST_F(IstlTest, OctTreeBudgetIsExact)
+{
+    istl::OctTree oct(ctx_);
+    oct.buildBudget(500, 0.85);
+    EXPECT_EQ(oct.size(), 500u);
+    EXPECT_EQ(process_.graph().vertexCount(), 500u);
+    // Still a tree: every non-root node has indegree 1.
+    EXPECT_EQ(countIndeg(1), 499u);
+    oct.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_F(IstlTest, OctTreeBudgetDagFault)
+{
+    faults_.enable(FaultKind::OctTreeDag, 0.5);
+    istl::OctTree oct(ctx_);
+    oct.buildBudget(400, 0.9);
+    std::uint64_t shared = 0;
+    for (const auto &[id, rec] : process_.graph().objects()) {
+        (void)id;
+        shared += rec.indegree() >= 2 ? 1 : 0;
+    }
+    EXPECT_GT(shared, 0u);
+    oct.clear();
+    EXPECT_EQ(process_.graph().stats().unknownFrees, 0u);
+}
+
+TEST_F(IstlTest, BstUnspliceInvertsSplice)
+{
+    istl::BinaryTree tree(ctx_, 0);
+    for (std::uint64_t k : {50, 30, 70, 20, 40, 60, 80})
+        tree.insert(k);
+    const std::uint64_t before = tree.size();
+    ASSERT_NE(tree.spliceAbove(), kNullAddr);
+    EXPECT_EQ(tree.size(), before + 1);
+    EXPECT_TRUE(tree.unspliceRandom());
+    EXPECT_EQ(tree.size(), before);
+    process_.graph().checkConsistency();
+    tree.clear();
+    EXPECT_EQ(heap_.liveCount(), 0u);
+}
+
+TEST_F(IstlTest, BuildFullMissingParentFault)
+{
+    faults_.enable(FaultKind::TreeMissingParent, 1.0);
+    istl::BinaryTree tree(ctx_, 0);
+    tree.buildFull(5);
+    // Without child->parent back-pointers every node has indegree
+    // exactly 1 (its parent's child slot), except the root.
+    EXPECT_EQ(countIndeg(1), tree.size() - 1);
+    EXPECT_EQ(countIndeg(0), 1u);
+}
+
+// ----------------------------------------------------------- AdjGraph
+
+TEST_F(IstlTest, AdjGraphEdgesAndRemoval)
+{
+    istl::AdjGraph graph(ctx_, 0);
+    const Addr u = graph.addVertex();
+    const Addr v = graph.addVertex();
+    graph.addEdge(u, v);
+    graph.addEdge(u, v);
+    EXPECT_EQ(graph.edgeCount(), 2u);
+    // 2 vertices + 2 edge nodes.
+    EXPECT_EQ(process_.graph().vertexCount(), 4u);
+    graph.removeFirstEdge(u);
+    EXPECT_EQ(graph.edgeCount(), 1u);
+    graph.clear();
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+}
+
+TEST_F(IstlTest, AdjGraphBuildRandomSizes)
+{
+    istl::AdjGraph graph(ctx_, 16);
+    graph.buildRandom(50, 2.0);
+    EXPECT_EQ(graph.vertexCount(), 50u);
+    EXPECT_EQ(graph.edgeCount(), 100u);
+    // 50 vertices + 50 payloads + 100 edge nodes.
+    EXPECT_EQ(process_.graph().vertexCount(), 200u);
+}
+
+TEST_F(IstlTest, LocalizationFaultMakesStarGraph)
+{
+    faults_.enable(FaultKind::LocalizationBug, 1.0);
+    istl::AdjGraph graph(ctx_, 0);
+    graph.buildRandom(50, 3.0);
+    // Nearly all edge-list nodes hang off the hub vertex.
+    const Addr hub = graph.vertexAt(0);
+    std::uint64_t hub_chain = 0;
+    Addr edge = heap_.loadPtr(hub + istl::AdjGraph::kEdgeHeadOff);
+    while (edge != kNullAddr) {
+        ++hub_chain;
+        edge = heap_.loadPtr(edge + istl::AdjGraph::kENextOff);
+    }
+    EXPECT_GT(hub_chain, 120u); // ~95% of 150 edges
+}
+
+// --------------------------------------------------------- BufferPool
+
+TEST_F(IstlTest, BufferPoolLifecycle)
+{
+    istl::BufferPool pool(ctx_);
+    const std::size_t a = pool.acquire(100);
+    const std::size_t b = pool.acquire(200);
+    EXPECT_EQ(pool.liveCount(), 2u);
+    EXPECT_NE(pool.bufferAt(a), kNullAddr);
+    pool.fill(a, 4);
+    pool.grow(a);
+    EXPECT_EQ(heap_.blockSize(pool.bufferAt(a)), 200u);
+    pool.release(a);
+    pool.release(a); // idempotent
+    EXPECT_EQ(pool.liveCount(), 1u);
+    pool.touchAll();
+    pool.clear();
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(process_.graph().vertexCount(), 0u);
+    (void)b;
+}
+
+TEST_F(IstlTest, BuffersAreRootsAndLeaves)
+{
+    istl::BufferPool pool(ctx_);
+    pool.acquire(64);
+    pool.acquire(64);
+    EXPECT_EQ(countIndeg(0), 2u);
+    EXPECT_EQ(process_.graph().edgeCount(), 0u);
+}
+
+// ---------------------------------------------------- DescriptorTable
+
+TEST_F(IstlTest, DescriptorPopulateAndCorrectTransfer)
+{
+    istl::DescriptorTable table(ctx_, 8, 48);
+    istl::Dll sink(ctx_, 0);
+    table.populate(3);
+    const Addr desc = table.descriptorAt(3);
+    ASSERT_NE(desc, kNullAddr);
+    const Addr leaked = table.transfer(3, sink);
+    EXPECT_EQ(leaked, kNullAddr); // correct path
+    EXPECT_EQ(table.descriptorAt(3), kNullAddr);
+    EXPECT_EQ(sink.size(), 1u);
+    // The descriptor now belongs to the sink node.
+    EXPECT_EQ(heap_.loadPtr(sink.head() + istl::Dll::kPayloadOff),
+              desc);
+    sink.clear();
+    EXPECT_FALSE(heap_.isLive(desc)); // sink owned it
+}
+
+TEST_F(IstlTest, DescriptorTypoLeakFault)
+{
+    faults_.enable(FaultKind::TypoLeak, 1.0);
+    istl::DescriptorTable table(ctx_, 8, 48);
+    istl::Dll sink(ctx_, 0);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        table.populate(i);
+    const Addr victim = table.descriptorAt(5);
+    const Addr leaked = table.transfer(5, sink);
+    // The Figure 11 bug: slot 5's descriptor lost its only reference.
+    EXPECT_EQ(leaked, victim);
+    EXPECT_TRUE(heap_.isLive(victim));
+    const ObjectRecord *rec = process_.graph().objectAt(victim);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->indegree(), 0u); // unreachable root: leaked
+}
+
+TEST_F(IstlTest, DescriptorTouchAllAndClear)
+{
+    istl::DescriptorTable table(ctx_, 4, 32);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        table.populate(i);
+    table.touchAll();
+    table.clear();
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(table.descriptorAt(i), kNullAddr);
+}
+
+} // namespace
+
+} // namespace heapmd

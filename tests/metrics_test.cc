@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests of metric identifiers, the metric engine, and series
+ * trimming/fluctuation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heapgraph/heap_graph.hh"
+#include "metrics/metric_engine.hh"
+#include "metrics/series.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+TEST(MetricIdTest, NamesRoundTrip)
+{
+    for (MetricId id : kAllMetrics)
+        EXPECT_EQ(metricFromName(metricName(id)), id);
+}
+
+TEST(MetricIdTest, PaperNames)
+{
+    EXPECT_EQ(metricName(MetricId::Roots), "Root");
+    EXPECT_EQ(metricName(MetricId::Leaves), "Leaves");
+    EXPECT_EQ(metricName(MetricId::InEqOut), "In=Out");
+    EXPECT_EQ(metricName(MetricId::Outdeg1), "Outdeg=1");
+}
+
+TEST(MetricIdDeathTest, UnknownNamePanics)
+{
+    EXPECT_DEATH(metricFromName("bogus"), "unknown metric");
+}
+
+TEST(MetricEngineTest, EmptyHeapAllZero)
+{
+    HeapGraph g;
+    const MetricSample s = MetricEngine::sample(g, 5, 2);
+    EXPECT_EQ(s.tick, 5u);
+    EXPECT_EQ(s.pointIndex, 2u);
+    EXPECT_EQ(s.vertexCount, 0u);
+    for (MetricId id : kAllMetrics)
+        EXPECT_EQ(s.value(id), 0.0);
+}
+
+TEST(MetricEngineTest, LinkedListPercentages)
+{
+    // 5-node singly linked list: head indeg 0, tail outdeg 0,
+    // 3 interior nodes with in = out = 1.
+    HeapGraph g;
+    std::vector<Addr> nodes;
+    for (int i = 0; i < 5; ++i) {
+        const Addr addr = 0x1000 + 0x100 * i;
+        g.allocate(addr, 32);
+        nodes.push_back(addr);
+    }
+    for (int i = 0; i + 1 < 5; ++i)
+        g.write(nodes[i] + 8, nodes[i + 1]);
+
+    const MetricSample s = MetricEngine::sample(g, 0, 0);
+    EXPECT_EQ(s.vertexCount, 5u);
+    EXPECT_EQ(s.edgeCount, 4u);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Roots), 20.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Indeg1), 80.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Indeg2), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Leaves), 20.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Outdeg1), 80.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Outdeg2), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::InEqOut), 60.0);
+}
+
+TEST(MetricEngineTest, DoublyLinkedListPercentages)
+{
+    // 4-node doubly linked list: interior nodes in = out = 2.
+    HeapGraph g;
+    std::vector<Addr> nodes;
+    for (int i = 0; i < 4; ++i) {
+        const Addr addr = 0x1000 + 0x100 * i;
+        g.allocate(addr, 32);
+        nodes.push_back(addr);
+    }
+    for (int i = 0; i + 1 < 4; ++i) {
+        g.write(nodes[i] + 8, nodes[i + 1]);  // next
+        g.write(nodes[i + 1] + 16, nodes[i]); // prev
+    }
+    const MetricSample s = MetricEngine::sample(g, 0, 0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Indeg1), 50.0); // ends
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Indeg2), 50.0); // interior
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Outdeg2), 50.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::Roots), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(MetricId::InEqOut), 100.0);
+}
+
+TEST(MetricEngineTest, ExtendedSampleComponents)
+{
+    HeapGraph g;
+    g.allocate(0x1000, 32);
+    g.allocate(0x2000, 32);
+    g.allocate(0x3000, 32);
+    g.write(0x1000, 0x2000);
+    const ExtendedSample s = MetricEngine::sampleExtended(g, 9, 4);
+    EXPECT_EQ(s.tick, 9u);
+    EXPECT_EQ(s.componentCount, 2u);
+    EXPECT_EQ(s.largestComponent, 2u);
+    EXPECT_EQ(s.sccCount, 3u);
+}
+
+MetricSample
+sampleWith(double value, std::uint64_t point)
+{
+    MetricSample s;
+    s.pointIndex = point;
+    s.vertexCount = 100;
+    for (MetricId id : kAllMetrics)
+        s.values[metricIndex(id)] = value;
+    return s;
+}
+
+TEST(MetricSeriesTest, PushAndValues)
+{
+    MetricSeries series;
+    EXPECT_TRUE(series.empty());
+    series.push(sampleWith(10.0, 0));
+    series.push(sampleWith(20.0, 1));
+    EXPECT_EQ(series.size(), 2u);
+    const std::vector<double> vals = series.valuesOf(MetricId::Roots);
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_DOUBLE_EQ(vals[0], 10.0);
+    EXPECT_DOUBLE_EQ(vals[1], 20.0);
+}
+
+TEST(MetricSeriesDeathTest, AtOutOfRangePanics)
+{
+    MetricSeries series;
+    EXPECT_DEATH(series.at(0), "out of range");
+}
+
+TEST(MetricSeriesTest, TrimmedRangeBasics)
+{
+    MetricSeries series;
+    for (int i = 0; i < 100; ++i)
+        series.push(sampleWith(1.0, i));
+    const auto [first, last] = series.trimmedRange(0.10);
+    EXPECT_EQ(first, 10u);
+    EXPECT_EQ(last, 90u);
+}
+
+TEST(MetricSeriesTest, TrimmedRangeKeepsAtLeastTwo)
+{
+    MetricSeries series;
+    for (int i = 0; i < 3; ++i)
+        series.push(sampleWith(1.0, i));
+    const auto [first, last] = series.trimmedRange(0.4);
+    EXPECT_GE(last - first, 2u);
+}
+
+TEST(MetricSeriesTest, TrimmedRangeShortSeries)
+{
+    MetricSeries series;
+    series.push(sampleWith(1.0, 0));
+    const auto [first, last] = series.trimmedRange(0.10);
+    EXPECT_EQ(first, 0u);
+    EXPECT_EQ(last, 1u);
+}
+
+TEST(MetricSeriesDeathTest, BadTrimFractionPanics)
+{
+    MetricSeries series;
+    series.push(sampleWith(1.0, 0));
+    EXPECT_DEATH(series.trimmedRange(0.5), "trim fraction");
+    EXPECT_DEATH(series.trimmedRange(-0.1), "trim fraction");
+}
+
+TEST(MetricSeriesTest, TrimmedValues)
+{
+    MetricSeries series;
+    for (int i = 0; i < 10; ++i)
+        series.push(sampleWith(static_cast<double>(i), i));
+    const std::vector<double> vals =
+        series.trimmedValuesOf(MetricId::Roots, 0.10);
+    ASSERT_EQ(vals.size(), 8u);
+    EXPECT_DOUBLE_EQ(vals.front(), 1.0);
+    EXPECT_DOUBLE_EQ(vals.back(), 8.0);
+}
+
+TEST(FluctuationTest, PercentChanges)
+{
+    const std::vector<double> changes =
+        fluctuationOf({100.0, 110.0, 99.0});
+    ASSERT_EQ(changes.size(), 2u);
+    EXPECT_NEAR(changes[0], 10.0, 1e-9);
+    EXPECT_NEAR(changes[1], -10.0, 1e-9);
+}
+
+TEST(FluctuationTest, ZeroGuardSkipsZeroBase)
+{
+    const std::vector<double> changes =
+        fluctuationOf({0.0, 50.0, 100.0});
+    ASSERT_EQ(changes.size(), 1u); // the 0 -> 50 step is skipped
+    EXPECT_NEAR(changes[0], 100.0, 1e-9);
+}
+
+TEST(FluctuationTest, ShortInputs)
+{
+    EXPECT_TRUE(fluctuationOf({}).empty());
+    EXPECT_TRUE(fluctuationOf({5.0}).empty());
+}
+
+TEST(FluctuationTest, ConstantSeriesIsFlat)
+{
+    const std::vector<double> changes =
+        fluctuationOf({7.0, 7.0, 7.0, 7.0});
+    ASSERT_EQ(changes.size(), 3u);
+    for (double c : changes)
+        EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+} // namespace
+
+} // namespace heapmd

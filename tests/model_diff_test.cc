@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests of model diffing (the Section 6 "program evolution"
+ * application).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_diff.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+HeapModel
+modelWith(std::initializer_list<HeapModel::Entry> entries)
+{
+    HeapModel model;
+    for (const HeapModel::Entry &e : entries)
+        model.addEntry(e);
+    return model;
+}
+
+HeapModel::Entry
+entry(MetricId id, double min, double max)
+{
+    HeapModel::Entry e;
+    e.id = id;
+    e.minValue = min;
+    e.maxValue = max;
+    return e;
+}
+
+TEST(ModelDiffTest, IdenticalModelsUnchanged)
+{
+    const HeapModel a =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const ModelDiff diff = diffModels(a, b);
+    EXPECT_TRUE(diff.unchanged());
+    EXPECT_NE(diff.describe().find("models agree"),
+              std::string::npos);
+}
+
+TEST(ModelDiffTest, SmallShiftWithinToleranceIgnored)
+{
+    // Figure 7(B): clean builds barely move their ranges.
+    const HeapModel a =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Leaves, 20.5, 30.8)});
+    EXPECT_TRUE(diffModels(a, b).unchanged());
+}
+
+TEST(ModelDiffTest, LargeShiftReported)
+{
+    const HeapModel a =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Leaves, 32.0, 45.0)});
+    const ModelDiff diff = diffModels(a, b);
+    ASSERT_EQ(diff.metrics.size(), 1u);
+    EXPECT_EQ(diff.metrics[0].kind,
+              MetricDiff::Kind::RangeShifted);
+    EXPECT_GT(diff.metrics[0].shift, 1.0);
+    EXPECT_NE(diff.describe().find("range moved"),
+              std::string::npos);
+}
+
+TEST(ModelDiffTest, LostAndGainedStability)
+{
+    const HeapModel a =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Roots, 1.0, 5.0)});
+    const ModelDiff diff = diffModels(a, b);
+    ASSERT_EQ(diff.metrics.size(), 2u);
+    // Metric order follows kAllMetrics: Roots before Leaves.
+    EXPECT_EQ(diff.metrics[0].id, MetricId::Roots);
+    EXPECT_EQ(diff.metrics[0].kind,
+              MetricDiff::Kind::GainedStability);
+    EXPECT_EQ(diff.metrics[1].id, MetricId::Leaves);
+    EXPECT_EQ(diff.metrics[1].kind,
+              MetricDiff::Kind::LostStability);
+    const std::string text = diff.describe();
+    EXPECT_NE(text.find("GAINED"), std::string::npos);
+    EXPECT_NE(text.find("LOST"), std::string::npos);
+}
+
+TEST(ModelDiffTest, SubPointShiftIgnoredEvenOnNarrowRanges)
+{
+    // A narrow range that moves by < 1 percentage point is noise.
+    const HeapModel a =
+        modelWith({entry(MetricId::Roots, 1.00, 1.20)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Roots, 1.40, 1.60)});
+    EXPECT_TRUE(diffModels(a, b).unchanged());
+}
+
+TEST(ModelDiffTest, ToleranceKnob)
+{
+    const HeapModel a =
+        modelWith({entry(MetricId::Leaves, 20.0, 30.0)});
+    const HeapModel b =
+        modelWith({entry(MetricId::Leaves, 23.0, 33.0)});
+    EXPECT_TRUE(diffModels(a, b, 0.50).unchanged());
+    EXPECT_FALSE(diffModels(a, b, 0.10).unchanged());
+}
+
+TEST(ModelDiffTest, EmptyModels)
+{
+    EXPECT_TRUE(diffModels(HeapModel{}, HeapModel{}).unchanged());
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of per-allocation-site metrics (the Section 4.4 type-proxy
+ * extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/heapmd.hh"
+#include "metrics/site_metrics.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+TEST(SiteMetricsTest, EmptyGraph)
+{
+    HeapGraph graph;
+    EXPECT_TRUE(computeSiteMetrics(graph, 0, 0).empty());
+}
+
+TEST(SiteMetricsTest, GroupsBySiteWithDistinctShapes)
+{
+    // Site 1: a 10-node chain (mostly indeg 1 / outdeg 1).
+    // Site 2: 10 isolated buffers (roots and leaves).
+    HeapGraph graph;
+    const FnId chain_site = 1, buffer_site = 2;
+    Addr prev = 0;
+    for (int i = 0; i < 10; ++i) {
+        const Addr addr = 0x10000 + 0x100 * i;
+        graph.allocate(addr, 32, chain_site);
+        if (prev != 0)
+            graph.write(prev + 8, addr);
+        prev = addr;
+    }
+    for (int i = 0; i < 10; ++i)
+        graph.allocate(0x90000 + 0x100 * i, 64, buffer_site);
+
+    const auto sites = computeSiteMetrics(graph, 0, 1);
+    ASSERT_EQ(sites.size(), 2u);
+    // Both sites have 10 objects; order by count is tied, so find
+    // them by id.
+    const SiteMetrics *chain = nullptr, *buffers = nullptr;
+    for (const SiteMetrics &m : sites) {
+        if (m.site == chain_site)
+            chain = &m;
+        if (m.site == buffer_site)
+            buffers = &m;
+    }
+    ASSERT_NE(chain, nullptr);
+    ASSERT_NE(buffers, nullptr);
+
+    EXPECT_EQ(chain->objectCount, 10u);
+    EXPECT_EQ(chain->liveBytes, 320u);
+    EXPECT_DOUBLE_EQ(chain->value(MetricId::Indeg1), 90.0);
+    EXPECT_DOUBLE_EQ(chain->value(MetricId::Roots), 10.0);
+
+    EXPECT_DOUBLE_EQ(buffers->value(MetricId::Roots), 100.0);
+    EXPECT_DOUBLE_EQ(buffers->value(MetricId::Leaves), 100.0);
+    EXPECT_DOUBLE_EQ(buffers->value(MetricId::InEqOut), 100.0);
+    EXPECT_EQ(buffers->liveBytes, 640u);
+}
+
+TEST(SiteMetricsTest, MinObjectsFiltersNoise)
+{
+    HeapGraph graph;
+    for (int i = 0; i < 10; ++i)
+        graph.allocate(0x10000 + 0x100 * i, 32, /*site=*/1);
+    graph.allocate(0x90000, 32, /*site=*/2); // lone object
+    EXPECT_EQ(computeSiteMetrics(graph, 0, 8).size(), 1u);
+    EXPECT_EQ(computeSiteMetrics(graph, 0, 1).size(), 2u);
+}
+
+TEST(SiteMetricsTest, TopKKeepsLargestSites)
+{
+    HeapGraph graph;
+    Addr next = 0x10000;
+    for (FnId site = 1; site <= 5; ++site) {
+        for (FnId i = 0; i < site * 4; ++i) {
+            graph.allocate(next, 16, site);
+            next += 0x40;
+        }
+    }
+    const auto sites = computeSiteMetrics(graph, 2, 1);
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].site, 5u);
+    EXPECT_EQ(sites[1].site, 4u);
+    EXPECT_GE(sites[0].objectCount, sites[1].objectCount);
+}
+
+TEST(SiteMetricsTest, MostDeviantSite)
+{
+    SiteMetrics a;
+    a.site = 1;
+    a.values[metricIndex(MetricId::Indeg1)] = 52.0;
+    SiteMetrics b;
+    b.site = 2;
+    b.values[metricIndex(MetricId::Indeg1)] = 95.0;
+    const std::vector<SiteMetrics> sites = {a, b};
+    EXPECT_EQ(mostDeviantSite(sites, MetricId::Indeg1, 50.0), 1u);
+    EXPECT_EQ(mostDeviantSite(sites, MetricId::Indeg1, 99.0), 0u);
+    EXPECT_EQ(mostDeviantSite({}, MetricId::Indeg1, 0.0),
+              static_cast<std::size_t>(-1));
+}
+
+TEST(SiteMetricsTest, AttributesInjectedBugToItsStructure)
+{
+    // Run PC Game (action) with the Figure 10 bug and snapshot the
+    // heap mid-run: the tree-construction sites should be the most
+    // deviant Indeg=1 population.
+    struct Snapshotter : public SampleObserver
+    {
+        void
+        onSample(const MetricSample &sample,
+                 const Process &process) override
+        {
+            if (sample.pointIndex == 5) {
+                before = computeSiteMetrics(process.graph(), 0, 16);
+            } else if (sample.pointIndex == 25) {
+                after = computeSiteMetrics(process.graph(), 0, 16);
+                heapIndeg1 = sample.value(MetricId::Indeg1);
+                for (const SiteMetrics &m : after)
+                    names.push_back(
+                        process.registry().name(m.site));
+            }
+        }
+
+        std::vector<SiteMetrics> before, after;
+        std::vector<std::string> names;
+        double heapIndeg1 = 0.0;
+    };
+
+    ProcessConfig pcfg;
+    pcfg.metricFrequency = 300;
+    Process process(pcfg);
+    Snapshotter snap;
+    process.addSampleObserver(&snap);
+
+    auto app = makeApp("PC Game (action)");
+    AppConfig cfg;
+    cfg.inputSeed = 200;
+    cfg.scale = 0.6;
+    cfg.faults.enable(FaultKind::TreeMissingParent, 1.0);
+    app->run(process, cfg);
+
+    ASSERT_FALSE(snap.before.empty());
+    ASSERT_FALSE(snap.after.empty());
+    // The bug pushes the whole-heap Indeg=1 ABOVE its range; the
+    // culprit is the site whose indegree-1 population *grew* between
+    // the early and late snapshots (static indegree-1 populations
+    // like the oct-tree cancel out).
+    const std::size_t culprit = largestPropertyGrowth(
+        snap.before, snap.after, MetricId::Indeg1, true);
+    ASSERT_LT(culprit, snap.after.size());
+    // The corrupted population was built by the tree code.
+    EXPECT_NE(snap.names[culprit].find("BinaryTree"),
+              std::string::npos)
+        << "attributed to " << snap.names[culprit];
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests of the support layer: RNG, statistics, ring buffer,
+ * table/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/csv.hh"
+#include "support/random.hh"
+#include "support/ring_buffer.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(splitMix64(s1), splitMix64(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, AdvancesState)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t first = splitMix64(s);
+    const std::uint64_t second = splitMix64(s);
+    EXPECT_NE(first, second);
+}
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngDeathTest, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "bound 0");
+}
+
+TEST(RngTest, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(RngDeathTest, BetweenReversedPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.between(3, -3), "lo > hi");
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ChanceEdges)
+{
+    Rng rng(3);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 5000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 5000.0, 0.3, 0.04);
+}
+
+TEST(RngTest, GaussianMeanAndSpread)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 5000; ++i)
+        stats.push(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.2);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.2);
+}
+
+TEST(RngTest, WeightedPickRespectsWeights)
+{
+    Rng rng(23);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.weightedPick(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / 4000.0, 0.75, 0.05);
+}
+
+TEST(RngDeathTest, WeightedPickRejectsAllZero)
+{
+    Rng rng(1);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_DEATH(rng.weightedPick(weights), "positive total");
+}
+
+TEST(RngDeathTest, WeightedPickRejectsNegative)
+{
+    Rng rng(1);
+    std::vector<double> weights = {1.0, -0.5};
+    EXPECT_DEATH(rng.weightedPick(weights), "negative weight");
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng a(31);
+    Rng child = a.fork();
+    EXPECT_NE(a(), child());
+}
+
+TEST(RunningStatsTest, EmptyDefaults)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues)
+{
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.push(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream)
+{
+    RunningStats all, left, right;
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.uniform() * 10.0;
+        all.push(x);
+        (i < 40 ? left : right).push(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.push(1.0);
+    a.push(3.0);
+    RunningStats copy = a;
+    copy.merge(b); // merging empty changes nothing
+    EXPECT_EQ(copy.count(), 2u);
+    EXPECT_DOUBLE_EQ(copy.mean(), 2.0);
+    b.merge(a); // merging into empty copies
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears)
+{
+    RunningStats stats;
+    stats.push(5.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(MinMaxTest, EnvelopeAndContains)
+{
+    MinMax mm;
+    EXPECT_TRUE(mm.empty());
+    EXPECT_FALSE(mm.contains(0.0));
+    mm.push(3.0);
+    mm.push(-1.0);
+    mm.push(2.0);
+    EXPECT_DOUBLE_EQ(mm.min(), -1.0);
+    EXPECT_DOUBLE_EQ(mm.max(), 3.0);
+    EXPECT_DOUBLE_EQ(mm.span(), 4.0);
+    EXPECT_TRUE(mm.contains(-1.0));
+    EXPECT_TRUE(mm.contains(3.0));
+    EXPECT_TRUE(mm.contains(0.0));
+    EXPECT_FALSE(mm.contains(3.0001));
+    EXPECT_FALSE(mm.contains(-1.0001));
+}
+
+TEST(MinMaxTest, Merge)
+{
+    MinMax a, b;
+    a.push(1.0);
+    b.push(5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(VectorStatsTest, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stddevOf({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddevOf({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                     2.0);
+}
+
+TEST(RingBufferTest, FillAndWrap)
+{
+    RingBuffer<int> ring(3);
+    EXPECT_TRUE(ring.empty());
+    ring.push(1);
+    ring.push(2);
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.at(0), 1);
+    EXPECT_EQ(ring.at(1), 2);
+    ring.push(3);
+    ring.push(4); // evicts 1
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.at(0), 2);
+    EXPECT_EQ(ring.at(2), 4);
+}
+
+TEST(RingBufferTest, SnapshotOldestFirst)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 10; ++i)
+        ring.push(i);
+    const std::vector<int> snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap.front(), 6);
+    EXPECT_EQ(snap.back(), 9);
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity)
+{
+    RingBuffer<int> ring(2);
+    ring.push(1);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 2u);
+    ring.push(7);
+    EXPECT_EQ(ring.at(0), 7);
+}
+
+TEST(RingBufferDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(RingBuffer<int>(0), "capacity");
+}
+
+TEST(RingBufferDeathTest, OutOfRangeIndexPanics)
+{
+    RingBuffer<int> ring(2);
+    ring.push(1);
+    EXPECT_DEATH(ring.at(1), "out of range");
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTableDeathTest, WidthMismatchPanics)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTableDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+TEST(FormatTest, DoublesAndPercents)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(-1.0, 0), "-1");
+    EXPECT_EQ(fmtPercent(12.345, 1), "12.3%");
+}
+
+TEST(CsvWriterTest, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecials)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"with,comma", "with\"quote", "plain"});
+    EXPECT_EQ(os.str(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST(CsvWriterTest, NumericRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeNumericRow({1.5, 2.0}, 2);
+    EXPECT_EQ(os.str(), "1.50,2.00\n");
+}
+
+} // namespace
+
+} // namespace heapmd

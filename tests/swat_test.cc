@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests of the SWAT baseline (staleness-based leak detection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "swat/swat_detector.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+SwatConfig
+fastConfig()
+{
+    SwatConfig cfg;
+    cfg.stalenessThreshold = 100;
+    cfg.minObjectAge = 10;
+    return cfg;
+}
+
+TEST(SwatTest, FreshObjectNotReported)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    const auto leaks = swat.finalize(process.now() + 5);
+    EXPECT_TRUE(leaks.empty()); // younger than minObjectAge
+}
+
+TEST(SwatTest, StaleLiveObjectReported)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    // Burn ticks without touching the object.
+    for (int i = 0; i < 200; ++i)
+        process.onFnEnter(0);
+    const auto leaks = swat.finalize(process.now());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_EQ(leaks[0].addr, 0x1000u);
+    EXPECT_EQ(leaks[0].size, 64u);
+    EXPECT_GE(leaks[0].staleness, 100u);
+}
+
+TEST(SwatTest, AccessedObjectNotReported)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    for (int i = 0; i < 300; ++i) {
+        process.onFnEnter(0);
+        if (i % 50 == 0)
+            process.onRead(0x1000 + 8); // interior access counts
+    }
+    process.onRead(0x1000);
+    const auto leaks = swat.finalize(process.now());
+    EXPECT_TRUE(leaks.empty());
+}
+
+TEST(SwatTest, WriteCountsAsAccess)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    for (int i = 0; i < 300; ++i) {
+        process.onFnEnter(0);
+        if (i % 40 == 0)
+            process.onWrite(0x1000 + 16, 0);
+    }
+    process.onWrite(0x1000, 0);
+    EXPECT_TRUE(swat.finalize(process.now()).empty());
+}
+
+TEST(SwatTest, FreedFreshObjectNotReported)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    process.onRead(0x1000);
+    process.onFree(0x1000);
+    for (int i = 0; i < 300; ++i)
+        process.onFnEnter(0);
+    EXPECT_TRUE(swat.finalize(process.now()).empty());
+}
+
+TEST(SwatTest, StaleThenFreedIsStickyReported)
+{
+    // An object that sat stale past the threshold and was freed at
+    // teardown was already reported while the program ran.
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    for (int i = 0; i < 300; ++i)
+        process.onFnEnter(0);
+    process.onFree(0x1000); // cleanup at exit
+    const auto leaks = swat.finalize(process.now());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_EQ(leaks[0].addr, 0x1000u);
+}
+
+TEST(SwatTest, ReallocKeepsTracking)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    process.onRealloc(0x1000, 0x2000, 128);
+    for (int i = 0; i < 300; ++i)
+        process.onFnEnter(0);
+    const auto leaks = swat.finalize(process.now());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_EQ(leaks[0].addr, 0x2000u);
+    EXPECT_EQ(leaks[0].size, 128u);
+}
+
+TEST(SwatTest, AllocSiteRecorded)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    const FnId fn = process.registry().intern("make_thing");
+    process.onFnEnter(fn);
+    process.onAlloc(0x1000, 64);
+    process.onFnExit(fn);
+    for (int i = 0; i < 300; ++i)
+        process.onFnEnter(0);
+    const auto leaks = swat.finalize(process.now());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_EQ(leaks[0].allocSite, fn);
+}
+
+TEST(SwatTest, AccessOutsideAnyObjectIgnored)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    process.onRead(0x999999);
+    EXPECT_EQ(swat.liveCount(), 1u);
+    EXPECT_EQ(swat.totalAccesses(), 1u);
+}
+
+TEST(SwatTest, AdaptiveSamplingDecaysObservation)
+{
+    // With a tiny k, a hot allocation site quickly stops being
+    // observed: sampled << total.
+    SwatConfig cfg = fastConfig();
+    cfg.samplingK = 4.0;
+    cfg.seed = 99;
+    Process process;
+    SwatDetector swat(cfg);
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    for (int i = 0; i < 2000; ++i)
+        process.onRead(0x1000);
+    EXPECT_EQ(swat.totalAccesses(), 2000u);
+    EXPECT_LT(swat.sampledAccesses(), 200u);
+    EXPECT_GE(swat.sampledAccesses(), 1u);
+}
+
+TEST(SwatTest, FullObservationByDefault)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    for (int i = 0; i < 500; ++i)
+        process.onRead(0x1000);
+    EXPECT_EQ(swat.sampledAccesses(), 500u);
+}
+
+TEST(SwatDeathTest, DoubleAttachPanics)
+{
+    Process process;
+    SwatDetector swat;
+    swat.attach(process);
+    EXPECT_DEATH(swat.attach(process), "already attached");
+}
+
+TEST(SwatTest, MultipleObjectsIndependentStaleness)
+{
+    Process process;
+    SwatDetector swat(fastConfig());
+    swat.attach(process);
+    process.onAlloc(0x1000, 64);
+    process.onAlloc(0x2000, 64);
+    for (int i = 0; i < 300; ++i) {
+        process.onFnEnter(0);
+        process.onRead(0x2000); // keep the second fresh
+    }
+    const auto leaks = swat.finalize(process.now());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_EQ(leaks[0].addr, 0x1000u);
+}
+
+} // namespace
+
+} // namespace heapmd

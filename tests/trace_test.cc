@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests of the trace codec and record/replay equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_format.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+TEST(VarintTest, RoundTripBoundaries)
+{
+    const std::uint64_t values[] = {
+        0,    1,    127,  128,  129,  16383, 16384,
+        (1ull << 32) - 1, 1ull << 32, ~0ull,
+    };
+    for (std::uint64_t v : values) {
+        std::stringstream ss;
+        trace::putVarint(ss, v);
+        std::uint64_t out = 0;
+        ASSERT_TRUE(trace::getVarint(ss, out));
+        EXPECT_EQ(out, v);
+    }
+}
+
+TEST(VarintTest, TruncatedFails)
+{
+    std::stringstream ss;
+    ss.put(static_cast<char>(0x80)); // continuation without payload
+    std::uint64_t out = 0;
+    EXPECT_FALSE(trace::getVarint(ss, out));
+}
+
+TEST(VarintTest, EmptyFails)
+{
+    std::stringstream ss;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(trace::getVarint(ss, out));
+}
+
+TEST(U32Test, RoundTrip)
+{
+    std::stringstream ss;
+    trace::putU32(ss, 0xdeadbeef);
+    std::uint32_t out = 0;
+    ASSERT_TRUE(trace::getU32(ss, out));
+    EXPECT_EQ(out, 0xdeadbeefu);
+}
+
+TEST(EventTest, FactoriesAndEquality)
+{
+    EXPECT_EQ(Event::alloc(1, 2), Event::alloc(1, 2));
+    EXPECT_FALSE(Event::alloc(1, 2) == Event::alloc(1, 3));
+    EXPECT_FALSE(Event::alloc(1, 2) == Event::free(1));
+    EXPECT_STREQ(eventKindName(EventKind::Realloc), "realloc");
+    EXPECT_STREQ(eventKindName(EventKind::FnEnter), "fn-enter");
+}
+
+TEST(TraceRoundTripTest, AllEventKinds)
+{
+    const std::vector<Event> events = {
+        Event::alloc(0x1000, 64),
+        Event::write(0x1000, 0x2000),
+        Event::read(0x1008),
+        Event::realloc(0x1000, 0x3000, 128),
+        Event::fnEnter(7),
+        Event::fnExit(7),
+        Event::free(0x3000),
+    };
+
+    FunctionRegistry registry;
+    registry.intern("alpha");
+    registry.intern("beta");
+
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    Tick tick = 0;
+    for (const Event &e : events)
+        writer.onEvent(e, ++tick);
+    writer.finish();
+    EXPECT_EQ(writer.eventCount(), events.size());
+
+    TraceReader reader(ss);
+    Event decoded;
+    std::size_t i = 0;
+    while (reader.next(decoded)) {
+        ASSERT_LT(i, events.size());
+        EXPECT_EQ(decoded, events[i]) << "event " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, events.size());
+    EXPECT_FALSE(reader.malformed());
+    ASSERT_EQ(reader.functionNames().size(), 2u);
+    EXPECT_EQ(reader.functionNames()[0], "alpha");
+    EXPECT_EQ(reader.functionNames()[1], "beta");
+}
+
+TEST(TraceRoundTripTest, FinishIsIdempotent)
+{
+    FunctionRegistry registry;
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    writer.finish();
+    writer.finish();
+    TraceReader reader(ss);
+    Event e;
+    EXPECT_FALSE(reader.next(e));
+    EXPECT_FALSE(reader.malformed());
+}
+
+TEST(TraceReaderDeathTest, BadMagicFatal)
+{
+    std::stringstream ss;
+    ss << "NOTATRACE";
+    EXPECT_DEATH(TraceReader reader(ss), "bad magic");
+}
+
+TEST(TraceReaderTest, TruncatedStreamFlagsMalformed)
+{
+    FunctionRegistry registry;
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    writer.onEvent(Event::alloc(0x1000, 64), 1);
+    // No finish(): stream ends without a footer.
+    TraceReader reader(ss);
+    Event e;
+    EXPECT_TRUE(reader.next(e));
+    EXPECT_FALSE(reader.next(e));
+    EXPECT_TRUE(reader.malformed());
+}
+
+TEST(TraceReplayTest, ReplayReproducesProcessState)
+{
+    // Drive a small workload through a recorded process.
+    ProcessConfig cfg;
+    cfg.metricFrequency = 3;
+    Process recorded(cfg);
+    std::stringstream ss;
+    TraceWriter writer(ss, recorded.registry());
+    recorded.addEventObserver(&writer);
+
+    const FnId fn = recorded.registry().intern("work");
+    for (int i = 0; i < 10; ++i) {
+        recorded.onFnEnter(fn);
+        const Addr a = 0x10000 + 0x100 * i;
+        recorded.onAlloc(a, 64);
+        if (i > 0)
+            recorded.onWrite(a, a - 0x100);
+        if (i == 5)
+            recorded.onFree(0x10000);
+        recorded.onFnExit(fn);
+    }
+    writer.finish();
+
+    Process replayed(cfg);
+    TraceReader reader(ss);
+    const std::uint64_t n = replayTrace(reader, replayed);
+    EXPECT_EQ(n, recorded.now());
+
+    // Graph and series must match exactly.
+    EXPECT_EQ(replayed.graph().vertexCount(),
+              recorded.graph().vertexCount());
+    EXPECT_EQ(replayed.graph().edgeCount(),
+              recorded.graph().edgeCount());
+    EXPECT_EQ(replayed.graph().stats().liveBytes,
+              recorded.graph().stats().liveBytes);
+    ASSERT_EQ(replayed.series().size(), recorded.series().size());
+    for (std::size_t i = 0; i < replayed.series().size(); ++i) {
+        for (MetricId id : kAllMetrics) {
+            EXPECT_DOUBLE_EQ(replayed.series().at(i).value(id),
+                             recorded.series().at(i).value(id));
+        }
+    }
+    EXPECT_EQ(replayed.registry().name(fn), "work");
+}
+
+TEST(TraceReplayTest, CompactEncoding)
+{
+    // Varint encoding keeps small traces small: every event here fits
+    // well under the naive 33-byte fixed-width encoding.
+    FunctionRegistry registry;
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    for (int i = 0; i < 100; ++i)
+        writer.onEvent(Event::fnEnter(3), i);
+    writer.finish();
+    EXPECT_LT(ss.str().size(), 100 * 3 + 32u);
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * heapmd -- command-line driver for the HeapMD pipeline.
+ *
+ * Subcommands (see usage() for flags):
+ *   list-apps              enumerate the bundled benchmark programs
+ *   train                  calibrate a model over training inputs
+ *   inspect                print a saved model
+ *   check                  check one input against a saved model
+ *   record                 record an instrumented run to a trace
+ *   replay                 post-mortem: replay a trace under a model
+ *   diff                   compare two models (program evolution)
+ *
+ * Examples:
+ *   heapmd train --app Multimedia --inputs 25 --out mm.model
+ *   heapmd check --app Multimedia --model mm.model --seed 404 \
+ *                --fault typo-leak --rate 1.0
+ *   heapmd record --app gzip --seed 7 --out run.trace
+ *   heapmd replay --trace run.trace --model gzip.model
+ *   heapmd diff --model v1.model --model-b v2.model
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/heapmd.hh"
+#include "model/model_diff.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  list-apps\n"
+        "  train   --app NAME [--inputs N=25] [--seed S=1]\n"
+        "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
+        "          [--local 0|1] [--out FILE]\n"
+        "  inspect --model FILE\n"
+        "  check   --app NAME --model FILE [--seed S=100]\n"
+        "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
+        "          [--fault KIND [--rate R=1.0] [--budget B=0]]\n"
+        "  record  --app NAME --out FILE [--seed S=1] [--version V]\n"
+        "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
+        "  replay  --trace FILE --model FILE [--frq N=300]\n"
+        "  diff    --model FILE --model-b FILE\n"
+        "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
+        "          [--frq N=300] [--fault KIND [--rate R]]\n"
+        "          (prints the metric series as CSV -- the paper's\n"
+        "           GUI plotter substitute)\n",
+        argv0);
+    std::exit(2);
+}
+
+/** Tiny --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0 || i + 1 >= argc)
+                HEAPMD_FATAL("expected '--flag value', got '", key,
+                             "'");
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) != 0;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        if (it == values_.end()) {
+            if (fallback.empty())
+                HEAPMD_FATAL("missing required flag --", key);
+            return fallback;
+        }
+        return it->second;
+    }
+
+    std::uint64_t
+    num(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::stoull(it->second);
+    }
+
+    double
+    real(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+HeapMDConfig
+configFrom(const Args &args)
+{
+    HeapMDConfig cfg;
+    cfg.process.metricFrequency = args.num("frq", 300);
+    cfg.summarizer.includeLocallyStable = args.num("local", 0) != 0;
+    return cfg;
+}
+
+AppConfig
+appConfigFrom(const Args &args, std::uint64_t default_seed)
+{
+    AppConfig cfg;
+    cfg.inputSeed = args.num("seed", default_seed);
+    cfg.version =
+        static_cast<std::uint32_t>(args.num("version", 1));
+    cfg.scale = args.real("scale", 1.0);
+    if (args.has("fault")) {
+        cfg.faults.enable(faultKindFromName(args.str("fault")),
+                          args.real("rate", 1.0),
+                          args.num("budget", 0));
+    }
+    return cfg;
+}
+
+HeapModel
+loadModel(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        HEAPMD_FATAL("cannot open model file '", path, "'");
+    return HeapModel::load(in);
+}
+
+void
+printModel(const HeapModel &model)
+{
+    std::printf("program: %s (trained on %zu inputs)\n",
+                model.programName.c_str(), model.trainingRuns);
+    for (const HeapModel::Entry &e : model.entries()) {
+        std::printf("  %-9s %-6s [%8.3f, %8.3f]  avg %+0.2f%%  "
+                    "std %0.2f  stable on %zu inputs\n",
+                    metricName(e.id).c_str(),
+                    e.locallyStable ? "local" : "global", e.minValue,
+                    e.maxValue, e.avgChange, e.stdDev, e.stableRuns);
+    }
+    if (!model.unstableMetrics.empty()) {
+        std::printf("  never stable:");
+        for (MetricId id : model.unstableMetrics)
+            std::printf(" %s", metricName(id).c_str());
+        std::printf("\n");
+    }
+}
+
+int
+cmdListApps()
+{
+    std::printf("SPEC 2000 analogues:\n");
+    for (const std::string &name : specAppNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("commercial analogues:\n");
+    for (const std::string &name : commercialAppNames())
+        std::printf("  %s\n", name.c_str());
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    const HeapMD tool(configFrom(args));
+    auto app = makeApp(args.str("app"));
+    const std::uint64_t first_seed = args.num("seed", 1);
+    const std::size_t inputs = args.num("inputs", 25);
+    std::printf("training %s on %zu inputs (seeds %llu..%llu)...\n",
+                app->name().c_str(), inputs,
+                static_cast<unsigned long long>(first_seed),
+                static_cast<unsigned long long>(first_seed + inputs -
+                                                1));
+    const TrainingOutcome training = tool.train(
+        *app, makeInputs(first_seed, inputs,
+                         static_cast<std::uint32_t>(
+                             args.num("version", 1)),
+                         args.real("scale", 1.0)));
+    printModel(training.model);
+    for (std::size_t idx : training.suspectTrainingRuns)
+        std::printf("  suspect training input: #%zu\n", idx);
+
+    if (args.has("out")) {
+        std::ofstream out(args.str("out"));
+        if (!out)
+            HEAPMD_FATAL("cannot write '", args.str("out"), "'");
+        training.model.save(out);
+        std::printf("model written to %s\n", args.str("out").c_str());
+    }
+    return 0;
+}
+
+int
+cmdInspect(const Args &args)
+{
+    printModel(loadModel(args.str("model")));
+    return 0;
+}
+
+int
+cmdCheck(const Args &args)
+{
+    const HeapMD tool(configFrom(args));
+    auto app = makeApp(args.str("app"));
+    const HeapModel model = loadModel(args.str("model"));
+    const CheckOutcome out =
+        tool.check(*app, appConfigFrom(args, 100), model);
+    std::printf("checked %s: %zu report(s) over %llu samples\n",
+                app->name().c_str(), out.check.reports.size(),
+                static_cast<unsigned long long>(
+                    out.check.samplesChecked));
+    const FunctionRegistry registry = out.run.registry();
+    for (const BugReport &report : out.check.reports)
+        std::printf("\n%s", report.describe(registry).c_str());
+    return out.check.anomalous() ? 1 : 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    HeapMDConfig cfg = configFrom(args);
+    Process process(cfg.process);
+    std::ofstream out(args.str("out"), std::ios::binary);
+    if (!out)
+        HEAPMD_FATAL("cannot write '", args.str("out"), "'");
+    TraceWriter writer(out, process.registry());
+    process.addEventObserver(&writer);
+
+    auto app = makeApp(args.str("app"));
+    app->run(process, appConfigFrom(args, 1));
+    writer.finish();
+    std::printf("recorded %llu events to %s\n",
+                static_cast<unsigned long long>(writer.eventCount()),
+                args.str("out").c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    HeapMDConfig cfg = configFrom(args);
+    const HeapModel model = loadModel(args.str("model"));
+
+    std::ifstream in(args.str("trace"), std::ios::binary);
+    if (!in)
+        HEAPMD_FATAL("cannot open trace '", args.str("trace"), "'");
+
+    Process process(cfg.process);
+    ExecutionChecker checker(model);
+    checker.attach(process);
+    TraceReader reader(in);
+    const std::uint64_t events = replayTrace(reader, process);
+    const CheckResult result = checker.finalize(process);
+
+    std::printf("replayed %llu events: %zu report(s)\n",
+                static_cast<unsigned long long>(events),
+                result.reports.size());
+    for (const BugReport &report : result.reports)
+        std::printf("\n%s",
+                    report.describe(process.registry()).c_str());
+    return result.anomalous() ? 1 : 0;
+}
+
+int
+cmdObserve(const Args &args)
+{
+    const HeapMD tool(configFrom(args));
+    auto app = makeApp(args.str("app"));
+    const RunOutcome run =
+        tool.observe(*app, appConfigFrom(args, 1));
+
+    std::printf("point,tick,vertices,edges");
+    for (MetricId id : kAllMetrics)
+        std::printf(",%s", metricName(id).c_str());
+    std::printf("\n");
+    for (const MetricSample &s : run.series.samples()) {
+        std::printf("%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(s.pointIndex),
+                    static_cast<unsigned long long>(s.tick),
+                    static_cast<unsigned long long>(s.vertexCount),
+                    static_cast<unsigned long long>(s.edgeCount));
+        for (MetricId id : kAllMetrics)
+            std::printf(",%.4f", s.value(id));
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdDiff(const Args &args)
+{
+    const HeapModel a = loadModel(args.str("model"));
+    const HeapModel b = loadModel(args.str("model-b"));
+    const ModelDiff diff = diffModels(a, b);
+    std::printf("%s", diff.describe().c_str());
+    return diff.unchanged() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    const std::string command = argv[1];
+    const Args args(argc, argv);
+
+    if (command == "list-apps")
+        return cmdListApps();
+    if (command == "train")
+        return cmdTrain(args);
+    if (command == "inspect")
+        return cmdInspect(args);
+    if (command == "check")
+        return cmdCheck(args);
+    if (command == "record")
+        return cmdRecord(args);
+    if (command == "replay")
+        return cmdReplay(args);
+    if (command == "diff")
+        return cmdDiff(args);
+    if (command == "observe")
+        return cmdObserve(args);
+    usage(argv[0]);
+}
