@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_site_metrics.dir/ablation_site_metrics.cc.o"
+  "CMakeFiles/ablation_site_metrics.dir/ablation_site_metrics.cc.o.d"
+  "ablation_site_metrics"
+  "ablation_site_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_site_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_fragments.dir/casestudy_fragments.cc.o"
+  "CMakeFiles/casestudy_fragments.dir/casestudy_fragments.cc.o.d"
+  "casestudy_fragments"
+  "casestudy_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

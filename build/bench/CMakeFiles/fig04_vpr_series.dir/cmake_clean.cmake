@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_vpr_series.dir/fig04_vpr_series.cc.o"
+  "CMakeFiles/fig04_vpr_series.dir/fig04_vpr_series.cc.o.d"
+  "fig04_vpr_series"
+  "fig04_vpr_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_vpr_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_vpr_fluctuation.dir/fig05_vpr_fluctuation.cc.o"
+  "CMakeFiles/fig05_vpr_fluctuation.dir/fig05_vpr_fluctuation.cc.o.d"
+  "fig05_vpr_fluctuation"
+  "fig05_vpr_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_vpr_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_vpr_stats.cc" "bench/CMakeFiles/fig06_vpr_stats.dir/fig06_vpr_stats.cc.o" "gcc" "bench/CMakeFiles/fig06_vpr_stats.dir/fig06_vpr_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/heapmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/heapmd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/istl/CMakeFiles/heapmd_istl.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/heapmd_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/swat/CMakeFiles/heapmd_swat.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/heapmd_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/heapmd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/heapmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/heapmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vpr_stats.dir/fig06_vpr_stats.cc.o"
+  "CMakeFiles/fig06_vpr_stats.dir/fig06_vpr_stats.cc.o.d"
+  "fig06_vpr_stats"
+  "fig06_vpr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vpr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_vpr_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_stable_metrics.dir/fig07a_stable_metrics.cc.o"
+  "CMakeFiles/fig07a_stable_metrics.dir/fig07a_stable_metrics.cc.o.d"
+  "fig07a_stable_metrics"
+  "fig07a_stable_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_stable_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

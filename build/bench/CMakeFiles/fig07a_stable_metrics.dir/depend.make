@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07a_stable_metrics.
+# This may be replaced when dependencies are built.

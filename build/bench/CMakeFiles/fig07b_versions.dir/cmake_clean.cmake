@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_versions.dir/fig07b_versions.cc.o"
+  "CMakeFiles/fig07b_versions.dir/fig07b_versions.cc.o.d"
+  "fig07b_versions"
+  "fig07b_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_overhead.dir/perf_overhead.cc.o"
+  "CMakeFiles/perf_overhead.dir/perf_overhead.cc.o.d"
+  "perf_overhead"
+  "perf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_injection.dir/spec_injection.cc.o"
+  "CMakeFiles/spec_injection.dir/spec_injection.cc.o.d"
+  "spec_injection"
+  "spec_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_swat_comparison.dir/table1_swat_comparison.cc.o"
+  "CMakeFiles/table1_swat_comparison.dir/table1_swat_comparison.cc.o.d"
+  "table1_swat_comparison"
+  "table1_swat_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_swat_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

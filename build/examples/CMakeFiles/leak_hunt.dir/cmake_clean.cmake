@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_hunt.dir/leak_hunt.cpp.o"
+  "CMakeFiles/leak_hunt.dir/leak_hunt.cpp.o.d"
+  "leak_hunt"
+  "leak_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_regression.dir/version_regression.cpp.o"
+  "CMakeFiles/version_regression.dir/version_regression.cpp.o.d"
+  "version_regression"
+  "version_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

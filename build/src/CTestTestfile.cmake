@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("heapgraph")
+subdirs("metrics")
+subdirs("runtime")
+subdirs("trace")
+subdirs("model")
+subdirs("detector")
+subdirs("swat")
+subdirs("istl")
+subdirs("faults")
+subdirs("apps")
+subdirs("core")

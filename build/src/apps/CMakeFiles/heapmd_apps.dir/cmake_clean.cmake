@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_apps.dir/app.cc.o"
+  "CMakeFiles/heapmd_apps.dir/app.cc.o.d"
+  "CMakeFiles/heapmd_apps.dir/commercial_apps.cc.o"
+  "CMakeFiles/heapmd_apps.dir/commercial_apps.cc.o.d"
+  "CMakeFiles/heapmd_apps.dir/spec_apps.cc.o"
+  "CMakeFiles/heapmd_apps.dir/spec_apps.cc.o.d"
+  "CMakeFiles/heapmd_apps.dir/workload_engine.cc.o"
+  "CMakeFiles/heapmd_apps.dir/workload_engine.cc.o.d"
+  "libheapmd_apps.a"
+  "libheapmd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

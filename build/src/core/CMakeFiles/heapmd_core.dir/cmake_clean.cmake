@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_core.dir/heapmd.cc.o"
+  "CMakeFiles/heapmd_core.dir/heapmd.cc.o.d"
+  "libheapmd_core.a"
+  "libheapmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detector/anomaly_detector.cc" "src/detector/CMakeFiles/heapmd_detector.dir/anomaly_detector.cc.o" "gcc" "src/detector/CMakeFiles/heapmd_detector.dir/anomaly_detector.cc.o.d"
+  "/root/repo/src/detector/bug_report.cc" "src/detector/CMakeFiles/heapmd_detector.dir/bug_report.cc.o" "gcc" "src/detector/CMakeFiles/heapmd_detector.dir/bug_report.cc.o.d"
+  "/root/repo/src/detector/classification.cc" "src/detector/CMakeFiles/heapmd_detector.dir/classification.cc.o" "gcc" "src/detector/CMakeFiles/heapmd_detector.dir/classification.cc.o.d"
+  "/root/repo/src/detector/execution_checker.cc" "src/detector/CMakeFiles/heapmd_detector.dir/execution_checker.cc.o" "gcc" "src/detector/CMakeFiles/heapmd_detector.dir/execution_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/heapmd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/heapmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/detector/CMakeFiles/heapmd_detector.dir/classification.cc.o: \
+ /root/repo/src/detector/classification.cc /usr/include/stdc-predef.h \
+ /root/repo/src/detector/classification.hh

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_detector.dir/anomaly_detector.cc.o"
+  "CMakeFiles/heapmd_detector.dir/anomaly_detector.cc.o.d"
+  "CMakeFiles/heapmd_detector.dir/bug_report.cc.o"
+  "CMakeFiles/heapmd_detector.dir/bug_report.cc.o.d"
+  "CMakeFiles/heapmd_detector.dir/classification.cc.o"
+  "CMakeFiles/heapmd_detector.dir/classification.cc.o.d"
+  "CMakeFiles/heapmd_detector.dir/execution_checker.cc.o"
+  "CMakeFiles/heapmd_detector.dir/execution_checker.cc.o.d"
+  "libheapmd_detector.a"
+  "libheapmd_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault_plan.cc" "src/faults/CMakeFiles/heapmd_faults.dir/fault_plan.cc.o" "gcc" "src/faults/CMakeFiles/heapmd_faults.dir/fault_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detector/CMakeFiles/heapmd_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/heapmd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/heapmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_faults.dir/fault_plan.cc.o"
+  "CMakeFiles/heapmd_faults.dir/fault_plan.cc.o.d"
+  "libheapmd_faults.a"
+  "libheapmd_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

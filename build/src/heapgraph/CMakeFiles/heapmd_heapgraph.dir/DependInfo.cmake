@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heapgraph/degree_histogram.cc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/degree_histogram.cc.o" "gcc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/degree_histogram.cc.o.d"
+  "/root/repo/src/heapgraph/graph_algorithms.cc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/graph_algorithms.cc.o" "gcc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/graph_algorithms.cc.o.d"
+  "/root/repo/src/heapgraph/heap_graph.cc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/heap_graph.cc.o" "gcc" "src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/heap_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

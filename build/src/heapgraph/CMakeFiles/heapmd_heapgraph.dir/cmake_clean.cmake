@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_heapgraph.dir/degree_histogram.cc.o"
+  "CMakeFiles/heapmd_heapgraph.dir/degree_histogram.cc.o.d"
+  "CMakeFiles/heapmd_heapgraph.dir/graph_algorithms.cc.o"
+  "CMakeFiles/heapmd_heapgraph.dir/graph_algorithms.cc.o.d"
+  "CMakeFiles/heapmd_heapgraph.dir/heap_graph.cc.o"
+  "CMakeFiles/heapmd_heapgraph.dir/heap_graph.cc.o.d"
+  "libheapmd_heapgraph.a"
+  "libheapmd_heapgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_heapgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

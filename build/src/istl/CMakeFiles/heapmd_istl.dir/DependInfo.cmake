@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/istl/adj_graph.cc" "src/istl/CMakeFiles/heapmd_istl.dir/adj_graph.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/adj_graph.cc.o.d"
+  "/root/repo/src/istl/binary_tree.cc" "src/istl/CMakeFiles/heapmd_istl.dir/binary_tree.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/binary_tree.cc.o.d"
+  "/root/repo/src/istl/btree.cc" "src/istl/CMakeFiles/heapmd_istl.dir/btree.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/btree.cc.o.d"
+  "/root/repo/src/istl/buffer_pool.cc" "src/istl/CMakeFiles/heapmd_istl.dir/buffer_pool.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/istl/circular_list.cc" "src/istl/CMakeFiles/heapmd_istl.dir/circular_list.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/circular_list.cc.o.d"
+  "/root/repo/src/istl/descriptor_table.cc" "src/istl/CMakeFiles/heapmd_istl.dir/descriptor_table.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/descriptor_table.cc.o.d"
+  "/root/repo/src/istl/dll.cc" "src/istl/CMakeFiles/heapmd_istl.dir/dll.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/dll.cc.o.d"
+  "/root/repo/src/istl/handle_pool.cc" "src/istl/CMakeFiles/heapmd_istl.dir/handle_pool.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/handle_pool.cc.o.d"
+  "/root/repo/src/istl/hash_table.cc" "src/istl/CMakeFiles/heapmd_istl.dir/hash_table.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/hash_table.cc.o.d"
+  "/root/repo/src/istl/oct_tree.cc" "src/istl/CMakeFiles/heapmd_istl.dir/oct_tree.cc.o" "gcc" "src/istl/CMakeFiles/heapmd_istl.dir/oct_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/heapmd_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/heapmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/heapmd_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/heapmd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

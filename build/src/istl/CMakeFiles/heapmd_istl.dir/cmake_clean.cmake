@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_istl.dir/adj_graph.cc.o"
+  "CMakeFiles/heapmd_istl.dir/adj_graph.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/binary_tree.cc.o"
+  "CMakeFiles/heapmd_istl.dir/binary_tree.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/btree.cc.o"
+  "CMakeFiles/heapmd_istl.dir/btree.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/buffer_pool.cc.o"
+  "CMakeFiles/heapmd_istl.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/circular_list.cc.o"
+  "CMakeFiles/heapmd_istl.dir/circular_list.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/descriptor_table.cc.o"
+  "CMakeFiles/heapmd_istl.dir/descriptor_table.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/dll.cc.o"
+  "CMakeFiles/heapmd_istl.dir/dll.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/handle_pool.cc.o"
+  "CMakeFiles/heapmd_istl.dir/handle_pool.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/hash_table.cc.o"
+  "CMakeFiles/heapmd_istl.dir/hash_table.cc.o.d"
+  "CMakeFiles/heapmd_istl.dir/oct_tree.cc.o"
+  "CMakeFiles/heapmd_istl.dir/oct_tree.cc.o.d"
+  "libheapmd_istl.a"
+  "libheapmd_istl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_istl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

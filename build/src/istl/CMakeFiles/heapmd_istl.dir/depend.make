@@ -1,0 +1,2 @@
+# Empty dependencies file for heapmd_istl.
+# This may be replaced when dependencies are built.

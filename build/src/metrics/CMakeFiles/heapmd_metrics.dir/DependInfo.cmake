@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/metric.cc" "src/metrics/CMakeFiles/heapmd_metrics.dir/metric.cc.o" "gcc" "src/metrics/CMakeFiles/heapmd_metrics.dir/metric.cc.o.d"
+  "/root/repo/src/metrics/metric_engine.cc" "src/metrics/CMakeFiles/heapmd_metrics.dir/metric_engine.cc.o" "gcc" "src/metrics/CMakeFiles/heapmd_metrics.dir/metric_engine.cc.o.d"
+  "/root/repo/src/metrics/series.cc" "src/metrics/CMakeFiles/heapmd_metrics.dir/series.cc.o" "gcc" "src/metrics/CMakeFiles/heapmd_metrics.dir/series.cc.o.d"
+  "/root/repo/src/metrics/site_metrics.cc" "src/metrics/CMakeFiles/heapmd_metrics.dir/site_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/heapmd_metrics.dir/site_metrics.cc.o.d"
+  "/root/repo/src/metrics/stability.cc" "src/metrics/CMakeFiles/heapmd_metrics.dir/stability.cc.o" "gcc" "src/metrics/CMakeFiles/heapmd_metrics.dir/stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_metrics.dir/metric.cc.o"
+  "CMakeFiles/heapmd_metrics.dir/metric.cc.o.d"
+  "CMakeFiles/heapmd_metrics.dir/metric_engine.cc.o"
+  "CMakeFiles/heapmd_metrics.dir/metric_engine.cc.o.d"
+  "CMakeFiles/heapmd_metrics.dir/series.cc.o"
+  "CMakeFiles/heapmd_metrics.dir/series.cc.o.d"
+  "CMakeFiles/heapmd_metrics.dir/site_metrics.cc.o"
+  "CMakeFiles/heapmd_metrics.dir/site_metrics.cc.o.d"
+  "CMakeFiles/heapmd_metrics.dir/stability.cc.o"
+  "CMakeFiles/heapmd_metrics.dir/stability.cc.o.d"
+  "libheapmd_metrics.a"
+  "libheapmd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_model.dir/model.cc.o"
+  "CMakeFiles/heapmd_model.dir/model.cc.o.d"
+  "CMakeFiles/heapmd_model.dir/model_diff.cc.o"
+  "CMakeFiles/heapmd_model.dir/model_diff.cc.o.d"
+  "CMakeFiles/heapmd_model.dir/summarizer.cc.o"
+  "CMakeFiles/heapmd_model.dir/summarizer.cc.o.d"
+  "libheapmd_model.a"
+  "libheapmd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/address_space.cc" "src/runtime/CMakeFiles/heapmd_runtime.dir/address_space.cc.o" "gcc" "src/runtime/CMakeFiles/heapmd_runtime.dir/address_space.cc.o.d"
+  "/root/repo/src/runtime/call_stack.cc" "src/runtime/CMakeFiles/heapmd_runtime.dir/call_stack.cc.o" "gcc" "src/runtime/CMakeFiles/heapmd_runtime.dir/call_stack.cc.o.d"
+  "/root/repo/src/runtime/events.cc" "src/runtime/CMakeFiles/heapmd_runtime.dir/events.cc.o" "gcc" "src/runtime/CMakeFiles/heapmd_runtime.dir/events.cc.o.d"
+  "/root/repo/src/runtime/heap_api.cc" "src/runtime/CMakeFiles/heapmd_runtime.dir/heap_api.cc.o" "gcc" "src/runtime/CMakeFiles/heapmd_runtime.dir/heap_api.cc.o.d"
+  "/root/repo/src/runtime/process.cc" "src/runtime/CMakeFiles/heapmd_runtime.dir/process.cc.o" "gcc" "src/runtime/CMakeFiles/heapmd_runtime.dir/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

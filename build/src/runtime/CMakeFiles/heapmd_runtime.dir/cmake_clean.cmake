@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_runtime.dir/address_space.cc.o"
+  "CMakeFiles/heapmd_runtime.dir/address_space.cc.o.d"
+  "CMakeFiles/heapmd_runtime.dir/call_stack.cc.o"
+  "CMakeFiles/heapmd_runtime.dir/call_stack.cc.o.d"
+  "CMakeFiles/heapmd_runtime.dir/events.cc.o"
+  "CMakeFiles/heapmd_runtime.dir/events.cc.o.d"
+  "CMakeFiles/heapmd_runtime.dir/heap_api.cc.o"
+  "CMakeFiles/heapmd_runtime.dir/heap_api.cc.o.d"
+  "CMakeFiles/heapmd_runtime.dir/process.cc.o"
+  "CMakeFiles/heapmd_runtime.dir/process.cc.o.d"
+  "libheapmd_runtime.a"
+  "libheapmd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_support.dir/csv.cc.o"
+  "CMakeFiles/heapmd_support.dir/csv.cc.o.d"
+  "CMakeFiles/heapmd_support.dir/logging.cc.o"
+  "CMakeFiles/heapmd_support.dir/logging.cc.o.d"
+  "CMakeFiles/heapmd_support.dir/random.cc.o"
+  "CMakeFiles/heapmd_support.dir/random.cc.o.d"
+  "CMakeFiles/heapmd_support.dir/stats.cc.o"
+  "CMakeFiles/heapmd_support.dir/stats.cc.o.d"
+  "CMakeFiles/heapmd_support.dir/table.cc.o"
+  "CMakeFiles/heapmd_support.dir/table.cc.o.d"
+  "libheapmd_support.a"
+  "libheapmd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_swat.dir/swat_detector.cc.o"
+  "CMakeFiles/heapmd_swat.dir/swat_detector.cc.o.d"
+  "libheapmd_swat.a"
+  "libheapmd_swat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_swat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace_format.cc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_format.cc.o" "gcc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_format.cc.o.d"
+  "/root/repo/src/trace/trace_reader.cc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_reader.cc.o" "gcc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_reader.cc.o.d"
+  "/root/repo/src/trace/trace_writer.cc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_writer.cc.o" "gcc" "src/trace/CMakeFiles/heapmd_trace.dir/trace_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/heapmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heapmd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heapmd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapgraph/CMakeFiles/heapmd_heapgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

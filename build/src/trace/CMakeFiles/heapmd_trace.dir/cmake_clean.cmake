@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_trace.dir/trace_format.cc.o"
+  "CMakeFiles/heapmd_trace.dir/trace_format.cc.o.d"
+  "CMakeFiles/heapmd_trace.dir/trace_reader.cc.o"
+  "CMakeFiles/heapmd_trace.dir/trace_reader.cc.o.d"
+  "CMakeFiles/heapmd_trace.dir/trace_writer.cc.o"
+  "CMakeFiles/heapmd_trace.dir/trace_writer.cc.o.d"
+  "libheapmd_trace.a"
+  "libheapmd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheapmd_trace.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapgraph_property_test.dir/heapgraph_property_test.cc.o"
+  "CMakeFiles/heapgraph_property_test.dir/heapgraph_property_test.cc.o.d"
+  "heapgraph_property_test"
+  "heapgraph_property_test.pdb"
+  "heapgraph_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapgraph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapgraph_test.dir/heapgraph_test.cc.o"
+  "CMakeFiles/heapgraph_test.dir/heapgraph_test.cc.o.d"
+  "heapgraph_test"
+  "heapgraph_test.pdb"
+  "heapgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istl_property_test.dir/istl_property_test.cc.o"
+  "CMakeFiles/istl_property_test.dir/istl_property_test.cc.o.d"
+  "istl_property_test"
+  "istl_property_test.pdb"
+  "istl_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

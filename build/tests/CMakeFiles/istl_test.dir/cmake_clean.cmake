@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istl_test.dir/istl_test.cc.o"
+  "CMakeFiles/istl_test.dir/istl_test.cc.o.d"
+  "istl_test"
+  "istl_test.pdb"
+  "istl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_metrics_test.dir/local_metrics_test.cc.o"
+  "CMakeFiles/local_metrics_test.dir/local_metrics_test.cc.o.d"
+  "local_metrics_test"
+  "local_metrics_test.pdb"
+  "local_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

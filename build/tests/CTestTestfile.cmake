@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/heapgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/heapgraph_property_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/stability_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_api_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/model_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/local_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/site_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/swat_test[1]_include.cmake")
+include("/root/repo/build/tests/istl_test[1]_include.cmake")
+include("/root/repo/build/tests/istl_property_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

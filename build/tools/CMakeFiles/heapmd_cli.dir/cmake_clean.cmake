@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapmd_cli.dir/heapmd_cli.cc.o"
+  "CMakeFiles/heapmd_cli.dir/heapmd_cli.cc.o.d"
+  "heapmd"
+  "heapmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapmd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
