@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structural invariant checker for heap-graph snapshot documents.
+ *
+ * Re-parses the format of heapgraph/graph_snapshot.hh leniently and
+ * cross-checks every redundant layer of the document against the
+ * others: the edge list against the per-vertex declared degrees
+ * (in/out degree conservation), edge endpoints against the vertex set
+ * (no dangling targets), the degree histogram against a recount from
+ * the declared degrees (totals equal vertex count), and the seven
+ * paper metrics against a recomputation from the histogram (within
+ * epsilon).  Findings carry 1-based line numbers.
+ *
+ * Rule catalog (see DESIGN.md, "The audit subsystem"):
+ *   graph.io               unreadable input file
+ *   graph.bad-header       first line is not "heapmd-graph v1"
+ *   graph.syntax           malformed or unknown line
+ *   graph.duplicate        vertex id or edge declared twice
+ *   graph.count-mismatch   declared vertex/edge counts != actual
+ *   graph.dangling-edge    edge endpoint is not a declared vertex
+ *   graph.degree-mismatch  declared degrees disagree with the edge
+ *                          list, or sum(indeg) != sum(outdeg) != M
+ *   graph.extent-overlap   two vertices with overlapping extents
+ *   graph.zero-extent      vertex with size 0
+ *   graph.histogram        histogram disagrees with a degree recount
+ *   graph.metric-recompute metric value not recomputable from the
+ *                          histogram within epsilon
+ *   graph.no-end           document missing the "end" terminator
+ */
+
+#ifndef HEAPMD_ANALYSIS_GRAPH_LINT_HH
+#define HEAPMD_ANALYSIS_GRAPH_LINT_HH
+
+#include <istream>
+#include <string>
+
+#include "analysis/report.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** Tolerance for metric recomputation from the histogram. */
+inline constexpr double kMetricEpsilon = 1e-6;
+
+/** Scan statistics of one graph lint pass. */
+struct GraphLintStats
+{
+    std::size_t lines = 0;    //!< lines scanned
+    std::size_t vertices = 0; //!< vertex lines seen
+    std::size_t edges = 0;    //!< edge lines seen
+};
+
+/** Lint one snapshot document from @p is. */
+GraphLintStats lintGraph(std::istream &is, Report &report);
+
+/** Lint the snapshot file at @p path. */
+GraphLintStats lintGraphFile(const std::string &path, Report &report);
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_GRAPH_LINT_HH

@@ -1,0 +1,151 @@
+#include "analysis/report.hh"
+
+#include <sstream>
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Finding::describe() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << ' ' << rule;
+    switch (locationKind) {
+      case LocationKind::Byte:
+        oss << " @byte " << location;
+        break;
+      case LocationKind::Line:
+        oss << " @line " << location;
+        break;
+      case LocationKind::None:
+        break;
+    }
+    oss << ": " << message;
+    return oss.str();
+}
+
+void
+Report::add(Severity severity, std::string rule, LocationKind kind,
+            std::uint64_t location, std::string message)
+{
+    switch (severity) {
+      case Severity::Error:
+        ++errors_;
+        break;
+      case Severity::Warning:
+        ++warnings_;
+        break;
+      case Severity::Note:
+        ++notes_;
+        break;
+    }
+    if (findings_.size() >= max_findings_) {
+        truncated_ = true;
+        return;
+    }
+    Finding f;
+    f.severity = severity;
+    f.rule = std::move(rule);
+    f.locationKind = kind;
+    f.location = location;
+    f.message = std::move(message);
+    findings_.push_back(std::move(f));
+}
+
+void
+Report::error(std::string rule, std::string message)
+{
+    add(Severity::Error, std::move(rule), LocationKind::None, 0,
+        std::move(message));
+}
+
+void
+Report::errorAtByte(std::string rule, std::uint64_t offset,
+                    std::string message)
+{
+    add(Severity::Error, std::move(rule), LocationKind::Byte, offset,
+        std::move(message));
+}
+
+void
+Report::errorAtLine(std::string rule, std::uint64_t line,
+                    std::string message)
+{
+    add(Severity::Error, std::move(rule), LocationKind::Line, line,
+        std::move(message));
+}
+
+void
+Report::warning(std::string rule, std::string message)
+{
+    add(Severity::Warning, std::move(rule), LocationKind::None, 0,
+        std::move(message));
+}
+
+void
+Report::warningAtByte(std::string rule, std::uint64_t offset,
+                      std::string message)
+{
+    add(Severity::Warning, std::move(rule), LocationKind::Byte,
+        offset, std::move(message));
+}
+
+void
+Report::warningAtLine(std::string rule, std::uint64_t line,
+                      std::string message)
+{
+    add(Severity::Warning, std::move(rule), LocationKind::Line, line,
+        std::move(message));
+}
+
+void
+Report::note(std::string rule, std::string message)
+{
+    add(Severity::Note, std::move(rule), LocationKind::None, 0,
+        std::move(message));
+}
+
+std::size_t
+Report::count(std::string_view rule) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings_)
+        n += f.rule == rule ? 1 : 0;
+    return n;
+}
+
+std::string
+Report::describe() const
+{
+    std::ostringstream oss;
+    for (const Finding &f : findings_)
+        oss << f.describe() << '\n';
+    if (truncated_) {
+        oss << "note report.truncated: finding list capped at "
+            << findings_.size() << " entries\n";
+    }
+    oss << errors_ << " error(s), " << warnings_ << " warning(s), "
+        << notes_ << " note(s)\n";
+    return oss.str();
+}
+
+} // namespace analysis
+
+} // namespace heapmd

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structured findings shared by the offline artifact auditors.
+ *
+ * Every analyzer in src/analysis/ (trace linter, model linter, graph
+ * invariant checker) reports through an analysis::Report: a flat list
+ * of findings, each carrying a severity, a stable rule id, a location
+ * (byte offset for binary traces, line number for text documents) and
+ * a human-readable message.  `heapmd audit` prints the report;
+ * `heapmd replay` / `heapmd check` use it to pre-flight their inputs.
+ *
+ * Rule ids are stable identifiers of the form `<subsystem>.<rule>`
+ * (e.g. "trace.free-before-alloc"); the full catalog is documented in
+ * DESIGN.md, section "The audit subsystem".
+ */
+
+#ifndef HEAPMD_ANALYSIS_REPORT_HH
+#define HEAPMD_ANALYSIS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** How bad a finding is. */
+enum class Severity
+{
+    Note,    //!< informational; artifact is usable
+    Warning, //!< suspicious but not provably broken
+    Error,   //!< artifact violates its format spec or an invariant
+};
+
+/** Display name of a Severity value. */
+const char *severityName(Severity severity);
+
+/** Unit of a finding's location field. */
+enum class LocationKind
+{
+    None, //!< whole-artifact finding
+    Byte, //!< byte offset into a binary artifact (traces)
+    Line, //!< 1-based line number in a text artifact (models, graphs)
+};
+
+/** One defect (or observation) found in an artifact. */
+struct Finding
+{
+    Severity severity = Severity::Error;
+    std::string rule;       //!< stable id, e.g. "trace.bad-magic"
+    LocationKind locationKind = LocationKind::None;
+    std::uint64_t location = 0; //!< byte offset or line number
+    std::string message;    //!< human-readable description
+
+    /** Render as one line, e.g. "error trace.varint @byte 17: ...". */
+    std::string describe() const;
+};
+
+/**
+ * Ordered collection of findings from one or more analyzers.
+ *
+ * Analyzers append through the severity helpers; consumers either
+ * print describe() or branch on errorCount().  A cap keeps a single
+ * systematically-corrupt artifact from producing millions of entries
+ * (the cap itself is recorded as a final note).
+ */
+class Report
+{
+  public:
+    /** Default cap on retained findings. */
+    static constexpr std::size_t kDefaultMaxFindings = 1000;
+
+    explicit Report(std::size_t max_findings = kDefaultMaxFindings)
+        : max_findings_(max_findings)
+    {
+    }
+
+    /** Append an error finding. */
+    void error(std::string rule, std::string message);
+    void errorAtByte(std::string rule, std::uint64_t offset,
+                     std::string message);
+    void errorAtLine(std::string rule, std::uint64_t line,
+                     std::string message);
+
+    /** Append a warning finding. */
+    void warning(std::string rule, std::string message);
+    void warningAtByte(std::string rule, std::uint64_t offset,
+                       std::string message);
+    void warningAtLine(std::string rule, std::uint64_t line,
+                       std::string message);
+
+    /** Append a note finding. */
+    void note(std::string rule, std::string message);
+
+    /** All retained findings, in discovery order. */
+    const std::vector<Finding> &findings() const { return findings_; }
+
+    /** Total findings of the given severity (cap overflow included). */
+    std::size_t errorCount() const { return errors_; }
+    std::size_t warningCount() const { return warnings_; }
+    std::size_t noteCount() const { return notes_; }
+
+    /** True when no error-severity finding was recorded. */
+    bool clean() const { return errors_ == 0; }
+
+    /** Retained findings matching @p rule. */
+    std::size_t count(std::string_view rule) const;
+
+    /** True when at least one retained finding matches @p rule. */
+    bool has(std::string_view rule) const { return count(rule) > 0; }
+
+    /** True when the findings cap truncated the list. */
+    bool truncated() const { return truncated_; }
+
+    /** Render every finding plus a one-line summary. */
+    std::string describe() const;
+
+  private:
+    void add(Severity severity, std::string rule, LocationKind kind,
+             std::uint64_t location, std::string message);
+
+    std::vector<Finding> findings_;
+    std::size_t max_findings_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+    std::size_t notes_ = 0;
+    bool truncated_ = false;
+};
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_REPORT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Token parsing shared by the text-document linters.
+ *
+ * istream double extraction rejects the "nan"/"inf" spellings
+ * operator<< produces, and silently accepts trailing junk after a
+ * number; the auditors need the opposite on both counts.
+ */
+
+#ifndef HEAPMD_ANALYSIS_TEXT_PARSE_HH
+#define HEAPMD_ANALYSIS_TEXT_PARSE_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** Parse a whole token as a double; accepts nan/inf spellings. */
+inline bool
+parseDouble(const std::string &token, double &value)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+}
+
+/** Parse a whole token as an unsigned decimal count. */
+inline bool
+parseCount(const std::string &token, std::uint64_t &value)
+{
+    if (token.empty() || token.front() == '-')
+        return false;
+    char *end = nullptr;
+    value = std::strtoull(token.c_str(), &end, 10);
+    return end == token.c_str() + token.size();
+}
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_TEXT_PARSE_HH

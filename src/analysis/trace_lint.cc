@@ -1,0 +1,477 @@
+#include "analysis/trace_lint.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "runtime/events.hh"
+#include "trace/trace_format.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+namespace
+{
+
+/** Longest legal LEB128 encoding of a 64-bit value. */
+constexpr int kMaxVarintBytes = 10;
+
+/** Byte cursor over a fully-loaded trace. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &data)
+        : data_(data)
+    {
+    }
+
+    std::uint64_t offset() const { return pos_; }
+    bool atEnd() const { return pos_ >= data_.size(); }
+    std::uint64_t remaining() const { return data_.size() - pos_; }
+
+    /** Next byte, or -1 at end of data. */
+    int get()
+    {
+        if (atEnd())
+            return -1;
+        return static_cast<unsigned char>(data_[pos_++]);
+    }
+
+    void skip(std::uint64_t n) { pos_ += n; }
+
+  private:
+    const std::string &data_;
+    std::uint64_t pos_ = 0;
+};
+
+enum class VarintStatus
+{
+    Ok,
+    Truncated,
+    Overlong,
+};
+
+/**
+ * Decode one LEB128 varint.  Overlong encodings (> 10 bytes) are
+ * consumed to the terminating byte so framing survives the finding.
+ */
+VarintStatus
+readVarint(Cursor &cursor, std::uint64_t &value)
+{
+    value = 0;
+    int shift = 0;
+    int length = 0;
+    bool overlong = false;
+    for (;;) {
+        const int ch = cursor.get();
+        if (ch < 0)
+            return VarintStatus::Truncated;
+        ++length;
+        if (length > kMaxVarintBytes)
+            overlong = true;
+        else if (shift < 64)
+            value |= (static_cast<std::uint64_t>(ch) & 0x7F) << shift;
+        shift += 7;
+        if ((ch & 0x80) == 0)
+            break;
+    }
+    return overlong ? VarintStatus::Overlong : VarintStatus::Ok;
+}
+
+/** Tracks live/freed extents to check event-ordering rules. */
+class ExtentTracker
+{
+  public:
+    /** @return false when [addr, addr+size) overlaps a live extent. */
+    bool
+    allocate(Addr addr, std::uint64_t size)
+    {
+        // Address reuse resurrects freed ranges as live again.
+        eraseOverlapping(freed_, addr, size);
+        if (overlaps(live_, addr, size))
+            return false;
+        live_[addr] = size;
+        return true;
+    }
+
+    /** @return false when @p addr is not the start of a live extent. */
+    bool
+    free(Addr addr)
+    {
+        auto it = live_.find(addr);
+        if (it == live_.end())
+            return false;
+        freed_[addr] = it->second;
+        live_.erase(it);
+        return true;
+    }
+
+    /** Owner lookup: true when @p addr falls inside a live extent. */
+    bool insideLive(Addr addr) const { return owns(live_, addr); }
+
+    /** True when @p addr falls inside a freed (not reused) extent. */
+    bool insideFreed(Addr addr) const { return owns(freed_, addr); }
+
+  private:
+    using ExtentMap = std::map<Addr, std::uint64_t>;
+
+    static bool
+    owns(const ExtentMap &map, Addr addr)
+    {
+        auto it = map.upper_bound(addr);
+        if (it == map.begin())
+            return false;
+        --it;
+        return addr - it->first < it->second;
+    }
+
+    static bool
+    overlaps(const ExtentMap &map, Addr addr, std::uint64_t size)
+    {
+        auto it = map.lower_bound(addr);
+        if (it != map.end() && it->first < addr + size)
+            return true;
+        if (it == map.begin())
+            return false;
+        --it;
+        return addr - it->first < it->second;
+    }
+
+    static void
+    eraseOverlapping(ExtentMap &map, Addr addr, std::uint64_t size)
+    {
+        auto it = map.lower_bound(addr);
+        if (it != map.begin()) {
+            auto prev = std::prev(it);
+            if (addr - prev->first < prev->second)
+                it = prev;
+        }
+        while (it != map.end() && it->first < addr + size)
+            it = map.erase(it);
+    }
+
+    ExtentMap live_;
+    ExtentMap freed_;
+};
+
+/** Shared state of one lint pass. */
+struct Linter
+{
+    Cursor cursor;
+    Report &report;
+    TraceLintStats stats;
+    ExtentTracker extents;
+    /** First offset each function id was referenced at. */
+    std::map<FnId, std::uint64_t> fn_uses;
+
+    Linter(const std::string &data, Report &rep)
+        : cursor(data), report(rep)
+    {
+    }
+
+    /**
+     * Read the varints of one event, reporting ill-formed encodings.
+     * @return false when the stream ended inside the event.
+     */
+    bool
+    readFields(std::uint64_t event_offset, const char *kind_name,
+               std::uint64_t *fields, int count)
+    {
+        for (int i = 0; i < count; ++i) {
+            const std::uint64_t field_offset = cursor.offset();
+            switch (readVarint(cursor, fields[i])) {
+              case VarintStatus::Ok:
+                break;
+              case VarintStatus::Overlong:
+                report.errorAtByte(
+                    "trace.varint-overlong", field_offset,
+                    std::string("LEB128 varint longer than 10 bytes "
+                                "in ") +
+                        kind_name + " event");
+                break;
+              case VarintStatus::Truncated:
+                report.errorAtByte(
+                    "trace.varint-truncated", field_offset,
+                    std::string("stream ends inside a LEB128 varint "
+                                "of ") +
+                        kind_name + " event at byte " +
+                        std::to_string(event_offset));
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void checkHeader(bool &usable);
+    bool lintEvent(std::uint64_t offset, EventKind kind);
+    void lintFooter(std::uint64_t marker_offset);
+    void run();
+};
+
+void
+Linter::checkHeader(bool &usable)
+{
+    usable = false;
+    std::uint32_t magic = 0, version = 0;
+    if (cursor.remaining() < 8) {
+        report.errorAtByte("trace.bad-magic", 0,
+                           "file too short for the 8-byte header");
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        magic |= static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+    if (magic != trace::kMagic) {
+        std::ostringstream oss;
+        oss << "bad magic 0x" << std::hex << magic
+            << " (expected 0x" << trace::kMagic << " \"HMDT\")";
+        report.errorAtByte("trace.bad-magic", 0, oss.str());
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        version |=
+            static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+    if (version != trace::kVersion) {
+        report.errorAtByte("trace.bad-version", 4,
+                           "unsupported trace version " +
+                               std::to_string(version) +
+                               " (expected " +
+                               std::to_string(trace::kVersion) + ")");
+        return;
+    }
+    usable = true;
+}
+
+bool
+Linter::lintEvent(std::uint64_t offset, EventKind kind)
+{
+    std::uint64_t f[3] = {0, 0, 0};
+    switch (kind) {
+      case EventKind::Alloc: {
+        if (!readFields(offset, "Alloc", f, 2))
+            return false;
+        const Addr addr = f[0];
+        const std::uint64_t size = f[1];
+        if (size == 0) {
+            report.errorAtByte("trace.zero-alloc", offset,
+                               "allocation of size 0 at address " +
+                                   std::to_string(addr));
+        } else if (!extents.allocate(addr, size)) {
+            report.errorAtByte(
+                "trace.alloc-overlap", offset,
+                "allocation [" + std::to_string(addr) + ", " +
+                    std::to_string(addr + size) +
+                    ") overlaps a live object");
+        }
+        break;
+      }
+      case EventKind::Free: {
+        if (!readFields(offset, "Free", f, 1))
+            return false;
+        if (!extents.free(f[0])) {
+            report.errorAtByte(
+                "trace.free-before-alloc", offset,
+                "free of address " + std::to_string(f[0]) +
+                    " which is not the start of a live object "
+                    "(never allocated, already freed, or interior)");
+        }
+        break;
+      }
+      case EventKind::Realloc: {
+        if (!readFields(offset, "Realloc", f, 3))
+            return false;
+        const Addr old_addr = f[0];
+        const Addr new_addr = f[1];
+        const std::uint64_t size = f[2];
+        if (!extents.free(old_addr)) {
+            report.errorAtByte(
+                "trace.free-before-alloc", offset,
+                "realloc of address " + std::to_string(old_addr) +
+                    " which is not the start of a live object");
+        }
+        if (size != 0 && !extents.allocate(new_addr, size)) {
+            report.errorAtByte(
+                "trace.alloc-overlap", offset,
+                "realloc target [" + std::to_string(new_addr) +
+                    ", " + std::to_string(new_addr + size) +
+                    ") overlaps a live object");
+        }
+        break;
+      }
+      case EventKind::Write: {
+        if (!readFields(offset, "Write", f, 2))
+            return false;
+        const Addr addr = f[0];
+        if (!extents.insideLive(addr) && extents.insideFreed(addr)) {
+            report.errorAtByte(
+                "trace.write-after-free", offset,
+                "pointer-write at address " + std::to_string(addr) +
+                    " lands inside a freed object");
+        }
+        break;
+      }
+      case EventKind::Read:
+        if (!readFields(offset, "Read", f, 1))
+            return false;
+        break;
+      case EventKind::FnEnter:
+      case EventKind::FnExit: {
+        const char *name =
+            kind == EventKind::FnEnter ? "FnEnter" : "FnExit";
+        if (!readFields(offset, name, f, 1))
+            return false;
+        fn_uses.emplace(static_cast<FnId>(f[0]), offset);
+        break;
+      }
+    }
+    ++stats.events;
+    return true;
+}
+
+void
+Linter::lintFooter(std::uint64_t marker_offset)
+{
+    std::uint64_t count = 0;
+    std::uint64_t offset = cursor.offset();
+    switch (readVarint(cursor, count)) {
+      case VarintStatus::Ok:
+        break;
+      case VarintStatus::Overlong:
+        report.errorAtByte("trace.varint-overlong", offset,
+                           "overlong function-table count varint");
+        break;
+      case VarintStatus::Truncated:
+        report.errorAtByte("trace.footer-truncated", offset,
+                           "stream ends inside the function-table "
+                           "count");
+        return;
+    }
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t len = 0;
+        offset = cursor.offset();
+        switch (readVarint(cursor, len)) {
+          case VarintStatus::Ok:
+            break;
+          case VarintStatus::Overlong:
+            report.errorAtByte("trace.varint-overlong", offset,
+                               "overlong name-length varint for "
+                               "function " +
+                                   std::to_string(i));
+            break;
+          case VarintStatus::Truncated:
+            report.errorAtByte(
+                "trace.footer-truncated", offset,
+                "stream ends inside the function table after " +
+                    std::to_string(i) + " of " +
+                    std::to_string(count) + " names");
+            return;
+        }
+        if (len > cursor.remaining()) {
+            report.errorAtByte(
+                "trace.footer-truncated", cursor.offset(),
+                "function name " + std::to_string(i) + " declares " +
+                    std::to_string(len) + " bytes but only " +
+                    std::to_string(cursor.remaining()) + " remain");
+            return;
+        }
+        cursor.skip(len);
+        ++stats.functions;
+    }
+
+    // Function-table id continuity: every id referenced by an
+    // FnEnter/FnExit event must have a name in the table.
+    for (const auto &[fn, first_offset] : fn_uses) {
+        if (fn >= count) {
+            report.errorAtByte(
+                "trace.fn-id-range", first_offset,
+                "event references function id " + std::to_string(fn) +
+                    " but the footer table has only " +
+                    std::to_string(count) + " names");
+        }
+    }
+
+    if (!cursor.atEnd()) {
+        report.warningAtByte(
+            "trace.trailing-bytes", cursor.offset(),
+            std::to_string(cursor.remaining()) +
+                " byte(s) after the function table (footer at byte " +
+                std::to_string(marker_offset) + ")");
+    }
+}
+
+void
+Linter::run()
+{
+    bool header_ok = false;
+    checkHeader(header_ok);
+    if (!header_ok)
+        return;
+
+    for (;;) {
+        const std::uint64_t offset = cursor.offset();
+        const int tag = cursor.get();
+        if (tag < 0) {
+            report.errorAtByte("trace.no-footer", offset,
+                               "stream ends without the 0xFF footer "
+                               "marker (" +
+                                   std::to_string(stats.events) +
+                                   " events decoded)");
+            return;
+        }
+        if (tag == trace::kFooterMarker) {
+            lintFooter(offset);
+            return;
+        }
+        if (tag > static_cast<int>(EventKind::FnExit)) {
+            // Framing is lost: varint boundaries downstream of an
+            // unknown tag cannot be trusted, so stop here.
+            report.errorAtByte(
+                "trace.unknown-tag", offset,
+                "unknown event tag " + std::to_string(tag) +
+                    "; cannot resynchronize, " +
+                    std::to_string(cursor.remaining()) +
+                    " byte(s) left unscanned");
+            return;
+        }
+        if (!lintEvent(offset, static_cast<EventKind>(tag)))
+            return;
+    }
+}
+
+} // namespace
+
+TraceLintStats
+lintTrace(const std::string &data, Report &report)
+{
+    Linter linter(data, report);
+    linter.stats.bytes = data.size();
+    linter.run();
+    return linter.stats;
+}
+
+TraceLintStats
+lintTrace(std::istream &is, Report &report)
+{
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return lintTrace(buffer.str(), report);
+}
+
+TraceLintStats
+lintTraceFile(const std::string &path, Report &report)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.error("trace.io",
+                     "cannot open trace file '" + path + "'");
+        return {};
+    }
+    return lintTrace(in, report);
+}
+
+} // namespace analysis
+
+} // namespace heapmd

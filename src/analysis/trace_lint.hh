@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static linter for HMDT trace files.
+ *
+ * Validates a recorded trace against the format spec in
+ * trace/trace_format.hh without replaying it into a Process: header
+ * magic and version, LEB128 well-formedness (truncation and overlong
+ * >10-byte encodings), event-tag validity, footer presence, function
+ * table id continuity, and event-ordering invariants (no
+ * free-before-alloc, no pointer-write into a freed object, no
+ * overlapping live extents).  Findings carry byte offsets into the
+ * trace.
+ *
+ * Rule catalog (see DESIGN.md, "The audit subsystem"):
+ *   trace.io                unreadable input file
+ *   trace.bad-magic         first 4 bytes are not "HMDT"
+ *   trace.bad-version       version word != trace::kVersion
+ *   trace.unknown-tag       event tag outside the EventKind range
+ *   trace.varint-truncated  stream ends inside a LEB128 varint
+ *   trace.varint-overlong   LEB128 varint longer than 10 bytes
+ *   trace.no-footer         stream ends before the 0xFF footer marker
+ *   trace.footer-truncated  stream ends inside the function table
+ *   trace.fn-id-range       FnEnter/FnExit id >= function table size
+ *   trace.zero-alloc        allocation event with size 0
+ *   trace.alloc-overlap     allocation overlapping a live extent
+ *   trace.free-before-alloc free/realloc of a non-live address
+ *   trace.write-after-free  pointer-write into a freed extent
+ *   trace.trailing-bytes    bytes after the function table (warning)
+ */
+
+#ifndef HEAPMD_ANALYSIS_TRACE_LINT_HH
+#define HEAPMD_ANALYSIS_TRACE_LINT_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "analysis/report.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** Scan statistics of one trace lint pass. */
+struct TraceLintStats
+{
+    std::uint64_t bytes = 0;     //!< total bytes scanned
+    std::uint64_t events = 0;    //!< events decoded (well-formed ones)
+    std::uint64_t functions = 0; //!< names in the function table
+};
+
+/**
+ * Lint one trace from an in-memory buffer.
+ *
+ * Keeps scanning after recoverable findings (event-ordering
+ * violations, overlong varints) and stops only when framing is lost
+ * (unknown tag) or the stream ends.
+ */
+TraceLintStats lintTrace(const std::string &data, Report &report);
+
+/** Lint a trace read fully from @p is (binary). */
+TraceLintStats lintTrace(std::istream &is, Report &report);
+
+/** Lint the trace file at @p path. */
+TraceLintStats lintTraceFile(const std::string &path, Report &report);
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_TRACE_LINT_HH

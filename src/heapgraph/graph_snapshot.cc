@@ -1,0 +1,77 @@
+#include "heapgraph/graph_snapshot.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "heapgraph/heap_graph.hh"
+#include "metrics/metric.hh"
+
+namespace heapmd
+{
+
+void
+saveGraphSnapshot(const HeapGraph &graph, std::ostream &os)
+{
+    std::vector<const ObjectRecord *> vertices;
+    vertices.reserve(graph.objects().size());
+    for (const auto &[id, record] : graph.objects())
+        vertices.push_back(&record);
+    std::sort(vertices.begin(), vertices.end(),
+              [](const ObjectRecord *a, const ObjectRecord *b) {
+                  return a->id < b->id;
+              });
+
+    os << kGraphSnapshotHeader << '\n';
+    os << "vertices " << vertices.size() << '\n';
+    os << "edges " << graph.edgeCount() << '\n';
+    for (const ObjectRecord *v : vertices) {
+        os << "vertex " << v->id << " addr " << v->addr << " size "
+           << v->size << " indeg " << v->indegree() << " outdeg "
+           << v->outdegree() << '\n';
+    }
+    for (const ObjectRecord *v : vertices) {
+        std::vector<ObjectId> targets;
+        targets.reserve(v->outNeighbors.size());
+        for (const auto &[target, multiplicity] : v->outNeighbors)
+            targets.push_back(target);
+        std::sort(targets.begin(), targets.end());
+        for (ObjectId target : targets)
+            os << "edge " << v->id << ' ' << target << '\n';
+    }
+
+    const DegreeHistogram &h = graph.histogram();
+    os << "hist vertices " << h.vertexCount();
+    os << " indeg";
+    for (std::size_t d = 0; d < DegreeHistogram::kExactBuckets; ++d)
+        os << ' ' << h.indegCount(d);
+    os << " outdeg";
+    for (std::size_t d = 0; d < DegreeHistogram::kExactBuckets; ++d)
+        os << ' ' << h.outdegCount(d);
+    os << " ineqout " << h.inEqOutCount() << '\n';
+
+    os.precision(17);
+    const double total = static_cast<double>(h.vertexCount());
+    const auto pct = [total](std::uint64_t count) {
+        return total == 0.0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(count) / total;
+    };
+    os << "metric " << metricName(MetricId::Roots) << ' '
+       << pct(h.indegCount(0)) << '\n';
+    os << "metric " << metricName(MetricId::Indeg1) << ' '
+       << pct(h.indegCount(1)) << '\n';
+    os << "metric " << metricName(MetricId::Indeg2) << ' '
+       << pct(h.indegCount(2)) << '\n';
+    os << "metric " << metricName(MetricId::Leaves) << ' '
+       << pct(h.outdegCount(0)) << '\n';
+    os << "metric " << metricName(MetricId::Outdeg1) << ' '
+       << pct(h.outdegCount(1)) << '\n';
+    os << "metric " << metricName(MetricId::Outdeg2) << ' '
+       << pct(h.outdegCount(2)) << '\n';
+    os << "metric " << metricName(MetricId::InEqOut) << ' '
+       << pct(h.inEqOutCount()) << '\n';
+    os << "end\n";
+    os.flush();
+}
+
+} // namespace heapmd

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Serialization of a HeapGraph snapshot.
+ *
+ * Layout (line-oriented text, whitespace-separated tokens):
+ *
+ *   heapmd-graph v1
+ *   vertices <N>
+ *   edges <M>
+ *   vertex <id> addr <addr> size <size> indeg <i> outdeg <o>   (x N)
+ *   edge <from-id> <to-id>                                     (x M)
+ *   hist vertices <n> indeg <c0> <c1> <c2> outdeg <c0> <c1> <c2> \
+ *        ineqout <c>
+ *   metric <name> <value>                                      (x 7)
+ *   end
+ *
+ * The redundancy is deliberate: per-vertex degrees, the edge list,
+ * the degree histogram and the derived metrics are all recomputable
+ * from each other, so the offline graph auditor
+ * (analysis/graph_lint.hh) can cross-check them without access to the
+ * producing process.
+ */
+
+#ifndef HEAPMD_HEAPGRAPH_GRAPH_SNAPSHOT_HH
+#define HEAPMD_HEAPGRAPH_GRAPH_SNAPSHOT_HH
+
+#include <ostream>
+
+namespace heapmd
+{
+
+class HeapGraph;
+
+/** Magic first line of a snapshot document. */
+inline constexpr const char *kGraphSnapshotHeader = "heapmd-graph v1";
+
+/**
+ * Serialize the live graph as a snapshot document.
+ *
+ * Vertices and edges are emitted in ascending id order so documents
+ * are byte-stable across runs with identical event streams.
+ */
+void saveGraphSnapshot(const HeapGraph &graph, std::ostream &os);
+
+} // namespace heapmd
+
+#endif // HEAPMD_HEAPGRAPH_GRAPH_SNAPSHOT_HH

@@ -24,11 +24,19 @@ metricName(MetricId id)
 MetricId
 metricFromName(const std::string &name)
 {
+    if (const auto id = tryMetricFromName(name))
+        return *id;
+    HEAPMD_PANIC("unknown metric name '", name, "'");
+}
+
+std::optional<MetricId>
+tryMetricFromName(const std::string &name)
+{
     for (MetricId id : kAllMetrics) {
         if (kNames[metricIndex(id)] == name)
             return id;
     }
-    HEAPMD_PANIC("unknown metric name '", name, "'");
+    return std::nullopt;
 }
 
 } // namespace heapmd

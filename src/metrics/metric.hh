@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 #include <string>
 
 namespace heapmd
@@ -50,6 +51,9 @@ const std::string &metricName(MetricId id);
 
 /** Parse a short display name back to an id; panics on unknown name. */
 MetricId metricFromName(const std::string &name);
+
+/** Parse a display name back to an id; nullopt on unknown name. */
+std::optional<MetricId> tryMetricFromName(const std::string &name);
 
 } // namespace heapmd
 

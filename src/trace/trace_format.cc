@@ -17,20 +17,31 @@ putVarint(std::ostream &os, std::uint64_t value)
 }
 
 bool
-getVarint(std::istream &is, std::uint64_t &value)
+getVarint(std::istream &is, std::uint64_t &value,
+          VarintError *error)
 {
     value = 0;
     int shift = 0;
+    int length = 0;
     for (;;) {
         const int ch = is.get();
-        if (ch == std::char_traits<char>::eof())
+        if (ch == std::char_traits<char>::eof()) {
+            if (error != nullptr)
+                *error = VarintError::Truncated;
             return false;
+        }
+        if (++length > kMaxVarintBytes) {
+            if (error != nullptr)
+                *error = VarintError::Overlong;
+            return false;
+        }
         const std::uint64_t byte = static_cast<std::uint64_t>(ch);
-        if (shift >= 64)
-            return false; // overlong encoding
         value |= (byte & 0x7F) << shift;
-        if ((byte & 0x80) == 0)
+        if ((byte & 0x80) == 0) {
+            if (error != nullptr)
+                *error = VarintError::None;
             return true;
+        }
         shift += 7;
     }
 }

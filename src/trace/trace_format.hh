@@ -33,14 +33,35 @@ inline constexpr std::uint32_t kVersion = 1;
 /** Footer marker byte terminating the event stream. */
 inline constexpr std::uint8_t kFooterMarker = 0xFF;
 
+/**
+ * Longest legal LEB128 encoding of a 64-bit value.  Encodings using
+ * more bytes are rejected as overlong (audit rule
+ * trace.varint-overlong).
+ */
+inline constexpr int kMaxVarintBytes = 10;
+
+/** Why a getVarint() call failed. */
+enum class VarintError
+{
+    None,      //!< decode succeeded
+    Truncated, //!< stream ended inside the varint
+    Overlong,  //!< encoding exceeds kMaxVarintBytes
+};
+
 /** Write an unsigned LEB128 varint. */
 void putVarint(std::ostream &os, std::uint64_t value);
 
 /**
  * Read an unsigned LEB128 varint.
+ *
+ * Rejects truncated input and overlong (> kMaxVarintBytes) encodings
+ * instead of returning partial data.
+ *
+ * @param error when non-null, receives the failure kind.
  * @return false on end-of-stream or malformed input.
  */
-bool getVarint(std::istream &is, std::uint64_t &value);
+bool getVarint(std::istream &is, std::uint64_t &value,
+               VarintError *error = nullptr);
 
 /** Write a fixed-width little-endian u32. */
 void putU32(std::ostream &os, std::uint32_t value);

@@ -7,14 +7,57 @@
 namespace heapmd
 {
 
+namespace
+{
+
+/** Current stream offset for error messages (-1 when unavailable). */
+std::int64_t
+offsetOf(std::istream &is)
+{
+    return static_cast<std::int64_t>(is.tellg());
+}
+
+/** Rule id + description of a varint decode failure. */
+std::string
+varintErrorText(trace::VarintError error)
+{
+    switch (error) {
+      case trace::VarintError::Overlong:
+        return "LEB128 varint longer than " +
+               std::to_string(trace::kMaxVarintBytes) +
+               " bytes [trace.varint-overlong]";
+      case trace::VarintError::Truncated:
+      case trace::VarintError::None:
+        break;
+    }
+    return "stream ends inside a LEB128 varint "
+           "[trace.varint-truncated]";
+}
+
+} // namespace
+
 TraceReader::TraceReader(std::istream &is)
     : is_(is)
 {
     std::uint32_t magic = 0, version = 0;
     if (!trace::getU32(is_, magic) || magic != trace::kMagic)
-        HEAPMD_FATAL("not a HeapMD trace (bad magic)");
-    if (!trace::getU32(is_, version) || version != trace::kVersion)
-        HEAPMD_FATAL("unsupported trace version");
+        HEAPMD_FATAL("not a HeapMD trace (bad magic) "
+                     "[trace.bad-magic]");
+    if (!trace::getU32(is_, version))
+        HEAPMD_FATAL("truncated trace header [trace.bad-version]");
+    if (version != trace::kVersion)
+        HEAPMD_FATAL("unsupported trace version ", version,
+                     " (this build reads version ", trace::kVersion,
+                     ") [trace.bad-version]");
+}
+
+void
+TraceReader::fail(std::string message)
+{
+    done_ = true;
+    malformed_ = true;
+    if (error_.empty())
+        error_ = std::move(message);
 }
 
 bool
@@ -23,10 +66,11 @@ TraceReader::next(Event &event)
     if (done_)
         return false;
 
+    const std::int64_t event_offset = offsetOf(is_);
     const int tag = is_.get();
     if (tag == std::char_traits<char>::eof()) {
-        done_ = true;
-        malformed_ = true; // no footer seen
+        fail("stream ends at byte " + std::to_string(event_offset) +
+             " without the footer marker [trace.no-footer]");
         return false;
     }
     if (static_cast<std::uint8_t>(tag) == trace::kFooterMarker) {
@@ -37,48 +81,60 @@ TraceReader::next(Event &event)
 
     const auto kind = static_cast<EventKind>(tag);
     std::uint64_t a = 0, b = 0, c = 0;
+    trace::VarintError verr = trace::VarintError::None;
+    const auto field = [&](std::uint64_t &out) {
+        return trace::getVarint(is_, out, &verr);
+    };
+    bool known = true;
     bool ok = true;
     event = Event{};
     event.kind = kind;
     switch (kind) {
       case EventKind::Alloc:
-        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b);
+        ok = field(a) && field(b);
         event.addr = a;
         event.size = b;
         break;
       case EventKind::Free:
-        ok = trace::getVarint(is_, a);
+        ok = field(a);
         event.addr = a;
         break;
       case EventKind::Realloc:
-        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b) &&
-             trace::getVarint(is_, c);
+        ok = field(a) && field(b) && field(c);
         event.addr = a;
         event.value = b;
         event.size = c;
         break;
       case EventKind::Write:
-        ok = trace::getVarint(is_, a) && trace::getVarint(is_, b);
+        ok = field(a) && field(b);
         event.addr = a;
         event.value = b;
         break;
       case EventKind::Read:
-        ok = trace::getVarint(is_, a);
+        ok = field(a);
         event.addr = a;
         break;
       case EventKind::FnEnter:
       case EventKind::FnExit:
-        ok = trace::getVarint(is_, a);
+        ok = field(a);
         event.fn = static_cast<FnId>(a);
         break;
       default:
+        known = false;
         ok = false;
         break;
     }
 
     if (!ok) {
-        done_ = true;
-        malformed_ = true;
+        if (!known) {
+            fail("unknown event tag " + std::to_string(tag) +
+                 " at byte " + std::to_string(event_offset) +
+                 " [trace.unknown-tag]");
+        } else {
+            fail(varintErrorText(verr) + " in " +
+                 eventKindName(kind) + " event at byte " +
+                 std::to_string(event_offset));
+        }
         return false;
     }
     ++events_;
@@ -88,22 +144,28 @@ TraceReader::next(Event &event)
 void
 TraceReader::readFooter()
 {
+    trace::VarintError verr = trace::VarintError::None;
     std::uint64_t count = 0;
-    if (!trace::getVarint(is_, count)) {
-        malformed_ = true;
+    if (!trace::getVarint(is_, count, &verr)) {
+        fail(varintErrorText(verr) +
+             " in the function-table count [trace.footer-truncated]");
         return;
     }
     names_.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t len = 0;
-        if (!trace::getVarint(is_, len)) {
-            malformed_ = true;
+        if (!trace::getVarint(is_, len, &verr)) {
+            fail(varintErrorText(verr) + " in the name length of "
+                 "function " + std::to_string(i) + " of " +
+                 std::to_string(count) + " [trace.footer-truncated]");
             return;
         }
         std::string name(len, '\0');
         is_.read(name.data(), static_cast<std::streamsize>(len));
         if (!is_) {
-            malformed_ = true;
+            fail("stream ends inside the name of function " +
+                 std::to_string(i) + " of " + std::to_string(count) +
+                 " [trace.footer-truncated]");
             return;
         }
         names_.push_back(std::move(name));
@@ -124,8 +186,8 @@ replayTrace(TraceReader &reader, Process &process)
         ++replayed;
     }
     if (reader.malformed())
-        warn("trace ended without a footer; replayed ", replayed,
-             " events");
+        warn("malformed trace: ", reader.error(), "; replayed ",
+             replayed, " events");
 
     // Rebuild the registry so reports symbolize correctly.
     for (const std::string &name : reader.functionNames())

@@ -39,6 +39,14 @@ class TraceReader
     /** True when the stream ended without a well-formed footer. */
     bool malformed() const { return malformed_; }
 
+    /**
+     * Description of why the stream is malformed, referencing the
+     * audit rule id (trace.varint-truncated, trace.varint-overlong,
+     * trace.no-footer, ...) and the byte offset where decoding
+     * stopped.  Empty while malformed() is false.
+     */
+    const std::string &error() const { return error_; }
+
     /** Function names from the footer, indexed by FnId. */
     const std::vector<std::string> &functionNames() const
     {
@@ -50,9 +58,11 @@ class TraceReader
 
   private:
     void readFooter();
+    void fail(std::string message);
 
     std::istream &is_;
     std::vector<std::string> names_;
+    std::string error_;
     std::uint64_t events_ = 0;
     bool done_ = false;
     bool malformed_ = false;

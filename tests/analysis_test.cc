@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Tests of the static artifact auditors (src/analysis/).
+ *
+ * The trace linter runs over the seeded-defect corpus in tests/data/
+ * (regenerate with gen_corpus.py); the model and graph linters run
+ * over documents built in-test.  Every rule id in the DESIGN.md
+ * catalog is covered by at least one test, and artifacts produced by
+ * a clean pipeline run must audit with zero findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/graph_lint.hh"
+#include "analysis/model_lint.hh"
+#include "analysis/trace_lint.hh"
+#include "heapgraph/graph_snapshot.hh"
+#include "model/model.hh"
+#include "runtime/process.hh"
+#include "trace/trace_writer.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+using analysis::Report;
+using analysis::Severity;
+
+std::string
+corpusPath(const std::string &name)
+{
+    return std::string(HEAPMD_TEST_DATA_DIR) + "/" + name;
+}
+
+Report
+lintCorpus(const std::string &name)
+{
+    Report report;
+    analysis::lintTraceFile(corpusPath(name), report);
+    return report;
+}
+
+// --- Report ---------------------------------------------------------
+
+TEST(ReportTest, CountsAndDescribe)
+{
+    Report report;
+    EXPECT_TRUE(report.clean());
+    report.errorAtByte("trace.bad-magic", 0, "boom");
+    report.warningAtLine("model.syntax", 7, "odd");
+    report.note("trace.io", "fyi");
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.errorCount(), 1u);
+    EXPECT_EQ(report.warningCount(), 1u);
+    EXPECT_EQ(report.noteCount(), 1u);
+    EXPECT_TRUE(report.has("trace.bad-magic"));
+    EXPECT_FALSE(report.has("trace.varint-overlong"));
+
+    const std::string text = report.describe();
+    EXPECT_NE(text.find("error trace.bad-magic @byte 0: boom"),
+              std::string::npos);
+    EXPECT_NE(text.find("warning model.syntax @line 7: odd"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 error(s), 1 warning(s), 1 note(s)"),
+              std::string::npos);
+}
+
+TEST(ReportTest, CapsFindingsButKeepsCounting)
+{
+    Report report(3);
+    for (int i = 0; i < 10; ++i)
+        report.error("trace.free-before-alloc", "finding");
+    EXPECT_EQ(report.findings().size(), 3u);
+    EXPECT_EQ(report.errorCount(), 10u);
+    EXPECT_TRUE(report.truncated());
+}
+
+// --- Trace linter over the seeded corpus ----------------------------
+
+struct CorpusCase
+{
+    const char *file;
+    const char *rule;
+};
+
+class TraceCorpusTest : public ::testing::TestWithParam<CorpusCase>
+{
+};
+
+TEST_P(TraceCorpusTest, SeededDefectIsDetected)
+{
+    const Report report = lintCorpus(GetParam().file);
+    EXPECT_FALSE(report.clean()) << GetParam().file;
+    EXPECT_TRUE(report.has(GetParam().rule))
+        << GetParam().file << " expected " << GetParam().rule
+        << " in:\n"
+        << report.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, TraceCorpusTest,
+    ::testing::Values(
+        CorpusCase{"bad_magic.trace", "trace.bad-magic"},
+        CorpusCase{"bad_version.trace", "trace.bad-version"},
+        CorpusCase{"truncated_varint.trace",
+                   "trace.varint-truncated"},
+        CorpusCase{"overlong_varint.trace", "trace.varint-overlong"},
+        CorpusCase{"missing_footer.trace", "trace.no-footer"},
+        CorpusCase{"footer_truncated.trace",
+                   "trace.footer-truncated"},
+        CorpusCase{"unknown_tag.trace", "trace.unknown-tag"},
+        CorpusCase{"fn_id_gap.trace", "trace.fn-id-range"},
+        CorpusCase{"free_before_alloc.trace",
+                   "trace.free-before-alloc"},
+        CorpusCase{"write_after_free.trace",
+                   "trace.write-after-free"},
+        CorpusCase{"alloc_overlap.trace", "trace.alloc-overlap"},
+        CorpusCase{"zero_alloc.trace", "trace.zero-alloc"}),
+    [](const auto &info) {
+        std::string name = info.param.file;
+        return name.substr(0, name.find('.'));
+    });
+
+TEST(TraceLintTest, CleanCorpusTraceHasZeroFindings)
+{
+    const Report report = lintCorpus("clean.trace");
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+}
+
+TEST(TraceLintTest, TrailingBytesIsAWarningOnly)
+{
+    const Report report = lintCorpus("trailing_bytes.trace");
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_TRUE(report.has("trace.trailing-bytes"));
+}
+
+TEST(TraceLintTest, MissingFileIsAnIoFinding)
+{
+    Report report;
+    analysis::lintTraceFile(corpusPath("does_not_exist.trace"),
+                            report);
+    EXPECT_TRUE(report.has("trace.io"));
+}
+
+TEST(TraceLintTest, FindingsCarryByteOffsets)
+{
+    const Report report = lintCorpus("free_before_alloc.trace");
+    ASSERT_EQ(report.findings().size(), 1u);
+    const analysis::Finding &f = report.findings()[0];
+    EXPECT_EQ(f.locationKind, analysis::LocationKind::Byte);
+    EXPECT_EQ(f.location, 8u); // first event, right after the header
+}
+
+TEST(TraceLintTest, WriterOutputAuditsClean)
+{
+    FunctionRegistry registry;
+    const FnId fn = registry.intern("worker");
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    Tick tick = 0;
+    writer.onEvent(Event::fnEnter(fn), ++tick);
+    writer.onEvent(Event::alloc(0x1000, 64), ++tick);
+    writer.onEvent(Event::write(0x1000, 0x1000), ++tick);
+    writer.onEvent(Event::free(0x1000), ++tick);
+    writer.onEvent(Event::fnExit(fn), ++tick);
+    writer.finish();
+
+    Report report;
+    const analysis::TraceLintStats stats =
+        analysis::lintTrace(ss.str(), report);
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+    EXPECT_EQ(stats.events, 5u);
+    EXPECT_EQ(stats.functions, 1u);
+}
+
+TEST(TraceLintTest, AddressReuseAfterFreeIsNotAUseAfterFree)
+{
+    std::stringstream ss;
+    FunctionRegistry registry;
+    TraceWriter writer(ss, registry);
+    writer.onEvent(Event::alloc(0x1000, 64), 1);
+    writer.onEvent(Event::free(0x1000), 2);
+    writer.onEvent(Event::alloc(0x1000, 32), 3); // reuse is legal
+    writer.onEvent(Event::write(0x1008, 0x1000), 4);
+    writer.finish();
+
+    Report report;
+    analysis::lintTrace(ss.str(), report);
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+}
+
+// --- Model linter ---------------------------------------------------
+
+std::string
+modelDocument(const std::string &metric_lines,
+              const std::string &runs = "runs 10")
+{
+    return "heapmd-model v1\nprogram demo\n" + runs + "\n" +
+           metric_lines + "end\n";
+}
+
+Report
+lintModelText(const std::string &text)
+{
+    Report report;
+    std::istringstream is(text);
+    analysis::lintModel(is, report);
+    return report;
+}
+
+TEST(ModelLintTest, SavedModelAuditsClean)
+{
+    HeapModel model;
+    model.programName = "demo";
+    model.trainingRuns = 10;
+    HeapModel::Entry entry;
+    entry.id = MetricId::Roots;
+    entry.minValue = 10.0;
+    entry.maxValue = 30.0;
+    entry.avgChange = 0.2;
+    entry.stdDev = 1.5;
+    entry.stableRuns = 9;
+    model.addEntry(entry);
+    entry.id = MetricId::Leaves;
+    entry.locallyStable = true;
+    entry.stdDev = 12.0;
+    model.addEntry(entry);
+    model.unstableMetrics.push_back(MetricId::InEqOut);
+
+    std::stringstream ss;
+    model.save(ss);
+    Report report;
+    analysis::lintModel(ss, report);
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+}
+
+TEST(ModelLintTest, BadHeader)
+{
+    EXPECT_TRUE(
+        lintModelText("not a model\n").has("model.bad-header"));
+}
+
+TEST(ModelLintTest, RangeInverted)
+{
+    const Report report = lintModelText(modelDocument(
+        "metric Root kind global min 30 max 10 avg 0.1 std 1 "
+        "stable_runs 5\n"));
+    EXPECT_TRUE(report.has("model.range-inverted"))
+        << report.describe();
+}
+
+TEST(ModelLintTest, NonFiniteValues)
+{
+    const Report report = lintModelText(modelDocument(
+        "metric Root kind global min nan max inf avg 0.1 std 1 "
+        "stable_runs 5\n"));
+    EXPECT_EQ(report.count("model.non-finite"), 2u)
+        << report.describe();
+    // Range/threshold checks must not fire on non-finite input.
+    EXPECT_FALSE(report.has("model.range-inverted"));
+}
+
+TEST(ModelLintTest, ThresholdBounds)
+{
+    // avg change beyond the +/-1% stability definition.
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind global min 10 "
+                                  "max 30 avg 4.0 std 1 "
+                                  "stable_runs 5\n"))
+                    .has("model.threshold-bounds"));
+    // stddev beyond the globally-stable bound of 5.
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind global min 10 "
+                                  "max 30 avg 0.1 std 9 "
+                                  "stable_runs 5\n"))
+                    .has("model.threshold-bounds"));
+    // ... but 9 is fine for a locally-stable entry (bound 25).
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind local min 10 "
+                                  "max 30 avg 0.1 std 9 "
+                                  "stable_runs 5\n"))
+                    .clean());
+    // Percentage metrics cannot leave [0, 100].
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind global min -5 "
+                                  "max 30 avg 0.1 std 1 "
+                                  "stable_runs 5\n"))
+                    .has("model.threshold-bounds"));
+}
+
+TEST(ModelLintTest, StableRunsBounds)
+{
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind global min 10 "
+                                  "max 30 avg 0.1 std 1 "
+                                  "stable_runs 0\n"))
+                    .has("model.stable-runs"));
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Root kind global min 10 "
+                                  "max 30 avg 0.1 std 1 "
+                                  "stable_runs 25\n"))
+                    .has("model.stable-runs")); // > 10 training runs
+}
+
+TEST(ModelLintTest, DuplicateAndContradictoryMetrics)
+{
+    const std::string entry =
+        "metric Root kind global min 10 max 30 avg 0.1 std 1 "
+        "stable_runs 5\n";
+    EXPECT_TRUE(lintModelText(modelDocument(entry + entry))
+                    .has("model.duplicate-metric"));
+    EXPECT_TRUE(
+        lintModelText(modelDocument(entry + "unstable Root\n"))
+            .has("model.duplicate-metric"));
+}
+
+TEST(ModelLintTest, UnknownMetricAndSyntax)
+{
+    EXPECT_TRUE(lintModelText(
+                    modelDocument("metric Bogus kind global min 1 "
+                                  "max 2 avg 0.1 std 1 "
+                                  "stable_runs 5\n"))
+                    .has("model.unknown-metric"));
+    EXPECT_TRUE(lintModelText(modelDocument("metric Root min\n"))
+                    .has("model.syntax"));
+    EXPECT_TRUE(lintModelText(modelDocument("frobnicate 3\n"))
+                    .has("model.syntax"));
+}
+
+TEST(ModelLintTest, EmptyStableSetAndMissingEnd)
+{
+    EXPECT_TRUE(
+        lintModelText(modelDocument("")).has("model.empty-stable-set"));
+    EXPECT_TRUE(
+        lintModelText("heapmd-model v1\nprogram demo\nruns 10\n")
+            .has("model.no-end"));
+}
+
+// --- Graph linter ---------------------------------------------------
+
+/** A 3-vertex / 2-edge document with every layer consistent. */
+std::string
+goodGraph()
+{
+    return "heapmd-graph v1\n"
+           "vertices 3\n"
+           "edges 2\n"
+           "vertex 1 addr 4096 size 64 indeg 0 outdeg 2\n"
+           "vertex 2 addr 8192 size 32 indeg 1 outdeg 0\n"
+           "vertex 3 addr 12288 size 16 indeg 1 outdeg 0\n"
+           "edge 1 2\n"
+           "edge 1 3\n"
+           "hist vertices 3 indeg 1 2 0 outdeg 2 0 1 ineqout 0\n"
+           "metric Root 33.333333333333336\n"
+           "metric Indeg=1 66.666666666666671\n"
+           "metric Indeg=2 0\n"
+           "metric Leaves 66.666666666666671\n"
+           "metric Outdeg=1 0\n"
+           "metric Outdeg=2 33.333333333333336\n"
+           "metric In=Out 0\n"
+           "end\n";
+}
+
+Report
+lintGraphText(const std::string &text)
+{
+    Report report;
+    std::istringstream is(text);
+    analysis::lintGraph(is, report);
+    return report;
+}
+
+/** Replace the first occurrence of @p from in the good document. */
+std::string
+withLine(const std::string &from, const std::string &to)
+{
+    std::string doc = goodGraph();
+    const std::size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return doc;
+}
+
+TEST(GraphLintTest, ConsistentDocumentAuditsClean)
+{
+    const Report report = lintGraphText(goodGraph());
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+}
+
+TEST(GraphLintTest, SavedSnapshotAuditsClean)
+{
+    // Drive a real process, snapshot its graph, audit the document.
+    Process process;
+    process.onAlloc(0x1000, 64);
+    process.onAlloc(0x2000, 32);
+    process.onAlloc(0x3000, 16);
+    process.onWrite(0x1000, 0x2000);
+    process.onWrite(0x1008, 0x3000);
+    process.onWrite(0x2000, 0x2000); // self-edge
+    process.onFree(0x3000);
+
+    std::stringstream ss;
+    saveGraphSnapshot(process.graph(), ss);
+    Report report;
+    const analysis::GraphLintStats stats =
+        analysis::lintGraph(ss, report);
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+    EXPECT_EQ(stats.vertices, 2u);
+}
+
+TEST(GraphLintTest, EmptyGraphSnapshotAuditsClean)
+{
+    Process process;
+    std::stringstream ss;
+    saveGraphSnapshot(process.graph(), ss);
+    Report report;
+    analysis::lintGraph(ss, report);
+    EXPECT_TRUE(report.findings().empty()) << report.describe();
+}
+
+TEST(GraphLintTest, BadHeader)
+{
+    EXPECT_TRUE(lintGraphText("nope\n").has("graph.bad-header"));
+}
+
+TEST(GraphLintTest, CountMismatch)
+{
+    EXPECT_TRUE(lintGraphText(withLine("vertices 3", "vertices 4"))
+                    .has("graph.count-mismatch"));
+    EXPECT_TRUE(lintGraphText(withLine("edges 2", "edges 7"))
+                    .has("graph.count-mismatch"));
+}
+
+TEST(GraphLintTest, DanglingEdgeTarget)
+{
+    const Report report =
+        lintGraphText(withLine("edge 1 3", "edge 1 9"));
+    EXPECT_TRUE(report.has("graph.dangling-edge"))
+        << report.describe();
+}
+
+TEST(GraphLintTest, DegreeMismatchAndConservation)
+{
+    // Vertex 2 claims indegree 5; the edge list disagrees, and so
+    // does the sum(indeg) == edges conservation law.
+    const Report report = lintGraphText(
+        withLine("vertex 2 addr 8192 size 32 indeg 1 outdeg 0",
+                 "vertex 2 addr 8192 size 32 indeg 5 outdeg 0"));
+    EXPECT_GE(report.count("graph.degree-mismatch"), 2u)
+        << report.describe();
+}
+
+TEST(GraphLintTest, HistogramDisagreement)
+{
+    const Report report = lintGraphText(
+        withLine("hist vertices 3 indeg 1 2 0 outdeg 2 0 1 ineqout 0",
+                 "hist vertices 3 indeg 0 3 0 outdeg 2 0 1 "
+                 "ineqout 2"));
+    EXPECT_GE(report.count("graph.histogram"), 2u)
+        << report.describe();
+}
+
+TEST(GraphLintTest, MetricNotRecomputable)
+{
+    const Report report = lintGraphText(withLine(
+        "metric Root 33.333333333333336", "metric Root 95.0"));
+    EXPECT_TRUE(report.has("graph.metric-recompute"))
+        << report.describe();
+}
+
+TEST(GraphLintTest, MissingMetricLine)
+{
+    EXPECT_TRUE(lintGraphText(withLine("metric In=Out 0\n", ""))
+                    .has("graph.metric-recompute"));
+}
+
+TEST(GraphLintTest, DuplicateVertexAndEdge)
+{
+    EXPECT_TRUE(
+        lintGraphText(
+            withLine("edge 1 3\n", "edge 1 3\nedge 1 3\n"))
+            .has("graph.duplicate"));
+    EXPECT_TRUE(lintGraphText(withLine(
+                    "vertex 3 addr 12288 size 16 indeg 1 outdeg 0\n",
+                    "vertex 3 addr 12288 size 16 indeg 1 outdeg 0\n"
+                    "vertex 3 addr 16384 size 8 indeg 1 outdeg 0\n"))
+                    .has("graph.duplicate"));
+}
+
+TEST(GraphLintTest, ExtentProblems)
+{
+    EXPECT_TRUE(
+        lintGraphText(
+            withLine("vertex 2 addr 8192 size 32",
+                     "vertex 2 addr 4100 size 32"))
+            .has("graph.extent-overlap"));
+    EXPECT_TRUE(lintGraphText(withLine("vertex 3 addr 12288 size 16",
+                                       "vertex 3 addr 12288 size 0"))
+                    .has("graph.zero-extent"));
+}
+
+TEST(GraphLintTest, MissingEnd)
+{
+    EXPECT_TRUE(lintGraphText(withLine("end\n", ""))
+                    .has("graph.no-end"));
+}
+
+} // namespace
+
+} // namespace heapmd

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Regenerate the malformed-trace corpus consumed by analysis_test.cc.
+
+Each file seeds exactly the defect named by its file name; the clean
+trace must audit with zero findings.  Event tags and the HMDT layout
+mirror src/trace/trace_format.hh and src/runtime/events.hh.
+
+Usage: python3 gen_corpus.py   (writes *.trace next to itself)
+"""
+
+import os
+import struct
+
+MAGIC = 0x54444D48  # "HMDT" little-endian
+VERSION = 1
+FOOTER = b"\xff"
+
+ALLOC, FREE, REALLOC, WRITE, READ, FN_ENTER, FN_EXIT = range(7)
+
+
+def varint(value):
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def header(version=VERSION):
+    return struct.pack("<II", MAGIC, version)
+
+
+def event(tag, *fields):
+    return bytes([tag]) + b"".join(varint(f) for f in fields)
+
+
+def footer(names=()):
+    out = bytearray(FOOTER)
+    out += varint(len(names))
+    for name in names:
+        encoded = name.encode()
+        out += varint(len(encoded)) + encoded
+    return bytes(out)
+
+
+CORPUS = {
+    # Zero findings: every rule must stay quiet on this one.
+    "clean.trace": header()
+    + event(FN_ENTER, 0)
+    + event(ALLOC, 0x1000, 64)
+    + event(ALLOC, 0x2000, 32)
+    + event(WRITE, 0x1000, 0x2000)
+    + event(READ, 0x1008)
+    + event(REALLOC, 0x2000, 0x3000, 48)
+    + event(WRITE, 0x1000, 0x3000)
+    + event(FREE, 0x3000)
+    + event(FREE, 0x1000)
+    + event(FN_EXIT, 0)
+    + footer(["main"]),
+    # trace.bad-magic
+    "bad_magic.trace": b"XXXX"
+    + struct.pack("<I", VERSION)
+    + footer(),
+    # trace.bad-version
+    "bad_version.trace": header(version=99) + footer(),
+    # trace.varint-truncated: alloc size field ends mid-varint
+    "truncated_varint.trace": header()
+    + bytes([ALLOC])
+    + varint(0x1000)
+    + b"\x80\x80",
+    # trace.varint-overlong: 11-byte encoding of the alloc address
+    "overlong_varint.trace": header()
+    + bytes([ALLOC])
+    + b"\x80" * 10
+    + b"\x01"
+    + varint(64)
+    + footer(),
+    # trace.no-footer: complete event, then EOF
+    "missing_footer.trace": header() + event(ALLOC, 0x1000, 64),
+    # trace.footer-truncated: table claims 2 names, delivers 1
+    "footer_truncated.trace": header()
+    + FOOTER
+    + varint(2)
+    + varint(4)
+    + b"main",
+    # trace.unknown-tag
+    "unknown_tag.trace": header() + bytes([0x42]) + footer(),
+    # trace.fn-id-range: FnEnter 5 but the table has one name
+    "fn_id_gap.trace": header()
+    + event(FN_ENTER, 5)
+    + event(FN_EXIT, 5)
+    + footer(["main"]),
+    # trace.free-before-alloc
+    "free_before_alloc.trace": header()
+    + event(FREE, 0x1000)
+    + footer(),
+    # trace.write-after-free
+    "write_after_free.trace": header()
+    + event(ALLOC, 0x1000, 64)
+    + event(FREE, 0x1000)
+    + event(WRITE, 0x1008, 0x2000)
+    + footer(),
+    # trace.alloc-overlap
+    "alloc_overlap.trace": header()
+    + event(ALLOC, 0x1000, 64)
+    + event(ALLOC, 0x1010, 16)
+    + footer(),
+    # trace.zero-alloc
+    "zero_alloc.trace": header() + event(ALLOC, 0x1000, 0) + footer(),
+    # trace.trailing-bytes (warning, not error)
+    "trailing_bytes.trace": header() + footer() + b"junk",
+}
+
+
+def main():
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    for name, blob in sorted(CORPUS.items()):
+        path = os.path.join(out_dir, name)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        print(f"{name}: {len(blob)} bytes")
+
+
+if __name__ == "__main__":
+    main()

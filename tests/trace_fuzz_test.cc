@@ -11,6 +11,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/trace_lint.hh"
 #include "runtime/address_space.hh"
 #include "support/random.hh"
 #include "trace/trace_reader.hh"
@@ -159,7 +160,8 @@ TEST_P(TraceFuzzTest, TruncationNeverCrashes)
     for (int trial = 0; trial < 20; ++trial) {
         // Cut somewhere after the header.
         const std::size_t cut = 8 + rng.below(full.size() - 8);
-        std::stringstream truncated(full.substr(0, cut));
+        const std::string bytes = full.substr(0, cut);
+        std::stringstream truncated(bytes);
         TraceReader reader(truncated);
         Event e;
         std::size_t decoded = 0;
@@ -169,6 +171,18 @@ TEST_P(TraceFuzzTest, TruncationNeverCrashes)
         // Either we hit a clean footer (cut landed after it) or the
         // stream is flagged malformed; both are acceptable, crashing
         // is not.
+
+        // Whatever the reader rejects, the static linter must flag
+        // too: a clean audit is a promise that replay will succeed.
+        if (reader.malformed()) {
+            EXPECT_FALSE(reader.error().empty());
+            analysis::Report report;
+            analysis::lintTrace(bytes, report);
+            EXPECT_FALSE(report.clean())
+                << "reader rejected a " << cut
+                << "-byte prefix (" << reader.error()
+                << ") but the linter found nothing";
+        }
     }
 }
 
@@ -194,8 +208,9 @@ TEST_P(AddressSpaceFuzzTest, BlocksNeverOverlapAndReuseIsSound)
                 AddressSpace::roundToClass(size);
             // No overlap with any live block.
             auto next = live.lower_bound(addr);
-            if (next != live.end())
+            if (next != live.end()) {
                 ASSERT_LE(addr + cls, next->first);
+            }
             if (next != live.begin()) {
                 auto prev = std::prev(next);
                 ASSERT_LE(prev->first + prev->second, addr);

@@ -10,6 +10,8 @@
  *   record                 record an instrumented run to a trace
  *   replay                 post-mortem: replay a trace under a model
  *   diff                   compare two models (program evolution)
+ *   snapshot               dump the final heap-graph of a run
+ *   audit                  statically verify traces/models/snapshots
  *
  * Examples:
  *   heapmd train --app Multimedia --inputs 25 --out mm.model
@@ -18,6 +20,9 @@
  *   heapmd record --app gzip --seed 7 --out run.trace
  *   heapmd replay --trace run.trace --model gzip.model
  *   heapmd diff --model v1.model --model-b v2.model
+ *   heapmd snapshot --app gzip --seed 7 --out run.graph
+ *   heapmd audit --trace run.trace --model gzip.model \
+ *                --graph run.graph
  */
 
 #include <cstdio>
@@ -27,7 +32,11 @@
 #include <map>
 #include <string>
 
+#include "analysis/graph_lint.hh"
+#include "analysis/model_lint.hh"
+#include "analysis/trace_lint.hh"
 #include "core/heapmd.hh"
+#include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
@@ -53,10 +62,18 @@ usage(const char *argv0)
         "  check   --app NAME --model FILE [--seed S=100]\n"
         "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
         "          [--fault KIND [--rate R=1.0] [--budget B=0]]\n"
+        "          [--no-audit 1]\n"
         "  record  --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
         "  replay  --trace FILE --model FILE [--frq N=300]\n"
+        "          [--no-audit 1]\n"
         "  diff    --model FILE --model-b FILE\n"
+        "  snapshot --app NAME --out FILE [--seed S=1] [--version V]\n"
+        "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
+        "  audit   [--trace FILE] [--model FILE] [--graph FILE]\n"
+        "          [--max-findings N=1000]\n"
+        "          (static verification: lint artifacts against the\n"
+        "           rule catalog in DESIGN.md without replaying)\n"
         "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
         "          [--frq N=300] [--fault KIND [--rate R]]\n"
         "          (prints the metric series as CSV -- the paper's\n"
@@ -150,6 +167,41 @@ loadModel(const std::string &path)
     return HeapModel::load(in);
 }
 
+/**
+ * Pre-flight one artifact through its static auditor.  Prints the
+ * findings and fails fatally when the artifact has error-severity
+ * defects; warnings are surfaced but do not block.
+ */
+void
+preflight(const char *what, const std::string &path,
+          const analysis::Report &report)
+{
+    if (report.findings().empty())
+        return;
+    std::fprintf(stderr, "audit of %s '%s':\n%s", what, path.c_str(),
+                 report.describe().c_str());
+    if (!report.clean())
+        HEAPMD_FATAL(what, " '", path,
+                     "' failed its pre-flight audit (run `heapmd "
+                     "audit` for details; --no-audit 1 overrides)");
+}
+
+void
+preflightModel(const std::string &path)
+{
+    analysis::Report report;
+    analysis::lintModelFile(path, report);
+    preflight("model", path, report);
+}
+
+void
+preflightTrace(const std::string &path)
+{
+    analysis::Report report;
+    analysis::lintTraceFile(path, report);
+    preflight("trace", path, report);
+}
+
 void
 printModel(const HeapModel &model)
 {
@@ -225,6 +277,8 @@ cmdCheck(const Args &args)
 {
     const HeapMD tool(configFrom(args));
     auto app = makeApp(args.str("app"));
+    if (args.num("no-audit", 0) == 0)
+        preflightModel(args.str("model"));
     const HeapModel model = loadModel(args.str("model"));
     const CheckOutcome out =
         tool.check(*app, appConfigFrom(args, 100), model);
@@ -262,6 +316,10 @@ int
 cmdReplay(const Args &args)
 {
     HeapMDConfig cfg = configFrom(args);
+    if (args.num("no-audit", 0) == 0) {
+        preflightModel(args.str("model"));
+        preflightTrace(args.str("trace"));
+    }
     const HeapModel model = loadModel(args.str("model"));
 
     std::ifstream in(args.str("trace"), std::ios::binary);
@@ -310,6 +368,77 @@ cmdObserve(const Args &args)
 }
 
 int
+cmdSnapshot(const Args &args)
+{
+    HeapMDConfig cfg = configFrom(args);
+    Process process(cfg.process);
+    auto app = makeApp(args.str("app"));
+    app->run(process, appConfigFrom(args, 1));
+
+    std::ofstream out(args.str("out"));
+    if (!out)
+        HEAPMD_FATAL("cannot write '", args.str("out"), "'");
+    saveGraphSnapshot(process.graph(), out);
+    std::printf("snapshot of %llu vertices / %llu edges written "
+                "to %s\n",
+                static_cast<unsigned long long>(
+                    process.graph().vertexCount()),
+                static_cast<unsigned long long>(
+                    process.graph().edgeCount()),
+                args.str("out").c_str());
+    return 0;
+}
+
+int
+cmdAudit(const Args &args)
+{
+    if (!args.has("trace") && !args.has("model") &&
+        !args.has("graph")) {
+        HEAPMD_FATAL("audit needs at least one of --trace, --model, "
+                     "--graph");
+    }
+    const auto max_findings = static_cast<std::size_t>(args.num(
+        "max-findings", analysis::Report::kDefaultMaxFindings));
+
+    bool clean = true;
+    if (args.has("trace")) {
+        analysis::Report report(max_findings);
+        const analysis::TraceLintStats stats =
+            analysis::lintTraceFile(args.str("trace"), report);
+        std::printf("trace %s: %llu bytes, %llu events, %llu "
+                    "functions\n%s",
+                    args.str("trace").c_str(),
+                    static_cast<unsigned long long>(stats.bytes),
+                    static_cast<unsigned long long>(stats.events),
+                    static_cast<unsigned long long>(stats.functions),
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
+    if (args.has("model")) {
+        analysis::Report report(max_findings);
+        const analysis::ModelLintStats stats =
+            analysis::lintModelFile(args.str("model"), report);
+        std::printf("model %s: %zu lines, %zu stable + %zu unstable "
+                    "metrics\n%s",
+                    args.str("model").c_str(), stats.lines,
+                    stats.stableMetrics, stats.unstableMetrics,
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
+    if (args.has("graph")) {
+        analysis::Report report(max_findings);
+        const analysis::GraphLintStats stats =
+            analysis::lintGraphFile(args.str("graph"), report);
+        std::printf("graph %s: %zu lines, %zu vertices, %zu edges\n%s",
+                    args.str("graph").c_str(), stats.lines,
+                    stats.vertices, stats.edges,
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
+    return clean ? 0 : 1;
+}
+
+int
 cmdDiff(const Args &args)
 {
     const HeapModel a = loadModel(args.str("model"));
@@ -343,6 +472,10 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (command == "diff")
         return cmdDiff(args);
+    if (command == "snapshot")
+        return cmdSnapshot(args);
+    if (command == "audit")
+        return cmdAudit(args);
     if (command == "observe")
         return cmdObserve(args);
     usage(argv[0]);
