@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Twin entry points for the telemetry-overhead bench.
+ *
+ * The same kernel body (telemetry_kernel_body.inc) is compiled into
+ * two translation units: one with the telemetry macros enabled and
+ * one with HEAPMD_TELEMETRY_ENABLED forced to 0, so one binary can
+ * time "instrumented but idle" against "instrumentation compiled
+ * out" on identical code.
+ */
+
+#ifndef HEAPMD_BENCH_TELEMETRY_KERNEL_HH
+#define HEAPMD_BENCH_TELEMETRY_KERNEL_HH
+
+#include <cstdint>
+
+namespace heapmd
+{
+namespace bench
+{
+
+/** Kernel built with the telemetry macros compiled in (idle). */
+std::uint64_t telemetryKernelCompiledIn(std::uint64_t iters);
+
+/** Identical kernel with the macros compiled to no-ops. */
+std::uint64_t telemetryKernelCompiledOut(std::uint64_t iters);
+
+} // namespace bench
+} // namespace heapmd
+
+#endif // HEAPMD_BENCH_TELEMETRY_KERNEL_HH

@@ -1,0 +1,21 @@
+// Telemetry macros compiled OUT: every HEAPMD_* site is a no-op, so
+// this TU is the zero-overhead baseline for the same kernel body.
+#define HEAPMD_TELEMETRY_ENABLED 0
+
+#include <algorithm>
+
+#include "heapgraph/heap_graph.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry_kernel.hh"
+
+namespace heapmd
+{
+namespace bench
+{
+
+#define HEAPMD_KERNEL_FN telemetryKernelCompiledOut
+#include "telemetry_kernel_body.inc"
+#undef HEAPMD_KERNEL_FN
+
+} // namespace bench
+} // namespace heapmd

@@ -1,0 +1,20 @@
+// Telemetry macros compiled IN (but idle: no session, counters only).
+#define HEAPMD_TELEMETRY_ENABLED 1
+
+#include <algorithm>
+
+#include "heapgraph/heap_graph.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry_kernel.hh"
+
+namespace heapmd
+{
+namespace bench
+{
+
+#define HEAPMD_KERNEL_FN telemetryKernelCompiledIn
+#include "telemetry_kernel_body.inc"
+#undef HEAPMD_KERNEL_FN
+
+} // namespace bench
+} // namespace heapmd

@@ -13,6 +13,7 @@
 #include "heapgraph/graph_snapshot.hh"
 #include "metrics/metric.hh"
 #include "support/types.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -436,13 +437,20 @@ lintGraph(std::istream &is, Report &report)
 GraphLintStats
 lintGraphFile(const std::string &path, Report &report)
 {
+    HEAPMD_TRACE_SPAN("audit.graph");
+    HEAPMD_COUNTER_INC("audit.graph_lints");
+    const std::size_t before = report.findings().size();
     std::ifstream in(path);
     if (!in) {
         report.error("graph.io",
                      "cannot open graph snapshot '" + path + "'");
+        HEAPMD_COUNTER_INC("audit.findings");
         return {};
     }
-    return lintGraph(in, report);
+    const GraphLintStats stats = lintGraph(in, report);
+    HEAPMD_COUNTER_ADD("audit.findings",
+                       report.findings().size() - before);
+    return stats;
 }
 
 } // namespace analysis

@@ -7,6 +7,7 @@
 
 #include "analysis/text_parse.hh"
 #include "metrics/metric.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -294,13 +295,20 @@ ModelLintStats
 lintModelFile(const std::string &path, Report &report,
               const StabilityThresholds &thresholds)
 {
+    HEAPMD_TRACE_SPAN("audit.model");
+    HEAPMD_COUNTER_INC("audit.model_lints");
+    const std::size_t before = report.findings().size();
     std::ifstream in(path);
     if (!in) {
         report.error("model.io",
                      "cannot open model file '" + path + "'");
+        HEAPMD_COUNTER_INC("audit.findings");
         return {};
     }
-    return lintModel(in, report, thresholds);
+    const ModelLintStats stats = lintModel(in, report, thresholds);
+    HEAPMD_COUNTER_ADD("audit.findings",
+                       report.findings().size() - before);
+    return stats;
 }
 
 } // namespace analysis

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "runtime/events.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace_format.hh"
 
 namespace heapmd
@@ -463,13 +464,20 @@ lintTrace(std::istream &is, Report &report)
 TraceLintStats
 lintTraceFile(const std::string &path, Report &report)
 {
+    HEAPMD_TRACE_SPAN("audit.trace");
+    HEAPMD_COUNTER_INC("audit.trace_lints");
+    const std::size_t before = report.findings().size();
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         report.error("trace.io",
                      "cannot open trace file '" + path + "'");
+        HEAPMD_COUNTER_INC("audit.findings");
         return {};
     }
-    return lintTrace(in, report);
+    const TraceLintStats stats = lintTrace(in, report);
+    HEAPMD_COUNTER_ADD("audit.findings",
+                       report.findings().size() - before);
+    return stats;
 }
 
 } // namespace analysis

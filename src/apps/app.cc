@@ -3,6 +3,7 @@
 #include "apps/spec_apps.hh"
 #include "apps/commercial_apps.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -10,6 +11,8 @@ namespace heapmd
 AppResult
 SyntheticApp::run(Process &process, const AppConfig &config)
 {
+    HEAPMD_TRACE_SPAN("app.run");
+    HEAPMD_COUNTER_INC("app.runs");
     HeapApi heap(process);
     FaultPlan faults = config.faults; // run-local: budgets refill
     std::uint64_t seed_state =

@@ -1,5 +1,7 @@
 #include "core/heapmd.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace heapmd
 {
 
@@ -35,6 +37,8 @@ RunOutcome::registry() const
 RunOutcome
 HeapMD::observe(SyntheticApp &app, const AppConfig &config) const
 {
+    HEAPMD_TRACE_SPAN("pipeline.observe");
+    HEAPMD_COUNTER_INC("pipeline.observe_runs");
     Process process(config_.process);
     RunOutcome outcome;
     outcome.app = app.run(process, config);
@@ -52,6 +56,8 @@ TrainingOutcome
 HeapMD::train(SyntheticApp &app,
               const std::vector<AppConfig> &inputs) const
 {
+    HEAPMD_TRACE_SPAN("pipeline.train");
+    HEAPMD_COUNTER_INC("pipeline.train_runs");
     TrainingOutcome outcome{HeapModel{},
                             MetricSummarizer(config_.summarizer),
                             {}};
@@ -69,6 +75,8 @@ CheckOutcome
 HeapMD::check(SyntheticApp &app, const AppConfig &config,
               const HeapModel &model) const
 {
+    HEAPMD_TRACE_SPAN("pipeline.check");
+    HEAPMD_COUNTER_INC("pipeline.check_runs");
     Process process(config_.process);
     ExecutionChecker checker(model, config_.checker);
     checker.attach(process);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -44,6 +45,7 @@ AnomalyDetector::onSample(const MetricSample &sample,
 {
     (void)process;
     ++samples_checked_;
+    HEAPMD_COUNTER_INC("checker.samples_checked");
 
     const auto &entries = model_.entries();
     for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -64,6 +66,8 @@ AnomalyDetector::onSample(const MetricSample &sample,
         if (violating && !state.inViolation) {
             // A new excursion: open a report, keep logging for the
             // "after" context before finalizing.
+            HEAPMD_COUNTER_INC("checker.range_crossings");
+            HEAPMD_TRACE_INSTANT("checker.range_crossing");
             state.inViolation = true;
             state.pendingReport = true;
             state.afterLeft = config_.afterSamples;
@@ -160,6 +164,7 @@ AnomalyDetector::logSnapshot(MetricState &state, double value)
 void
 AnomalyDetector::finalizeReport(MetricState &state)
 {
+    HEAPMD_COUNTER_INC("checker.reports");
     state.pending.contextLog = state.log.snapshot();
     reports_.push_back(state.pending);
     state.pendingReport = false;

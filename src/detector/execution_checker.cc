@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/stats.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -40,6 +41,7 @@ ExecutionChecker::finalize(const Process &process)
 CheckResult
 ExecutionChecker::finalize(const MetricSeries &series, Tick now)
 {
+    HEAPMD_TRACE_SPAN("checker.finalize");
     detector_.finish();
 
     CheckResult result;

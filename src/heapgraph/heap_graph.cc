@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -41,6 +42,8 @@ HeapGraph::allocate(Addr addr, std::uint64_t size, FnId site, Tick tick)
     hist_.addVertex();
 
     ++stats_.allocs;
+    HEAPMD_COUNTER_INC("graph.allocs");
+    HEAPMD_GAUGE_ADD("graph.nodes_live", 1);
     stats_.liveBytes += size;
     stats_.peakLiveBytes = std::max(stats_.peakLiveBytes,
                                     stats_.liveBytes);
@@ -76,6 +79,8 @@ HeapGraph::free(Addr addr)
     hist_.removeVertex(rec.indegree(), rec.outdegree());
     stats_.liveBytes -= rec.size;
     ++stats_.frees;
+    HEAPMD_COUNTER_INC("graph.frees");
+    HEAPMD_GAUGE_ADD("graph.nodes_live", -1);
     by_addr_.erase(it);
     objects_.erase(id);
     return true;
@@ -86,6 +91,7 @@ HeapGraph::reallocate(Addr old_addr, Addr new_addr,
                       std::uint64_t new_size, FnId site, Tick tick)
 {
     ++stats_.reallocs;
+    HEAPMD_COUNTER_INC("graph.reallocs");
 
     if (old_addr == kNullAddr) // realloc(NULL, n) == malloc(n)
         return allocate(new_addr, new_size, site, tick);
@@ -182,6 +188,7 @@ HeapGraph::write(Addr addr, Addr value)
     if (target != nullptr) {
         addEdgeInstance(*owner, addr, *target);
         ++stats_.pointerWrites;
+        HEAPMD_COUNTER_INC("graph.pointer_writes");
     } else if (had_edge) {
         ++stats_.clearedSlots;
     }
@@ -311,6 +318,10 @@ HeapGraph::checkConsistency() const
 void
 HeapGraph::clear()
 {
+    HEAPMD_GAUGE_ADD("graph.nodes_live",
+                     -static_cast<std::int64_t>(objects_.size()));
+    HEAPMD_GAUGE_ADD("graph.edges_live",
+                     -static_cast<std::int64_t>(edge_count_));
     objects_.clear();
     by_addr_.clear();
     hist_.reset();
@@ -352,8 +363,10 @@ HeapGraph::addEdgeInstance(ObjectRecord &u, Addr slot, ObjectRecord &v)
     const std::size_t v_out = v.outdegree();
 
     u.slots.emplace(slot, v.id);
-    if (++u.outNeighbors[v.id] == 1)
+    if (++u.outNeighbors[v.id] == 1) {
         ++edge_count_;
+        HEAPMD_GAUGE_ADD("graph.edges_live", 1);
+    }
     v.inRefs.emplace(slot, u.id);
     ++v.inNeighbors[u.id];
 
@@ -388,6 +401,7 @@ HeapGraph::removeEdgeInstance(ObjectRecord &u, Addr slot)
     if (--out_it->second == 0) {
         u.outNeighbors.erase(out_it);
         --edge_count_;
+        HEAPMD_GAUGE_ADD("graph.edges_live", -1);
     }
 
     v->inRefs.erase(slot);

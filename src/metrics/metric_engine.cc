@@ -2,6 +2,7 @@
 
 #include "heapgraph/graph_algorithms.hh"
 #include "heapgraph/heap_graph.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -39,6 +40,8 @@ ExtendedSample
 MetricEngine::sampleExtended(const HeapGraph &graph, Tick tick,
                              std::uint64_t point_index)
 {
+    HEAPMD_TRACE_SPAN("metrics.sample_extended");
+    HEAPMD_COUNTER_INC("metrics.extended_samples");
     ExtendedSample s;
     s.tick = tick;
     s.pointIndex = point_index;

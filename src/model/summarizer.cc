@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -20,6 +21,8 @@ MetricSummarizer::MetricSummarizer(SummarizerConfig config)
 void
 MetricSummarizer::addRun(const MetricSeries &series)
 {
+    HEAPMD_TRACE_SPAN("model.add_run");
+    HEAPMD_COUNTER_INC("model.runs_summarized");
     RunAnalysis analysis;
     analysis.label = series.label;
     for (MetricId id : kAllMetrics) {
@@ -127,6 +130,8 @@ MetricSummarizer::buildEntry(MetricId id,
 HeapModel
 MetricSummarizer::buildModel(const std::string &program_name) const
 {
+    HEAPMD_TRACE_SPAN("model.build");
+    HEAPMD_COUNTER_INC("model.builds");
     HeapModel model;
     model.programName = program_name;
     model.trainingRuns = runs_.size();

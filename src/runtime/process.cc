@@ -2,6 +2,7 @@
 
 #include "metrics/metric_engine.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace heapmd
 {
@@ -122,9 +123,14 @@ Process::addSampleObserver(SampleObserver *observer)
 void
 Process::takeSample()
 {
+    HEAPMD_TIMED_NS("metrics.compute_ns", "metrics.sample_ns");
+    HEAPMD_COUNTER_INC("metrics.samples");
+
     const MetricSample sample =
         MetricEngine::sample(graph_, tick_, sample_count_);
     series_.push(sample);
+    HEAPMD_TRACE_COUNTER("graph.nodes_live", graph_.vertexCount());
+    HEAPMD_TRACE_COUNTER("graph.edges_live", graph_.edgeCount());
 
     if (config_.extendedEvery != 0 &&
         sample_count_ % config_.extendedEvery == 0) {

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,24 +10,31 @@ namespace heapmd
 namespace
 {
 
-LogLevel g_level = LogLevel::Info;
+// Atomic so worker threads may consult/adjust the level while other
+// threads log; relaxed ordering suffices because the level is an
+// independent filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail
 {
+
+// Each line below is emitted with one fprintf call so concurrent
+// loggers cannot interleave fragments of a line (stdio locks the
+// stream per call).
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -45,21 +53,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,158 @@
+#include "telemetry/registry.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+namespace telemetry
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    if (bounds_.empty())
+        HEAPMD_PANIC("histogram needs at least one bucket bound");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        HEAPMD_PANIC("histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    std::size_t bucket = bounds_.size(); // overflow by default
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (value <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    auto &slot = buckets_[bucket];
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    count_.store(count_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + value,
+               std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        out.push_back(bucket.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    std::vector<std::uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshotAll() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snapshot;
+    snapshot.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snapshot.counters.push_back({name, counter->value()});
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        snapshot.gauges.push_back({name, gauge->value()});
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto &[name, histogram] : histograms_) {
+        snapshot.histograms.push_back({name, histogram->count(),
+                                       histogram->sum(),
+                                       histogram->bounds(),
+                                       histogram->bucketCounts()});
+    }
+    return snapshot; // std::map iteration is already name-sorted
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+std::vector<std::uint64_t>
+Registry::defaultNsBounds()
+{
+    return {100,       1'000,       10'000,      100'000,
+            1'000'000, 10'000'000,  100'000'000, 1'000'000'000};
+}
+
+TextTable
+statsTable(const MetricsSnapshot &snapshot)
+{
+    TextTable table({"name", "kind", "value", "detail"});
+    for (const auto &c : snapshot.counters)
+        table.addRow({c.name, "counter", std::to_string(c.value), ""});
+    for (const auto &g : snapshot.gauges)
+        table.addRow({g.name, "gauge", std::to_string(g.value), ""});
+    for (const auto &h : snapshot.histograms) {
+        const double mean =
+            h.count == 0 ? 0.0
+                         : static_cast<double>(h.sum) /
+                               static_cast<double>(h.count);
+        table.addRow({h.name, "histogram", std::to_string(h.count),
+                      "sum=" + std::to_string(h.sum) +
+                          "ns mean=" + fmtDouble(mean, 0) + "ns"});
+    }
+    return table;
+}
+
+} // namespace telemetry
+} // namespace heapmd

@@ -1,0 +1,245 @@
+#include "telemetry/trace_session.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace heapmd
+{
+namespace telemetry
+{
+
+namespace
+{
+
+struct BufferedEvent
+{
+    std::string name;
+    std::string category;
+    char phase;         // 'X', 'i', or 'C'
+    std::uint64_t ts;   // microseconds since session start
+    std::uint64_t dur;  // 'X' only
+    double value;       // 'C' only
+};
+
+std::atomic<bool> g_active{false};
+
+// All mutable session state below is guarded by g_mutex; g_active is
+// the lock-free fast-path gate and flips only under the mutex.
+std::mutex g_mutex;
+std::string g_path;
+std::vector<BufferedEvent> g_events;
+std::uint64_t g_dropped = 0;
+std::chrono::steady_clock::time_point g_epoch;
+
+void
+append(BufferedEvent event)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_active.load(std::memory_order_relaxed))
+        return; // stopped between the gate check and here
+    if (g_events.size() >= TraceSession::kMaxEvents) {
+        ++g_dropped;
+        return;
+    }
+    g_events.push_back(std::move(event));
+}
+
+/** JSON string escaping for names/categories. */
+std::string
+escapeJson(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeEvent(std::FILE *f, const BufferedEvent &e)
+{
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                 "\"ts\":%llu,\"pid\":1,\"tid\":1",
+                 escapeJson(e.name).c_str(),
+                 escapeJson(e.category).c_str(), e.phase,
+                 static_cast<unsigned long long>(e.ts));
+    if (e.phase == 'X')
+        std::fprintf(f, ",\"dur\":%llu",
+                     static_cast<unsigned long long>(e.dur));
+    if (e.phase == 'C')
+        std::fprintf(f, ",\"args\":{\"value\":%.17g}", e.value);
+    if (e.phase == 'i')
+        std::fprintf(f, ",\"s\":\"t\"");
+    std::fprintf(f, "}");
+}
+
+} // namespace
+
+bool
+TraceSession::start(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_active.load(std::memory_order_relaxed)) {
+        warn("trace session already active (writing to '", g_path,
+             "'); ignoring start('", path, "')");
+        return false;
+    }
+    std::FILE *probe = std::fopen(path.c_str(), "w");
+    if (probe == nullptr) {
+        warn("cannot create trace output '", path, "'");
+        return false;
+    }
+    std::fclose(probe);
+
+    g_path = path;
+    g_events.clear();
+    g_events.reserve(4096);
+    g_dropped = 0;
+    g_epoch = std::chrono::steady_clock::now();
+    g_active.store(true, std::memory_order_release);
+    return true;
+}
+
+bool
+TraceSession::active()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSession::stop()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_active.load(std::memory_order_relaxed))
+        return 0;
+    g_active.store(false, std::memory_order_release);
+
+    std::FILE *f = std::fopen(g_path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write trace output '", g_path, "'");
+        g_events.clear();
+        return 0;
+    }
+
+    std::fputs("{\n\"traceEvents\":[\n", f);
+    // Metadata first: names the single process/thread track.
+    std::fputs("{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,"
+               "\"pid\":1,\"tid\":1,"
+               "\"args\":{\"name\":\"heapmd\"}},\n",
+               f);
+    std::fputs("{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,"
+               "\"pid\":1,\"tid\":1,"
+               "\"args\":{\"name\":\"pipeline\"}}",
+               f);
+    for (const BufferedEvent &e : g_events) {
+        std::fputs(",\n", f);
+        writeEvent(f, e);
+    }
+    std::fputs("\n],\n\"displayTimeUnit\":\"ms\"\n}\n", f);
+    std::fclose(f);
+
+    const auto written = static_cast<std::uint64_t>(g_events.size());
+    if (g_dropped != 0)
+        warn("trace buffer overflowed: dropped ", g_dropped,
+             " event(s) after the first ", kMaxEvents);
+    g_events.clear();
+    g_events.shrink_to_fit();
+    g_path.clear();
+    return written;
+}
+
+std::uint64_t
+TraceSession::nowMicros()
+{
+    if (!active())
+        return 0;
+    const auto elapsed = std::chrono::steady_clock::now() - g_epoch;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+}
+
+void
+TraceSession::complete(const std::string &name,
+                       const std::string &category,
+                       std::uint64_t start_us, std::uint64_t end_us)
+{
+    if (!active())
+        return;
+    const std::uint64_t dur =
+        end_us >= start_us ? end_us - start_us : 0;
+    append({name, category, 'X', start_us, dur, 0.0});
+}
+
+void
+TraceSession::instant(const std::string &name,
+                      const std::string &category)
+{
+    if (!active())
+        return;
+    append({name, category, 'i', nowMicros(), 0, 0.0});
+}
+
+void
+TraceSession::counter(const std::string &name, double value)
+{
+    if (!active())
+        return;
+    append({name, "heapmd", 'C', nowMicros(), 0, value});
+}
+
+std::uint64_t
+TraceSession::eventCount()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return static_cast<std::uint64_t>(g_events.size());
+}
+
+std::uint64_t
+TraceSession::droppedCount()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_dropped;
+}
+
+std::string
+TraceSession::outputPath()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_active.load(std::memory_order_relaxed) ? g_path
+                                                    : std::string();
+}
+
+} // namespace telemetry
+} // namespace heapmd

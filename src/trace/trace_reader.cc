@@ -2,6 +2,7 @@
 
 #include "runtime/process.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace_format.hh"
 
 namespace heapmd
@@ -56,6 +57,7 @@ TraceReader::fail(std::string message)
 {
     done_ = true;
     malformed_ = true;
+    HEAPMD_COUNTER_INC("trace.malformed");
     if (error_.empty())
         error_ = std::move(message);
 }
@@ -138,6 +140,7 @@ TraceReader::next(Event &event)
         return false;
     }
     ++events_;
+    HEAPMD_COUNTER_INC("trace.events_decoded");
     return true;
 }
 
@@ -175,6 +178,8 @@ TraceReader::readFooter()
 std::uint64_t
 replayTrace(TraceReader &reader, Process &process)
 {
+    HEAPMD_TRACE_SPAN("trace.replay");
+    HEAPMD_COUNTER_INC("trace.replays");
     if (process.registry().size() != 0)
         warn("replaying into a process with a non-empty function "
              "registry; symbolization may be wrong");

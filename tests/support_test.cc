@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -305,6 +306,50 @@ TEST(RingBufferTest, ClearKeepsCapacity)
     EXPECT_EQ(ring.capacity(), 2u);
     ring.push(7);
     EXPECT_EQ(ring.at(0), 7);
+}
+
+TEST(RingBufferTest, WrapAroundManyCycles)
+{
+    RingBuffer<int> ring(3);
+    // Push far past capacity so head_ laps the storage repeatedly;
+    // the window must always hold the last three values in order.
+    for (int i = 0; i < 100; ++i) {
+        ring.push(i);
+        if (i >= 2) {
+            EXPECT_EQ(ring.size(), 3u);
+            EXPECT_EQ(ring.at(0), i - 2);
+            EXPECT_EQ(ring.at(1), i - 1);
+            EXPECT_EQ(ring.at(2), i);
+        }
+    }
+}
+
+TEST(RingBufferTest, MoveOnlyElements)
+{
+    RingBuffer<std::unique_ptr<int>> ring(2);
+    ring.push(std::make_unique<int>(1));
+    ring.push(std::make_unique<int>(2));
+    ring.push(std::make_unique<int>(3)); // evicts 1
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(*ring.at(0), 2);
+    EXPECT_EQ(*ring.at(1), 3);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, CapacityOne)
+{
+    RingBuffer<int> ring(1);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push(1);
+    EXPECT_EQ(ring.at(0), 1);
+    ring.push(2); // every push evicts the sole element
+    ring.push(3);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.at(0), 3);
+    const std::vector<int> snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap.front(), 3);
 }
 
 TEST(RingBufferDeathTest, ZeroCapacityPanics)

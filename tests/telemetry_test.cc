@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests of the telemetry layer: instrument registry, trace
+ * sessions (including the JSON they emit on disk), and the trace-JSON
+ * validator that CI runs over --trace-out artifacts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/registry.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace_json.hh"
+#include "telemetry/trace_session.hh"
+
+namespace heapmd
+{
+namespace telemetry
+{
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class TelemetryTest : public testing::Test
+{
+  protected:
+    void SetUp() override { Registry::instance().resetAll(); }
+};
+
+TEST_F(TelemetryTest, CounterGetOrCreateReturnsSameInstrument)
+{
+    Counter &a = Registry::instance().counter("test.counter_a");
+    Counter &b = Registry::instance().counter("test.counter_a");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    b.increment();
+    EXPECT_EQ(a.value(), 4u);
+    a.reset();
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeMovesBothWays)
+{
+    Gauge &g = Registry::instance().gauge("test.gauge");
+    g.add(10);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 7);
+    g.add(-9);
+    EXPECT_EQ(g.value(), -2);
+    g.set(42);
+    EXPECT_EQ(g.value(), 42);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndOverflow)
+{
+    Histogram &h = Registry::instance().histogram(
+        "test.hist", std::vector<std::uint64_t>{10, 100});
+    h.observe(5);    // bucket 0 (<= 10)
+    h.observe(10);   // bucket 0 (inclusive bound)
+    h.observe(50);   // bucket 1 (<= 100)
+    h.observe(1000); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1065u);
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedAndResetAllZeroes)
+{
+    Registry::instance().counter("test.zzz").add(1);
+    Registry::instance().counter("test.aaa").add(2);
+    Registry::instance().gauge("test.gauge").set(-5);
+    Registry::instance().histogram("test.hist").observe(7);
+
+    const MetricsSnapshot snap = Registry::instance().snapshotAll();
+    EXPECT_FALSE(snap.empty());
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+
+    bool found = false;
+    for (const auto &c : snap.counters) {
+        if (c.name == "test.aaa") {
+            EXPECT_EQ(c.value, 2u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+
+    Registry::instance().resetAll();
+    const MetricsSnapshot zeroed = Registry::instance().snapshotAll();
+    for (const auto &c : zeroed.counters)
+        EXPECT_EQ(c.value, 0u) << c.name;
+    for (const auto &g : zeroed.gauges)
+        EXPECT_EQ(g.value, 0) << g.name;
+    for (const auto &h : zeroed.histograms)
+        EXPECT_EQ(h.count, 0u) << h.name;
+}
+
+TEST_F(TelemetryTest, StatsTableHasARowPerInstrument)
+{
+    Registry::instance().counter("test.rows").add(9);
+    Registry::instance().gauge("test.level").set(3);
+    const MetricsSnapshot snap = Registry::instance().snapshotAll();
+    const TextTable table = statsTable(snap);
+    EXPECT_EQ(table.rowCount(), snap.counters.size() +
+                                    snap.gauges.size() +
+                                    snap.histograms.size());
+    EXPECT_GE(table.rowCount(), 2u);
+}
+
+TEST_F(TelemetryTest, TraceSessionWritesValidChromeTraceJson)
+{
+    const std::string path =
+        testing::TempDir() + "telemetry_test_trace.json";
+    ASSERT_TRUE(TraceSession::start(path));
+    EXPECT_TRUE(TraceSession::active());
+    // A second start while active must be refused.
+    EXPECT_FALSE(TraceSession::start(path + ".second"));
+
+    {
+        ScopedSpan span("test.span");
+        TraceSession::instant("test.instant", "heapmd");
+        TraceSession::counter("test.counter", 42.0);
+    }
+    const std::uint64_t written = TraceSession::stop();
+    EXPECT_FALSE(TraceSession::active());
+    // span + instant + counter (metadata events are not buffered).
+    EXPECT_EQ(written, 3u);
+
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+
+    TraceJsonStats stats;
+    std::string error;
+    EXPECT_TRUE(validateTraceEventJson(text, &stats, &error)) << error;
+    EXPECT_EQ(stats.events, 5u);
+    EXPECT_EQ(stats.spans, 1u);
+    EXPECT_EQ(stats.instants, 1u);
+    EXPECT_EQ(stats.counters, 1u);
+    EXPECT_EQ(stats.metadata, 2u);
+
+    // Poke the parsed document directly: the span must carry its
+    // category and a non-negative duration.
+    JsonValue root;
+    ASSERT_TRUE(parseJson(text, root, &error)) << error;
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool saw_span = false;
+    for (const JsonValue &event : events->array) {
+        const JsonValue *name = event.find("name");
+        if (name != nullptr && name->string == "test.span") {
+            saw_span = true;
+            const JsonValue *cat = event.find("cat");
+            ASSERT_NE(cat, nullptr);
+            EXPECT_EQ(cat->string, "heapmd");
+            const JsonValue *dur = event.find("dur");
+            ASSERT_NE(dur, nullptr);
+            EXPECT_GE(dur->number, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_span);
+    std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, EventsOutsideASessionAreDropped)
+{
+    ASSERT_FALSE(TraceSession::active());
+    TraceSession::instant("test.orphan", "heapmd");
+    TraceSession::counter("test.orphan", 1.0);
+    { ScopedSpan span("test.orphan_span"); }
+    EXPECT_EQ(TraceSession::eventCount(), 0u);
+}
+
+TEST_F(TelemetryTest, StartFailsOnUnwritablePath)
+{
+    EXPECT_FALSE(
+        TraceSession::start("/nonexistent-dir/trace.json"));
+    EXPECT_FALSE(TraceSession::active());
+}
+
+TEST_F(TelemetryTest, ValidatorRejectsMalformedDocuments)
+{
+    TraceJsonStats stats;
+    std::string error;
+
+    EXPECT_FALSE(validateTraceEventJson("not json", &stats, &error));
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_FALSE(validateTraceEventJson("[]", &stats, &error));
+    EXPECT_FALSE(validateTraceEventJson("{}", &stats, &error));
+
+    // Unknown phase letter.
+    EXPECT_FALSE(validateTraceEventJson(
+        R"({"traceEvents":[{"name":"x","ph":"Z","ts":0,)"
+        R"("pid":1,"tid":1}]})",
+        &stats, &error));
+
+    // Complete event without a duration.
+    EXPECT_FALSE(validateTraceEventJson(
+        R"({"traceEvents":[{"name":"x","ph":"X","ts":0,)"
+        R"("pid":1,"tid":1}]})",
+        &stats, &error));
+
+    // Counter event without a numeric arg.
+    EXPECT_FALSE(validateTraceEventJson(
+        R"({"traceEvents":[{"name":"x","ph":"C","ts":0,)"
+        R"("pid":1,"tid":1,"args":{"value":"nope"}}]})",
+        &stats, &error));
+
+    // Trailing garbage after the document.
+    EXPECT_FALSE(
+        validateTraceEventJson(R"({"traceEvents":[]} junk)", &stats,
+                               &error));
+
+    // A minimal valid document still passes.
+    EXPECT_TRUE(validateTraceEventJson(
+        R"({"traceEvents":[{"name":"x","ph":"i","ts":1,)"
+        R"("pid":1,"tid":1,"s":"t"}]})",
+        &stats, &error))
+        << error;
+    EXPECT_EQ(stats.events, 1u);
+    EXPECT_EQ(stats.instants, 1u);
+}
+
+#if HEAPMD_TELEMETRY_ENABLED
+TEST_F(TelemetryTest, MacrosAccumulateIntoTheRegistry)
+{
+    for (int i = 0; i < 5; ++i)
+        HEAPMD_COUNTER_INC("test.macro_counter");
+    HEAPMD_COUNTER_ADD("test.macro_counter", 5);
+    HEAPMD_GAUGE_ADD("test.macro_gauge", 3);
+    HEAPMD_GAUGE_ADD("test.macro_gauge", -1);
+    HEAPMD_HISTOGRAM_OBSERVE("test.macro_hist", 12);
+    {
+        HEAPMD_TIMED_NS("test.macro_timed_ns", "test.macro_timed");
+    }
+
+    Registry &registry = Registry::instance();
+    EXPECT_EQ(registry.counter("test.macro_counter").value(), 10u);
+    EXPECT_EQ(registry.gauge("test.macro_gauge").value(), 2);
+    EXPECT_EQ(registry.histogram("test.macro_hist").count(), 1u);
+    EXPECT_EQ(registry.histogram("test.macro_timed").count(), 1u);
+    // The timed block must have recorded a consistent total.
+    EXPECT_EQ(registry.counter("test.macro_timed_ns").value(),
+              registry.histogram("test.macro_timed").sum());
+}
+#endif // HEAPMD_TELEMETRY_ENABLED
+
+} // namespace
+
+} // namespace telemetry
+} // namespace heapmd

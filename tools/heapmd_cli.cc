@@ -12,6 +12,13 @@
  *   diff                   compare two models (program evolution)
  *   snapshot               dump the final heap-graph of a run
  *   audit                  statically verify traces/models/snapshots
+ *   stats                  run once and print the telemetry counters
+ *
+ * Every command also accepts:
+ *   --trace-out FILE       write a Chrome trace-event JSON timeline
+ *   --stats 0|1            print the counter table on exit (stderr);
+ *                          HEAPMD_STATS=1 in the environment does the
+ *                          same
  *
  * Examples:
  *   heapmd train --app Multimedia --inputs 25 --out mm.model
@@ -30,6 +37,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "analysis/graph_lint.hh"
@@ -38,6 +46,8 @@
 #include "core/heapmd.hh"
 #include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
+#include "support/table.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 
@@ -46,11 +56,14 @@ using namespace heapmd;
 namespace
 {
 
-[[noreturn]] void
-usage(const char *argv0)
+/** argv[0], stashed for error messages before Args parsing. */
+const char *g_argv0 = "heapmd";
+
+void
+printUsage(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: %s <command> [flags]\n"
         "\n"
         "commands:\n"
@@ -77,8 +90,27 @@ usage(const char *argv0)
         "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
         "          [--frq N=300] [--fault KIND [--rate R]]\n"
         "          (prints the metric series as CSV -- the paper's\n"
-        "           GUI plotter substitute)\n",
-        argv0);
+        "           GUI plotter substitute)\n"
+        "  stats   [--app NAME=%s] [--seed S=1] [--version V]\n"
+        "          [--scale X] [--frq N=300]\n"
+        "          (runs once and prints the telemetry counters)\n"
+        "\n"
+        "global flags (any command):\n"
+        "  --trace-out FILE   Chrome trace-event JSON timeline\n"
+        "  --stats 0|1        counter table on exit (stderr); the\n"
+        "                     HEAPMD_STATS env var does the same\n",
+        g_argv0, specAppNames().front().c_str());
+}
+
+/**
+ * Bad invocation: name the offending command/flag on stderr, show the
+ * usage text, and exit 2 (the conventional usage-error status).
+ */
+[[noreturn]] void
+badInvocation(const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n\n", g_argv0, what.c_str());
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -90,10 +122,30 @@ class Args
     {
         for (int i = 2; i < argc; ++i) {
             std::string key = argv[i];
-            if (key.rfind("--", 0) != 0 || i + 1 >= argc)
-                HEAPMD_FATAL("expected '--flag value', got '", key,
-                             "'");
+            if (key.rfind("--", 0) != 0)
+                badInvocation("expected '--flag value', got '" + key +
+                              "'");
+            if (i + 1 >= argc)
+                badInvocation("flag '" + key + "' is missing a value");
             values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    /**
+     * Reject flags outside @p allowed (plus the global flags every
+     * command accepts), naming the first offender.
+     */
+    void
+    checkAllowed(const std::string &command,
+                 const std::set<std::string> &allowed) const
+    {
+        static const std::set<std::string> global = {"trace-out",
+                                                     "stats"};
+        for (const auto &[key, value] : values_) {
+            (void)value;
+            if (allowed.count(key) == 0 && global.count(key) == 0)
+                badInvocation("unknown flag '--" + key +
+                              "' for command '" + command + "'");
         }
     }
 
@@ -108,7 +160,7 @@ class Args
         auto it = values_.find(key);
         if (it == values_.end()) {
             if (fallback.empty())
-                HEAPMD_FATAL("missing required flag --", key);
+                badInvocation("missing required flag '--" + key + "'");
             return fallback;
         }
         return it->second;
@@ -448,35 +500,107 @@ cmdDiff(const Args &args)
     return diff.unchanged() ? 0 : 1;
 }
 
+int
+cmdStats(const Args &args)
+{
+    const HeapMD tool(configFrom(args));
+    auto app = makeApp(args.str("app", specAppNames().front()));
+    tool.observe(*app, appConfigFrom(args, 1));
+    telemetry::statsTable(
+        telemetry::Registry::instance().snapshotAll())
+        .print(std::cout);
+    return 0;
+}
+
+/** One dispatch-table entry: handler plus its known flags. */
+struct CommandSpec
+{
+    int (*run)(const Args &);
+    std::set<std::string> flags;
+};
+
+const std::map<std::string, CommandSpec> &
+commandTable()
+{
+    static const std::map<std::string, CommandSpec> table = {
+        {"list-apps", {[](const Args &) { return cmdListApps(); }, {}}},
+        {"train",
+         {cmdTrain,
+          {"app", "inputs", "seed", "version", "scale", "frq", "local",
+           "out"}}},
+        {"inspect", {cmdInspect, {"model"}}},
+        {"check",
+         {cmdCheck,
+          {"app", "model", "seed", "version", "scale", "frq", "local",
+           "fault", "rate", "budget", "no-audit"}}},
+        {"record",
+         {cmdRecord,
+          {"app", "out", "seed", "version", "scale", "frq", "fault",
+           "rate", "budget"}}},
+        {"replay", {cmdReplay, {"trace", "model", "frq", "no-audit"}}},
+        {"diff", {cmdDiff, {"model", "model-b"}}},
+        {"snapshot",
+         {cmdSnapshot,
+          {"app", "out", "seed", "version", "scale", "frq", "fault",
+           "rate", "budget"}}},
+        {"audit",
+         {cmdAudit, {"trace", "model", "graph", "max-findings"}}},
+        {"observe",
+         {cmdObserve,
+          {"app", "seed", "version", "scale", "frq", "fault", "rate",
+           "budget"}}},
+        {"stats",
+         {cmdStats,
+          {"app", "seed", "version", "scale", "frq", "fault", "rate",
+           "budget"}}},
+    };
+    return table;
+}
+
+/** --stats 1 on the command line, or HEAPMD_STATS set and not "0". */
+bool
+statsRequested(const Args &args)
+{
+    if (args.has("stats"))
+        return args.num("stats", 0) != 0;
+    const char *env = std::getenv("HEAPMD_STATS");
+    return env != nullptr && std::string(env) != "0";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    g_argv0 = argv[0];
     if (argc < 2)
-        usage(argv[0]);
+        badInvocation("missing command");
     const std::string command = argv[1];
-    const Args args(argc, argv);
 
-    if (command == "list-apps")
-        return cmdListApps();
-    if (command == "train")
-        return cmdTrain(args);
-    if (command == "inspect")
-        return cmdInspect(args);
-    if (command == "check")
-        return cmdCheck(args);
-    if (command == "record")
-        return cmdRecord(args);
-    if (command == "replay")
-        return cmdReplay(args);
-    if (command == "diff")
-        return cmdDiff(args);
-    if (command == "snapshot")
-        return cmdSnapshot(args);
-    if (command == "audit")
-        return cmdAudit(args);
-    if (command == "observe")
-        return cmdObserve(args);
-    usage(argv[0]);
+    const auto &table = commandTable();
+    const auto it = table.find(command);
+    if (it == table.end())
+        badInvocation("unknown command '" + command + "'");
+
+    const Args args(argc, argv);
+    args.checkAllowed(command, it->second.flags);
+
+    const bool tracing =
+        args.has("trace-out") &&
+        telemetry::TraceSession::start(args.str("trace-out"));
+
+    int status = 0;
+    {
+        HEAPMD_TRACE_SPAN("cli." + command);
+        status = it->second.run(args);
+    }
+    if (tracing)
+        telemetry::TraceSession::stop();
+
+    if (statsRequested(args)) {
+        telemetry::statsTable(
+            telemetry::Registry::instance().snapshotAll())
+            .print(std::cerr);
+    }
+    return status;
 }

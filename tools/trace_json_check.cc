@@ -1,0 +1,36 @@
+/**
+ * @file
+ * trace_json_check -- validate a Chrome trace-event JSON file.
+ *
+ * CI runs this over the trace.json produced by
+ * `heapmd replay --trace-out` so a malformed emitter fails the build
+ * instead of failing silently in the Perfetto UI.
+ *
+ * Exit status: 0 valid, 1 invalid, 2 usage error.
+ */
+
+#include <cstdio>
+
+#include "telemetry/trace_json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s TRACE_JSON_FILE\n", argv[0]);
+        return 2;
+    }
+    heapmd::telemetry::TraceJsonStats stats;
+    std::string error;
+    if (!heapmd::telemetry::validateTraceEventFile(argv[1], &stats,
+                                                   &error)) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", argv[1],
+                     error.c_str());
+        return 1;
+    }
+    std::printf("%s: OK: %zu events (%zu spans, %zu instants, "
+                "%zu counters, %zu metadata)\n",
+                argv[1], stats.events, stats.spans, stats.instants,
+                stats.counters, stats.metadata);
+    return 0;
+}
