@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Serialization cost of the diagnostics artifacts: building an
+ * incident bundle from a finished report, rendering it to canonical
+ * JSON, and parsing it back.  Bundles are written on the anomaly path
+ * of `heapmd check`/`replay`, so this bounds the overhead an incident
+ * adds to a run; the parse side bounds `heapmd report`/`trend`
+ * startup on archived artifacts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "diag/incident_bundle.hh"
+#include "diag/run_manifest.hh"
+#include "diag/render.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+FunctionRegistry
+makeRegistry(std::size_t functions)
+{
+    FunctionRegistry registry;
+    for (std::size_t i = 0; i < functions; ++i)
+        registry.intern("module::function_" + std::to_string(i));
+    return registry;
+}
+
+MetricSeries
+makeSeries(std::size_t points)
+{
+    MetricSeries series;
+    series.label = "bench seed 1 v1";
+    for (std::size_t i = 0; i < points; ++i) {
+        MetricSample s;
+        s.pointIndex = i;
+        s.tick = 250 * (i + 1);
+        s.vertexCount = 5000;
+        for (MetricId id : kAllMetrics)
+            s.values[metricIndex(id)] =
+                12.0 + 0.01 * static_cast<double>(i);
+        series.push(s);
+    }
+    return series;
+}
+
+/** A report with a context log the size the detector really keeps. */
+BugReport
+makeReport(std::size_t snapshots, std::size_t depth)
+{
+    BugReport r;
+    r.klass = BugClass::HeapAnomaly;
+    r.metric = MetricId::Leaves;
+    r.direction = AnomalyDirection::AboveMax;
+    r.observedValue = 42.0;
+    r.calibratedMin = 10.0;
+    r.calibratedMax = 30.0;
+    r.tick = 50000;
+    r.pointIndex = 200;
+    for (std::size_t i = 0; i < snapshots; ++i) {
+        StackLogEntry e;
+        e.tick = 48000 + 10 * i;
+        e.pointIndex = 190 + i / 8;
+        e.metricValue = 31.0 + 0.1 * static_cast<double>(i);
+        for (std::size_t d = 0; d < depth; ++d)
+            e.frames.push_back(static_cast<FnId>((i + d) % 32));
+        r.contextLog.push_back(e);
+    }
+    return r;
+}
+
+void
+BM_BundleBuild(benchmark::State &state)
+{
+    const FunctionRegistry registry = makeRegistry(32);
+    const MetricSeries series = makeSeries(400);
+    const BugReport report = makeReport(
+        static_cast<std::size_t>(state.range(0)), 6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            diag::makeIncidentBundle(report, registry, series));
+    }
+}
+BENCHMARK(BM_BundleBuild)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_BundleSerialize(benchmark::State &state)
+{
+    const diag::IncidentBundle bundle = diag::makeIncidentBundle(
+        makeReport(static_cast<std::size_t>(state.range(0)), 6),
+        makeRegistry(32), makeSeries(400));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diag::bundleToJson(bundle));
+}
+BENCHMARK(BM_BundleSerialize)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_BundleParse(benchmark::State &state)
+{
+    const std::string json = diag::bundleToJson(
+        diag::makeIncidentBundle(
+            makeReport(static_cast<std::size_t>(state.range(0)), 6),
+            makeRegistry(32), makeSeries(400)));
+    for (auto _ : state) {
+        diag::IncidentBundle out;
+        diag::loadIncidentBundle(json, out, nullptr);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * json.size()));
+}
+BENCHMARK(BM_BundleParse)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_BundleRender(benchmark::State &state)
+{
+    const diag::IncidentBundle bundle = diag::makeIncidentBundle(
+        makeReport(64, 6), makeRegistry(32), makeSeries(400));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diag::renderIncident(bundle));
+}
+BENCHMARK(BM_BundleRender);
+
+void
+BM_ManifestRoundTrip(benchmark::State &state)
+{
+    diag::RunManifest manifest;
+    manifest.command = "check";
+    manifest.commandLine = "heapmd check --app bench";
+    manifest.program = "bench seed 1 v1";
+    manifest.events = 1000000;
+    manifest.samples = 400;
+    const MetricSeries series = makeSeries(400);
+    for (MetricId id : kAllMetrics)
+        manifest.metrics.push_back(
+            {metricName(id), series.summaryOf(id)});
+    for (int i = 0; i < 24; ++i)
+        manifest.counters.push_back(
+            {"bench.counter_" + std::to_string(i),
+             static_cast<std::uint64_t>(1000 + i)});
+    for (auto _ : state) {
+        const std::string json = diag::manifestToJson(manifest);
+        diag::RunManifest out;
+        diag::loadRunManifest(json, out, nullptr);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ManifestRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

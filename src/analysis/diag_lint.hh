@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static linter for diagnostics artifacts: incident bundles and run
+ * manifests (the src/diag JSON documents).
+ *
+ * Works on the raw JSON, not the diag loader structs, so a document
+ * the loader would reject can still be audited field by field and so
+ * the analysis layer stays independent of src/diag.  Whole-document
+ * findings carry no location (the canonical writer fixes layout, so
+ * line numbers add nothing).
+ *
+ * Rule catalog (see DESIGN.md §9):
+ *   diag.io                unreadable input file
+ *   diag.parse             not valid JSON
+ *   diag.kind              missing/wrong "kind" tag
+ *   diag.version           missing or unsupported schemaVersion
+ *   diag.missing-field     required member absent or mistyped
+ *   diag.bad-metric        metric name not in the paper's seven
+ *   diag.bad-class         unknown bug classification
+ *   diag.bad-direction     direction not above-max/below-min
+ *   diag.range-inverted    calibratedMin > calibratedMax
+ *   diag.observed-in-range observed value inside the calibrated range
+ *   diag.window-order      window points not strictly increasing
+ *   diag.window-miss       window does not straddle the crossing
+ *   diag.context-order     context log points not non-decreasing
+ *   diag.empty-context     incident with no logged call stacks
+ *   diag.suspect-mismatch  stored suspect != context-log majority
+ *   diag.hash-format       input fingerprint not "fnv1a:<hex16>"
+ *   diag.counter-order     counters/gauges not sorted by name
+ *   diag.report-count      class tallies do not sum to the total
+ *   diag.sample-excess     more samples than runtime events
+ */
+
+#ifndef HEAPMD_ANALYSIS_DIAG_LINT_HH
+#define HEAPMD_ANALYSIS_DIAG_LINT_HH
+
+#include <string>
+
+#include "analysis/report.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** Scan statistics of one bundle lint pass. */
+struct BundleLintStats
+{
+    std::size_t suspects = 0;       //!< ranked suspects listed
+    std::size_t contextEntries = 0; //!< call-stack snapshots
+    std::size_t frames = 0;         //!< frames across all snapshots
+    std::size_t windowPoints = 0;   //!< series points in the window
+};
+
+/** Scan statistics of one manifest lint pass. */
+struct ManifestLintStats
+{
+    std::size_t inputs = 0;   //!< input artifacts listed
+    std::size_t metrics = 0;  //!< per-metric summaries
+    std::size_t counters = 0; //!< telemetry counters
+    std::size_t gauges = 0;   //!< telemetry gauges
+    std::size_t reports = 0;  //!< anomaly reports tallied
+};
+
+/** Lint one incident-bundle document given as text. */
+BundleLintStats lintBundleText(const std::string &text,
+                               Report &report);
+
+/** Lint the incident-bundle file at @p path. */
+BundleLintStats lintBundleFile(const std::string &path,
+                               Report &report);
+
+/** Lint one run-manifest document given as text. */
+ManifestLintStats lintManifestText(const std::string &text,
+                                   Report &report);
+
+/** Lint the run-manifest file at @p path. */
+ManifestLintStats lintManifestFile(const std::string &path,
+                                   Report &report);
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_DIAG_LINT_HH

@@ -1,5 +1,8 @@
 #include "core/heapmd.hh"
 
+#include <chrono>
+#include <ctime>
+
 #include "telemetry/telemetry.hh"
 
 namespace heapmd
@@ -23,6 +26,37 @@ captureNames(const Process &process, RunOutcome &outcome)
             registry.name(static_cast<FnId>(id)));
 }
 
+/** Wall + CPU stopwatch for manifest accounting of one run. */
+class RunTimer
+{
+  public:
+    RunTimer()
+        : wall_start_(std::chrono::steady_clock::now()),
+          cpu_start_(std::clock())
+    {
+    }
+
+    void
+    stopInto(RunOutcome &outcome) const
+    {
+        const auto wall =
+            std::chrono::steady_clock::now() - wall_start_;
+        outcome.wallNanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
+                .count());
+        const std::clock_t cpu = std::clock();
+        if (cpu != static_cast<std::clock_t>(-1) &&
+            cpu_start_ != static_cast<std::clock_t>(-1)) {
+            outcome.cpuNanos = static_cast<std::uint64_t>(
+                (cpu - cpu_start_) * (1e9 / CLOCKS_PER_SEC));
+        }
+    }
+
+  private:
+    std::chrono::steady_clock::time_point wall_start_;
+    std::clock_t cpu_start_;
+};
+
 } // namespace
 
 FunctionRegistry
@@ -41,13 +75,16 @@ HeapMD::observe(SyntheticApp &app, const AppConfig &config) const
     HEAPMD_COUNTER_INC("pipeline.observe_runs");
     Process process(config_.process);
     RunOutcome outcome;
+    const RunTimer timer;
     outcome.app = app.run(process, config);
+    timer.stopInto(outcome);
     outcome.series = process.series();
     outcome.series.label = app.name() + " seed " +
                            std::to_string(config.inputSeed) + " v" +
                            std::to_string(config.version);
     outcome.graphStats = process.graph().stats();
     outcome.liveBlocksAtExit = process.graph().vertexCount();
+    outcome.finalTick = process.now();
     captureNames(process, outcome);
     return outcome;
 }
@@ -82,13 +119,16 @@ HeapMD::check(SyntheticApp &app, const AppConfig &config,
     checker.attach(process);
 
     CheckOutcome outcome;
+    const RunTimer timer;
     outcome.run.app = app.run(process, config);
+    timer.stopInto(outcome.run);
     outcome.run.series = process.series();
     outcome.run.series.label = app.name() + " seed " +
                                std::to_string(config.inputSeed) +
                                " v" + std::to_string(config.version);
     outcome.run.graphStats = process.graph().stats();
     outcome.run.liveBlocksAtExit = process.graph().vertexCount();
+    outcome.run.finalTick = process.now();
     captureNames(process, outcome.run);
     outcome.check = checker.finalize(process);
     return outcome;

@@ -42,6 +42,12 @@ struct RunOutcome
     std::uint64_t liveBlocksAtExit = 0; //!< program-side leak count
     /** Function names by FnId, for symbolizing report stacks. */
     std::vector<std::string> functionNames;
+    /** Event ticks consumed by the run (Process::now at exit). */
+    Tick finalTick = 0;
+    /** Wall-clock nanoseconds spent inside the monitored run. */
+    std::uint64_t wallNanos = 0;
+    /** CPU nanoseconds (std::clock) spent inside the monitored run. */
+    std::uint64_t cpuNanos = 0;
 
     /** Rebuild a registry for BugReport::describe(). */
     FunctionRegistry registry() const;

@@ -1,10 +1,28 @@
 #include "detector/bug_report.hh"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
 namespace heapmd
 {
+
+const char *
+anomalyDirectionName(AnomalyDirection direction)
+{
+    return direction == AnomalyDirection::AboveMax ? "above-max"
+                                                   : "below-min";
+}
+
+std::optional<AnomalyDirection>
+tryAnomalyDirectionFromName(std::string_view name)
+{
+    if (name == "above-max")
+        return AnomalyDirection::AboveMax;
+    if (name == "below-min")
+        return AnomalyDirection::BelowMin;
+    return std::nullopt;
+}
 
 std::string
 BugReport::describe(const FunctionRegistry &registry) const
@@ -49,20 +67,27 @@ BugReport::describe(const FunctionRegistry &registry) const
 FnId
 BugReport::suspectFunction() const
 {
+    const auto ranking = suspectRanking();
+    return ranking.empty() ? kNoFunction : ranking.front().first;
+}
+
+std::vector<std::pair<FnId, std::size_t>>
+BugReport::suspectRanking() const
+{
     std::map<FnId, std::size_t> counts;
     for (const StackLogEntry &entry : contextLog) {
         if (!entry.frames.empty())
             ++counts[entry.frames.front()];
     }
-    FnId best = kNoFunction;
-    std::size_t best_count = 0;
-    for (const auto &[fn, count] : counts) {
-        if (count > best_count) {
-            best = fn;
-            best_count = count;
-        }
-    }
-    return best;
+    std::vector<std::pair<FnId, std::size_t>> ranking(counts.begin(),
+                                                      counts.end());
+    // Most frequent first; the map ordering makes equal counts fall
+    // back to the lowest FnId, keeping the suspect deterministic.
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return ranking;
 }
 
 } // namespace heapmd

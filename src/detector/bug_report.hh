@@ -6,7 +6,10 @@
 #ifndef HEAPMD_DETECTOR_BUG_REPORT_HH
 #define HEAPMD_DETECTOR_BUG_REPORT_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "detector/classification.hh"
@@ -23,6 +26,13 @@ enum class AnomalyDirection
     BelowMin, //!< fell under the calibrated minimum
     AboveMax, //!< rose over the calibrated maximum
 };
+
+/** Stable serialization name: "below-min" / "above-max". */
+const char *anomalyDirectionName(AnomalyDirection direction);
+
+/** Parse an anomalyDirectionName() back; nullopt on unknown. */
+std::optional<AnomalyDirection>
+tryAnomalyDirectionFromName(std::string_view name);
 
 /**
  * One call-stack snapshot logged while a stable metric approached or
@@ -52,15 +62,28 @@ struct BugReport
     std::uint64_t pointIndex = 0; //!< sample ordinal of the violation
     std::vector<StackLogEntry> contextLog; //!< oldest first
 
-    /** Human-readable single-report rendering. */
+    /**
+     * Human-readable single-report rendering.  Frames whose FnId is
+     * unknown to @p registry render as "<fn#N>" (never crash): replay
+     * registries are rebuilt from trace/run artifacts and may lag the
+     * log.
+     */
     std::string describe(const FunctionRegistry &registry) const;
 
     /**
      * Most frequent innermost function across the context log -- the
      * detector's root-cause hint ("HeapMD is often able to pinpoint
-     * the function responsible", Section 4.3).
+     * the function responsible", Section 4.3).  Ties break toward the
+     * lowest FnId so the suspect is deterministic.
      */
     FnId suspectFunction() const;
+
+    /**
+     * All innermost-frame candidates, most frequent first (ties:
+     * lowest FnId first).  suspectFunction() is the first entry; the
+     * incident renderer shows the full ranking.
+     */
+    std::vector<std::pair<FnId, std::size_t>> suspectRanking() const;
 };
 
 } // namespace heapmd

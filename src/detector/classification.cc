@@ -17,6 +17,18 @@ bugClassName(BugClass klass)
     return "unknown";
 }
 
+std::optional<BugClass>
+tryBugClassFromName(std::string_view name)
+{
+    for (BugClass klass :
+         {BugClass::HeapAnomaly, BugClass::PoorlyDisguised,
+          BugClass::Pathological}) {
+        if (name == bugClassName(klass))
+            return klass;
+    }
+    return std::nullopt;
+}
+
 const char *
 bugCategoryName(BugCategory category)
 {

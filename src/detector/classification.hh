@@ -6,6 +6,9 @@
 #ifndef HEAPMD_DETECTOR_CLASSIFICATION_HH
 #define HEAPMD_DETECTOR_CLASSIFICATION_HH
 
+#include <optional>
+#include <string_view>
+
 namespace heapmd
 {
 
@@ -22,6 +25,9 @@ enum class BugClass
 
 /** Display name of a BugClass. */
 const char *bugClassName(BugClass klass);
+
+/** Parse a bugClassName() display name back; nullopt on unknown. */
+std::optional<BugClass> tryBugClassFromName(std::string_view name);
 
 /**
  * Root-cause categories of heap-anomaly bugs (Figures 8 and 9,

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Human-readable incident rendering (`heapmd report`).
+ *
+ * Turns a serialized incident bundle back into what the paper's
+ * Section 4.3 walkthroughs show a developer: the suspect function
+ * first, the trajectory of the violated metric around the crossing
+ * (ASCII sparkline), and the logged call stacks before, during, and
+ * after the crossing.
+ */
+
+#ifndef HEAPMD_DIAG_RENDER_HH
+#define HEAPMD_DIAG_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "diag/incident_bundle.hh"
+
+namespace heapmd
+{
+namespace diag
+{
+
+/**
+ * One character per value, scaled into the ASCII ramp ".,:-=+*#%@"
+ * over [min(values), max(values)].  A flat series renders mid-ramp.
+ */
+std::string asciiSparkline(const std::vector<double> &values);
+
+/** Tunables of renderIncident(). */
+struct RenderOptions
+{
+    /** Context stacks shown per phase (before/during/after). */
+    std::size_t stacksPerPhase = 3;
+
+    /** Ranked suspects shown. */
+    std::size_t maxSuspects = 5;
+};
+
+/** Render @p bundle as a developer-facing incident page. */
+std::string renderIncident(const IncidentBundle &bundle,
+                           const RenderOptions &options = {});
+
+} // namespace diag
+} // namespace heapmd
+
+#endif // HEAPMD_DIAG_RENDER_HH

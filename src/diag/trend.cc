@@ -1,0 +1,163 @@
+#include "diag/trend.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace heapmd
+{
+namespace diag
+{
+
+namespace
+{
+
+std::string
+percent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+.1f%%", fraction * 100.0);
+    return buf;
+}
+
+void
+compareReportCounts(const RunManifest &baseline,
+                    const RunManifest &candidate,
+                    analysis::Report &report)
+{
+    if (candidate.reportsTotal > baseline.reportsTotal) {
+        std::string message =
+            "candidate '" + candidate.program + "' produced " +
+            std::to_string(candidate.reportsTotal) +
+            " anomaly report(s) vs " +
+            std::to_string(baseline.reportsTotal) +
+            " in the baseline (heap-anomaly " +
+            std::to_string(candidate.heapAnomalies) +
+            ", poorly-disguised " +
+            std::to_string(candidate.poorlyDisguised) +
+            ", pathological " +
+            std::to_string(candidate.pathological) + ")";
+        for (const std::string &bundle : candidate.bundlePaths)
+            message += "; bundle " + bundle;
+        report.error("trend.new-anomalies", std::move(message));
+    } else if (candidate.reportsTotal < baseline.reportsTotal) {
+        report.note("trend.fewer-anomalies",
+                    "candidate produced " +
+                        std::to_string(candidate.reportsTotal) +
+                        " anomaly report(s) vs " +
+                        std::to_string(baseline.reportsTotal) +
+                        " in the baseline");
+    }
+}
+
+void
+compareCounters(const RunManifest &baseline,
+                const RunManifest &candidate,
+                const TrendOptions &options, analysis::Report &report)
+{
+    std::map<std::string, std::uint64_t> candidate_counters;
+    for (const ManifestCounter &counter : candidate.counters)
+        candidate_counters[counter.name] = counter.value;
+
+    for (const ManifestCounter &counter : baseline.counters) {
+        if (isTimingCounter(counter.name))
+            continue;
+        const auto it = candidate_counters.find(counter.name);
+        if (it == candidate_counters.end()) {
+            report.warning("trend.counter-missing",
+                           "counter '" + counter.name +
+                               "' present in the baseline is missing "
+                               "from the candidate");
+            continue;
+        }
+        if (counter.value < options.counterMinBase)
+            continue;
+        const double base = static_cast<double>(counter.value);
+        const double delta =
+            (static_cast<double>(it->second) - base) / base;
+        if (std::fabs(delta) > options.counterTolerance) {
+            report.error(
+                "trend.counter-delta",
+                "counter '" + counter.name + "' moved " +
+                    percent(delta) + " (" +
+                    std::to_string(counter.value) + " -> " +
+                    std::to_string(it->second) +
+                    "), beyond the " +
+                    percent(options.counterTolerance).substr(1) +
+                    " tolerance");
+        }
+    }
+}
+
+void
+compareSampleRates(const RunManifest &baseline,
+                   const RunManifest &candidate,
+                   const TrendOptions &options,
+                   analysis::Report &report)
+{
+    const double base_rate = baseline.sampleRate();
+    const double cand_rate = candidate.sampleRate();
+    if (base_rate <= 0.0)
+        return;
+    if (cand_rate < base_rate * (1.0 - options.sampleRateTolerance)) {
+        report.error(
+            "trend.sample-rate-drop",
+            "candidate sampled " + std::to_string(candidate.samples) +
+                " points over " + std::to_string(candidate.events) +
+                " events vs " + std::to_string(baseline.samples) +
+                " over " + std::to_string(baseline.events) +
+                " in the baseline (" +
+                percent(cand_rate / base_rate - 1.0) + ")");
+    }
+}
+
+void
+compareInputs(const RunManifest &baseline,
+              const RunManifest &candidate, analysis::Report &report)
+{
+    std::map<std::string, std::string> baseline_inputs;
+    for (const ManifestInput &input : baseline.inputs)
+        baseline_inputs[input.role] = input.fingerprint;
+    for (const ManifestInput &input : candidate.inputs) {
+        const auto it = baseline_inputs.find(input.role);
+        if (it != baseline_inputs.end() &&
+            it->second != input.fingerprint) {
+            report.note("trend.input-changed",
+                        "input '" + input.role +
+                            "' changed content between the runs (" +
+                            it->second + " -> " + input.fingerprint +
+                            ")");
+        }
+    }
+}
+
+} // namespace
+
+bool
+isTimingCounter(const std::string &name)
+{
+    const std::string suffix = "_ns";
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+void
+compareManifests(const RunManifest &baseline,
+                 const RunManifest &candidate,
+                 const TrendOptions &options, analysis::Report &report)
+{
+    if (baseline.program != candidate.program) {
+        report.warning("trend.program-mismatch",
+                       "comparing '" + candidate.program +
+                           "' against baseline '" + baseline.program +
+                           "'; deltas may not be meaningful");
+    }
+    compareReportCounts(baseline, candidate, report);
+    compareCounters(baseline, candidate, options, report);
+    compareSampleRates(baseline, candidate, options, report);
+    compareInputs(baseline, candidate, report);
+}
+
+} // namespace diag
+} // namespace heapmd

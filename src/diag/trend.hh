@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cross-run trend tracking (`heapmd trend`).
+ *
+ * Compares run manifests -- a clean baseline against one or more
+ * candidate runs -- and flags regressions: new anomaly reports,
+ * telemetry counter deltas beyond tolerance, and metric sample-rate
+ * drops.  Findings are reported through analysis::Report under the
+ * `trend.*` rule family; error-severity findings are regressions
+ * (CLI exit code 3, the findings status), warnings are comparability
+ * hazards, notes are context.
+ */
+
+#ifndef HEAPMD_DIAG_TREND_HH
+#define HEAPMD_DIAG_TREND_HH
+
+#include "analysis/report.hh"
+#include "diag/run_manifest.hh"
+
+namespace heapmd
+{
+namespace diag
+{
+
+/** Tolerances of the regression detectors. */
+struct TrendOptions
+{
+    /**
+     * Relative counter change that counts as a regression.  Counters
+     * below counterMinBase in the baseline are ignored (small-count
+     * noise), as are timing counters (`*_ns`): wall time is not
+     * reproducible across hosts.
+     */
+    double counterTolerance = 0.10;
+    std::uint64_t counterMinBase = 100;
+
+    /** Relative samples-per-event drop that counts as a regression. */
+    double sampleRateTolerance = 0.10;
+};
+
+/**
+ * Compare @p candidate against @p baseline, appending trend.*
+ * findings to @p report.  Error findings mean a regression.
+ */
+void compareManifests(const RunManifest &baseline,
+                      const RunManifest &candidate,
+                      const TrendOptions &options,
+                      analysis::Report &report);
+
+/** True when @p name is a timing counter trend should ignore. */
+bool isTimingCounter(const std::string &name);
+
+} // namespace diag
+} // namespace heapmd
+
+#endif // HEAPMD_DIAG_TREND_HH

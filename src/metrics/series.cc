@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace heapmd
 {
@@ -57,6 +58,39 @@ MetricSeries::trimmedValuesOf(MetricId id, double fraction) const
     for (std::size_t i = first; i < last; ++i)
         out.push_back(samples_[i].value(id));
     return out;
+}
+
+std::vector<SeriesPoint>
+MetricSeries::window(MetricId id, std::uint64_t center,
+                     std::uint64_t radius) const
+{
+    const std::uint64_t first = center >= radius ? center - radius : 0;
+    const std::uint64_t last = center + radius; // saturation unneeded:
+                                                // pointIndex is dense
+    std::vector<SeriesPoint> out;
+    for (const MetricSample &s : samples_) {
+        if (s.pointIndex < first || s.pointIndex > last)
+            continue;
+        out.push_back({s.pointIndex, s.tick, s.value(id)});
+    }
+    return out;
+}
+
+SeriesSummary
+MetricSeries::summaryOf(MetricId id) const
+{
+    RunningStats stats;
+    for (const MetricSample &s : samples_)
+        stats.push(s.value(id));
+    SeriesSummary summary;
+    summary.count = stats.count();
+    if (stats.count() > 0) {
+        summary.min = stats.min();
+        summary.max = stats.max();
+    }
+    summary.mean = stats.mean();
+    summary.stddev = stats.stddev();
+    return summary;
 }
 
 std::vector<double>

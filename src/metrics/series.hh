@@ -15,6 +15,24 @@
 namespace heapmd
 {
 
+/** One (point, tick, value) observation of a single metric. */
+struct SeriesPoint
+{
+    std::uint64_t pointIndex = 0;
+    Tick tick = 0;
+    double value = 0.0;
+};
+
+/** Summary statistics of one metric over a whole series. */
+struct SeriesSummary
+{
+    std::size_t count = 0;
+    double min = 0.0;    //!< 0 when empty
+    double max = 0.0;    //!< 0 when empty
+    double mean = 0.0;
+    double stddev = 0.0; //!< population standard deviation
+};
+
 /**
  * All metric samples collected during one run of a program on one
  * input, in collection order (one entry per metric computation point).
@@ -51,6 +69,19 @@ class MetricSeries
     /** The value series of one metric within the trimmed range. */
     std::vector<double> trimmedValuesOf(MetricId id,
                                         double fraction) const;
+
+    /**
+     * The points of @p id whose pointIndex falls within
+     * [center - radius, center + radius] -- the slice an incident
+     * bundle captures around a range crossing.  Samples are matched
+     * by their recorded pointIndex, not their position, so replayed
+     * or subsampled series window correctly.
+     */
+    std::vector<SeriesPoint> window(MetricId id, std::uint64_t center,
+                                    std::uint64_t radius) const;
+
+    /** Whole-series summary statistics of @p id (manifests). */
+    SeriesSummary summaryOf(MetricId id) const;
 
     /** Label for reports ("input 3 of vpr"). */
     std::string label;

@@ -26,8 +26,15 @@ class FunctionRegistry
     /** Intern @p name, returning its id (idempotent). */
     FnId intern(const std::string &name);
 
-    /** Name of @p fn; "<fn#N>" when unregistered. */
+    /**
+     * Name of @p fn; "<fn#N>" when unregistered (including the
+     * kNoFunction sentinel), so callers can render ids from foreign
+     * or truncated registries without crashing.
+     */
     std::string name(FnId fn) const;
+
+    /** True when @p fn was interned into this registry. */
+    bool contains(FnId fn) const { return fn < names_.size(); }
 
     /** Number of interned functions. */
     std::size_t size() const { return names_.size(); }

@@ -33,7 +33,7 @@ std::string
 CsvWriter::escape(const std::string &cell)
 {
     const bool needs_quotes =
-        cell.find_first_of(",\"\n") != std::string::npos;
+        cell.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quotes)
         return cell;
     std::string out = "\"";

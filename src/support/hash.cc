@@ -1,0 +1,80 @@
+#include "support/hash.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace heapmd
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = kFnvOffset;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(std::string_view text)
+{
+    return fnv1a64(text.data(), text.size());
+}
+
+std::string
+hashFingerprint(std::uint64_t hash)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "fnv1a:%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::optional<std::string>
+fileFingerprint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::uint64_t hash = kFnvOffset;
+    std::vector<char> buf(1 << 16);
+    while (in) {
+        in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+        const std::streamsize got = in.gcount();
+        for (std::streamsize i = 0; i < got; ++i) {
+            hash ^= static_cast<unsigned char>(buf[i]);
+            hash *= kFnvPrime;
+        }
+    }
+    return hashFingerprint(hash);
+}
+
+bool
+isHashFingerprint(std::string_view text)
+{
+    constexpr std::string_view prefix = "fnv1a:";
+    if (text.size() != prefix.size() + 16 ||
+        text.substr(0, prefix.size()) != prefix) {
+        return false;
+    }
+    for (char c : text.substr(prefix.size())) {
+        const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex)
+            return false;
+    }
+    return true;
+}
+
+} // namespace heapmd

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Content hashing for artifact fingerprints.
+ *
+ * Run manifests record the inputs a run consumed (model, trace) as
+ * `fnv1a:<16 hex digits>` fingerprints so two runs can be compared
+ * without re-reading the artifacts.  FNV-1a is not cryptographic; it
+ * is a cheap, dependency-free change detector, which is all the
+ * manifest needs.
+ */
+
+#ifndef HEAPMD_SUPPORT_HASH_HH
+#define HEAPMD_SUPPORT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace heapmd
+{
+
+/** 64-bit FNV-1a over a byte range. */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/** 64-bit FNV-1a over a string. */
+std::uint64_t fnv1a64(std::string_view text);
+
+/** Render a 64-bit hash as the manifest fingerprint "fnv1a:<hex16>". */
+std::string hashFingerprint(std::uint64_t hash);
+
+/**
+ * Fingerprint of a file's contents, or nullopt when the file cannot
+ * be read.
+ */
+std::optional<std::string> fileFingerprint(const std::string &path);
+
+/** True when @p text looks like a well-formed fingerprint. */
+bool isHashFingerprint(std::string_view text);
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_HASH_HH

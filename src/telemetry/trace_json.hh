@@ -59,6 +59,13 @@ struct JsonValue
 bool parseJson(const std::string &text, JsonValue &out,
                std::string *error);
 
+/**
+ * Escape @p raw for inclusion in a JSON string literal (quotes,
+ * backslashes, and control characters).  Shared by the trace-event
+ * writer and the diag bundle/manifest emitters.
+ */
+std::string jsonEscape(const std::string &raw);
+
 /** What the trace validator counted while walking the events. */
 struct TraceJsonStats
 {

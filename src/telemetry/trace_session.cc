@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "telemetry/trace_json.hh"
 
 namespace heapmd
 {
@@ -49,50 +50,14 @@ append(BufferedEvent event)
     g_events.push_back(std::move(event));
 }
 
-/** JSON string escaping for names/categories. */
-std::string
-escapeJson(const std::string &raw)
-{
-    std::string out;
-    out.reserve(raw.size() + 2);
-    for (const char c : raw) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
 void
 writeEvent(std::FILE *f, const BufferedEvent &e)
 {
     std::fprintf(f,
                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
                  "\"ts\":%llu,\"pid\":1,\"tid\":1",
-                 escapeJson(e.name).c_str(),
-                 escapeJson(e.category).c_str(), e.phase,
+                 jsonEscape(e.name).c_str(),
+                 jsonEscape(e.category).c_str(), e.phase,
                  static_cast<unsigned long long>(e.ts));
     if (e.phase == 'X')
         std::fprintf(f, ",\"dur\":%llu",

@@ -254,6 +254,109 @@ TEST(BugReportTest, SuspectFunctionMajority)
     EXPECT_EQ(empty.suspectFunction(), kNoFunction);
 }
 
+TEST(BugReportTest, SuspectFunctionEmptyContextLog)
+{
+    BugReport r;
+    EXPECT_EQ(r.suspectFunction(), kNoFunction);
+    EXPECT_TRUE(r.suspectRanking().empty());
+
+    // Snapshots whose stacks are all empty also yield no suspect.
+    StackLogEntry hollow;
+    r.contextLog = {hollow, hollow};
+    EXPECT_EQ(r.suspectFunction(), kNoFunction);
+    EXPECT_TRUE(r.suspectRanking().empty());
+}
+
+TEST(BugReportTest, SuspectFunctionSingleEntry)
+{
+    BugReport r;
+    StackLogEntry e;
+    e.frames = {42, 3, 1}; // innermost first
+    r.contextLog = {e};
+    EXPECT_EQ(r.suspectFunction(), 42u);
+    const auto ranking = r.suspectRanking();
+    ASSERT_EQ(ranking.size(), 1u);
+    EXPECT_EQ(ranking[0].first, 42u);
+    EXPECT_EQ(ranking[0].second, 1u);
+}
+
+TEST(BugReportTest, SuspectFunctionTieBreaksToLowestId)
+{
+    // fn 9 and fn 4 are each innermost twice: the tie must go to the
+    // lower id deterministically, independent of log order.
+    BugReport r;
+    StackLogEntry a, b, c, d;
+    a.frames = {9};
+    b.frames = {4};
+    c.frames = {9};
+    d.frames = {4};
+    r.contextLog = {a, b, c, d};
+    EXPECT_EQ(r.suspectFunction(), 4u);
+
+    BugReport reversed;
+    reversed.contextLog = {c, d, a, b};
+    EXPECT_EQ(reversed.suspectFunction(), 4u);
+}
+
+TEST(BugReportTest, SuspectRankingOrdersByFrequency)
+{
+    BugReport r;
+    StackLogEntry x, y, z;
+    x.frames = {5, 1};
+    y.frames = {8, 1};
+    z.frames = {8, 2};
+    r.contextLog = {x, y, z};
+    const auto ranking = r.suspectRanking();
+    ASSERT_EQ(ranking.size(), 2u);
+    EXPECT_EQ(ranking[0].first, 8u);
+    EXPECT_EQ(ranking[0].second, 2u);
+    EXPECT_EQ(ranking[1].first, 5u);
+    EXPECT_EQ(ranking[1].second, 1u);
+}
+
+TEST(BugReportTest, DescribeSurvivesUnregisteredFnIds)
+{
+    // A report whose log mentions functions the registry never saw
+    // (truncated trace, cross-run registry) must render placeholders,
+    // not crash.
+    BugReport r;
+    r.klass = BugClass::HeapAnomaly;
+    r.metric = MetricId::Leaves;
+    r.direction = AnomalyDirection::AboveMax;
+    StackLogEntry e;
+    e.frames = {9999, 3};
+    r.contextLog = {e};
+
+    FunctionRegistry registry; // empty: every id is unregistered
+    const std::string text = r.describe(registry);
+    EXPECT_NE(text.find("<fn#9999>"), std::string::npos);
+    EXPECT_FALSE(registry.contains(9999));
+}
+
+TEST(BugReportTest, AnomalyDirectionNames)
+{
+    EXPECT_STREQ(anomalyDirectionName(AnomalyDirection::AboveMax),
+                 "above-max");
+    EXPECT_STREQ(anomalyDirectionName(AnomalyDirection::BelowMin),
+                 "below-min");
+    EXPECT_EQ(tryAnomalyDirectionFromName("above-max"),
+              AnomalyDirection::AboveMax);
+    EXPECT_EQ(tryAnomalyDirectionFromName("below-min"),
+              AnomalyDirection::BelowMin);
+    EXPECT_FALSE(tryAnomalyDirectionFromName("sideways").has_value());
+}
+
+TEST(BugClassTest, TryBugClassFromName)
+{
+    EXPECT_EQ(tryBugClassFromName("heap-anomaly"),
+              BugClass::HeapAnomaly);
+    EXPECT_EQ(tryBugClassFromName("poorly-disguised"),
+              BugClass::PoorlyDisguised);
+    EXPECT_EQ(tryBugClassFromName("pathological"),
+              BugClass::Pathological);
+    EXPECT_FALSE(tryBugClassFromName("benign").has_value());
+}
+
 } // namespace
 
 } // namespace heapmd

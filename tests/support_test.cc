@@ -420,6 +420,33 @@ TEST(CsvWriterTest, NumericRow)
     EXPECT_EQ(os.str(), "1.50,2.00\n");
 }
 
+TEST(CsvWriterTest, QuotesEmbeddedLineBreaks)
+{
+    // RFC 4180: cells containing CR or LF must be quoted, or a reader
+    // sees a phantom row boundary.
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"line\nfeed", "carriage\rreturn", "both\r\nends"});
+    EXPECT_EQ(os.str(), "\"line\nfeed\",\"carriage\rreturn\","
+                        "\"both\r\nends\"\n");
+}
+
+TEST(CsvWriterTest, QuoteDoublingInsideQuotedCell)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"she said \"hi\", twice"});
+    EXPECT_EQ(os.str(), "\"she said \"\"hi\"\", twice\"\n");
+}
+
+TEST(CsvWriterTest, EmptyCellsStayUnquoted)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"", "x", ""});
+    EXPECT_EQ(os.str(), ",x,\n");
+}
+
 } // namespace
 
 } // namespace heapmd

@@ -12,7 +12,17 @@
  *   diff                   compare two models (program evolution)
  *   snapshot               dump the final heap-graph of a run
  *   audit                  statically verify traces/models/snapshots
+ *                          and diag artifacts (bundles, manifests)
+ *   report                 render an incident bundle for a developer
+ *   trend                  compare run manifests, flag regressions
  *   stats                  run once and print the telemetry counters
+ *
+ * Exit status contract (scriptable; see README):
+ *   0  success, nothing found
+ *   1  fatal error (unreadable artifact, internal failure)
+ *   2  usage error (unknown command/flag, missing value)
+ *   3  findings: anomaly reports from check/replay, audit defects,
+ *      model drift from diff, regressions from trend
  *
  * Every command also accepts:
  *   --trace-out FILE       write a Chrome trace-event JSON timeline
@@ -32,18 +42,26 @@
  *                --graph run.graph
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "analysis/diag_lint.hh"
 #include "analysis/graph_lint.hh"
 #include "analysis/model_lint.hh"
 #include "analysis/trace_lint.hh"
 #include "core/heapmd.hh"
+#include "diag/incident_bundle.hh"
+#include "diag/render.hh"
+#include "diag/run_manifest.hh"
+#include "diag/trend.hh"
 #include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
 #include "support/table.hh"
@@ -59,6 +77,12 @@ namespace
 /** argv[0], stashed for error messages before Args parsing. */
 const char *g_argv0 = "heapmd";
 
+/** The whole invocation joined with spaces, for run manifests. */
+std::string g_command_line;
+
+/** Exit status for "the tool worked and found something" (README). */
+constexpr int kExitFindings = 3;
+
 void
 printUsage(std::FILE *to)
 {
@@ -70,23 +94,34 @@ printUsage(std::FILE *to)
         "  list-apps\n"
         "  train   --app NAME [--inputs N=25] [--seed S=1]\n"
         "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
-        "          [--local 0|1] [--out FILE]\n"
+        "          [--local 0|1] [--out FILE] [--manifest FILE]\n"
         "  inspect --model FILE\n"
         "  check   --app NAME --model FILE [--seed S=100]\n"
         "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
         "          [--fault KIND [--rate R=1.0] [--budget B=0]]\n"
-        "          [--no-audit 1]\n"
+        "          [--no-audit 1] [--bundle-dir DIR]\n"
+        "          [--manifest FILE]\n"
         "  record  --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
         "  replay  --trace FILE --model FILE [--frq N=300]\n"
-        "          [--no-audit 1]\n"
+        "          [--no-audit 1] [--bundle-dir DIR]\n"
+        "          [--manifest FILE]\n"
         "  diff    --model FILE --model-b FILE\n"
         "  snapshot --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
         "  audit   [--trace FILE] [--model FILE] [--graph FILE]\n"
+        "          [--bundle FILE] [--manifest FILE]\n"
         "          [--max-findings N=1000]\n"
         "          (static verification: lint artifacts against the\n"
         "           rule catalog in DESIGN.md without replaying)\n"
+        "  report  --bundle FILE [--stacks N=3] [--suspects N=5]\n"
+        "          (render an incident bundle: ranked suspects,\n"
+        "           metric trajectory, context call stacks)\n"
+        "  trend   --baseline FILE --manifest FILE [--manifest ...]\n"
+        "          [--counter-tol R=0.10] [--sample-tol R=0.10]\n"
+        "          [--min-base N=100]\n"
+        "          (compare run manifests against a clean baseline;\n"
+        "           exits %d when a regression is flagged)\n"
         "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
         "          [--frq N=300] [--fault KIND [--rate R]]\n"
         "          (prints the metric series as CSV -- the paper's\n"
@@ -98,8 +133,12 @@ printUsage(std::FILE *to)
         "global flags (any command):\n"
         "  --trace-out FILE   Chrome trace-event JSON timeline\n"
         "  --stats 0|1        counter table on exit (stderr); the\n"
-        "                     HEAPMD_STATS env var does the same\n",
-        g_argv0, specAppNames().front().c_str());
+        "                     HEAPMD_STATS env var does the same\n"
+        "\n"
+        "exit status: 0 clean; 1 fatal error; 2 usage error;\n"
+        "  3 findings (anomaly reports, audit defects, model drift,\n"
+        "  trend regressions)\n",
+        g_argv0, kExitFindings, specAppNames().front().c_str());
 }
 
 /**
@@ -114,7 +153,11 @@ badInvocation(const std::string &what)
     std::exit(2);
 }
 
-/** Tiny --flag value parser. */
+/**
+ * Tiny --flag value parser.  Flags may repeat; single-value accessors
+ * take the last occurrence (so a repeated flag overrides), all()
+ * returns every occurrence in order (trend's candidate list).
+ */
 class Args
 {
   public:
@@ -127,7 +170,7 @@ class Args
                               "'");
             if (i + 1 >= argc)
                 badInvocation("flag '" + key + "' is missing a value");
-            values_[key.substr(2)] = argv[++i];
+            values_[key.substr(2)].push_back(argv[++i]);
         }
     }
 
@@ -163,7 +206,16 @@ class Args
                 badInvocation("missing required flag '--" + key + "'");
             return fallback;
         }
-        return it->second;
+        return it->second.back();
+    }
+
+    /** Every occurrence of a repeatable flag, in command-line order. */
+    std::vector<std::string>
+    all(const std::string &key) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? std::vector<std::string>{}
+                                   : it->second;
     }
 
     std::uint64_t
@@ -171,18 +223,20 @@ class Args
     {
         auto it = values_.find(key);
         return it == values_.end() ? fallback
-                                   : std::stoull(it->second);
+                                   : std::stoull(it->second.back());
     }
 
     double
     real(const std::string &key, double fallback) const
     {
         auto it = values_.find(key);
-        return it == values_.end() ? fallback : std::stod(it->second);
+        return it == values_.end()
+                   ? fallback
+                   : std::stod(it->second.back());
     }
 
   private:
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> values_;
 };
 
 HeapMDConfig
@@ -254,6 +308,72 @@ preflightTrace(const std::string &path)
     preflight("trace", path, report);
 }
 
+/** Copy the config knobs a run manifest records from parsed flags. */
+void
+fillManifestConfig(diag::RunManifest &manifest, const Args &args,
+                   std::uint64_t default_seed)
+{
+    manifest.metricFrequency = args.num("frq", 300);
+    manifest.includeLocallyStable = args.num("local", 0) != 0;
+    manifest.seed = args.num("seed", default_seed);
+    manifest.version = args.num("version", 1);
+    manifest.scale = args.real("scale", 1.0);
+    if (args.has("fault")) {
+        manifest.fault = args.str("fault");
+        manifest.faultRate = args.real("rate", 1.0);
+    }
+}
+
+/**
+ * Serialize one incident bundle per anomaly report into @p dir
+ * (created if absent) as incident-NNN.json, returning the paths.
+ */
+std::vector<std::string>
+writeBundles(const std::string &dir,
+             const std::vector<BugReport> &reports,
+             const FunctionRegistry &registry,
+             const MetricSeries &series)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        HEAPMD_FATAL("cannot create bundle directory '", dir, "': ",
+                     ec.message());
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        char name[40];
+        std::snprintf(name, sizeof name, "incident-%03zu.json",
+                      i + 1);
+        const std::string path =
+            (std::filesystem::path(dir) / name).string();
+        const diag::IncidentBundle bundle =
+            diag::makeIncidentBundle(reports[i], registry, series);
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            HEAPMD_FATAL("cannot write bundle '", path, "'");
+        diag::saveIncidentBundle(bundle, out);
+        std::printf("incident bundle written to %s\n", path.c_str());
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+/**
+ * Finish and write a run manifest: the telemetry counter snapshot is
+ * captured here, last, so it covers the whole command.
+ */
+void
+writeManifest(diag::RunManifest &manifest, const std::string &path)
+{
+    diag::captureCounters(
+        manifest, telemetry::Registry::instance().snapshotAll());
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        HEAPMD_FATAL("cannot write manifest '", path, "'");
+    diag::saveRunManifest(manifest, out);
+    std::printf("run manifest written to %s\n", path.c_str());
+}
+
 void
 printModel(const HeapModel &model)
 {
@@ -314,6 +434,20 @@ cmdTrain(const Args &args)
         training.model.save(out);
         std::printf("model written to %s\n", args.str("out").c_str());
     }
+    if (args.has("manifest")) {
+        diag::RunManifest manifest;
+        manifest.command = "train";
+        manifest.commandLine = g_command_line;
+        manifest.program = app->name();
+        fillManifestConfig(manifest, args, 1);
+        if (args.has("out")) {
+            // The trained model is this run's product; fingerprint it
+            // so later check manifests can prove which model they ran.
+            diag::addManifestInput(manifest, "model-out",
+                                   args.str("out"));
+        }
+        writeManifest(manifest, args.str("manifest"));
+    }
     return 0;
 }
 
@@ -341,7 +475,21 @@ cmdCheck(const Args &args)
     const FunctionRegistry registry = out.run.registry();
     for (const BugReport &report : out.check.reports)
         std::printf("\n%s", report.describe(registry).c_str());
-    return out.check.anomalous() ? 1 : 0;
+
+    std::vector<std::string> bundles;
+    if (args.has("bundle-dir"))
+        bundles = writeBundles(args.str("bundle-dir"),
+                               out.check.reports, registry,
+                               out.run.series);
+    if (args.has("manifest")) {
+        diag::RunManifest manifest = diag::makeRunManifest(
+            "check", g_command_line, out.run, &out.check);
+        fillManifestConfig(manifest, args, 100);
+        diag::addManifestInput(manifest, "model", args.str("model"));
+        manifest.bundlePaths = bundles;
+        writeManifest(manifest, args.str("manifest"));
+    }
+    return out.check.anomalous() ? kExitFindings : 0;
 }
 
 int
@@ -382,8 +530,13 @@ cmdReplay(const Args &args)
     ExecutionChecker checker(model);
     checker.attach(process);
     TraceReader reader(in);
+    const auto wall_start = std::chrono::steady_clock::now();
     const std::uint64_t events = replayTrace(reader, process);
     const CheckResult result = checker.finalize(process);
+    const auto wall_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     std::printf("replayed %llu events: %zu report(s)\n",
                 static_cast<unsigned long long>(events),
@@ -391,7 +544,31 @@ cmdReplay(const Args &args)
     for (const BugReport &report : result.reports)
         std::printf("\n%s",
                     report.describe(process.registry()).c_str());
-    return result.anomalous() ? 1 : 0;
+
+    std::vector<std::string> bundles;
+    if (args.has("bundle-dir"))
+        bundles = writeBundles(args.str("bundle-dir"), result.reports,
+                               process.registry(), process.series());
+    if (args.has("manifest")) {
+        // Replay bypasses HeapMD::observe(), so assemble the outcome
+        // the manifest builder expects from the Process directly.
+        RunOutcome run;
+        run.series = process.series();
+        if (run.series.label.empty())
+            run.series.label = "replay:" + args.str("trace");
+        run.graphStats = process.graph().stats();
+        run.liveBlocksAtExit = process.graph().vertexCount();
+        run.finalTick = process.now();
+        run.wallNanos = static_cast<std::uint64_t>(wall_nanos);
+        diag::RunManifest manifest = diag::makeRunManifest(
+            "replay", g_command_line, run, &result);
+        fillManifestConfig(manifest, args, 0);
+        diag::addManifestInput(manifest, "model", args.str("model"));
+        diag::addManifestInput(manifest, "trace", args.str("trace"));
+        manifest.bundlePaths = bundles;
+        writeManifest(manifest, args.str("manifest"));
+    }
+    return result.anomalous() ? kExitFindings : 0;
 }
 
 int
@@ -445,9 +622,10 @@ int
 cmdAudit(const Args &args)
 {
     if (!args.has("trace") && !args.has("model") &&
-        !args.has("graph")) {
+        !args.has("graph") && !args.has("bundle") &&
+        !args.has("manifest")) {
         HEAPMD_FATAL("audit needs at least one of --trace, --model, "
-                     "--graph");
+                     "--graph, --bundle, --manifest");
     }
     const auto max_findings = static_cast<std::size_t>(args.num(
         "max-findings", analysis::Report::kDefaultMaxFindings));
@@ -487,7 +665,88 @@ cmdAudit(const Args &args)
                     report.describe().c_str());
         clean = clean && report.clean();
     }
-    return clean ? 0 : 1;
+    for (const std::string &path : args.all("bundle")) {
+        analysis::Report report(max_findings);
+        const analysis::BundleLintStats stats =
+            analysis::lintBundleFile(path, report);
+        std::printf("bundle %s: %zu suspects, %zu stacks, %zu frames, "
+                    "%zu window points\n%s",
+                    path.c_str(), stats.suspects, stats.contextEntries,
+                    stats.frames, stats.windowPoints,
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
+    for (const std::string &path : args.all("manifest")) {
+        analysis::Report report(max_findings);
+        const analysis::ManifestLintStats stats =
+            analysis::lintManifestFile(path, report);
+        std::printf("manifest %s: %zu inputs, %zu metrics, %zu "
+                    "counters, %zu reports\n%s",
+                    path.c_str(), stats.inputs, stats.metrics,
+                    stats.counters, stats.reports,
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
+    return clean ? 0 : kExitFindings;
+}
+
+int
+cmdReport(const Args &args)
+{
+    diag::IncidentBundle bundle;
+    std::string error;
+    if (!diag::loadIncidentBundleFile(args.str("bundle"), bundle,
+                                      &error))
+        HEAPMD_FATAL("cannot load bundle '", args.str("bundle"),
+                     "': ", error);
+    diag::RenderOptions options;
+    options.stacksPerPhase =
+        static_cast<std::size_t>(args.num("stacks", 3));
+    options.maxSuspects =
+        static_cast<std::size_t>(args.num("suspects", 5));
+    std::printf("%s", diag::renderIncident(bundle, options).c_str());
+    return 0;
+}
+
+int
+cmdTrend(const Args &args)
+{
+    const std::vector<std::string> candidates = args.all("manifest");
+    if (candidates.empty())
+        badInvocation("trend needs at least one --manifest candidate");
+
+    diag::RunManifest baseline;
+    std::string error;
+    if (!diag::loadRunManifestFile(args.str("baseline"), baseline,
+                                   &error))
+        HEAPMD_FATAL("cannot load baseline manifest '",
+                     args.str("baseline"), "': ", error);
+
+    diag::TrendOptions options;
+    options.counterTolerance = args.real("counter-tol", 0.10);
+    options.sampleRateTolerance = args.real("sample-tol", 0.10);
+    options.counterMinBase = args.num("min-base", 100);
+
+    analysis::Report report;
+    for (const std::string &path : candidates) {
+        diag::RunManifest candidate;
+        if (!diag::loadRunManifestFile(path, candidate, &error))
+            HEAPMD_FATAL("cannot load manifest '", path, "': ",
+                         error);
+        const std::size_t before = report.findings().size();
+        diag::compareManifests(baseline, candidate, options, report);
+        std::printf("%s vs baseline %s: %zu finding(s)\n",
+                    path.c_str(), args.str("baseline").c_str(),
+                    report.findings().size() - before);
+    }
+    if (!report.findings().empty())
+        std::printf("%s", report.describe().c_str());
+    if (report.clean()) {
+        std::printf("no regressions across %zu candidate(s)\n",
+                    candidates.size());
+        return 0;
+    }
+    return kExitFindings;
 }
 
 int
@@ -497,7 +756,7 @@ cmdDiff(const Args &args)
     const HeapModel b = loadModel(args.str("model-b"));
     const ModelDiff diff = diffModels(a, b);
     std::printf("%s", diff.describe().c_str());
-    return diff.unchanged() ? 0 : 1;
+    return diff.unchanged() ? 0 : kExitFindings;
 }
 
 int
@@ -527,24 +786,35 @@ commandTable()
         {"train",
          {cmdTrain,
           {"app", "inputs", "seed", "version", "scale", "frq", "local",
-           "out"}}},
+           "out", "manifest"}}},
         {"inspect", {cmdInspect, {"model"}}},
         {"check",
          {cmdCheck,
           {"app", "model", "seed", "version", "scale", "frq", "local",
-           "fault", "rate", "budget", "no-audit"}}},
+           "fault", "rate", "budget", "no-audit", "bundle-dir",
+           "manifest"}}},
         {"record",
          {cmdRecord,
           {"app", "out", "seed", "version", "scale", "frq", "fault",
            "rate", "budget"}}},
-        {"replay", {cmdReplay, {"trace", "model", "frq", "no-audit"}}},
+        {"replay",
+         {cmdReplay,
+          {"trace", "model", "frq", "no-audit", "bundle-dir",
+           "manifest"}}},
         {"diff", {cmdDiff, {"model", "model-b"}}},
         {"snapshot",
          {cmdSnapshot,
           {"app", "out", "seed", "version", "scale", "frq", "fault",
            "rate", "budget"}}},
         {"audit",
-         {cmdAudit, {"trace", "model", "graph", "max-findings"}}},
+         {cmdAudit,
+          {"trace", "model", "graph", "bundle", "manifest",
+           "max-findings"}}},
+        {"report", {cmdReport, {"bundle", "stacks", "suspects"}}},
+        {"trend",
+         {cmdTrend,
+          {"baseline", "manifest", "counter-tol", "sample-tol",
+           "min-base"}}},
         {"observe",
          {cmdObserve,
           {"app", "seed", "version", "scale", "frq", "fault", "rate",
@@ -576,6 +846,11 @@ main(int argc, char **argv)
     if (argc < 2)
         badInvocation("missing command");
     const std::string command = argv[1];
+    g_command_line = "heapmd";
+    for (int i = 1; i < argc; ++i) {
+        g_command_line += ' ';
+        g_command_line += argv[i];
+    }
 
     const auto &table = commandTable();
     const auto it = table.find(command);
