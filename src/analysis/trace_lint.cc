@@ -167,10 +167,31 @@ struct Linter
     ExtentTracker extents;
     /** First offset each function id was referenced at. */
     std::map<FnId, std::uint64_t> fn_uses;
+    /** Header declared live-capture provenance. */
+    bool capture = false;
 
     Linter(const std::string &data, Report &rep)
         : cursor(data), report(rep)
     {
+    }
+
+    /**
+     * Report a truncation finding: an error for offline-recorded
+     * traces, a warning for capture-provenance ones (the preloaded
+     * child may have been killed mid-run; the flushed prefix is the
+     * expected artifact, not a corrupt one).
+     */
+    void
+    truncation(const char *rule, std::uint64_t offset,
+               std::string message)
+    {
+        if (capture) {
+            report.warningAtByte(rule, offset,
+                                 message + " (expected for a killed "
+                                           "live-capture child)");
+        } else {
+            report.errorAtByte(rule, offset, std::move(message));
+        }
     }
 
     /**
@@ -194,7 +215,7 @@ struct Linter
                         kind_name + " event");
                 break;
               case VarintStatus::Truncated:
-                report.errorAtByte(
+                truncation(
                     "trace.varint-truncated", field_offset,
                     std::string("stream ends inside a LEB128 varint "
                                 "of ") +
@@ -234,13 +255,31 @@ Linter::checkHeader(bool &usable)
     for (int i = 0; i < 4; ++i)
         version |=
             static_cast<std::uint32_t>(cursor.get()) << (8 * i);
-    if (version != trace::kVersion) {
+    if (version != trace::kVersion &&
+        version != trace::kVersionFlags) {
         report.errorAtByte("trace.bad-version", 4,
                            "unsupported trace version " +
                                std::to_string(version) +
                                " (expected " +
-                               std::to_string(trace::kVersion) + ")");
+                               std::to_string(trace::kVersion) +
+                               " or " +
+                               std::to_string(trace::kVersionFlags) +
+                               ")");
         return;
+    }
+    if (version == trace::kVersionFlags) {
+        if (cursor.remaining() < 4) {
+            report.errorAtByte("trace.bad-version", 8,
+                               "version-2 header is missing its "
+                               "flags word");
+            return;
+        }
+        std::uint32_t flags = 0;
+        for (int i = 0; i < 4; ++i)
+            flags |=
+                static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+        capture = (flags & trace::kFlagCaptureProvenance) != 0;
+        stats.captureProvenance = capture;
     }
     usable = true;
 }
@@ -344,9 +383,8 @@ Linter::lintFooter(std::uint64_t marker_offset)
                            "overlong function-table count varint");
         break;
       case VarintStatus::Truncated:
-        report.errorAtByte("trace.footer-truncated", offset,
-                           "stream ends inside the function-table "
-                           "count");
+        truncation("trace.footer-truncated", offset,
+                   "stream ends inside the function-table count");
         return;
     }
 
@@ -363,7 +401,7 @@ Linter::lintFooter(std::uint64_t marker_offset)
                                    std::to_string(i));
             break;
           case VarintStatus::Truncated:
-            report.errorAtByte(
+            truncation(
                 "trace.footer-truncated", offset,
                 "stream ends inside the function table after " +
                     std::to_string(i) + " of " +
@@ -371,7 +409,7 @@ Linter::lintFooter(std::uint64_t marker_offset)
             return;
         }
         if (len > cursor.remaining()) {
-            report.errorAtByte(
+            truncation(
                 "trace.footer-truncated", cursor.offset(),
                 "function name " + std::to_string(i) + " declares " +
                     std::to_string(len) + " bytes but only " +
@@ -415,11 +453,10 @@ Linter::run()
         const std::uint64_t offset = cursor.offset();
         const int tag = cursor.get();
         if (tag < 0) {
-            report.errorAtByte("trace.no-footer", offset,
-                               "stream ends without the 0xFF footer "
-                               "marker (" +
-                                   std::to_string(stats.events) +
-                                   " events decoded)");
+            truncation("trace.no-footer", offset,
+                       "stream ends without the 0xFF footer marker (" +
+                           std::to_string(stats.events) +
+                           " events decoded)");
             return;
         }
         if (tag == trace::kFooterMarker) {

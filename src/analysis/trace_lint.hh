@@ -14,7 +14,7 @@
  * Rule catalog (see DESIGN.md, "The audit subsystem"):
  *   trace.io                unreadable input file
  *   trace.bad-magic         first 4 bytes are not "HMDT"
- *   trace.bad-version       version word != trace::kVersion
+ *   trace.bad-version       version word not a known version (1 or 2)
  *   trace.unknown-tag       event tag outside the EventKind range
  *   trace.varint-truncated  stream ends inside a LEB128 varint
  *   trace.varint-overlong   LEB128 varint longer than 10 bytes
@@ -26,6 +26,14 @@
  *   trace.free-before-alloc free/realloc of a non-live address
  *   trace.write-after-free  pointer-write into a freed extent
  *   trace.trailing-bytes    bytes after the function table (warning)
+ *
+ * Capture provenance: when the version-2 header carries the
+ * live-capture flag, the truncation family (trace.no-footer,
+ * trace.footer-truncated, and a trace.varint-truncated that ends the
+ * stream) is downgraded to warnings -- a preloaded child killed by
+ * SIGKILL or _exit() legitimately leaves a truncated-but-lintable
+ * trace.  Structural rules (overlaps, double frees, unknown tags)
+ * stay errors regardless of provenance.
  */
 
 #ifndef HEAPMD_ANALYSIS_TRACE_LINT_HH
@@ -49,6 +57,7 @@ struct TraceLintStats
     std::uint64_t bytes = 0;     //!< total bytes scanned
     std::uint64_t events = 0;    //!< events decoded (well-formed ones)
     std::uint64_t functions = 0; //!< names in the function table
+    bool captureProvenance = false; //!< header's live-capture flag
 };
 
 /**

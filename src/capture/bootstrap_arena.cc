@@ -1,0 +1,48 @@
+#include "capture/bootstrap_arena.hh"
+
+#include <cstdint>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+void *
+BootstrapArena::allocate(std::size_t size, std::size_t align)
+{
+    if (align < kMinAlign)
+        align = kMinAlign;
+    if (size == 0)
+        size = 1;
+
+    // CAS loop instead of fetch_add: a failed oversized request must
+    // not consume the space remaining for later small ones.
+    std::size_t old_used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+        const std::uintptr_t raw =
+            reinterpret_cast<std::uintptr_t>(base_) + old_used;
+        const std::uintptr_t aligned =
+            (raw + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+        const std::size_t new_used =
+            (aligned - reinterpret_cast<std::uintptr_t>(base_)) + size;
+        if (new_used > capacity_ || new_used < old_used)
+            return nullptr;
+        if (used_.compare_exchange_weak(old_used, new_used,
+                                        std::memory_order_relaxed)) {
+            allocs_.fetch_add(1, std::memory_order_relaxed);
+            return reinterpret_cast<void *>(aligned);
+        }
+    }
+}
+
+bool
+BootstrapArena::contains(const void *ptr) const
+{
+    const char *p = static_cast<const char *>(ptr);
+    return p >= base_ && p < base_ + capacity_;
+}
+
+} // namespace capture
+
+} // namespace heapmd

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Constant-initializable bump arena for pre-init allocations.
+ *
+ * The shim resolves the real allocator entry points with
+ * dlsym(RTLD_NEXT, ...), and glibc's dlsym itself calls calloc — a
+ * chicken-and-egg the classic preload interposers (gperftools,
+ * jemalloc) all break with a static bootstrap arena.  Allocations made
+ * while the resolution is in flight are served from a fixed buffer and
+ * never freed; free()/realloc() recognise arena pointers and leave
+ * them alone.
+ */
+
+#ifndef HEAPMD_CAPTURE_BOOTSTRAP_ARENA_HH
+#define HEAPMD_CAPTURE_BOOTSTRAP_ARENA_HH
+
+#include <atomic>
+#include <cstddef>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+/**
+ * Lock-free bump allocator over an externally owned buffer.
+ *
+ * All members are constant-initializable so the shim's instance needs
+ * no dynamic initializer (interposed entry points can run before any
+ * constructor in the preloaded library).  The buffer must be static
+ * (and therefore zero-initialized: calloc can hand out arena memory
+ * without memset, since bump allocation never reuses a byte).
+ */
+class BootstrapArena
+{
+  public:
+    constexpr BootstrapArena(char *base, std::size_t capacity)
+        : base_(base), capacity_(capacity)
+    {
+    }
+
+    BootstrapArena(const BootstrapArena &) = delete;
+    BootstrapArena &operator=(const BootstrapArena &) = delete;
+
+    /**
+     * Bump-allocate @p size bytes aligned to @p align (which must be
+     * a power of two).  Returns nullptr when the arena is exhausted —
+     * callers treat that as allocation failure.
+     */
+    void *allocate(std::size_t size, std::size_t align = kMinAlign);
+
+    /** True when @p ptr points into the arena's buffer. */
+    bool contains(const void *ptr) const;
+
+    /** Bytes handed out so far (including alignment padding). */
+    std::size_t bytesUsed() const
+    {
+        return used_.load(std::memory_order_relaxed);
+    }
+
+    /** Allocations served so far. */
+    std::size_t allocationCount() const
+    {
+        return allocs_.load(std::memory_order_relaxed);
+    }
+
+    /** Default alignment, matching malloc's fundamental alignment. */
+    static constexpr std::size_t kMinAlign = 2 * sizeof(void *);
+
+  private:
+    char *base_;
+    std::size_t capacity_;
+    std::atomic<std::size_t> used_{0};
+    std::atomic<std::size_t> allocs_{0};
+};
+
+} // namespace capture
+
+} // namespace heapmd
+
+#endif // HEAPMD_CAPTURE_BOOTSTRAP_ARENA_HH

@@ -1,0 +1,33 @@
+#include "capture/capture_env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+std::string
+defaultStatsPath(const std::string &trace_path)
+{
+    return trace_path + ".stats";
+}
+
+std::uint64_t
+envToU64(const char *value, std::uint64_t fallback)
+{
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0' || parsed == 0)
+        return fallback;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+} // namespace capture
+
+} // namespace heapmd

@@ -1,0 +1,89 @@
+#include "capture/fd_stream.hh"
+
+#include <cerrno>
+
+#include <unistd.h>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+FdStreamBuf::FdStreamBuf(int fd, std::size_t buffer_bytes)
+    : fd_(fd), buffer_(buffer_bytes > 0 ? buffer_bytes : 1)
+{
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+}
+
+FdStreamBuf::~FdStreamBuf()
+{
+    flushBuffer();
+}
+
+bool
+FdStreamBuf::flushBuffer()
+{
+    const char *data = pbase();
+    std::size_t remaining = static_cast<std::size_t>(pptr() - pbase());
+    while (remaining > 0) {
+        const ssize_t put = ::write(fd_, data, remaining);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            had_error_ = true;
+            return false;
+        }
+        data += put;
+        remaining -= static_cast<std::size_t>(put);
+        bytes_written_ += static_cast<std::size_t>(put);
+    }
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+    return true;
+}
+
+bool
+FdStreamBuf::syncToDisk()
+{
+    if (!flushBuffer())
+        return false;
+    if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
+        // EINVAL/EROFS: fd does not support fsync (pipe, some
+        // pseudo-filesystems); the flush alone is the best we can do.
+        had_error_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+FdStreamBuf::closeFd()
+{
+    const bool ok = syncToDisk();
+    if (::close(fd_) != 0)
+        had_error_ = true;
+    fd_ = -1;
+    return ok && !had_error_;
+}
+
+FdStreamBuf::int_type
+FdStreamBuf::overflow(int_type ch)
+{
+    if (!flushBuffer())
+        return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+        *pptr() = traits_type::to_char_type(ch);
+        pbump(1);
+    }
+    return traits_type::not_eof(ch);
+}
+
+int
+FdStreamBuf::sync()
+{
+    return flushBuffer() ? 0 : -1;
+}
+
+} // namespace capture
+
+} // namespace heapmd

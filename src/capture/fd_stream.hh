@@ -1,0 +1,72 @@
+/**
+ * @file
+ * File-descriptor streambuf with explicit durability control.
+ *
+ * The shim writes the trace through std::ostream (what TraceWriter
+ * expects) but needs two things std::ofstream cannot promise: a fixed
+ * internal buffer that never reallocates inside interposed calls, and
+ * an fsync hook so flushed prefixes survive a crashing child.
+ */
+
+#ifndef HEAPMD_CAPTURE_FD_STREAM_HH
+#define HEAPMD_CAPTURE_FD_STREAM_HH
+
+#include <cstddef>
+#include <streambuf>
+#include <vector>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+/**
+ * std::streambuf over a POSIX file descriptor (output only).
+ *
+ * The buffer is allocated once in the constructor; overflow and
+ * sync() push it to the fd with write(2), retrying on EINTR and
+ * short writes.
+ */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    /** Wraps @p fd; the caller keeps ownership unless closeFd(). */
+    explicit FdStreamBuf(int fd, std::size_t buffer_bytes = 1 << 16);
+
+    FdStreamBuf(const FdStreamBuf &) = delete;
+    FdStreamBuf &operator=(const FdStreamBuf &) = delete;
+
+    /** Flushes buffered bytes; never closes the fd. */
+    ~FdStreamBuf() override;
+
+    /** Flush to the kernel and fsync(2).  @return false on error. */
+    bool syncToDisk();
+
+    /** Flush, fsync, and close(2) the fd.  @return false on error. */
+    bool closeFd();
+
+    /** True once any write(2) or fsync(2) has failed. */
+    bool hadError() const { return had_error_; }
+
+    /** Bytes pushed to the fd so far. */
+    std::size_t bytesWritten() const { return bytes_written_; }
+
+  protected:
+    int_type overflow(int_type ch) override;
+    int sync() override;
+
+  private:
+    bool flushBuffer();
+
+    int fd_;
+    std::vector<char> buffer_;
+    std::size_t bytes_written_ = 0;
+    bool had_error_ = false;
+};
+
+} // namespace capture
+
+} // namespace heapmd
+
+#endif // HEAPMD_CAPTURE_FD_STREAM_HH

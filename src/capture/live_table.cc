@@ -1,0 +1,206 @@
+#include "capture/live_table.hh"
+
+#include <cstring>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+namespace
+{
+
+constexpr std::uintptr_t kWord = sizeof(std::uintptr_t);
+
+std::uintptr_t
+alignUp(std::uintptr_t addr)
+{
+    return (addr + (kWord - 1)) & ~(kWord - 1);
+}
+
+std::uintptr_t
+alignDown(std::uintptr_t addr)
+{
+    return addr & ~(kWord - 1);
+}
+
+} // namespace
+
+void
+LiveTable::insert(std::uintptr_t addr, std::size_t size)
+{
+    live_[addr] = size;
+    live_bytes_ += size;
+}
+
+std::size_t
+LiveTable::erase(std::uintptr_t addr)
+{
+    const auto it = live_.find(addr);
+    if (it == live_.end())
+        return 0;
+    const std::size_t size = it->second;
+    live_.erase(it);
+    live_bytes_ -= size;
+
+    // Forget out-edges recorded from slots inside the freed extent.
+    dropEdgesFrom(addr, addr + size);
+
+    // Forget in-edges: the graph severs them on Free, so the next
+    // scan must re-emit any slot still (or newly) resolving here.
+    const auto refs = in_refs_.find(addr);
+    if (refs != in_refs_.end()) {
+        for (const std::uintptr_t slot : refs->second)
+            edges_.erase(slot);
+        in_refs_.erase(refs);
+    }
+    return size;
+}
+
+bool
+LiveTable::resize(std::uintptr_t addr, std::size_t new_size)
+{
+    const auto it = live_.find(addr);
+    if (it == live_.end())
+        return false;
+    const std::size_t old_size = it->second;
+    if (new_size < old_size)
+        dropEdgesFrom(addr + new_size, addr + old_size);
+    live_bytes_ += new_size;
+    live_bytes_ -= old_size;
+    it->second = new_size;
+    return true;
+}
+
+bool
+LiveTable::contains(std::uintptr_t addr) const
+{
+    return live_.find(addr) != live_.end();
+}
+
+std::vector<std::uintptr_t>
+LiveTable::overlapping(std::uintptr_t addr, std::size_t size,
+                       std::uintptr_t exclude) const
+{
+    std::vector<std::uintptr_t> starts;
+    if (live_.empty() || size == 0)
+        return starts;
+    auto it = live_.upper_bound(addr);
+    if (it != live_.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->first + prev->second > addr &&
+            prev->first != exclude)
+            starts.push_back(prev->first);
+    }
+    const std::uintptr_t end = addr + size;
+    for (; it != live_.end() && it->first < end; ++it) {
+        if (it->first != exclude)
+            starts.push_back(it->first);
+    }
+    return starts;
+}
+
+std::uintptr_t
+LiveTable::resolve(std::uintptr_t value) const
+{
+    if (value == 0 || live_.empty())
+        return 0;
+    auto it = live_.upper_bound(value);
+    if (it == live_.begin())
+        return 0;
+    --it;
+    if (value < it->first + it->second)
+        return it->first;
+    return 0;
+}
+
+ScanStats
+LiveTable::scan(const EmitFn &emit)
+{
+    ScanStats stats;
+    if (live_.empty())
+        return stats;
+
+    // The hot loop visits every word of every live object, so both
+    // per-word map lookups have to go.  (a) Non-pointer words (small
+    // integers, flags, text) are rejected with one range compare
+    // against the live address span before paying resolve()'s
+    // upper_bound.  (b) live_ is address-ordered and objects are
+    // disjoint, so slots are visited in strictly increasing order
+    // across the whole pass; a single forward sweep of edges_
+    // replaces the per-word find().
+    const std::uintptr_t span_lo = live_.begin()->first;
+    const auto last = std::prev(live_.end());
+    const std::uintptr_t span_hi = last->first + last->second;
+
+    auto eit = edges_.begin();
+    for (const auto &[addr, size] : live_) {
+        ++stats.objectsScanned;
+        const std::uintptr_t begin = alignUp(addr);
+        const std::uintptr_t end = alignDown(addr + size);
+        for (std::uintptr_t slot = begin; slot < end; slot += kWord) {
+            ++stats.wordsScanned;
+            while (eit != edges_.end() && eit->first < slot)
+                ++eit;
+            const bool has_prev =
+                eit != edges_.end() && eit->first == slot;
+            std::uintptr_t value;
+            std::memcpy(&value, reinterpret_cast<const void *>(slot),
+                        sizeof(value));
+            const std::uintptr_t target =
+                value >= span_lo && value < span_hi ? resolve(value)
+                                                    : 0;
+            if (target != 0) {
+                ++stats.liveEdges;
+                if (has_prev && eit->second.value == value &&
+                    eit->second.targetStart == target)
+                    continue; // unchanged since the last pass
+                if (has_prev) {
+                    const auto next = std::next(eit);
+                    dropEdge(eit);
+                    eit = next;
+                }
+                emit(slot, value);
+                ++stats.writesEmitted;
+                eit = edges_.emplace(slot, EdgeState{value, target})
+                          .first;
+                in_refs_[target].insert(slot);
+            } else if (has_prev) {
+                emit(slot, 0);
+                ++stats.clearsEmitted;
+                const auto next = std::next(eit);
+                dropEdge(eit);
+                eit = next;
+            }
+        }
+    }
+    return stats;
+}
+
+void
+LiveTable::dropEdge(std::map<std::uintptr_t, EdgeState>::iterator it)
+{
+    const auto refs = in_refs_.find(it->second.targetStart);
+    if (refs != in_refs_.end()) {
+        refs->second.erase(it->first);
+        if (refs->second.empty())
+            in_refs_.erase(refs);
+    }
+    edges_.erase(it);
+}
+
+void
+LiveTable::dropEdgesFrom(std::uintptr_t begin, std::uintptr_t end)
+{
+    auto it = edges_.lower_bound(begin);
+    while (it != edges_.end() && it->first < end) {
+        const auto next = std::next(it);
+        dropEdge(it);
+        it = next;
+    }
+}
+
+} // namespace capture
+
+} // namespace heapmd

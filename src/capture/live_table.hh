@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Live-object table and conservative pointer scanner for the capture
+ * shim.
+ *
+ * The paper instruments every pointer store; an LD_PRELOAD shim cannot
+ * see stores, so edges are recovered the way gperftools' heap checker
+ * finds references: periodically walk every live object word by word
+ * and treat any word that resolves into another live object as a
+ * pointer.  To keep the trace (and the replayed heap-graph) in sync
+ * without re-emitting the whole edge set each pass, the scanner diffs
+ * against the previous pass: a new or retargeted slot emits
+ * Write(slot, value), a slot whose word no longer resolves emits
+ * Write(slot, 0), and an unchanged slot emits nothing.
+ *
+ * The table is single-threaded by design — the shim serializes access
+ * under its global mutex — and host-testable: it reads process memory
+ * through plain loads, so unit tests exercise it against ordinary
+ * heap buffers without any interposition.
+ */
+
+#ifndef HEAPMD_CAPTURE_LIVE_TABLE_HH
+#define HEAPMD_CAPTURE_LIVE_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+/** Per-pass census of one conservative scan. */
+struct ScanStats
+{
+    std::uint64_t objectsScanned = 0; //!< live objects walked
+    std::uint64_t wordsScanned = 0;   //!< aligned words inspected
+    std::uint64_t liveEdges = 0;      //!< words resolving to a live object
+    std::uint64_t writesEmitted = 0;  //!< new/retargeted edges emitted
+    std::uint64_t clearsEmitted = 0;  //!< vanished edges emitted as 0
+};
+
+/**
+ * Tracks the extents of live allocations plus the edge set the last
+ * scan reported, so each pass emits only the delta.
+ */
+class LiveTable
+{
+  public:
+    /** Sink for recovered pointer writes (value 0 = slot cleared). */
+    using EmitFn =
+        std::function<void(std::uintptr_t slot, std::uintptr_t value)>;
+
+    /** Register a live extent.  @p addr must not be tracked already. */
+    void insert(std::uintptr_t addr, std::size_t size);
+
+    /**
+     * Forget the extent starting at @p addr along with every edge
+     * recorded from or to it (the replayed graph severs those edges
+     * on Free; keeping them would suppress their re-emission when the
+     * address range is recycled).
+     *
+     * @return the extent's size, or 0 when @p addr was not tracked.
+     */
+    std::size_t erase(std::uintptr_t addr);
+
+    /**
+     * Resize the extent at @p addr in place (in-place realloc).
+     * Edges from slots beyond the new end are forgotten.
+     *
+     * @return false when @p addr is not tracked.
+     */
+    bool resize(std::uintptr_t addr, std::size_t new_size);
+
+    /** True when an extent starts exactly at @p addr. */
+    bool contains(std::uintptr_t addr) const;
+
+    /**
+     * Starts of live extents overlapping [addr, addr + size), except
+     * an extent starting exactly at @p exclude.  The shim frees these
+     * in the trace before recording an allocation over the range: the
+     * allocator handing it out proves their frees went unobserved
+     * (e.g. dropped under the reentrancy guard).
+     */
+    std::vector<std::uintptr_t>
+    overlapping(std::uintptr_t addr, std::size_t size,
+                std::uintptr_t exclude = 0) const;
+
+    /** Start of the live extent containing @p value, or 0. */
+    std::uintptr_t resolve(std::uintptr_t value) const;
+
+    /** Live extents currently tracked. */
+    std::size_t objectCount() const { return live_.size(); }
+
+    /** Bytes currently tracked. */
+    std::uint64_t liveBytes() const { return live_bytes_; }
+
+    /** Edges the previous scan left established. */
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    /**
+     * Conservatively scan all live extents and emit the edge delta
+     * relative to the previous pass.  Words are read at pointer
+     * alignment; unaligned head/tail bytes of an extent are skipped.
+     */
+    ScanStats scan(const EmitFn &emit);
+
+  private:
+    struct EdgeState
+    {
+        std::uintptr_t value;       //!< word observed at the slot
+        std::uintptr_t targetStart; //!< start of the extent it hit
+    };
+
+    void dropEdge(std::map<std::uintptr_t, EdgeState>::iterator it);
+    void dropEdgesFrom(std::uintptr_t begin, std::uintptr_t end);
+
+    std::map<std::uintptr_t, std::size_t> live_;
+    std::map<std::uintptr_t, EdgeState> edges_;
+    /** Reverse index: extent start -> slots whose edge targets it. */
+    std::map<std::uintptr_t, std::set<std::uintptr_t>> in_refs_;
+    std::uint64_t live_bytes_ = 0;
+};
+
+} // namespace capture
+
+} // namespace heapmd
+
+#endif // HEAPMD_CAPTURE_LIVE_TABLE_HH

@@ -1,0 +1,629 @@
+/**
+ * @file
+ * The allocator-interposition shim: libheapmd_capture.so.
+ *
+ * Preloaded into a real process (LD_PRELOAD, arranged by `heapmd
+ * capture`), it interposes malloc/free/calloc/realloc/aligned_alloc/
+ * posix_memalign, mirrors the live-object set, and records the heapmd
+ * trace format the offline pipeline already consumes.  Pointer edges
+ * -- which the paper recovered by instrumenting stores -- are
+ * reconstructed by a periodic conservative scan over the live objects
+ * (see live_table.hh and DESIGN.md section 10).
+ *
+ * Survival rules of an interposer, all load-bearing:
+ *  - real entry points come from dlsym(RTLD_NEXT, ...), and glibc's
+ *    dlsym itself calls calloc, so allocations made while resolution
+ *    is in flight are served from a static bootstrap arena;
+ *  - a thread-local guard makes the shim's own bookkeeping
+ *    allocations (std::map nodes, trace buffers) invisible: any
+ *    allocator entry while the guard is up passes straight through to
+ *    the real allocator, counted as capture.dropped_reentrant;
+ *  - one global mutex serializes table + writer access (correct event
+ *    order beats parallel recording);
+ *  - the trace is finalized via atexit, and periodically
+ *    flushed+fsynced at scan points so a killed child still leaves a
+ *    readable truncated trace (the capture-provenance header flag
+ *    downgrades the missing footer to a lint warning);
+ *  - a pthread_atfork child handler and a pid armed in the
+ *    environment keep forked children and exec'd grandchildren from
+ *    corrupting the parent's trace file.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <ostream>
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include "capture/bootstrap_arena.hh"
+#include "capture/capture_env.hh"
+#include "capture/fd_stream.hh"
+#include "capture/live_table.hh"
+#include "capture/stats_sidecar.hh"
+#include "runtime/call_stack.hh"
+#include "runtime/events.hh"
+#include "trace/trace_writer.hh"
+
+namespace
+{
+
+using heapmd::Event;
+using heapmd::FnId;
+using heapmd::FunctionRegistry;
+using heapmd::TraceWriter;
+using heapmd::TraceWriterOptions;
+using heapmd::capture::BootstrapArena;
+using heapmd::capture::CaptureCounters;
+using heapmd::capture::FdStreamBuf;
+using heapmd::capture::LiveTable;
+using heapmd::capture::ScanStats;
+
+struct RealAllocFns
+{
+    void *(*malloc)(std::size_t) = nullptr;
+    void (*free)(void *) = nullptr;
+    void *(*calloc)(std::size_t, std::size_t) = nullptr;
+    void *(*realloc)(void *, std::size_t) = nullptr;
+    void *(*aligned_alloc)(std::size_t, std::size_t) = nullptr;
+    int (*posix_memalign)(void **, std::size_t, std::size_t) = nullptr;
+};
+
+alignas(BootstrapArena::kMinAlign) char g_arena_buffer[1 << 20];
+constinit BootstrapArena g_arena(g_arena_buffer,
+                                 sizeof(g_arena_buffer));
+
+RealAllocFns g_real;
+
+/** 0 = unresolved, 1 = dlsym in flight, 2 = ready. */
+std::atomic<int> g_resolve_state{0};
+
+/**
+ * Thread-local flags with initial-exec TLS: the default dynamic TLS
+ * model can call malloc from __tls_get_addr on first access, which
+ * would recurse straight back into the interposer.
+ */
+__thread bool t_resolving __attribute__((tls_model("initial-exec")));
+__thread bool t_busy __attribute__((tls_model("initial-exec")));
+
+/** Allocator ops that passed through unrecorded (guard was up). */
+std::atomic<std::uint64_t> g_dropped{0};
+
+pthread_mutex_t g_mutex = PTHREAD_MUTEX_INITIALIZER;
+
+/** 0 = not decided, 1 = active, 2 = disabled (or finalized). */
+std::atomic<int> g_sink_state{0};
+
+/** Everything the recording side owns; heap-allocated, never freed. */
+struct Sink
+{
+    FdStreamBuf buf;
+    std::ostream os;
+    FunctionRegistry registry;
+    LiveTable table;
+    CaptureCounters counters;
+    TraceWriter writer;
+    std::uint64_t scan_frequency;
+    std::uint64_t allocs_since_scan = 0;
+    FnId scan_fn;
+    std::string stats_path;
+    bool log;
+    bool finalized = false;
+
+    Sink(int fd, std::uint64_t frq, std::string stats, bool verbose)
+        : buf(fd, 1 << 18),
+          os(&buf),
+          writer(os, registry,
+                 TraceWriterOptions{
+                     true,
+                     [this] {
+                         buf.syncToDisk();
+                         ++counters.flushes;
+                     }}),
+          scan_frequency(frq),
+          scan_fn(registry.intern(
+              heapmd::capture::kScanFunctionName)),
+          stats_path(std::move(stats)),
+          log(verbose)
+    {
+    }
+};
+
+Sink *g_sink = nullptr;
+
+void
+shimLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void
+shimLog(const char *fmt, ...)
+{
+    char line[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(line, sizeof(line), fmt, args);
+    va_end(args);
+    if (n > 0) {
+        ssize_t ignored [[maybe_unused]] =
+            ::write(2, line, static_cast<std::size_t>(
+                                 n < static_cast<int>(sizeof(line))
+                                     ? n
+                                     : sizeof(line) - 1));
+    }
+}
+
+/** Resolve the real allocator entry points exactly once. */
+void
+ensureResolved()
+{
+    for (;;) {
+        int state = g_resolve_state.load(std::memory_order_acquire);
+        if (state == 2)
+            return;
+        int expected = 0;
+        if (g_resolve_state.compare_exchange_strong(
+                expected, 1, std::memory_order_acq_rel)) {
+            t_resolving = true;
+            g_real.malloc = reinterpret_cast<void *(*)(std::size_t)>(
+                ::dlsym(RTLD_NEXT, "malloc"));
+            g_real.free = reinterpret_cast<void (*)(void *)>(
+                ::dlsym(RTLD_NEXT, "free"));
+            g_real.calloc =
+                reinterpret_cast<void *(*)(std::size_t, std::size_t)>(
+                    ::dlsym(RTLD_NEXT, "calloc"));
+            g_real.realloc =
+                reinterpret_cast<void *(*)(void *, std::size_t)>(
+                    ::dlsym(RTLD_NEXT, "realloc"));
+            g_real.aligned_alloc =
+                reinterpret_cast<void *(*)(std::size_t, std::size_t)>(
+                    ::dlsym(RTLD_NEXT, "aligned_alloc"));
+            g_real.posix_memalign = reinterpret_cast<int (*)(
+                void **, std::size_t, std::size_t)>(
+                ::dlsym(RTLD_NEXT, "posix_memalign"));
+            t_resolving = false;
+            g_resolve_state.store(2, std::memory_order_release);
+            return;
+        }
+        // Another thread is resolving; its dlsym calls are short.
+        ::sched_yield();
+    }
+}
+
+void finalizeLocked(Sink &sink);
+
+void
+finalizeAtExit()
+{
+    t_busy = true;
+    ::pthread_mutex_lock(&g_mutex);
+    if (g_sink != nullptr)
+        finalizeLocked(*g_sink);
+    ::pthread_mutex_unlock(&g_mutex);
+    t_busy = false;
+}
+
+void
+onForkChild()
+{
+    // The trace fd is shared with the parent: any write from the
+    // child corrupts the parent's stream.  Go dark; the mutex was
+    // cloned in an unknown state, so do not touch it either (the
+    // disabled check precedes every lock acquisition).
+    g_sink_state.store(2, std::memory_order_release);
+}
+
+/** Build the sink on first recorded operation; may disable capture. */
+Sink *
+sinkLocked()
+{
+    const int state = g_sink_state.load(std::memory_order_relaxed);
+    if (state == 1)
+        return g_sink->finalized ? nullptr : g_sink;
+    if (state == 2)
+        return nullptr;
+
+    g_sink_state.store(2, std::memory_order_relaxed); // until proven
+    const char *out = ::getenv(heapmd::capture::kEnvOut);
+    if (out == nullptr || *out == '\0')
+        return nullptr; // preloaded without a capture armed
+    const bool verbose = [] {
+        const char *log = ::getenv(heapmd::capture::kEnvLog);
+        return log != nullptr && log[0] == '1';
+    }();
+    const char *pid_env = ::getenv(heapmd::capture::kEnvPid);
+    if (pid_env != nullptr && *pid_env != '\0') {
+        const std::uint64_t armed =
+            heapmd::capture::envToU64(pid_env, 0);
+        if (armed != static_cast<std::uint64_t>(::getpid())) {
+            if (verbose)
+                shimLog("[heapmd-capture] pid %d not armed (%s); "
+                        "capture stays off\n",
+                        static_cast<int>(::getpid()), pid_env);
+            return nullptr;
+        }
+    }
+
+    const int fd = ::open(out, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        shimLog("[heapmd-capture] cannot open trace '%s': %s\n", out,
+                std::strerror(errno));
+        return nullptr;
+    }
+
+    const std::uint64_t frq = heapmd::capture::envToU64(
+        ::getenv(heapmd::capture::kEnvFrq),
+        heapmd::capture::kDefaultScanFrequency);
+    const char *stats_env =
+        ::getenv(heapmd::capture::kEnvStatsOut);
+    std::string stats_path =
+        (stats_env != nullptr && *stats_env != '\0')
+            ? std::string(stats_env)
+            : heapmd::capture::defaultStatsPath(out);
+
+    g_sink = new (std::nothrow)
+        Sink(fd, frq, std::move(stats_path), verbose);
+    if (g_sink == nullptr) {
+        ::close(fd);
+        return nullptr;
+    }
+    std::atexit(finalizeAtExit);
+    ::pthread_atfork(nullptr, nullptr, onForkChild);
+    // Push the header to disk immediately: a child that _exit()s (or
+    // is killed) before the first scan point must still leave a
+    // readable, truncated trace rather than an empty file.
+    g_sink->writer.flush();
+    g_sink_state.store(1, std::memory_order_release);
+    if (verbose)
+        shimLog("[heapmd-capture] recording pid %d to '%s' "
+                "(scan frq %llu)\n",
+                static_cast<int>(::getpid()), out,
+                static_cast<unsigned long long>(frq));
+    return g_sink;
+}
+
+void
+writeEvent(Sink &sink, const Event &event)
+{
+    sink.writer.onEvent(event, 0);
+    ++sink.counters.eventsEmitted;
+}
+
+/** One conservative pass: edge delta, scan marker, durability point. */
+void
+scanLocked(Sink &sink)
+{
+    const ScanStats stats = sink.table.scan(
+        [&sink](std::uintptr_t slot, std::uintptr_t value) {
+            writeEvent(sink, Event::write(slot, value));
+        });
+    ++sink.counters.scanPasses;
+    sink.counters.scanWords += stats.wordsScanned;
+    sink.counters.scanEdgeWrites += stats.writesEmitted;
+    sink.counters.scanEdgeClears += stats.clearsEmitted;
+
+    // The marker pair makes the replayed Process take one metric
+    // sample here (FnEnter is the sampling trigger), after the edge
+    // delta so the sample sees the refreshed graph.
+    writeEvent(sink, Event::fnEnter(sink.scan_fn));
+    writeEvent(sink, Event::fnExit(sink.scan_fn));
+    sink.writer.flush(); // + fsync via the sync hook
+}
+
+void
+maybeScanLocked(Sink &sink)
+{
+    if (++sink.allocs_since_scan < sink.scan_frequency)
+        return;
+    sink.allocs_since_scan = 0;
+    scanLocked(sink);
+}
+
+/**
+ * Emit Free for stale objects overlapping a range the allocator just
+ * handed out: their frees were missed (dropped under the guard), and
+ * the trace must stay overlap-clean for the audit.
+ */
+void
+reclaimOverlapLocked(Sink &sink, std::uintptr_t addr,
+                     std::size_t size, std::uintptr_t exclude)
+{
+    for (const std::uintptr_t start :
+         sink.table.overlapping(addr, size, exclude)) {
+        writeEvent(sink, Event::free(start));
+        ++sink.counters.freeEvents;
+        sink.table.erase(start);
+    }
+}
+
+void
+finalizeLocked(Sink &sink)
+{
+    if (sink.finalized)
+        return;
+    sink.finalized = true;
+
+    scanLocked(sink); // final edge refresh + end-state sample point
+    sink.counters.droppedReentrant =
+        g_dropped.load(std::memory_order_relaxed);
+    sink.counters.bootstrapBytes = g_arena.bytesUsed();
+    sink.counters.bootstrapAllocs = g_arena.allocationCount();
+    sink.writer.finalize();
+    sink.buf.closeFd();
+
+    std::ofstream stats(sink.stats_path, std::ios::trunc);
+    if (stats)
+        heapmd::capture::writeStatsSidecar(stats, sink.counters);
+
+    g_sink_state.store(2, std::memory_order_release);
+    if (sink.log)
+        shimLog("[heapmd-capture] finalized: %llu events, "
+                "%llu scan passes, %llu dropped reentrant\n",
+                static_cast<unsigned long long>(
+                    sink.counters.eventsEmitted),
+                static_cast<unsigned long long>(
+                    sink.counters.scanPasses),
+                static_cast<unsigned long long>(
+                    sink.counters.droppedReentrant));
+}
+
+/** True when the calling thread should try to record this op. */
+bool
+captureArmed()
+{
+    return g_sink_state.load(std::memory_order_acquire) != 2;
+}
+
+void
+recordAlloc(void *ptr, std::size_t size)
+{
+    if (ptr == nullptr)
+        return;
+    if (!captureArmed())
+        return;
+    if (t_busy) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    t_busy = true;
+    ::pthread_mutex_lock(&g_mutex);
+    if (Sink *sink = sinkLocked()) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+        const std::uint64_t recorded =
+            size > 0 ? size : 1; // malloc(0) returns a unique extent
+        reclaimOverlapLocked(*sink, addr, recorded, 0);
+        sink->table.insert(addr, recorded);
+        if (sink->table.objectCount() >
+            sink->counters.peakLiveObjects)
+            sink->counters.peakLiveObjects =
+                sink->table.objectCount();
+        writeEvent(*sink, Event::alloc(addr, recorded));
+        ++sink->counters.allocEvents;
+        maybeScanLocked(*sink);
+    }
+    ::pthread_mutex_unlock(&g_mutex);
+    t_busy = false;
+}
+
+/** Record the free of @p ptr; returns with the table entry gone. */
+void
+recordFree(void *ptr)
+{
+    if (ptr == nullptr || !captureArmed())
+        return;
+    if (t_busy) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    t_busy = true;
+    ::pthread_mutex_lock(&g_mutex);
+    if (Sink *sink = sinkLocked()) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+        // Only extents we recorded may emit Free: anything else
+        // (pre-capture or guard-dropped allocations) would lint as
+        // trace.free-before-alloc.
+        if (sink->table.erase(addr) != 0) {
+            writeEvent(*sink, Event::free(addr));
+            ++sink->counters.freeEvents;
+        }
+    }
+    ::pthread_mutex_unlock(&g_mutex);
+    t_busy = false;
+}
+
+} // namespace
+
+extern "C"
+{
+
+void *
+malloc(std::size_t size)
+{
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        if (t_resolving)
+            return g_arena.allocate(size);
+        ensureResolved();
+    }
+    void *ptr = g_real.malloc(size);
+    recordAlloc(ptr, size);
+    return ptr;
+}
+
+void *
+calloc(std::size_t count, std::size_t size)
+{
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        // dlsym's own calloc lands here; arena memory is static and
+        // therefore already zeroed.
+        if (t_resolving)
+            return g_arena.allocate(count * size);
+        ensureResolved();
+    }
+    void *ptr = g_real.calloc(count, size);
+    recordAlloc(ptr, count * size);
+    return ptr;
+}
+
+void
+free(void *ptr)
+{
+    if (ptr == nullptr)
+        return;
+    if (g_arena.contains(ptr))
+        return; // bootstrap allocations are never reclaimed
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        if (t_resolving)
+            return; // cannot reach the real free yet; leak it
+        ensureResolved();
+    }
+    // Record first: once the real free runs, another thread may be
+    // handed this address and record its Alloc, which must sort
+    // after our Free in the trace.
+    recordFree(ptr);
+    g_real.free(ptr);
+}
+
+void *
+realloc(void *ptr, std::size_t size)
+{
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        if (t_resolving) {
+            // Arena block with unknown size: realloc within the arena
+            // by over-copying up to the requested size (reads stay
+            // inside the static buffer, worst case stale bytes).
+            void *fresh = g_arena.allocate(size);
+            if (fresh != nullptr && ptr != nullptr)
+                std::memcpy(fresh, ptr, size);
+            return fresh;
+        }
+        ensureResolved();
+    }
+    if (ptr != nullptr && g_arena.contains(ptr)) {
+        void *fresh = malloc(size);
+        if (fresh != nullptr)
+            std::memcpy(fresh, ptr, size); // see arena note above
+        return fresh;
+    }
+    if (!captureArmed() || t_busy) {
+        if (captureArmed())
+            g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return g_real.realloc(ptr, size);
+    }
+
+    // Unlike malloc, the real call runs under the lock: it can free
+    // the old extent, and a concurrent allocation reusing that range
+    // must not get its Alloc recorded before our Realloc.
+    t_busy = true;
+    ::pthread_mutex_lock(&g_mutex);
+    void *fresh = g_real.realloc(ptr, size);
+    if (Sink *sink = sinkLocked()) {
+        const auto old_addr = reinterpret_cast<std::uintptr_t>(ptr);
+        const auto new_addr = reinterpret_cast<std::uintptr_t>(fresh);
+        const std::uint64_t recorded = size > 0 ? size : 1;
+        const bool old_tracked =
+            ptr != nullptr && sink->table.contains(old_addr);
+        if (ptr == nullptr) {
+            // Pure allocation.
+            if (fresh != nullptr) {
+                reclaimOverlapLocked(*sink, new_addr, recorded, 0);
+                sink->table.insert(new_addr, recorded);
+                writeEvent(*sink, Event::alloc(new_addr, recorded));
+                ++sink->counters.allocEvents;
+                maybeScanLocked(*sink);
+            }
+        } else if (size == 0) {
+            // Pure free (C23 made this undefined; glibc frees).
+            if (old_tracked) {
+                sink->table.erase(old_addr);
+                writeEvent(*sink, Event::free(old_addr));
+                ++sink->counters.freeEvents;
+            }
+        } else if (fresh != nullptr) {
+            if (!old_tracked) {
+                // The old extent predates capture; record the result
+                // as a plain allocation.
+                reclaimOverlapLocked(*sink, new_addr, recorded, 0);
+                sink->table.insert(new_addr, recorded);
+                writeEvent(*sink, Event::alloc(new_addr, recorded));
+                ++sink->counters.allocEvents;
+            } else {
+                if (new_addr == old_addr) {
+                    reclaimOverlapLocked(*sink, new_addr, recorded,
+                                         old_addr);
+                    sink->table.resize(old_addr, recorded);
+                } else {
+                    sink->table.erase(old_addr);
+                    reclaimOverlapLocked(*sink, new_addr, recorded,
+                                         0);
+                    sink->table.insert(new_addr, recorded);
+                }
+                writeEvent(*sink, Event::realloc(old_addr, new_addr,
+                                                 recorded));
+                ++sink->counters.reallocEvents;
+            }
+            maybeScanLocked(*sink);
+        }
+        if (sink->table.objectCount() >
+            sink->counters.peakLiveObjects)
+            sink->counters.peakLiveObjects =
+                sink->table.objectCount();
+    }
+    ::pthread_mutex_unlock(&g_mutex);
+    t_busy = false;
+    return fresh;
+}
+
+void *
+aligned_alloc(std::size_t alignment, std::size_t size)
+{
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        if (t_resolving)
+            return g_arena.allocate(size, alignment);
+        ensureResolved();
+    }
+    void *ptr = g_real.aligned_alloc(alignment, size);
+    recordAlloc(ptr, size);
+    return ptr;
+}
+
+int
+posix_memalign(void **out, std::size_t alignment, std::size_t size)
+{
+    if (g_resolve_state.load(std::memory_order_acquire) != 2) {
+        if (t_resolving) {
+            void *ptr = g_arena.allocate(size, alignment);
+            if (ptr == nullptr)
+                return ENOMEM;
+            *out = ptr;
+            return 0;
+        }
+        ensureResolved();
+    }
+    const int rc = g_real.posix_memalign(out, alignment, size);
+    if (rc == 0)
+        recordAlloc(*out, size);
+    return rc;
+}
+
+/**
+ * Finalize the capture now (flush, footer, sidecar).  Exported for
+ * monitored programs that terminate via paths atexit cannot observe
+ * (_exit, exec); `heapmd capture` itself relies on atexit.
+ */
+void
+heapmd_capture_finalize(void)
+{
+    finalizeAtExit();
+}
+
+} // extern "C"

@@ -1,0 +1,62 @@
+#include "capture/stats_sidecar.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+void
+writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
+{
+    os << "capture.events_emitted " << counters.eventsEmitted << "\n"
+       << "capture.alloc_events " << counters.allocEvents << "\n"
+       << "capture.free_events " << counters.freeEvents << "\n"
+       << "capture.realloc_events " << counters.reallocEvents << "\n"
+       << "capture.scan_passes " << counters.scanPasses << "\n"
+       << "capture.scan_words " << counters.scanWords << "\n"
+       << "capture.scan_edge_writes " << counters.scanEdgeWrites
+       << "\n"
+       << "capture.scan_edge_clears " << counters.scanEdgeClears
+       << "\n"
+       << "capture.dropped_reentrant " << counters.droppedReentrant
+       << "\n"
+       << "capture.bootstrap_bytes " << counters.bootstrapBytes << "\n"
+       << "capture.bootstrap_allocs " << counters.bootstrapAllocs
+       << "\n"
+       << "capture.flushes " << counters.flushes << "\n"
+       << "capture.peak_live_objects " << counters.peakLiveObjects
+       << "\n";
+}
+
+std::map<std::string, std::uint64_t>
+readStatsSidecar(std::istream &is)
+{
+    std::map<std::string, std::uint64_t> values;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream fields(line);
+        std::string name;
+        std::uint64_t value = 0;
+        if ((fields >> name >> value) && !name.empty())
+            values[name] = value;
+    }
+    return values;
+}
+
+std::map<std::string, std::uint64_t>
+readStatsSidecarFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    return readStatsSidecar(in);
+}
+
+} // namespace capture
+
+} // namespace heapmd

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Counter sidecar: how capture.* telemetry crosses the process
+ * boundary.
+ *
+ * The shim's counters live in the *child* process and cannot reach
+ * the host CLI's telemetry registry directly, so the shim serializes
+ * them to a tiny text sidecar ("<trace>.stats") at finalize and the
+ * host parses it back, merging the values into its own registry for
+ * `heapmd stats` and the run manifest.
+ *
+ * Format: one "<name> <value>\n" pair per line, names already carrying
+ * the "capture." prefix.  Unknown lines are ignored on read so the
+ * format can grow.
+ */
+
+#ifndef HEAPMD_CAPTURE_STATS_SIDECAR_HH
+#define HEAPMD_CAPTURE_STATS_SIDECAR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+/** Counters the shim accumulates over one captured run. */
+struct CaptureCounters
+{
+    std::uint64_t eventsEmitted = 0;    //!< trace events written
+    std::uint64_t allocEvents = 0;      //!< Alloc events
+    std::uint64_t freeEvents = 0;       //!< Free events
+    std::uint64_t reallocEvents = 0;    //!< Realloc events
+    std::uint64_t scanPasses = 0;       //!< conservative scan passes
+    std::uint64_t scanWords = 0;        //!< words inspected by scans
+    std::uint64_t scanEdgeWrites = 0;   //!< edge writes emitted
+    std::uint64_t scanEdgeClears = 0;   //!< edge clears emitted
+    std::uint64_t droppedReentrant = 0; //!< ops unrecorded (reentrancy)
+    std::uint64_t bootstrapBytes = 0;   //!< bootstrap-arena bytes used
+    std::uint64_t bootstrapAllocs = 0;  //!< pre-init allocations served
+    std::uint64_t flushes = 0;          //!< explicit flush/fsync points
+    std::uint64_t peakLiveObjects = 0;  //!< live-table high-water mark
+};
+
+/** Serialize @p counters as "capture.* value" lines. */
+void writeStatsSidecar(std::ostream &os,
+                       const CaptureCounters &counters);
+
+/**
+ * Parse a sidecar stream into name -> value.  Malformed lines are
+ * skipped; an empty map simply means nothing usable was found.
+ */
+std::map<std::string, std::uint64_t>
+readStatsSidecar(std::istream &is);
+
+/** Convenience: parse the sidecar file at @p path (empty if absent). */
+std::map<std::string, std::uint64_t>
+readStatsSidecarFile(const std::string &path);
+
+} // namespace capture
+
+} // namespace heapmd
+
+#endif // HEAPMD_CAPTURE_STATS_SIDECAR_HH

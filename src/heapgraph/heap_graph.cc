@@ -167,6 +167,28 @@ HeapGraph::reallocate(Addr old_addr, Addr new_addr,
     return new_id;
 }
 
+std::size_t
+HeapGraph::freeOverlapping(Addr addr, std::uint64_t size,
+                          Addr exclude)
+{
+    std::vector<Addr> doomed;
+    // The object owning the range's first byte may start before it.
+    auto it = by_addr_.upper_bound(addr);
+    if (it != by_addr_.begin()) {
+        auto prev = std::prev(it);
+        const ObjectRecord &rec = objects_.at(prev->second);
+        if (rec.contains(addr) && prev->first != exclude)
+            doomed.push_back(prev->first);
+    }
+    for (; it != by_addr_.end() && it->first < addr + size; ++it) {
+        if (it->first != exclude)
+            doomed.push_back(it->first);
+    }
+    for (Addr start : doomed)
+        free(start);
+    return doomed.size();
+}
+
 void
 HeapGraph::write(Addr addr, Addr value)
 {

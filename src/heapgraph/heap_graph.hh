@@ -91,6 +91,18 @@ class HeapGraph
                         FnId site = kNoFunction, Tick tick = 0);
 
     /**
+     * Free every live object overlapping [addr, addr + size), except
+     * an object starting exactly at @p exclude.  Used by the
+     * address-space-reuse tolerance of live-capture replay: a real
+     * allocator handing out a range proves any object we still hold
+     * there was freed without us seeing the event.
+     *
+     * @return the number of objects freed.
+     */
+    std::size_t freeOverlapping(Addr addr, std::uint64_t size,
+                                Addr exclude = kNullAddr);
+
+    /**
      * Register a pointer-sized store of @p value at @p addr.
      * Updates at most one out-slot of the owning object: the previous
      * edge from that slot (if any) is severed, and a new edge is drawn

@@ -1,5 +1,7 @@
 #include "runtime/process.hh"
 
+#include <algorithm>
+
 #include "metrics/metric_engine.hh"
 #include "support/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -21,14 +23,26 @@ Process::onEvent(const Event &event)
 
     if (config_.instrumentationEnabled) {
         switch (event.kind) {
-          case EventKind::Alloc:
-            graph_.allocate(event.addr, event.size, call_stack_.top(),
+          case EventKind::Alloc: {
+            std::uint64_t size = event.size;
+            if (config_.tolerateAddressReuse) {
+                size = std::max<std::uint64_t>(size, 1);
+                reclaimReusedRange(event.addr, size, kNullAddr);
+            }
+            graph_.allocate(event.addr, size, call_stack_.top(),
                             tick_);
             break;
+          }
           case EventKind::Free:
             graph_.free(event.addr);
             break;
           case EventKind::Realloc:
+            if (config_.tolerateAddressReuse && event.size != 0) {
+                // The stale-object sweep must spare the source
+                // object: reallocate() itself frees (or resizes) it.
+                reclaimReusedRange(event.value, event.size,
+                                   event.addr);
+            }
             graph_.reallocate(event.addr, event.value, event.size,
                               call_stack_.top(), tick_);
             break;
@@ -95,6 +109,18 @@ void
 Process::onFnExit(FnId fn)
 {
     onEvent(Event::fnExit(fn));
+}
+
+void
+Process::reclaimReusedRange(Addr addr, std::uint64_t size,
+                            Addr exclude)
+{
+    const std::size_t reclaimed =
+        graph_.freeOverlapping(addr, size, exclude);
+    if (reclaimed != 0) {
+        reused_range_frees_ += reclaimed;
+        HEAPMD_COUNTER_ADD("runtime.address_reuse_frees", reclaimed);
+    }
 }
 
 const MetricSample &

@@ -67,6 +67,17 @@ struct ProcessConfig
      * bench).
      */
     bool instrumentationEnabled = true;
+
+    /**
+     * Tolerate the address-space reuse of real allocators when
+     * folding in live-capture traces: an Alloc over a range we still
+     * consider live implicitly frees the stale objects (their free
+     * was missed, e.g. dropped as reentrant by the capture shim),
+     * and zero-size allocations are promoted to one byte as malloc
+     * does.  Off for synthetic runs, where such an event is a logger
+     * bug and should panic.
+     */
+    bool tolerateAddressReuse = false;
 };
 
 /**
@@ -128,6 +139,15 @@ class Process
     /** Function entries observed so far. */
     std::uint64_t fnEntries() const { return fn_entries_; }
 
+    /**
+     * Stale objects implicitly freed by address-space reuse (always
+     * 0 unless tolerateAddressReuse is on).
+     */
+    std::uint64_t reusedRangeFrees() const
+    {
+        return reused_range_frees_;
+    }
+
     const ProcessConfig &config() const { return config_; }
 
     /** Register a raw-event observer (not owned; must outlive us). */
@@ -138,6 +158,8 @@ class Process
 
   private:
     void takeSample();
+    void reclaimReusedRange(Addr addr, std::uint64_t size,
+                            Addr exclude);
 
     ProcessConfig config_;
     HeapGraph graph_;
@@ -150,6 +172,7 @@ class Process
     Tick tick_ = 0;
     std::uint64_t fn_entries_ = 0;
     std::uint64_t sample_count_ = 0;
+    std::uint64_t reused_range_frees_ = 0;
 };
 
 } // namespace heapmd

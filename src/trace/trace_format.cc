@@ -66,6 +66,42 @@ getU32(std::istream &is, std::uint32_t &value)
     return true;
 }
 
+void
+putHeader(std::ostream &os, std::uint32_t flags)
+{
+    putU32(os, kMagic);
+    putU32(os, flags == 0 ? kVersion : kVersionFlags);
+    if (flags != 0)
+        putU32(os, flags);
+}
+
+bool
+readHeader(std::istream &is, Header &header, HeaderError *error)
+{
+    const auto fail = [&](HeaderError kind) {
+        if (error != nullptr)
+            *error = kind;
+        return false;
+    };
+    std::uint32_t magic = 0;
+    if (!getU32(is, magic))
+        return fail(HeaderError::Truncated);
+    if (magic != kMagic)
+        return fail(HeaderError::BadMagic);
+    if (!getU32(is, header.version))
+        return fail(HeaderError::Truncated);
+    if (header.version != kVersion && header.version != kVersionFlags)
+        return fail(HeaderError::BadVersion);
+    header.flags = 0;
+    if (header.version == kVersionFlags &&
+        !getU32(is, header.flags)) {
+        return fail(HeaderError::Truncated);
+    }
+    if (error != nullptr)
+        *error = HeaderError::None;
+    return true;
+}
+
 } // namespace trace
 
 } // namespace heapmd

@@ -3,7 +3,15 @@
  * On-disk format of HeapMD event traces.
  *
  * Layout:
- *   magic "HMDT" | u32 version | event* | 0xFF | function table
+ *   magic "HMDT" | u32 version | [u32 flags] | event* | 0xFF
+ *   | function table
+ *
+ * Version 1 headers are magic + version; version 2 headers append a
+ * u32 flags word.  The only flag so far is capture provenance: the
+ * trace was recorded by the live-capture shim from a real process,
+ * so a missing footer means the process was killed mid-run, not that
+ * the artifact is corrupt (the trace linter downgrades the
+ * truncation rules accordingly).
  *
  * Events are encoded as a one-byte kind tag followed by the kind's
  * fields as LEB128 varints.  The function table (names interned during
@@ -27,11 +35,58 @@ namespace trace
 /** File magic, little-endian "HMDT". */
 inline constexpr std::uint32_t kMagic = 0x54444d48u;
 
-/** Current format version. */
+/** Current format version (header without a flags word). */
 inline constexpr std::uint32_t kVersion = 1;
+
+/** Format version whose header carries a u32 flags word. */
+inline constexpr std::uint32_t kVersionFlags = 2;
+
+/** Header flag: recorded live by the allocator-interposition shim. */
+inline constexpr std::uint32_t kFlagCaptureProvenance = 1u << 0;
 
 /** Footer marker byte terminating the event stream. */
 inline constexpr std::uint8_t kFooterMarker = 0xFF;
+
+/** Decoded trace header. */
+struct Header
+{
+    std::uint32_t version = kVersion;
+    std::uint32_t flags = 0;
+
+    bool captureProvenance() const
+    {
+        return (flags & kFlagCaptureProvenance) != 0;
+    }
+
+    /** Header size in bytes (8 for v1, 12 for v2). */
+    std::uint64_t byteSize() const
+    {
+        return version >= kVersionFlags ? 12 : 8;
+    }
+};
+
+/** Why a readHeader() call failed. */
+enum class HeaderError
+{
+    None,       //!< decode succeeded
+    Truncated,  //!< stream ended inside the header
+    BadMagic,   //!< first four bytes are not "HMDT"
+    BadVersion, //!< version is neither kVersion nor kVersionFlags
+};
+
+/**
+ * Write a trace header.  Zero @p flags emits the compact version-1
+ * header; any flag promotes the header to version 2.
+ */
+void putHeader(std::ostream &os, std::uint32_t flags = 0);
+
+/**
+ * Read and validate a trace header (either version).
+ * @return false on malformed input, with the failure kind in
+ *         @p error when non-null.
+ */
+bool readHeader(std::istream &is, Header &header,
+                HeaderError *error = nullptr);
 
 /**
  * Longest legal LEB128 encoding of a 64-bit value.  Encodings using

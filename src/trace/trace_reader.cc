@@ -40,16 +40,25 @@ varintErrorText(trace::VarintError error)
 TraceReader::TraceReader(std::istream &is)
     : is_(is)
 {
-    std::uint32_t magic = 0, version = 0;
-    if (!trace::getU32(is_, magic) || magic != trace::kMagic)
-        HEAPMD_FATAL("not a HeapMD trace (bad magic) "
-                     "[trace.bad-magic]");
-    if (!trace::getU32(is_, version))
-        HEAPMD_FATAL("truncated trace header [trace.bad-version]");
-    if (version != trace::kVersion)
-        HEAPMD_FATAL("unsupported trace version ", version,
-                     " (this build reads version ", trace::kVersion,
-                     ") [trace.bad-version]");
+    trace::HeaderError error = trace::HeaderError::None;
+    if (!trace::readHeader(is_, header_, &error)) {
+        switch (error) {
+          case trace::HeaderError::BadMagic:
+            HEAPMD_FATAL("not a HeapMD trace (bad magic) "
+                         "[trace.bad-magic]");
+          case trace::HeaderError::BadVersion:
+            HEAPMD_FATAL("unsupported trace version ",
+                         header_.version,
+                         " (this build reads versions ",
+                         trace::kVersion, " and ",
+                         trace::kVersionFlags,
+                         ") [trace.bad-version]");
+          case trace::HeaderError::Truncated:
+          case trace::HeaderError::None:
+            HEAPMD_FATAL(
+                "truncated trace header [trace.bad-version]");
+        }
+    }
 }
 
 void

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "runtime/events.hh"
+#include "trace/trace_format.hh"
 
 namespace heapmd
 {
@@ -56,10 +57,24 @@ class TraceReader
     /** Events decoded so far. */
     std::uint64_t eventCount() const { return events_; }
 
+    /** The decoded header (version, flags). */
+    const trace::Header &header() const { return header_; }
+
+    /**
+     * True when the header declares live-capture provenance: the
+     * trace was recorded from a real process by the interposition
+     * shim, so a truncated stream means the process died mid-run.
+     */
+    bool captureProvenance() const
+    {
+        return header_.captureProvenance();
+    }
+
   private:
     void readFooter();
     void fail(std::string message);
 
+    trace::Header header_;
     std::istream &is_;
     std::vector<std::string> names_;
     std::string error_;

@@ -1,5 +1,7 @@
 #include "trace/trace_writer.hh"
 
+#include <utility>
+
 #include "support/logging.hh"
 #include "trace/trace_format.hh"
 
@@ -7,11 +9,13 @@ namespace heapmd
 {
 
 TraceWriter::TraceWriter(std::ostream &os,
-                         const FunctionRegistry &registry)
-    : os_(os), registry_(registry)
+                         const FunctionRegistry &registry,
+                         TraceWriterOptions options)
+    : os_(os), registry_(registry), options_(std::move(options))
 {
-    trace::putU32(os_, trace::kMagic);
-    trace::putU32(os_, trace::kVersion);
+    trace::putHeader(os_, options_.captureProvenance
+                              ? trace::kFlagCaptureProvenance
+                              : 0);
 }
 
 void
@@ -65,6 +69,21 @@ TraceWriter::finish()
                   static_cast<std::streamsize>(name.size()));
     }
     os_.flush();
+}
+
+void
+TraceWriter::flush()
+{
+    os_.flush();
+    if (options_.syncHook)
+        options_.syncHook();
+}
+
+void
+TraceWriter::finalize()
+{
+    finish();
+    flush();
 }
 
 } // namespace heapmd

@@ -6,6 +6,7 @@
 #ifndef HEAPMD_TRACE_TRACE_WRITER_HH
 #define HEAPMD_TRACE_TRACE_WRITER_HH
 
+#include <functional>
 #include <ostream>
 
 #include "runtime/process.hh"
@@ -13,11 +14,37 @@
 namespace heapmd
 {
 
+/** Construction-time options of a TraceWriter. */
+struct TraceWriterOptions
+{
+    /**
+     * Declare capture provenance in the header: the trace is being
+     * recorded live from a real process by the interposition shim,
+     * so consumers treat a missing footer as a killed process rather
+     * than a corrupt artifact.  Emits a version-2 header.
+     */
+    bool captureProvenance = false;
+
+    /**
+     * Durability hook invoked after every flush(); the live-capture
+     * sink uses it to fsync the underlying file descriptor so a
+     * crashed or SIGKILL'd child still leaves the flushed prefix on
+     * disk.  May be empty.
+     */
+    std::function<void()> syncHook;
+};
+
 /**
  * Records the instrumentation event stream to an ostream in the
  * format of trace_format.hh.  Register it as an EventObserver on the
  * monitored Process; call finish() once the run completes to append
  * the function-name footer.
+ *
+ * Durability: flush() pushes the buffered prefix to the stream (and
+ * through the options' syncHook, to disk) without terminating the
+ * stream -- everything written so far is then a readable, truncated
+ * trace.  finalize() is finish() + flush(): the form the live-capture
+ * shim registers via atexit so even an _exit()ing child finalizes.
  */
 class TraceWriter : public EventObserver
 {
@@ -25,8 +52,10 @@ class TraceWriter : public EventObserver
     /**
      * @param os       destination stream (binary); must outlive us.
      * @param registry registry whose names the footer will carry.
+     * @param options  provenance flag and durability hook.
      */
-    TraceWriter(std::ostream &os, const FunctionRegistry &registry);
+    TraceWriter(std::ostream &os, const FunctionRegistry &registry,
+                TraceWriterOptions options = {});
 
     /** Append one event to the stream. */
     void onEvent(const Event &event, Tick tick) override;
@@ -37,12 +66,26 @@ class TraceWriter : public EventObserver
      */
     void finish();
 
+    /**
+     * Push buffered bytes to the stream and run the durability hook.
+     * Safe at any point: the flushed prefix is a readable (truncated
+     * but lintable) trace.
+     */
+    void flush();
+
+    /** finish() + flush(): the atexit-safe terminal operation. */
+    void finalize();
+
     /** Events written so far. */
     std::uint64_t eventCount() const { return events_; }
+
+    /** True once finish()/finalize() wrote the footer. */
+    bool finished() const { return finished_; }
 
   private:
     std::ostream &os_;
     const FunctionRegistry &registry_;
+    TraceWriterOptions options_;
     std::uint64_t events_ = 0;
     bool finished_ = false;
 };

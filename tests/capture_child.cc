@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Workload binary run under the capture shim by capture_test.
+ *
+ * No heapmd dependencies: this is a stand-in for an arbitrary real
+ * process.  The mode argument selects a workload:
+ *
+ *   basic  mixed allocator traffic through every interposed entry
+ *          point, fully freed, clean exit
+ *   leak   build a linked list, traverse it, exit without freeing
+ *          (the shim's final scan must recover the chain as edges)
+ *   storm  several threads hammering malloc/free/realloc
+ *   exit   allocate, then _exit(2) -- no atexit, truncated trace
+ *   fail   allocate briefly, exit 3
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace
+{
+
+struct Node
+{
+    Node *next;
+    std::uint64_t payload;
+};
+
+/**
+ * Build an @p count long singly-linked list.  The traversal checksum
+ * is printed so the link stores are observable behavior the compiler
+ * must keep.
+ */
+Node *
+buildList(int count)
+{
+    Node *head = nullptr;
+    for (int i = 0; i < count; ++i) {
+        Node *node = static_cast<Node *>(std::malloc(sizeof(Node)));
+        if (node == nullptr)
+            std::abort();
+        node->next = head;
+        node->payload = static_cast<std::uint64_t>(i);
+        head = node;
+    }
+    std::uint64_t sum = 0;
+    for (const Node *it = head; it != nullptr; it = it->next)
+        sum += it->payload;
+    std::printf("checksum %llu\n",
+                static_cast<unsigned long long>(sum));
+    return head;
+}
+
+void
+freeList(Node *head)
+{
+    while (head != nullptr) {
+        Node *next = head->next;
+        std::free(head);
+        head = next;
+    }
+}
+
+int
+runBasic()
+{
+    Node *list = buildList(200);
+
+    void *m = std::malloc(100);
+    void *c = std::calloc(16, 8);
+    void *r = std::realloc(nullptr, 64);
+    r = std::realloc(r, 256); // likely moves
+    void *a = ::aligned_alloc(64, 128);
+    void *p = nullptr;
+    if (::posix_memalign(&p, 32, 96) != 0)
+        return 1;
+    // Touch everything so none of it can be elided.
+    std::memset(m, 1, 100);
+    std::memset(c, 2, 128);
+    std::memset(r, 3, 256);
+    std::memset(a, 4, 128);
+    std::memset(p, 5, 96);
+    std::free(m);
+    std::free(c);
+    std::free(r);
+    std::free(a);
+    std::free(p);
+
+    freeList(list);
+    return 0;
+}
+
+int
+runLeak()
+{
+    Node *list = buildList(128);
+    (void)list; // deliberately leaked: the final scan must see it
+    return 0;
+}
+
+int
+runStorm()
+{
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            std::uint64_t state = 0x9e3779b9u * (t + 1);
+            void *held[8] = {};
+            for (int i = 0; i < kIterations; ++i) {
+                state = state * 6364136223846793005ull + 1442695040888963407ull;
+                const std::size_t size = 16 + (state >> 33) % 240;
+                const int slot = static_cast<int>(state % 8);
+                if (held[slot] != nullptr && (state & 0x100) != 0) {
+                    held[slot] = std::realloc(held[slot], size);
+                } else {
+                    std::free(held[slot]);
+                    held[slot] = std::malloc(size);
+                }
+                if (held[slot] != nullptr)
+                    std::memset(held[slot], i & 0xff, size);
+            }
+            for (void *ptr : held)
+                std::free(ptr);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    return 0;
+}
+
+int
+runExit()
+{
+    Node *list = buildList(32);
+    (void)list;
+    ::_exit(2); // skips atexit: the shim must leave a readable prefix
+}
+
+int
+runFail()
+{
+    void *block = std::malloc(48);
+    std::memset(block, 6, 48);
+    std::free(block);
+    return 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string mode = argc > 1 ? argv[1] : "basic";
+    if (mode == "basic")
+        return runBasic();
+    if (mode == "leak")
+        return runLeak();
+    if (mode == "storm")
+        return runStorm();
+    if (mode == "exit")
+        return runExit();
+    if (mode == "fail")
+        return runFail();
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 64;
+}

@@ -138,6 +138,77 @@ TEST(TraceReaderTest, TruncatedStreamFlagsMalformed)
     EXPECT_TRUE(reader.malformed());
 }
 
+TEST(TraceWriterDurabilityTest, FlushLeavesReadableTruncatedTrace)
+{
+    FunctionRegistry registry;
+    std::stringstream ss;
+    int syncs = 0;
+    TraceWriter writer(
+        ss, registry,
+        TraceWriterOptions{false, [&syncs] { ++syncs; }});
+    writer.onEvent(Event::alloc(0x1000, 64), 1);
+    writer.onEvent(Event::write(0x1000, 0x2000), 2);
+    writer.flush();
+    EXPECT_EQ(syncs, 1);
+
+    // The flushed prefix is a readable trace: both events decode,
+    // then the reader reports truncation instead of corruption.
+    std::stringstream prefix(ss.str());
+    TraceReader reader(prefix);
+    Event e;
+    EXPECT_TRUE(reader.next(e));
+    EXPECT_EQ(e, Event::alloc(0x1000, 64));
+    EXPECT_TRUE(reader.next(e));
+    EXPECT_EQ(e, Event::write(0x1000, 0x2000));
+    EXPECT_FALSE(reader.next(e));
+    EXPECT_TRUE(reader.malformed());
+}
+
+TEST(TraceWriterDurabilityTest, FinalizeIsFinishPlusFlush)
+{
+    FunctionRegistry registry;
+    registry.intern("fn");
+    std::stringstream ss;
+    int syncs = 0;
+    TraceWriter writer(
+        ss, registry,
+        TraceWriterOptions{false, [&syncs] { ++syncs; }});
+    writer.onEvent(Event::fnEnter(0), 1);
+    writer.finalize();
+    EXPECT_TRUE(writer.finished());
+    EXPECT_GE(syncs, 1);
+    writer.finalize(); // idempotent
+    EXPECT_TRUE(writer.finished());
+
+    std::stringstream whole(ss.str());
+    TraceReader reader(whole);
+    Event e;
+    EXPECT_TRUE(reader.next(e));
+    EXPECT_FALSE(reader.next(e));
+    EXPECT_FALSE(reader.malformed());
+    ASSERT_EQ(reader.functionNames().size(), 1u);
+    EXPECT_EQ(reader.functionNames()[0], "fn");
+}
+
+TEST(TraceWriterDurabilityTest, CaptureProvenanceHeaderRoundTrip)
+{
+    FunctionRegistry registry;
+
+    std::stringstream live;
+    TraceWriterOptions options;
+    options.captureProvenance = true;
+    TraceWriter live_writer(live, registry, options);
+    live_writer.finish();
+    TraceReader live_reader(live);
+    EXPECT_TRUE(live_reader.captureProvenance());
+
+    std::stringstream synth;
+    TraceWriter synth_writer(synth, registry);
+    synth_writer.finish();
+    TraceReader synth_reader(synth);
+    EXPECT_FALSE(synth_reader.captureProvenance());
+}
+
 TEST(TraceReplayTest, ReplayReproducesProcessState)
 {
     // Drive a small workload through a recorded process.

@@ -8,6 +8,8 @@
  *   inspect                print a saved model
  *   check                  check one input against a saved model
  *   record                 record an instrumented run to a trace
+ *   capture                record a *real* process via the preloaded
+ *                          allocator-interposition shim
  *   replay                 post-mortem: replay a trace under a model
  *   diff                   compare two models (program evolution)
  *   snapshot               dump the final heap-graph of a run
@@ -35,6 +37,7 @@
  *   heapmd check --app Multimedia --model mm.model --seed 404 \
  *                --fault typo-leak --rate 1.0
  *   heapmd record --app gzip --seed 7 --out run.trace
+ *   heapmd capture --out live.trace -- ./server --port 8080
  *   heapmd replay --trace run.trace --model gzip.model
  *   heapmd diff --model v1.model --model-b v2.model
  *   heapmd snapshot --app gzip --seed 7 --out run.graph
@@ -69,6 +72,10 @@
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 
+#if defined(HEAPMD_HAVE_CAPTURE)
+#include "capture/capture_session.hh"
+#endif
+
 using namespace heapmd;
 
 namespace
@@ -79,6 +86,9 @@ const char *g_argv0 = "heapmd";
 
 /** The whole invocation joined with spaces, for run manifests. */
 std::string g_command_line;
+
+/** For `capture`: everything after the `--` separator. */
+std::vector<std::string> g_capture_argv;
 
 /** Exit status for "the tool worked and found something" (README). */
 constexpr int kExitFindings = 3;
@@ -95,6 +105,9 @@ printUsage(std::FILE *to)
         "  train   --app NAME [--inputs N=25] [--seed S=1]\n"
         "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
         "          [--local 0|1] [--out FILE] [--manifest FILE]\n"
+        "          or: --trace FILE [--trace FILE ...] [--name NAME]\n"
+        "          [--no-audit 1] (train from recorded/captured\n"
+        "          traces instead of synthetic apps)\n"
         "  inspect --model FILE\n"
         "  check   --app NAME --model FILE [--seed S=100]\n"
         "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
@@ -103,9 +116,19 @@ printUsage(std::FILE *to)
         "          [--manifest FILE]\n"
         "  record  --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
+        "  capture [--out FILE=capture.trace] [--frq N=10000]\n"
+        "          [--lib SHIM.so] [--train-out FILE]\n"
+        "          [--check MODEL] [--bundle-dir DIR]\n"
+        "          [--manifest FILE] [--verbose 1]\n"
+        "          -- <command> [args...]\n"
+        "          (LD_PRELOADs the allocator shim into the command\n"
+        "           and records a live trace; --frq is the\n"
+        "           conservative-scan period in allocation events)\n"
         "  replay  --trace FILE --model FILE [--frq N=300]\n"
         "          [--no-audit 1] [--bundle-dir DIR]\n"
         "          [--manifest FILE]\n"
+        "          (capture-provenance traces default to --frq 1 and\n"
+        "           tolerate allocator address reuse)\n"
         "  diff    --model FILE --model-b FILE\n"
         "  snapshot --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
@@ -406,9 +429,119 @@ cmdListApps()
     return 0;
 }
 
+/** What one trace replay yields for model training / manifests. */
+struct TraceRunOutcome
+{
+    MetricSeries series;
+    HeapGraph::Stats graphStats;
+    std::uint64_t liveBlocks = 0;
+    Tick finalTick = 0;
+    std::uint64_t events = 0;
+    std::uint64_t reusedRangeFrees = 0;
+    bool captureProvenance = false;
+    std::vector<std::string> functionNames;
+};
+
+/**
+ * Replay one trace into a fresh Process and collect its metrics.
+ *
+ * @p frq 0 means auto: capture-provenance traces sample at every
+ * scan-marker function entry (the shim emits exactly one marker per
+ * scan pass), synthetic traces keep the replay default of 300.
+ * Capture traces also tolerate allocator address reuse (a Free the
+ * shim missed shows up as an Alloc over a live range).
+ */
+TraceRunOutcome
+replayTraceForMetrics(const std::string &path, std::uint64_t frq)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        HEAPMD_FATAL("cannot open trace '", path, "'");
+    TraceReader reader(in);
+
+    ProcessConfig pcfg;
+    pcfg.metricFrequency =
+        frq != 0 ? frq : (reader.captureProvenance() ? 1 : 300);
+    pcfg.tolerateAddressReuse = reader.captureProvenance();
+    Process process(pcfg);
+
+    TraceRunOutcome out;
+    out.events = replayTrace(reader, process);
+    out.captureProvenance = reader.captureProvenance();
+    out.series = process.series();
+    out.series.label = "trace:" + path;
+    out.graphStats = process.graph().stats();
+    out.liveBlocks = process.graph().vertexCount();
+    out.finalTick = process.now();
+    out.reusedRangeFrees = process.reusedRangeFrees();
+    out.functionNames = reader.functionNames();
+    return out;
+}
+
+/**
+ * `train --trace FILE [--trace ...]`: build a model from recorded or
+ * captured traces instead of synthetic app runs.
+ */
+int
+cmdTrainFromTraces(const Args &args)
+{
+    const HeapMDConfig cfg = configFrom(args);
+    MetricSummarizer summarizer(cfg.summarizer);
+    const std::vector<std::string> traces = args.all("trace");
+    bool any_capture = false;
+    for (const std::string &path : traces) {
+        if (args.num("no-audit", 0) == 0)
+            preflightTrace(path);
+        TraceRunOutcome run = replayTraceForMetrics(
+            path, args.has("frq") ? args.num("frq", 300) : 0);
+        std::printf("replayed %s: %llu events, %zu samples%s\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(run.events),
+                    run.series.samples().size(),
+                    run.captureProvenance ? " (live capture)" : "");
+        any_capture = any_capture || run.captureProvenance;
+        summarizer.addRun(run.series);
+    }
+
+    const std::string name = args.has("name")
+        ? args.str("name")
+        : std::filesystem::path(traces.front()).stem().string();
+    const HeapModel model = summarizer.buildModel(name);
+    printModel(model);
+    for (std::size_t idx : summarizer.suspectTrainingRuns(model))
+        std::printf("  suspect training trace: #%zu\n", idx);
+
+    if (args.has("out")) {
+        std::ofstream out(args.str("out"));
+        if (!out)
+            HEAPMD_FATAL("cannot write '", args.str("out"), "'");
+        model.save(out);
+        std::printf("model written to %s\n", args.str("out").c_str());
+    }
+    if (args.has("manifest")) {
+        diag::RunManifest manifest;
+        manifest.command = "train";
+        manifest.commandLine = g_command_line;
+        manifest.program = name;
+        fillManifestConfig(manifest, args, 1);
+        for (const std::string &path : traces)
+            diag::addManifestInput(manifest, "trace", path);
+        if (args.has("out"))
+            diag::addManifestInput(manifest, "model-out",
+                                   args.str("out"));
+        writeManifest(manifest, args.str("manifest"));
+    }
+    return 0;
+}
+
 int
 cmdTrain(const Args &args)
 {
+    if (args.has("trace")) {
+        if (args.has("app"))
+            badInvocation("train takes --app or --trace, not both");
+        return cmdTrainFromTraces(args);
+    }
     const HeapMD tool(configFrom(args));
     auto app = makeApp(args.str("app"));
     const std::uint64_t first_seed = args.num("seed", 1);
@@ -526,10 +659,17 @@ cmdReplay(const Args &args)
     if (!in)
         HEAPMD_FATAL("cannot open trace '", args.str("trace"), "'");
 
+    TraceReader reader(in);
+    if (reader.captureProvenance()) {
+        // Live-capture traces sample at the shim's scan markers and
+        // see real allocator address reuse.
+        if (!args.has("frq"))
+            cfg.process.metricFrequency = 1;
+        cfg.process.tolerateAddressReuse = true;
+    }
     Process process(cfg.process);
     ExecutionChecker checker(model);
     checker.attach(process);
-    TraceReader reader(in);
     const auto wall_start = std::chrono::steady_clock::now();
     const std::uint64_t events = replayTrace(reader, process);
     const CheckResult result = checker.finalize(process);
@@ -569,6 +709,166 @@ cmdReplay(const Args &args)
         writeManifest(manifest, args.str("manifest"));
     }
     return result.anomalous() ? kExitFindings : 0;
+}
+
+#if defined(HEAPMD_HAVE_CAPTURE)
+
+/**
+ * Chained `capture --check MODEL`: replay the fresh capture trace
+ * under the anomaly detector.  Returns the command exit status
+ * contribution (0 clean, 3 findings).
+ */
+int
+checkCapturedTrace(const std::string &trace_path,
+                   const std::string &model_path, const Args &args)
+{
+    preflightModel(model_path);
+    const HeapModel model = loadModel(model_path);
+
+    std::ifstream in(trace_path, std::ios::binary);
+    if (!in)
+        HEAPMD_FATAL("cannot open trace '", trace_path, "'");
+    TraceReader reader(in);
+
+    ProcessConfig pcfg;
+    pcfg.metricFrequency = 1; // one sample per shim scan marker
+    pcfg.tolerateAddressReuse = true;
+    Process process(pcfg);
+    ExecutionChecker checker(model);
+    checker.attach(process);
+    const std::uint64_t events = replayTrace(reader, process);
+    const CheckResult result = checker.finalize(process);
+
+    std::printf("checked capture (%llu events): %zu report(s) over "
+                "%llu samples\n",
+                static_cast<unsigned long long>(events),
+                result.reports.size(),
+                static_cast<unsigned long long>(
+                    result.samplesChecked));
+    for (const BugReport &report : result.reports)
+        std::printf("\n%s",
+                    report.describe(process.registry()).c_str());
+    if (args.has("bundle-dir"))
+        writeBundles(args.str("bundle-dir"), result.reports,
+                     process.registry(), process.series());
+    return result.anomalous() ? kExitFindings : 0;
+}
+
+#endif // HEAPMD_HAVE_CAPTURE
+
+int
+cmdCapture(const Args &args)
+{
+#if !defined(HEAPMD_HAVE_CAPTURE)
+    (void)args;
+    HEAPMD_FATAL(
+        "this build has no live-capture support (configure with "
+        "-DHEAPMD_BUILD_CAPTURE=ON on a non-sanitizer UNIX build)");
+#else
+    capture::SessionOptions options;
+    options.tracePath = args.str("out", "capture.trace");
+    options.scanFrequency =
+        args.num("frq", capture::kDefaultScanFrequency);
+    if (args.has("lib"))
+        options.shimPath = args.str("lib");
+    options.verbose = args.num("verbose", 0) != 0;
+
+    capture::SessionResult session;
+    std::string error;
+    if (!capture::runCapture(g_capture_argv, options, session,
+                             error))
+        HEAPMD_FATAL("capture failed: ", error);
+
+    const bool child_ok = session.exited && session.exitCode == 0;
+    if (session.exited)
+        std::printf("captured '%s' (exit status %d): %llu events, "
+                    "%llu scan passes -> %s\n",
+                    g_capture_argv.front().c_str(), session.exitCode,
+                    static_cast<unsigned long long>(
+                        session.counters["capture.events_emitted"]),
+                    static_cast<unsigned long long>(
+                        session.counters["capture.scan_passes"]),
+                    session.tracePath.c_str());
+    else
+        std::printf("captured '%s' (killed by signal %d): %llu "
+                    "events -> %s\n",
+                    g_capture_argv.front().c_str(),
+                    session.termSignal,
+                    static_cast<unsigned long long>(
+                        session.counters["capture.events_emitted"]),
+                    session.tracePath.c_str());
+
+    // Audit the fresh trace against the static rule catalog.  The
+    // capture-provenance header downgrades truncation findings (a
+    // killed child) to warnings; anything error-severity here is a
+    // shim bug and must fail loudly.
+    analysis::Report audit;
+    const analysis::TraceLintStats lint_stats =
+        analysis::lintTraceFile(session.tracePath, audit);
+    if (!audit.findings().empty())
+        std::fprintf(stderr, "audit of trace '%s':\n%s",
+                     session.tracePath.c_str(),
+                     audit.describe().c_str());
+    if (!audit.clean())
+        HEAPMD_FATAL("captured trace '", session.tracePath,
+                     "' failed its audit");
+    std::printf("trace audit clean: %llu bytes, %llu events\n",
+                static_cast<unsigned long long>(lint_stats.bytes),
+                static_cast<unsigned long long>(lint_stats.events));
+
+    int status = 0;
+    if (args.has("train-out")) {
+        const TraceRunOutcome run =
+            replayTraceForMetrics(session.tracePath, 0);
+        MetricSummarizer summarizer(configFrom(args).summarizer);
+        summarizer.addRun(run.series);
+        const HeapModel model = summarizer.buildModel(
+            std::filesystem::path(g_capture_argv.front())
+                .filename()
+                .string());
+        printModel(model);
+        std::ofstream out(args.str("train-out"));
+        if (!out)
+            HEAPMD_FATAL("cannot write '", args.str("train-out"),
+                         "'");
+        model.save(out);
+        std::printf("model written to %s\n",
+                    args.str("train-out").c_str());
+    }
+    if (args.has("check"))
+        status = checkCapturedTrace(session.tracePath,
+                                    args.str("check"), args);
+
+    if (args.has("manifest")) {
+        diag::RunManifest manifest;
+        manifest.command = "capture";
+        manifest.commandLine = g_command_line;
+        manifest.program = g_capture_argv.front();
+        manifest.metricFrequency = options.scanFrequency;
+        diag::addManifestInput(manifest, "trace", session.tracePath);
+        if (args.has("check"))
+            diag::addManifestInput(manifest, "model",
+                                   args.str("check"));
+        if (args.has("train-out"))
+            diag::addManifestInput(manifest, "model-out",
+                                   args.str("train-out"));
+        // capture.* counters were merged from the sidecar, so the
+        // manifest's counter snapshot records the child's work too.
+        writeManifest(manifest, args.str("manifest"));
+    }
+
+    if (!child_ok) {
+        std::fprintf(stderr,
+                     "%s: captured command failed (%s %d); its trace "
+                     "was still recorded\n",
+                     g_argv0,
+                     session.exited ? "exit status" : "signal",
+                     session.exited ? session.exitCode
+                                    : session.termSignal);
+        return 1;
+    }
+    return status;
+#endif // HEAPMD_HAVE_CAPTURE
 }
 
 int
@@ -786,7 +1086,7 @@ commandTable()
         {"train",
          {cmdTrain,
           {"app", "inputs", "seed", "version", "scale", "frq", "local",
-           "out", "manifest"}}},
+           "out", "manifest", "trace", "name", "no-audit"}}},
         {"inspect", {cmdInspect, {"model"}}},
         {"check",
          {cmdCheck,
@@ -797,6 +1097,10 @@ commandTable()
          {cmdRecord,
           {"app", "out", "seed", "version", "scale", "frq", "fault",
            "rate", "budget"}}},
+        {"capture",
+         {cmdCapture,
+          {"out", "frq", "lib", "check", "train-out", "bundle-dir",
+           "manifest", "verbose", "local"}}},
         {"replay",
          {cmdReplay,
           {"trace", "model", "frq", "no-audit", "bundle-dir",
@@ -857,7 +1161,28 @@ main(int argc, char **argv)
     if (it == table.end())
         badInvocation("unknown command '" + command + "'");
 
-    const Args args(argc, argv);
+    // `capture` ends its flags at `--`; everything after is the
+    // command to run and must not reach the flag parser.
+    int flags_end = argc;
+    if (command == "capture") {
+        for (int i = 2; i < argc; ++i) {
+            if (std::string(argv[i]) == "--") {
+                flags_end = i;
+                break;
+            }
+        }
+        if (flags_end == argc)
+            badInvocation(
+                "capture needs a '--' separator before the command "
+                "to run, e.g. `heapmd capture --out run.trace -- "
+                "./app arg1`");
+        for (int i = flags_end + 1; i < argc; ++i)
+            g_capture_argv.push_back(argv[i]);
+        if (g_capture_argv.empty())
+            badInvocation("capture: no command follows '--'");
+    }
+
+    const Args args(flags_end, argv);
     args.checkAllowed(command, it->second.flags);
 
     const bool tracing =
