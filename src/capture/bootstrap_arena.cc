@@ -43,6 +43,16 @@ BootstrapArena::contains(const void *ptr) const
     return p >= base_ && p < base_ + capacity_;
 }
 
+std::size_t
+BootstrapArena::bytesBeyond(const void *ptr) const
+{
+    const char *p = static_cast<const char *>(ptr);
+    const char *end = base_ + used_.load(std::memory_order_acquire);
+    if (p < base_ || p >= end)
+        return 0;
+    return static_cast<std::size_t>(end - p);
+}
+
 } // namespace capture
 
 } // namespace heapmd

@@ -53,6 +53,14 @@ class BootstrapArena
     /** True when @p ptr points into the arena's buffer. */
     bool contains(const void *ptr) const;
 
+    /**
+     * Bytes between @p ptr and the end of the region handed out so
+     * far, or 0 when @p ptr is not inside that region.  The arena
+     * stores no per-block sizes, so this is the tightest safe bound
+     * when copying out of an arena block of unknown size.
+     */
+    std::size_t bytesBeyond(const void *ptr) const;
+
     /** Bytes handed out so far (including alignment padding). */
     std::size_t bytesUsed() const
     {

@@ -115,6 +115,14 @@ LiveTable::resolve(std::uintptr_t value) const
     return 0;
 }
 
+void
+LiveTable::forEachExtent(
+    const std::function<void(std::uintptr_t, std::size_t)> &fn) const
+{
+    for (const auto &[addr, size] : live_)
+        fn(addr, size);
+}
+
 ScanStats
 LiveTable::scan(const EmitFn &emit)
 {

@@ -94,6 +94,14 @@ class LiveTable
     /** Start of the live extent containing @p value, or 0. */
     std::uintptr_t resolve(std::uintptr_t value) const;
 
+    /**
+     * Visit every tracked extent as (start, size), in address order.
+     * @p fn must not mutate the table; collect starts and erase after.
+     */
+    void forEachExtent(
+        const std::function<void(std::uintptr_t, std::size_t)> &fn)
+        const;
+
     /** Live extents currently tracked. */
     std::size_t objectCount() const { return live_.size(); }
 

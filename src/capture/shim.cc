@@ -39,11 +39,13 @@
 #include <fstream>
 #include <new>
 #include <ostream>
+#include <vector>
 
 #include <dlfcn.h>
 #include <fcntl.h>
 #include <pthread.h>
 #include <sched.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include "capture/bootstrap_arena.hh"
@@ -204,6 +206,15 @@ void finalizeLocked(Sink &sink);
 void
 finalizeAtExit()
 {
+    // A forked child that exits via exit() runs this inherited
+    // handler: onForkChild disabled the sink, and the mutex was
+    // cloned in an unknown (possibly locked) state, so the disabled
+    // check must come before the lock -- locking could deadlock, and
+    // finalizing would write into the trace fd shared with the
+    // parent.  The same check makes a second explicit finalize a
+    // no-op without taking the lock.
+    if (g_sink_state.load(std::memory_order_acquire) == 2)
+        return;
     t_busy = true;
     ::pthread_mutex_lock(&g_mutex);
     if (g_sink != nullptr)
@@ -299,10 +310,64 @@ writeEvent(Sink &sink, const Event &event)
     ++sink.counters.eventsEmitted;
 }
 
+/** True when every page of [addr, addr + size) is still mapped. */
+bool
+rangeMapped(std::uintptr_t addr, std::size_t size)
+{
+    static const std::uintptr_t page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    std::uintptr_t lo = addr & ~(page - 1);
+    const std::uintptr_t hi =
+        (addr + (size > 0 ? size : 1) + page - 1) & ~(page - 1);
+    unsigned char vec[256];
+    while (lo < hi) {
+        std::uintptr_t span = hi - lo;
+        if (span > page * sizeof(vec))
+            span = page * sizeof(vec);
+        if (::mincore(reinterpret_cast<void *>(lo), span, vec) != 0 &&
+            errno == ENOMEM)
+            return false; // some page in the range is unmapped
+        lo += span;
+    }
+    return true;
+}
+
+/**
+ * Drop live-table entries whose memory is no longer mapped.
+ *
+ * The allocator entry points call the real allocator before taking
+ * the lock, so a pointer freed by another thread in that window is
+ * recorded as live with no Free ever pairing it.  For large chunks
+ * glibc munmaps on free, and a conservative scan dereferencing the
+ * stale range would fault; mincore asks "still mapped?" without
+ * touching the memory.  Each dead extent gets the Free the race
+ * swallowed, keeping the trace alloc/free-paired.  (Stale entries
+ * over still-mapped heap pages are safe to read -- conservative
+ * scanning tolerates garbage -- and are repaired by
+ * reclaimOverlapLocked when the range is recycled.)
+ */
+void
+reclaimUnmappedLocked(Sink &sink)
+{
+    std::vector<std::uintptr_t> dead;
+    sink.table.forEachExtent(
+        [&dead](std::uintptr_t addr, std::size_t size) {
+            if (!rangeMapped(addr, size))
+                dead.push_back(addr);
+        });
+    for (const std::uintptr_t addr : dead) {
+        writeEvent(sink, Event::free(addr));
+        ++sink.counters.freeEvents;
+        ++sink.counters.scanReclaimedDead;
+        sink.table.erase(addr);
+    }
+}
+
 /** One conservative pass: edge delta, scan marker, durability point. */
 void
 scanLocked(Sink &sink)
 {
+    reclaimUnmappedLocked(sink);
     const ScanStats stats = sink.table.scan(
         [&sink](std::uintptr_t slot, std::uintptr_t value) {
             writeEvent(sink, Event::write(slot, value));
@@ -441,6 +506,22 @@ recordFree(void *ptr)
     t_busy = false;
 }
 
+/**
+ * Largest safe memcpy length out of @p ptr for a realloc of @p size
+ * bytes.  The bootstrap arena stores no per-block sizes, so copies
+ * out of an arena block are clamped to the bytes the arena has
+ * actually handed out past @p ptr -- over-copying stale neighbour
+ * bytes is harmless, reading past the static buffer is not.
+ */
+std::size_t
+arenaCopyLimit(const void *ptr, std::size_t size)
+{
+    if (!g_arena.contains(ptr))
+        return size;
+    const std::size_t avail = g_arena.bytesBeyond(ptr);
+    return size < avail ? size : avail;
+}
+
 } // namespace
 
 extern "C"
@@ -464,9 +545,13 @@ calloc(std::size_t count, std::size_t size)
 {
     if (g_resolve_state.load(std::memory_order_acquire) != 2) {
         // dlsym's own calloc lands here; arena memory is static and
-        // therefore already zeroed.
-        if (t_resolving)
+        // therefore already zeroed.  Real calloc rejects count*size
+        // overflow, so the arena path must too.
+        if (t_resolving) {
+            if (count != 0 && size > SIZE_MAX / count)
+                return nullptr;
             return g_arena.allocate(count * size);
+        }
         ensureResolved();
     }
     void *ptr = g_real.calloc(count, size);
@@ -499,11 +584,12 @@ realloc(void *ptr, std::size_t size)
     if (g_resolve_state.load(std::memory_order_acquire) != 2) {
         if (t_resolving) {
             // Arena block with unknown size: realloc within the arena
-            // by over-copying up to the requested size (reads stay
-            // inside the static buffer, worst case stale bytes).
+            // by over-copying up to the bytes the arena has handed
+            // out past ptr (worst case stale neighbour bytes, never a
+            // read past the static buffer).
             void *fresh = g_arena.allocate(size);
             if (fresh != nullptr && ptr != nullptr)
-                std::memcpy(fresh, ptr, size);
+                std::memcpy(fresh, ptr, arenaCopyLimit(ptr, size));
             return fresh;
         }
         ensureResolved();
@@ -511,7 +597,8 @@ realloc(void *ptr, std::size_t size)
     if (ptr != nullptr && g_arena.contains(ptr)) {
         void *fresh = malloc(size);
         if (fresh != nullptr)
-            std::memcpy(fresh, ptr, size); // see arena note above
+            std::memcpy(fresh, ptr,
+                        arenaCopyLimit(ptr, size)); // see arena note
         return fresh;
     }
     if (!captureArmed() || t_busy) {

@@ -23,6 +23,8 @@ writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
        << "\n"
        << "capture.scan_edge_clears " << counters.scanEdgeClears
        << "\n"
+       << "capture.scan_reclaimed_dead "
+       << counters.scanReclaimedDead << "\n"
        << "capture.dropped_reentrant " << counters.droppedReentrant
        << "\n"
        << "capture.bootstrap_bytes " << counters.bootstrapBytes << "\n"

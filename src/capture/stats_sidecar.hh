@@ -39,6 +39,7 @@ struct CaptureCounters
     std::uint64_t scanWords = 0;        //!< words inspected by scans
     std::uint64_t scanEdgeWrites = 0;   //!< edge writes emitted
     std::uint64_t scanEdgeClears = 0;   //!< edge clears emitted
+    std::uint64_t scanReclaimedDead = 0; //!< unmapped extents reclaimed
     std::uint64_t droppedReentrant = 0; //!< ops unrecorded (reentrancy)
     std::uint64_t bootstrapBytes = 0;   //!< bootstrap-arena bytes used
     std::uint64_t bootstrapAllocs = 0;  //!< pre-init allocations served

@@ -12,6 +12,9 @@
  *   storm  several threads hammering malloc/free/realloc
  *   exit   allocate, then _exit(2) -- no atexit, truncated trace
  *   fail   allocate briefly, exit 3
+ *   fork   fork a child that allocates and exit(0)s -- the child's
+ *          inherited atexit finalizer must not touch the parent's
+ *          trace fd; the parent then finishes a basic workload
  */
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 namespace
@@ -155,6 +159,35 @@ runFail()
     return 3;
 }
 
+int
+runFork()
+{
+    // Allocate before forking so the shim's sink (and its atexit
+    // finalizer registration) already exist in the parent and are
+    // inherited by the child -- the case under test.
+    void *warmup = std::malloc(128);
+    std::memset(warmup, 8, 128);
+    std::free(warmup);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return 1;
+    if (pid == 0) {
+        // Allocate in the child, then exit() -- NOT _exit() -- so the
+        // inherited atexit finalizer runs.  It must go dark instead
+        // of writing scans/footer into the fd shared with the parent.
+        void *block = std::malloc(64);
+        std::memset(block, 7, 64);
+        std::free(block);
+        std::exit(0);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0)
+        return 1;
+    return runBasic();
+}
+
 } // namespace
 
 int
@@ -171,6 +204,8 @@ main(int argc, char **argv)
         return runExit();
     if (mode == "fail")
         return runFail();
+    if (mode == "fork")
+        return runFork();
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 64;
 }

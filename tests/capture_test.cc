@@ -90,6 +90,23 @@ TEST(LiveTableTest, OverlappingFindsStraddlers)
     EXPECT_TRUE(table.overlapping(0x3000, 0x100).empty());
 }
 
+TEST(LiveTableTest, ForEachExtentVisitsInAddressOrder)
+{
+    LiveTable table;
+    table.insert(0x2000, 32);
+    table.insert(0x1000, 64);
+    std::vector<std::pair<std::uintptr_t, std::size_t>> seen;
+    table.forEachExtent(
+        [&seen](std::uintptr_t addr, std::size_t size) {
+            seen.emplace_back(addr, size);
+        });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], (std::pair<std::uintptr_t, std::size_t>{
+                           0x1000, 64}));
+    EXPECT_EQ(seen[1], (std::pair<std::uintptr_t, std::size_t>{
+                           0x2000, 32}));
+}
+
 // ---------------------------------------------------------------
 // LiveTable: conservative scanning over real buffers.
 // ---------------------------------------------------------------
@@ -233,6 +250,31 @@ TEST(BootstrapArenaTest, AlignedBumpAllocation)
     // Exhaustion fails cleanly and permanently for that request.
     EXPECT_EQ(arena.allocate(4096), nullptr);
     EXPECT_NE(arena.allocate(8), nullptr);
+}
+
+TEST(BootstrapArenaTest, BytesBeyondBoundsCopiesOutOfBlocks)
+{
+    alignas(BootstrapArena::kMinAlign) static char buffer[256];
+    BootstrapArena arena(buffer, sizeof(buffer));
+
+    void *a = arena.allocate(16);
+    void *b = arena.allocate(16);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    // From a block start, the bound reaches the end of the handed-out
+    // region -- at least the block itself, never past used bytes.
+    EXPECT_GE(arena.bytesBeyond(a), 32u);
+    EXPECT_LE(arena.bytesBeyond(a), arena.bytesUsed());
+    EXPECT_GE(arena.bytesBeyond(b), 16u);
+    EXPECT_LT(arena.bytesBeyond(b), arena.bytesBeyond(a));
+
+    // Outside the handed-out region (or the buffer) the bound is 0:
+    // the untouched tail and foreign pointers are never readable.
+    EXPECT_EQ(arena.bytesBeyond(buffer + arena.bytesUsed()), 0u);
+    EXPECT_EQ(arena.bytesBeyond(buffer + sizeof(buffer)), 0u);
+    int off_arena = 0;
+    EXPECT_EQ(arena.bytesBeyond(&off_arena), 0u);
 }
 
 // ---------------------------------------------------------------
@@ -393,6 +435,34 @@ TEST_F(PreloadCaptureTest, ChildExitCodeIsReported)
     ASSERT_TRUE(result.exited);
     EXPECT_EQ(result.exitCode, 3);
     EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(PreloadCaptureTest, ForkedChildExitDoesNotCorruptTrace)
+{
+    // The grandchild inherits the shim, the trace fd, AND the atexit
+    // finalizer, then terminates via exit(): the atfork handler's
+    // disable must keep that finalizer away from the shared stream
+    // (and the cloned mutex).  A finalizer that runs anyway plants a
+    // footer mid-stream, truncating the trace at the fork point; the
+    // low scan frequency makes the parent's post-fork workload take
+    // several more passes, so the full stream is distinguishable
+    // from a truncated one by the scan/alloc totals.
+    const capture::SessionResult result = captureChild("fork",
+                                                       /*frq=*/50);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 0);
+
+    const analysis::Report report = audit();
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_EQ(report.errorCount(), 0u) << report.describe();
+    // atexit DID run (in the parent): the footer must be present.
+    EXPECT_FALSE(report.has("trace.no-footer")) << report.describe();
+
+    ASSERT_GE(result.counters.at("capture.scan_passes"), 3u);
+    Process replayed(replayConfig());
+    replay(replayed);
+    EXPECT_EQ(replayed.series().size(),
+              result.counters.at("capture.scan_passes"));
 }
 
 #endif // HEAPMD_CAPTURE_SHIM_PATH && HEAPMD_CAPTURE_CHILD_PATH
