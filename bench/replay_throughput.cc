@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Proof bench for the parallel replay pipeline + fast trace decode.
+ *
+ * Two measurements over a self-recorded corpus of traces:
+ *
+ *  1. Decode throughput (events/sec) of the three decode paths: the
+ *     per-byte istream baseline (trace_format's getVarint over an
+ *     ifstream -- the pre-optimization hot path, kept as the
+ *     comparison anchor), the buffered TraceReader over the same
+ *     stream, and the mmap-backed FileSource.
+ *  2. Trace-train wall-clock at --jobs 1/2/4/8: the full
+ *     replay-and-summarize pipeline of `heapmd train --trace`, with
+ *     a byte-compare of the resulting models proving the parallel
+ *     merge is deterministic.
+ *
+ * Emits BENCH_replay_throughput.json into the working directory
+ * (run it from the repo root) and prints the headline speedups.
+ * Speedup targets apply to multi-core CI hardware; the JSON records
+ * hardwareConcurrency so a 1-core container result is legible.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/heapmd.hh"
+#include "support/thread_pool.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
+#include "trace/trace_writer.hh"
+
+using namespace heapmd;
+
+namespace
+{
+
+constexpr std::size_t kTraceCount = 16;
+constexpr double kScale = 0.35;
+constexpr std::uint64_t kFrq = 300;
+constexpr int kDecodeReps = 3;
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double>>(d)
+        .count();
+}
+
+/** Record one synthetic run to @p path; returns its event count. */
+std::uint64_t
+recordTrace(SyntheticApp &app, std::uint64_t seed,
+            const std::string &path)
+{
+    ProcessConfig pcfg;
+    pcfg.metricFrequency = kFrq;
+    Process process(pcfg);
+    std::ofstream out(path, std::ios::binary);
+    TraceWriter writer(out, process.registry());
+    process.addEventObserver(&writer);
+    AppConfig cfg;
+    cfg.inputSeed = seed;
+    cfg.scale = kScale;
+    app.run(process, cfg);
+    writer.finish();
+    return writer.eventCount();
+}
+
+/**
+ * The pre-optimization decode loop: per-byte virtual istream calls
+ * through trace_format's getVarint, one event at a time.  Kept here
+ * (not in the library) purely as the bench baseline.
+ */
+std::uint64_t
+decodeIstreamBaseline(const std::string &path)
+{
+    // varints per event, indexed by tag (Alloc..FnExit).
+    static constexpr int kArgs[] = {2, 1, 3, 2, 1, 1, 1};
+    std::ifstream in(path, std::ios::binary);
+    trace::Header header;
+    if (!trace::readHeader(in, header))
+        return 0;
+    std::uint64_t events = 0;
+    for (;;) {
+        const int tag = in.get();
+        if (tag < 0 || tag == trace::kFooterMarker)
+            break;
+        if (tag > 6)
+            break;
+        std::uint64_t value;
+        for (int i = 0; i < kArgs[tag]; ++i) {
+            if (!trace::getVarint(in, value))
+                return events;
+        }
+        ++events;
+    }
+    // Footer: name count, then per-name length + bytes.
+    std::uint64_t count;
+    if (!trace::getVarint(in, count))
+        return events;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t len;
+        if (!trace::getVarint(in, len))
+            return events;
+        in.ignore(static_cast<std::streamsize>(len));
+    }
+    return events;
+}
+
+std::uint64_t
+decodeBuffered(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    TraceReader reader(in);
+    Event event;
+    while (reader.next(event)) {
+    }
+    return reader.eventCount();
+}
+
+std::uint64_t
+decodeMmap(const std::string &path)
+{
+    trace::FileSource source(path);
+    TraceReader reader(source);
+    Event event;
+    while (reader.next(event)) {
+    }
+    return reader.eventCount();
+}
+
+/** Best-of-reps wall time decoding the whole corpus via @p decode. */
+template <typename Fn>
+double
+timeDecode(const std::vector<std::string> &paths, Fn decode,
+           std::uint64_t expected_events)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < kDecodeReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t events = 0;
+        for (const std::string &path : paths)
+            events += decode(path);
+        const double wall =
+            seconds(std::chrono::steady_clock::now() - start);
+        if (events != expected_events) {
+            std::fprintf(stderr,
+                         "decode mismatch: %llu events, expected "
+                         "%llu\n",
+                         static_cast<unsigned long long>(events),
+                         static_cast<unsigned long long>(
+                             expected_events));
+            std::exit(1);
+        }
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+/**
+ * One `train --trace` equivalent over the corpus at the given worker
+ * count; returns the wall time and the serialized model bytes.
+ */
+double
+trainFromTraces(const std::vector<std::string> &paths, unsigned jobs,
+                std::string &model_bytes)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<MetricSeries> runs(paths.size());
+    parallelForIndexed(paths.size(), jobs, [&](std::size_t i) {
+        trace::FileSource source(paths[i]);
+        TraceReader reader(source);
+        ProcessConfig pcfg;
+        pcfg.metricFrequency = kFrq;
+        Process process(pcfg);
+        replayTrace(reader, process);
+        runs[i] = process.series();
+        runs[i].label = "trace:" + paths[i];
+    });
+    MetricSummarizer summarizer{SummarizerConfig{}};
+    for (MetricSeries &run : runs)
+        summarizer.addRun(run);
+    const HeapModel model = summarizer.buildModel("bench");
+    const double wall =
+        seconds(std::chrono::steady_clock::now() - start);
+    std::ostringstream out;
+    model.save(out);
+    model_bytes = out.str();
+    return wall;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned hw = effectiveJobs(0);
+    std::printf("replay throughput bench: %zu traces, %u hardware "
+                "thread(s)\n",
+                kTraceCount, hw);
+
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "heapmd_replay_bench";
+    std::filesystem::create_directories(dir);
+
+    auto app = makeApp("vpr");
+    std::vector<std::string> paths;
+    std::uint64_t total_events = 0;
+    std::uint64_t total_bytes = 0;
+    for (std::size_t i = 0; i < kTraceCount; ++i) {
+        std::string stem = "t";
+        stem += std::to_string(i);
+        stem += ".trace";
+        const std::string path = (dir / stem).string();
+        total_events += recordTrace(*app, 1 + i, path);
+        total_bytes += std::filesystem::file_size(path);
+        paths.push_back(path);
+    }
+    std::printf("recorded %llu events (%0.1f MiB)\n",
+                static_cast<unsigned long long>(total_events),
+                static_cast<double>(total_bytes) / (1024.0 * 1024.0));
+
+    const double istream_wall = timeDecode(
+        paths, decodeIstreamBaseline, total_events);
+    const double buffered_wall =
+        timeDecode(paths, decodeBuffered, total_events);
+    const double mmap_wall =
+        timeDecode(paths, decodeMmap, total_events);
+    const double istream_eps = total_events / istream_wall;
+    const double buffered_eps = total_events / buffered_wall;
+    const double mmap_eps = total_events / mmap_wall;
+    std::printf("decode: istream %0.2fM ev/s, buffered %0.2fM ev/s "
+                "(%0.2fx), mmap %0.2fM ev/s (%0.2fx)\n",
+                istream_eps / 1e6, buffered_eps / 1e6,
+                buffered_eps / istream_eps, mmap_eps / 1e6,
+                mmap_eps / istream_eps);
+
+    const unsigned kJobs[] = {1, 2, 4, 8};
+    double train_wall[4];
+    std::string model_bytes[4];
+    bool deterministic = true;
+    for (int i = 0; i < 4; ++i) {
+        train_wall[i] =
+            trainFromTraces(paths, kJobs[i], model_bytes[i]);
+        deterministic =
+            deterministic && model_bytes[i] == model_bytes[0];
+        std::printf("train --trace x%zu at jobs=%u: %0.3fs%s\n",
+                    kTraceCount, kJobs[i], train_wall[i],
+                    model_bytes[i] == model_bytes[0]
+                        ? ""
+                        : "  MODEL MISMATCH");
+    }
+    const double speedup = train_wall[0] / train_wall[3];
+    std::printf("train speedup jobs=8 vs jobs=1: %0.2fx on %u "
+                "hardware thread(s); models %s\n",
+                speedup, hw,
+                deterministic ? "bit-identical" : "DIVERGED");
+
+    std::FILE *json = std::fopen("BENCH_replay_throughput.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write "
+                             "BENCH_replay_throughput.json\n");
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"replay_throughput\",\n"
+        "  \"hardwareConcurrency\": %u,\n"
+        "  \"traceCount\": %zu,\n"
+        "  \"totalEvents\": %llu,\n"
+        "  \"totalBytes\": %llu,\n"
+        "  \"decode\": {\n"
+        "    \"istreamEventsPerSec\": %0.0f,\n"
+        "    \"bufferedEventsPerSec\": %0.0f,\n"
+        "    \"mmapEventsPerSec\": %0.0f,\n"
+        "    \"bufferedSpeedup\": %0.3f,\n"
+        "    \"mmapSpeedup\": %0.3f\n"
+        "  },\n"
+        "  \"train\": [\n"
+        "    {\"jobs\": 1, \"wallSeconds\": %0.4f},\n"
+        "    {\"jobs\": 2, \"wallSeconds\": %0.4f},\n"
+        "    {\"jobs\": 4, \"wallSeconds\": %0.4f},\n"
+        "    {\"jobs\": 8, \"wallSeconds\": %0.4f}\n"
+        "  ],\n"
+        "  \"trainSpeedupJobs8\": %0.3f,\n"
+        "  \"modelsDeterministic\": %s\n"
+        "}\n",
+        hw, kTraceCount,
+        static_cast<unsigned long long>(total_events),
+        static_cast<unsigned long long>(total_bytes), istream_eps,
+        buffered_eps, mmap_eps, buffered_eps / istream_eps,
+        mmap_eps / istream_eps, train_wall[0], train_wall[1],
+        train_wall[2], train_wall[3], speedup,
+        deterministic ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_replay_throughput.json\n");
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return deterministic ? 0 : 1;
+}

@@ -1,12 +1,13 @@
 #include "analysis/trace_lint.hh"
 
-#include <fstream>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "runtime/events.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace_format.hh"
+#include "trace/trace_source.hh"
 
 namespace heapmd
 {
@@ -24,7 +25,7 @@ constexpr int kMaxVarintBytes = 10;
 class Cursor
 {
   public:
-    explicit Cursor(const std::string &data)
+    explicit Cursor(std::string_view data)
         : data_(data)
     {
     }
@@ -44,7 +45,7 @@ class Cursor
     void skip(std::uint64_t n) { pos_ += n; }
 
   private:
-    const std::string &data_;
+    std::string_view data_;
     std::uint64_t pos_ = 0;
 };
 
@@ -170,7 +171,7 @@ struct Linter
     /** Header declared live-capture provenance. */
     bool capture = false;
 
-    Linter(const std::string &data, Report &rep)
+    Linter(std::string_view data, Report &rep)
         : cursor(data), report(rep)
     {
     }
@@ -482,7 +483,7 @@ Linter::run()
 } // namespace
 
 TraceLintStats
-lintTrace(const std::string &data, Report &report)
+lintTrace(std::string_view data, Report &report)
 {
     Linter linter(data, report);
     linter.stats.bytes = data.size();
@@ -504,14 +505,22 @@ lintTraceFile(const std::string &path, Report &report)
     HEAPMD_TRACE_SPAN("audit.trace");
     HEAPMD_COUNTER_INC("audit.trace_lints");
     const std::size_t before = report.findings().size();
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    // Map the file read-only and lint it in place; FileSource falls
+    // back to a buffered read when the platform cannot mmap.
+    trace::FileSource source(path);
+    if (!source.ok()) {
         report.error("trace.io",
                      "cannot open trace file '" + path + "'");
         HEAPMD_COUNTER_INC("audit.findings");
         return {};
     }
-    const TraceLintStats stats = lintTrace(in, report);
+    const std::string_view data =
+        source.size() == 0
+            ? std::string_view()
+            : std::string_view(
+                  reinterpret_cast<const char *>(source.data()),
+                  source.size());
+    const TraceLintStats stats = lintTrace(data, report);
     HEAPMD_COUNTER_ADD("audit.findings",
                        report.findings().size() - before);
     return stats;

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <istream>
 #include <string>
+#include <string_view>
 
 #include "analysis/report.hh"
 
@@ -61,18 +62,23 @@ struct TraceLintStats
 };
 
 /**
- * Lint one trace from an in-memory buffer.
+ * Lint one trace from an in-memory buffer (zero-copy: the view is
+ * only read, never retained past the call).
  *
  * Keeps scanning after recoverable findings (event-ordering
  * violations, overlong varints) and stops only when framing is lost
  * (unknown tag) or the stream ends.
  */
-TraceLintStats lintTrace(const std::string &data, Report &report);
+TraceLintStats lintTrace(std::string_view data, Report &report);
 
 /** Lint a trace read fully from @p is (binary). */
 TraceLintStats lintTrace(std::istream &is, Report &report);
 
-/** Lint the trace file at @p path. */
+/**
+ * Lint the trace file at @p path.  The file is mapped read-only
+ * (trace::FileSource) and linted in place, so pre-flighting a large
+ * trace costs no buffering copy.
+ */
 TraceLintStats lintTraceFile(const std::string &path, Report &report);
 
 } // namespace analysis

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <ctime>
 
+#include "support/thread_pool.hh"
 #include "telemetry/telemetry.hh"
 
 namespace heapmd
@@ -98,10 +99,16 @@ HeapMD::train(SyntheticApp &app,
     TrainingOutcome outcome{HeapModel{},
                             MetricSummarizer(config_.summarizer),
                             {}};
-    for (const AppConfig &input : inputs) {
-        const RunOutcome run = observe(app, input);
+    // One independent Process per input across the worker pool; the
+    // summarizer then consumes the runs in input order, so the model
+    // is bit-identical for any jobs value (1 runs inline).
+    std::vector<RunOutcome> runs(inputs.size());
+    parallelForIndexed(inputs.size(), config_.jobs,
+                       [&](std::size_t i) {
+                           runs[i] = observe(app, inputs[i]);
+                       });
+    for (const RunOutcome &run : runs)
         outcome.summarizer.addRun(run.series);
-    }
     outcome.model = outcome.summarizer.buildModel(app.name());
     outcome.suspectTrainingRuns =
         outcome.summarizer.suspectTrainingRuns(outcome.model);
@@ -132,6 +139,20 @@ HeapMD::check(SyntheticApp &app, const AppConfig &config,
     captureNames(process, outcome.run);
     outcome.check = checker.finalize(process);
     return outcome;
+}
+
+std::vector<CheckOutcome>
+HeapMD::checkMany(SyntheticApp &app,
+                  const std::vector<AppConfig> &inputs,
+                  const HeapModel &model) const
+{
+    std::vector<CheckOutcome> outcomes(inputs.size());
+    parallelForIndexed(inputs.size(), config_.jobs,
+                       [&](std::size_t i) {
+                           outcomes[i] =
+                               check(app, inputs[i], model);
+                       });
+    return outcomes;
 }
 
 std::vector<AppConfig>

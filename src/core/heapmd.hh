@@ -31,6 +31,15 @@ struct HeapMDConfig
 
     /** Execution-checker settings. */
     CheckerConfig checker;
+
+    /**
+     * Worker threads for multi-input train/check (0 = one per
+     * hardware thread, 1 = sequential).  Runs are independent -- one
+     * Process per input -- and results merge in input order, so the
+     * model and every derived artifact are bit-identical for any
+     * value.
+     */
+    unsigned jobs = 1;
 };
 
 /** Everything produced by one monitored run of a program. */
@@ -92,6 +101,15 @@ class HeapMD
      */
     CheckOutcome check(SyntheticApp &app, const AppConfig &config,
                        const HeapModel &model) const;
+
+    /**
+     * Check a batch of inputs against one model, one Process +
+     * checker per input, across config().jobs workers.  Results come
+     * back in input order regardless of the worker count.
+     */
+    std::vector<CheckOutcome>
+    checkMany(SyntheticApp &app, const std::vector<AppConfig> &inputs,
+              const HeapModel &model) const;
 
     const HeapMDConfig &config() const { return config_; }
 

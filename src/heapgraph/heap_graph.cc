@@ -1,6 +1,7 @@
 #include "heapgraph/heap_graph.hh"
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "support/logging.hh"

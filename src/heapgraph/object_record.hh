@@ -7,8 +7,8 @@
 #define HEAPMD_HEAPGRAPH_OBJECT_RECORD_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "support/small_map.hh"
 #include "support/types.hh"
 
 namespace heapmd
@@ -22,7 +22,16 @@ namespace heapmd
  * slot inside u currently stores an address within v's extent.
  * Degrees count *distinct* neighbours; multiplicities are kept so the
  * distinct counts can be maintained incrementally and exactly.
+ *
+ * The four per-object maps use SmallMap: typical degree is 0-2 by the
+ * paper's own metrics, so up to kSmallDegree entries live inline in
+ * the record (no allocation, no hashing) and only unusually connected
+ * objects spill to a hash map.  checkConsistency() compares them
+ * against std::unordered_map oracles rebuilt from scratch.
  */
+/** Inline capacity of the per-object edge maps before spilling. */
+inline constexpr std::size_t kSmallDegree = 8;
+
 struct ObjectRecord
 {
     /** Vertex identity, unique over the life of the graph. */
@@ -45,10 +54,10 @@ struct ObjectRecord
      * extent) -> target object id.  Only slots whose stored value
      * currently resolves to a live object are present.
      */
-    std::unordered_map<Addr, ObjectId> slots;
+    SmallMap<Addr, ObjectId, kSmallDegree> slots;
 
     /** Distinct out-neighbour -> number of slots targeting it. */
-    std::unordered_map<ObjectId, std::uint32_t> outNeighbors;
+    SmallMap<ObjectId, std::uint32_t, kSmallDegree> outNeighbors;
 
     /**
      * Incoming references: slot address (within some *other* live
@@ -56,10 +65,10 @@ struct ObjectRecord
      * Mirror of the sources' @c slots entries targeting this object;
      * lets free() sever in-edges without a global scan.
      */
-    std::unordered_map<Addr, ObjectId> inRefs;
+    SmallMap<Addr, ObjectId, kSmallDegree> inRefs;
 
     /** Distinct in-neighbour -> number of slots it points with. */
-    std::unordered_map<ObjectId, std::uint32_t> inNeighbors;
+    SmallMap<ObjectId, std::uint32_t, kSmallDegree> inNeighbors;
 
     /** Distinct-neighbour indegree. */
     std::size_t indegree() const { return inNeighbors.size(); }

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Small-size-optimized unordered map for the replay hot path.
+ *
+ * SmallMap<K, V, N> stores up to N entries inline in a flat array
+ * (linear scan; no heap allocation, no hashing) and spills to a
+ * std::unordered_map beyond that.  The heap-graph's per-object maps
+ * use it because typical vertex degree is 0-2 (the paper's own degree
+ * metrics), so almost every object never allocates for its edges.
+ *
+ * Semantics match the std::unordered_map subset the heap-graph uses:
+ * unique keys, unspecified iteration order, iterators stable only
+ * until the next mutation.  Once spilled, a map stays spilled (free()
+ * destroys the record soon anyway).  K and V must be cheap,
+ * default-constructible value types (the graph stores ids and
+ * counts).
+ */
+
+#ifndef HEAPMD_SUPPORT_SMALL_MAP_HH
+#define HEAPMD_SUPPORT_SMALL_MAP_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+namespace heapmd
+{
+
+template <typename K, typename V, std::size_t N = 8>
+class SmallMap
+{
+  public:
+    using Spill = std::unordered_map<K, V>;
+
+    /** Pair-of-references view an iterator dereferences to. */
+    template <bool Const>
+    struct Ref
+    {
+        const K &first;
+        std::conditional_t<Const, const V, V> &second;
+    };
+
+    /** Proxy so `it->first` / `it->second` work on a prvalue Ref. */
+    template <bool Const>
+    struct Arrow
+    {
+        Ref<Const> ref;
+        Ref<Const> *operator->() { return &ref; }
+    };
+
+    template <bool Const>
+    class Iter
+    {
+        using Owner =
+            std::conditional_t<Const, const SmallMap, SmallMap>;
+        using SpillIter =
+            std::conditional_t<Const, typename Spill::const_iterator,
+                               typename Spill::iterator>;
+
+      public:
+        Iter() = default;
+
+        Ref<Const>
+        operator*() const
+        {
+            if (owner_->spill_ == nullptr) {
+                auto &e = owner_->inline_[index_];
+                return {e.first, e.second};
+            }
+            return {spill_it_->first, spill_it_->second};
+        }
+
+        Arrow<Const> operator->() const { return {**this}; }
+
+        Iter &
+        operator++()
+        {
+            if (owner_->spill_ == nullptr)
+                ++index_;
+            else
+                ++spill_it_;
+            return *this;
+        }
+
+        bool
+        operator==(const Iter &other) const
+        {
+            if (owner_->spill_ == nullptr)
+                return index_ == other.index_;
+            return spill_it_ == other.spill_it_;
+        }
+
+        bool operator!=(const Iter &other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        friend class SmallMap;
+
+        Iter(Owner *owner, std::size_t index)
+            : owner_(owner), index_(index)
+        {
+        }
+
+        Iter(Owner *owner, SpillIter it)
+            : owner_(owner), spill_it_(it)
+        {
+        }
+
+        Owner *owner_ = nullptr;
+        std::size_t index_ = 0;
+        SpillIter spill_it_{};
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    SmallMap() = default;
+
+    SmallMap(const SmallMap &other) { copyFrom(other); }
+
+    SmallMap &
+    operator=(const SmallMap &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    SmallMap(SmallMap &&) noexcept = default;
+    SmallMap &operator=(SmallMap &&) noexcept = default;
+
+    bool
+    empty() const
+    {
+        return spill_ == nullptr ? inline_size_ == 0
+                                 : spill_->empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return spill_ == nullptr ? inline_size_ : spill_->size();
+    }
+
+    std::size_t count(const K &key) const
+    {
+        return find(key) == end() ? 0 : 1;
+    }
+
+    iterator
+    find(const K &key)
+    {
+        if (spill_ == nullptr) {
+            for (std::size_t i = 0; i < inline_size_; ++i) {
+                if (inline_[i].first == key)
+                    return iterator(this, i);
+            }
+            return end();
+        }
+        return iterator(this, spill_->find(key));
+    }
+
+    const_iterator
+    find(const K &key) const
+    {
+        if (spill_ == nullptr) {
+            for (std::size_t i = 0; i < inline_size_; ++i) {
+                if (inline_[i].first == key)
+                    return const_iterator(this, i);
+            }
+            return end();
+        }
+        return const_iterator(this, spill_->find(key));
+    }
+
+    iterator begin() { return iterBegin<false>(this); }
+    iterator end() { return iterEnd<false>(this); }
+    const_iterator begin() const { return iterBegin<true>(this); }
+    const_iterator end() const { return iterEnd<true>(this); }
+
+    /** Insert unless the key is present; true when inserted. */
+    bool
+    emplace(const K &key, const V &value)
+    {
+        if (find(key) != end())
+            return false;
+        if (spill_ == nullptr) {
+            if (inline_size_ < N) {
+                inline_[inline_size_++] = {key, value};
+                return true;
+            }
+            spillOver();
+        }
+        spill_->emplace(key, value);
+        return true;
+    }
+
+    V &
+    operator[](const K &key)
+    {
+        iterator it = find(key);
+        if (it == end()) {
+            emplace(key, V{});
+            it = find(key);
+        }
+        return it->second;
+    }
+
+    void
+    erase(iterator it)
+    {
+        if (spill_ == nullptr) {
+            // Unordered semantics: swap-with-last keeps erase O(1).
+            inline_[it.index_] = inline_[--inline_size_];
+            return;
+        }
+        spill_->erase(it.spill_it_);
+    }
+
+    std::size_t
+    erase(const K &key)
+    {
+        iterator it = find(key);
+        if (it == end())
+            return 0;
+        erase(it);
+        return 1;
+    }
+
+    /** Content equality against a std::unordered_map oracle. */
+    bool
+    equals(const Spill &other) const
+    {
+        if (size() != other.size())
+            return false;
+        for (const auto &[key, value] : other) {
+            const const_iterator it = find(key);
+            if (it == end() || it->second != value)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    template <bool Const, typename Self>
+    static Iter<Const>
+    iterBegin(Self *self)
+    {
+        if (self->spill_ == nullptr)
+            return Iter<Const>(self, std::size_t{0});
+        return Iter<Const>(self, self->spill_->begin());
+    }
+
+    template <bool Const, typename Self>
+    static Iter<Const>
+    iterEnd(Self *self)
+    {
+        if (self->spill_ == nullptr)
+            return Iter<Const>(self, self->inline_size_);
+        return Iter<Const>(self, self->spill_->end());
+    }
+
+    void
+    spillOver()
+    {
+        spill_ = std::make_unique<Spill>();
+        spill_->reserve(N * 2);
+        for (std::size_t i = 0; i < inline_size_; ++i)
+            spill_->emplace(inline_[i].first, inline_[i].second);
+        inline_size_ = 0;
+    }
+
+    void
+    copyFrom(const SmallMap &other)
+    {
+        inline_ = other.inline_;
+        inline_size_ = other.inline_size_;
+        spill_ = other.spill_ == nullptr
+                     ? nullptr
+                     : std::make_unique<Spill>(*other.spill_);
+    }
+
+    std::array<std::pair<K, V>, N> inline_{};
+    std::uint32_t inline_size_ = 0;
+    std::unique_ptr<Spill> spill_;
+};
+
+/** unordered_map oracle comparisons (checkConsistency). */
+template <typename K, typename V, std::size_t N>
+bool
+operator==(const std::unordered_map<K, V> &oracle,
+           const SmallMap<K, V, N> &map)
+{
+    return map.equals(oracle);
+}
+
+template <typename K, typename V, std::size_t N>
+bool
+operator!=(const std::unordered_map<K, V> &oracle,
+           const SmallMap<K, V, N> &map)
+{
+    return !map.equals(oracle);
+}
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_SMALL_MAP_HH

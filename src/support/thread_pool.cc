@@ -1,0 +1,74 @@
+#include "support/thread_pool.hh"
+
+namespace heapmd
+{
+
+unsigned
+effectiveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    workers = effectiveJobs(workers);
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock,
+                   [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_ready_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stopping_, and nothing left to drain
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --busy_;
+        if (queue_.empty() && busy_ == 0)
+            all_idle_.notify_all();
+    }
+}
+
+} // namespace heapmd

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fixed-size worker pool and the deterministic parallel-for used by
+ * the replay pipeline.
+ *
+ * Design (see DESIGN.md §11):
+ *  - a ThreadPool owns N worker threads and a FIFO task queue; tasks
+ *    are type-erased thunks and may run in any order across workers;
+ *  - parallelForIndexed(count, jobs, fn) is the only primitive the
+ *    pipeline builds on: every index gets its own result slot, so
+ *    callers merge results *in input order* afterwards and the output
+ *    is bit-identical regardless of the worker count;
+ *  - jobs == 1 never touches a thread: the inline fast path runs the
+ *    body sequentially on the calling thread, so single-job behavior
+ *    is byte-identical to the pre-pool pipeline;
+ *  - the first exception a body throws (ties broken by smallest
+ *    index) is captured, remaining indices are abandoned, and the
+ *    exception is rethrown on the calling thread after the join.
+ */
+
+#ifndef HEAPMD_SUPPORT_THREAD_POOL_HH
+#define HEAPMD_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace heapmd
+{
+
+/**
+ * Resolve a --jobs value: 0 means "one per hardware thread" (never
+ * less than 1); anything else passes through.
+ */
+unsigned effectiveJobs(unsigned jobs);
+
+/**
+ * A fixed-size pool of worker threads draining a FIFO task queue.
+ *
+ * The destructor waits for every queued task to finish, then joins
+ * the workers.  post() is thread-safe; wait() blocks the caller until
+ * the queue is empty and every worker is idle.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers worker-thread count; 0 means hardware size. */
+    explicit ThreadPool(unsigned workers);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; it may start on any worker immediately. */
+    void post(std::function<void()> task);
+
+    /** Block until the queue is drained and all workers are idle. */
+    void wait();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    std::size_t busy_ = 0;
+    bool stopping_ = false;
+};
+
+namespace detail
+{
+
+/** First-by-index exception capture shared by a parallel-for. */
+struct ParallelError
+{
+    std::mutex mutex;
+    std::exception_ptr exception;
+    std::size_t index = 0;
+
+    void
+    capture(std::size_t at)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (exception == nullptr || at < index) {
+            exception = std::current_exception();
+            index = at;
+        }
+    }
+};
+
+} // namespace detail
+
+/**
+ * Run fn(0) .. fn(count - 1), each exactly once, across at most
+ * @p jobs workers (0 = hardware concurrency, 1 = inline on the
+ * calling thread).  Bodies for different indices may run
+ * concurrently; the call returns only after every body finished or
+ * was abandoned because another body threw.  The first exception (by
+ * smallest index among those that threw) is rethrown here.
+ */
+template <typename Fn>
+void
+parallelForIndexed(std::size_t count, unsigned jobs, Fn &&fn)
+{
+    jobs = effectiveJobs(jobs);
+    if (count == 0)
+        return;
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    if (static_cast<std::size_t>(jobs) > count)
+        jobs = static_cast<unsigned>(count);
+
+    std::atomic<std::size_t> next{0};
+    detail::ParallelError error;
+    const auto runner = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                error.capture(i);
+                // Abandon the remaining indices: in-flight bodies
+                // finish, unclaimed ones never start.
+                next.store(count, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    ThreadPool pool(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        pool.post(runner);
+    pool.wait();
+
+    if (error.exception != nullptr)
+        std::rethrow_exception(error.exception);
+}
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_THREAD_POOL_HH

@@ -28,13 +28,9 @@ Histogram::observe(std::uint64_t value)
             break;
         }
     }
-    auto &slot = buckets_[bucket];
-    slot.store(slot.load(std::memory_order_relaxed) + 1,
-               std::memory_order_relaxed);
-    count_.store(count_.load(std::memory_order_relaxed) + 1,
-                 std::memory_order_relaxed);
-    sum_.store(sum_.load(std::memory_order_relaxed) + value,
-               std::memory_order_relaxed);
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t>

@@ -7,10 +7,12 @@
  *  - handles returned by Registry are stable for the process lifetime,
  *    so hot paths resolve a name once (static local) and then touch a
  *    single cache line per increment;
- *  - increments are lock-free relaxed atomics.  The HeapMD pipeline is
- *    single-threaded per Process, so counters use the single-writer
- *    load/add/store idiom (no LOCK prefix) while readers (snapshotAll,
- *    the stats table) see torn-free values via atomic loads;
+ *  - increments are lock-free relaxed atomic RMWs (fetch_add).  The
+ *    parallel replay pipeline runs one Process per worker thread but
+ *    all workers share the process-wide registry, so instruments must
+ *    tolerate concurrent writers; totals stay exact under --jobs > 1
+ *    and readers (snapshotAll, the stats table) see torn-free values
+ *    via atomic loads;
  *  - snapshotAll() is the only operation that takes the registry
  *    mutex; it never blocks an increment.
  *
@@ -38,15 +40,14 @@ namespace heapmd
 namespace telemetry
 {
 
-/** Monotonically increasing event count (single writer, see above). */
+/** Monotonically increasing event count (multi-writer, see above). */
 class Counter
 {
   public:
     void
     add(std::uint64_t delta)
     {
-        value_.store(value_.load(std::memory_order_relaxed) + delta,
-                     std::memory_order_relaxed);
+        value_.fetch_add(delta, std::memory_order_relaxed);
     }
 
     void increment() { add(1); }
@@ -69,8 +70,7 @@ class Gauge
     void
     add(std::int64_t delta)
     {
-        value_.store(value_.load(std::memory_order_relaxed) + delta,
-                     std::memory_order_relaxed);
+        value_.fetch_add(delta, std::memory_order_relaxed);
     }
 
     void sub(std::int64_t delta) { add(-delta); }

@@ -1,5 +1,7 @@
 #include "trace/trace_reader.hh"
 
+#include <algorithm>
+
 #include "runtime/process.hh"
 #include "support/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -10,13 +12,6 @@ namespace heapmd
 
 namespace
 {
-
-/** Current stream offset for error messages (-1 when unavailable). */
-std::int64_t
-offsetOf(std::istream &is)
-{
-    return static_cast<std::int64_t>(is.tellg());
-}
 
 /** Rule id + description of a varint decode failure. */
 std::string
@@ -37,27 +32,146 @@ varintErrorText(trace::VarintError error)
 
 } // namespace
 
-TraceReader::TraceReader(std::istream &is)
-    : is_(is)
+TraceReader::TraceReader(std::istream &is, std::size_t chunk_size)
+    : owned_(std::make_unique<trace::StreamSource>(is, chunk_size)),
+      source_(owned_.get())
 {
-    trace::HeaderError error = trace::HeaderError::None;
-    if (!trace::readHeader(is_, header_, &error)) {
-        switch (error) {
-          case trace::HeaderError::BadMagic:
-            HEAPMD_FATAL("not a HeapMD trace (bad magic) "
-                         "[trace.bad-magic]");
-          case trace::HeaderError::BadVersion:
-            HEAPMD_FATAL("unsupported trace version ",
-                         header_.version,
-                         " (this build reads versions ",
-                         trace::kVersion, " and ",
-                         trace::kVersionFlags,
-                         ") [trace.bad-version]");
-          case trace::HeaderError::Truncated:
-          case trace::HeaderError::None:
-            HEAPMD_FATAL(
-                "truncated trace header [trace.bad-version]");
+    readHeaderOrDie();
+}
+
+TraceReader::TraceReader(trace::Source &source)
+    : source_(&source)
+{
+    readHeaderOrDie();
+}
+
+TraceReader::~TraceReader()
+{
+    // Covers callers that stop decoding before the stream ends.
+    flushEventCounter();
+}
+
+void
+TraceReader::flushEventCounter()
+{
+    if (events_ != counted_) {
+        HEAPMD_COUNTER_ADD("trace.events_decoded",
+                           events_ - counted_);
+        counted_ = events_;
+    }
+}
+
+bool
+TraceReader::refill()
+{
+    base_ += static_cast<std::uint64_t>(cur_ - chunk_);
+    const unsigned char *data = nullptr;
+    const std::size_t got = source_->next(data);
+    if (got == 0) {
+        chunk_ = cur_ = end_ = nullptr;
+        return false;
+    }
+    chunk_ = cur_ = data;
+    end_ = data + got;
+    return true;
+}
+
+int
+TraceReader::getByte()
+{
+    if (cur_ == end_ && !refill())
+        return -1;
+    return *cur_++;
+}
+
+bool
+TraceReader::getVarint(std::uint64_t &value,
+                       trace::VarintError &error)
+{
+    // Fast path: a longest-legal varint plus its overlong witness
+    // byte fit in the current chunk, so decode with no bounds checks.
+    if (end_ - cur_ > trace::kMaxVarintBytes) {
+        const unsigned char *p = cur_;
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (int i = 0; i < trace::kMaxVarintBytes; ++i) {
+            const std::uint64_t byte = *p++;
+            v |= (byte & 0x7F) << shift;
+            if ((byte & 0x80) == 0) {
+                cur_ = p;
+                value = v;
+                error = trace::VarintError::None;
+                return true;
+            }
+            shift += 7;
         }
+        // Ten continuation bytes: consuming an eleventh byte makes
+        // the encoding overlong (same semantics as the slow path).
+        cur_ = p + 1;
+        error = trace::VarintError::Overlong;
+        return false;
+    }
+
+    // Slow path: per-byte across refill boundaries.
+    value = 0;
+    int shift = 0;
+    int length = 0;
+    for (;;) {
+        const int ch = getByte();
+        if (ch < 0) {
+            error = trace::VarintError::Truncated;
+            return false;
+        }
+        if (++length > trace::kMaxVarintBytes) {
+            error = trace::VarintError::Overlong;
+            return false;
+        }
+        const auto byte = static_cast<std::uint64_t>(ch);
+        value |= (byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            error = trace::VarintError::None;
+            return true;
+        }
+        shift += 7;
+    }
+}
+
+bool
+TraceReader::getU32(std::uint32_t &value)
+{
+    value = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int ch = getByte();
+        if (ch < 0)
+            return false;
+        value |= static_cast<std::uint32_t>(ch) << (8 * i);
+    }
+    return true;
+}
+
+void
+TraceReader::readHeaderOrDie()
+{
+    // Same decode + failure contract as trace::readHeader.
+    std::uint32_t magic = 0;
+    if (!getU32(magic))
+        HEAPMD_FATAL("truncated trace header [trace.bad-version]");
+    if (magic != trace::kMagic)
+        HEAPMD_FATAL("not a HeapMD trace (bad magic) "
+                     "[trace.bad-magic]");
+    if (!getU32(header_.version))
+        HEAPMD_FATAL("truncated trace header [trace.bad-version]");
+    if (header_.version != trace::kVersion &&
+        header_.version != trace::kVersionFlags) {
+        HEAPMD_FATAL("unsupported trace version ", header_.version,
+                     " (this build reads versions ", trace::kVersion,
+                     " and ", trace::kVersionFlags,
+                     ") [trace.bad-version]");
+    }
+    header_.flags = 0;
+    if (header_.version == trace::kVersionFlags &&
+        !getU32(header_.flags)) {
+        HEAPMD_FATAL("truncated trace header [trace.bad-version]");
     }
 }
 
@@ -66,6 +180,7 @@ TraceReader::fail(std::string message)
 {
     done_ = true;
     malformed_ = true;
+    flushEventCounter();
     HEAPMD_COUNTER_INC("trace.malformed");
     if (error_.empty())
         error_ = std::move(message);
@@ -77,15 +192,16 @@ TraceReader::next(Event &event)
     if (done_)
         return false;
 
-    const std::int64_t event_offset = offsetOf(is_);
-    const int tag = is_.get();
-    if (tag == std::char_traits<char>::eof()) {
+    const std::uint64_t event_offset = offset();
+    const int tag = getByte();
+    if (tag < 0) {
         fail("stream ends at byte " + std::to_string(event_offset) +
              " without the footer marker [trace.no-footer]");
         return false;
     }
     if (static_cast<std::uint8_t>(tag) == trace::kFooterMarker) {
         done_ = true;
+        flushEventCounter();
         readFooter();
         return false;
     }
@@ -94,7 +210,7 @@ TraceReader::next(Event &event)
     std::uint64_t a = 0, b = 0, c = 0;
     trace::VarintError verr = trace::VarintError::None;
     const auto field = [&](std::uint64_t &out) {
-        return trace::getVarint(is_, out, &verr);
+        return getVarint(out, verr);
     };
     bool known = true;
     bool ok = true;
@@ -149,7 +265,6 @@ TraceReader::next(Event &event)
         return false;
     }
     ++events_;
-    HEAPMD_COUNTER_INC("trace.events_decoded");
     return true;
 }
 
@@ -158,23 +273,45 @@ TraceReader::readFooter()
 {
     trace::VarintError verr = trace::VarintError::None;
     std::uint64_t count = 0;
-    if (!trace::getVarint(is_, count, &verr)) {
+    if (!getVarint(count, verr)) {
         fail(varintErrorText(verr) +
              " in the function-table count [trace.footer-truncated]");
         return;
     }
-    names_.reserve(count);
+    // The count is attacker-controlled; names_ grows as names decode
+    // rather than pre-reserving a potentially huge claim.
+    names_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 4096)));
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t len = 0;
-        if (!trace::getVarint(is_, len, &verr)) {
+        if (!getVarint(len, verr)) {
             fail(varintErrorText(verr) + " in the name length of "
                  "function " + std::to_string(i) + " of " +
                  std::to_string(count) + " [trace.footer-truncated]");
             return;
         }
-        std::string name(len, '\0');
-        is_.read(name.data(), static_cast<std::streamsize>(len));
-        if (!is_) {
+        // Copy the name chunk-by-chunk: the declared length is only
+        // trusted as far as bytes actually exist, so a corrupt
+        // multi-gigabyte length cannot drive a huge pre-allocation.
+        std::string name;
+        name.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(len, 4096)));
+        std::uint64_t remaining = len;
+        bool truncated = false;
+        while (remaining > 0) {
+            if (cur_ == end_ && !refill()) {
+                truncated = true;
+                break;
+            }
+            const auto take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(end_ - cur_),
+                    remaining));
+            name.append(reinterpret_cast<const char *>(cur_), take);
+            cur_ += take;
+            remaining -= take;
+        }
+        if (truncated) {
             fail("stream ends inside the name of function " +
                  std::to_string(i) + " of " + std::to_string(count) +
                  " [trace.footer-truncated]");

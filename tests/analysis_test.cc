@@ -113,6 +113,8 @@ INSTANTIATE_TEST_SUITE_P(
         CorpusCase{"missing_footer.trace", "trace.no-footer"},
         CorpusCase{"footer_truncated.trace",
                    "trace.footer-truncated"},
+        CorpusCase{"footer_name_overflow.trace",
+                   "trace.footer-truncated"},
         CorpusCase{"unknown_tag.trace", "trace.unknown-tag"},
         CorpusCase{"fn_id_gap.trace", "trace.fn-id-range"},
         CorpusCase{"free_before_alloc.trace",

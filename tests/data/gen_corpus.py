@@ -84,6 +84,14 @@ CORPUS = {
     + varint(2)
     + varint(4)
     + b"main",
+    # trace.footer-truncated: the name length claims far more bytes
+    # than the stream holds; readers must fail without ever
+    # pre-allocating the claimed length
+    "footer_name_overflow.trace": header()
+    + FOOTER
+    + varint(1)
+    + varint(0xFFFFFFFFFF)
+    + b"ab",
     # trace.unknown-tag
     "unknown_tag.trace": header() + bytes([0x42]) + footer(),
     # trace.fn-id-range: FnEnter 5 but the table has one name

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Determinism gate for the parallel replay pipeline: training and
+ * batch checking must produce byte-identical artifacts regardless of
+ * the worker count, both through the library API and through the CLI
+ * (where HEAPMD_JOBS selects the worker count without perturbing the
+ * manifest-recorded command line).
+ */
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/heapmd.hh"
+#include "trace/trace_writer.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+std::string
+saveModel(const HeapModel &model)
+{
+    std::ostringstream out;
+    model.save(out);
+    return out.str();
+}
+
+HeapMDConfig
+configWithJobs(unsigned jobs)
+{
+    HeapMDConfig cfg;
+    cfg.process.metricFrequency = 200;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+TEST(ParallelTrain, ModelBytesAreJobInvariant)
+{
+    auto app = makeApp("Multimedia");
+    const std::vector<AppConfig> inputs = makeInputs(1, 8, 1, 0.4);
+
+    const TrainingOutcome serial =
+        HeapMD(configWithJobs(1)).train(*app, inputs);
+    const TrainingOutcome wide =
+        HeapMD(configWithJobs(8)).train(*app, inputs);
+    const TrainingOutcome autos =
+        HeapMD(configWithJobs(0)).train(*app, inputs);
+
+    EXPECT_EQ(saveModel(serial.model), saveModel(wide.model));
+    EXPECT_EQ(saveModel(serial.model), saveModel(autos.model));
+    EXPECT_EQ(serial.suspectTrainingRuns, wide.suspectTrainingRuns);
+}
+
+TEST(ParallelCheck, CheckManyMatchesSequentialChecks)
+{
+    auto app = makeApp("Multimedia");
+    const std::vector<AppConfig> inputs = makeInputs(50, 6, 1, 0.4);
+    const HeapModel model =
+        HeapMD(configWithJobs(1))
+            .train(*app, makeInputs(1, 8, 1, 0.4))
+            .model;
+
+    const HeapMD serial(configWithJobs(1));
+    const HeapMD wide(configWithJobs(8));
+    const std::vector<CheckOutcome> batch =
+        wide.checkMany(*app, inputs, model);
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const CheckOutcome one = serial.check(*app, inputs[i], model);
+        EXPECT_EQ(batch[i].check.reports.size(),
+                  one.check.reports.size());
+        EXPECT_EQ(batch[i].check.samplesChecked,
+                  one.check.samplesChecked);
+        EXPECT_EQ(batch[i].run.series.samples().size(),
+                  one.run.series.samples().size());
+        EXPECT_EQ(batch[i].run.finalTick, one.run.finalTick);
+    }
+}
+
+#if defined(HEAPMD_CLI_PATH)
+
+/** CLI invocations in a throwaway directory. */
+class CliDeterminismTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("heapmd_pardet_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    /**
+     * Run the CLI under HEAPMD_JOBS=@p jobs with @p subdir (under the
+     * test directory, created on demand) as the working directory,
+     * stdout+stderr captured to @p log.  Returns the exit status.
+     * Output artifacts should use relative paths: runs that must
+     * produce byte-identical manifests need byte-identical command
+     * lines, so only the (unrecorded) working directory may differ.
+     */
+    int
+    run(const std::string &jobs, const std::string &args,
+        const std::string &log, const std::string &subdir = "") const
+    {
+        const std::filesystem::path cwd =
+            subdir.empty() ? dir_ : dir_ / subdir;
+        std::filesystem::create_directories(cwd);
+        const std::string cmd = "cd \"" + cwd.string() +
+                                "\" && HEAPMD_JOBS=" + jobs + " \"" +
+                                HEAPMD_CLI_PATH "\" " + args + " > " +
+                                path(log) + " 2>&1";
+        const int status = std::system(cmd.c_str());
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    /**
+     * Zero every `*_ns` counter value in a manifest: elapsed time is
+     * the one run-accounting field that legitimately differs between
+     * byte-identical runs (and `trend` excludes it for the same
+     * reason).  Everything else must still match exactly.
+     */
+    static std::string
+    zeroTimingCounters(const std::string &text)
+    {
+        std::istringstream in(text);
+        std::ostringstream out;
+        std::string line;
+        bool timing = false;
+        while (std::getline(in, line)) {
+            if (timing &&
+                line.find("\"value\":") != std::string::npos)
+                line.erase(line.find(':') + 1), line += " 0";
+            timing = line.find("_ns\",") != std::string::npos;
+            out << line << '\n';
+        }
+        return out.str();
+    }
+
+    std::string
+    slurp(const std::string &name) const
+    {
+        std::ifstream in(path(name), std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+
+    /**
+     * Record a capture-provenance trace and truncate it mid-stream,
+     * as a child killed before its atexit flush would: decoding must
+     * stop cleanly and training over it stay deterministic.
+     */
+    void
+    writeTruncatedCaptureTrace(const std::string &name) const
+    {
+        ProcessConfig pcfg;
+        pcfg.metricFrequency = 200;
+        Process process(pcfg);
+        {
+            std::ofstream out(path(name), std::ios::binary);
+            TraceWriterOptions options;
+            options.captureProvenance = true;
+            TraceWriter writer(out, process.registry(), options);
+            process.addEventObserver(&writer);
+            auto app = makeApp("Multimedia");
+            AppConfig cfg;
+            cfg.inputSeed = 3;
+            cfg.scale = 0.3;
+            app->run(process, cfg);
+            writer.finish();
+        }
+        const auto size = std::filesystem::file_size(path(name));
+        ASSERT_GT(size, 64u);
+        // Two-thirds of the stream: lands mid-event, usually inside
+        // a varint.
+        std::filesystem::resize_file(path(name), size * 2 / 3);
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CliDeterminismTest, SyntheticTrainArtifactsAreJobInvariant)
+{
+    // Identical command lines (relative output paths), different
+    // working directories: the manifests must be byte-identical
+    // modulo elapsed-time counters.
+    const std::string train = "train --app Multimedia --inputs 6 "
+                              "--scale 0.4 --out m.model "
+                              "--manifest m.manifest";
+    ASSERT_EQ(run("1", train, "train1.log", "j1"), 0)
+        << slurp("train1.log");
+    ASSERT_EQ(run("8", train, "train8.log", "j8"), 0)
+        << slurp("train8.log");
+
+    const std::string m1 = slurp("j1/m.model");
+    ASSERT_FALSE(m1.empty());
+    EXPECT_EQ(m1, slurp("j8/m.model"));
+    EXPECT_EQ(zeroTimingCounters(slurp("j1/m.manifest")),
+              zeroTimingCounters(slurp("j8/m.manifest")));
+    EXPECT_EQ(slurp("train1.log"), slurp("train8.log"));
+}
+
+TEST_F(CliDeterminismTest, TraceTrainArtifactsAreJobInvariant)
+{
+    std::string trace_flags;
+    for (int seed = 1; seed <= 4; ++seed) {
+        std::string stem = "t";
+        stem += std::to_string(seed);
+        stem += ".trace";
+        const std::string trace = path(stem);
+        ASSERT_EQ(run("1",
+                      "record --app Multimedia --seed " +
+                          std::to_string(seed) + " --scale 0.3 "
+                          "--out " + trace,
+                      "record.log"),
+                  0)
+            << slurp("record.log");
+        trace_flags += " --trace " + trace;
+    }
+    writeTruncatedCaptureTrace("killed.trace");
+    trace_flags += " --trace " + path("killed.trace");
+
+    // Trace inputs are shared absolute paths (identical in both
+    // command lines); outputs are relative to per-job directories.
+    std::string train = "train --name pardet";
+    train += trace_flags;
+    train += " --out m.model --manifest m.manifest";
+    ASSERT_EQ(run("1", train, "train1.log", "j1"), 0)
+        << slurp("train1.log");
+    ASSERT_EQ(run("8", train, "train8.log", "j8"), 0)
+        << slurp("train8.log");
+
+    const std::string m1 = slurp("j1/m.model");
+    ASSERT_FALSE(m1.empty());
+    EXPECT_EQ(m1, slurp("j8/m.model"));
+    EXPECT_EQ(zeroTimingCounters(slurp("j1/m.manifest")),
+              zeroTimingCounters(slurp("j8/m.manifest")));
+    EXPECT_EQ(slurp("train1.log"), slurp("train8.log"));
+    // The truncated capture trace really was replayed as one.
+    EXPECT_NE(slurp("train1.log").find("(live capture)"),
+              std::string::npos);
+}
+
+TEST_F(CliDeterminismTest, BatchCheckOutputIsJobInvariant)
+{
+    ASSERT_EQ(run("1",
+                  "train --app Multimedia --inputs 6 --scale 0.4 "
+                  "--out " + path("base.model"),
+                  "train.log"),
+              0)
+        << slurp("train.log");
+
+    const std::string check = "check --app Multimedia --model " +
+                              path("base.model") +
+                              " --seed 100 --inputs 3 --scale 0.4";
+    const int status1 = run("1", check, "check1.log");
+    const int status8 = run("8", check, "check8.log");
+    EXPECT_EQ(status1, status8);
+    EXPECT_TRUE(status1 == 0 || status1 == 3)
+        << slurp("check1.log");
+    EXPECT_EQ(slurp("check1.log"), slurp("check8.log"));
+    EXPECT_NE(slurp("check1.log").find("seed 102"),
+              std::string::npos);
+}
+
+TEST_F(CliDeterminismTest, InvalidJobsValuesAreUsageErrors)
+{
+    EXPECT_EQ(run("1", "train --app Multimedia --inputs 2 "
+                       "--jobs banana",
+                  "bad1.log"),
+              2);
+    EXPECT_EQ(run("banana", "train --app Multimedia --inputs 2",
+                  "bad2.log"),
+              2);
+    EXPECT_EQ(run("1", "check --app Multimedia --model none "
+                       "--inputs 0",
+                  "bad3.log"),
+              2);
+    EXPECT_NE(slurp("bad1.log").find("invalid --jobs value"),
+              std::string::npos);
+    EXPECT_NE(slurp("bad2.log").find("invalid HEAPMD_JOBS value"),
+              std::string::npos);
+}
+
+#endif // HEAPMD_CLI_PATH
+
+} // namespace
+
+} // namespace heapmd

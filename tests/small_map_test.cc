@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for SmallMap, the inline-array map behind the heap-graph's
+ * per-object edge maps.  A randomized pass keeps a std::unordered_map
+ * oracle in lockstep to pin the semantics across the spill boundary.
+ */
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/small_map.hh"
+
+using namespace heapmd;
+
+using Map = SmallMap<std::uint64_t, std::uint32_t, 4>;
+using Oracle = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+TEST(SmallMap, StartsEmpty)
+{
+    Map map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.count(7), 0u);
+    EXPECT_TRUE(map.begin() == map.end());
+}
+
+TEST(SmallMap, InlineInsertFindErase)
+{
+    Map map;
+    EXPECT_TRUE(map.emplace(10, 1));
+    EXPECT_TRUE(map.emplace(20, 2));
+    EXPECT_FALSE(map.emplace(10, 99)); // duplicate key: no overwrite
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.find(10)->second, 1u);
+    EXPECT_EQ(map.find(20)->second, 2u);
+    EXPECT_TRUE(map.find(30) == map.end());
+    EXPECT_EQ(map.erase(10), 1u);
+    EXPECT_EQ(map.erase(10), 0u);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.count(20), 1u);
+}
+
+TEST(SmallMap, OperatorBracketInsertsAndMutates)
+{
+    Map map;
+    map[5] = 3;
+    EXPECT_EQ(map[5], 3u);
+    ++map[5];
+    EXPECT_EQ(map[5], 4u);
+    EXPECT_EQ(map[6], 0u); // default-constructed on first touch
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(SmallMap, SpillsPastInlineCapacity)
+{
+    Map map;
+    Oracle oracle;
+    for (std::uint64_t k = 0; k < 20; ++k) {
+        map.emplace(k, static_cast<std::uint32_t>(k * 10));
+        oracle.emplace(k, static_cast<std::uint32_t>(k * 10));
+    }
+    EXPECT_EQ(map.size(), 20u);
+    EXPECT_TRUE(oracle == map);
+    for (std::uint64_t k = 0; k < 20; ++k)
+        EXPECT_EQ(map.find(k)->second, k * 10);
+}
+
+TEST(SmallMap, EraseAcrossTheSpillBoundary)
+{
+    Map map;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        map.emplace(k, 1);
+    for (std::uint64_t k = 0; k < 9; ++k)
+        EXPECT_EQ(map.erase(k), 1u);
+    // Spilled maps stay spilled, but the contents must be exact.
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.count(9), 1u);
+}
+
+TEST(SmallMap, EraseByIteratorKeepsTheRest)
+{
+    Map map;
+    map.emplace(1, 10);
+    map.emplace(2, 20);
+    map.emplace(3, 30);
+    map.erase(map.find(2));
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.count(2), 0u);
+    EXPECT_EQ(map.find(1)->second, 10u);
+    EXPECT_EQ(map.find(3)->second, 30u);
+}
+
+TEST(SmallMap, IterationVisitsEveryEntryOnce)
+{
+    for (std::uint64_t n : {3u, 12u}) { // inline and spilled
+        Map map;
+        Oracle oracle;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            map.emplace(k, static_cast<std::uint32_t>(k + 1));
+            oracle.emplace(k, static_cast<std::uint32_t>(k + 1));
+        }
+        Oracle seen;
+        for (const auto &entry : map)
+            EXPECT_TRUE(seen.emplace(entry.first, entry.second)
+                            .second);
+        EXPECT_EQ(seen, oracle);
+    }
+}
+
+TEST(SmallMap, MutationThroughIterator)
+{
+    Map map;
+    map.emplace(1, 10);
+    auto it = map.find(1);
+    it->second = 42;
+    EXPECT_EQ(map.find(1)->second, 42u);
+}
+
+TEST(SmallMap, CopyIsDeep)
+{
+    Map original;
+    for (std::uint64_t k = 0; k < 12; ++k) // force a spill
+        original.emplace(k, 1);
+    Map copy(original);
+    original.erase(std::uint64_t{3});
+    original[5] = 99;
+    EXPECT_EQ(copy.size(), 12u);
+    EXPECT_EQ(copy.find(3)->second, 1u);
+    EXPECT_EQ(copy.find(5)->second, 1u);
+
+    Map assigned;
+    assigned.emplace(100, 100);
+    assigned = copy;
+    EXPECT_EQ(assigned.size(), 12u);
+    EXPECT_EQ(assigned.count(100), 0u);
+}
+
+TEST(SmallMap, OracleEqualityOperators)
+{
+    Map map;
+    Oracle oracle;
+    map.emplace(1, 2);
+    oracle.emplace(1, 2);
+    EXPECT_TRUE(oracle == map);
+    EXPECT_FALSE(oracle != map);
+    oracle[1] = 3;
+    EXPECT_TRUE(oracle != map);
+}
+
+TEST(SmallMap, RandomizedParityWithOracle)
+{
+    std::mt19937_64 rng(20260805);
+    Map map;
+    Oracle oracle;
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t key = rng() % 24; // keys collide often
+        switch (rng() % 4) {
+        case 0:
+        case 1: {
+            const auto value = static_cast<std::uint32_t>(rng());
+            EXPECT_EQ(map.emplace(key, value),
+                      oracle.emplace(key, value).second);
+            break;
+        }
+        case 2:
+            EXPECT_EQ(map.erase(key), oracle.erase(key));
+            break;
+        case 3:
+            ++map[key];
+            ++oracle[key];
+            break;
+        }
+        ASSERT_EQ(map.size(), oracle.size()) << "step " << step;
+    }
+    EXPECT_TRUE(oracle == map);
+}

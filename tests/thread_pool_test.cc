@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the worker pool and the deterministic parallel-for the
+ * replay pipeline is built on.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.hh"
+
+using namespace heapmd;
+
+TEST(EffectiveJobs, ZeroMeansHardwareConcurrency)
+{
+    EXPECT_GE(effectiveJobs(0), 1u);
+    EXPECT_EQ(effectiveJobs(1), 1u);
+    EXPECT_EQ(effectiveJobs(7), 7u);
+}
+
+TEST(ThreadPool, RunsEveryPostedTask)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.workerCount(), 4u);
+        for (int i = 0; i < 100; ++i)
+            pool.post([&] { ran.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(ran.load(), 100);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&] { ran.fetch_add(1); });
+        // No wait(): the destructor must finish the queue itself.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelForIndexed, EveryIndexRunsExactlyOnce)
+{
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelForIndexed(kCount, 4, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForIndexed, SingleJobRunsInOrderOnCallingThread)
+{
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallelForIndexed(10, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForIndexed, ZeroJobsMeansHardwareSize)
+{
+    std::atomic<int> ran{0};
+    parallelForIndexed(32, 0, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForIndexed, CountZeroNeverCallsTheBody)
+{
+    bool called = false;
+    parallelForIndexed(0, 8, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelForIndexed, SingleItemRunsInline)
+{
+    const std::thread::id caller = std::this_thread::get_id();
+    std::size_t seen = 99;
+    parallelForIndexed(1, 8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        seen = i;
+    });
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelForIndexed, ResultSlotsAreDeterministic)
+{
+    constexpr std::size_t kCount = 200;
+    std::vector<std::size_t> slots(kCount, ~std::size_t{0});
+    parallelForIndexed(kCount, 8, [&](std::size_t i) {
+        slots[i] = i * i;
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ParallelForIndexed, RethrowsSequentialException)
+{
+    EXPECT_THROW(
+        parallelForIndexed(5, 1,
+                           [&](std::size_t i) {
+                               if (i == 3)
+                                   throw std::runtime_error("boom 3");
+                           }),
+        std::runtime_error);
+}
+
+TEST(ParallelForIndexed, RethrowsParallelException)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelForIndexed(100, 4, [&](std::size_t i) {
+            ran.fetch_add(1);
+            throw std::runtime_error("fail " + std::to_string(i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("fail"),
+                  std::string::npos);
+    }
+    // Abandonment: the four workers stop claiming after the throw.
+    EXPECT_LE(ran.load(), 4);
+}
+
+TEST(ParallelForIndexed, ExceptionAbandonsRemainingIndices)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        parallelForIndexed(1000, 2,
+                           [&](std::size_t) {
+                               ran.fetch_add(1);
+                               throw std::runtime_error("early");
+                           }),
+        std::runtime_error);
+    EXPECT_LT(ran.load(), 1000);
+}

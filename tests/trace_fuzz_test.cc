@@ -15,6 +15,7 @@
 #include "runtime/address_space.hh"
 #include "support/random.hh"
 #include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 #include "trace/trace_writer.hh"
 
 namespace heapmd
@@ -182,6 +183,59 @@ TEST_P(TraceFuzzTest, TruncationNeverCrashes)
                 << "reader rejected a " << cut
                 << "-byte prefix (" << reader.error()
                 << ") but the linter found nothing";
+        }
+    }
+}
+
+TEST_P(TraceFuzzTest, DecodePathsAgreeOnArbitraryPrefixes)
+{
+    // The buffered stream decoder (at hostile chunk sizes) and the
+    // single-chunk memory decoder must agree byte-for-byte on what
+    // any prefix means: same events, same malformed flag, same error
+    // string, same function table.
+    const std::vector<Event> events = randomEvents(GetParam(), 400);
+    FunctionRegistry registry;
+    for (int i = 0; i < 8; ++i)
+        registry.intern("fn_" + std::to_string(i));
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    Tick tick = 0;
+    for (const Event &e : events)
+        writer.onEvent(e, ++tick);
+    writer.finish();
+    const std::string full = ss.str();
+
+    Rng rng(GetParam() * 31 + 7);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::size_t cut =
+            trial == 0 ? full.size()
+                       : 8 + rng.below(full.size() - 8);
+        const std::string bytes = full.substr(0, cut);
+
+        trace::MemorySource memory(
+            reinterpret_cast<const unsigned char *>(bytes.data()),
+            bytes.size());
+        TraceReader baseline(memory);
+        std::uint64_t base_count = 0;
+        Event e;
+        while (baseline.next(e))
+            ++base_count;
+
+        for (std::size_t chunk : {1u, 7u, 64u}) {
+            std::stringstream in(bytes);
+            TraceReader reader(in, chunk);
+            std::uint64_t count = 0;
+            while (reader.next(e))
+                ++count;
+            ASSERT_EQ(count, base_count)
+                << "cut " << cut << " chunk " << chunk;
+            ASSERT_EQ(reader.malformed(), baseline.malformed())
+                << "cut " << cut << " chunk " << chunk;
+            ASSERT_EQ(reader.error(), baseline.error())
+                << "cut " << cut << " chunk " << chunk;
+            ASSERT_EQ(reader.functionNames(),
+                      baseline.functionNames())
+                << "cut " << cut << " chunk " << chunk;
         }
     }
 }

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "trace/trace_format.hh"
 #include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 #include "trace/trace_writer.hh"
 
 namespace heapmd
@@ -252,6 +255,210 @@ TEST(TraceReplayTest, ReplayReproducesProcessState)
         }
     }
     EXPECT_EQ(replayed.registry().name(fn), "work");
+}
+
+/** Everything one decode pass yields, for cross-path comparison. */
+struct DecodeResult
+{
+    std::vector<Event> events;
+    std::vector<std::string> names;
+    std::uint64_t count = 0;
+    bool malformed = false;
+    std::string error;
+};
+
+DecodeResult
+drain(TraceReader &reader)
+{
+    DecodeResult result;
+    Event event;
+    while (reader.next(event))
+        result.events.push_back(event);
+    result.names = reader.functionNames();
+    result.count = reader.eventCount();
+    result.malformed = reader.malformed();
+    result.error = reader.error();
+    return result;
+}
+
+DecodeResult
+decodeChunked(const std::string &bytes, std::size_t chunk_size)
+{
+    std::stringstream ss(bytes);
+    TraceReader reader(ss, chunk_size);
+    return drain(reader);
+}
+
+DecodeResult
+decodeMemory(const std::string &bytes)
+{
+    trace::MemorySource source(
+        reinterpret_cast<const unsigned char *>(bytes.data()),
+        bytes.size());
+    TraceReader reader(source);
+    return drain(reader);
+}
+
+/** A well-formed trace exercising every event kind repeatedly. */
+std::string
+mixedTrace(int rounds)
+{
+    FunctionRegistry registry;
+    registry.intern("alpha");
+    registry.intern("a-much-longer-function-name-for-the-footer");
+    std::stringstream ss;
+    TraceWriter writer(ss, registry);
+    Tick tick = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const Addr a = 0x1000 + 0x100 * i;
+        writer.onEvent(Event::fnEnter(1), ++tick);
+        writer.onEvent(Event::alloc(a, 64 + i), ++tick);
+        writer.onEvent(Event::write(a, a + 8), ++tick);
+        writer.onEvent(Event::read(a + 8), ++tick);
+        writer.onEvent(Event::realloc(a, a + 0x40, 128), ++tick);
+        writer.onEvent(Event::free(a + 0x40), ++tick);
+        writer.onEvent(Event::fnExit(1), ++tick);
+    }
+    writer.finish();
+    return ss.str();
+}
+
+TEST(BufferedDecodeTest, ChunkSizeInvariantDecode)
+{
+    const std::string bytes = mixedTrace(40);
+    const DecodeResult baseline = decodeMemory(bytes);
+    EXPECT_FALSE(baseline.malformed);
+    EXPECT_EQ(baseline.count, 40u * 7u);
+    ASSERT_EQ(baseline.names.size(), 2u);
+
+    // Tiny chunk sizes force every decode path (tags, each varint
+    // byte, the footer count/lengths/names) across refill boundaries.
+    for (std::size_t chunk : {1u, 2u, 3u, 5u, 7u, 13u, 64u, 4096u}) {
+        const DecodeResult got = decodeChunked(bytes, chunk);
+        EXPECT_EQ(got.events, baseline.events) << "chunk " << chunk;
+        EXPECT_EQ(got.names, baseline.names) << "chunk " << chunk;
+        EXPECT_EQ(got.count, baseline.count) << "chunk " << chunk;
+        EXPECT_FALSE(got.malformed) << "chunk " << chunk;
+    }
+}
+
+TEST(BufferedDecodeTest, DefaultChunkRefillStraddle)
+{
+    // Enough events that the default 64 KiB buffer refills several
+    // times, so varints and the footer straddle real boundaries.
+    const std::string bytes = mixedTrace(6000);
+    ASSERT_GT(bytes.size(), 3 * trace::kDefaultChunkSize);
+    const DecodeResult got =
+        decodeChunked(bytes, trace::kDefaultChunkSize);
+    EXPECT_FALSE(got.malformed);
+    EXPECT_EQ(got.count, 6000u * 7u);
+    EXPECT_EQ(got.events, decodeMemory(bytes).events);
+}
+
+TEST(BufferedDecodeTest, ErrorStringsAreChunkSizeInvariant)
+{
+    std::stringstream header;
+    trace::putHeader(header);
+    const std::string h = header.str(); // 8-byte version-1 header
+
+    struct Case
+    {
+        const char *label;
+        std::string bytes;
+        std::string error;
+    };
+    const std::vector<Case> cases = {
+        {"no footer", h + '\x00' + '\x10' + '\x40',
+         "stream ends at byte 11 without the footer marker "
+         "[trace.no-footer]"},
+        {"truncated varint",
+         h + '\x00' + static_cast<char>(0x80),
+         "stream ends inside a LEB128 varint "
+         "[trace.varint-truncated] in alloc event at byte 8"},
+        {"overlong varint",
+         h + '\x00' +
+             std::string(10, static_cast<char>(0x80)) + '\x01',
+         "LEB128 varint longer than 10 bytes "
+         "[trace.varint-overlong] in alloc event at byte 8"},
+        {"unknown tag", h + '\x63',
+         "unknown event tag 99 at byte 8 [trace.unknown-tag]"},
+        {"footer count truncated",
+         h + static_cast<char>(trace::kFooterMarker),
+         "stream ends inside a LEB128 varint "
+         "[trace.varint-truncated] in the function-table count "
+         "[trace.footer-truncated]"},
+        {"name length truncated",
+         h + static_cast<char>(trace::kFooterMarker) + '\x02' +
+             '\x01' + 'x',
+         "stream ends inside a LEB128 varint "
+         "[trace.varint-truncated] in the name length of function 1 "
+         "of 2 [trace.footer-truncated]"},
+    };
+    for (const Case &c : cases) {
+        const DecodeResult baseline = decodeMemory(c.bytes);
+        EXPECT_TRUE(baseline.malformed) << c.label;
+        EXPECT_EQ(baseline.error, c.error) << c.label;
+        for (std::size_t chunk : {1u, 2u, 3u, 9u, 4096u}) {
+            const DecodeResult got = decodeChunked(c.bytes, chunk);
+            EXPECT_TRUE(got.malformed)
+                << c.label << " chunk " << chunk;
+            EXPECT_EQ(got.error, c.error)
+                << c.label << " chunk " << chunk;
+        }
+    }
+}
+
+TEST(BufferedDecodeTest, FooterNameLengthOverflowIsBounded)
+{
+    // A corrupt footer declaring a multi-exabyte name length must
+    // fail with the truncation rule -- after copying only the bytes
+    // that exist, never pre-allocating the claimed length.
+    std::stringstream ss;
+    trace::putHeader(ss);
+    ss.put(static_cast<char>(trace::kFooterMarker));
+    trace::putVarint(ss, 1);     // one function
+    trace::putVarint(ss, ~0ull); // claimed name length
+    ss << "ab";                  // only two bytes follow
+    const std::string bytes = ss.str();
+
+    for (std::size_t chunk : {1u, 4u, 4096u}) {
+        const DecodeResult got = decodeChunked(bytes, chunk);
+        EXPECT_TRUE(got.malformed) << "chunk " << chunk;
+        EXPECT_EQ(got.error,
+                  "stream ends inside the name of function 0 of 1 "
+                  "[trace.footer-truncated]")
+            << "chunk " << chunk;
+        EXPECT_TRUE(got.names.empty());
+    }
+    EXPECT_EQ(decodeMemory(bytes).error,
+              "stream ends inside the name of function 0 of 1 "
+              "[trace.footer-truncated]");
+}
+
+TEST(BufferedDecodeTest, FileSourceMatchesStreamDecode)
+{
+    const std::string bytes = mixedTrace(25);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "heapmd_trace_test_file.trace";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << bytes;
+    }
+    trace::FileSource source(path.string());
+    ASSERT_TRUE(source.ok()) << source.error();
+    TraceReader reader(source);
+    const DecodeResult got = drain(reader);
+    EXPECT_EQ(got.events, decodeMemory(bytes).events);
+    EXPECT_EQ(got.names, decodeMemory(bytes).names);
+    EXPECT_FALSE(got.malformed);
+    std::filesystem::remove(path);
+
+    trace::FileSource missing(
+        (std::filesystem::temp_directory_path() /
+         "heapmd_no_such_trace.trace")
+            .string());
+    EXPECT_FALSE(missing.ok());
+    EXPECT_FALSE(missing.error().empty());
 }
 
 TEST(TraceReplayTest, CompactEncoding)

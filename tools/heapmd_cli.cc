@@ -31,6 +31,10 @@
  *   --stats 0|1            print the counter table on exit (stderr);
  *                          HEAPMD_STATS=1 in the environment does the
  *                          same
+ *   --jobs N               worker threads for multi-input train and
+ *                          batch check (0 = one per hardware thread;
+ *                          the HEAPMD_JOBS env var is the fallback);
+ *                          outputs are bit-identical for any value
  *
  * Examples:
  *   heapmd train --app Multimedia --inputs 25 --out mm.model
@@ -68,8 +72,10 @@
 #include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 #include "trace/trace_writer.hh"
 
 #if defined(HEAPMD_HAVE_CAPTURE)
@@ -93,6 +99,9 @@ std::vector<std::string> g_capture_argv;
 /** Exit status for "the tool worked and found something" (README). */
 constexpr int kExitFindings = 3;
 
+/** Worker threads from --jobs / HEAPMD_JOBS (0 = auto, 1 = serial). */
+unsigned g_jobs = 1;
+
 void
 printUsage(std::FILE *to)
 {
@@ -110,10 +119,12 @@ printUsage(std::FILE *to)
         "          traces instead of synthetic apps)\n"
         "  inspect --model FILE\n"
         "  check   --app NAME --model FILE [--seed S=100]\n"
-        "          [--version V=1] [--scale X=1.0] [--frq N=300]\n"
+        "          [--inputs N=1] [--version V=1] [--scale X=1.0]\n"
+        "          [--frq N=300]\n"
         "          [--fault KIND [--rate R=1.0] [--budget B=0]]\n"
         "          [--no-audit 1] [--bundle-dir DIR]\n"
         "          [--manifest FILE]\n"
+        "          (--inputs N checks seeds S..S+N-1 as a batch)\n"
         "  record  --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
         "  capture [--out FILE=capture.trace] [--frq N=10000]\n"
@@ -157,6 +168,11 @@ printUsage(std::FILE *to)
         "  --trace-out FILE   Chrome trace-event JSON timeline\n"
         "  --stats 0|1        counter table on exit (stderr); the\n"
         "                     HEAPMD_STATS env var does the same\n"
+        "  --jobs N           worker threads for multi-input train\n"
+        "                     and batch check (0 = one per hardware\n"
+        "                     thread; the HEAPMD_JOBS env var is the\n"
+        "                     fallback; outputs are bit-identical\n"
+        "                     for any value)\n"
         "\n"
         "exit status: 0 clean; 1 fatal error; 2 usage error;\n"
         "  3 findings (anomaly reports, audit defects, model drift,\n"
@@ -174,6 +190,25 @@ badInvocation(const std::string &what)
     std::fprintf(stderr, "%s: %s\n\n", g_argv0, what.c_str());
     printUsage(stderr);
     std::exit(2);
+}
+
+/**
+ * Parse a --jobs / HEAPMD_JOBS value: a small decimal integer, where
+ * 0 means one worker per hardware thread.  Anything else is a usage
+ * error -- not std::stoull, whose exceptions would abort instead of
+ * exiting 2.
+ */
+unsigned
+parseJobs(const std::string &text, const char *origin)
+{
+    bool ok = !text.empty() && text.size() <= 4;
+    for (char c : text)
+        ok = ok && c >= '0' && c <= '9';
+    if (!ok)
+        badInvocation("invalid " + std::string(origin) + " value '" +
+                      text +
+                      "' (expected a small non-negative integer)");
+    return static_cast<unsigned>(std::stoul(text));
 }
 
 /**
@@ -206,7 +241,7 @@ class Args
                  const std::set<std::string> &allowed) const
     {
         static const std::set<std::string> global = {"trace-out",
-                                                     "stats"};
+                                                     "stats", "jobs"};
         for (const auto &[key, value] : values_) {
             (void)value;
             if (allowed.count(key) == 0 && global.count(key) == 0)
@@ -268,6 +303,7 @@ configFrom(const Args &args)
     HeapMDConfig cfg;
     cfg.process.metricFrequency = args.num("frq", 300);
     cfg.summarizer.includeLocallyStable = args.num("local", 0) != 0;
+    cfg.jobs = g_jobs;
     return cfg;
 }
 
@@ -350,12 +386,14 @@ fillManifestConfig(diag::RunManifest &manifest, const Args &args,
 /**
  * Serialize one incident bundle per anomaly report into @p dir
  * (created if absent) as incident-NNN.json, returning the paths.
+ * @p first numbers the first bundle, so a batch check can append its
+ * runs' bundles to one directory without collisions.
  */
 std::vector<std::string>
 writeBundles(const std::string &dir,
              const std::vector<BugReport> &reports,
              const FunctionRegistry &registry,
-             const MetricSeries &series)
+             const MetricSeries &series, std::size_t first = 1)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -366,7 +404,7 @@ writeBundles(const std::string &dir,
     for (std::size_t i = 0; i < reports.size(); ++i) {
         char name[40];
         std::snprintf(name, sizeof name, "incident-%03zu.json",
-                      i + 1);
+                      first + i);
         const std::string path =
             (std::filesystem::path(dir) / name).string();
         const diag::IncidentBundle bundle =
@@ -454,10 +492,10 @@ struct TraceRunOutcome
 TraceRunOutcome
 replayTraceForMetrics(const std::string &path, std::uint64_t frq)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
+    trace::FileSource source(path);
+    if (!source.ok())
         HEAPMD_FATAL("cannot open trace '", path, "'");
-    TraceReader reader(in);
+    TraceReader reader(source);
 
     ProcessConfig pcfg;
     pcfg.metricFrequency =
@@ -488,18 +526,27 @@ cmdTrainFromTraces(const Args &args)
     const HeapMDConfig cfg = configFrom(args);
     MetricSummarizer summarizer(cfg.summarizer);
     const std::vector<std::string> traces = args.all("trace");
-    bool any_capture = false;
-    for (const std::string &path : traces) {
-        if (args.num("no-audit", 0) == 0)
+
+    // Pre-flight sequentially and in input order so a malformed trace
+    // fails with the same message (and at the same point) regardless
+    // of --jobs; only the replays themselves fan out.
+    if (args.num("no-audit", 0) == 0) {
+        for (const std::string &path : traces)
             preflightTrace(path);
-        TraceRunOutcome run = replayTraceForMetrics(
-            path, args.has("frq") ? args.num("frq", 300) : 0);
+    }
+    const std::uint64_t frq =
+        args.has("frq") ? args.num("frq", 300) : 0;
+    std::vector<TraceRunOutcome> runs(traces.size());
+    parallelForIndexed(traces.size(), cfg.jobs, [&](std::size_t i) {
+        runs[i] = replayTraceForMetrics(traces[i], frq);
+    });
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const TraceRunOutcome &run = runs[i];
         std::printf("replayed %s: %llu events, %zu samples%s\n",
-                    path.c_str(),
+                    traces[i].c_str(),
                     static_cast<unsigned long long>(run.events),
                     run.series.samples().size(),
                     run.captureProvenance ? " (live capture)" : "");
-        any_capture = any_capture || run.captureProvenance;
         summarizer.addRun(run.series);
     }
 
@@ -591,14 +638,69 @@ cmdInspect(const Args &args)
     return 0;
 }
 
+/**
+ * `check --inputs N`: check seeds S..S+N-1 against the model as one
+ * batch, one Process + checker per input across --jobs workers.
+ * Output and exit status are the per-input results in seed order.
+ */
+int
+cmdCheckBatch(const Args &args, const HeapMD &tool, SyntheticApp &app,
+              const HeapModel &model, std::size_t count)
+{
+    const AppConfig base = appConfigFrom(args, 100);
+    std::vector<AppConfig> inputs(count, base);
+    for (std::size_t i = 0; i < count; ++i)
+        inputs[i].inputSeed = base.inputSeed + i;
+
+    const std::vector<CheckOutcome> outs =
+        tool.checkMany(app, inputs, model);
+
+    bool anomalous = false;
+    std::size_t next_bundle = 1;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        const CheckOutcome &out = outs[i];
+        std::printf("checked %s seed %llu: %zu report(s) over %llu "
+                    "samples\n",
+                    app.name().c_str(),
+                    static_cast<unsigned long long>(
+                        inputs[i].inputSeed),
+                    out.check.reports.size(),
+                    static_cast<unsigned long long>(
+                        out.check.samplesChecked));
+        const FunctionRegistry registry = out.run.registry();
+        for (const BugReport &report : out.check.reports)
+            std::printf("\n%s", report.describe(registry).c_str());
+        if (args.has("bundle-dir")) {
+            writeBundles(args.str("bundle-dir"), out.check.reports,
+                         registry, out.run.series, next_bundle);
+            next_bundle += out.check.reports.size();
+        }
+        anomalous = anomalous || out.check.anomalous();
+    }
+    return anomalous ? kExitFindings : 0;
+}
+
 int
 cmdCheck(const Args &args)
 {
+    // Usage validation before any file I/O: a bad --inputs must exit
+    // 2 even when the model path is also unreadable.
+    const std::size_t inputs = args.num("inputs", 1);
+    if (inputs == 0)
+        badInvocation("check --inputs must be at least 1");
+    if (inputs > 1 && args.has("manifest"))
+        badInvocation("check --manifest records a single run; "
+                      "use --inputs 1");
+
     const HeapMD tool(configFrom(args));
     auto app = makeApp(args.str("app"));
     if (args.num("no-audit", 0) == 0)
         preflightModel(args.str("model"));
     const HeapModel model = loadModel(args.str("model"));
+
+    if (inputs > 1)
+        return cmdCheckBatch(args, tool, *app, model, inputs);
+
     const CheckOutcome out =
         tool.check(*app, appConfigFrom(args, 100), model);
     std::printf("checked %s: %zu report(s) over %llu samples\n",
@@ -655,11 +757,11 @@ cmdReplay(const Args &args)
     }
     const HeapModel model = loadModel(args.str("model"));
 
-    std::ifstream in(args.str("trace"), std::ios::binary);
-    if (!in)
+    trace::FileSource source(args.str("trace"));
+    if (!source.ok())
         HEAPMD_FATAL("cannot open trace '", args.str("trace"), "'");
 
-    TraceReader reader(in);
+    TraceReader reader(source);
     if (reader.captureProvenance()) {
         // Live-capture traces sample at the shim's scan markers and
         // see real allocator address reuse.
@@ -725,10 +827,10 @@ checkCapturedTrace(const std::string &trace_path,
     preflightModel(model_path);
     const HeapModel model = loadModel(model_path);
 
-    std::ifstream in(trace_path, std::ios::binary);
-    if (!in)
+    trace::FileSource source(trace_path);
+    if (!source.ok())
         HEAPMD_FATAL("cannot open trace '", trace_path, "'");
-    TraceReader reader(in);
+    TraceReader reader(source);
 
     ProcessConfig pcfg;
     pcfg.metricFrequency = 1; // one sample per shim scan marker
@@ -1090,9 +1192,9 @@ commandTable()
         {"inspect", {cmdInspect, {"model"}}},
         {"check",
          {cmdCheck,
-          {"app", "model", "seed", "version", "scale", "frq", "local",
-           "fault", "rate", "budget", "no-audit", "bundle-dir",
-           "manifest"}}},
+          {"app", "model", "seed", "inputs", "version", "scale",
+           "frq", "local", "fault", "rate", "budget", "no-audit",
+           "bundle-dir", "manifest"}}},
         {"record",
          {cmdRecord,
           {"app", "out", "seed", "version", "scale", "frq", "fault",
@@ -1184,6 +1286,13 @@ main(int argc, char **argv)
 
     const Args args(flags_end, argv);
     args.checkAllowed(command, it->second.flags);
+
+    if (args.has("jobs")) {
+        g_jobs = parseJobs(args.str("jobs"), "--jobs");
+    } else if (const char *env = std::getenv("HEAPMD_JOBS");
+               env != nullptr && *env != '\0') {
+        g_jobs = parseJobs(env, "HEAPMD_JOBS");
+    }
 
     const bool tracing =
         args.has("trace-out") &&
