@@ -17,7 +17,9 @@
  * Emits BENCH_replay_throughput.json into the working directory
  * (run it from the repo root) and prints the headline speedups.
  * Speedup targets apply to multi-core CI hardware; the JSON records
- * hardwareConcurrency so a 1-core container result is legible.
+ * hardwareConcurrency so a 1-core container result is legible, and
+ * the sanitizer mode so instrumented-build numbers are never trended
+ * against plain ones.
  */
 
 #include <chrono>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "core/heapmd.hh"
+#include "support/build_env.hh"
 #include "support/thread_pool.hh"
 #include "trace/trace_format.hh"
 #include "trace/trace_reader.hh"
@@ -275,6 +278,7 @@ main()
         "{\n"
         "  \"bench\": \"replay_throughput\",\n"
         "  \"hardwareConcurrency\": %u,\n"
+        "  \"sanitizer\": \"%s\",\n"
         "  \"traceCount\": %zu,\n"
         "  \"totalEvents\": %llu,\n"
         "  \"totalBytes\": %llu,\n"
@@ -294,7 +298,7 @@ main()
         "  \"trainSpeedupJobs8\": %0.3f,\n"
         "  \"modelsDeterministic\": %s\n"
         "}\n",
-        hw, kTraceCount,
+        hw, support::kSanitizeMode, kTraceCount,
         static_cast<unsigned long long>(total_events),
         static_cast<unsigned long long>(total_bytes), istream_eps,
         buffered_eps, mmap_eps, buffered_eps / istream_eps,

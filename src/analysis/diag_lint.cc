@@ -96,12 +96,19 @@ class Checker
     Report &report_;
 };
 
-/** Shared preamble: parse, check kind tag and schema version. */
+/**
+ * Shared preamble: parse, check kind tag and schema version.
+ * Versions 1..@p supported_version pass; the document's version is
+ * written to @p version_out (0 if missing/mistyped) so callers can
+ * lint version-gated sections.
+ */
 const char *
 parsePreamble(const std::string &text, const char *expected_kind,
               std::uint64_t supported_version, JsonValue &root,
-              Report &report)
+              Report &report, std::uint64_t *version_out = nullptr)
 {
+    if (version_out != nullptr)
+        *version_out = 0;
     std::string error;
     if (!telemetry::parseJson(text, root, &error)) {
         report.error("diag.parse", error);
@@ -127,10 +134,13 @@ parsePreamble(const std::string &text, const char *expected_kind,
     if (version == nullptr || !version->isNumber()) {
         report.error("diag.version",
                      "document has no numeric schemaVersion");
-    } else if (version->number != supported_version) {
+    } else if (version->number < 1 ||
+               version->number > supported_version) {
         report.error("diag.version",
                      "unsupported schemaVersion " +
                          std::to_string(version->number));
+    } else if (version_out != nullptr) {
+        *version_out = static_cast<std::uint64_t>(version->number);
     }
     return expected_kind;
 }
@@ -314,6 +324,86 @@ lintNameValueArray(const JsonValue &root, const char *key,
     }
 }
 
+/** The stable audit --deep rule family (DESIGN.md §12). */
+constexpr const char *kFlowRules[] = {
+    "flow.double_free",  "flow.free_unallocated",
+    "flow.size_mismatch", "flow.negative_size",
+    "flow.write_freed",  "flow.write_unmapped",
+    "flow.overlap_alloc", "flow.dangling_edge",
+    "flow.leak_at_exit",
+};
+
+void
+lintFlowSite(const JsonValue &root, const char *key, Checker &check,
+             Report &report)
+{
+    const JsonValue *site = check.object(root, "flow incident", key);
+    if (site == nullptr)
+        return;
+    check.member(*site, key, "known", JsonValue::Kind::Bool,
+                 "a boolean");
+    check.num(*site, key, "fnId");
+    check.str(*site, key, "name");
+    check.num(*site, key, "eventIndex");
+    check.num(*site, key, "byteOffset");
+}
+
+/** Lint a "heapmd.flow" document (one audit --deep finding). */
+void
+lintFlowDocument(const JsonValue &root, Report &report)
+{
+    Checker check(report);
+    check.str(root, "flow incident", "program");
+
+    const std::string rule = check.str(root, "flow incident", "rule");
+    if (!rule.empty()) {
+        bool known = false;
+        for (const char *candidate : kFlowRules)
+            known = known || rule == candidate;
+        if (!known) {
+            report.error("diag.bad-rule",
+                         "unknown flow rule '" + rule + "'");
+        }
+    }
+
+    const std::string severity =
+        check.str(root, "flow incident", "severity");
+    if (!severity.empty() && severity != "error" &&
+        severity != "warning" && severity != "note") {
+        report.error("diag.bad-severity",
+                     "severity '" + severity +
+                         "' is not error/warning/note");
+    }
+
+    check.str(root, "flow incident", "message");
+    const double addr = check.num(root, "flow incident", "addr");
+    const double base = check.num(root, "flow incident", "base");
+    const double size = check.num(root, "flow incident", "size");
+    check.num(root, "flow incident", "byteOffset");
+    check.num(root, "flow incident", "eventIndex");
+    check.num(root, "flow incident", "lifetimeEvents");
+    check.num(root, "flow incident", "objects");
+    check.num(root, "flow incident", "bytes");
+
+    // For the rules whose address is an access into the named object,
+    // the address must land inside its extent.
+    const bool interior_rule = rule == "flow.write_freed" ||
+                               rule == "flow.dangling_edge" ||
+                               rule == "flow.double_free" ||
+                               rule == "flow.size_mismatch";
+    if (interior_rule && !std::isnan(addr) && !std::isnan(base) &&
+        !std::isnan(size) && size > 0.0 &&
+        (addr < base || addr >= base + size)) {
+        report.error("diag.addr-outside",
+                     "address " + std::to_string(addr) +
+                         " lies outside the object extent named by " +
+                         rule);
+    }
+
+    lintFlowSite(root, "allocSite", check, report);
+    lintFlowSite(root, "freeSite", check, report);
+}
+
 } // namespace
 
 BundleLintStats
@@ -321,6 +411,32 @@ lintBundleText(const std::string &text, Report &report)
 {
     BundleLintStats stats;
     JsonValue root;
+    // Sniff the kind first: `audit --bundle` accepts both incident
+    // bundles and the flow incidents that audit --deep exports.
+    {
+        std::string error;
+        if (!telemetry::parseJson(text, root, &error)) {
+            report.error("diag.parse", error);
+            return stats;
+        }
+    }
+    if (root.isObject()) {
+        const JsonValue *kind = root.find("kind");
+        if (kind != nullptr && kind->isString() &&
+            kind->string == "heapmd.flow") {
+            const JsonValue *version = root.find("schemaVersion");
+            if (version == nullptr || !version->isNumber()) {
+                report.error("diag.version",
+                             "document has no numeric schemaVersion");
+            } else if (version->number != 1) {
+                report.error("diag.version",
+                             "unsupported schemaVersion " +
+                                 std::to_string(version->number));
+            }
+            lintFlowDocument(root, report);
+            return stats;
+        }
+    }
     if (parsePreamble(text, "heapmd.incident", 1, root, report) ==
         nullptr) {
         return stats;
@@ -391,8 +507,9 @@ lintManifestText(const std::string &text, Report &report)
 {
     ManifestLintStats stats;
     JsonValue root;
-    if (parsePreamble(text, "heapmd.manifest", 1, root, report) ==
-        nullptr) {
+    std::uint64_t schema = 0;
+    if (parsePreamble(text, "heapmd.manifest", 2, root, report,
+                      &schema) == nullptr) {
         return stats;
     }
     Checker check(report);
@@ -411,6 +528,16 @@ lintManifestText(const std::string &text, Report &report)
         check.num(*config, "config", "scale");
         check.str(*config, "config", "fault");
         check.num(*config, "config", "faultRate");
+    }
+
+    // env arrived with schema v2; absence there is a defect, absence
+    // on v1 documents is history.
+    if (schema >= 2) {
+        const JsonValue *env = check.object(root, "manifest", "env");
+        if (env != nullptr) {
+            check.num(*env, "env", "hardwareConcurrency");
+            check.str(*env, "env", "sanitizer");
+        }
     }
 
     const JsonValue *inputs = check.array(root, "manifest", "inputs");

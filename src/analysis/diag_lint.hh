@@ -29,6 +29,13 @@
  *   diag.counter-order     counters/gauges not sorted by name
  *   diag.report-count      class tallies do not sum to the total
  *   diag.sample-excess     more samples than runtime events
+ *   diag.bad-rule          flow incident rule not in the flow.* set
+ *   diag.bad-severity      flow severity not error/warning/note
+ *   diag.addr-outside      flow access address outside the extent
+ *
+ * lintBundleText() accepts both "heapmd.incident" bundles and the
+ * "heapmd.flow" documents `audit --deep --bundle-dir` exports,
+ * dispatching on the kind tag.
  */
 
 #ifndef HEAPMD_ANALYSIS_DIAG_LINT_HH

@@ -122,6 +122,22 @@ Report::note(std::string rule, std::string message)
         std::move(message));
 }
 
+void
+Report::noteAtByte(std::string rule, std::uint64_t offset,
+                   std::string message)
+{
+    add(Severity::Note, std::move(rule), LocationKind::Byte, offset,
+        std::move(message));
+}
+
+void
+Report::atByte(Severity severity, std::string rule,
+               std::uint64_t offset, std::string message)
+{
+    add(severity, std::move(rule), LocationKind::Byte, offset,
+        std::move(message));
+}
+
 std::size_t
 Report::count(std::string_view rule) const
 {

@@ -95,6 +95,12 @@ class Report
 
     /** Append a note finding. */
     void note(std::string rule, std::string message);
+    void noteAtByte(std::string rule, std::uint64_t offset,
+                    std::string message);
+
+    /** Append a finding of the given severity at a byte offset. */
+    void atByte(Severity severity, std::string rule,
+                std::uint64_t offset, std::string message);
 
     /** All retained findings, in discovery order. */
     const std::vector<Finding> &findings() const { return findings_; }

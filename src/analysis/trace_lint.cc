@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "analysis/trace_scan.hh"
 #include "runtime/events.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace_format.hh"
@@ -18,69 +19,12 @@ namespace analysis
 namespace
 {
 
-/** Longest legal LEB128 encoding of a 64-bit value. */
-constexpr int kMaxVarintBytes = 10;
+using Cursor = ScanCursor;
 
-/** Byte cursor over a fully-loaded trace. */
-class Cursor
-{
-  public:
-    explicit Cursor(std::string_view data)
-        : data_(data)
-    {
-    }
-
-    std::uint64_t offset() const { return pos_; }
-    bool atEnd() const { return pos_ >= data_.size(); }
-    std::uint64_t remaining() const { return data_.size() - pos_; }
-
-    /** Next byte, or -1 at end of data. */
-    int get()
-    {
-        if (atEnd())
-            return -1;
-        return static_cast<unsigned char>(data_[pos_++]);
-    }
-
-    void skip(std::uint64_t n) { pos_ += n; }
-
-  private:
-    std::string_view data_;
-    std::uint64_t pos_ = 0;
-};
-
-enum class VarintStatus
-{
-    Ok,
-    Truncated,
-    Overlong,
-};
-
-/**
- * Decode one LEB128 varint.  Overlong encodings (> 10 bytes) are
- * consumed to the terminating byte so framing survives the finding.
- */
 VarintStatus
 readVarint(Cursor &cursor, std::uint64_t &value)
 {
-    value = 0;
-    int shift = 0;
-    int length = 0;
-    bool overlong = false;
-    for (;;) {
-        const int ch = cursor.get();
-        if (ch < 0)
-            return VarintStatus::Truncated;
-        ++length;
-        if (length > kMaxVarintBytes)
-            overlong = true;
-        else if (shift < 64)
-            value |= (static_cast<std::uint64_t>(ch) & 0x7F) << shift;
-        shift += 7;
-        if ((ch & 0x80) == 0)
-            break;
-    }
-    return overlong ? VarintStatus::Overlong : VarintStatus::Ok;
+    return scanVarint(cursor, value);
 }
 
 /** Tracks live/freed extents to check event-ordering rules. */
@@ -237,52 +181,15 @@ struct Linter
 void
 Linter::checkHeader(bool &usable)
 {
-    usable = false;
-    std::uint32_t magic = 0, version = 0;
-    if (cursor.remaining() < 8) {
-        report.errorAtByte("trace.bad-magic", 0,
-                           "file too short for the 8-byte header");
+    const ScannedHeader header = scanTraceHeader(cursor);
+    usable = header.usable;
+    if (!header.usable) {
+        report.errorAtByte(header.rule, header.offset,
+                           header.message);
         return;
     }
-    for (int i = 0; i < 4; ++i)
-        magic |= static_cast<std::uint32_t>(cursor.get()) << (8 * i);
-    if (magic != trace::kMagic) {
-        std::ostringstream oss;
-        oss << "bad magic 0x" << std::hex << magic
-            << " (expected 0x" << trace::kMagic << " \"HMDT\")";
-        report.errorAtByte("trace.bad-magic", 0, oss.str());
-        return;
-    }
-    for (int i = 0; i < 4; ++i)
-        version |=
-            static_cast<std::uint32_t>(cursor.get()) << (8 * i);
-    if (version != trace::kVersion &&
-        version != trace::kVersionFlags) {
-        report.errorAtByte("trace.bad-version", 4,
-                           "unsupported trace version " +
-                               std::to_string(version) +
-                               " (expected " +
-                               std::to_string(trace::kVersion) +
-                               " or " +
-                               std::to_string(trace::kVersionFlags) +
-                               ")");
-        return;
-    }
-    if (version == trace::kVersionFlags) {
-        if (cursor.remaining() < 4) {
-            report.errorAtByte("trace.bad-version", 8,
-                               "version-2 header is missing its "
-                               "flags word");
-            return;
-        }
-        std::uint32_t flags = 0;
-        for (int i = 0; i < 4; ++i)
-            flags |=
-                static_cast<std::uint32_t>(cursor.get()) << (8 * i);
-        capture = (flags & trace::kFlagCaptureProvenance) != 0;
-        stats.captureProvenance = capture;
-    }
-    usable = true;
+    capture = header.capture;
+    stats.captureProvenance = capture;
 }
 
 bool

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Byte-level scan helpers shared by the static trace analyzers.
+ *
+ * The trace linter (trace_lint.cc) and the shadow-heap flow analyzer
+ * (flow_lint.cc) both walk raw HMDT bytes without building a Process;
+ * this header holds the cursor, LEB128 decoder and header scanner
+ * they share so the two passes cannot drift apart on framing rules.
+ * Internal to src/analysis -- not installed, not part of the public
+ * audit API.
+ */
+
+#ifndef HEAPMD_ANALYSIS_TRACE_SCAN_HH
+#define HEAPMD_ANALYSIS_TRACE_SCAN_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "trace/trace_format.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+/** Byte cursor over a fully-loaded trace. */
+class ScanCursor
+{
+  public:
+    explicit ScanCursor(std::string_view data)
+        : data_(data)
+    {
+    }
+
+    std::uint64_t offset() const { return pos_; }
+    bool atEnd() const { return pos_ >= data_.size(); }
+    std::uint64_t remaining() const { return data_.size() - pos_; }
+
+    /** Next byte, or -1 at end of data. */
+    int get()
+    {
+        if (atEnd())
+            return -1;
+        return static_cast<unsigned char>(data_[pos_++]);
+    }
+
+    std::string_view take(std::uint64_t n)
+    {
+        const std::string_view out = data_.substr(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    void skip(std::uint64_t n) { pos_ += n; }
+
+  private:
+    std::string_view data_;
+    std::uint64_t pos_ = 0;
+};
+
+enum class VarintStatus
+{
+    Ok,
+    Truncated,
+    Overlong,
+};
+
+/**
+ * Decode one LEB128 varint.  Overlong encodings
+ * (> trace::kMaxVarintBytes) are consumed to the terminating byte so
+ * framing survives the finding.
+ */
+inline VarintStatus
+scanVarint(ScanCursor &cursor, std::uint64_t &value)
+{
+    value = 0;
+    int shift = 0;
+    int length = 0;
+    bool overlong = false;
+    for (;;) {
+        const int ch = cursor.get();
+        if (ch < 0)
+            return VarintStatus::Truncated;
+        ++length;
+        if (length > trace::kMaxVarintBytes)
+            overlong = true;
+        else if (shift < 64)
+            value |= (static_cast<std::uint64_t>(ch) & 0x7F) << shift;
+        shift += 7;
+        if ((ch & 0x80) == 0)
+            break;
+    }
+    return overlong ? VarintStatus::Overlong : VarintStatus::Ok;
+}
+
+/** Outcome of scanning an HMDT header in place. */
+struct ScannedHeader
+{
+    bool usable = false;         //!< header decoded to a known version
+    std::uint32_t version = 0;   //!< declared version when readable
+    bool capture = false;        //!< live-capture provenance flag
+    const char *rule = nullptr;  //!< lint rule id on failure
+    std::uint64_t offset = 0;    //!< byte offset of the failure
+    std::string message;         //!< failure description
+};
+
+/**
+ * Scan the trace header at the cursor (which must sit at offset 0).
+ * Consumes exactly the header bytes on success; on failure the
+ * returned rule/offset/message describe the defect in trace-lint
+ * vocabulary.
+ */
+inline ScannedHeader
+scanTraceHeader(ScanCursor &cursor)
+{
+    ScannedHeader out;
+    if (cursor.remaining() < 8) {
+        out.rule = "trace.bad-magic";
+        out.offset = 0;
+        out.message = "file too short for the 8-byte header";
+        return out;
+    }
+    std::uint32_t magic = 0;
+    for (int i = 0; i < 4; ++i)
+        magic |= static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+    if (magic != trace::kMagic) {
+        out.rule = "trace.bad-magic";
+        out.offset = 0;
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "bad magic 0x%x (expected 0x%x \"HMDT\")", magic,
+                      trace::kMagic);
+        out.message = buf;
+        return out;
+    }
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+    out.version = version;
+    if (version != trace::kVersion &&
+        version != trace::kVersionFlags) {
+        out.rule = "trace.bad-version";
+        out.offset = 4;
+        out.message = "unsupported trace version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(trace::kVersion) + " or " +
+                      std::to_string(trace::kVersionFlags) + ")";
+        return out;
+    }
+    if (version == trace::kVersionFlags) {
+        if (cursor.remaining() < 4) {
+            out.rule = "trace.bad-version";
+            out.offset = 8;
+            out.message =
+                "version-2 header is missing its flags word";
+            return out;
+        }
+        std::uint32_t flags = 0;
+        for (int i = 0; i < 4; ++i)
+            flags |=
+                static_cast<std::uint32_t>(cursor.get()) << (8 * i);
+        out.capture = (flags & trace::kFlagCaptureProvenance) != 0;
+    }
+    out.usable = true;
+    return out;
+}
+
+} // namespace analysis
+
+} // namespace heapmd
+
+#endif // HEAPMD_ANALYSIS_TRACE_SCAN_HH

@@ -157,5 +157,101 @@ renderIncident(const IncidentBundle &bundle,
     return os.str();
 }
 
+namespace
+{
+
+std::string
+formatHex(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+formatSite(const FlowSiteRecord &site)
+{
+    if (!site.known)
+        return "(unknown site)";
+    return "event " + std::to_string(site.eventIndex) + " (byte " +
+           std::to_string(site.byteOffset) + ") in " +
+           (site.name.empty() ? "(no function)" : site.name);
+}
+
+/** One actionable sentence per flow rule. */
+const char *
+triageHint(const std::string &rule)
+{
+    if (rule == "flow.double_free")
+        return "two owners released the same object: drop the "
+               "redundant free, or hand off ownership explicitly";
+    if (rule == "flow.free_unallocated")
+        return "the freed pointer never came from the allocator: "
+               "check for pointer arithmetic or a stale copy";
+    if (rule == "flow.size_mismatch")
+        return "an interior pointer reached free(): keep the base "
+               "pointer for deallocation";
+    if (rule == "flow.negative_size")
+        return "a negative length reached the allocator: validate "
+               "the size computation before allocating";
+    if (rule == "flow.write_freed")
+        return "a pointer kept past free() was written through: "
+               "null the reference at the free site or reorder "
+               "teardown";
+    if (rule == "flow.write_unmapped")
+        return "the store target was never a heap object: check "
+               "for an uninitialized or corrupted pointer";
+    if (rule == "flow.overlap_alloc")
+        return "the allocator handed out overlapping extents: the "
+               "trace is internally inconsistent or the recorder "
+               "missed a free";
+    if (rule == "flow.dangling_edge")
+        return "a stale pointer to a recycled object was loaded and "
+               "written through: null the reference when its target "
+               "is freed";
+    if (rule == "flow.leak_at_exit")
+        return "objects from this site were never freed: add "
+               "teardown, or suppress if the leak is intentional";
+    return "see DESIGN.md section 12 for the flow.* rule catalog";
+}
+
+} // namespace
+
+std::string
+renderFlowIncident(const FlowIncident &incident)
+{
+    std::ostringstream os;
+    os << "flow incident: " << incident.rule << " ("
+       << incident.severity << ")\n";
+    os << "  program: " << incident.program << "\n";
+    os << "  at event " << incident.eventIndex << " (byte "
+       << incident.byteOffset << "), address "
+       << formatHex(incident.addr) << "\n";
+    if (incident.size != 0) {
+        os << "  object [" << formatHex(incident.base) << ", "
+           << formatHex(incident.base + incident.size) << "), "
+           << incident.size << " byte(s)";
+        if (incident.lifetimeEvents != 0)
+            os << ", lifetime " << incident.lifetimeEvents
+               << " event(s)";
+        os << "\n";
+    }
+    if (incident.rule == "flow.leak_at_exit") {
+        os << "  leaked: " << incident.objects
+           << " object(s), " << incident.bytes << " byte(s)\n";
+    } else if (incident.objects != 0) {
+        os << "  stale edges: " << incident.objects << "\n";
+    }
+    if (incident.allocSite.known)
+        os << "  allocated at " << formatSite(incident.allocSite)
+           << "\n";
+    if (incident.freeSite.known)
+        os << "  freed at " << formatSite(incident.freeSite) << "\n";
+    os << "  detail: " << incident.message << "\n";
+    os << "  triage: " << triageHint(incident.rule) << "\n";
+    return os.str();
+}
+
 } // namespace diag
 } // namespace heapmd

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/flow_incident.hh"
 #include "diag/incident_bundle.hh"
 
 namespace heapmd
@@ -41,6 +42,13 @@ struct RenderOptions
 /** Render @p bundle as a developer-facing incident page. */
 std::string renderIncident(const IncidentBundle &bundle,
                            const RenderOptions &options = {});
+
+/**
+ * Render a flow incident (audit --deep finding) the way
+ * renderIncident() renders a detector anomaly: headline, provenance,
+ * and a per-rule triage hint.
+ */
+std::string renderFlowIncident(const FlowIncident &incident);
 
 } // namespace diag
 } // namespace heapmd

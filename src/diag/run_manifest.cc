@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "diag/json.hh"
+#include "support/build_env.hh"
 #include "support/hash.hh"
 #include "telemetry/telemetry.hh"
 
@@ -30,6 +31,8 @@ makeRunManifest(const std::string &command,
     manifest.command = command;
     manifest.commandLine = command_line;
     manifest.program = run.series.label;
+    manifest.hardwareConcurrency = support::hardwareConcurrency();
+    manifest.sanitizer = support::kSanitizeMode;
     manifest.events = run.finalTick;
     manifest.samples = run.series.size();
     manifest.allocs = run.graphStats.allocs;
@@ -87,7 +90,9 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
     JsonWriter w(os);
     w.beginObject();
     w.field("kind", kManifestKind);
-    w.field("schemaVersion", manifest.schemaVersion);
+    // Always write the current schema: a v1 document that was loaded
+    // and re-saved gains the env object, so it must claim v2.
+    w.field("schemaVersion", kManifestSchemaVersion);
     w.field("command", manifest.command);
     w.field("commandLine", manifest.commandLine);
     w.field("program", manifest.program);
@@ -100,6 +105,10 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
     w.field("scale", manifest.scale);
     w.field("fault", manifest.fault);
     w.field("faultRate", manifest.faultRate);
+    w.endObject();
+    w.beginObject("env");
+    w.field("hardwareConcurrency", manifest.hardwareConcurrency);
+    w.field("sanitizer", manifest.sanitizer);
     w.endObject();
     w.beginArray("inputs");
     for (const ManifestInput &input : manifest.inputs) {
@@ -207,7 +216,8 @@ loadRunManifest(const std::string &json, RunManifest &out,
                  error)) {
         return false;
     }
-    if (manifest.schemaVersion != kManifestSchemaVersion)
+    if (manifest.schemaVersion != 1 &&
+        manifest.schemaVersion != kManifestSchemaVersion)
         return fail(error,
                     "unsupported schemaVersion " +
                         std::to_string(manifest.schemaVersion));
@@ -234,6 +244,20 @@ loadRunManifest(const std::string &json, RunManifest &out,
         !jsonNumber(*config, "faultRate", manifest.faultRate,
                     error)) {
         return false;
+    }
+
+    // env: required from v2 on; v1 documents predate it.
+    if (manifest.schemaVersion >= 2) {
+        const telemetry::JsonValue *env =
+            jsonObject(root, "env", error);
+        if (env == nullptr)
+            return false;
+        if (!jsonU64(*env, "hardwareConcurrency",
+                     manifest.hardwareConcurrency, error) ||
+            !jsonString(*env, "sanitizer", manifest.sanitizer,
+                        error)) {
+            return false;
+        }
     }
 
     const telemetry::JsonValue *inputs =

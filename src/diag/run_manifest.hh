@@ -34,8 +34,12 @@ namespace diag
 /** Manifest document type tag (the JSON "kind" member). */
 inline constexpr const char *kManifestKind = "heapmd.manifest";
 
-/** Current manifest schema version. */
-inline constexpr std::uint64_t kManifestSchemaVersion = 1;
+/**
+ * Current manifest schema version.  Version 2 added the "env"
+ * object (hardwareConcurrency, sanitizer); version-1 documents
+ * still load, with both fields defaulted.
+ */
+inline constexpr std::uint64_t kManifestSchemaVersion = 2;
 
 /** One input artifact a run consumed. */
 struct ManifestInput
@@ -83,6 +87,14 @@ struct RunManifest
     double scale = 1.0;
     std::string fault;      //!< "" when no fault injected
     double faultRate = 0.0;
+
+    /**
+     * Execution environment (schema v2).  Deliberately excludes the
+     * worker count: output is byte-identical at any --jobs, so the
+     * manifest must be too.  0 / "" on documents loaded from v1.
+     */
+    std::uint64_t hardwareConcurrency = 0;
+    std::string sanitizer; //!< "none" or the -fsanitize list
 
     std::vector<ManifestInput> inputs;
 

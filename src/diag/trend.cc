@@ -131,6 +131,47 @@ compareInputs(const RunManifest &baseline,
     }
 }
 
+/**
+ * Environment comparability (manifest schema v2).  A TSan or ASan
+ * binary runs a different allocator and 5-15x slower, and throughput
+ * scales with the host's cores, so cross-environment deltas are
+ * hazards, not regressions.  Manifests loaded from v1 documents have
+ * neither field; those stay silent.
+ */
+void
+compareEnvironments(const RunManifest &baseline,
+                    const RunManifest &candidate,
+                    analysis::Report &report)
+{
+    if (!baseline.sanitizer.empty() && !candidate.sanitizer.empty() &&
+        baseline.sanitizer != candidate.sanitizer) {
+        report.warning("trend.env-sanitizer",
+                       "baseline was built with sanitizer '" +
+                           baseline.sanitizer + "', candidate with '" +
+                           candidate.sanitizer +
+                           "'; timing and allocator behaviour are "
+                           "not comparable");
+    }
+    if (baseline.hardwareConcurrency > 0 &&
+        candidate.hardwareConcurrency > 0 &&
+        baseline.hardwareConcurrency !=
+            candidate.hardwareConcurrency) {
+        report.warning(
+            "trend.env-concurrency",
+            "baseline ran on " +
+                std::to_string(baseline.hardwareConcurrency) +
+                " core(s), candidate on " +
+                std::to_string(candidate.hardwareConcurrency) +
+                "; throughput deltas reflect the host, not the code");
+    }
+    if (candidate.hardwareConcurrency == 1) {
+        report.note("trend.env-single-core",
+                    "candidate ran on a single core: parallel "
+                    "speedups are nominal there, expect ~1x or "
+                    "slightly below");
+    }
+}
+
 } // namespace
 
 bool
@@ -153,6 +194,7 @@ compareManifests(const RunManifest &baseline,
                            "' against baseline '" + baseline.program +
                            "'; deltas may not be meaningful");
     }
+    compareEnvironments(baseline, candidate, report);
     compareReportCounts(baseline, candidate, report);
     compareCounters(baseline, candidate, options, report);
     compareSampleRates(baseline, candidate, options, report);

@@ -9,6 +9,12 @@
  * `trend.*` rule family; error-severity findings are regressions
  * (CLI exit code 3, the findings status), warnings are comparability
  * hazards, notes are context.
+ *
+ * Environment checks (manifest schema v2 `env` section):
+ *   trend.env-sanitizer    baseline/candidate sanitizer modes differ
+ *   trend.env-concurrency  host core counts differ between the runs
+ *   trend.env-single-core  candidate ran on one core (parallel
+ *                          speedups are nominal there)
  */
 
 #ifndef HEAPMD_DIAG_TREND_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Build/host environment identity for result artifacts.
+ *
+ * Run manifests and benchmark JSON embed these so numbers are never
+ * compared across incomparable environments: a TSan binary is ~5-15x
+ * slower than a plain one, and throughput scales with the host's
+ * core count.  `heapmd trend` checks both fields (trend.env-*).
+ */
+
+#ifndef HEAPMD_SUPPORT_BUILD_ENV_HH
+#define HEAPMD_SUPPORT_BUILD_ENV_HH
+
+#include <cstdint>
+#include <thread>
+
+#ifndef HEAPMD_SANITIZE_MODE
+#define HEAPMD_SANITIZE_MODE "none"
+#endif
+
+namespace heapmd
+{
+namespace support
+{
+
+/** "none", or the -fsanitize list this binary was built with. */
+inline constexpr const char *kSanitizeMode = HEAPMD_SANITIZE_MODE;
+
+/** Host logical core count (0 when the runtime cannot tell). */
+inline std::uint64_t
+hardwareConcurrency()
+{
+    return std::thread::hardware_concurrency();
+}
+
+} // namespace support
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_BUILD_ENV_HH

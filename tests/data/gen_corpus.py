@@ -31,6 +31,11 @@ def header(version=VERSION):
     return struct.pack("<II", MAGIC, version)
 
 
+def header2(flags):
+    """Version-2 header with a flags word (bit 0: capture provenance)."""
+    return struct.pack("<III", MAGIC, 2, flags)
+
+
 def event(tag, *fields):
     return bytes([tag]) + b"".join(varint(f) for f in fields)
 
@@ -118,6 +123,71 @@ CORPUS = {
     "zero_alloc.trace": header() + event(ALLOC, 0x1000, 0) + footer(),
     # trace.trailing-bytes (warning, not error)
     "trailing_bytes.trace": header() + footer() + b"junk",
+    # --- flow.* corpus (audit --deep; flow_lint_test.cc) ------------
+    # The pre-existing cases above double as flow fixtures:
+    # free_before_alloc -> flow.free_unallocated, write_after_free ->
+    # flow.write_freed, alloc_overlap -> flow.overlap_alloc.
+    # flow.double_free: freed at event 2, freed again at event 3
+    "flow_double_free.trace": header()
+    + event(FN_ENTER, 0)
+    + event(ALLOC, 0x1000, 64)
+    + event(FREE, 0x1000)
+    + event(FREE, 0x1000)
+    + event(FN_EXIT, 0)
+    + footer(["main"]),
+    # flow.size_mismatch: free of an interior pointer (offset 16)
+    "flow_size_mismatch.trace": header()
+    + event(ALLOC, 0x1000, 64)
+    + event(FREE, 0x1010)
+    + event(FREE, 0x1000)
+    + footer(),
+    # flow.negative_size: bit 63 set, an ssize_t gone negative
+    "flow_negative_size.trace": header()
+    + event(ALLOC, 0x1000, 1 << 63)
+    + footer(),
+    # flow.write_unmapped: pointer write no extent ever covered
+    "flow_write_unmapped.trace": header()
+    + event(WRITE, 0x9000, 0)
+    + footer(),
+    # flow.leak_at_exit: one 64-byte object still live at the footer
+    "flow_leak_at_exit.trace": header()
+    + event(FN_ENTER, 0)
+    + event(ALLOC, 0x1000, 64)
+    + event(FN_EXIT, 0)
+    + footer(["leaky"]),
+    # flow.dangling_edge: B's slot points at A; A is freed and its
+    # extent recycled; the slot is loaded and the very next memory
+    # event writes inside A's old extent -- a UAF write through the
+    # dangling edge.
+    "flow_dangling_reuse.trace": header()
+    + event(ALLOC, 0x1000, 32)  # A
+    + event(ALLOC, 0x2000, 32)  # B
+    + event(WRITE, 0x2000, 0x1000)  # slot B+0 -> A
+    + event(FREE, 0x1000)
+    + event(ALLOC, 0x1000, 32)  # recycles A's extent
+    + event(READ, 0x2000)  # load the stale slot
+    + event(WRITE, 0x1008, 0)  # write through it -> fires
+    + event(FREE, 0x1000)
+    + event(FREE, 0x2000)
+    + footer(),
+    # Capture provenance: the shim misses frees, so address reuse is
+    # legal -- flow.overlap_alloc must NOT fire (zero flow findings).
+    "capture_addr_reuse.trace": header2(1)
+    + event(ALLOC, 0x1000, 64)
+    + event(WRITE, 0x1000, 0)
+    + event(ALLOC, 0x1000, 64)
+    + event(FREE, 0x1000)
+    + footer(),
+    # Capture provenance downgrades write_freed to a warning
+    "capture_write_freed.trace": header2(1)
+    + event(ALLOC, 0x1000, 64)
+    + event(FREE, 0x1000)
+    + event(WRITE, 0x1008, 0)
+    + footer(),
+    # Capture provenance downgrades leak_at_exit to a note
+    "capture_leak.trace": header2(1)
+    + event(ALLOC, 0x1000, 64)
+    + footer(),
 }
 
 

@@ -98,6 +98,8 @@ testManifest()
     m.scale = 0.4;
     m.fault = "typo-leak";
     m.faultRate = 0.25;
+    m.hardwareConcurrency = 8;
+    m.sanitizer = "none";
     m.inputs.push_back({"model", "gzip.model",
                         hashFingerprint(fnv1a64("model-bytes")), 512});
     m.events = 10000;
@@ -239,6 +241,51 @@ TEST(RunManifestTest, RoundTripsByteForByte)
     EXPECT_EQ(loaded.metrics.size(), kNumMetrics);
     EXPECT_EQ(loaded.gauges[0].value, -5);
     EXPECT_TRUE(loaded.includeLocallyStable);
+    EXPECT_EQ(loaded.hardwareConcurrency, 8u);
+    EXPECT_EQ(loaded.sanitizer, "none");
+}
+
+TEST(RunManifestTest, V1DocumentsLoadWithoutEnv)
+{
+    // Hand-build a schema-1 document by stripping the env object
+    // from a canonical v2 rendering; the loader must accept it with
+    // the env fields defaulted, and a re-save must claim v2 (it
+    // gains the env object back).
+    std::string json = diag::manifestToJson(testManifest());
+    const auto env_pos = json.find("\"env\"");
+    ASSERT_NE(env_pos, std::string::npos);
+    const auto line_start = json.rfind('\n', env_pos) + 1;
+    const auto line_end =
+        json.find('\n', json.find('}', env_pos)) + 1;
+    json.erase(line_start, line_end - line_start);
+    const auto version_pos = json.find("\"schemaVersion\": 2");
+    ASSERT_NE(version_pos, std::string::npos);
+    json.replace(version_pos, 18, "\"schemaVersion\": 1");
+
+    RunManifest loaded;
+    std::string error;
+    ASSERT_TRUE(diag::loadRunManifest(json, loaded, &error)) << error;
+    EXPECT_EQ(loaded.schemaVersion, 1u);
+    EXPECT_EQ(loaded.hardwareConcurrency, 0u);
+    EXPECT_TRUE(loaded.sanitizer.empty());
+    EXPECT_NE(diag::manifestToJson(loaded)
+                  .find("\"schemaVersion\": 2"),
+              std::string::npos);
+}
+
+TEST(RunManifestTest, V2DocumentsRequireEnv)
+{
+    std::string json = diag::manifestToJson(testManifest());
+    const auto env_pos = json.find("\"env\"");
+    ASSERT_NE(env_pos, std::string::npos);
+    const auto line_start = json.rfind('\n', env_pos) + 1;
+    const auto line_end =
+        json.find('\n', json.find('}', env_pos)) + 1;
+    json.erase(line_start, line_end - line_start);
+
+    RunManifest loaded;
+    std::string error;
+    EXPECT_FALSE(diag::loadRunManifest(json, loaded, &error));
 }
 
 TEST(RunManifestTest, SampleRate)
@@ -375,6 +422,53 @@ TEST(TrendTest, ProgramMismatchAndInputChangeSurface)
     EXPECT_TRUE(report.has("trend.program-mismatch"));
     EXPECT_TRUE(report.has("trend.input-changed"));
     EXPECT_TRUE(report.clean()); // hazards, not regressions
+}
+
+TEST(TrendTest, EnvironmentMismatchesAreHazards)
+{
+    RunManifest baseline = testManifest();
+    RunManifest candidate = testManifest();
+    baseline.sanitizer = "none";
+    candidate.sanitizer = "address,undefined";
+    baseline.hardwareConcurrency = 8;
+    candidate.hardwareConcurrency = 2;
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_TRUE(report.has("trend.env-sanitizer"));
+    EXPECT_TRUE(report.has("trend.env-concurrency"));
+    EXPECT_TRUE(report.clean()); // comparability hazards, not bugs
+}
+
+TEST(TrendTest, SingleCoreCandidateGetsContextNote)
+{
+    RunManifest baseline = testManifest();
+    RunManifest candidate = testManifest();
+    baseline.hardwareConcurrency = 1;
+    candidate.hardwareConcurrency = 1;
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_TRUE(report.has("trend.env-single-core"));
+    EXPECT_FALSE(report.has("trend.env-concurrency"));
+    EXPECT_EQ(report.warningCount(), 0u);
+}
+
+TEST(TrendTest, EnvChecksStaySilentOnV1Manifests)
+{
+    // Manifests loaded from schema-1 documents carry no env data.
+    RunManifest baseline = testManifest();
+    RunManifest candidate = testManifest();
+    baseline.hardwareConcurrency = 0;
+    baseline.sanitizer.clear();
+    candidate.hardwareConcurrency = 0;
+    candidate.sanitizer.clear();
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_FALSE(report.has("trend.env-sanitizer"));
+    EXPECT_FALSE(report.has("trend.env-concurrency"));
+    EXPECT_FALSE(report.has("trend.env-single-core"));
 }
 
 TEST(DiagLintTest, CleanArtifactsPass)

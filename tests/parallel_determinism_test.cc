@@ -293,6 +293,42 @@ TEST_F(CliDeterminismTest, BatchCheckOutputIsJobInvariant)
               std::string::npos);
 }
 
+TEST_F(CliDeterminismTest, DeepAuditOutputIsJobInvariant)
+{
+    // Record a clean and a fault-seeded trace, then deep-audit both
+    // at jobs 1 and 8: reports must be byte-identical, the exit code
+    // must reflect the worst finding, and the seeded double free
+    // must surface under its exact flow rule id.
+    ASSERT_EQ(run("1",
+                  "record --app Multimedia --seed 3 --scale 0.3 "
+                  "--out " + path("clean.trace"),
+                  "rec1.log"),
+              0)
+        << slurp("rec1.log");
+    ASSERT_EQ(run("1",
+                  "record --app Multimedia --seed 3 --scale 0.3 "
+                  "--fault shared-state-free --rate 1.0 --out " +
+                      path("fault.trace"),
+                  "rec2.log"),
+              0)
+        << slurp("rec2.log");
+
+    const std::string audit = "audit --deep 1 --trace " +
+                              path("clean.trace") + " --trace " +
+                              path("fault.trace");
+    const int status1 = run("1", audit, "audit1.log");
+    const int status8 = run("8", audit, "audit8.log");
+    EXPECT_EQ(status1, 3) << slurp("audit1.log");
+    EXPECT_EQ(status8, 3);
+    EXPECT_EQ(slurp("audit1.log"), slurp("audit8.log"));
+    EXPECT_NE(slurp("audit1.log").find("flow.double_free"),
+              std::string::npos);
+    // The clean trace contributes no flow findings: its section of
+    // the report precedes the faulted trace's and stays clean.
+    const std::string log = slurp("audit1.log");
+    EXPECT_LT(log.find("clean.trace"), log.find("fault.trace"));
+}
+
 TEST_F(CliDeterminismTest, InvalidJobsValuesAreUsageErrors)
 {
     EXPECT_EQ(run("1", "train --app Multimedia --inputs 2 "

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Required clang-tidy gate with a checked-in suppression baseline.
+
+Runs clang-tidy (the same source set as the `lint` CMake target) and
+compares every diagnostic against tools/lint_baseline.txt.  A
+diagnostic whose `<path>:<check>` key is not in the baseline fails
+the gate; baseline entries that no longer fire are reported as stale
+so the file shrinks over time instead of rotting.  Line numbers are
+deliberately not part of the key -- unrelated edits move lines, and a
+baseline that churns on every commit trains people to ignore it.
+
+Usage:
+  check_lint.py [--build-dir build] [--require] [--update]
+                [--input FILE]
+
+  --require   missing clang-tidy is a failure (CI); without it the
+              gate is skipped with a notice (local gcc-only boxes)
+  --update    rewrite the baseline from the current diagnostics
+  --input     parse a pre-recorded clang-tidy log instead of running
+              (used by the self-test and for split CI runs)
+
+Exit codes: 0 clean/skipped, 1 new diagnostics or clang-tidy missing
+under --require, 2 infrastructure failure (no compile_commands.json,
+clang-tidy crashed).
+"""
+
+import argparse
+import glob
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "lint_baseline.txt")
+
+# path:line:col: severity: message [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):\d+:\d+:\s+"
+    r"(?P<severity>warning|error):\s+.*\[(?P<checks>[\w.,-]+)\]$")
+
+
+def lint_sources():
+    sources = []
+    for subdir in ("src", "tools"):
+        pattern = os.path.join(REPO_ROOT, subdir, "**", "*.cc")
+        sources.extend(glob.glob(pattern, recursive=True))
+    return sorted(sources)
+
+
+def diagnostic_keys(text):
+    """Parse clang-tidy output into sorted unique `path:check` keys."""
+    keys = set()
+    hard_errors = []
+    for line in text.splitlines():
+        match = DIAG_RE.match(line.strip())
+        if not match:
+            # Compiler errors carry no [check] suffix: clang-tidy
+            # could not parse the TU, which must never pass silently.
+            if re.search(r":\d+:\d+: error: ", line):
+                hard_errors.append(line.strip())
+            continue
+        path = os.path.relpath(
+            os.path.join(REPO_ROOT, match.group("path")), REPO_ROOT)
+        # A line can carry several checks: [bugprone-a,cert-b].
+        for check in match.group("checks").split(","):
+            keys.add(f"{path}:{check}")
+    return sorted(keys), hard_errors
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE_PATH):
+        return []
+    entries = []
+    with open(BASELINE_PATH) as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.append(line)
+    return entries
+
+
+def save_baseline(keys):
+    with open(BASELINE_PATH, "w") as fh:
+        fh.write(
+            "# clang-tidy suppression baseline (tools/check_lint.py).\n"
+            "# One `path:check` per line; regenerate with --update.\n"
+            "# Entries reported as stale should be deleted, not kept.\n")
+        for key in keys:
+            fh.write(key + "\n")
+
+
+def run_clang_tidy(build_dir):
+    tidy = os.environ.get("CLANG_TIDY") or shutil.which("clang-tidy")
+    if tidy is None:
+        return None
+    compdb = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(compdb):
+        print(f"check_lint: no {compdb}; configure the build first",
+              file=sys.stderr)
+        sys.exit(2)
+    # The .clang-tidy WarningsAsErrors promotion is for interactive
+    # use; here the baseline decides what fails, so neutralize it and
+    # gate on parsed diagnostics only.
+    cmd = [tidy, "-p", build_dir, "--quiet",
+           "--warnings-as-errors=-*"] + lint_sources()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT,
+                          stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--require", action="store_true")
+    parser.add_argument("--update", action="store_true")
+    parser.add_argument("--input")
+    args = parser.parse_args()
+
+    if args.input:
+        with open(args.input) as fh:
+            output = fh.read()
+    else:
+        output = run_clang_tidy(
+            os.path.join(REPO_ROOT, args.build_dir)
+            if not os.path.isabs(args.build_dir) else args.build_dir)
+        if output is None:
+            print("check_lint: clang-tidy not installed; gate "
+                  + ("REQUIRED -> fail" if args.require else
+                     "skipped"))
+            sys.exit(1 if args.require else 0)
+
+    keys, hard_errors = diagnostic_keys(output)
+    if hard_errors:
+        print("check_lint: clang-tidy hit compile errors:")
+        for line in hard_errors[:20]:
+            print(f"  {line}")
+        sys.exit(2)
+
+    if args.update:
+        save_baseline(keys)
+        print(f"check_lint: baseline rewritten with {len(keys)} "
+              f"entr{'y' if len(keys) == 1 else 'ies'}")
+        return
+
+    baseline = set(load_baseline())
+    fresh = [k for k in keys if k not in baseline]
+    stale = sorted(baseline - set(keys))
+
+    for key in stale:
+        print(f"check_lint: stale baseline entry (delete it): {key}")
+    if fresh:
+        print(f"check_lint: {len(fresh)} diagnostic(s) not in the "
+              "baseline:")
+        for key in fresh:
+            print(f"  {key}")
+        print("check_lint: fix them, or if deliberate re-run with "
+              "--update and commit tools/lint_baseline.txt")
+        sys.exit(1)
+    print(f"check_lint: clean ({len(keys)} baselined, "
+          f"{len(stale)} stale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,16 +61,20 @@
 #include <vector>
 
 #include "analysis/diag_lint.hh"
+#include "analysis/flow_lint.hh"
 #include "analysis/graph_lint.hh"
 #include "analysis/model_lint.hh"
 #include "analysis/trace_lint.hh"
 #include "core/heapmd.hh"
+#include "diag/flow_incident.hh"
 #include "diag/incident_bundle.hh"
+#include "diag/json.hh"
 #include "diag/render.hh"
 #include "diag/run_manifest.hh"
 #include "diag/trend.hh"
 #include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
+#include "support/build_env.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
 #include "telemetry/telemetry.hh"
@@ -143,14 +147,22 @@ printUsage(std::FILE *to)
         "  diff    --model FILE --model-b FILE\n"
         "  snapshot --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
-        "  audit   [--trace FILE] [--model FILE] [--graph FILE]\n"
-        "          [--bundle FILE] [--manifest FILE]\n"
-        "          [--max-findings N=1000]\n"
+        "  audit   [--trace FILE ...] [--model FILE ...]\n"
+        "          [--graph FILE ...] [--bundle FILE ...]\n"
+        "          [--manifest FILE ...] [--deep 0|1]\n"
+        "          [--bundle-dir DIR] [--max-findings N=1000]\n"
         "          (static verification: lint artifacts against the\n"
-        "           rule catalog in DESIGN.md without replaying)\n"
+        "           rule catalog in DESIGN.md without replaying;\n"
+        "           every input repeats, reports print per file in\n"
+        "           input order, and the exit code reflects the\n"
+        "           worst finding across all of them; --deep 1 adds\n"
+        "           the shadow-heap flow analysis [flow.* rules] on\n"
+        "           traces and --bundle-dir exports its findings as\n"
+        "           flow incidents for `report`)\n"
         "  report  --bundle FILE [--stacks N=3] [--suspects N=5]\n"
-        "          (render an incident bundle: ranked suspects,\n"
-        "           metric trajectory, context call stacks)\n"
+        "          (render an incident bundle or a flow incident:\n"
+        "           ranked suspects, metric trajectory, call stacks\n"
+        "           / rule, site pair, triage hint)\n"
         "  trend   --baseline FILE --manifest FILE [--manifest ...]\n"
         "          [--counter-tol R=0.10] [--sample-tol R=0.10]\n"
         "          [--min-base N=100]\n"
@@ -168,11 +180,12 @@ printUsage(std::FILE *to)
         "  --trace-out FILE   Chrome trace-event JSON timeline\n"
         "  --stats 0|1        counter table on exit (stderr); the\n"
         "                     HEAPMD_STATS env var does the same\n"
-        "  --jobs N           worker threads for multi-input train\n"
-        "                     and batch check (0 = one per hardware\n"
-        "                     thread; the HEAPMD_JOBS env var is the\n"
-        "                     fallback; outputs are bit-identical\n"
-        "                     for any value)\n"
+        "  --jobs N           worker threads for multi-input train,\n"
+        "                     batch check, and multi-trace audit\n"
+        "                     (0 = one per hardware thread; the\n"
+        "                     HEAPMD_JOBS env var is the fallback;\n"
+        "                     outputs are bit-identical for any\n"
+        "                     value)\n"
         "\n"
         "exit status: 0 clean; 1 fatal error; 2 usage error;\n"
         "  3 findings (anomaly reports, audit defects, model drift,\n"
@@ -421,11 +434,15 @@ writeBundles(const std::string &dir,
 
 /**
  * Finish and write a run manifest: the telemetry counter snapshot is
- * captured here, last, so it covers the whole command.
+ * captured here, last, so it covers the whole command.  The build/host
+ * environment is stamped here too, so every manifest carries it even
+ * on paths that build the struct by hand instead of makeRunManifest().
  */
 void
 writeManifest(diag::RunManifest &manifest, const std::string &path)
 {
+    manifest.hardwareConcurrency = support::hardwareConcurrency();
+    manifest.sanitizer = support::kSanitizeMode;
     diag::captureCounters(
         manifest, telemetry::Registry::instance().snapshotAll());
     std::ofstream out(path, std::ios::binary);
@@ -1020,6 +1037,99 @@ cmdSnapshot(const Args &args)
     return 0;
 }
 
+/**
+ * `audit --trace FILE [--trace ...]`: lint each trace into its own
+ * report.  Traces are the heavy inputs (a deep pass decodes every
+ * event), so they fan out over the thread pool; each report renders
+ * into an indexed slot and prints in input order, keeping stdout
+ * byte-identical for any --jobs value.
+ */
+bool
+auditTraces(const Args &args, const std::vector<std::string> &traces,
+            std::size_t max_findings)
+{
+    const bool deep = args.num("deep", 0) != 0;
+    const std::string bundle_dir =
+        args.has("bundle-dir") ? args.str("bundle-dir") : "";
+    if (!bundle_dir.empty()) {
+        if (!deep)
+            badInvocation("audit: --bundle-dir exports flow "
+                          "incidents and needs --deep 1");
+        std::filesystem::create_directories(bundle_dir);
+    }
+
+    std::vector<std::string> outputs(traces.size());
+    std::vector<char> clean(traces.size(), 1);
+    parallelForIndexed(traces.size(), g_jobs, [&](std::size_t i) {
+        analysis::Report report(max_findings);
+        const analysis::TraceLintStats stats =
+            analysis::lintTraceFile(traces[i], report);
+        char line[512];
+        std::snprintf(line, sizeof line,
+                      "trace %s: %llu bytes, %llu events, %llu "
+                      "functions\n",
+                      traces[i].c_str(),
+                      static_cast<unsigned long long>(stats.bytes),
+                      static_cast<unsigned long long>(stats.events),
+                      static_cast<unsigned long long>(
+                          stats.functions));
+        std::string text = line;
+        // Skip the deep pass when the file itself was unreadable --
+        // it would only duplicate the trace.io finding.
+        if (deep && !report.has("trace.io")) {
+            analysis::FlowAnalysis flow;
+            const analysis::FlowLintStats fstats =
+                analysis::lintTraceFlowFile(traces[i], report,
+                                            &flow);
+            std::snprintf(
+                line, sizeof line,
+                "flow: %llu live object(s) at exit holding %llu "
+                "byte(s)%s%s\n",
+                static_cast<unsigned long long>(fstats.liveAtExit),
+                static_cast<unsigned long long>(fstats.leakedBytes),
+                fstats.captureProvenance ? " (live capture)" : "",
+                fstats.sawFooter ? "" : " (truncated: leak check "
+                                        "skipped)");
+            text += line;
+            if (!bundle_dir.empty()) {
+                std::size_t written = 0;
+                for (const analysis::FlowFinding &f :
+                     flow.findings) {
+                    const diag::FlowIncident incident =
+                        diag::makeFlowIncident(flow, f, traces[i]);
+                    std::snprintf(line, sizeof line,
+                                  "flow-%03zu-%03zu.json", i + 1,
+                                  ++written);
+                    const std::filesystem::path path =
+                        std::filesystem::path(bundle_dir) / line;
+                    std::ofstream out(path);
+                    if (!out)
+                        HEAPMD_FATAL("cannot write '", path.string(),
+                                     "'");
+                    diag::saveFlowIncident(incident, out);
+                }
+                if (written != 0) {
+                    std::snprintf(line, sizeof line,
+                                  "flow: %zu incident(s) written "
+                                  "to %s\n",
+                                  written, bundle_dir.c_str());
+                    text += line;
+                }
+            }
+        }
+        text += report.describe();
+        outputs[i] = std::move(text);
+        clean[i] = report.clean() ? 1 : 0;
+    });
+
+    bool all_clean = true;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        std::fputs(outputs[i].c_str(), stdout);
+        all_clean = all_clean && clean[i] != 0;
+    }
+    return all_clean;
+}
+
 int
 cmdAudit(const Args &args)
 {
@@ -1029,40 +1139,30 @@ cmdAudit(const Args &args)
         HEAPMD_FATAL("audit needs at least one of --trace, --model, "
                      "--graph, --bundle, --manifest");
     }
+    if ((args.has("deep") || args.has("bundle-dir")) &&
+        !args.has("trace"))
+        badInvocation("audit: --deep applies to --trace inputs");
     const auto max_findings = static_cast<std::size_t>(args.num(
         "max-findings", analysis::Report::kDefaultMaxFindings));
 
-    bool clean = true;
-    if (args.has("trace")) {
-        analysis::Report report(max_findings);
-        const analysis::TraceLintStats stats =
-            analysis::lintTraceFile(args.str("trace"), report);
-        std::printf("trace %s: %llu bytes, %llu events, %llu "
-                    "functions\n%s",
-                    args.str("trace").c_str(),
-                    static_cast<unsigned long long>(stats.bytes),
-                    static_cast<unsigned long long>(stats.events),
-                    static_cast<unsigned long long>(stats.functions),
-                    report.describe().c_str());
-        clean = clean && report.clean();
-    }
-    if (args.has("model")) {
+    bool clean = auditTraces(args, args.all("trace"), max_findings);
+    for (const std::string &path : args.all("model")) {
         analysis::Report report(max_findings);
         const analysis::ModelLintStats stats =
-            analysis::lintModelFile(args.str("model"), report);
+            analysis::lintModelFile(path, report);
         std::printf("model %s: %zu lines, %zu stable + %zu unstable "
                     "metrics\n%s",
-                    args.str("model").c_str(), stats.lines,
-                    stats.stableMetrics, stats.unstableMetrics,
+                    path.c_str(), stats.lines, stats.stableMetrics,
+                    stats.unstableMetrics,
                     report.describe().c_str());
         clean = clean && report.clean();
     }
-    if (args.has("graph")) {
+    for (const std::string &path : args.all("graph")) {
         analysis::Report report(max_findings);
         const analysis::GraphLintStats stats =
-            analysis::lintGraphFile(args.str("graph"), report);
+            analysis::lintGraphFile(path, report);
         std::printf("graph %s: %zu lines, %zu vertices, %zu edges\n%s",
-                    args.str("graph").c_str(), stats.lines,
+                    path.c_str(), stats.lines,
                     stats.vertices, stats.edges,
                     report.describe().c_str());
         clean = clean && report.clean();
@@ -1095,12 +1195,21 @@ cmdAudit(const Args &args)
 int
 cmdReport(const Args &args)
 {
+    const std::string path = args.str("bundle");
+    std::string text, error;
+    if (!diag::readFileText(path, text, &error))
+        HEAPMD_FATAL("cannot read bundle '", path, "': ", error);
+
+    // Two document kinds render here: detector incident bundles
+    // (heapmd.incident) and audit --deep flow incidents (heapmd.flow).
+    diag::FlowIncident flow;
+    if (diag::loadFlowIncident(text, flow, nullptr)) {
+        std::printf("%s", diag::renderFlowIncident(flow).c_str());
+        return 0;
+    }
     diag::IncidentBundle bundle;
-    std::string error;
-    if (!diag::loadIncidentBundleFile(args.str("bundle"), bundle,
-                                      &error))
-        HEAPMD_FATAL("cannot load bundle '", args.str("bundle"),
-                     "': ", error);
+    if (!diag::loadIncidentBundle(text, bundle, &error))
+        HEAPMD_FATAL("cannot load bundle '", path, "': ", error);
     diag::RenderOptions options;
     options.stacksPerPhase =
         static_cast<std::size_t>(args.num("stacks", 3));
@@ -1215,7 +1324,7 @@ commandTable()
         {"audit",
          {cmdAudit,
           {"trace", "model", "graph", "bundle", "manifest",
-           "max-findings"}}},
+           "max-findings", "deep", "bundle-dir"}}},
         {"report", {cmdReport, {"bundle", "stacks", "suspects"}}},
         {"trend",
          {cmdTrend,
