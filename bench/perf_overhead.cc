@@ -3,7 +3,10 @@
  * Regenerates the Section 2 overhead claim: "our current prototype
  * results in a 2-3X slowdown", by running the same workload with the
  * execution logger's heap-graph maintenance enabled and disabled,
- * plus microbenchmarks of the hot heap-graph operations.
+ * plus microbenchmarks of the hot heap-graph operations and (on
+ * UNIX) of the live stats-segment publish paths the capture shim
+ * pays for observability.  The end-to-end <1% publication gate
+ * lives in replay_throughput.cc; these numbers explain it.
  */
 
 #include <benchmark/benchmark.h>
@@ -11,6 +14,12 @@
 #include "apps/workload_engine.hh"
 #include "core/heapmd.hh"
 #include "metrics/metric_engine.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+
+#include "obsv/segment.hh"
+#endif
 
 using namespace heapmd;
 
@@ -143,6 +152,84 @@ BM_ExtendedSample(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ExtendedSample);
+
+#ifdef __unix__
+
+/**
+ * Fixture owning one live stats segment under an unused pid slot,
+ * so the publish benches measure steady-state seqlock writes, not
+ * shm setup.
+ */
+class SegmentBench : public benchmark::Fixture
+{
+  public:
+    void
+    SetUp(benchmark::State &state) override
+    {
+        pid_ = 3900000000u +
+               static_cast<std::uint32_t>(::getpid() % 1000000);
+        if (!writer_.create(pid_, "perf_overhead"))
+            state.SkipWithError("shm unavailable");
+    }
+
+    void
+    TearDown(benchmark::State &) override
+    {
+        writer_.unlinkAndClose();
+    }
+
+  protected:
+    obsv::SegmentWriter writer_;
+    std::uint32_t pid_ = 0;
+};
+
+BENCHMARK_F(SegmentBench, PublishPrefix)(benchmark::State &state)
+{
+    // The shim's per-op gauge publish (throttled to 1/32 ops there).
+    std::uint64_t values[8] = {};
+    for (auto _ : state) {
+        ++values[0];
+        writer_.publishPrefix(values, 8);
+    }
+}
+
+BENCHMARK_F(SegmentBench, PublishFull)(benchmark::State &state)
+{
+    // The scan-time publish: every slot including metric percents.
+    std::array<std::uint64_t, obsv::kSlotCount> values{};
+    for (auto _ : state) {
+        ++values[0];
+        writer_.publish(values);
+    }
+}
+
+BENCHMARK_F(SegmentBench, Heartbeat)(benchmark::State &state)
+{
+    // Lower bound of any publish: one clock read + seqlock write.
+    for (auto _ : state)
+        writer_.heartbeat();
+}
+
+BENCHMARK_F(SegmentBench, ReaderSnapshot)(benchmark::State &state)
+{
+    // What one `heapmd top` / Prometheus scrape pays per segment.
+    obsv::SegmentReader reader;
+    std::string error;
+    if (!reader.attachPid(pid_, &error)) {
+        state.SkipWithError("attach failed");
+        return;
+    }
+    obsv::SegmentSnapshot snapshot;
+    for (auto _ : state) {
+        if (!reader.read(snapshot, &error)) {
+            state.SkipWithError("torn read");
+            break;
+        }
+        benchmark::DoNotOptimize(snapshot);
+    }
+}
+
+#endif // __unix__
 
 } // namespace
 

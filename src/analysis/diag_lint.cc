@@ -508,7 +508,7 @@ lintManifestText(const std::string &text, Report &report)
     ManifestLintStats stats;
     JsonValue root;
     std::uint64_t schema = 0;
-    if (parsePreamble(text, "heapmd.manifest", 2, root, report,
+    if (parsePreamble(text, "heapmd.manifest", 3, root, report,
                       &schema) == nullptr) {
         return stats;
     }
@@ -531,12 +531,17 @@ lintManifestText(const std::string &text, Report &report)
     }
 
     // env arrived with schema v2; absence there is a defect, absence
-    // on v1 documents is history.
+    // on v1 documents is history.  v3 grew the resource-footprint
+    // pair inside env.
     if (schema >= 2) {
         const JsonValue *env = check.object(root, "manifest", "env");
         if (env != nullptr) {
             check.num(*env, "env", "hardwareConcurrency");
             check.str(*env, "env", "sanitizer");
+            if (schema >= 3) {
+                check.num(*env, "env", "peakRssBytes");
+                check.num(*env, "env", "durationNanos");
+            }
         }
     }
 
@@ -559,6 +564,45 @@ lintManifestText(const std::string &text, Report &report)
                 report.warning("diag.hash-format",
                                "input fingerprint '" + fingerprint +
                                    "' is not 'fnv1a:<hex16>'");
+            }
+        }
+    }
+
+    // phases arrived with schema v3.  Wall time bounds CPU time from
+    // below only per-thread; a phase that runs on N threads can bank
+    // more CPU than wall, so only the degenerate zero-wall-nonzero-cpu
+    // shape is flagged.
+    if (schema >= 3) {
+        const JsonValue *phases =
+            check.array(root, "manifest", "phases");
+        if (phases != nullptr) {
+            for (const JsonValue &phase : phases->array) {
+                if (!phase.isObject()) {
+                    report.error("diag.missing-field",
+                                 "phases entry is not an object");
+                    continue;
+                }
+                const std::string name =
+                    check.str(phase, "phase", "name");
+                const double count =
+                    check.num(phase, "phase", "count");
+                const double wall =
+                    check.num(phase, "phase", "wallNanos");
+                const double cpu =
+                    check.num(phase, "phase", "cpuNanos");
+                check.num(phase, "phase", "bytes");
+                if (!std::isnan(count) && count < 1.0) {
+                    report.error("diag.phase-count",
+                                 "phase '" + name +
+                                     "' records zero runs");
+                }
+                if (!std::isnan(wall) && !std::isnan(cpu) &&
+                    wall == 0.0 && cpu > 0.0) {
+                    report.warning("diag.phase-time",
+                                   "phase '" + name +
+                                       "' banked CPU time with zero "
+                                       "wall time");
+                }
             }
         }
     }

@@ -816,6 +816,7 @@ lintTraceFlowFile(const std::string &path, Report &report,
                   FlowAnalysis *analysis)
 {
     HEAPMD_TRACE_SPAN("audit.flow");
+    HEAPMD_PHASE_SPAN_NAMED(phase, "phase.deep_audit");
     HEAPMD_COUNTER_INC("audit.flow_lints");
     const std::size_t before = report.findings().size();
     trace::FileSource source(path);
@@ -833,6 +834,7 @@ lintTraceFlowFile(const std::string &path, Report &report,
                   source.size());
     const FlowLintStats stats =
         lintTraceFlow(data, report, analysis);
+    phase.addBytes(source.size());
     HEAPMD_COUNTER_ADD("audit.findings",
                        report.findings().size() - before);
     return stats;

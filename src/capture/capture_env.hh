@@ -40,6 +40,14 @@ inline constexpr const char *kEnvPid = "HEAPMD_CAPTURE_PID";
 /** "1": shim logs its lifecycle to stderr. */
 inline constexpr const char *kEnvLog = "HEAPMD_CAPTURE_LOG";
 
+/**
+ * "1": skip the live stats segment (/dev/shm/heapmd.<pid>) entirely.
+ * The overhead bench ablates publication with this; deployments that
+ * must not leave /dev/shm artifacts can set it too.
+ */
+inline constexpr const char *kEnvNoSegment =
+    "HEAPMD_CAPTURE_NO_SEGMENT";
+
 /** Host-side override of the shim library path. */
 inline constexpr const char *kEnvLib = "HEAPMD_CAPTURE_LIB";
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "capture/stats_sidecar.hh"
+#include "obsv/segment.hh"
 #include "telemetry/registry.hh"
 
 extern char **environ;
@@ -130,6 +131,8 @@ runCapture(const std::vector<std::string> &argv,
         ::setenv(kEnvPid, number, 1);
         if (options.verbose)
             ::setenv(kEnvLog, "1", 1);
+        if (options.noSegment)
+            ::setenv(kEnvNoSegment, "1", 1);
 
         std::vector<char *> child_argv;
         child_argv.reserve(argv.size() + 1);
@@ -159,6 +162,12 @@ runCapture(const std::vector<std::string> &argv,
         result.exited = false;
         result.termSignal = WTERMSIG(status);
     }
+
+    // The shim unlinks its live stats segment from atexit, but a
+    // child killed by signal (or _exit before finalize) cannot; the
+    // host owns the cleanup so no run leaks a /dev/shm entry.  ENOENT
+    // after a clean exit is the expected case.
+    obsv::unlinkSegmentForPid(static_cast<std::uint32_t>(pid));
 
     if (result.exited && result.exitCode == 127) {
         error = "child failed to exec '" + argv.front() + "'";

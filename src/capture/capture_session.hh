@@ -40,6 +40,12 @@ struct SessionOptions
 
     /** Forward HEAPMD_CAPTURE_LOG=1 to the shim. */
     bool verbose = false;
+
+    /**
+     * Forward HEAPMD_CAPTURE_NO_SEGMENT=1: run without the live
+     * stats segment (overhead ablation; artifact-free deployments).
+     */
+    bool noSegment = false;
 };
 
 /** Outcome of one capture run. */

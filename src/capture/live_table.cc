@@ -209,6 +209,57 @@ LiveTable::dropEdgesFrom(std::uintptr_t begin, std::uintptr_t end)
     }
 }
 
+DegreeCensus
+LiveTable::degreeCensus() const
+{
+    DegreeCensus census;
+    census.objects = live_.size();
+    if (live_.empty())
+        return census;
+
+    struct Degrees
+    {
+        std::uint32_t in = 0;
+        std::uint32_t out = 0;
+    };
+    std::map<std::uintptr_t, Degrees> degrees;
+    // Out-degree: every recorded edge originates from a slot inside
+    // a live extent (erase/resize drop edges from dead ranges).
+    for (const auto &[slot, edge] : edges_) {
+        (void)edge;
+        const std::uintptr_t from = resolve(slot);
+        if (from != 0)
+            ++degrees[from].out;
+    }
+    // In-degree: the reverse index counts referring slots per target.
+    for (const auto &[target, slots] : in_refs_) {
+        if (live_.count(target) != 0)
+            degrees[target].in +=
+                static_cast<std::uint32_t>(slots.size());
+    }
+
+    std::array<std::uint64_t, kNumMetrics> hits{};
+    for (const auto &[start, size] : live_) {
+        (void)size;
+        Degrees d;
+        if (const auto it = degrees.find(start);
+            it != degrees.end())
+            d = it->second;
+        hits[metricIndex(MetricId::Roots)] += d.in == 0;
+        hits[metricIndex(MetricId::Indeg1)] += d.in == 1;
+        hits[metricIndex(MetricId::Indeg2)] += d.in == 2;
+        hits[metricIndex(MetricId::Leaves)] += d.out == 0;
+        hits[metricIndex(MetricId::Outdeg1)] += d.out == 1;
+        hits[metricIndex(MetricId::Outdeg2)] += d.out == 2;
+        hits[metricIndex(MetricId::InEqOut)] += d.in == d.out;
+    }
+    const double denom = static_cast<double>(census.objects);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        census.percent[i] =
+            100.0 * static_cast<double>(hits[i]) / denom;
+    return census;
+}
+
 } // namespace capture
 
 } // namespace heapmd

@@ -22,12 +22,15 @@
 #ifndef HEAPMD_CAPTURE_LIVE_TABLE_HH
 #define HEAPMD_CAPTURE_LIVE_TABLE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
 #include <vector>
+
+#include "metrics/metric.hh"
 
 namespace heapmd
 {
@@ -43,6 +46,19 @@ struct ScanStats
     std::uint64_t liveEdges = 0;      //!< words resolving to a live object
     std::uint64_t writesEmitted = 0;  //!< new/retargeted edges emitted
     std::uint64_t clearsEmitted = 0;  //!< vanished edges emitted as 0
+};
+
+/**
+ * The paper's seven degree-metric percentages (Section 2.1) computed
+ * directly over the live table's edge state — the shim publishes
+ * these into the shared-memory stats segment at each scan, so
+ * `heapmd top` shows live drift without replaying the trace.
+ */
+struct DegreeCensus
+{
+    std::uint64_t objects = 0; //!< live extents the census covers
+    /** Percentages (0..100) indexed by metricIndex(MetricId). */
+    std::array<double, kNumMetrics> percent{};
 };
 
 /**
@@ -117,6 +133,14 @@ class LiveTable
      * alignment; unaligned head/tail bytes of an extent are skipped.
      */
     ScanStats scan(const EmitFn &emit);
+
+    /**
+     * Degree percentages over the current table, using the edge set
+     * the last scan established (call right after scan() for a
+     * point-in-time sample).  O(V + E log V); allocates, so shim
+     * callers must hold the reentrancy guard.
+     */
+    DegreeCensus degreeCensus() const;
 
   private:
     struct EdgeState

@@ -29,6 +29,7 @@
  *    corrupting the parent's trace file.
  */
 
+#include <array>
 #include <atomic>
 #include <cerrno>
 #include <cstdarg>
@@ -36,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <new>
 #include <ostream>
@@ -53,6 +55,7 @@
 #include "capture/fd_stream.hh"
 #include "capture/live_table.hh"
 #include "capture/stats_sidecar.hh"
+#include "obsv/segment.hh"
 #include "runtime/call_stack.hh"
 #include "runtime/events.hh"
 #include "trace/trace_writer.hh"
@@ -121,6 +124,12 @@ struct Sink
     std::string stats_path;
     bool log;
     bool finalized = false;
+    /** Live stats segment (/dev/shm/heapmd.<pid>); may be invalid. */
+    heapmd::obsv::SegmentWriter segment;
+    /** Staging buffer for full seqlock publishes; no per-op allocs. */
+    std::array<std::uint64_t, heapmd::obsv::kSlotCount> slots{};
+    /** Recorded ops since the last gauge publish (throttling). */
+    std::uint64_t ops_since_publish = 0;
 
     Sink(int fd, std::uint64_t frq, std::string stats, bool verbose)
         : buf(fd, 1 << 18),
@@ -138,6 +147,10 @@ struct Sink
           stats_path(std::move(stats)),
           log(verbose)
     {
+        for (std::size_t i = 0; i < heapmd::kNumMetrics; ++i)
+            slots[heapmd::obsv::slotIndex(
+                      heapmd::obsv::Slot::MetricBase) +
+                  i] = heapmd::obsv::kMetricAbsent;
     }
 };
 
@@ -290,6 +303,26 @@ sinkLocked()
     }
     std::atexit(finalizeAtExit);
     ::pthread_atfork(nullptr, nullptr, onForkChild);
+    // Live stats segment for `heapmd top` / `stats` / `export`.
+    // Failure just means running dark -- capture itself is unharmed.
+    const char *no_segment =
+        ::getenv(heapmd::capture::kEnvNoSegment);
+    if (no_segment == nullptr || no_segment[0] != '1') {
+        char comm[64] = {0};
+        const int comm_fd =
+            ::open("/proc/self/comm", O_RDONLY | O_CLOEXEC);
+        if (comm_fd >= 0) {
+            const ssize_t n =
+                ::read(comm_fd, comm, sizeof comm - 1);
+            ::close(comm_fd);
+            if (n > 0)
+                comm[comm[n - 1] == '\n' ? n - 1 : n] = '\0';
+            else
+                comm[0] = '\0';
+        }
+        g_sink->segment.create(
+            static_cast<std::uint32_t>(::getpid()), comm);
+    }
     // Push the header to disk immediately: a child that _exit()s (or
     // is killed) before the first scan point must still leave a
     // readable, truncated trace rather than an empty file.
@@ -308,6 +341,133 @@ writeEvent(Sink &sink, const Event &event)
 {
     sink.writer.onEvent(event, 0);
     ++sink.counters.eventsEmitted;
+}
+
+namespace obsv = heapmd::obsv;
+
+/** CLOCK_MONOTONIC nanos for scan timing (0 if the clock fails). */
+std::uint64_t
+nowNanos()
+{
+    struct timespec ts;
+    if (::clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// The allocator hot path publishes only the gauge/event prefix of
+// the slot array; these pins make sure the prefix and the layout
+// never drift apart.
+static_assert(obsv::slotIndex(obsv::Slot::LiveObjects) == 0);
+static_assert(obsv::slotIndex(obsv::Slot::EventsEmitted) == 7);
+constexpr std::size_t kOpPublishSlots =
+    obsv::slotIndex(obsv::Slot::EventsEmitted) + 1;
+
+/**
+ * Gauge publishes happen at most once per this many recorded ops.
+ * An unthrottled publish (a heartbeat clock read plus ~10 atomic
+ * stores, ~50ns) costs 10-15% of an allocation-dominated capture;
+ * at 1/32 it is under the 1% budget bench/replay_throughput.cc
+ * enforces, and a slow allocator (one op per 50ms) still refreshes
+ * the heartbeat every ~1.6s -- well inside `top`'s 5s staleness
+ * window.  Scan-time publishes are never throttled.
+ */
+constexpr std::uint64_t kOpPublishPeriod = 32;
+
+/**
+ * Light per-operation publish: refresh the live gauges and event
+ * counters (first kOpPublishSlots slots) plus the heartbeat, under
+ * one seqlock write.  Allocation-free; called with the shim mutex
+ * held after every recorded allocator op so `heapmd top` tracks the
+ * heap between scans (throttled to every kOpPublishPeriod'th op).
+ */
+void
+publishOpLocked(Sink &sink)
+{
+    if (!sink.segment.valid())
+        return;
+    if (++sink.ops_since_publish < kOpPublishPeriod)
+        return;
+    sink.ops_since_publish = 0;
+    ++sink.counters.segmentPublishes;
+    std::uint64_t values[kOpPublishSlots];
+    values[obsv::slotIndex(obsv::Slot::LiveObjects)] =
+        sink.table.objectCount();
+    values[obsv::slotIndex(obsv::Slot::LiveBytes)] =
+        sink.table.liveBytes();
+    values[obsv::slotIndex(obsv::Slot::LiveEdges)] =
+        sink.table.edgeCount();
+    values[obsv::slotIndex(obsv::Slot::PeakLiveObjects)] =
+        sink.counters.peakLiveObjects;
+    values[obsv::slotIndex(obsv::Slot::AllocEvents)] =
+        sink.counters.allocEvents;
+    values[obsv::slotIndex(obsv::Slot::FreeEvents)] =
+        sink.counters.freeEvents;
+    values[obsv::slotIndex(obsv::Slot::ReallocEvents)] =
+        sink.counters.reallocEvents;
+    values[obsv::slotIndex(obsv::Slot::EventsEmitted)] =
+        sink.counters.eventsEmitted;
+    sink.segment.publishPrefix(values, kOpPublishSlots);
+}
+
+/**
+ * Full scan-time publish: every counter plus the degree-metric
+ * percentages from a fresh census.  The census allocates (the
+ * caller holds the reentrancy guard, so those allocations pass
+ * through unrecorded); the publish itself is one seqlock write of
+ * the staged slot array.
+ */
+void
+publishScanLocked(Sink &sink)
+{
+    if (!sink.segment.valid())
+        return;
+    sink.ops_since_publish = 0; // a full publish just refreshed all
+    ++sink.counters.segmentPublishes;
+    auto &s = sink.slots;
+    s[obsv::slotIndex(obsv::Slot::LiveObjects)] =
+        sink.table.objectCount();
+    s[obsv::slotIndex(obsv::Slot::LiveBytes)] =
+        sink.table.liveBytes();
+    s[obsv::slotIndex(obsv::Slot::LiveEdges)] =
+        sink.table.edgeCount();
+    s[obsv::slotIndex(obsv::Slot::PeakLiveObjects)] =
+        sink.counters.peakLiveObjects;
+    s[obsv::slotIndex(obsv::Slot::AllocEvents)] =
+        sink.counters.allocEvents;
+    s[obsv::slotIndex(obsv::Slot::FreeEvents)] =
+        sink.counters.freeEvents;
+    s[obsv::slotIndex(obsv::Slot::ReallocEvents)] =
+        sink.counters.reallocEvents;
+    s[obsv::slotIndex(obsv::Slot::EventsEmitted)] =
+        sink.counters.eventsEmitted;
+    s[obsv::slotIndex(obsv::Slot::ScanPasses)] =
+        sink.counters.scanPasses;
+    s[obsv::slotIndex(obsv::Slot::ScanWords)] =
+        sink.counters.scanWords;
+    s[obsv::slotIndex(obsv::Slot::ScanEdgeWrites)] =
+        sink.counters.scanEdgeWrites;
+    s[obsv::slotIndex(obsv::Slot::ScanEdgeClears)] =
+        sink.counters.scanEdgeClears;
+    s[obsv::slotIndex(obsv::Slot::ScanReclaimedDead)] =
+        sink.counters.scanReclaimedDead;
+    s[obsv::slotIndex(obsv::Slot::DroppedReentrant)] =
+        g_dropped.load(std::memory_order_relaxed);
+    s[obsv::slotIndex(obsv::Slot::Flushes)] =
+        sink.counters.flushes;
+    s[obsv::slotIndex(obsv::Slot::ScanNanos)] =
+        sink.counters.scanNanos;
+    s[obsv::slotIndex(obsv::Slot::MetricPoints)] =
+        sink.counters.scanPasses;
+    const heapmd::capture::DegreeCensus census =
+        sink.table.degreeCensus();
+    for (const heapmd::MetricId id : heapmd::kAllMetrics)
+        s[obsv::metricSlotIndex(id)] = static_cast<std::uint64_t>(
+            census.percent[heapmd::metricIndex(id)] *
+                static_cast<double>(obsv::kMetricScale) +
+            0.5);
+    sink.segment.publish(s);
 }
 
 /** True when every page of [addr, addr + size) is still mapped. */
@@ -367,6 +527,7 @@ reclaimUnmappedLocked(Sink &sink)
 void
 scanLocked(Sink &sink)
 {
+    const std::uint64_t scan_start = nowNanos();
     reclaimUnmappedLocked(sink);
     const ScanStats stats = sink.table.scan(
         [&sink](std::uintptr_t slot, std::uintptr_t value) {
@@ -383,6 +544,8 @@ scanLocked(Sink &sink)
     writeEvent(sink, Event::fnEnter(sink.scan_fn));
     writeEvent(sink, Event::fnExit(sink.scan_fn));
     sink.writer.flush(); // + fsync via the sync hook
+    sink.counters.scanNanos += nowNanos() - scan_start;
+    publishScanLocked(sink); // counters + fresh degree metrics
 }
 
 void
@@ -430,6 +593,13 @@ finalizeLocked(Sink &sink)
     if (stats)
         heapmd::capture::writeStatsSidecar(stats, sink.counters);
 
+    // Retire the live stats segment with the process.  Only this
+    // normal-finalize path unlinks: a forked child goes dark through
+    // onForkChild (state 2) and must never tear the segment down
+    // under the parent, and a SIGKILLed process leaves the entry for
+    // the host-side reap (`heapmd capture` harvest or `top --reap`).
+    sink.segment.unlinkAndClose();
+
     g_sink_state.store(2, std::memory_order_release);
     if (sink.log)
         shimLog("[heapmd-capture] finalized: %llu events, "
@@ -475,6 +645,7 @@ recordAlloc(void *ptr, std::size_t size)
         writeEvent(*sink, Event::alloc(addr, recorded));
         ++sink->counters.allocEvents;
         maybeScanLocked(*sink);
+        publishOpLocked(*sink);
     }
     ::pthread_mutex_unlock(&g_mutex);
     t_busy = false;
@@ -500,6 +671,7 @@ recordFree(void *ptr)
         if (sink->table.erase(addr) != 0) {
             writeEvent(*sink, Event::free(addr));
             ++sink->counters.freeEvents;
+            publishOpLocked(*sink);
         }
     }
     ::pthread_mutex_unlock(&g_mutex);
@@ -664,6 +836,7 @@ realloc(void *ptr, std::size_t size)
             sink->counters.peakLiveObjects)
             sink->counters.peakLiveObjects =
                 sink->table.objectCount();
+        publishOpLocked(*sink);
     }
     ::pthread_mutex_unlock(&g_mutex);
     t_busy = false;

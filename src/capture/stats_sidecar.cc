@@ -25,6 +25,7 @@ writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
        << "\n"
        << "capture.scan_reclaimed_dead "
        << counters.scanReclaimedDead << "\n"
+       << "capture.scan_ns " << counters.scanNanos << "\n"
        << "capture.dropped_reentrant " << counters.droppedReentrant
        << "\n"
        << "capture.bootstrap_bytes " << counters.bootstrapBytes << "\n"
@@ -32,7 +33,9 @@ writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
        << "\n"
        << "capture.flushes " << counters.flushes << "\n"
        << "capture.peak_live_objects " << counters.peakLiveObjects
-       << "\n";
+       << "\n"
+       << "capture.segment_publishes "
+       << counters.segmentPublishes << "\n";
 }
 
 std::map<std::string, std::uint64_t>

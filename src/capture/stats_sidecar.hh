@@ -40,11 +40,13 @@ struct CaptureCounters
     std::uint64_t scanEdgeWrites = 0;   //!< edge writes emitted
     std::uint64_t scanEdgeClears = 0;   //!< edge clears emitted
     std::uint64_t scanReclaimedDead = 0; //!< unmapped extents reclaimed
+    std::uint64_t scanNanos = 0;        //!< wall nanos inside scan passes
     std::uint64_t droppedReentrant = 0; //!< ops unrecorded (reentrancy)
     std::uint64_t bootstrapBytes = 0;   //!< bootstrap-arena bytes used
     std::uint64_t bootstrapAllocs = 0;  //!< pre-init allocations served
     std::uint64_t flushes = 0;          //!< explicit flush/fsync points
     std::uint64_t peakLiveObjects = 0;  //!< live-table high-water mark
+    std::uint64_t segmentPublishes = 0; //!< stats-segment seqlock writes
 };
 
 /** Serialize @p counters as "capture.* value" lines. */

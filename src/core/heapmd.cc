@@ -73,6 +73,7 @@ RunOutcome
 HeapMD::observe(SyntheticApp &app, const AppConfig &config) const
 {
     HEAPMD_TRACE_SPAN("pipeline.observe");
+    HEAPMD_PHASE_SPAN("phase.observe");
     HEAPMD_COUNTER_INC("pipeline.observe_runs");
     Process process(config_.process);
     RunOutcome outcome;
@@ -95,6 +96,7 @@ HeapMD::train(SyntheticApp &app,
               const std::vector<AppConfig> &inputs) const
 {
     HEAPMD_TRACE_SPAN("pipeline.train");
+    HEAPMD_PHASE_SPAN("phase.train");
     HEAPMD_COUNTER_INC("pipeline.train_runs");
     TrainingOutcome outcome{HeapModel{},
                             MetricSummarizer(config_.summarizer),
@@ -120,6 +122,7 @@ HeapMD::check(SyntheticApp &app, const AppConfig &config,
               const HeapModel &model) const
 {
     HEAPMD_TRACE_SPAN("pipeline.check");
+    HEAPMD_PHASE_SPAN("phase.check");
     HEAPMD_COUNTER_INC("pipeline.check_runs");
     Process process(config_.process);
     ExecutionChecker checker(model, config_.checker);

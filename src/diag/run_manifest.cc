@@ -90,8 +90,9 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
     JsonWriter w(os);
     w.beginObject();
     w.field("kind", kManifestKind);
-    // Always write the current schema: a v1 document that was loaded
-    // and re-saved gains the env object, so it must claim v2.
+    // Always write the current schema: an older document that was
+    // loaded and re-saved gains the newer blocks (env, phases) with
+    // defaulted values, so it must claim the current version.
     w.field("schemaVersion", kManifestSchemaVersion);
     w.field("command", manifest.command);
     w.field("commandLine", manifest.commandLine);
@@ -109,6 +110,8 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
     w.beginObject("env");
     w.field("hardwareConcurrency", manifest.hardwareConcurrency);
     w.field("sanitizer", manifest.sanitizer);
+    w.field("peakRssBytes", manifest.peakRssBytes);
+    w.field("durationNanos", manifest.durationNanos);
     w.endObject();
     w.beginArray("inputs");
     for (const ManifestInput &input : manifest.inputs) {
@@ -117,6 +120,17 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
         w.field("path", input.path);
         w.field("fingerprint", input.fingerprint);
         w.field("bytes", input.bytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("phases");
+    for (const ManifestPhase &phase : manifest.phases) {
+        w.beginObject();
+        w.field("name", phase.name);
+        w.field("count", phase.count);
+        w.field("wallNanos", phase.wallNanos);
+        w.field("cpuNanos", phase.cpuNanos);
+        w.field("bytes", phase.bytes);
         w.endObject();
     }
     w.endArray();
@@ -216,8 +230,8 @@ loadRunManifest(const std::string &json, RunManifest &out,
                  error)) {
         return false;
     }
-    if (manifest.schemaVersion != 1 &&
-        manifest.schemaVersion != kManifestSchemaVersion)
+    if (manifest.schemaVersion < 1 ||
+        manifest.schemaVersion > kManifestSchemaVersion)
         return fail(error,
                     "unsupported schemaVersion " +
                         std::to_string(manifest.schemaVersion));
@@ -257,6 +271,37 @@ loadRunManifest(const std::string &json, RunManifest &out,
             !jsonString(*env, "sanitizer", manifest.sanitizer,
                         error)) {
             return false;
+        }
+        // v3 adds the process resource footprint.
+        if (manifest.schemaVersion >= 3 &&
+            (!jsonU64(*env, "peakRssBytes", manifest.peakRssBytes,
+                      error) ||
+             !jsonU64(*env, "durationNanos",
+                      manifest.durationNanos, error))) {
+            return false;
+        }
+    }
+
+    // phases: required from v3 on (may be empty).
+    if (manifest.schemaVersion >= 3) {
+        const telemetry::JsonValue *phases =
+            jsonArray(root, "phases", error);
+        if (phases == nullptr)
+            return false;
+        for (const telemetry::JsonValue &phase : phases->array) {
+            if (!phase.isObject())
+                return fail(error, "phases entry is not an object");
+            ManifestPhase parsed;
+            if (!jsonString(phase, "name", parsed.name, error) ||
+                !jsonU64(phase, "count", parsed.count, error) ||
+                !jsonU64(phase, "wallNanos", parsed.wallNanos,
+                         error) ||
+                !jsonU64(phase, "cpuNanos", parsed.cpuNanos,
+                         error) ||
+                !jsonU64(phase, "bytes", parsed.bytes, error)) {
+                return false;
+            }
+            manifest.phases.push_back(std::move(parsed));
         }
     }
 

@@ -36,10 +36,11 @@ inline constexpr const char *kManifestKind = "heapmd.manifest";
 
 /**
  * Current manifest schema version.  Version 2 added the "env"
- * object (hardwareConcurrency, sanitizer); version-1 documents
- * still load, with both fields defaulted.
+ * object (hardwareConcurrency, sanitizer); version 3 added the
+ * `phases[]` block plus env peakRssBytes/durationNanos.  Older
+ * documents still load, with the newer fields defaulted.
  */
-inline constexpr std::uint64_t kManifestSchemaVersion = 2;
+inline constexpr std::uint64_t kManifestSchemaVersion = 3;
 
 /** One input artifact a run consumed. */
 struct ManifestInput
@@ -71,6 +72,22 @@ struct ManifestGauge
     std::int64_t value = 0;
 };
 
+/**
+ * Aggregated accounting of one pipeline phase (schema v3), mirroring
+ * telemetry::PhaseStats: how often the phase ran, summed wall and
+ * CPU time, and bytes processed.  `heapmd trend` compares wall time
+ * per phase so a slowdown is attributed to a stage, not just the
+ * end-to-end run.
+ */
+struct ManifestPhase
+{
+    std::string name; //!< "phase.<stage>", sorted
+    std::uint64_t count = 0;
+    std::uint64_t wallNanos = 0;
+    std::uint64_t cpuNanos = 0;
+    std::uint64_t bytes = 0;
+};
+
 /** The whole run record. */
 struct RunManifest
 {
@@ -96,7 +113,20 @@ struct RunManifest
     std::uint64_t hardwareConcurrency = 0;
     std::string sanitizer; //!< "none" or the -fsanitize list
 
+    /**
+     * Process-level resource footprint (schema v3): ru_maxrss at
+     * manifest-write time and wall-clock duration of the whole CLI
+     * invocation.  Both are timing-like and excluded from the
+     * byte-identity contract (normalized like *_ns counters); trend's
+     * env-rss check is how a memory regression becomes visible.
+     */
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t durationNanos = 0;
+
     std::vector<ManifestInput> inputs;
+
+    /** Per-phase accounting (schema v3), sorted by phase name. */
+    std::vector<ManifestPhase> phases;
 
     /** Run accounting. */
     std::uint64_t events = 0;  //!< runtime ticks consumed

@@ -172,6 +172,95 @@ compareEnvironments(const RunManifest &baseline,
     }
 }
 
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= 1024ull * 1024 * 1024)
+        std::snprintf(buf, sizeof buf, "%.1f GiB",
+                      static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+    else if (bytes >= 1024ull * 1024)
+        std::snprintf(buf, sizeof buf, "%.1f MiB",
+                      static_cast<double>(bytes) / (1024.0 * 1024));
+    else
+        std::snprintf(buf, sizeof buf, "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+/**
+ * Peak-RSS regression (manifest schema v3).  Only growth is flagged:
+ * a shrink is an improvement.  Manifests loaded from older documents
+ * carry 0 and stay silent, as do tiny baselines where allocator and
+ * page-cache noise dominate.
+ */
+void
+compareResources(const RunManifest &baseline,
+                 const RunManifest &candidate,
+                 const TrendOptions &options, analysis::Report &report)
+{
+    if (baseline.peakRssBytes < options.rssMinBaseBytes ||
+        candidate.peakRssBytes == 0)
+        return;
+    const double base = static_cast<double>(baseline.peakRssBytes);
+    const double delta =
+        (static_cast<double>(candidate.peakRssBytes) - base) / base;
+    if (delta > options.rssTolerance) {
+        report.error("trend.env-rss",
+                     "candidate peak RSS grew " + percent(delta) +
+                         " (" + humanBytes(baseline.peakRssBytes) +
+                         " -> " + humanBytes(candidate.peakRssBytes) +
+                         "), beyond the " +
+                         percent(options.rssTolerance).substr(1) +
+                         " tolerance");
+    }
+}
+
+/**
+ * Per-phase wall-time regression (manifest schema v3).  Matching is
+ * by phase name; a phase present only in the candidate is noted, not
+ * flagged, since new instrumentation is not a slowdown.  Wall time is
+ * host-dependent, so phases below the minimum baseline duration are
+ * skipped entirely.
+ */
+void
+comparePhases(const RunManifest &baseline, const RunManifest &candidate,
+              const TrendOptions &options, analysis::Report &report)
+{
+    std::map<std::string, const ManifestPhase *> baseline_phases;
+    for (const ManifestPhase &phase : baseline.phases)
+        baseline_phases[phase.name] = &phase;
+
+    for (const ManifestPhase &phase : candidate.phases) {
+        const auto it = baseline_phases.find(phase.name);
+        if (it == baseline_phases.end()) {
+            report.note("trend.phase-new",
+                        "phase '" + phase.name +
+                            "' appears only in the candidate");
+            continue;
+        }
+        const ManifestPhase &base_phase = *it->second;
+        if (base_phase.wallNanos < options.phaseMinBaseNanos)
+            continue;
+        const double base = static_cast<double>(base_phase.wallNanos);
+        const double delta =
+            (static_cast<double>(phase.wallNanos) - base) / base;
+        if (delta > options.phaseWallTolerance) {
+            report.error(
+                "trend.phase-wall",
+                "phase '" + phase.name + "' wall time grew " +
+                    percent(delta) + " (" +
+                    std::to_string(base_phase.wallNanos / 1000000) +
+                    " ms -> " +
+                    std::to_string(phase.wallNanos / 1000000) +
+                    " ms over " + std::to_string(phase.count) +
+                    " run(s)), beyond the " +
+                    percent(options.phaseWallTolerance).substr(1) +
+                    " tolerance");
+        }
+    }
+}
+
 } // namespace
 
 bool
@@ -195,10 +284,12 @@ compareManifests(const RunManifest &baseline,
                            "'; deltas may not be meaningful");
     }
     compareEnvironments(baseline, candidate, report);
+    compareResources(baseline, candidate, options, report);
     compareReportCounts(baseline, candidate, report);
     compareCounters(baseline, candidate, options, report);
     compareSampleRates(baseline, candidate, options, report);
     compareInputs(baseline, candidate, report);
+    comparePhases(baseline, candidate, options, report);
 }
 
 } // namespace diag

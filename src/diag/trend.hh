@@ -15,6 +15,11 @@
  *   trend.env-concurrency  host core counts differ between the runs
  *   trend.env-single-core  candidate ran on one core (parallel
  *                          speedups are nominal there)
+ *
+ * Schema v3 adds resource/phase regression checks:
+ *   trend.env-rss          candidate peak RSS grew beyond tolerance
+ *   trend.phase-wall       one pipeline phase's wall time grew
+ *                          beyond tolerance (per-stage slowdowns)
  */
 
 #ifndef HEAPMD_DIAG_TREND_HH
@@ -42,6 +47,25 @@ struct TrendOptions
 
     /** Relative samples-per-event drop that counts as a regression. */
     double sampleRateTolerance = 0.10;
+
+    /**
+     * Relative peak-RSS growth that counts as a regression.  Small
+     * baselines (below rssMinBaseBytes) are skipped: allocator noise
+     * dominates tiny processes.  Generous by default — RSS varies
+     * run to run far more than event counts do.
+     */
+    double rssTolerance = 0.35;
+    std::uint64_t rssMinBaseBytes = 32ull * 1024 * 1024;
+
+    /**
+     * Relative per-phase wall-time growth that counts as a
+     * regression.  Phases whose baseline wall time is below
+     * phaseMinBaseNanos are skipped (scheduler noise).  Wall time is
+     * host-dependent, so the default tolerance is deliberately loose
+     * and the finding points at the phase, not a precise ratio.
+     */
+    double phaseWallTolerance = 1.0;
+    std::uint64_t phaseMinBaseNanos = 50ull * 1000 * 1000;
 };
 
 /**

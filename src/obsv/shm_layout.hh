@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fixed-layout shared-memory stats segment published by the capture
+ * shim and attached read-only by `heapmd top` / `stats` / `export`.
+ *
+ * One segment per captured process, named `/heapmd.<pid>` under
+ * /dev/shm.  The layout is a versioned header followed by a flat
+ * array of 64-bit slots guarded by a seqlock: the writer never
+ * blocks on readers, readers never stop the writer, and a reader
+ * that races a write simply retries.  Every mutable word is a
+ * `std::atomic<std::uint64_t>` so individual loads and stores are
+ * untearable (and TSan-clean); the seqlock only adds *cross-slot*
+ * consistency so a snapshot is a single point in time.
+ *
+ * Protocol (single writer — the shim publishes under its own mutex):
+ *
+ *   writer: sequence.fetch_add(1, acq_rel)      // odd = in progress
+ *           relaxed stores into slots[]
+ *           sequence.fetch_add(1, release)      // even = stable
+ *
+ *   reader: s1 = sequence.load(acquire); retry if odd
+ *           relaxed loads of slots[]
+ *           atomic_thread_fence(acquire)
+ *           s2 = sequence.load(relaxed); done iff s1 == s2
+ *
+ * Layout changes must bump kLayoutVersion; readers reject segments
+ * with a version they do not know (see SegmentReader::read), so a
+ * newer shim never feeds garbage to an older CLI.
+ */
+
+#ifndef HEAPMD_OBSV_SHM_LAYOUT_HH
+#define HEAPMD_OBSV_SHM_LAYOUT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "metrics/metric.hh"
+
+namespace heapmd
+{
+namespace obsv
+{
+
+/** "HEAPMDSG" little-endian; first word of every segment. */
+inline constexpr std::uint64_t kSegmentMagic = 0x4753444d50414548ull;
+
+/** Bumped on any layout change; readers reject unknown versions. */
+inline constexpr std::uint32_t kLayoutVersion = 1;
+
+/** shm_open name prefix; full name is "/heapmd.<pid>". */
+inline constexpr const char *kSegmentPrefix = "heapmd.";
+
+/** Fixed-point scale for the metric slots: percent × 1e4. */
+inline constexpr std::uint64_t kMetricScale = 10000;
+
+/** Sentinel slot value: no metric sample published yet. */
+inline constexpr std::uint64_t kMetricAbsent = ~0ull;
+
+/**
+ * Index of each published 64-bit value.  Gauges first, then the
+ * monotonic counters mirrored from the capture sidecar, then the
+ * seven degree-metric percentages (fixed point ×kMetricScale, or
+ * kMetricAbsent before the first scan).  Append-only: reordering or
+ * removing a slot is a layout change and must bump kLayoutVersion.
+ */
+enum class Slot : std::size_t
+{
+    LiveObjects,       //!< gauge: extents in the live table
+    LiveBytes,         //!< gauge: sum of live extent sizes
+    LiveEdges,         //!< gauge: pointer edges tracked by the scan
+    PeakLiveObjects,   //!< high-water mark of LiveObjects
+    AllocEvents,       //!< counter: malloc/calloc/memalign hits
+    FreeEvents,        //!< counter: free hits
+    ReallocEvents,     //!< counter: realloc hits
+    EventsEmitted,     //!< counter: trace events written
+    ScanPasses,        //!< counter: pointer scans completed
+    ScanWords,         //!< counter: words visited by scans
+    ScanEdgeWrites,    //!< counter: Write deltas emitted by scans
+    ScanEdgeClears,    //!< counter: edge-clear deltas emitted
+    ScanReclaimedDead, //!< counter: stale extents reclaimed (mincore)
+    DroppedReentrant,  //!< counter: events dropped by the guard
+    Flushes,           //!< counter: stream flush+fsync points
+    ScanNanos,         //!< counter: wall nanos spent inside scans
+    MetricPoints,      //!< counter: degree-metric samples published
+    MetricBase,        //!< first of kNumMetrics degree-metric slots
+};
+
+/** Index of a slot in SegmentHeader::slots. */
+constexpr std::size_t
+slotIndex(Slot s)
+{
+    return static_cast<std::size_t>(s);
+}
+
+/** Slot holding the fixed-point percentage for @p id. */
+constexpr std::size_t
+metricSlotIndex(MetricId id)
+{
+    return slotIndex(Slot::MetricBase) + metricIndex(id);
+}
+
+/** Total number of value slots in the segment. */
+inline constexpr std::size_t kSlotCount =
+    slotIndex(Slot::MetricBase) + kNumMetrics;
+
+/**
+ * The mapped segment.  The creating writer zero-fills via ftruncate,
+ * fills in the identity fields, then stores `magic` with release
+ * ordering as the very last step — a reader that sees the magic is
+ * guaranteed a fully initialised header.
+ */
+struct SegmentHeader
+{
+    std::atomic<std::uint64_t> magic;           //!< kSegmentMagic when ready
+    std::uint32_t layoutVersion;                //!< kLayoutVersion of writer
+    std::uint32_t pid;                          //!< writer process id
+    char program[64];                           //!< NUL-padded short name
+    std::uint64_t startMonoMs;                  //!< CLOCK_MONOTONIC at create
+    std::atomic<std::uint64_t> sequence;        //!< seqlock generation
+    std::atomic<std::uint64_t> heartbeatMonoMs; //!< CLOCK_MONOTONIC, each publish
+    std::uint64_t reserved[4];                  //!< zero; future layout room
+    std::atomic<std::uint64_t> slots[kSlotCount];
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "seqlock slots must be lock-free plain words");
+static_assert(sizeof(SegmentHeader) <= 4096,
+              "segment must fit one page");
+
+/** Bytes to ftruncate/mmap for one segment. */
+inline constexpr std::size_t kSegmentBytes = sizeof(SegmentHeader);
+
+} // namespace obsv
+} // namespace heapmd
+
+#endif // HEAPMD_OBSV_SHM_LAYOUT_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * `heapmd top` text renderer.
+ */
+
+#include "obsv/top_view.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace heapmd
+{
+namespace obsv
+{
+
+namespace
+{
+
+/** 1234567 -> "1.23M"-style human size (objects or bytes). */
+std::string
+human(std::uint64_t v)
+{
+    char buf[32];
+    if (v >= 10ull * 1024 * 1024 * 1024)
+        std::snprintf(buf, sizeof buf, "%.2fG",
+                      static_cast<double>(v) / (1024.0 * 1024 * 1024));
+    else if (v >= 10ull * 1024 * 1024)
+        std::snprintf(buf, sizeof buf, "%.2fM",
+                      static_cast<double>(v) / (1024.0 * 1024));
+    else if (v >= 10ull * 1024)
+        std::snprintf(buf, sizeof buf, "%.1fK",
+                      static_cast<double>(v) / 1024.0);
+    else
+        std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+fixed1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return buf;
+}
+
+/** Drift annotation of @p value against the model's range for @p id. */
+std::string
+driftCell(const HeapModel &model, MetricId id, double value)
+{
+    const std::optional<HeapModel::Entry> entry = model.entry(id);
+    if (!entry)
+        return "unstable";
+    if (value < entry->minValue)
+        return "BELOW [" + fixed1(entry->minValue) + ", " +
+               fixed1(entry->maxValue) + "]";
+    if (value > entry->maxValue)
+        return "ABOVE [" + fixed1(entry->minValue) + ", " +
+               fixed1(entry->maxValue) + "]";
+    return "in [" + fixed1(entry->minValue) + ", " +
+           fixed1(entry->maxValue) + "]";
+}
+
+void
+renderOne(std::string &out, const SegmentSnapshot &snap,
+          const HeapModel *model, std::uint64_t now_mono_ms)
+{
+    char line[256];
+    const std::uint64_t stale = snap.staleMs(now_mono_ms);
+    const std::uint64_t up_ms =
+        now_mono_ms > snap.startMonoMs
+            ? now_mono_ms - snap.startMonoMs
+            : 0;
+    std::snprintf(line, sizeof line,
+                  "pid %u  %s  up %.1fs  heartbeat %.1fs ago%s\n",
+                  snap.pid, snap.program.c_str(),
+                  static_cast<double>(up_ms) / 1000.0,
+                  static_cast<double>(stale) / 1000.0,
+                  stale > kStaleAfterMs ? "  [STALE]" : "");
+    out += line;
+    std::snprintf(
+        line, sizeof line,
+        "  live %s objs (%sB, peak %s)  edges %s\n",
+        human(snap.value(Slot::LiveObjects)).c_str(),
+        human(snap.value(Slot::LiveBytes)).c_str(),
+        human(snap.value(Slot::PeakLiveObjects)).c_str(),
+        human(snap.value(Slot::LiveEdges)).c_str());
+    out += line;
+    std::snprintf(
+        line, sizeof line,
+        "  alloc %" PRIu64 "  free %" PRIu64 "  realloc %" PRIu64
+        "  dropped %" PRIu64 "  events %" PRIu64 "\n",
+        snap.value(Slot::AllocEvents), snap.value(Slot::FreeEvents),
+        snap.value(Slot::ReallocEvents),
+        snap.value(Slot::DroppedReentrant),
+        snap.value(Slot::EventsEmitted));
+    out += line;
+    std::snprintf(
+        line, sizeof line,
+        "  scans %" PRIu64 " (%.1fms, %" PRIu64
+        " words)  reclaimed %" PRIu64 "  flushes %" PRIu64 "\n",
+        snap.value(Slot::ScanPasses),
+        static_cast<double>(snap.value(Slot::ScanNanos)) / 1e6,
+        snap.value(Slot::ScanWords),
+        snap.value(Slot::ScanReclaimedDead),
+        snap.value(Slot::Flushes));
+    out += line;
+    if (!snap.hasMetrics()) {
+        out += "  metrics: none yet (no scan has run)\n";
+        return;
+    }
+    out += "  metrics (latest scan):\n";
+    for (const MetricId id : kAllMetrics) {
+        const double pct = snap.metricPercent(id);
+        std::snprintf(line, sizeof line, "    %-10s %6.2f%%",
+                      metricName(id).c_str(), pct);
+        out += line;
+        if (model != nullptr) {
+            out += "  ";
+            out += driftCell(*model, id, pct);
+        }
+        out += '\n';
+    }
+}
+
+} // namespace
+
+std::string
+renderTop(const std::vector<SegmentSnapshot> &snapshots,
+          const HeapModel *model, std::uint64_t now_mono_ms)
+{
+    std::string out;
+    if (snapshots.empty())
+        return "no live heapmd segments in /dev/shm\n";
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "%zu live heapmd segment%s\n", snapshots.size(),
+                  snapshots.size() == 1 ? "" : "s");
+    out += line;
+    for (const SegmentSnapshot &snap : snapshots) {
+        out += '\n';
+        renderOne(out, snap, model, now_mono_ms);
+    }
+    return out;
+}
+
+} // namespace obsv
+} // namespace heapmd

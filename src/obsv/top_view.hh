@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text rendering for `heapmd top`: one block per live segment with
+ * heap gauges, scan counters, the latest degree metrics, drift
+ * against a trained model's stable ranges, and heartbeat staleness.
+ */
+
+#ifndef HEAPMD_OBSV_TOP_VIEW_HH
+#define HEAPMD_OBSV_TOP_VIEW_HH
+
+#include <string>
+#include <vector>
+
+#include "model/model.hh"
+#include "obsv/segment.hh"
+
+namespace heapmd
+{
+namespace obsv
+{
+
+/** Heartbeat older than this renders a STALE banner. */
+inline constexpr std::uint64_t kStaleAfterMs = 5000;
+
+/**
+ * Render @p snapshots (caller-sorted) as the `heapmd top` view.
+ * @p model, when non-null, adds a drift column: each metric with a
+ * calibrated stable range shows in/below/above range.
+ * @p now_mono_ms is the reader's CLOCK_MONOTONIC (comparable with
+ * the writer's on the same host) for staleness.
+ */
+std::string renderTop(const std::vector<SegmentSnapshot> &snapshots,
+                      const HeapModel *model,
+                      std::uint64_t now_mono_ms);
+
+} // namespace obsv
+} // namespace heapmd
+
+#endif // HEAPMD_OBSV_TOP_VIEW_HH

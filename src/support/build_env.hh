@@ -14,6 +14,10 @@
 #include <cstdint>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #ifndef HEAPMD_SANITIZE_MODE
 #define HEAPMD_SANITIZE_MODE "none"
 #endif
@@ -31,6 +35,31 @@ inline std::uint64_t
 hardwareConcurrency()
 {
     return std::thread::hardware_concurrency();
+}
+
+/**
+ * Peak resident-set size of this process in bytes (getrusage
+ * ru_maxrss; 0 where unavailable).  Stamped into run-manifest env
+ * blocks so `heapmd trend` can flag memory regressions
+ * (trend.env-rss) without a dedicated bench.
+ */
+inline std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes already.
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    // Linux/BSD report kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+    return 0;
+#endif
 }
 
 } // namespace support

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Phase-span aggregation.
+ */
+
+#include "telemetry/phase.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+#include "telemetry/trace_session.hh"
+
+namespace heapmd
+{
+namespace telemetry
+{
+
+namespace
+{
+
+struct Totals
+{
+    std::uint64_t count = 0;
+    std::uint64_t wallNanos = 0;
+    std::uint64_t cpuNanos = 0;
+    std::uint64_t bytes = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Totals, std::less<>> g_totals;
+
+thread_local int t_depth = 0;
+
+std::uint64_t
+wallNowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+threadCpuNanos()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    struct timespec ts;
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) *
+                   1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+    return 0;
+}
+
+} // namespace
+
+PhaseRegistry &
+PhaseRegistry::instance()
+{
+    static PhaseRegistry registry;
+    return registry;
+}
+
+void
+PhaseRegistry::record(std::string_view name,
+                      std::uint64_t wall_nanos,
+                      std::uint64_t cpu_nanos, std::uint64_t bytes)
+{
+    recordExternal(name, 1, wall_nanos, cpu_nanos, bytes);
+}
+
+void
+PhaseRegistry::recordExternal(std::string_view name,
+                              std::uint64_t count,
+                              std::uint64_t wall_nanos,
+                              std::uint64_t cpu_nanos,
+                              std::uint64_t bytes)
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = g_totals.find(name);
+    Totals &totals =
+        it != g_totals.end()
+            ? it->second
+            : g_totals.emplace(std::string(name), Totals{})
+                  .first->second;
+    totals.count += count;
+    totals.wallNanos += wall_nanos;
+    totals.cpuNanos += cpu_nanos;
+    totals.bytes += bytes;
+}
+
+std::vector<PhaseStats>
+PhaseRegistry::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::vector<PhaseStats> out;
+    out.reserve(g_totals.size());
+    for (const auto &[name, totals] : g_totals)
+        out.push_back(PhaseStats{name, totals.count,
+                                 totals.wallNanos, totals.cpuNanos,
+                                 totals.bytes});
+    return out; // std::map iteration is already name-sorted
+}
+
+void
+PhaseRegistry::reset()
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    g_totals.clear();
+}
+
+PhaseSpan::PhaseSpan(std::string name) : name_(std::move(name))
+{
+    ++t_depth;
+    wall_start_ = wallNowNanos();
+    cpu_start_ = threadCpuNanos();
+    traced_ = TraceSession::active();
+    if (traced_)
+        trace_start_ = TraceSession::nowMicros();
+}
+
+PhaseSpan::~PhaseSpan()
+{
+    const std::uint64_t wall_end = wallNowNanos();
+    const std::uint64_t cpu_end = threadCpuNanos();
+    --t_depth;
+    PhaseRegistry::instance().record(
+        name_, wall_end > wall_start_ ? wall_end - wall_start_ : 0,
+        cpu_end > cpu_start_ ? cpu_end - cpu_start_ : 0, bytes_);
+    if (traced_ && TraceSession::active())
+        TraceSession::complete(name_, "phase", trace_start_,
+                               TraceSession::nowMicros());
+}
+
+int
+PhaseSpan::depth()
+{
+    return t_depth;
+}
+
+} // namespace telemetry
+} // namespace heapmd

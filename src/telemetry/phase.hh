@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pipeline phase spans: named begin/end sections with wall + CPU
+ * time and bytes processed, aggregated per phase name for the run
+ * manifest's `phases[]` block (schema v3) and emitted into any
+ * active Chrome trace session as "phase"-category complete events.
+ *
+ * Unlike the raw ScopedSpan (purely a trace-file artifact), a
+ * PhaseSpan always aggregates into the process-wide PhaseRegistry,
+ * so `heapmd trend` can compare per-phase wall time across runs even
+ * when no trace session was recording.  Spans nest (a train phase
+ * decodes traces inside it); each level aggregates under its own
+ * name, and nesting depth is tracked per thread purely so the trace
+ * view shows the hierarchy.
+ *
+ * Thread-safe: phases run on pool workers during parallel replay;
+ * the registry serializes aggregation with a mutex (phase boundaries
+ * are rare — this is nowhere near a hot path).
+ */
+
+#ifndef HEAPMD_TELEMETRY_PHASE_HH
+#define HEAPMD_TELEMETRY_PHASE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heapmd
+{
+namespace telemetry
+{
+
+/** Aggregated accounting of one phase name across a run. */
+struct PhaseStats
+{
+    std::string name;
+    std::uint64_t count = 0;     //!< spans recorded under this name
+    std::uint64_t wallNanos = 0; //!< summed wall-clock time
+    std::uint64_t cpuNanos = 0;  //!< summed thread CPU time
+    std::uint64_t bytes = 0;     //!< summed bytes processed
+};
+
+/** Process-wide sink for completed phase spans. */
+class PhaseRegistry
+{
+  public:
+    static PhaseRegistry &instance();
+
+    /** Fold one completed span into the aggregate for @p name. */
+    void record(std::string_view name, std::uint64_t wall_nanos,
+                std::uint64_t cpu_nanos, std::uint64_t bytes);
+
+    /**
+     * Fold in externally measured work — e.g. the capture shim's
+     * scan time, which crosses the process boundary via the counter
+     * sidecar rather than a live span.
+     */
+    void recordExternal(std::string_view name, std::uint64_t count,
+                        std::uint64_t wall_nanos,
+                        std::uint64_t cpu_nanos,
+                        std::uint64_t bytes);
+
+    /** All aggregates, sorted by name (manifest emission order). */
+    std::vector<PhaseStats> snapshot() const;
+
+    /** Forget everything (tests). */
+    void reset();
+
+  private:
+    PhaseRegistry() = default;
+};
+
+/**
+ * RAII phase span.  Construct at the top of a pipeline stage; the
+ * destructor records wall/CPU/bytes into the PhaseRegistry and, when
+ * a trace session is active, emits a "phase" complete event.
+ */
+class PhaseSpan
+{
+  public:
+    explicit PhaseSpan(std::string name);
+    ~PhaseSpan();
+
+    PhaseSpan(const PhaseSpan &) = delete;
+    PhaseSpan &operator=(const PhaseSpan &) = delete;
+
+    /** Attribute @p n processed bytes to this span. */
+    void addBytes(std::uint64_t n) { bytes_ += n; }
+
+    /** Current nesting depth on this thread (tests). */
+    static int depth();
+
+  private:
+    std::string name_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t wall_start_ = 0;  //!< steady_clock nanos
+    std::uint64_t cpu_start_ = 0;   //!< thread CPU nanos
+    std::uint64_t trace_start_ = 0; //!< TraceSession micros
+    bool traced_ = false;
+};
+
+/**
+ * Stand-in for PhaseSpan when telemetry is compiled out: same
+ * surface, zero cost (see HEAPMD_PHASE_SPAN_NAMED in telemetry.hh).
+ */
+struct NullPhaseSpan
+{
+    void addBytes(std::uint64_t) {}
+};
+
+} // namespace telemetry
+} // namespace heapmd
+
+#endif // HEAPMD_TELEMETRY_PHASE_HH

@@ -25,6 +25,7 @@
 #ifndef HEAPMD_TELEMETRY_TELEMETRY_HH
 #define HEAPMD_TELEMETRY_TELEMETRY_HH
 
+#include "telemetry/phase.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/trace_session.hh"
 
@@ -99,6 +100,23 @@
     } while (0)
 
 /**
+ * Pipeline phase span covering the rest of the enclosing scope:
+ * aggregates wall+CPU time into the PhaseRegistry (run-manifest
+ * `phases[]`) and emits a "phase" trace event when a session is
+ * recording.  Phase names follow `phase.<stage>` (DESIGN.md §13).
+ */
+#define HEAPMD_PHASE_SPAN(name) \
+    ::heapmd::telemetry::PhaseSpan HEAPMD_TLM_CONCAT( \
+        heapmd_tlm_phase_, __LINE__)(name)
+
+/**
+ * Named variant for sites that attribute processed bytes:
+ * `HEAPMD_PHASE_SPAN_NAMED(span, "phase.decode"); span.addBytes(n);`
+ */
+#define HEAPMD_PHASE_SPAN_NAMED(var, name) \
+    ::heapmd::telemetry::PhaseSpan var{name}
+
+/**
  * Time the rest of the enclosing scope into a ns-total counter plus a
  * latency histogram.  Use as a standalone statement.
  */
@@ -126,6 +144,9 @@
 #define HEAPMD_TRACE_SPAN(name) do { } while (0)
 #define HEAPMD_TRACE_INSTANT(name) do { } while (0)
 #define HEAPMD_TRACE_COUNTER(name, value) do { } while (0)
+#define HEAPMD_PHASE_SPAN(name) do { } while (0)
+#define HEAPMD_PHASE_SPAN_NAMED(var, name) \
+    ::heapmd::telemetry::NullPhaseSpan var
 #define HEAPMD_TIMED_NS(counter_name, histogram_name) do { } while (0)
 
 #endif // HEAPMD_TELEMETRY_ENABLED

@@ -325,6 +325,7 @@ std::uint64_t
 replayTrace(TraceReader &reader, Process &process)
 {
     HEAPMD_TRACE_SPAN("trace.replay");
+    HEAPMD_PHASE_SPAN_NAMED(phase, "phase.decode");
     HEAPMD_COUNTER_INC("trace.replays");
     if (process.registry().size() != 0)
         warn("replaying into a process with a non-empty function "
@@ -336,6 +337,7 @@ replayTrace(TraceReader &reader, Process &process)
         process.onEvent(event);
         ++replayed;
     }
+    phase.addBytes(reader.offset());
     if (reader.malformed())
         warn("malformed trace: ", reader.error(), "; replayed ",
              replayed, " events");

@@ -80,6 +80,12 @@ class TraceReader
     /** Events decoded so far. */
     std::uint64_t eventCount() const { return events_; }
 
+    /** Bytes consumed from the start of the trace. */
+    std::uint64_t offset() const
+    {
+        return base_ + static_cast<std::uint64_t>(cur_ - chunk_);
+    }
+
     /** The decoded header (version, flags). */
     const trace::Header &header() const { return header_; }
 
@@ -105,12 +111,6 @@ class TraceReader
      * measurable at decode rates of tens of millions of events/sec.
      */
     void flushEventCounter();
-
-    /** Bytes consumed from the start of the trace. */
-    std::uint64_t offset() const
-    {
-        return base_ + static_cast<std::uint64_t>(cur_ - chunk_);
-    }
 
     bool refill();
     int getByte();

@@ -15,8 +15,15 @@
  *   fork   fork a child that allocates and exit(0)s -- the child's
  *          inherited atexit finalizer must not touch the parent's
  *          trace fd; the parent then finishes a basic workload
+ *   linger allocate a live structure, print "ready", then hold it
+ *          for N ms (argv[2], default 3000) -- the window in which
+ *          `heapmd top` / the Prometheus exporter read the process's
+ *          live stats segment.  argv[3] is the allocation step in ms
+ *          (default 50); 0 holds fully idle, so two scrapes of the
+ *          segment in the window must be byte-identical
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -160,6 +167,41 @@ runFail()
 }
 
 int
+runLinger(int hold_ms, int step_ms)
+{
+    Node *list = buildList(300);
+    std::printf("ready\n");
+    std::fflush(stdout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(hold_ms);
+    if (step_ms <= 0) {
+        // Fully idle hold: the shim publishes nothing, so two reads
+        // of the stats segment in this window are byte-identical.
+        std::this_thread::sleep_until(deadline);
+    } else {
+        // Keep allocating slowly so per-op publishes keep the
+        // segment's heartbeat and gauges moving during the window.
+        // Growing the live list (instead of a malloc/free pair the
+        // optimizer may elide) guarantees every iteration reaches
+        // the allocator.
+        std::uint64_t grown = 0;
+        while (std::chrono::steady_clock::now() < deadline) {
+            Node *node =
+                static_cast<Node *>(std::malloc(sizeof(Node)));
+            if (node == nullptr)
+                std::abort();
+            node->next = list;
+            node->payload = ++grown;
+            list = node;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(step_ms));
+        }
+    }
+    freeList(list);
+    return 0;
+}
+
+int
 runFork()
 {
     // Allocate before forking so the shim's sink (and its atexit
@@ -206,6 +248,9 @@ main(int argc, char **argv)
         return runFail();
     if (mode == "fork")
         return runFork();
+    if (mode == "linger")
+        return runLinger(argc > 2 ? std::atoi(argv[2]) : 3000,
+                         argc > 3 ? std::atoi(argv[3]) : 50);
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 64;
 }

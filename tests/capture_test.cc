@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -25,6 +26,8 @@
 #include "capture/bootstrap_arena.hh"
 #include "capture/capture_session.hh"
 #include "capture/live_table.hh"
+#include "metrics/metric.hh"
+#include "obsv/segment.hh"
 #include "runtime/process.hh"
 #include "trace/trace_reader.hh"
 
@@ -222,6 +225,69 @@ TEST(LiveTableScanTest, ResizeDropsEdgesBeyondNewEnd)
     EXPECT_TRUE(scanInto(table).empty());
 }
 
+TEST(LiveTableScanTest, DegreeCensusComputesPaperMetrics)
+{
+    // a -> b, a -> c, b -> c, d isolated:
+    //   a: in 0 out 2   (root, outdeg=2)
+    //   b: in 1 out 1   (indeg=1, outdeg=1, in==out)
+    //   c: in 2 out 0   (indeg=2, leaf)
+    //   d: in 0 out 0   (root, leaf, in==out)
+    std::uintptr_t a[4] = {};
+    std::uintptr_t b[4] = {};
+    std::uintptr_t c[4] = {};
+    std::uintptr_t d[4] = {};
+    LiveTable table;
+    table.insert(addrOf(a), sizeof(a));
+    table.insert(addrOf(b), sizeof(b));
+    table.insert(addrOf(c), sizeof(c));
+    table.insert(addrOf(d), sizeof(d));
+
+    const capture::DegreeCensus empty_edges = table.degreeCensus();
+    EXPECT_EQ(empty_edges.objects, 4u);
+    // No edges yet: everything is a root, a leaf, and in==out.
+    EXPECT_DOUBLE_EQ(
+        empty_edges.percent[metricIndex(MetricId::Roots)], 100.0);
+    EXPECT_DOUBLE_EQ(
+        empty_edges.percent[metricIndex(MetricId::Leaves)], 100.0);
+    EXPECT_DOUBLE_EQ(
+        empty_edges.percent[metricIndex(MetricId::InEqOut)], 100.0);
+    EXPECT_DOUBLE_EQ(
+        empty_edges.percent[metricIndex(MetricId::Indeg1)], 0.0);
+
+    a[0] = addrOf(&b[0]);
+    a[1] = addrOf(&c[1]); // interior pointers count like starts
+    b[0] = addrOf(&c[0]);
+    ASSERT_EQ(scanInto(table).size(), 3u);
+
+    const capture::DegreeCensus census = table.degreeCensus();
+    EXPECT_EQ(census.objects, 4u);
+    const auto pct = [&census](MetricId id) {
+        return census.percent[metricIndex(id)];
+    };
+    EXPECT_DOUBLE_EQ(pct(MetricId::Roots), 50.0);   // a, d
+    EXPECT_DOUBLE_EQ(pct(MetricId::Indeg1), 25.0);  // b
+    EXPECT_DOUBLE_EQ(pct(MetricId::Indeg2), 25.0);  // c
+    EXPECT_DOUBLE_EQ(pct(MetricId::Leaves), 50.0);  // c, d
+    EXPECT_DOUBLE_EQ(pct(MetricId::Outdeg1), 25.0); // b
+    EXPECT_DOUBLE_EQ(pct(MetricId::Outdeg2), 25.0); // a
+    EXPECT_DOUBLE_EQ(pct(MetricId::InEqOut), 50.0); // b, d
+
+    // Freeing the shared target severs both of its in-edges and the
+    // census follows: a keeps out-degree 1 (edge into b survives).
+    table.erase(addrOf(c));
+    const capture::DegreeCensus after = table.degreeCensus();
+    EXPECT_EQ(after.objects, 3u);
+    EXPECT_DOUBLE_EQ(
+        after.percent[metricIndex(MetricId::Indeg2)], 0.0);
+    EXPECT_DOUBLE_EQ(after.percent[metricIndex(MetricId::Outdeg1)],
+                     100.0 / 3.0); // a only
+    EXPECT_DOUBLE_EQ(after.percent[metricIndex(MetricId::Leaves)],
+                     200.0 / 3.0); // b, d
+
+    const LiveTable untouched;
+    EXPECT_EQ(untouched.degreeCensus().objects, 0u);
+}
+
 // ---------------------------------------------------------------
 // BootstrapArena.
 // ---------------------------------------------------------------
@@ -298,6 +364,7 @@ class PreloadCaptureTest : public ::testing::Test
                   ->name() +
               ".trace"))
                 .string();
+        baseline_segments_ = obsv::listSegmentPids();
     }
 
     void
@@ -354,7 +421,28 @@ class PreloadCaptureTest : public ::testing::Test
         return cfg;
     }
 
+    /**
+     * Stats segments that appeared in /dev/shm since SetUp.  Must be
+     * empty once a capture session has finished: the shim unlinks on
+     * atexit and the host reaps after waitpid, whichever path the
+     * child died through.  Pre-existing segments (captures run by
+     * other processes on the host) are not ours to judge.
+     */
+    std::vector<std::uint32_t>
+    leakedSegments() const
+    {
+        std::vector<std::uint32_t> leaked;
+        for (std::uint32_t pid : obsv::listSegmentPids()) {
+            if (std::find(baseline_segments_.begin(),
+                          baseline_segments_.end(),
+                          pid) == baseline_segments_.end())
+                leaked.push_back(pid);
+        }
+        return leaked;
+    }
+
     std::string trace_path_;
+    std::vector<std::uint32_t> baseline_segments_;
 };
 
 TEST_F(PreloadCaptureTest, BasicRunAuditsCleanAndReplays)
@@ -463,6 +551,50 @@ TEST_F(PreloadCaptureTest, ForkedChildExitDoesNotCorruptTrace)
     replay(replayed);
     EXPECT_EQ(replayed.series().size(),
               result.counters.at("capture.scan_passes"));
+}
+
+// ---------------------------------------------------------------
+// Stats-segment lifecycle: no /dev/shm leaks, whatever the exit path.
+// ---------------------------------------------------------------
+
+TEST_F(PreloadCaptureTest, SegmentUnlinkedAfterCleanExit)
+{
+    const capture::SessionResult result = captureChild("basic");
+    ASSERT_TRUE(result.exited);
+    EXPECT_TRUE(leakedSegments().empty());
+}
+
+TEST_F(PreloadCaptureTest, SegmentUnlinkedAfterStorm)
+{
+    const capture::SessionResult result = captureChild("storm",
+                                                       /*frq=*/5000);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_TRUE(leakedSegments().empty());
+}
+
+TEST_F(PreloadCaptureTest, SegmentUnlinkedWhenAtexitIsSkipped)
+{
+    // _exit(2) skips the shim's atexit unlink; the host side of
+    // runCapture must reap the child's segment after waitpid.
+    const capture::SessionResult result = captureChild("exit");
+    ASSERT_TRUE(result.exited);
+    EXPECT_TRUE(leakedSegments().empty());
+}
+
+TEST_F(PreloadCaptureTest, ForkedChildDoesNotUnlinkParentSegment)
+{
+    // The forked grandchild inherits the segment mapping and exits
+    // via exit(): its finalizer must go dark, NOT unlink the
+    // parent's live segment.  A successful fork-mode run that leaves
+    // no leaked segment proves both halves: the parent's own unlink
+    // still worked, and nothing double-unlinked mid-run (the trace
+    // stayed clean, checked by ForkedChildExitDoesNotCorruptTrace).
+    const capture::SessionResult result = captureChild("fork",
+                                                       /*frq=*/50);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_TRUE(leakedSegments().empty());
 }
 
 #endif // HEAPMD_CAPTURE_SHIM_PATH && HEAPMD_CAPTURE_CHILD_PATH

@@ -100,8 +100,12 @@ testManifest()
     m.faultRate = 0.25;
     m.hardwareConcurrency = 8;
     m.sanitizer = "none";
+    m.peakRssBytes = 64ull * 1024 * 1024;
+    m.durationNanos = 987654321;
     m.inputs.push_back({"model", "gzip.model",
                         hashFingerprint(fnv1a64("model-bytes")), 512});
+    m.phases.push_back({"phase.observe", 25, 200000000, 180000000, 0});
+    m.phases.push_back({"phase.train", 1, 210000000, 190000000, 4096});
     m.events = 10000;
     m.samples = 33;
     m.allocs = 4000;
@@ -243,24 +247,47 @@ TEST(RunManifestTest, RoundTripsByteForByte)
     EXPECT_TRUE(loaded.includeLocallyStable);
     EXPECT_EQ(loaded.hardwareConcurrency, 8u);
     EXPECT_EQ(loaded.sanitizer, "none");
+    EXPECT_EQ(loaded.peakRssBytes, 64ull * 1024 * 1024);
+    EXPECT_EQ(loaded.durationNanos, 987654321u);
+    ASSERT_EQ(loaded.phases.size(), 2u);
+    EXPECT_EQ(loaded.phases[0].name, "phase.observe");
+    EXPECT_EQ(loaded.phases[0].count, 25u);
+    EXPECT_EQ(loaded.phases[1].wallNanos, 210000000u);
+    EXPECT_EQ(loaded.phases[1].bytes, 4096u);
+}
+
+/** Erase the whole lines from the one containing @p from through the
+ *  one containing the first @p close after it. */
+void
+stripBlock(std::string &json, const std::string &from, char close)
+{
+    const auto pos = json.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    const auto line_start = json.rfind('\n', pos) + 1;
+    const auto line_end =
+        json.find('\n', json.find(close, pos)) + 1;
+    json.erase(line_start, line_end - line_start);
+}
+
+/** Rewrite the document's schemaVersion claim to @p to. */
+void
+claimVersion(std::string &json, char to)
+{
+    const auto pos = json.find("\"schemaVersion\": 3");
+    ASSERT_NE(pos, std::string::npos);
+    json[pos + 17] = to;
 }
 
 TEST(RunManifestTest, V1DocumentsLoadWithoutEnv)
 {
-    // Hand-build a schema-1 document by stripping the env object
-    // from a canonical v2 rendering; the loader must accept it with
-    // the env fields defaulted, and a re-save must claim v2 (it
-    // gains the env object back).
+    // Hand-build a schema-1 document by stripping the env object and
+    // phases array from a canonical v3 rendering; the loader must
+    // accept it with those fields defaulted, and a re-save must
+    // claim v3 (it gains the newer blocks back).
     std::string json = diag::manifestToJson(testManifest());
-    const auto env_pos = json.find("\"env\"");
-    ASSERT_NE(env_pos, std::string::npos);
-    const auto line_start = json.rfind('\n', env_pos) + 1;
-    const auto line_end =
-        json.find('\n', json.find('}', env_pos)) + 1;
-    json.erase(line_start, line_end - line_start);
-    const auto version_pos = json.find("\"schemaVersion\": 2");
-    ASSERT_NE(version_pos, std::string::npos);
-    json.replace(version_pos, 18, "\"schemaVersion\": 1");
+    stripBlock(json, "\"env\"", '}');
+    stripBlock(json, "\"phases\"", ']');
+    claimVersion(json, '1');
 
     RunManifest loaded;
     std::string error;
@@ -268,9 +295,35 @@ TEST(RunManifestTest, V1DocumentsLoadWithoutEnv)
     EXPECT_EQ(loaded.schemaVersion, 1u);
     EXPECT_EQ(loaded.hardwareConcurrency, 0u);
     EXPECT_TRUE(loaded.sanitizer.empty());
+    EXPECT_TRUE(loaded.phases.empty());
     EXPECT_NE(diag::manifestToJson(loaded)
-                  .find("\"schemaVersion\": 2"),
+                  .find("\"schemaVersion\": 3"),
               std::string::npos);
+}
+
+TEST(RunManifestTest, V2DocumentsLoadWithoutResourcesOrPhases)
+{
+    // A schema-2 document has an env object without the v3 resource
+    // fields and no phases array at all.
+    std::string json = diag::manifestToJson(testManifest());
+    // Erase ",\n "peakRssBytes": ... "durationNanos": N" as one
+    // span so the field before them keeps the object well-formed.
+    const auto rss_pos = json.find(",\n    \"peakRssBytes\"");
+    ASSERT_NE(rss_pos, std::string::npos);
+    const auto dur_pos = json.find("\"durationNanos\"", rss_pos);
+    ASSERT_NE(dur_pos, std::string::npos);
+    json.erase(rss_pos, json.find('\n', dur_pos) - rss_pos);
+    stripBlock(json, "\"phases\"", ']');
+    claimVersion(json, '2');
+
+    RunManifest loaded;
+    std::string error;
+    ASSERT_TRUE(diag::loadRunManifest(json, loaded, &error)) << error;
+    EXPECT_EQ(loaded.schemaVersion, 2u);
+    EXPECT_EQ(loaded.hardwareConcurrency, 8u);
+    EXPECT_EQ(loaded.peakRssBytes, 0u);
+    EXPECT_EQ(loaded.durationNanos, 0u);
+    EXPECT_TRUE(loaded.phases.empty());
 }
 
 TEST(RunManifestTest, V2DocumentsRequireEnv)
@@ -469,6 +522,87 @@ TEST(TrendTest, EnvChecksStaySilentOnV1Manifests)
     EXPECT_FALSE(report.has("trend.env-sanitizer"));
     EXPECT_FALSE(report.has("trend.env-concurrency"));
     EXPECT_FALSE(report.has("trend.env-single-core"));
+}
+
+TEST(TrendTest, PeakRssRegressionFlagged)
+{
+    const RunManifest baseline = testManifest(); // 64 MiB
+    RunManifest candidate = testManifest();
+    candidate.peakRssBytes = 100ull * 1024 * 1024; // +56%
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_TRUE(report.has("trend.env-rss")) << report.describe();
+    EXPECT_FALSE(report.clean());
+
+    // Within the default 35% tolerance: silent.
+    candidate.peakRssBytes = 80ull * 1024 * 1024; // +25%
+    analysis::Report within;
+    diag::compareManifests(baseline, candidate, {}, within);
+    EXPECT_FALSE(within.has("trend.env-rss"));
+
+    // A tightened tolerance flags the same delta.
+    diag::TrendOptions strict;
+    strict.rssTolerance = 0.10;
+    analysis::Report tight;
+    diag::compareManifests(baseline, candidate, strict, tight);
+    EXPECT_TRUE(tight.has("trend.env-rss"));
+}
+
+TEST(TrendTest, TinyOrAbsentRssBaselinesAreIgnored)
+{
+    // Footprints under the floor are noise-dominated (allocator
+    // round-up, page-cache luck), and v2 documents carry 0.
+    RunManifest baseline = testManifest();
+    RunManifest candidate = testManifest();
+    baseline.peakRssBytes = 8ull * 1024 * 1024;
+    candidate.peakRssBytes = 80ull * 1024 * 1024; // 10x, still silent
+    analysis::Report small;
+    diag::compareManifests(baseline, candidate, {}, small);
+    EXPECT_FALSE(small.has("trend.env-rss"));
+
+    baseline.peakRssBytes = 64ull * 1024 * 1024;
+    candidate.peakRssBytes = 0; // candidate predates v3
+    analysis::Report absent;
+    diag::compareManifests(baseline, candidate, {}, absent);
+    EXPECT_FALSE(absent.has("trend.env-rss"));
+}
+
+TEST(TrendTest, PhaseWallRegressionFlagged)
+{
+    const RunManifest baseline = testManifest(); // phase.train 210ms
+    RunManifest candidate = testManifest();
+    candidate.phases[1].wallNanos = 550000000; // +162%, tol +100%
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_TRUE(report.has("trend.phase-wall")) << report.describe();
+    EXPECT_FALSE(report.clean());
+
+    diag::TrendOptions loose;
+    loose.phaseWallTolerance = 2.0;
+    analysis::Report ok;
+    diag::compareManifests(baseline, candidate, loose, ok);
+    EXPECT_FALSE(ok.has("trend.phase-wall"));
+    EXPECT_TRUE(ok.clean());
+}
+
+TEST(TrendTest, FastBaselinePhasesAndNewPhasesAreContext)
+{
+    RunManifest baseline = testManifest();
+    RunManifest candidate = testManifest();
+    // Below the 50ms floor a 10x blowup is still microseconds of
+    // wall time -- scheduling noise, not a regression.
+    baseline.phases[0].wallNanos = 2000000;
+    candidate.phases[0].wallNanos = 20000000;
+    // A phase only the candidate ran is context, not a regression.
+    candidate.phases.push_back({"phase.deep_audit", 1, 5000000, 0, 0});
+
+    analysis::Report report;
+    diag::compareManifests(baseline, candidate, {}, report);
+    EXPECT_FALSE(report.has("trend.phase-wall"));
+    EXPECT_TRUE(report.has("trend.phase-new"));
+    EXPECT_TRUE(report.clean()) << report.describe();
 }
 
 TEST(DiagLintTest, CleanArtifactsPass)

@@ -144,22 +144,34 @@ class CliDeterminismTest : public ::testing::Test
     }
 
     /**
-     * Zero every `*_ns` counter value in a manifest: elapsed time is
-     * the one run-accounting field that legitimately differs between
-     * byte-identical runs (and `trend` excludes it for the same
-     * reason).  Everything else must still match exactly.
+     * Zero every timing/resource value in a manifest: elapsed time,
+     * CPU time, and peak RSS are the run-accounting fields that
+     * legitimately differ between byte-identical runs (and `trend`
+     * excludes or tolerances them for the same reason).  That covers
+     * `*_ns` counter entries and, since schema v3, the env
+     * peakRssBytes/durationNanos pair plus wallNanos/cpuNanos in the
+     * phases[] and run blocks.  Everything else must match exactly.
      */
     static std::string
     zeroTimingCounters(const std::string &text)
     {
+        static const char *const keys[] = {
+            "\"peakRssBytes\":", "\"durationNanos\":",
+            "\"wallNanos\":", "\"cpuNanos\":"};
         std::istringstream in(text);
         std::ostringstream out;
         std::string line;
         bool timing = false;
         while (std::getline(in, line)) {
-            if (timing &&
-                line.find("\"value\":") != std::string::npos)
-                line.erase(line.find(':') + 1), line += " 0";
+            bool zero =
+                timing && line.find("\"value\":") != std::string::npos;
+            for (const char *key : keys)
+                zero = zero || line.find(key) != std::string::npos;
+            if (zero) {
+                const bool comma = !line.empty() && line.back() == ',';
+                line.erase(line.find(':') + 1);
+                line += comma ? " 0," : " 0";
+            }
             timing = line.find("_ns\",") != std::string::npos;
             out << line << '\n';
         }

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "telemetry/phase.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/trace_json.hh"
@@ -260,6 +263,119 @@ TEST_F(TelemetryTest, MacrosAccumulateIntoTheRegistry)
               registry.histogram("test.macro_timed").sum());
 }
 #endif // HEAPMD_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------
+// Pipeline phase spans (manifest schema v3 `phases[]` feed).
+// ---------------------------------------------------------------
+
+class PhaseTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PhaseRegistry::instance().reset();
+    }
+};
+
+TEST_F(PhaseTest, SpanAggregatesWallCpuAndBytes)
+{
+    {
+        PhaseSpan span("phase.test_stage");
+        span.addBytes(100);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+        PhaseSpan span("phase.test_stage");
+        span.addBytes(150);
+    }
+
+    const std::vector<PhaseStats> stats =
+        PhaseRegistry::instance().snapshot();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].name, "phase.test_stage");
+    EXPECT_EQ(stats[0].count, 2u);
+    EXPECT_EQ(stats[0].bytes, 250u);
+    // The first span slept 2ms: summed wall time must show it.
+    EXPECT_GE(stats[0].wallNanos, 2000000u);
+    // CPU time never exceeds wall time for a single-threaded span.
+    EXPECT_LE(stats[0].cpuNanos, stats[0].wallNanos);
+}
+
+TEST_F(PhaseTest, SnapshotSortsByNameAndResetForgets)
+{
+    PhaseRegistry &registry = PhaseRegistry::instance();
+    registry.recordExternal("phase.zeta", 1, 10, 5, 0);
+    registry.recordExternal("phase.alpha", 1, 20, 10, 64);
+    registry.recordExternal("phase.zeta", 4, 30, 15, 0);
+
+    const std::vector<PhaseStats> stats = registry.snapshot();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].name, "phase.alpha");
+    EXPECT_EQ(stats[1].name, "phase.zeta");
+    // recordExternal folds counts, not single spans.
+    EXPECT_EQ(stats[1].count, 5u);
+    EXPECT_EQ(stats[1].wallNanos, 40u);
+    EXPECT_EQ(stats[1].cpuNanos, 20u);
+    EXPECT_EQ(stats[0].bytes, 64u);
+
+    registry.reset();
+    EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST_F(PhaseTest, SpansNestAndEachLevelAggregates)
+{
+    EXPECT_EQ(PhaseSpan::depth(), 0);
+    {
+        PhaseSpan outer("phase.outer");
+        EXPECT_EQ(PhaseSpan::depth(), 1);
+        {
+            PhaseSpan inner("phase.inner");
+            EXPECT_EQ(PhaseSpan::depth(), 2);
+        }
+        EXPECT_EQ(PhaseSpan::depth(), 1);
+    }
+    EXPECT_EQ(PhaseSpan::depth(), 0);
+
+    const std::vector<PhaseStats> stats =
+        PhaseRegistry::instance().snapshot();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].name, "phase.inner");
+    EXPECT_EQ(stats[0].count, 1u);
+    EXPECT_EQ(stats[1].name, "phase.outer");
+    EXPECT_EQ(stats[1].count, 1u);
+}
+
+TEST_F(PhaseTest, PhaseSpansEmitIntoActiveTraceSession)
+{
+    const std::string path =
+        testing::TempDir() + "telemetry_test_phase_trace.json";
+    ASSERT_TRUE(TraceSession::start(path));
+    {
+        PhaseSpan span("phase.traced");
+    }
+    const std::uint64_t written = TraceSession::stop();
+    EXPECT_EQ(written, 1u);
+
+    const std::string text = slurp(path);
+    std::string error;
+    JsonValue root;
+    ASSERT_TRUE(parseJson(text, root, &error)) << error;
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool saw_phase = false;
+    for (const JsonValue &event : events->array) {
+        const JsonValue *name = event.find("name");
+        if (name == nullptr || name->string != "phase.traced")
+            continue;
+        saw_phase = true;
+        const JsonValue *cat = event.find("cat");
+        ASSERT_NE(cat, nullptr);
+        EXPECT_EQ(cat->string, "phase");
+    }
+    EXPECT_TRUE(saw_phase);
+    std::remove(path.c_str());
+}
 
 } // namespace
 

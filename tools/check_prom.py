@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition scrape (version 0.0.4).
+
+CI runs this over `heapmd stats --format prometheus` output so a
+malformed exposition (bad escaping, missing HELP/TYPE, a counter
+that goes backwards) fails the build instead of a fleet scraper.
+
+Checks:
+  * every sample belongs to a family with `# HELP` and `# TYPE`
+    declared before its first sample, at most once each;
+  * metric and label names match the Prometheus grammar;
+  * label values use only the \\\\, \\", and \\n escapes;
+  * sample values are floats (including +Inf/-Inf/NaN);
+  * counter-typed samples are non-negative;
+  * no duplicate (name, labelset) sample;
+  * with --baseline EARLIER_SCRAPE: counters never decrease between
+    the two scrapes for any labelset present in both (restarts reset
+    counters, so only use --baseline within one writer's lifetime).
+
+Exit status: 0 clean, 1 findings, 2 usage/IO trouble.  stdlib only.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Scrape:
+    """Parsed exposition: families, samples, and findings."""
+
+    def __init__(self):
+        self.help = {}     # family -> text
+        self.type = {}     # family -> type
+        self.samples = {}  # (name, labelset tuple) -> float
+        self.findings = []
+
+    def fail(self, line_no, message):
+        self.findings.append("line %d: %s" % (line_no, message))
+
+
+def parse_label_value(raw, pos):
+    """Parse a quoted label value starting at raw[pos] == '"'.
+
+    Returns (value, next_pos) or (None, error_message): only the
+    \\\\, \\", and \\n escapes are legal in the text format.
+    """
+    assert raw[pos] == '"'
+    out = []
+    i = pos + 1
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            if i + 1 >= len(raw):
+                return None, "dangling backslash in label value"
+            esc = raw[i + 1]
+            if esc not in ('\\', '"', "n"):
+                return None, "illegal escape '\\%s' in label value" % esc
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[esc])
+            i += 2
+            continue
+        if ch == '"':
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    return None, "unterminated label value"
+
+
+def parse_labels(raw, line_no, scrape):
+    """Parse '{name="value",...}'; returns labelset tuple or None."""
+    labels = []
+    i = 1
+    while True:
+        if i >= len(raw):
+            scrape.fail(line_no, "unterminated label set")
+            return None
+        if raw[i] == "}":
+            return tuple(labels), i + 1
+        eq = raw.find("=", i)
+        if eq < 0 or eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            scrape.fail(line_no, "malformed label pair")
+            return None
+        name = raw[i:eq]
+        if not LABEL_NAME.match(name):
+            scrape.fail(line_no, "bad label name '%s'" % name)
+            return None
+        value, nxt = parse_label_value(raw, eq + 1)
+        if value is None:
+            scrape.fail(line_no, nxt)
+            return None
+        labels.append((name, value))
+        i = nxt
+        if i < len(raw) and raw[i] == ",":
+            i += 1
+
+
+def parse_value(token):
+    if token in ("+Inf", "-Inf", "NaN"):
+        return float("inf") if token == "+Inf" else (
+            float("-inf") if token == "-Inf" else float("nan"))
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def family_of(name):
+    """Histogram/summary series fold into their declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)]:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(text, scrape):
+    seen_sample_of = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 2 and fields[1] in ("HELP", "TYPE"):
+                if len(fields) < 3 or not METRIC_NAME.match(fields[2]):
+                    scrape.fail(line_no,
+                                "malformed %s comment" % fields[1])
+                    continue
+                name = fields[2]
+                if fields[1] == "HELP":
+                    if name in scrape.help:
+                        scrape.fail(line_no,
+                                    "duplicate HELP for '%s'" % name)
+                    scrape.help[name] = (
+                        fields[3] if len(fields) > 3 else "")
+                    if not scrape.help[name].strip():
+                        scrape.fail(line_no,
+                                    "empty HELP text for '%s'" % name)
+                else:
+                    if name in scrape.type:
+                        scrape.fail(line_no,
+                                    "duplicate TYPE for '%s'" % name)
+                    if name in seen_sample_of:
+                        scrape.fail(
+                            line_no,
+                            "TYPE for '%s' after its samples" % name)
+                    kind = fields[3].strip() if len(fields) > 3 else ""
+                    if kind not in TYPES:
+                        scrape.fail(line_no,
+                                    "unknown TYPE '%s'" % kind)
+                    scrape.type[name] = kind
+            continue  # other comments are legal and uninterpreted
+
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if not match:
+            scrape.fail(line_no, "unparseable sample line")
+            continue
+        name = match.group(1)
+        rest = line[match.end():]
+        labels = ()
+        if rest.startswith("{"):
+            parsed = parse_labels(rest, line_no, scrape)
+            if parsed is None:
+                continue
+            labels, consumed = parsed
+            rest = rest[consumed:]
+        tokens = rest.split()
+        if len(tokens) not in (1, 2):  # optional trailing timestamp
+            scrape.fail(line_no, "expected 'value [timestamp]'")
+            continue
+        value = parse_value(tokens[0])
+        if value is None:
+            scrape.fail(line_no,
+                        "non-numeric value '%s'" % tokens[0])
+            continue
+        family = family_of(name)
+        seen_sample_of.add(family)
+        if family not in scrape.help:
+            scrape.fail(line_no, "sample of '%s' without HELP" % name)
+        if family not in scrape.type:
+            scrape.fail(line_no, "sample of '%s' without TYPE" % name)
+        elif scrape.type[family] == "counter" and value < 0:
+            scrape.fail(line_no,
+                        "negative counter '%s' = %s" % (name,
+                                                        tokens[0]))
+        key = (name, labels)
+        if key in scrape.samples:
+            scrape.fail(line_no,
+                        "duplicate sample %s%r" % (name, labels))
+        scrape.samples[key] = value
+
+
+def check_monotonic(baseline, current):
+    findings = []
+    for key, before in baseline.samples.items():
+        name, labels = key
+        if baseline.type.get(family_of(name)) != "counter":
+            continue
+        after = current.samples.get(key)
+        if after is not None and after < before:
+            findings.append(
+                "counter %s%r went backwards: %g -> %g"
+                % (name, dict(labels), before, after))
+    return findings
+
+
+def load(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus text exposition.")
+    parser.add_argument("scrape", help="scrape file, or - for stdin")
+    parser.add_argument(
+        "--baseline",
+        help="earlier scrape of the same writer; counters in it "
+             "must not exceed their value in SCRAPE")
+    args = parser.parse_args()
+
+    try:
+        current = Scrape()
+        parse(load(args.scrape), current)
+        findings = list(current.findings)
+        if args.baseline:
+            earlier = Scrape()
+            parse(load(args.baseline), earlier)
+            for finding in earlier.findings:
+                findings.append("baseline " + finding)
+            findings.extend(check_monotonic(earlier, current))
+    except OSError as err:
+        print("check_prom: %s" % err, file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print("check_prom: %s" % finding, file=sys.stderr)
+    if findings:
+        return 1
+    print("check_prom: %d samples in %d families, clean"
+          % (len(current.samples), len(current.type)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

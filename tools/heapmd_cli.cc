@@ -17,7 +17,10 @@
  *                          and diag artifacts (bundles, manifests)
  *   report                 render an incident bundle for a developer
  *   trend                  compare run manifests, flag regressions
+ *   top                    live view of capture stats segments
+ *   export                 serve segments as Prometheus /metrics
  *   stats                  run once and print the telemetry counters
+ *                          (or --format prometheus for live segments)
  *
  * Exit status contract (scriptable; see README):
  *   0  success, nothing found
@@ -50,14 +53,17 @@
  */
 
 #include <chrono>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/diag_lint.hh"
@@ -86,6 +92,17 @@
 #include "capture/capture_session.hh"
 #endif
 
+#if defined(HEAPMD_HAVE_OBSV)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obsv/prometheus.hh"
+#include "obsv/segment.hh"
+#include "obsv/top_view.hh"
+#endif
+
 using namespace heapmd;
 
 namespace
@@ -105,6 +122,10 @@ constexpr int kExitFindings = 3;
 
 /** Worker threads from --jobs / HEAPMD_JOBS (0 = auto, 1 = serial). */
 unsigned g_jobs = 1;
+
+/** Process start, for the manifest's end-to-end duration stamp. */
+const std::chrono::steady_clock::time_point g_main_start =
+    std::chrono::steady_clock::now();
 
 void
 printUsage(std::FILE *to)
@@ -165,9 +186,20 @@ printUsage(std::FILE *to)
         "           / rule, site pair, triage hint)\n"
         "  trend   --baseline FILE --manifest FILE [--manifest ...]\n"
         "          [--counter-tol R=0.10] [--sample-tol R=0.10]\n"
-        "          [--min-base N=100]\n"
+        "          [--min-base N=100] [--rss-tol R=0.35]\n"
+        "          [--phase-tol R=1.0]\n"
         "          (compare run manifests against a clean baseline;\n"
         "           exits %d when a regression is flagged)\n"
+        "  top     [--pid P | --all 1] [--once 1] [--interval MS=2000]\n"
+        "          [--model FILE] [--reap 1]\n"
+        "          (live view of capture shim stats segments in\n"
+        "           /dev/shm; --model adds drift against a trained\n"
+        "           model's stable ranges; --reap removes segments\n"
+        "           left by SIGKILLed processes)\n"
+        "  export  [--listen HOST:PORT=127.0.0.1:9464] [--pid P]\n"
+        "          [--once 1]\n"
+        "          (serve the live segments as a Prometheus /metrics\n"
+        "           HTTP endpoint)\n"
         "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
         "          [--frq N=300] [--fault KIND [--rate R]]\n"
         "          (prints the metric series as CSV -- the paper's\n"
@@ -175,6 +207,9 @@ printUsage(std::FILE *to)
         "  stats   [--app NAME=%s] [--seed S=1] [--version V]\n"
         "          [--scale X] [--frq N=300]\n"
         "          (runs once and prints the telemetry counters)\n"
+        "          or: --format prometheus [--pid P]\n"
+        "          (print the live stats segments as Prometheus\n"
+        "           text exposition instead of running anything)\n"
         "\n"
         "global flags (any command):\n"
         "  --trace-out FILE   Chrome trace-event JSON timeline\n"
@@ -225,7 +260,8 @@ parseJobs(const std::string &text, const char *origin)
 }
 
 /**
- * Tiny --flag value parser.  Flags may repeat; single-value accessors
+ * Tiny --flag value parser.  Both `--flag value` and `--flag=value`
+ * spellings are accepted.  Flags may repeat; single-value accessors
  * take the last occurrence (so a repeated flag overrides), all()
  * returns every occurrence in order (trend's candidate list).
  */
@@ -239,6 +275,14 @@ class Args
             if (key.rfind("--", 0) != 0)
                 badInvocation("expected '--flag value', got '" + key +
                               "'");
+            const std::size_t eq = key.find('=');
+            if (eq != std::string::npos) {
+                if (eq == 2)
+                    badInvocation("flag '" + key + "' has no name");
+                values_[key.substr(2, eq - 2)].push_back(
+                    key.substr(eq + 1));
+                continue;
+            }
             if (i + 1 >= argc)
                 badInvocation("flag '" + key + "' is missing a value");
             values_[key.substr(2)].push_back(argv[++i]);
@@ -443,6 +487,22 @@ writeManifest(diag::RunManifest &manifest, const std::string &path)
 {
     manifest.hardwareConcurrency = support::hardwareConcurrency();
     manifest.sanitizer = support::kSanitizeMode;
+    manifest.peakRssBytes = support::peakRssBytes();
+    manifest.durationNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_main_start)
+            .count());
+    manifest.phases.clear();
+    for (const telemetry::PhaseStats &phase :
+         telemetry::PhaseRegistry::instance().snapshot()) {
+        diag::ManifestPhase entry;
+        entry.name = phase.name;
+        entry.count = phase.count;
+        entry.wallNanos = phase.wallNanos;
+        entry.cpuNanos = phase.cpuNanos;
+        entry.bytes = phase.bytes;
+        manifest.phases.push_back(std::move(entry));
+    }
     diag::captureCounters(
         manifest, telemetry::Registry::instance().snapshotAll());
     std::ofstream out(path, std::ios::binary);
@@ -917,6 +977,15 @@ cmdCapture(const Args &args)
                         session.counters["capture.events_emitted"]),
                     session.tracePath.c_str());
 
+    // The conservative scan ran inside the *child*; surface it as a
+    // pipeline phase from the sidecar counters so capture manifests
+    // carry per-stage timing like every other command (words are
+    // pointer-sized).
+    telemetry::PhaseRegistry::instance().recordExternal(
+        "phase.capture_scan", session.counters["capture.scan_passes"],
+        session.counters["capture.scan_ns"], 0,
+        session.counters["capture.scan_words"] * sizeof(void *));
+
     // Audit the fresh trace against the static rule catalog.  The
     // capture-provenance header downgrades truncation findings (a
     // killed child) to warnings; anything error-severity here is a
@@ -1237,6 +1306,10 @@ cmdTrend(const Args &args)
     options.counterTolerance = args.real("counter-tol", 0.10);
     options.sampleRateTolerance = args.real("sample-tol", 0.10);
     options.counterMinBase = args.num("min-base", 100);
+    options.rssTolerance =
+        args.real("rss-tol", options.rssTolerance);
+    options.phaseWallTolerance =
+        args.real("phase-tol", options.phaseWallTolerance);
 
     analysis::Report report;
     for (const std::string &path : candidates) {
@@ -1270,9 +1343,202 @@ cmdDiff(const Args &args)
     return diff.unchanged() ? 0 : kExitFindings;
 }
 
+#if defined(HEAPMD_HAVE_OBSV)
+
+/**
+ * Snapshot the live stats segments: the one named by --pid, or every
+ * segment in /dev/shm.  A --pid that cannot be attached or read is
+ * fatal (the caller asked for that process specifically); in the
+ * discovery path broken segments are skipped with a note, since a
+ * writer may exit between readdir and attach.
+ */
+std::vector<obsv::SegmentSnapshot>
+collectSegments(const Args &args)
+{
+    std::vector<std::uint32_t> pids;
+    if (args.has("pid"))
+        pids.push_back(
+            static_cast<std::uint32_t>(args.num("pid", 0)));
+    else
+        pids = obsv::listSegmentPids();
+
+    std::vector<obsv::SegmentSnapshot> snapshots;
+    for (std::uint32_t pid : pids) {
+        obsv::SegmentReader reader;
+        std::string error;
+        obsv::SegmentSnapshot snapshot;
+        if (!reader.attachPid(pid, &error) ||
+            !reader.read(snapshot, &error)) {
+            if (args.has("pid"))
+                HEAPMD_FATAL("cannot read stats segment of pid ",
+                             pid, ": ", error);
+            std::fprintf(stderr, "%s: skipping pid %u: %s\n",
+                         g_argv0, pid, error.c_str());
+            continue;
+        }
+        snapshots.push_back(std::move(snapshot));
+    }
+    return snapshots;
+}
+
+#endif // HEAPMD_HAVE_OBSV
+
+int
+cmdTop(const Args &args)
+{
+#if !defined(HEAPMD_HAVE_OBSV)
+    (void)args;
+    HEAPMD_FATAL("this build has no live-observability support "
+                 "(POSIX shared memory required)");
+#else
+    if (args.num("reap", 0) != 0) {
+        const obsv::ReapResult result = obsv::reapDeadSegments();
+        for (std::uint32_t pid : result.reaped)
+            std::printf("reaped stats segment of dead pid %u\n", pid);
+        std::printf("%zu segment(s) reaped, %zu alive\n",
+                    result.reaped.size(), result.alive.size());
+        return 0;
+    }
+    if (args.has("pid") && args.has("all"))
+        badInvocation("top takes --pid or --all, not both");
+
+    HeapModel model;
+    bool have_model = false;
+    if (args.has("model")) {
+        model = loadModel(args.str("model"));
+        have_model = true;
+    }
+    const bool once = args.num("once", 0) != 0;
+    const std::uint64_t interval_ms = args.num("interval", 2000);
+    for (;;) {
+        const std::vector<obsv::SegmentSnapshot> snapshots =
+            collectSegments(args);
+        const std::string view =
+            obsv::renderTop(snapshots, have_model ? &model : nullptr,
+                            obsv::monotonicMs());
+        if (!once)
+            std::printf("\x1b[H\x1b[2J"); // clear, like top(1)
+        std::fputs(view.c_str(), stdout);
+        std::fflush(stdout);
+        if (once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+#endif // HEAPMD_HAVE_OBSV
+}
+
+#if defined(HEAPMD_HAVE_OBSV)
+
+/** write(2) until done; a vanished scraper is not an error. */
+void
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+#endif // HEAPMD_HAVE_OBSV
+
+int
+cmdExport(const Args &args)
+{
+#if !defined(HEAPMD_HAVE_OBSV)
+    (void)args;
+    HEAPMD_FATAL("this build has no live-observability support "
+                 "(POSIX shared memory required)");
+#else
+    const std::string listen_addr =
+        args.str("listen", "127.0.0.1:9464");
+    const std::size_t colon = listen_addr.rfind(':');
+    if (colon == std::string::npos)
+        badInvocation("export --listen expects HOST:PORT");
+    const std::string host = listen_addr.substr(0, colon);
+    const int port = std::atoi(listen_addr.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+        badInvocation("export --listen port is not in 1..65535");
+
+    const int server = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (server < 0)
+        HEAPMD_FATAL("cannot create socket: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(server, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        badInvocation("export --listen host must be an IPv4 "
+                      "address (e.g. 127.0.0.1)");
+    if (::bind(server, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        HEAPMD_FATAL("cannot bind ", listen_addr, ": ",
+                     std::strerror(errno));
+    if (::listen(server, 8) != 0)
+        HEAPMD_FATAL("cannot listen on ", listen_addr, ": ",
+                     std::strerror(errno));
+    std::printf("serving metrics on http://%s/metrics\n",
+                listen_addr.c_str());
+    std::fflush(stdout);
+
+    const bool once = args.num("once", 0) != 0;
+    for (;;) {
+        const int client = ::accept(server, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue;
+            HEAPMD_FATAL("accept failed: ", std::strerror(errno));
+        }
+        // Every request gets the same document regardless of path, so
+        // the request bytes only need draining, not parsing.
+        char request[1024];
+        (void)::read(client, request, sizeof request);
+        const std::string body =
+            obsv::renderPrometheus(collectSegments(args));
+        char header[192];
+        std::snprintf(
+            header, sizeof header,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; "
+            "charset=utf-8\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n\r\n",
+            body.size());
+        writeAll(client, header, std::strlen(header));
+        writeAll(client, body.data(), body.size());
+        ::close(client);
+        if (once)
+            break;
+    }
+    ::close(server);
+    return 0;
+#endif // HEAPMD_HAVE_OBSV
+}
+
 int
 cmdStats(const Args &args)
 {
+    if (args.has("format")) {
+        if (args.str("format") != "prometheus")
+            badInvocation("stats --format only supports "
+                          "'prometheus'");
+#if !defined(HEAPMD_HAVE_OBSV)
+        HEAPMD_FATAL("this build has no live-observability support "
+                     "(POSIX shared memory required)");
+#else
+        const std::string text =
+            obsv::renderPrometheus(collectSegments(args));
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+#endif
+    }
     const HeapMD tool(configFrom(args));
     auto app = makeApp(args.str("app", specAppNames().front()));
     tool.observe(*app, appConfigFrom(args, 1));
@@ -1329,7 +1595,11 @@ commandTable()
         {"trend",
          {cmdTrend,
           {"baseline", "manifest", "counter-tol", "sample-tol",
-           "min-base"}}},
+           "min-base", "rss-tol", "phase-tol"}}},
+        {"top",
+         {cmdTop,
+          {"pid", "all", "once", "interval", "model", "reap"}}},
+        {"export", {cmdExport, {"listen", "pid", "once"}}},
         {"observe",
          {cmdObserve,
           {"app", "seed", "version", "scale", "frq", "fault", "rate",
@@ -1337,7 +1607,7 @@ commandTable()
         {"stats",
          {cmdStats,
           {"app", "seed", "version", "scale", "frq", "fault", "rate",
-           "budget"}}},
+           "budget", "format", "pid"}}},
     };
     return table;
 }
