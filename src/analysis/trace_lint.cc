@@ -7,6 +7,7 @@
 #include "analysis/trace_scan.hh"
 #include "runtime/events.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/segment_set.hh"
 #include "trace/trace_format.hh"
 #include "trace/trace_source.hh"
 
@@ -114,6 +115,14 @@ struct Linter
     std::map<FnId, std::uint64_t> fn_uses;
     /** Header declared live-capture provenance. */
     bool capture = false;
+    /**
+     * Force truncation findings to errors even under capture
+     * provenance.  Set for non-final segments of a rotating set:
+     * rotation finalizes a segment before creating its successor, so
+     * a cut-short mid-chain segment is corruption, not a kill
+     * artifact.
+     */
+    bool truncation_is_error = false;
 
     Linter(std::string_view data, Report &rep)
         : cursor(data), report(rep)
@@ -130,7 +139,7 @@ struct Linter
     truncation(const char *rule, std::uint64_t offset,
                std::string message)
     {
-        if (capture) {
+        if (capture && !truncation_is_error) {
             report.warningAtByte(rule, offset,
                                  message + " (expected for a killed "
                                            "live-capture child)");
@@ -394,6 +403,7 @@ lintTrace(std::string_view data, Report &report)
 {
     Linter linter(data, report);
     linter.stats.bytes = data.size();
+    linter.stats.segments = 1;
     linter.run();
     return linter.stats;
 }
@@ -431,6 +441,78 @@ lintTraceFile(const std::string &path, Report &report)
     HEAPMD_COUNTER_ADD("audit.findings",
                        report.findings().size() - before);
     return stats;
+}
+
+TraceLintStats
+lintSegmentSet(const std::string &base, Report &report)
+{
+    HEAPMD_TRACE_SPAN("audit.segments");
+    HEAPMD_COUNTER_INC("audit.trace_lints");
+    const std::size_t before = report.findings().size();
+
+    TraceLintStats total;
+    const std::vector<std::uint64_t> indices =
+        trace::listSegmentIndices(base);
+    if (indices.empty()) {
+        report.error("trace.io",
+                     "no trace segments found for '" + base + "'");
+        HEAPMD_COUNTER_INC("audit.findings");
+        return total;
+    }
+
+    // Live/freed extent state survives segment boundaries: the set is
+    // one logical trace and cross-segment alloc/free pairing must
+    // lint exactly as the concatenated stream would.
+    ExtentTracker extents;
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const std::uint64_t index = indices[i];
+        if (index != expected) {
+            report.error(
+                "trace.segment-gap",
+                "segment " + std::to_string(expected) +
+                    " of '" + base + "' is missing (next on disk is " +
+                    std::to_string(index) +
+                    "); extent state resets at the gap");
+            // Ordering checks across the hole would be noise; framing
+            // checks on the remaining segments are still worth it.
+            extents = ExtentTracker();
+        }
+        expected = index + 1;
+
+        const std::string path = trace::segmentPath(base, index);
+        trace::FileSource source(path);
+        if (!source.ok()) {
+            report.error("trace.io",
+                         "cannot open trace segment '" + path + "'");
+            continue;
+        }
+        const std::string_view data =
+            source.size() == 0
+                ? std::string_view()
+                : std::string_view(
+                      reinterpret_cast<const char *>(source.data()),
+                      source.size());
+        Linter linter(data, report);
+        linter.stats.bytes = data.size();
+        linter.extents = std::move(extents);
+        linter.truncation_is_error = i + 1 < indices.size();
+        linter.run();
+        extents = std::move(linter.extents);
+
+        total.bytes += linter.stats.bytes;
+        total.events += linter.stats.events;
+        // The shim's registry persists across rotations, so the
+        // newest footer's table is a superset of its predecessors.
+        if (linter.stats.functions > total.functions)
+            total.functions = linter.stats.functions;
+        total.captureProvenance |= linter.stats.captureProvenance;
+        ++total.segments;
+    }
+
+    HEAPMD_COUNTER_ADD("audit.findings",
+                       report.findings().size() - before);
+    return total;
 }
 
 } // namespace analysis

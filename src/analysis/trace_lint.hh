@@ -26,6 +26,8 @@
  *   trace.free-before-alloc free/realloc of a non-live address
  *   trace.write-after-free  pointer-write into a freed extent
  *   trace.trailing-bytes    bytes after the function table (warning)
+ *   trace.segment-gap       rotating segment set has a missing or
+ *                           out-of-order segment index
  *
  * Capture provenance: when the version-2 header carries the
  * live-capture flag, the truncation family (trace.no-footer,
@@ -58,6 +60,7 @@ struct TraceLintStats
     std::uint64_t bytes = 0;     //!< total bytes scanned
     std::uint64_t events = 0;    //!< events decoded (well-formed ones)
     std::uint64_t functions = 0; //!< names in the function table
+    std::uint64_t segments = 0;  //!< files linted (1 for a monolith)
     bool captureProvenance = false; //!< header's live-capture flag
 };
 
@@ -80,6 +83,27 @@ TraceLintStats lintTrace(std::istream &is, Report &report);
  * trace costs no buffering copy.
  */
 TraceLintStats lintTraceFile(const std::string &path, Report &report);
+
+/**
+ * Lint a rotating segment set (trace::segmentPath naming) rooted at
+ * @p base as one logical trace.
+ *
+ * Each segment is linted with full per-file framing checks (its own
+ * header, footer, and function table), while the live/freed extent
+ * state carries *across* segments -- an object allocated in segment 0
+ * and freed in segment 2 lints clean, exactly as it would in the
+ * concatenated event stream.  Segment-set-specific rules:
+ *
+ *  - trace.segment-gap: a missing or out-of-order index (the extent
+ *    state is reset at the gap so later segments are still checked
+ *    for framing without cascading false ordering findings);
+ *  - truncation in a non-final segment is always an error, capture
+ *    provenance or not: the rotation protocol finalizes a segment
+ *    before creating its successor, so only the newest file may be
+ *    legitimately cut short.
+ */
+TraceLintStats lintSegmentSet(const std::string &base,
+                              Report &report);
 
 } // namespace analysis
 

@@ -48,6 +48,21 @@ inline constexpr const char *kEnvLog = "HEAPMD_CAPTURE_LOG";
 inline constexpr const char *kEnvNoSegment =
     "HEAPMD_CAPTURE_NO_SEGMENT";
 
+/**
+ * Segment rotation threshold in bytes.  Unset or 0 records one
+ * monolithic trace at HEAPMD_CAPTURE_OUT (the pre-rotation behavior).
+ * Any positive value switches the shim to rotating segment files
+ * ("<out>.000000.heapmd", "<out>.000001.heapmd", ...): whenever the
+ * active segment reaches the threshold the shim finalizes it
+ * (footer + fsync + close) at an operation boundary and opens the
+ * next one, so a crash loses at most the in-progress segment and
+ * `heapmd monitor` can consume finished segments while the process
+ * still runs.  Rotation happens only *between* recorded allocator
+ * operations -- an event record is never split across segments.
+ */
+inline constexpr const char *kEnvRotateBytes =
+    "HEAPMD_CAPTURE_ROTATE_BYTES";
+
 /** Host-side override of the shim library path. */
 inline constexpr const char *kEnvLib = "HEAPMD_CAPTURE_LIB";
 

@@ -12,6 +12,7 @@
 #include "capture/stats_sidecar.hh"
 #include "obsv/segment.hh"
 #include "telemetry/registry.hh"
+#include "trace/segment_set.hh"
 
 extern char **environ;
 
@@ -107,6 +108,13 @@ runCapture(const std::vector<std::string> &argv,
     // the child dies before the shim opens the file.
     fs::remove(result.tracePath, ec);
     fs::remove(result.statsPath, ec);
+    if (options.rotateBytes > 0) {
+        for (const std::uint64_t idx :
+             trace::listSegmentIndices(result.tracePath))
+            fs::remove(trace::segmentPath(result.tracePath, idx),
+                       ec);
+        fs::remove(trace::segmentManifestPath(result.tracePath), ec);
+    }
 
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -133,6 +141,12 @@ runCapture(const std::vector<std::string> &argv,
             ::setenv(kEnvLog, "1", 1);
         if (options.noSegment)
             ::setenv(kEnvNoSegment, "1", 1);
+        if (options.rotateBytes > 0) {
+            std::snprintf(number, sizeof(number), "%llu",
+                          static_cast<unsigned long long>(
+                              options.rotateBytes));
+            ::setenv(kEnvRotateBytes, number, 1);
+        }
 
         std::vector<char *> child_argv;
         child_argv.reserve(argv.size() + 1);
@@ -173,7 +187,17 @@ runCapture(const std::vector<std::string> &argv,
         error = "child failed to exec '" + argv.front() + "'";
         return false;
     }
-    if (!fs::exists(result.tracePath, ec)) {
+    if (options.rotateBytes > 0) {
+        for (const std::uint64_t idx :
+             trace::listSegmentIndices(result.tracePath))
+            result.segmentPaths.push_back(
+                trace::segmentPath(result.tracePath, idx));
+        if (result.segmentPaths.empty()) {
+            error = "child produced no trace segments under '" +
+                    result.tracePath + "' (did it allocate at all?)";
+            return false;
+        }
+    } else if (!fs::exists(result.tracePath, ec)) {
         error = "child produced no trace at '" + result.tracePath +
                 "' (did it allocate at all?)";
         return false;

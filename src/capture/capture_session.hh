@@ -46,6 +46,14 @@ struct SessionOptions
      * stats segment (overhead ablation; artifact-free deployments).
      */
     bool noSegment = false;
+
+    /**
+     * Segment-rotation threshold (HEAPMD_CAPTURE_ROTATE_BYTES).
+     * 0 = one monolithic trace at tracePath; positive = the shim
+     * records rotating "<tracePath>.NNNNNN.heapmd" segments plus a
+     * manifest, which `heapmd monitor` can follow live.
+     */
+    std::uint64_t rotateBytes = 0;
 };
 
 /** Outcome of one capture run. */
@@ -60,9 +68,15 @@ struct SessionResult
     /** Terminating signal when not @ref exited. */
     int termSignal = 0;
 
-    /** Paths actually used. */
+    /**
+     * Paths actually used.  Under rotation tracePath is the *base*
+     * path segment names derive from (the file itself is not
+     * created); segmentPaths lists the segments that exist after the
+     * run, in index order.
+     */
     std::string tracePath;
     std::string statsPath;
+    std::vector<std::string> segmentPaths;
 
     /** capture.* counters parsed from the sidecar (may be empty). */
     std::map<std::string, std::uint64_t> counters;

@@ -52,6 +52,19 @@ class FdStreamBuf : public std::streambuf
     /** Bytes pushed to the fd so far. */
     std::size_t bytesWritten() const { return bytes_written_; }
 
+    /**
+     * Total bytes accepted so far: pushed to the fd plus still
+     * pending in the put area.  This is the size the file will have
+     * after a flush -- what segment rotation compares against its
+     * byte threshold without forcing a flush per operation.
+     */
+    std::size_t
+    totalBytes() const
+    {
+        return bytes_written_ +
+               static_cast<std::size_t>(pptr() - pbase());
+    }
+
   protected:
     int_type overflow(int_type ch) override;
     int sync() override;

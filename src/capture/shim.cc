@@ -56,6 +56,7 @@
 #include "capture/live_table.hh"
 #include "capture/stats_sidecar.hh"
 #include "obsv/segment.hh"
+#include "trace/segment_set.hh"
 #include "runtime/call_stack.hh"
 #include "runtime/events.hh"
 #include "trace/trace_writer.hh"
@@ -109,15 +110,49 @@ pthread_mutex_t g_mutex = PTHREAD_MUTEX_INITIALIZER;
 /** 0 = not decided, 1 = active, 2 = disabled (or finalized). */
 std::atomic<int> g_sink_state{0};
 
-/** Everything the recording side owns; heap-allocated, never freed. */
-struct Sink
+/**
+ * One trace file being written: fd buffer, stream, encoder.  Under
+ * segment rotation the Sink replaces its TraceFile per segment while
+ * the registry, live table, and counters live on in the Sink -- the
+ * function registry in particular must persist so FnIds stay stable
+ * across segments (each segment's footer then carries a superset of
+ * its predecessor's table).
+ */
+struct TraceFile
 {
     FdStreamBuf buf;
     std::ostream os;
+    TraceWriter writer;
+
+    TraceFile(int fd, FunctionRegistry &registry,
+              CaptureCounters &counters)
+        : buf(fd, 1 << 18),
+          os(&buf),
+          writer(os, registry,
+                 TraceWriterOptions{
+                     true,
+                     [this, &counters] {
+                         buf.syncToDisk();
+                         ++counters.flushes;
+                     }})
+    {
+    }
+};
+
+/** Everything the recording side owns; heap-allocated, never freed. */
+struct Sink
+{
     FunctionRegistry registry;
     LiveTable table;
     CaptureCounters counters;
-    TraceWriter writer;
+    /** Active segment; replaced on rotation, null only mid-rotate. */
+    TraceFile *file = nullptr;
+    /** Configured output path (segment names derive from it). */
+    std::string base_path;
+    /** Rotation threshold in bytes; 0 = one monolithic trace. */
+    std::uint64_t rotate_bytes;
+    /** Index of the active segment (meaningful when rotating). */
+    std::uint64_t segment_index = 0;
     std::uint64_t scan_frequency;
     std::uint64_t allocs_since_scan = 0;
     FnId scan_fn;
@@ -131,16 +166,11 @@ struct Sink
     /** Recorded ops since the last gauge publish (throttling). */
     std::uint64_t ops_since_publish = 0;
 
-    Sink(int fd, std::uint64_t frq, std::string stats, bool verbose)
-        : buf(fd, 1 << 18),
-          os(&buf),
-          writer(os, registry,
-                 TraceWriterOptions{
-                     true,
-                     [this] {
-                         buf.syncToDisk();
-                         ++counters.flushes;
-                     }}),
+    Sink(int fd, std::string out, std::uint64_t rotate,
+         std::uint64_t frq, std::string stats, bool verbose)
+        : file(new (std::nothrow) TraceFile(fd, registry, counters)),
+          base_path(std::move(out)),
+          rotate_bytes(rotate),
           scan_frequency(frq),
           scan_fn(registry.intern(
               heapmd::capture::kScanFunctionName)),
@@ -246,6 +276,25 @@ onForkChild()
     g_sink_state.store(2, std::memory_order_release);
 }
 
+/**
+ * Refresh the advisory segment manifest (tmp + rename).  No-op for a
+ * monolithic capture; failure is tolerated -- readers fall back to
+ * directory listing and pid liveness.
+ */
+void
+writeManifestLocked(Sink &sink, bool closed)
+{
+    if (sink.rotate_bytes == 0)
+        return;
+    heapmd::trace::SegmentManifest manifest;
+    manifest.pid = static_cast<std::uint32_t>(::getpid());
+    manifest.rotateBytes = sink.rotate_bytes;
+    manifest.segments = sink.segment_index + 1;
+    manifest.closed = closed;
+    heapmd::trace::saveSegmentManifest(
+        heapmd::trace::segmentManifestPath(sink.base_path), manifest);
+}
+
 /** Build the sink on first recorded operation; may disable capture. */
 Sink *
 sinkLocked()
@@ -277,11 +326,20 @@ sinkLocked()
         }
     }
 
-    const int fd = ::open(out, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+    // With rotation armed the first file is segment 000000; without
+    // it, the classic monolithic trace at the configured path.
+    const std::uint64_t rotate = heapmd::capture::envToU64(
+        ::getenv(heapmd::capture::kEnvRotateBytes), 0);
+    const std::string trace_path =
+        rotate > 0 ? heapmd::trace::segmentPath(out, 0)
+                   : std::string(out);
+
+    const int fd = ::open(trace_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                           0644);
     if (fd < 0) {
-        shimLog("[heapmd-capture] cannot open trace '%s': %s\n", out,
-                std::strerror(errno));
+        shimLog("[heapmd-capture] cannot open trace '%s': %s\n",
+                trace_path.c_str(), std::strerror(errno));
         return nullptr;
     }
 
@@ -296,8 +354,14 @@ sinkLocked()
             : heapmd::capture::defaultStatsPath(out);
 
     g_sink = new (std::nothrow)
-        Sink(fd, frq, std::move(stats_path), verbose);
+        Sink(fd, out, rotate, frq, std::move(stats_path), verbose);
     if (g_sink == nullptr) {
+        ::close(fd);
+        return nullptr;
+    }
+    if (g_sink->file == nullptr) {
+        delete g_sink;
+        g_sink = nullptr;
         ::close(fd);
         return nullptr;
     }
@@ -326,7 +390,8 @@ sinkLocked()
     // Push the header to disk immediately: a child that _exit()s (or
     // is killed) before the first scan point must still leave a
     // readable, truncated trace rather than an empty file.
-    g_sink->writer.flush();
+    g_sink->file->writer.flush();
+    writeManifestLocked(*g_sink, false);
     g_sink_state.store(1, std::memory_order_release);
     if (verbose)
         shimLog("[heapmd-capture] recording pid %d to '%s' "
@@ -339,8 +404,94 @@ sinkLocked()
 void
 writeEvent(Sink &sink, const Event &event)
 {
-    sink.writer.onEvent(event, 0);
+    sink.file->writer.onEvent(event, 0);
     ++sink.counters.eventsEmitted;
+}
+
+/**
+ * Stop recording mid-run (segment I/O failure): persist the counter
+ * sidecar and close out the manifest so readers stop waiting, keep
+ * every finished segment on disk, and go dark.
+ */
+void
+goDarkLocked(Sink &sink)
+{
+    sink.finalized = true;
+    sink.counters.droppedReentrant =
+        g_dropped.load(std::memory_order_relaxed);
+    sink.counters.bootstrapBytes = g_arena.bytesUsed();
+    sink.counters.bootstrapAllocs = g_arena.allocationCount();
+    std::ofstream stats(sink.stats_path, std::ios::trunc);
+    if (stats)
+        heapmd::capture::writeStatsSidecar(stats, sink.counters);
+    writeManifestLocked(sink, true);
+    sink.segment.unlinkAndClose();
+    g_sink_state.store(2, std::memory_order_release);
+}
+
+/**
+ * Close out the active segment and open its successor.
+ *
+ * Ordering is the reader's whole contract: the old segment gets its
+ * footer, fsync, and close *before* the successor file is created, so
+ * "segment N+1 exists" proves segment N is complete and only the
+ * newest segment can ever be truncated by a crash.
+ */
+void
+rotateLocked(Sink &sink)
+{
+    sink.file->writer.finalize();
+    sink.file->buf.closeFd();
+    delete sink.file;
+    sink.file = nullptr;
+    ++sink.counters.segmentsRotated;
+
+    const std::uint64_t next_index = sink.segment_index + 1;
+    const std::string next_path =
+        heapmd::trace::segmentPath(sink.base_path, next_index);
+    const int fd = ::open(next_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    TraceFile *file =
+        fd >= 0 ? new (std::nothrow)
+                      TraceFile(fd, sink.registry, sink.counters)
+                : nullptr;
+    if (file == nullptr) {
+        if (fd >= 0)
+            ::close(fd);
+        shimLog("[heapmd-capture] cannot open segment '%s': %s; "
+                "capture stops after %llu finished segment(s)\n",
+                next_path.c_str(), std::strerror(errno),
+                static_cast<unsigned long long>(
+                    sink.counters.segmentsRotated));
+        goDarkLocked(sink);
+        return;
+    }
+    sink.file = file;
+    sink.segment_index = next_index;
+    // Durable header before any event, same as the first segment.
+    sink.file->writer.flush();
+    writeManifestLocked(sink, false);
+    if (sink.log)
+        shimLog("[heapmd-capture] rotated to segment %llu ('%s')\n",
+                static_cast<unsigned long long>(next_index),
+                next_path.c_str());
+}
+
+/**
+ * Rotate when the active segment has reached the threshold.  Called
+ * only *after* an allocator operation is fully recorded (and after
+ * any scan pass the op triggered), so no event record -- and no scan
+ * marker pair -- is ever split across a segment boundary.
+ */
+void
+maybeRotateLocked(Sink &sink)
+{
+    if (sink.rotate_bytes == 0 || sink.finalized)
+        return;
+    if (sink.file->buf.totalBytes() < sink.rotate_bytes)
+        return;
+    rotateLocked(sink);
 }
 
 namespace obsv = heapmd::obsv;
@@ -543,7 +694,7 @@ scanLocked(Sink &sink)
     // delta so the sample sees the refreshed graph.
     writeEvent(sink, Event::fnEnter(sink.scan_fn));
     writeEvent(sink, Event::fnExit(sink.scan_fn));
-    sink.writer.flush(); // + fsync via the sync hook
+    sink.file->writer.flush(); // + fsync via the sync hook
     sink.counters.scanNanos += nowNanos() - scan_start;
     publishScanLocked(sink); // counters + fresh degree metrics
 }
@@ -586,8 +737,9 @@ finalizeLocked(Sink &sink)
         g_dropped.load(std::memory_order_relaxed);
     sink.counters.bootstrapBytes = g_arena.bytesUsed();
     sink.counters.bootstrapAllocs = g_arena.allocationCount();
-    sink.writer.finalize();
-    sink.buf.closeFd();
+    sink.file->writer.finalize();
+    sink.file->buf.closeFd();
+    writeManifestLocked(sink, true); // closed: readers stop waiting
 
     std::ofstream stats(sink.stats_path, std::ios::trunc);
     if (stats)
@@ -645,6 +797,7 @@ recordAlloc(void *ptr, std::size_t size)
         writeEvent(*sink, Event::alloc(addr, recorded));
         ++sink->counters.allocEvents;
         maybeScanLocked(*sink);
+        maybeRotateLocked(*sink);
         publishOpLocked(*sink);
     }
     ::pthread_mutex_unlock(&g_mutex);
@@ -671,6 +824,7 @@ recordFree(void *ptr)
         if (sink->table.erase(addr) != 0) {
             writeEvent(*sink, Event::free(addr));
             ++sink->counters.freeEvents;
+            maybeRotateLocked(*sink);
             publishOpLocked(*sink);
         }
     }
@@ -836,6 +990,7 @@ realloc(void *ptr, std::size_t size)
             sink->counters.peakLiveObjects)
             sink->counters.peakLiveObjects =
                 sink->table.objectCount();
+        maybeRotateLocked(*sink);
         publishOpLocked(*sink);
     }
     ::pthread_mutex_unlock(&g_mutex);

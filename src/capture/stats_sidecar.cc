@@ -35,7 +35,9 @@ writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
        << "capture.peak_live_objects " << counters.peakLiveObjects
        << "\n"
        << "capture.segment_publishes "
-       << counters.segmentPublishes << "\n";
+       << counters.segmentPublishes << "\n"
+       << "capture.segments_rotated "
+       << counters.segmentsRotated << "\n";
 }
 
 std::map<std::string, std::uint64_t>

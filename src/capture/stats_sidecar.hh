@@ -47,6 +47,7 @@ struct CaptureCounters
     std::uint64_t flushes = 0;          //!< explicit flush/fsync points
     std::uint64_t peakLiveObjects = 0;  //!< live-table high-water mark
     std::uint64_t segmentPublishes = 0; //!< stats-segment seqlock writes
+    std::uint64_t segmentsRotated = 0;  //!< finished trace segments
 };
 
 /** Serialize @p counters as "capture.* value" lines. */

@@ -1,0 +1,373 @@
+#include "trace/segment_set.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include <signal.h>
+#include <sys/stat.h>
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Base path without a trailing ".heapmd" extension. */
+std::string
+segmentStem(const std::string &base)
+{
+    const std::string ext(kSegmentExtension);
+    if (base.size() > ext.size() &&
+        base.compare(base.size() - ext.size(), ext.size(), ext) == 0)
+        return base.substr(0, base.size() - ext.size());
+    return base;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return fs::exists(path, ec);
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+bool
+processAlive(std::uint32_t pid)
+{
+    if (pid == 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    return errno != ESRCH;
+}
+
+} // namespace
+
+std::string
+segmentPath(const std::string &base, std::uint64_t index)
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".%06llu",
+                  static_cast<unsigned long long>(index));
+    return segmentStem(base) + suffix + kSegmentExtension;
+}
+
+std::string
+segmentManifestPath(const std::string &base)
+{
+    return segmentStem(base) + ".manifest";
+}
+
+bool
+loadSegmentManifest(const std::string &path, SegmentManifest &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string magic;
+    SegmentManifest parsed;
+    if (!(in >> magic >> parsed.version) || magic != kManifestMagic)
+        return false;
+    std::string line;
+    std::getline(in, line); // rest of the magic line
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string name;
+        std::uint64_t value = 0;
+        if (!(fields >> name >> value))
+            continue;
+        if (name == "pid")
+            parsed.pid = static_cast<std::uint32_t>(value);
+        else if (name == "rotate_bytes")
+            parsed.rotateBytes = value;
+        else if (name == "segments")
+            parsed.segments = value;
+        else if (name == "closed")
+            parsed.closed = value != 0;
+        // Unknown names are ignored so the format can grow.
+    }
+    out = parsed;
+    return true;
+}
+
+bool
+saveSegmentManifest(const std::string &path,
+                    const SegmentManifest &manifest)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream outfile(tmp, std::ios::trunc);
+        if (!outfile)
+            return false;
+        outfile << kManifestMagic << ' ' << manifest.version << '\n'
+                << "pid " << manifest.pid << '\n'
+                << "rotate_bytes " << manifest.rotateBytes << '\n'
+                << "segments " << manifest.segments << '\n'
+                << "closed " << (manifest.closed ? 1 : 0) << '\n';
+        if (!outfile.flush())
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::vector<std::uint64_t>
+listSegmentIndices(const std::string &base)
+{
+    const std::string stem = segmentStem(base);
+    const fs::path stem_path(stem);
+    const std::string prefix = stem_path.filename().string() + ".";
+    const std::string ext(kSegmentExtension);
+    std::string dir = stem_path.parent_path().string();
+    if (dir.empty())
+        dir = ".";
+
+    std::vector<std::uint64_t> indices;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        const std::string name = it->path().filename().string();
+        if (name.size() <= prefix.size() + ext.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - ext.size(), ext.size(), ext) !=
+                0)
+            continue;
+        const std::string digits = name.substr(
+            prefix.size(), name.size() - prefix.size() - ext.size());
+        if (digits.empty())
+            continue;
+        std::uint64_t index = 0;
+        bool numeric = true;
+        for (const char c : digits) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+                numeric = false;
+                break;
+            }
+            index = index * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (numeric)
+            indices.push_back(index);
+    }
+    std::sort(indices.begin(), indices.end());
+    return indices;
+}
+
+SegmentChain::SegmentChain(std::string base, Options options)
+    : base_(std::move(base)), options_(std::move(options))
+{
+    // Degrade to a plain single-file read when the base path is an
+    // ordinary trace and no segment 0 exists (non-rotated capture).
+    if (!fileExists(segmentPath(base_, 0)) && fileExists(base_))
+        single_file_ = true;
+}
+
+void
+SegmentChain::fail(std::string message)
+{
+    failed_ = true;
+    finished_ = true;
+    error_ = std::move(message);
+}
+
+bool
+SegmentChain::setClosed() const
+{
+    // This runs on every tail-read attempt, thousands of times per
+    // second against a busy writer, so re-parse only when the file
+    // identity changed (every manifest save is a tmp+rename, hence a
+    // new inode -- see the member comment).
+    const std::string path = segmentManifestPath(base_);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return false; // no manifest: successor/stop checks decide
+    const std::int64_t mtime_ns =
+        static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+        st.st_mtim.tv_nsec;
+    if (!manifest_cached_ ||
+        static_cast<std::uint64_t>(st.st_ino) != manifest_ino_ ||
+        static_cast<std::uint64_t>(st.st_size) != manifest_size_ ||
+        mtime_ns != manifest_mtime_ns_) {
+        SegmentManifest manifest;
+        if (!loadSegmentManifest(path, manifest))
+            return false;
+        cached_manifest_ = manifest;
+        manifest_cached_ = true;
+        manifest_ino_ = static_cast<std::uint64_t>(st.st_ino);
+        manifest_size_ = static_cast<std::uint64_t>(st.st_size);
+        manifest_mtime_ns_ = mtime_ns;
+    }
+    if (cached_manifest_.closed)
+        return true;
+    // A writer that died without closing the manifest will never
+    // append again either.
+    return cached_manifest_.pid != 0 &&
+           !processAlive(cached_manifest_.pid);
+}
+
+bool
+SegmentChain::waitStep()
+{
+    if (options_.stopped && options_.stopped())
+        return false;
+    if (options_.onWait)
+        options_.onWait();
+    const std::uint64_t ms = options_.pollMs ? options_.pollMs : 50;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    ::nanosleep(&ts, nullptr);
+    return true;
+}
+
+bool
+SegmentChain::openNext()
+{
+    if (finished_ || failed_)
+        return false;
+    const std::string path =
+        single_file_ ? base_ : segmentPath(base_, index_);
+    while (!fileExists(path)) {
+        if (single_file_) {
+            finished_ = true; // vanished from under us
+            return false;
+        }
+        // A later index existing while this one is absent is a hole
+        // the rotation protocol cannot produce: the set is damaged.
+        for (const std::uint64_t present : listSegmentIndices(base_)) {
+            if (present > index_) {
+                fail("segment " + std::to_string(index_) +
+                     " missing while segment " +
+                     std::to_string(present) +
+                     " exists: segment set has a gap");
+                return false;
+            }
+        }
+        if (!options_.follow || setClosed()) {
+            finished_ = true;
+            return false;
+        }
+        if (!waitStep()) {
+            finished_ = true; // stopped while waiting
+            return false;
+        }
+    }
+
+    TailSource::Options tail;
+    tail.pollMs = options_.pollMs;
+    tail.stopped = options_.stopped;
+    tail.onWait = options_.onWait;
+    if (!options_.follow) {
+        // Whole file is final: plain one-pass read.
+        tail.finalized = [] { return true; };
+    } else {
+        const std::string successor =
+            single_file_ ? std::string()
+                         : segmentPath(base_, index_ + 1);
+        tail.finalized = [this, successor] {
+            if (!successor.empty() && fileExists(successor))
+                return true; // successor exists => segment complete
+            return setClosed();
+        };
+    }
+    source_ = std::make_unique<TailSource>(path, std::move(tail));
+    reader_ = std::make_unique<TraceReader>(*source_);
+    return true;
+}
+
+bool
+SegmentChain::next(Event &event)
+{
+    for (;;) {
+        if (!reader_ && !openNext())
+            return false;
+        if (reader_->next(event)) {
+            ++events_;
+            return true;
+        }
+
+        // Segment ended: clean footer or a truncated tail.
+        const bool malformed = reader_->malformed();
+        const std::string why = reader_->error();
+        consumed_bytes_ += reader_->offset();
+        if (!malformed)
+            names_ = reader_->functionNames();
+        ++segments_consumed_;
+        reader_.reset();
+        source_.reset();
+
+        if (malformed) {
+            // Only the newest segment may legitimately be truncated:
+            // rotation finalizes a segment before creating its
+            // successor.
+            if (!single_file_ &&
+                fileExists(segmentPath(base_, index_ + 1))) {
+                fail("segment " + std::to_string(index_) +
+                     " is malformed mid-chain: " + why);
+                return false;
+            }
+            truncated_tail_ = true;
+            finished_ = true;
+            return false;
+        }
+        if (single_file_) {
+            finished_ = true;
+            return false;
+        }
+        ++index_;
+    }
+}
+
+std::uint64_t
+SegmentChain::bytesConsumed() const
+{
+    return consumed_bytes_ + (reader_ ? reader_->offset() : 0);
+}
+
+std::uint64_t
+SegmentChain::tailLagBytes() const
+{
+    const std::uint64_t current_consumed =
+        reader_ ? reader_->offset() : 0;
+    std::uint64_t on_disk = 0;
+    if (single_file_) {
+        on_disk = fileSize(base_);
+        const std::uint64_t total = consumed_bytes_ + current_consumed;
+        return on_disk > total ? on_disk - total : 0;
+    }
+    // Probe indices upward from the current segment instead of
+    // listing the directory: the rotation protocol leaves no holes,
+    // so the first missing index ends the set, and the monitor calls
+    // this on every wait cycle -- a readdir here costs ~300us per
+    // call against the ~1us of a couple of stat probes.
+    for (std::uint64_t idx = index_;; ++idx) {
+        const std::uint64_t size = fileSize(segmentPath(base_, idx));
+        if (size == 0 && !fileExists(segmentPath(base_, idx)))
+            break;
+        on_disk += size;
+    }
+    return on_disk > current_consumed ? on_disk - current_consumed
+                                      : 0;
+}
+
+} // namespace trace
+
+} // namespace heapmd

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Rotating trace-segment sets: naming, the writer manifest, and the
+ * chaining reader that consumes a set while it is still being
+ * written.
+ *
+ * When segment rotation is armed (HEAPMD_CAPTURE_ROTATE_BYTES), the
+ * capture shim records not one monolithic trace but a numbered
+ * sequence of self-contained segment files -- each a complete HMDT
+ * trace with its own header and footer:
+ *
+ *     <stem>.000000.heapmd, <stem>.000001.heapmd, ...
+ *
+ * where <stem> is the configured output path (a trailing ".heapmd"
+ * extension is re-used rather than doubled).  The shim's rotation
+ * protocol gives the set two load-bearing invariants:
+ *
+ *  1. a segment is finalized (footer written, fsync'd, closed)
+ *     *before* its successor is created, so "segment N+1 exists"
+ *     proves segment N is complete -- only the newest segment may
+ *     ever be truncated (a crashed writer), and
+ *  2. rotation happens only between recorded allocator operations,
+ *     so no event record is ever split across a segment boundary.
+ *
+ * A tiny line-oriented manifest ("<stem-or-out>.manifest", written
+ * via tmp+rename so readers never see a partial document) carries the
+ * writer pid, the rotation threshold, the segment count, and a closed
+ * flag.  It is advisory: readers fall back to directory listing, and
+ * a writer that dies without closing the manifest is detected through
+ * its pid.
+ *
+ * SegmentChain is the reading half: it decodes the segments of a set
+ * in order as one continuous event stream (the live-object state of
+ * the captured process carries across segment boundaries), optionally
+ * following a set that is still being written by tailing the newest
+ * segment (TailSource) and waiting for successors.
+ */
+
+#ifndef HEAPMD_TRACE_SEGMENT_SET_HH
+#define HEAPMD_TRACE_SEGMENT_SET_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/events.hh"
+#include "trace/tail_source.hh"
+#include "trace/trace_reader.hh"
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+/** Extension of every segment file. */
+inline constexpr const char *kSegmentExtension = ".heapmd";
+
+/** First line of a segment manifest. */
+inline constexpr const char *kManifestMagic =
+    "heapmd-segment-manifest";
+
+/** Current manifest format version. */
+inline constexpr std::uint64_t kManifestVersion = 1;
+
+/** Path of segment @p index of the set rooted at @p base. */
+std::string segmentPath(const std::string &base, std::uint64_t index);
+
+/** Path of the manifest of the set rooted at @p base. */
+std::string segmentManifestPath(const std::string &base);
+
+/** Writer-side state advertised to concurrent readers. */
+struct SegmentManifest
+{
+    std::uint64_t version = kManifestVersion;
+
+    /** Pid of the recording process (0 = unknown). */
+    std::uint32_t pid = 0;
+
+    /** Rotation threshold the writer is using, in bytes. */
+    std::uint64_t rotateBytes = 0;
+
+    /** Segments created so far; the highest-numbered one is active. */
+    std::uint64_t segments = 0;
+
+    /** True once the writer finalized the set (orderly shutdown). */
+    bool closed = false;
+};
+
+/**
+ * Parse the manifest at @p path.
+ * @return false when the file is absent or not a manifest.
+ */
+bool loadSegmentManifest(const std::string &path,
+                         SegmentManifest &out);
+
+/**
+ * Write @p manifest to @p path atomically (tmp + rename), so a
+ * concurrent reader sees either the previous or the new document,
+ * never a torn one.  @return false on I/O failure.
+ */
+bool saveSegmentManifest(const std::string &path,
+                         const SegmentManifest &manifest);
+
+/** Indices of the existing segment files of @p base, ascending. */
+std::vector<std::uint64_t>
+listSegmentIndices(const std::string &base);
+
+/**
+ * Decode a segment set as one continuous event stream.
+ *
+ * Construct with the set's base path, then call next() until it
+ * returns false; the chain opens segments in index order, tolerates a
+ * truncated in-progress tail (the crash artifact invariant 1 of the
+ * file comment permits), and -- in follow mode -- blocks waiting for
+ * more bytes or the next segment until the set is closed, the writer
+ * dies, or the stopped() callback fires.
+ *
+ * When the base path itself is an ordinary single trace file and no
+ * segments exist, the chain degrades to reading just that file, so
+ * consumers (`heapmd monitor --once`) accept both layouts.
+ */
+class SegmentChain
+{
+  public:
+    struct Options
+    {
+        /**
+         * Follow a set still being written: wait for appended bytes
+         * and for successor segments.  Off = consume what exists now
+         * and treat the end of the newest segment as end of stream.
+         */
+        bool follow = false;
+
+        /** Wait granularity while following, in milliseconds. */
+        std::uint64_t pollMs = 50;
+
+        /** Optional abort check, polled while waiting (signals). */
+        std::function<bool()> stopped;
+
+        /** Optional idle hook, pumped once per wait cycle. */
+        std::function<void()> onWait;
+    };
+
+    SegmentChain(std::string base, Options options);
+
+    SegmentChain(const SegmentChain &) = delete;
+    SegmentChain &operator=(const SegmentChain &) = delete;
+
+    /**
+     * Decode the next event of the set into @p event.
+     * @return false at end of stream; check failed() to distinguish
+     *         a clean end from a broken chain.
+     */
+    bool next(Event &event);
+
+    /** True when the chain is unusable (mid-chain corruption, gap). */
+    bool failed() const { return failed_; }
+
+    /** Why failed() is true; empty otherwise. */
+    const std::string &error() const { return error_; }
+
+    /**
+     * Footer function table of the newest *finalized* segment.  The
+     * shim's registry persists across rotations, so each footer is a
+     * superset of its predecessors.
+     */
+    const std::vector<std::string> &
+    functionNames() const
+    {
+        return names_;
+    }
+
+    /** Segments fully consumed (footer or tolerated truncation). */
+    std::uint64_t segmentsConsumed() const
+    {
+        return segments_consumed_;
+    }
+
+    /** Index of the segment currently being decoded. */
+    std::uint64_t currentIndex() const { return index_; }
+
+    /** Events decoded across all segments so far. */
+    std::uint64_t eventsDecoded() const { return events_; }
+
+    /** Bytes decoded across all segments so far. */
+    std::uint64_t bytesConsumed() const;
+
+    /** True when the final segment ended without a footer. */
+    bool sawTruncatedTail() const { return truncated_tail_; }
+
+    /**
+     * Bytes on disk not yet decoded: the unread remainder of the
+     * current segment plus every newer segment.  The monitor exports
+     * this as heapmd_monitor_tail_lag_bytes.
+     */
+    std::uint64_t tailLagBytes() const;
+
+    /** True when the chain degraded to a single non-rotated trace. */
+    bool singleFile() const { return single_file_; }
+
+  private:
+    bool openNext();
+    bool waitStep();
+    bool setClosed() const;
+    void fail(std::string message);
+
+    std::string base_;
+    Options options_;
+    //! Manifest parse cache.  setClosed() runs on every tail-read
+    //! attempt, so it must not re-parse an unchanged file; the
+    //! tmp+rename update protocol gives every rewrite a fresh inode,
+    //! making (inode, size, mtime) a sound change detector.
+    mutable SegmentManifest cached_manifest_;
+    mutable bool manifest_cached_ = false;
+    mutable std::uint64_t manifest_ino_ = 0;
+    mutable std::uint64_t manifest_size_ = 0;
+    mutable std::int64_t manifest_mtime_ns_ = 0;
+    std::uint64_t index_ = 0;
+    std::uint64_t segments_consumed_ = 0;
+    std::uint64_t events_ = 0;
+    std::uint64_t consumed_bytes_ = 0; //!< completed segments only
+    std::unique_ptr<TailSource> source_;
+    std::unique_ptr<TraceReader> reader_;
+    std::vector<std::string> names_;
+    std::string error_;
+    bool failed_ = false;
+    bool finished_ = false;
+    bool truncated_tail_ = false;
+    bool single_file_ = false;
+};
+
+} // namespace trace
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_SEGMENT_SET_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Blocking trace source that tails a file still being written.
+ *
+ * TraceReader pulls bytes through the trace::Source interface and
+ * treats "0 bytes" as end of input, so reading a live capture needs a
+ * source that *waits* instead of reporting EOF while the writer is
+ * still appending.  TailSource does exactly that: read(2) the file,
+ * and when it catches up with the current end, sleep for the poll
+ * interval and try again until more bytes land or the file is known
+ * to be complete.
+ *
+ * Waiting is plain bounded sleeping, deliberately NOT inotify: a
+ * directory watch wakes the tailer on *every* write the producer
+ * makes (thousands per second under a busy capture shim), and each
+ * wake costs a full read-check-wait cycle -- measured at tens of
+ * microseconds of monitor CPU per wake, it multiplied the monitor's
+ * CPU share several-fold for latency nobody needs.  A fixed poll
+ * interval bounds both the wake rate (1000/pollMs per second) and
+ * the added detection latency (one interval).
+ *
+ * The finality race is handled by ordering: EOF is only reported
+ * when the finalized() predicate was already true *before* the read
+ * that returned 0 bytes, so "predicate true, then empty read" proves
+ * the writer appended nothing after completing -- a genuine end of
+ * stream.  (Trusting an empty read followed by the predicate would
+ * race a writer that appends and finalizes in between.)  For cost
+ * the predicate is consulted lazily: only once a read comes back
+ * empty, with a confirming re-read after it turns true -- never on
+ * the data-yielding reads that dominate live streaming.
+ */
+
+#ifndef HEAPMD_TRACE_TAIL_SOURCE_HH
+#define HEAPMD_TRACE_TAIL_SOURCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+/**
+ * trace::Source over a possibly-still-growing file.
+ *
+ * Construction does not require the file to exist yet; next() waits
+ * for it (the rotation protocol creates successor segments the chain
+ * is already waiting on).  The source never reports EOF while the
+ * finalized() predicate is false, so a TraceReader above it simply
+ * blocks until the writer makes progress.
+ */
+class TailSource : public Source
+{
+  public:
+    struct Options
+    {
+        /** Fallback wait granularity, in milliseconds. */
+        std::uint64_t pollMs = 50;
+
+        /**
+         * True once no further bytes will ever be appended (footer
+         * written / writer dead / successor segment exists).  Absent
+         * predicate = already final: the source degrades to a plain
+         * one-pass file read.
+         */
+        std::function<bool()> finalized;
+
+        /**
+         * Abort check, polled once per wait cycle.  When it returns
+         * true the source reports EOF immediately; the reader above
+         * sees a truncated trace, which capture provenance already
+         * tolerates.
+         */
+        std::function<bool()> stopped;
+
+        /** Idle hook, pumped once per wait cycle (serve HTTP, ...). */
+        std::function<void()> onWait;
+
+        /** Read chunk size in bytes. */
+        std::size_t chunkBytes = kDefaultChunkSize;
+    };
+
+    TailSource(std::string path, Options options);
+
+    TailSource(const TailSource &) = delete;
+    TailSource &operator=(const TailSource &) = delete;
+
+    ~TailSource() override;
+
+    std::size_t next(const unsigned char *&data) override;
+
+    /** Bytes handed to the reader so far. */
+    std::uint64_t bytesDelivered() const { return delivered_; }
+
+  private:
+    bool ensureOpen();
+    void wait();
+
+    std::string path_;
+    Options options_;
+    std::vector<unsigned char> buffer_;
+    std::uint64_t delivered_ = 0;
+    int fd_ = -1;
+};
+
+} // namespace trace
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_TAIL_SOURCE_HH

@@ -21,6 +21,16 @@
  *          live stats segment.  argv[3] is the allocation step in ms
  *          (default 50); 0 holds fully idle, so two scrapes of the
  *          segment in the window must be byte-identical
+ *   steady churn a pool of fixed-shape linked lists for N ms
+ *          (argv[2], default 2000): the heap-graph's degree ratios
+ *          stay constant, so every metric trains stable -- the
+ *          training workload (and clean window) for `monitor`
+ *   drift  run the steady churn for argv[2] ms (default 1000), then
+ *          allocate a mass of pointer-free singletons and keep
+ *          churning for argv[3] more ms (default 2500): %roots and
+ *          %leaves jump far above the steady ranges *while the
+ *          process is still running* -- the seeded fault for the
+ *          live-monitor gate
  */
 
 #include <chrono>
@@ -201,6 +211,126 @@ runLinger(int hold_ms, int step_ms)
     return 0;
 }
 
+/** buildList without the per-call banner (hot-loop variant). */
+Node *
+buildListQuiet(int count, std::uint64_t *sum)
+{
+    Node *head = nullptr;
+    for (int i = 0; i < count; ++i) {
+        Node *node = static_cast<Node *>(std::malloc(sizeof(Node)));
+        if (node == nullptr)
+            std::abort();
+        node->next = head;
+        node->payload = static_cast<std::uint64_t>(i);
+        head = node;
+    }
+    for (const Node *it = head; it != nullptr; it = it->next)
+        *sum += it->payload;
+    return head;
+}
+
+constexpr int kPoolLists = 32;
+constexpr int kPoolLen = 4;
+
+/**
+ * One churn round: rebuild a random pool slot with the same shape.
+ * The graph's degree ratios are invariant under this, which is what
+ * makes the steady workload train every metric stable.
+ */
+std::uint64_t
+churnPool(Node **pool, std::uint64_t state, std::uint64_t *sum)
+{
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const int slot = static_cast<int>((state >> 33) % kPoolLists);
+    freeList(pool[slot]);
+    pool[slot] = buildListQuiet(kPoolLen, sum);
+    return state;
+}
+
+int
+runSteady(int run_ms)
+{
+    Node *pool[kPoolLists] = {};
+    std::uint64_t sum = 0;
+    for (Node *&list : pool)
+        list = buildListQuiet(kPoolLen, &sum);
+
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    std::uint64_t rounds = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(run_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        state = churnPool(pool, state, &sum);
+        // Pace the churn so the run spans its wall-clock window with
+        // a steady allocation rate instead of one opening burst.
+        if ((++rounds & 0x1f) == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+    for (Node *list : pool)
+        freeList(list);
+    std::printf("steady rounds %llu checksum %llu\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(sum));
+    return 0;
+}
+
+int
+runDrift(int steady_ms, int hold_ms)
+{
+    Node *pool[kPoolLists] = {};
+    std::uint64_t sum = 0;
+    for (Node *&list : pool)
+        list = buildListQuiet(kPoolLen, &sum);
+
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    std::uint64_t rounds = 0;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(steady_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        state = churnPool(pool, state, &sum);
+        if ((++rounds & 0x1f) == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    // The fault: a mass of pointer-free singletons.  Every one is
+    // simultaneously a root and a leaf, so %roots and %leaves jump
+    // from the pool's steady ~25% toward 100%.
+    std::vector<void *> singles;
+    singles.reserve(4000);
+    for (int i = 0; i < 4000; ++i) {
+        void *block = std::malloc(24);
+        if (block == nullptr)
+            std::abort();
+        std::memset(block, i & 0xff, 24);
+        singles.push_back(block);
+    }
+    std::printf("drifted\n");
+    std::fflush(stdout);
+
+    // Keep the process alive and churning so the shim's scans keep
+    // publishing the skewed graph -- the monitor must fire while
+    // this loop is still running.
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(hold_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        state = churnPool(pool, state, &sum);
+        if ((++rounds & 0x1f) == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    for (void *block : singles)
+        std::free(block);
+    for (Node *list : pool)
+        freeList(list);
+    std::printf("drift rounds %llu checksum %llu\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(sum));
+    return 0;
+}
+
 int
 runFork()
 {
@@ -251,6 +381,11 @@ main(int argc, char **argv)
     if (mode == "linger")
         return runLinger(argc > 2 ? std::atoi(argv[2]) : 3000,
                          argc > 3 ? std::atoi(argv[3]) : 50);
+    if (mode == "steady")
+        return runSteady(argc > 2 ? std::atoi(argv[2]) : 2000);
+    if (mode == "drift")
+        return runDrift(argc > 2 ? std::atoi(argv[2]) : 1000,
+                        argc > 3 ? std::atoi(argv[3]) : 2500);
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 64;
 }

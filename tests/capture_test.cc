@@ -29,6 +29,7 @@
 #include "metrics/metric.hh"
 #include "obsv/segment.hh"
 #include "runtime/process.hh"
+#include "trace/segment_set.hh"
 #include "trace/trace_reader.hh"
 
 namespace heapmd
@@ -373,16 +374,24 @@ class PreloadCaptureTest : public ::testing::Test
         std::error_code ec;
         std::filesystem::remove(trace_path_, ec);
         std::filesystem::remove(trace_path_ + ".stats", ec);
+        for (std::uint64_t index :
+             trace::listSegmentIndices(trace_path_))
+            std::filesystem::remove(
+                trace::segmentPath(trace_path_, index), ec);
+        std::filesystem::remove(
+            trace::segmentManifestPath(trace_path_), ec);
     }
 
     /** Run capture_child in @p mode under the shim. */
     capture::SessionResult
-    captureChild(const std::string &mode, std::uint64_t frq = 500)
+    captureChild(const std::string &mode, std::uint64_t frq = 500,
+                 std::uint64_t rotate_bytes = 0)
     {
         capture::SessionOptions options;
         options.tracePath = trace_path_;
         options.scanFrequency = frq;
         options.shimPath = HEAPMD_CAPTURE_SHIM_PATH;
+        options.rotateBytes = rotate_bytes;
         capture::SessionResult result;
         std::string error;
         const bool ok = capture::runCapture(
@@ -595,6 +604,110 @@ TEST_F(PreloadCaptureTest, ForkedChildDoesNotUnlinkParentSegment)
     ASSERT_TRUE(result.exited);
     EXPECT_EQ(result.exitCode, 0);
     EXPECT_TRUE(leakedSegments().empty());
+}
+
+// ---------------------------------------------------------------
+// Segment rotation: the rotating-trace protocol end to end.
+// ---------------------------------------------------------------
+
+TEST_F(PreloadCaptureTest, RotatedStormAuditsCleanAcrossSegments)
+{
+    const capture::SessionResult result =
+        captureChild("storm", /*frq=*/500, /*rotate_bytes=*/65536);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 0);
+    // The storm writes megabytes of events: the threshold must have
+    // tripped repeatedly.
+    ASSERT_GE(result.segmentPaths.size(), 2u);
+
+    // The set lints clean as one logical trace.  This is also the
+    // no-split-records check: rotation happens only between recorded
+    // allocator operations, so a record cut in half at a boundary
+    // would lose framing and surface as an error finding.
+    analysis::Report report;
+    const analysis::TraceLintStats stats =
+        analysis::lintSegmentSet(trace_path_, report);
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_EQ(report.errorCount(), 0u) << report.describe();
+    EXPECT_EQ(stats.segments, result.segmentPaths.size());
+    EXPECT_TRUE(stats.captureProvenance);
+
+    // An orderly shutdown closes the manifest.
+    trace::SegmentManifest manifest;
+    ASSERT_TRUE(trace::loadSegmentManifest(
+        trace::segmentManifestPath(trace_path_), manifest));
+    EXPECT_TRUE(manifest.closed);
+    EXPECT_EQ(manifest.segments, result.segmentPaths.size());
+
+    // The chain replays the set as one continuous stream: live
+    // state carries across boundaries, and the sample count matches
+    // the shim's own scan-pass counter exactly as it does for a
+    // monolithic trace.
+    trace::SegmentChain chain(trace_path_, {});
+    Process replayed(replayConfig());
+    Event event;
+    while (chain.next(event))
+        replayed.onEvent(event);
+    EXPECT_FALSE(chain.failed()) << chain.error();
+    EXPECT_FALSE(chain.sawTruncatedTail());
+    EXPECT_EQ(chain.segmentsConsumed(), result.segmentPaths.size());
+    EXPECT_EQ(chain.eventsDecoded(), stats.events);
+    EXPECT_EQ(replayed.series().size(),
+              result.counters.at("capture.scan_passes"));
+}
+
+TEST_F(PreloadCaptureTest, RotatedUnderscoreExitTruncatesOnlyTheTail)
+{
+    // _exit(2) skips the shim's atexit: the newest segment ends
+    // without a footer.  Invariant 1 of the rotation protocol says
+    // that is the ONLY segment allowed to be cut short, and capture
+    // provenance downgrades the cut to a warning.
+    const capture::SessionResult result =
+        captureChild("exit", /*frq=*/2, /*rotate_bytes=*/512);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 2);
+    ASSERT_GE(result.segmentPaths.size(), 1u);
+
+    analysis::Report report;
+    analysis::lintSegmentSet(trace_path_, report);
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_EQ(report.errorCount(), 0u) << report.describe();
+
+    trace::SegmentChain chain(trace_path_, {});
+    Event event;
+    while (chain.next(event))
+        ;
+    EXPECT_FALSE(chain.failed()) << chain.error();
+    EXPECT_TRUE(chain.sawTruncatedTail());
+    EXPECT_EQ(chain.segmentsConsumed(), result.segmentPaths.size());
+}
+
+TEST_F(PreloadCaptureTest, MissingSegmentIsAGapError)
+{
+    const capture::SessionResult result =
+        captureChild("storm", /*frq=*/500, /*rotate_bytes=*/65536);
+    ASSERT_TRUE(result.exited);
+    ASSERT_GE(result.segmentPaths.size(), 3u);
+
+    // Lose a middle segment (an operator deleting "old" files from
+    // under a set, a botched copy).  The audit must name the gap as
+    // an error, not silently lint the survivors as a shorter run.
+    std::filesystem::remove(
+        trace::segmentPath(trace_path_,
+                           result.segmentPaths.size() / 2));
+    analysis::Report report;
+    analysis::lintSegmentSet(trace_path_, report);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.has("trace.segment-gap"))
+        << report.describe();
+    EXPECT_GT(report.errorCount(), 0u) << report.describe();
+
+    // The chaining reader refuses the broken set too.
+    trace::SegmentChain chain(trace_path_, {});
+    Event event;
+    while (chain.next(event))
+        ;
+    EXPECT_TRUE(chain.failed());
 }
 
 #endif // HEAPMD_CAPTURE_SHIM_PATH && HEAPMD_CAPTURE_CHILD_PATH

@@ -19,6 +19,10 @@
  *   trend                  compare run manifests, flag regressions
  *   top                    live view of capture stats segments
  *   export                 serve segments as Prometheus /metrics
+ *   monitor                online detector daemon: follow a rotating
+ *                          capture segment set (or a live pid's shm
+ *                          stats) against a model and fire incident
+ *                          bundles while the workload still runs
  *   stats                  run once and print the telemetry counters
  *                          (or --format prometheus for live segments)
  *
@@ -94,10 +98,13 @@
 
 #if defined(HEAPMD_HAVE_OBSV)
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "monitor/monitor.hh"
 #include "obsv/prometheus.hh"
 #include "obsv/segment.hh"
 #include "obsv/top_view.hh"
@@ -122,6 +129,31 @@ constexpr int kExitFindings = 3;
 
 /** Worker threads from --jobs / HEAPMD_JOBS (0 = auto, 1 = serial). */
 unsigned g_jobs = 1;
+
+#if defined(HEAPMD_HAVE_OBSV)
+
+/** Set by SIGINT/SIGTERM: the long-running commands wind down. */
+volatile std::sig_atomic_t g_stop = 0;
+
+/**
+ * Arrange for SIGINT/SIGTERM to request a graceful shutdown of
+ * `export --listen` and `monitor`: the flag is polled from their wait
+ * loops, and SA_RESTART is deliberately *not* set so a blocking
+ * poll/accept wakes with EINTR instead of sleeping through the
+ * signal.
+ */
+void
+installStopHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { g_stop = 1; };
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+#endif // HEAPMD_HAVE_OBSV
 
 /** Process start, for the manifest's end-to-end duration stamp. */
 const std::chrono::steady_clock::time_point g_main_start =
@@ -155,11 +187,15 @@ printUsage(std::FILE *to)
         "  capture [--out FILE=capture.trace] [--frq N=10000]\n"
         "          [--lib SHIM.so] [--train-out FILE]\n"
         "          [--check MODEL] [--bundle-dir DIR]\n"
-        "          [--manifest FILE] [--verbose 1]\n"
+        "          [--rotate-bytes N] [--manifest FILE]\n"
+        "          [--verbose 1]\n"
         "          -- <command> [args...]\n"
         "          (LD_PRELOADs the allocator shim into the command\n"
         "           and records a live trace; --frq is the\n"
-        "           conservative-scan period in allocation events)\n"
+        "           conservative-scan period in allocation events;\n"
+        "           --rotate-bytes records rotating FILE.NNNNNN.heapmd\n"
+        "           segments `monitor` can follow while the command\n"
+        "           still runs)\n"
         "  replay  --trace FILE --model FILE [--frq N=300]\n"
         "          [--no-audit 1] [--bundle-dir DIR]\n"
         "          [--manifest FILE]\n"
@@ -168,7 +204,8 @@ printUsage(std::FILE *to)
         "  diff    --model FILE --model-b FILE\n"
         "  snapshot --app NAME --out FILE [--seed S=1] [--version V]\n"
         "          [--scale X] [--fault KIND [--rate R] [--budget B]]\n"
-        "  audit   [--trace FILE ...] [--model FILE ...]\n"
+        "  audit   [--trace FILE ...] [--segments BASE ...]\n"
+        "          [--model FILE ...]\n"
         "          [--graph FILE ...] [--bundle FILE ...]\n"
         "          [--manifest FILE ...] [--deep 0|1]\n"
         "          [--bundle-dir DIR] [--max-findings N=1000]\n"
@@ -199,7 +236,20 @@ printUsage(std::FILE *to)
         "  export  [--listen HOST:PORT=127.0.0.1:9464] [--pid P]\n"
         "          [--once 1]\n"
         "          (serve the live segments as a Prometheus /metrics\n"
-        "           HTTP endpoint)\n"
+        "           HTTP endpoint; SIGINT/SIGTERM shut it down\n"
+        "           cleanly)\n"
+        "  monitor --model FILE (--segments BASE | --pid P)\n"
+        "          [--once 1] [--bundle-dir DIR] [--poll-ms N=50]\n"
+        "          [--debounce N=3] [--rearm N=8] [--window N=16]\n"
+        "          [--listen HOST:PORT]\n"
+        "          (online detector daemon: tail a rotating capture\n"
+        "           segment set -- or, with --pid, a live process's\n"
+        "           shm stats -- against a trained model and write\n"
+        "           incident bundles the moment an excursion survives\n"
+        "           its debounce, while the workload still runs;\n"
+        "           --once consumes a completed set with the same\n"
+        "           verdicts as `check`; --listen serves the\n"
+        "           heapmd_monitor_* Prometheus families)\n"
         "  observe --app NAME [--seed S=1] [--version V] [--scale X]\n"
         "          [--frq N=300] [--fault KIND [--rate R]]\n"
         "          (prints the metric series as CSV -- the paper's\n"
@@ -933,6 +983,51 @@ checkCapturedTrace(const std::string &trace_path,
     return result.anomalous() ? kExitFindings : 0;
 }
 
+#if defined(HEAPMD_HAVE_OBSV)
+
+/**
+ * Chained `capture --rotate-bytes N --check MODEL`: consume the
+ * fresh segment set through the monitor's --once path, which replays
+ * it under the same batch checker as `check`/`replay`.
+ */
+int
+checkCapturedSegments(const std::string &base,
+                      const std::string &model_path, const Args &args)
+{
+    preflightModel(model_path);
+    const HeapModel model = loadModel(model_path);
+
+    monitor::MonitorOptions options;
+    options.segmentsBase = base;
+    options.follow = false;
+    if (args.has("bundle-dir"))
+        options.bundleDir = args.str("bundle-dir");
+    monitor::MonitorSession session(model, options);
+    std::string error;
+    if (!session.run(error))
+        HEAPMD_FATAL("check of captured segments failed: ", error);
+
+    const monitor::MonitorStats &stats = session.stats();
+    std::printf("checked capture (%llu events over %llu segments): "
+                "%zu report(s) over %llu samples\n",
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(
+                    stats.segmentsConsumed),
+                session.reports().size(),
+                static_cast<unsigned long long>(stats.samples));
+    for (const BugReport &report : session.reports())
+        std::printf("\n%s",
+                    report.describe(session.registry()).c_str());
+    if (stats.bundlesWritten != 0)
+        std::printf("%llu incident bundle(s) written to %s\n",
+                    static_cast<unsigned long long>(
+                        stats.bundlesWritten),
+                    options.bundleDir.c_str());
+    return session.anomalous() ? kExitFindings : 0;
+}
+
+#endif // HEAPMD_HAVE_OBSV
+
 #endif // HEAPMD_HAVE_CAPTURE
 
 int
@@ -951,6 +1046,11 @@ cmdCapture(const Args &args)
     if (args.has("lib"))
         options.shimPath = args.str("lib");
     options.verbose = args.num("verbose", 0) != 0;
+    options.rotateBytes = args.num("rotate-bytes", 0);
+    if (options.rotateBytes > 0 && args.has("train-out"))
+        badInvocation("capture: --train-out needs a monolithic "
+                      "trace (omit --rotate-bytes; train first, then "
+                      "monitor the rotating run against that model)");
 
     capture::SessionResult session;
     std::string error;
@@ -992,7 +1092,9 @@ cmdCapture(const Args &args)
     // shim bug and must fail loudly.
     analysis::Report audit;
     const analysis::TraceLintStats lint_stats =
-        analysis::lintTraceFile(session.tracePath, audit);
+        options.rotateBytes > 0
+            ? analysis::lintSegmentSet(session.tracePath, audit)
+            : analysis::lintTraceFile(session.tracePath, audit);
     if (!audit.findings().empty())
         std::fprintf(stderr, "audit of trace '%s':\n%s",
                      session.tracePath.c_str(),
@@ -1000,9 +1102,12 @@ cmdCapture(const Args &args)
     if (!audit.clean())
         HEAPMD_FATAL("captured trace '", session.tracePath,
                      "' failed its audit");
-    std::printf("trace audit clean: %llu bytes, %llu events\n",
+    std::printf("trace audit clean: %llu bytes, %llu events, "
+                "%llu segment(s)\n",
                 static_cast<unsigned long long>(lint_stats.bytes),
-                static_cast<unsigned long long>(lint_stats.events));
+                static_cast<unsigned long long>(lint_stats.events),
+                static_cast<unsigned long long>(
+                    lint_stats.segments));
 
     int status = 0;
     if (args.has("train-out")) {
@@ -1023,9 +1128,18 @@ cmdCapture(const Args &args)
         std::printf("model written to %s\n",
                     args.str("train-out").c_str());
     }
-    if (args.has("check"))
+    if (args.has("check")) {
+#if defined(HEAPMD_HAVE_OBSV)
+        status = options.rotateBytes > 0
+                     ? checkCapturedSegments(session.tracePath,
+                                             args.str("check"), args)
+                     : checkCapturedTrace(session.tracePath,
+                                          args.str("check"), args);
+#else
         status = checkCapturedTrace(session.tracePath,
                                     args.str("check"), args);
+#endif
+    }
 
     if (args.has("manifest")) {
         diag::RunManifest manifest;
@@ -1202,11 +1316,12 @@ auditTraces(const Args &args, const std::vector<std::string> &traces,
 int
 cmdAudit(const Args &args)
 {
-    if (!args.has("trace") && !args.has("model") &&
-        !args.has("graph") && !args.has("bundle") &&
-        !args.has("manifest")) {
-        HEAPMD_FATAL("audit needs at least one of --trace, --model, "
-                     "--graph, --bundle, --manifest");
+    if (!args.has("trace") && !args.has("segments") &&
+        !args.has("model") && !args.has("graph") &&
+        !args.has("bundle") && !args.has("manifest")) {
+        HEAPMD_FATAL("audit needs at least one of --trace, "
+                     "--segments, --model, --graph, --bundle, "
+                     "--manifest");
     }
     if ((args.has("deep") || args.has("bundle-dir")) &&
         !args.has("trace"))
@@ -1215,6 +1330,20 @@ cmdAudit(const Args &args)
         "max-findings", analysis::Report::kDefaultMaxFindings));
 
     bool clean = auditTraces(args, args.all("trace"), max_findings);
+    for (const std::string &base : args.all("segments")) {
+        analysis::Report report(max_findings);
+        const analysis::TraceLintStats stats =
+            analysis::lintSegmentSet(base, report);
+        std::printf("segments %s: %llu segment(s), %llu bytes, "
+                    "%llu events, %llu functions\n%s",
+                    base.c_str(),
+                    static_cast<unsigned long long>(stats.segments),
+                    static_cast<unsigned long long>(stats.bytes),
+                    static_cast<unsigned long long>(stats.events),
+                    static_cast<unsigned long long>(stats.functions),
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
     for (const std::string &path : args.all("model")) {
         analysis::Report report(max_findings);
         const analysis::ModelLintStats stats =
@@ -1446,6 +1575,105 @@ writeAll(int fd, const char *data, std::size_t len)
     }
 }
 
+/**
+ * Minimal single-threaded /metrics endpoint shared by `export` and
+ * `monitor --listen`.  pump() answers at most one pending request and
+ * never blocks longer than its timeout, so the caller's wait loop can
+ * interleave serving with its real work and with the g_stop flag.
+ */
+class MetricsServer
+{
+  public:
+    ~MetricsServer() { close(); }
+
+    /** Bind and listen; usage/fatal errors exit as ever. */
+    void
+    open(const std::string &listen_addr)
+    {
+        const std::size_t colon = listen_addr.rfind(':');
+        if (colon == std::string::npos)
+            badInvocation("--listen expects HOST:PORT");
+        const std::string host = listen_addr.substr(0, colon);
+        const int port = std::atoi(listen_addr.c_str() + colon + 1);
+        if (port <= 0 || port > 65535)
+            badInvocation("--listen port is not in 1..65535");
+
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            HEAPMD_FATAL("cannot create socket: ",
+                         std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+            badInvocation("--listen host must be an IPv4 address "
+                          "(e.g. 127.0.0.1)");
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            HEAPMD_FATAL("cannot bind ", listen_addr, ": ",
+                         std::strerror(errno));
+        if (::listen(fd_, 8) != 0)
+            HEAPMD_FATAL("cannot listen on ", listen_addr, ": ",
+                         std::strerror(errno));
+    }
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Serve at most one pending scrape, waiting up to @p timeout_ms
+     * for one to arrive (0 = just poll).  @p body renders the
+     * document only when a client is actually connected.
+     * @return true when a request was answered.
+     */
+    bool
+    pump(const std::function<std::string()> &body, int timeout_ms)
+    {
+        if (fd_ < 0)
+            return false;
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        if (::poll(&pfd, 1, timeout_ms) <= 0)
+            return false; // timeout or EINTR: caller rechecks g_stop
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0)
+            return false;
+        // Every request gets the same document regardless of path,
+        // so the request bytes only need draining, not parsing.
+        char request[1024];
+        (void)::read(client, request, sizeof request);
+        const std::string doc = body();
+        char header[192];
+        std::snprintf(
+            header, sizeof header,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; "
+            "charset=utf-8\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n\r\n",
+            doc.size());
+        writeAll(client, header, std::strlen(header));
+        writeAll(client, doc.data(), doc.size());
+        ::close(client);
+        return true;
+    }
+
+    void
+    close()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
 #endif // HEAPMD_HAVE_OBSV
 
 int
@@ -1458,67 +1686,122 @@ cmdExport(const Args &args)
 #else
     const std::string listen_addr =
         args.str("listen", "127.0.0.1:9464");
-    const std::size_t colon = listen_addr.rfind(':');
-    if (colon == std::string::npos)
-        badInvocation("export --listen expects HOST:PORT");
-    const std::string host = listen_addr.substr(0, colon);
-    const int port = std::atoi(listen_addr.c_str() + colon + 1);
-    if (port <= 0 || port > 65535)
-        badInvocation("export --listen port is not in 1..65535");
-
-    const int server = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (server < 0)
-        HEAPMD_FATAL("cannot create socket: ", std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(server, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-        badInvocation("export --listen host must be an IPv4 "
-                      "address (e.g. 127.0.0.1)");
-    if (::bind(server, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0)
-        HEAPMD_FATAL("cannot bind ", listen_addr, ": ",
-                     std::strerror(errno));
-    if (::listen(server, 8) != 0)
-        HEAPMD_FATAL("cannot listen on ", listen_addr, ": ",
-                     std::strerror(errno));
+    MetricsServer server;
+    server.open(listen_addr);
     std::printf("serving metrics on http://%s/metrics\n",
                 listen_addr.c_str());
     std::fflush(stdout);
 
+    installStopHandlers();
     const bool once = args.num("once", 0) != 0;
-    for (;;) {
-        const int client = ::accept(server, nullptr, nullptr);
-        if (client < 0) {
-            if (errno == EINTR)
-                continue;
-            HEAPMD_FATAL("accept failed: ", std::strerror(errno));
-        }
-        // Every request gets the same document regardless of path, so
-        // the request bytes only need draining, not parsing.
-        char request[1024];
-        (void)::read(client, request, sizeof request);
-        const std::string body =
-            obsv::renderPrometheus(collectSegments(args));
-        char header[192];
-        std::snprintf(
-            header, sizeof header,
-            "HTTP/1.1 200 OK\r\n"
-            "Content-Type: text/plain; version=0.0.4; "
-            "charset=utf-8\r\n"
-            "Content-Length: %zu\r\n"
-            "Connection: close\r\n\r\n",
-            body.size());
-        writeAll(client, header, std::strlen(header));
-        writeAll(client, body.data(), body.size());
-        ::close(client);
-        if (once)
+    while (g_stop == 0) {
+        const bool served = server.pump(
+            [&args] {
+                return obsv::renderPrometheus(collectSegments(args));
+            },
+            200);
+        if (served && once)
             break;
     }
-    ::close(server);
+    if (g_stop != 0) {
+        std::printf("shutting down\n");
+        std::fflush(stdout);
+    }
+    server.close();
     return 0;
+#endif // HEAPMD_HAVE_OBSV
+}
+
+int
+cmdMonitor(const Args &args)
+{
+#if !defined(HEAPMD_HAVE_OBSV)
+    (void)args;
+    HEAPMD_FATAL("this build has no live-observability support "
+                 "(POSIX shared memory required)");
+#else
+    monitor::MonitorOptions options;
+    if (args.has("segments"))
+        options.segmentsBase = args.str("segments");
+    if (args.has("pid"))
+        options.pid = static_cast<std::uint32_t>(args.num("pid", 0));
+    if (options.segmentsBase.empty() && options.pid == 0)
+        badInvocation("monitor needs --segments BASE or --pid P");
+    if (!options.segmentsBase.empty() && options.pid != 0)
+        badInvocation("monitor takes --segments or --pid, not both");
+
+    const HeapModel model = loadModel(args.str("model"));
+    options.follow = args.num("once", 0) == 0;
+    options.pollMs = args.num("poll-ms", 50);
+    options.windowRadius =
+        args.num("window", diag::kDefaultWindowRadius);
+    options.detector.debounceSamples =
+        static_cast<std::size_t>(args.num("debounce", 3));
+    options.detector.rearmSamples =
+        static_cast<std::size_t>(args.num("rearm", 8));
+    if (args.has("bundle-dir"))
+        options.bundleDir = args.str("bundle-dir");
+
+    installStopHandlers();
+    options.stopped = [] { return g_stop != 0; };
+
+    MetricsServer server;
+    if (args.has("listen")) {
+        server.open(args.str("listen"));
+        std::printf("serving monitor metrics on http://%s/metrics\n",
+                    args.str("listen").c_str());
+    }
+
+    // The session is constructed after the callbacks that reference
+    // it, so they go through a pointer filled in below; the session
+    // never invokes them before run().
+    monitor::MonitorSession *session_ptr = nullptr;
+    options.onIdle = [&server, &session_ptr] {
+        if (server.valid() && session_ptr != nullptr)
+            server.pump(
+                [&session_ptr] {
+                    return session_ptr->renderPrometheus();
+                },
+                0);
+    };
+    options.onIncident = [&session_ptr](const BugReport &report) {
+        if (session_ptr == nullptr)
+            return;
+        std::printf("\n%s",
+                    report.describe(session_ptr->registry()).c_str());
+        std::fflush(stdout);
+    };
+
+    monitor::MonitorSession session(model, options);
+    session_ptr = &session;
+    std::printf("monitoring %s against model '%s'%s\n",
+                options.segmentsBase.empty()
+                    ? ("pid " + std::to_string(options.pid)).c_str()
+                    : options.segmentsBase.c_str(),
+                model.programName.c_str(),
+                options.follow ? "" : " (once)");
+    std::fflush(stdout);
+
+    std::string error;
+    const bool ok = session.run(error);
+    server.close();
+    if (!ok)
+        HEAPMD_FATAL("monitor failed: ", error);
+
+    const monitor::MonitorStats &stats = session.stats();
+    std::printf("monitored %llu events / %llu samples over %llu "
+                "segment(s): %llu incident(s), %llu bundle(s) "
+                "written%s\n",
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.samples),
+                static_cast<unsigned long long>(
+                    stats.segmentsConsumed),
+                static_cast<unsigned long long>(stats.incidents),
+                static_cast<unsigned long long>(
+                    stats.bundlesWritten),
+                stats.truncatedTail ? " (truncated tail tolerated)"
+                                    : "");
+    return session.anomalous() ? kExitFindings : 0;
 #endif // HEAPMD_HAVE_OBSV
 }
 
@@ -1577,7 +1860,7 @@ commandTable()
         {"capture",
          {cmdCapture,
           {"out", "frq", "lib", "check", "train-out", "bundle-dir",
-           "manifest", "verbose", "local"}}},
+           "rotate-bytes", "manifest", "verbose", "local"}}},
         {"replay",
          {cmdReplay,
           {"trace", "model", "frq", "no-audit", "bundle-dir",
@@ -1589,8 +1872,8 @@ commandTable()
            "rate", "budget"}}},
         {"audit",
          {cmdAudit,
-          {"trace", "model", "graph", "bundle", "manifest",
-           "max-findings", "deep", "bundle-dir"}}},
+          {"trace", "segments", "model", "graph", "bundle",
+           "manifest", "max-findings", "deep", "bundle-dir"}}},
         {"report", {cmdReport, {"bundle", "stacks", "suspects"}}},
         {"trend",
          {cmdTrend,
@@ -1600,6 +1883,10 @@ commandTable()
          {cmdTop,
           {"pid", "all", "once", "interval", "model", "reap"}}},
         {"export", {cmdExport, {"listen", "pid", "once"}}},
+        {"monitor",
+         {cmdMonitor,
+          {"segments", "pid", "model", "bundle-dir", "once",
+           "listen", "poll-ms", "debounce", "rearm", "window"}}},
         {"observe",
          {cmdObserve,
           {"app", "seed", "version", "scale", "frq", "fault", "rate",
