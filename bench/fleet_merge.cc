@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Throughput of `heapmd fleet-merge`: how fast a population model is
+ * folded out of N run manifests, and whether the parallel load path
+ * actually buys wall time while staying byte-deterministic.
+ *
+ * Synthesizes a fleet of manifests on disk (realistically sized:
+ * full metric summaries, counter tables, a few drifting members),
+ * then measures the end-to-end merge -- discovery, parallel load,
+ * outlier attribution, model rendering -- at --jobs 1 and at the
+ * hardware thread count, asserting the two renderings are
+ * byte-identical.  Emits BENCH_fleet_merge.json with manifests/sec
+ * for both configurations.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analysis/report.hh"
+#include "diag/run_manifest.hh"
+#include "fleet/fleet_merge.hh"
+#include "fleet/fleet_model.hh"
+#include "metrics/metric.hh"
+#include "support/build_env.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+constexpr std::size_t kFleetSize = 96; //!< >= 64 per the bench spec
+constexpr std::size_t kDriftingMembers = 3;
+constexpr int kRepetitions = 5;
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** One synthetic member, shaped like a real check-run manifest. */
+diag::RunManifest
+syntheticManifest(std::size_t index, bool drifting)
+{
+    diag::RunManifest m;
+    m.command = "check";
+    m.commandLine =
+        "heapmd check --app server --model server.model --seed " +
+        std::to_string(index);
+    m.program = "server seed " + std::to_string(index) + " v1";
+    m.metricFrequency = 300;
+    m.seed = index;
+    m.events = 900000 + 1000 * index;
+    m.samples = 3000 + index;
+    m.allocs = 400000;
+    m.frees = 399000;
+    const double drift = drifting ? 18.0 : 0.0;
+    for (MetricId id : kAllMetrics) {
+        diag::ManifestMetric metric;
+        metric.metric = metricName(id);
+        metric.summary.count = m.samples;
+        metric.summary.mean =
+            35.0 + 2.0 * static_cast<double>(metricIndex(id)) +
+            0.001 * static_cast<double>(index) + drift;
+        metric.summary.min = metric.summary.mean - 3.0;
+        metric.summary.max = metric.summary.mean + 3.0;
+        metric.summary.stddev = 0.8;
+        m.metrics.push_back(std::move(metric));
+    }
+    for (int c = 0; c < 24; ++c) {
+        m.counters.push_back({"bench.counter_" + std::to_string(c),
+                              static_cast<std::uint64_t>(
+                                  1000 * c + index)});
+    }
+    return m;
+}
+
+/** Timed merge over @p inputs; returns manifests/sec (best of N). */
+double
+timedMerge(const fleet::FleetInputs &inputs, unsigned jobs,
+           std::string &rendering)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        fleet::FleetMergeOptions options;
+        options.jobs = jobs;
+        fleet::FleetModel model;
+        analysis::Report report;
+        std::string error;
+        const double t0 = wallNow();
+        if (!fleet::mergeFleet(inputs, options, model, report,
+                               error)) {
+            std::fprintf(stderr, "merge failed: %s\n",
+                         error.c_str());
+            std::exit(1);
+        }
+        const double seconds = wallNow() - t0;
+        rendering = fleet::fleetToJson(model);
+        const double rate =
+            static_cast<double>(inputs.manifests.size()) /
+            (seconds > 0.0 ? seconds : 1e-9);
+        if (rate > best)
+            best = rate;
+    }
+    return best;
+}
+
+} // namespace
+
+} // namespace heapmd
+
+int
+main()
+{
+    using namespace heapmd;
+    namespace fs = std::filesystem;
+
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("heapmd_bench_fleet_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    std::uint64_t corpus_bytes = 0;
+    for (std::size_t i = 0; i < kFleetSize; ++i) {
+        const bool drifting = i % (kFleetSize / kDriftingMembers) ==
+                              kFleetSize / kDriftingMembers - 1;
+        char name[32];
+        std::snprintf(name, sizeof name, "m%04zu.json", i);
+        const fs::path path = dir / name;
+        std::ofstream out(path, std::ios::binary);
+        diag::saveRunManifest(syntheticManifest(i, drifting), out);
+        out.flush();
+        corpus_bytes += fs::file_size(path);
+    }
+
+    fleet::FleetInputs inputs;
+    std::string error;
+    if (!fleet::collectFleetInputs({dir.string()}, inputs, error)) {
+        std::fprintf(stderr, "discovery failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("fleet_merge bench: %zu manifests, %0.1f KiB "
+                "corpus\n",
+                inputs.manifests.size(),
+                static_cast<double>(corpus_bytes) / 1024.0);
+
+    std::string serial_json, parallel_json;
+    const double serial_rate = timedMerge(inputs, 1, serial_json);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const double parallel_rate =
+        timedMerge(inputs, hw, parallel_json);
+
+    const bool deterministic = serial_json == parallel_json;
+    std::printf("--jobs 1:  %0.0f manifests/sec\n", serial_rate);
+    std::printf("--jobs %u: %0.0f manifests/sec (%0.2fx)\n", hw,
+                parallel_rate, parallel_rate / serial_rate);
+    std::printf("byte-determinism across jobs: %s\n",
+                deterministic ? "PASS" : "FAIL");
+
+    std::FILE *json = std::fopen("BENCH_fleet_merge.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_fleet_merge.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fleet_merge\",\n"
+                 "  \"sanitizer\": \"%s\",\n"
+                 "  \"manifests\": %zu,\n"
+                 "  \"corpusBytes\": %llu,\n"
+                 "  \"manifestsPerSecSerial\": %0.1f,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"manifestsPerSecParallel\": %0.1f,\n"
+                 "  \"speedup\": %0.3f,\n"
+                 "  \"byteDeterministic\": %s\n"
+                 "}\n",
+                 support::kSanitizeMode, inputs.manifests.size(),
+                 static_cast<unsigned long long>(corpus_bytes),
+                 serial_rate, hw, parallel_rate,
+                 parallel_rate / serial_rate,
+                 deterministic ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_fleet_merge.json\n");
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return deterministic ? 0 : 1;
+}

@@ -508,7 +508,7 @@ lintManifestText(const std::string &text, Report &report)
     ManifestLintStats stats;
     JsonValue root;
     std::uint64_t schema = 0;
-    if (parsePreamble(text, "heapmd.manifest", 3, root, report,
+    if (parsePreamble(text, "heapmd.manifest", 4, root, report,
                       &schema) == nullptr) {
         return stats;
     }
@@ -528,6 +528,10 @@ lintManifestText(const std::string &text, Report &report)
         check.num(*config, "config", "scale");
         check.str(*config, "config", "fault");
         check.num(*config, "config", "faultRate");
+        // rotateBytes arrived with schema v4 (capture rotation
+        // provenance pooled by fleet-merge).
+        if (schema >= 4)
+            check.num(*config, "config", "rotateBytes");
     }
 
     // env arrived with schema v2; absence there is a defect, absence

@@ -1,0 +1,328 @@
+#include "analysis/fleet_lint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/metric.hh"
+#include "telemetry/trace_json.hh"
+
+namespace heapmd
+{
+
+namespace analysis
+{
+
+namespace
+{
+
+using telemetry::JsonValue;
+
+/** Highest fleet schemaVersion this linter understands. */
+constexpr double kSupportedFleetVersion = 1;
+
+/**
+ * Member access that files a fleet.missing-field finding instead of
+ * stopping: one pass reports every defect (diag_lint's Checker,
+ * fleet flavored).
+ */
+class FleetChecker
+{
+  public:
+    explicit FleetChecker(Report &report) : report_(report) {}
+
+    const JsonValue *
+    member(const JsonValue &object, const std::string &where,
+           const char *key, JsonValue::Kind kind, const char *type)
+    {
+        const JsonValue *found = object.find(key);
+        if (found == nullptr) {
+            report_.error("fleet.missing-field",
+                          where + " is missing member '" + key +
+                              "'");
+            return nullptr;
+        }
+        if (found->kind != kind) {
+            report_.error("fleet.missing-field",
+                          where + " member '" + key + "' is not " +
+                              type);
+            return nullptr;
+        }
+        return found;
+    }
+
+    std::string
+    str(const JsonValue &object, const std::string &where,
+        const char *key)
+    {
+        const JsonValue *found = member(object, where, key,
+                                        JsonValue::Kind::String,
+                                        "a string");
+        return found != nullptr ? found->string : std::string();
+    }
+
+    double
+    num(const JsonValue &object, const std::string &where,
+        const char *key)
+    {
+        const JsonValue *found = member(object, where, key,
+                                        JsonValue::Kind::Number,
+                                        "a number");
+        return found != nullptr
+                   ? found->number
+                   : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    const JsonValue *
+    array(const JsonValue &object, const std::string &where,
+          const char *key)
+    {
+        return member(object, where, key, JsonValue::Kind::Array,
+                      "an array");
+    }
+
+    const JsonValue *
+    object(const JsonValue &value, const std::string &where,
+           const char *key)
+    {
+        return member(value, where, key, JsonValue::Kind::Object,
+                      "an object");
+    }
+
+  private:
+    Report &report_;
+};
+
+} // namespace
+
+FleetLintStats
+lintFleetText(const std::string &text, Report &report)
+{
+    FleetLintStats stats;
+    JsonValue root;
+    {
+        std::string error;
+        if (!telemetry::parseJson(text, root, &error)) {
+            report.error("fleet.parse", error);
+            return stats;
+        }
+    }
+    if (!root.isObject()) {
+        report.error("fleet.parse", "document root is not an object");
+        return stats;
+    }
+    const JsonValue *kind = root.find("kind");
+    if (kind == nullptr || !kind->isString()) {
+        report.error("fleet.kind",
+                     "document has no string 'kind' tag");
+        return stats;
+    }
+    if (kind->string != "heapmd.fleet") {
+        report.error("fleet.kind", "kind '" + kind->string +
+                                       "' is not 'heapmd.fleet'");
+        return stats;
+    }
+    const JsonValue *version = root.find("schemaVersion");
+    if (version == nullptr || !version->isNumber()) {
+        report.error("fleet.version",
+                     "document has no numeric schemaVersion");
+    } else if (version->number < 1 ||
+               version->number > kSupportedFleetVersion) {
+        report.error("fleet.version",
+                     "unsupported schemaVersion " +
+                         std::to_string(version->number));
+    }
+
+    FleetChecker check(report);
+    const double processes = check.num(root, "fleet", "processes");
+
+    const JsonValue *provenance =
+        check.object(root, "fleet", "provenance");
+    if (provenance != nullptr) {
+        check.num(*provenance, "provenance", "metricFrequency");
+        check.num(*provenance, "provenance", "rotateBytes");
+        check.member(*provenance, "provenance", "mixed",
+                     JsonValue::Kind::Bool, "a boolean");
+    }
+
+    std::vector<std::string> member_paths;
+    const JsonValue *members = check.array(root, "fleet", "members");
+    if (members != nullptr) {
+        std::string previous;
+        for (const JsonValue &entry : members->array) {
+            if (!entry.isObject()) {
+                report.error("fleet.missing-field",
+                             "members entry is not an object");
+                continue;
+            }
+            ++stats.members;
+            const std::string path =
+                check.str(entry, "member", "path");
+            check.str(entry, "member", "program");
+            check.str(entry, "member", "command");
+            check.num(entry, "member", "schemaVersion");
+            check.num(entry, "member", "events");
+            check.num(entry, "member", "samples");
+            check.num(entry, "member", "reports");
+            check.num(entry, "member", "metricFrequency");
+            check.num(entry, "member", "rotateBytes");
+            if (!path.empty()) {
+                if (!previous.empty() && path <= previous) {
+                    report.error(
+                        "fleet.member-order",
+                        "member '" + path +
+                            "' is not strictly after '" + previous +
+                            "' (members must be sorted by path)");
+                }
+                previous = path;
+                member_paths.push_back(path);
+            }
+        }
+        if (!std::isnan(processes) &&
+            processes !=
+                static_cast<double>(members->array.size())) {
+            report.error(
+                "fleet.count-mismatch",
+                "processes claims " +
+                    std::to_string(
+                        static_cast<long long>(processes)) +
+                    " but " +
+                    std::to_string(members->array.size()) +
+                    " member(s) are listed");
+        }
+    }
+
+    const JsonValue *metrics = check.array(root, "fleet", "metrics");
+    if (metrics != nullptr) {
+        for (const JsonValue &entry : metrics->array) {
+            if (!entry.isObject()) {
+                report.error("fleet.missing-field",
+                             "metrics entry is not an object");
+                continue;
+            }
+            ++stats.metrics;
+            const std::string metric =
+                check.str(entry, "metric range", "metric");
+            if (!metric.empty() && !tryMetricFromName(metric)) {
+                report.error("fleet.bad-metric",
+                             "unknown metric '" + metric + "'");
+            }
+            check.num(entry, "metric range", "members");
+            check.num(entry, "metric range", "samples");
+            const double min =
+                check.num(entry, "metric range", "min");
+            const double max =
+                check.num(entry, "metric range", "max");
+            check.num(entry, "metric range", "mean");
+            check.num(entry, "metric range", "stddev");
+            if (!std::isnan(min) && !std::isnan(max) && min > max) {
+                report.error("fleet.range-inverted",
+                             "pooled range of '" + metric +
+                                 "' has min above max");
+            }
+        }
+    }
+
+    const JsonValue *outliers =
+        check.array(root, "fleet", "outliers");
+    if (outliers != nullptr) {
+        for (const JsonValue &entry : outliers->array) {
+            if (!entry.isObject()) {
+                report.error("fleet.missing-field",
+                             "outliers entry is not an object");
+                continue;
+            }
+            ++stats.outliers;
+            const std::string path =
+                check.str(entry, "outlier", "path");
+            const std::string metric =
+                check.str(entry, "outlier", "metric");
+            if (!metric.empty() && !tryMetricFromName(metric)) {
+                report.error("fleet.bad-metric",
+                             "unknown metric '" + metric + "'");
+            }
+            check.num(entry, "outlier", "score");
+            check.num(entry, "outlier", "memberMean");
+            check.num(entry, "outlier", "fleetMean");
+            if (!path.empty() &&
+                std::find(member_paths.begin(), member_paths.end(),
+                          path) == member_paths.end()) {
+                report.error("fleet.outlier-unknown",
+                             "outlier path '" + path +
+                                 "' names no fleet member");
+            }
+        }
+    }
+
+    const JsonValue *incidents =
+        check.array(root, "fleet", "incidents");
+    if (incidents != nullptr) {
+        double previous_count =
+            std::numeric_limits<double>::infinity();
+        std::string previous_signature;
+        for (const JsonValue &entry : incidents->array) {
+            if (!entry.isObject()) {
+                report.error("fleet.missing-field",
+                             "incidents entry is not an object");
+                continue;
+            }
+            ++stats.incidents;
+            const std::string signature =
+                check.str(entry, "incident", "signature");
+            const double count =
+                check.num(entry, "incident", "count");
+            const JsonValue *cluster_members =
+                check.array(entry, "incident", "members");
+            if (!std::isnan(count)) {
+                if (count > previous_count ||
+                    (count == previous_count &&
+                     signature < previous_signature)) {
+                    report.error(
+                        "fleet.incident-order",
+                        "incident '" + signature +
+                            "' breaks the (count desc, signature) "
+                            "order");
+                }
+                previous_count = count;
+                previous_signature = signature;
+                if (cluster_members != nullptr &&
+                    count < static_cast<double>(
+                                cluster_members->array.size())) {
+                    report.error(
+                        "fleet.incident-count",
+                        "incident '" + signature + "' counts " +
+                            std::to_string(
+                                static_cast<long long>(count)) +
+                            " bundle(s) but lists " +
+                            std::to_string(
+                                cluster_members->array.size()) +
+                            " member(s)");
+                }
+            }
+        }
+    }
+
+    return stats;
+}
+
+FleetLintStats
+lintFleetFile(const std::string &path, Report &report)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.error("fleet.io", "cannot open '" + path + "'");
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintFleetText(buffer.str(), report);
+}
+
+} // namespace analysis
+
+} // namespace heapmd

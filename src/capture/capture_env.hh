@@ -63,6 +63,17 @@ inline constexpr const char *kEnvNoSegment =
 inline constexpr const char *kEnvRotateBytes =
     "HEAPMD_CAPTURE_ROTATE_BYTES";
 
+/**
+ * "1": gzip each rotation segment (".heapmd.gz" instead of
+ * ".heapmd").  Requires rotation (HEAPMD_CAPTURE_ROTATE_BYTES > 0)
+ * and a zlib-enabled build; otherwise the shim logs a notice and
+ * records uncompressed.  The rotation threshold keeps counting RAW
+ * trace bytes, so compression changes segment sizes on disk but not
+ * the events per segment.  The segment manifest records the
+ * raw/compressed byte totals (the compression ratio).
+ */
+inline constexpr const char *kEnvCompress = "HEAPMD_CAPTURE_COMPRESS";
+
 /** Host-side override of the shim library path. */
 inline constexpr const char *kEnvLib = "HEAPMD_CAPTURE_LIB";
 

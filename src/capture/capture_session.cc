@@ -110,9 +110,12 @@ runCapture(const std::vector<std::string> &argv,
     fs::remove(result.statsPath, ec);
     if (options.rotateBytes > 0) {
         for (const std::uint64_t idx :
-             trace::listSegmentIndices(result.tracePath))
+             trace::listSegmentIndices(result.tracePath)) {
             fs::remove(trace::segmentPath(result.tracePath, idx),
                        ec);
+            fs::remove(
+                trace::segmentPath(result.tracePath, idx, true), ec);
+        }
         fs::remove(trace::segmentManifestPath(result.tracePath), ec);
     }
 
@@ -147,6 +150,8 @@ runCapture(const std::vector<std::string> &argv,
                               options.rotateBytes));
             ::setenv(kEnvRotateBytes, number, 1);
         }
+        if (options.compress)
+            ::setenv(kEnvCompress, "1", 1);
 
         std::vector<char *> child_argv;
         child_argv.reserve(argv.size() + 1);
@@ -189,9 +194,12 @@ runCapture(const std::vector<std::string> &argv,
     }
     if (options.rotateBytes > 0) {
         for (const std::uint64_t idx :
-             trace::listSegmentIndices(result.tracePath))
-            result.segmentPaths.push_back(
-                trace::segmentPath(result.tracePath, idx));
+             trace::listSegmentIndices(result.tracePath)) {
+            const std::string seg =
+                trace::resolveSegmentPath(result.tracePath, idx);
+            if (!seg.empty())
+                result.segmentPaths.push_back(seg);
+        }
         if (result.segmentPaths.empty()) {
             error = "child produced no trace segments under '" +
                     result.tracePath + "' (did it allocate at all?)";

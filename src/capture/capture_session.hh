@@ -54,6 +54,14 @@ struct SessionOptions
      * manifest, which `heapmd monitor` can follow live.
      */
     std::uint64_t rotateBytes = 0;
+
+    /**
+     * Gzip each rotation segment (HEAPMD_CAPTURE_COMPRESS=1):
+     * segments become "<tracePath>.NNNNNN.heapmd.gz".  Requires
+     * rotateBytes > 0 and a zlib-enabled build; the CLI validates
+     * both before arming.
+     */
+    bool compress = false;
 };
 
 /** Outcome of one capture run. */

@@ -22,13 +22,45 @@ namespace capture
 {
 
 /**
- * std::streambuf over a POSIX file descriptor (output only).
+ * Shim-facing streambuf contract: fixed buffering (no reallocation
+ * inside interposed calls), explicit durability, and byte accounting
+ * for segment rotation.  FdStreamBuf writes raw bytes; GzipStreamBuf
+ * (gzip_stream.hh) deflates them first.
+ */
+class CaptureStreamBuf : public std::streambuf
+{
+  public:
+    ~CaptureStreamBuf() override = default;
+
+    /** Flush to the kernel and fsync(2).  @return false on error. */
+    virtual bool syncToDisk() = 0;
+
+    /** Flush, fsync, and close(2) the fd.  @return false on error. */
+    virtual bool closeFd() = 0;
+
+    /** True once any write(2) or fsync(2) has failed. */
+    virtual bool hadError() const = 0;
+
+    /** Bytes pushed to the fd so far (compressed when gzipping). */
+    virtual std::size_t bytesWritten() const = 0;
+
+    /**
+     * Raw (pre-compression) bytes accepted so far, including bytes
+     * still pending in the put area.  Segment rotation compares this
+     * against its byte threshold -- always in raw-trace terms, so the
+     * event count per segment does not depend on compressibility.
+     */
+    virtual std::size_t totalBytes() const = 0;
+};
+
+/**
+ * CaptureStreamBuf over a POSIX file descriptor (output only).
  *
  * The buffer is allocated once in the constructor; overflow and
  * sync() push it to the fd with write(2), retrying on EINTR and
  * short writes.
  */
-class FdStreamBuf : public std::streambuf
+class FdStreamBuf : public CaptureStreamBuf
 {
   public:
     /** Wraps @p fd; the caller keeps ownership unless closeFd(). */
@@ -40,26 +72,16 @@ class FdStreamBuf : public std::streambuf
     /** Flushes buffered bytes; never closes the fd. */
     ~FdStreamBuf() override;
 
-    /** Flush to the kernel and fsync(2).  @return false on error. */
-    bool syncToDisk();
+    bool syncToDisk() override;
+    bool closeFd() override;
+    bool hadError() const override { return had_error_; }
+    std::size_t bytesWritten() const override
+    {
+        return bytes_written_;
+    }
 
-    /** Flush, fsync, and close(2) the fd.  @return false on error. */
-    bool closeFd();
-
-    /** True once any write(2) or fsync(2) has failed. */
-    bool hadError() const { return had_error_; }
-
-    /** Bytes pushed to the fd so far. */
-    std::size_t bytesWritten() const { return bytes_written_; }
-
-    /**
-     * Total bytes accepted so far: pushed to the fd plus still
-     * pending in the put area.  This is the size the file will have
-     * after a flush -- what segment rotation compares against its
-     * byte threshold without forcing a flush per operation.
-     */
     std::size_t
-    totalBytes() const
+    totalBytes() const override
     {
         return bytes_written_ +
                static_cast<std::size_t>(pptr() - pbase());

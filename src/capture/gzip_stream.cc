@@ -1,0 +1,232 @@
+#include "capture/gzip_stream.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#if HEAPMD_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace heapmd
+{
+
+namespace capture
+{
+
+#if HEAPMD_HAVE_ZLIB
+
+namespace
+{
+
+/** deflateInit2 windowBits: gzip wrapper, max window. */
+constexpr int kGzipWindowBits = 15 + 16;
+
+/**
+ * Z_BEST_SPEED: the deflate runs inside interposed allocator calls,
+ * so cycles matter more than the last few percent of ratio (trace
+ * records are highly repetitive and compress well at any level).
+ */
+constexpr int kGzipLevel = 1;
+
+} // namespace
+
+GzipStreamBuf::GzipStreamBuf(int fd, std::size_t buffer_bytes)
+    : fd_(fd),
+      buffer_(buffer_bytes > 0 ? buffer_bytes : 1),
+      // deflateBound-ish headroom: deflate may expand incompressible
+      // input slightly; a same-size staging area just means more
+      // write(2) calls per drain, never an error.
+      out_(buffer_.size())
+{
+    auto *strm = new (std::nothrow) z_stream();
+    if (strm == nullptr)
+        return;
+    std::memset(strm, 0, sizeof(*strm));
+    if (::deflateInit2(strm, kGzipLevel, Z_DEFLATED, kGzipWindowBits,
+                       8, Z_DEFAULT_STRATEGY) != Z_OK) {
+        delete strm;
+        return;
+    }
+    stream_ = strm;
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+}
+
+GzipStreamBuf::~GzipStreamBuf()
+{
+    if (stream_ != nullptr) {
+        if (!finished_)
+            deflateBuffer(Z_SYNC_FLUSH);
+        auto *strm = static_cast<z_stream *>(stream_);
+        ::deflateEnd(strm);
+        delete strm;
+    }
+}
+
+bool
+GzipStreamBuf::writeAll(const unsigned char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t put = ::write(fd_, data, size);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            had_error_ = true;
+            return false;
+        }
+        data += put;
+        size -= static_cast<std::size_t>(put);
+        compressed_bytes_ += static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+bool
+GzipStreamBuf::deflateBuffer(int flush_mode)
+{
+    if (stream_ == nullptr || finished_) {
+        had_error_ = true;
+        return false;
+    }
+    auto *strm = static_cast<z_stream *>(stream_);
+    const std::size_t pending =
+        static_cast<std::size_t>(pptr() - pbase());
+    strm->next_in = reinterpret_cast<Bytef *>(pbase());
+    strm->avail_in = static_cast<uInt>(pending);
+
+    for (;;) {
+        strm->next_out = out_.data();
+        strm->avail_out = static_cast<uInt>(out_.size());
+        const int rc = ::deflate(strm, flush_mode);
+        if (rc == Z_STREAM_ERROR) {
+            had_error_ = true;
+            return false;
+        }
+        const std::size_t produced = out_.size() - strm->avail_out;
+        if (produced > 0 && !writeAll(out_.data(), produced))
+            return false;
+        if (rc == Z_STREAM_END) {
+            finished_ = true;
+            break;
+        }
+        // Done when deflate consumed all input and has no buffered
+        // output left (it signals "call me again" by filling
+        // avail_out completely, and Z_FINISH by not returning
+        // Z_STREAM_END yet).
+        if (strm->avail_in == 0 && strm->avail_out != 0 &&
+            flush_mode != Z_FINISH)
+            break;
+        if (flush_mode == Z_FINISH && rc == Z_BUF_ERROR &&
+            produced == 0) {
+            had_error_ = true;
+            return false;
+        }
+    }
+    raw_bytes_ += pending;
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+    return true;
+}
+
+bool
+GzipStreamBuf::syncToDisk()
+{
+    if (!deflateBuffer(Z_SYNC_FLUSH))
+        return false;
+    if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
+        // EINVAL/EROFS: fd does not support fsync; the flush alone
+        // is the best we can do (same policy as FdStreamBuf).
+        had_error_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+GzipStreamBuf::closeFd()
+{
+    bool ok = deflateBuffer(Z_FINISH);
+    if (ok && ::fsync(fd_) != 0 && errno != EINVAL &&
+        errno != EROFS) {
+        had_error_ = true;
+        ok = false;
+    }
+    if (::close(fd_) != 0)
+        had_error_ = true;
+    fd_ = -1;
+    return ok && !had_error_;
+}
+
+GzipStreamBuf::int_type
+GzipStreamBuf::overflow(int_type ch)
+{
+    if (!deflateBuffer(Z_NO_FLUSH))
+        return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+        *pptr() = traits_type::to_char_type(ch);
+        pbump(1);
+    }
+    return traits_type::not_eof(ch);
+}
+
+int
+GzipStreamBuf::sync()
+{
+    return deflateBuffer(Z_NO_FLUSH) ? 0 : -1;
+}
+
+#else // !HEAPMD_HAVE_ZLIB
+
+GzipStreamBuf::GzipStreamBuf(int fd, std::size_t buffer_bytes)
+    : fd_(fd), buffer_(1), out_(1)
+{
+    (void)buffer_bytes;
+    had_error_ = true; // stream_ stays null; ok() is false
+}
+
+GzipStreamBuf::~GzipStreamBuf() = default;
+
+bool
+GzipStreamBuf::writeAll(const unsigned char *, std::size_t)
+{
+    return false;
+}
+
+bool
+GzipStreamBuf::deflateBuffer(int)
+{
+    return false;
+}
+
+bool
+GzipStreamBuf::syncToDisk()
+{
+    return false;
+}
+
+bool
+GzipStreamBuf::closeFd()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    return false;
+}
+
+GzipStreamBuf::int_type
+GzipStreamBuf::overflow(int_type)
+{
+    return traits_type::eof();
+}
+
+int
+GzipStreamBuf::sync()
+{
+    return -1;
+}
+
+#endif // HEAPMD_HAVE_ZLIB
+
+} // namespace capture
+
+} // namespace heapmd

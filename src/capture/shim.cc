@@ -53,7 +53,9 @@
 #include "capture/bootstrap_arena.hh"
 #include "capture/capture_env.hh"
 #include "capture/fd_stream.hh"
+#include "capture/gzip_stream.hh"
 #include "capture/live_table.hh"
+#include "trace/gzip_source.hh"
 #include "capture/stats_sidecar.hh"
 #include "obsv/segment.hh"
 #include "trace/segment_set.hh"
@@ -71,7 +73,9 @@ using heapmd::TraceWriter;
 using heapmd::TraceWriterOptions;
 using heapmd::capture::BootstrapArena;
 using heapmd::capture::CaptureCounters;
+using heapmd::capture::CaptureStreamBuf;
 using heapmd::capture::FdStreamBuf;
+using heapmd::capture::GzipStreamBuf;
 using heapmd::capture::LiveTable;
 using heapmd::capture::ScanStats;
 
@@ -120,22 +124,47 @@ std::atomic<int> g_sink_state{0};
  */
 struct TraceFile
 {
-    FdStreamBuf buf;
+    /** Owned; FdStreamBuf, or GzipStreamBuf when compressing. */
+    CaptureStreamBuf *buf;
     std::ostream os;
     TraceWriter writer;
 
-    TraceFile(int fd, FunctionRegistry &registry,
+    TraceFile(int fd, bool compress, FunctionRegistry &registry,
               CaptureCounters &counters)
-        : buf(fd, 1 << 18),
-          os(&buf),
+        : buf(makeBuf(fd, compress)),
+          os(buf),
           writer(os, registry,
                  TraceWriterOptions{
                      true,
                      [this, &counters] {
-                         buf.syncToDisk();
+                         if (buf != nullptr)
+                             buf->syncToDisk();
                          ++counters.flushes;
                      }})
     {
+    }
+
+    ~TraceFile() { delete buf; }
+
+    TraceFile(const TraceFile &) = delete;
+    TraceFile &operator=(const TraceFile &) = delete;
+
+    /** False when the buf could not be set up (alloc/zlib failure). */
+    bool ok() const { return buf != nullptr && !buf->hadError(); }
+
+  private:
+    static CaptureStreamBuf *
+    makeBuf(int fd, bool compress)
+    {
+        if (compress) {
+            auto *gz = new (std::nothrow) GzipStreamBuf(fd, 1 << 18);
+            if (gz != nullptr && !gz->ok()) {
+                delete gz; // fd stays open; the caller closes it
+                return nullptr;
+            }
+            return gz;
+        }
+        return new (std::nothrow) FdStreamBuf(fd, 1 << 18);
     }
 };
 
@@ -151,6 +180,12 @@ struct Sink
     std::string base_path;
     /** Rotation threshold in bytes; 0 = one monolithic trace. */
     std::uint64_t rotate_bytes;
+    /** Gzip each segment (".heapmd.gz"); implies rotation. */
+    bool compress = false;
+    /** Raw trace bytes in *finished* segments. */
+    std::uint64_t raw_bytes_done = 0;
+    /** On-disk bytes of those finished segments. */
+    std::uint64_t compressed_bytes_done = 0;
     /** Index of the active segment (meaningful when rotating). */
     std::uint64_t segment_index = 0;
     std::uint64_t scan_frequency;
@@ -166,11 +201,13 @@ struct Sink
     /** Recorded ops since the last gauge publish (throttling). */
     std::uint64_t ops_since_publish = 0;
 
-    Sink(int fd, std::string out, std::uint64_t rotate,
+    Sink(int fd, std::string out, std::uint64_t rotate, bool gz,
          std::uint64_t frq, std::string stats, bool verbose)
-        : file(new (std::nothrow) TraceFile(fd, registry, counters)),
+        : file(new (std::nothrow)
+                   TraceFile(fd, gz, registry, counters)),
           base_path(std::move(out)),
           rotate_bytes(rotate),
+          compress(gz),
           scan_frequency(frq),
           scan_fn(registry.intern(
               heapmd::capture::kScanFunctionName)),
@@ -291,6 +328,13 @@ writeManifestLocked(Sink &sink, bool closed)
     manifest.rotateBytes = sink.rotate_bytes;
     manifest.segments = sink.segment_index + 1;
     manifest.closed = closed;
+    manifest.compress = sink.compress;
+    manifest.rawBytes = sink.raw_bytes_done;
+    manifest.compressedBytes = sink.compressed_bytes_done;
+    if (sink.file != nullptr && sink.file->buf != nullptr) {
+        manifest.rawBytes += sink.file->buf->totalBytes();
+        manifest.compressedBytes += sink.file->buf->bytesWritten();
+    }
     heapmd::trace::saveSegmentManifest(
         heapmd::trace::segmentManifestPath(sink.base_path), manifest);
 }
@@ -330,8 +374,24 @@ sinkLocked()
     // it, the classic monolithic trace at the configured path.
     const std::uint64_t rotate = heapmd::capture::envToU64(
         ::getenv(heapmd::capture::kEnvRotateBytes), 0);
+    bool compress = [] {
+        const char *v = ::getenv(heapmd::capture::kEnvCompress);
+        return v != nullptr && v[0] == '1';
+    }();
+    if (compress && rotate == 0) {
+        if (verbose)
+            shimLog("[heapmd-capture] compression needs rotation "
+                    "(HEAPMD_CAPTURE_ROTATE_BYTES); recording "
+                    "uncompressed\n");
+        compress = false;
+    }
+    if (compress && !heapmd::trace::gzipSupported()) {
+        shimLog("[heapmd-capture] built without zlib; recording "
+                "uncompressed segments\n");
+        compress = false;
+    }
     const std::string trace_path =
-        rotate > 0 ? heapmd::trace::segmentPath(out, 0)
+        rotate > 0 ? heapmd::trace::segmentPath(out, 0, compress)
                    : std::string(out);
 
     const int fd = ::open(trace_path.c_str(),
@@ -353,13 +413,15 @@ sinkLocked()
             ? std::string(stats_env)
             : heapmd::capture::defaultStatsPath(out);
 
-    g_sink = new (std::nothrow)
-        Sink(fd, out, rotate, frq, std::move(stats_path), verbose);
+    g_sink = new (std::nothrow) Sink(fd, out, rotate, compress, frq,
+                                     std::move(stats_path), verbose);
     if (g_sink == nullptr) {
         ::close(fd);
         return nullptr;
     }
-    if (g_sink->file == nullptr) {
+    if (g_sink->file == nullptr || !g_sink->file->ok()) {
+        delete g_sink->file;
+        g_sink->file = nullptr;
         delete g_sink;
         g_sink = nullptr;
         ::close(fd);
@@ -421,6 +483,9 @@ goDarkLocked(Sink &sink)
         g_dropped.load(std::memory_order_relaxed);
     sink.counters.bootstrapBytes = g_arena.bytesUsed();
     sink.counters.bootstrapAllocs = g_arena.allocationCount();
+    sink.counters.rawTraceBytes = sink.raw_bytes_done;
+    sink.counters.compressedTraceBytes =
+        sink.compressed_bytes_done;
     std::ofstream stats(sink.stats_path, std::ios::trunc);
     if (stats)
         heapmd::capture::writeStatsSidecar(stats, sink.counters);
@@ -441,21 +506,30 @@ void
 rotateLocked(Sink &sink)
 {
     sink.file->writer.finalize();
-    sink.file->buf.closeFd();
+    sink.file->buf->closeFd();
+    // Fold the finished segment into the set-wide byte totals the
+    // manifest advertises (equal values when not compressing).
+    sink.raw_bytes_done += sink.file->buf->totalBytes();
+    sink.compressed_bytes_done += sink.file->buf->bytesWritten();
     delete sink.file;
     sink.file = nullptr;
     ++sink.counters.segmentsRotated;
 
     const std::uint64_t next_index = sink.segment_index + 1;
-    const std::string next_path =
-        heapmd::trace::segmentPath(sink.base_path, next_index);
+    const std::string next_path = heapmd::trace::segmentPath(
+        sink.base_path, next_index, sink.compress);
     const int fd = ::open(next_path.c_str(),
                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                           0644);
     TraceFile *file =
-        fd >= 0 ? new (std::nothrow)
-                      TraceFile(fd, sink.registry, sink.counters)
+        fd >= 0 ? new (std::nothrow) TraceFile(fd, sink.compress,
+                                               sink.registry,
+                                               sink.counters)
                 : nullptr;
+    if (file != nullptr && !file->ok()) {
+        delete file;
+        file = nullptr;
+    }
     if (file == nullptr) {
         if (fd >= 0)
             ::close(fd);
@@ -489,7 +563,7 @@ maybeRotateLocked(Sink &sink)
 {
     if (sink.rotate_bytes == 0 || sink.finalized)
         return;
-    if (sink.file->buf.totalBytes() < sink.rotate_bytes)
+    if (sink.file->buf->totalBytes() < sink.rotate_bytes)
         return;
     rotateLocked(sink);
 }
@@ -738,7 +812,13 @@ finalizeLocked(Sink &sink)
     sink.counters.bootstrapBytes = g_arena.bytesUsed();
     sink.counters.bootstrapAllocs = g_arena.allocationCount();
     sink.file->writer.finalize();
-    sink.file->buf.closeFd();
+    sink.file->buf->closeFd();
+    sink.raw_bytes_done += sink.file->buf->totalBytes();
+    sink.compressed_bytes_done += sink.file->buf->bytesWritten();
+    sink.counters.rawTraceBytes = sink.raw_bytes_done;
+    sink.counters.compressedTraceBytes = sink.compressed_bytes_done;
+    delete sink.file;
+    sink.file = nullptr;
     writeManifestLocked(sink, true); // closed: readers stop waiting
 
     std::ofstream stats(sink.stats_path, std::ios::trunc);

@@ -37,7 +37,11 @@ writeStatsSidecar(std::ostream &os, const CaptureCounters &counters)
        << "capture.segment_publishes "
        << counters.segmentPublishes << "\n"
        << "capture.segments_rotated "
-       << counters.segmentsRotated << "\n";
+       << counters.segmentsRotated << "\n"
+       << "capture.trace_raw_bytes " << counters.rawTraceBytes
+       << "\n"
+       << "capture.trace_compressed_bytes "
+       << counters.compressedTraceBytes << "\n";
 }
 
 std::map<std::string, std::uint64_t>

@@ -48,6 +48,8 @@ struct CaptureCounters
     std::uint64_t peakLiveObjects = 0;  //!< live-table high-water mark
     std::uint64_t segmentPublishes = 0; //!< stats-segment seqlock writes
     std::uint64_t segmentsRotated = 0;  //!< finished trace segments
+    std::uint64_t rawTraceBytes = 0;    //!< trace bytes before gzip
+    std::uint64_t compressedTraceBytes = 0; //!< bytes on disk
 };
 
 /** Serialize @p counters as "capture.* value" lines. */

@@ -106,6 +106,7 @@ saveRunManifest(const RunManifest &manifest, std::ostream &os)
     w.field("scale", manifest.scale);
     w.field("fault", manifest.fault);
     w.field("faultRate", manifest.faultRate);
+    w.field("rotateBytes", manifest.rotateBytes);
     w.endObject();
     w.beginObject("env");
     w.field("hardwareConcurrency", manifest.hardwareConcurrency);
@@ -257,6 +258,12 @@ loadRunManifest(const std::string &json, RunManifest &out,
         !jsonString(*config, "fault", manifest.fault, error) ||
         !jsonNumber(*config, "faultRate", manifest.faultRate,
                     error)) {
+        return false;
+    }
+    // v4 adds capture rotation provenance; older documents default 0.
+    if (manifest.schemaVersion >= 4 &&
+        !jsonU64(*config, "rotateBytes", manifest.rotateBytes,
+                 error)) {
         return false;
     }
 
@@ -424,6 +431,36 @@ loadRunManifestFile(const std::string &path, RunManifest &out,
     if (!readFileText(path, text, error))
         return false;
     return loadRunManifest(text, out, error);
+}
+
+bool
+peekManifestSchemaVersion(const std::string &json,
+                          std::uint64_t &version, std::string *error)
+{
+    telemetry::JsonValue root;
+    std::string parse_error;
+    if (!telemetry::parseJson(json, root, &parse_error))
+        return fail(error, parse_error);
+    if (!root.isObject())
+        return fail(error, "root is not an object");
+    std::string kind;
+    if (!jsonString(root, "kind", kind, error))
+        return false;
+    if (kind != kManifestKind)
+        return fail(error, "kind '" + kind + "' is not '" +
+                               kManifestKind + "'");
+    return jsonU64(root, "schemaVersion", version, error);
+}
+
+bool
+peekManifestSchemaVersionFile(const std::string &path,
+                              std::uint64_t &version,
+                              std::string *error)
+{
+    std::string text;
+    if (!readFileText(path, text, error))
+        return false;
+    return peekManifestSchemaVersion(text, version, error);
 }
 
 } // namespace diag

@@ -37,10 +37,12 @@ inline constexpr const char *kManifestKind = "heapmd.manifest";
 /**
  * Current manifest schema version.  Version 2 added the "env"
  * object (hardwareConcurrency, sanitizer); version 3 added the
- * `phases[]` block plus env peakRssBytes/durationNanos.  Older
- * documents still load, with the newer fields defaulted.
+ * `phases[]` block plus env peakRssBytes/durationNanos; version 4
+ * added config.rotateBytes (capture segment-rotation provenance,
+ * pooled by `fleet-merge`).  Older documents still load, with the
+ * newer fields defaulted.
  */
-inline constexpr std::uint64_t kManifestSchemaVersion = 3;
+inline constexpr std::uint64_t kManifestSchemaVersion = 4;
 
 /** One input artifact a run consumed. */
 struct ManifestInput
@@ -104,6 +106,14 @@ struct RunManifest
     double scale = 1.0;
     std::string fault;      //!< "" when no fault injected
     double faultRate = 0.0;
+
+    /**
+     * Segment-rotation threshold of the capture that produced the
+     * input trace (schema v4); 0 = monolithic / not a capture run.
+     * Together with metricFrequency this is the sampling provenance
+     * `fleet-merge` refuses to pool silently across mismatches.
+     */
+    std::uint64_t rotateBytes = 0;
 
     /**
      * Execution environment (schema v2).  Deliberately excludes the
@@ -186,6 +196,22 @@ bool loadRunManifest(const std::string &json, RunManifest &out,
 /** loadRunManifest over a file's contents. */
 bool loadRunManifestFile(const std::string &path, RunManifest &out,
                          std::string *error);
+
+/**
+ * Cheap pre-flight: parse only kind + schemaVersion of the manifest
+ * document in @p json.  Succeeds for any version number -- the point
+ * is to let callers (trend, fleet-merge) reject unknown or mixed
+ * versions as a *usage* error, with the offending version in hand,
+ * before a full load turns it into a generic parse failure.
+ */
+bool peekManifestSchemaVersion(const std::string &json,
+                               std::uint64_t &version,
+                               std::string *error);
+
+/** peekManifestSchemaVersion over a file's contents. */
+bool peekManifestSchemaVersionFile(const std::string &path,
+                                   std::uint64_t &version,
+                                   std::string *error);
 
 } // namespace diag
 } // namespace heapmd

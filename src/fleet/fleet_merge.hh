@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fleet aggregation (`heapmd fleet-merge`): fold N run manifests
+ * into one population model.
+ *
+ * Input discovery accepts explicit manifest paths and directories;
+ * a directory is scanned recursively for `*.json` documents, which
+ * are classified by their "kind" tag -- run manifests join the
+ * population, loose incident bundles join incident clustering, and
+ * anything else is ignored (a bundle directory full of
+ * incident-NNN.json files is a valid input on its own).
+ *
+ * The merge itself is deterministic by construction: manifests load
+ * in parallel into indexed slots (`--jobs` shapes wall time only),
+ * then everything derived is computed over the path-sorted member
+ * list.  Outlier attribution is a leave-one-out weighted z-score
+ * over the per-member metric means, weighted by each member's sample
+ * count, with the deviation floor of one percentage point keeping a
+ * perfectly tight fleet from flagging noise.
+ *
+ * Findings land in an analysis::Report under the fleet.* family:
+ *   fleet.outlier           a member's metric mean sits outside the
+ *                           population (error -> exit 3)
+ *   fleet.mixed-provenance  members disagree on sampling frequency
+ *                           or rotation threshold (warning)
+ *   fleet.duplicate         the same manifest path was given twice
+ *   fleet.bundle-missing    a manifest references a bundle that is
+ *                           not on disk (note)
+ *   fleet.bundle            a referenced bundle failed to parse
+ */
+
+#ifndef HEAPMD_FLEET_FLEET_MERGE_HH
+#define HEAPMD_FLEET_FLEET_MERGE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "fleet/fleet_model.hh"
+
+namespace heapmd
+{
+namespace fleet
+{
+
+/** Discovered inputs, ready for mergeFleet. */
+struct FleetInputs
+{
+    std::vector<std::string> manifests; //!< run-manifest paths
+    std::vector<std::string> bundles;   //!< loose incident bundles
+};
+
+/** Knobs of the merge. */
+struct FleetMergeOptions
+{
+    /** Worker threads for the parallel manifest loads (0 = auto). */
+    unsigned jobs = 1;
+
+    /** Leave-one-out z-score at which a member becomes an outlier. */
+    double outlierScore = 3.0;
+
+    /**
+     * Minimum members sampling a metric before outlier attribution
+     * runs there -- a leave-one-out score over one or two peers is
+     * numerology, not statistics.
+     */
+    std::size_t minMembers = 3;
+};
+
+/**
+ * Expand @p paths (manifest files and/or directories) into concrete
+ * inputs.  Directory scans are sorted, so discovery order never
+ * depends on readdir order.
+ * @return false with @p error set when a path does not exist.
+ */
+bool collectFleetInputs(const std::vector<std::string> &paths,
+                        FleetInputs &out, std::string &error);
+
+/**
+ * Fold the inputs into a population model.  Appends fleet.*
+ * findings to @p report; the model itself is produced even when the
+ * report is dirty (outliers are *in* the model).
+ * @return false with @p error set when a manifest cannot be loaded
+ *         or no members remain.
+ */
+bool mergeFleet(const FleetInputs &inputs,
+                const FleetMergeOptions &options, FleetModel &out,
+                analysis::Report &report, std::string &error);
+
+/**
+ * The incident-cluster signature of one bundle:
+ * "bugClass|metric|suspect1,suspect2,suspect3" (top three suspects
+ * by stored rank).  Exposed for tests and fleet-trend messages.
+ */
+std::string incidentSignature(const std::string &bug_class,
+                              const std::string &metric,
+                              const std::vector<std::string> &suspects);
+
+} // namespace fleet
+} // namespace heapmd
+
+#endif // HEAPMD_FLEET_FLEET_MERGE_HH

@@ -1,0 +1,127 @@
+#include "fleet/fleet_trend.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "diag/json.hh"
+
+namespace heapmd
+{
+namespace fleet
+{
+
+void
+compareFleets(const FleetModel &baseline,
+              const FleetModel &candidate,
+              const FleetTrendOptions &options,
+              analysis::Report &report)
+{
+    if (candidate.processes < baseline.processes) {
+        report.warning(
+            "fleet.process-count",
+            "fleet shrank from " +
+                std::to_string(baseline.processes) + " to " +
+                std::to_string(candidate.processes) +
+                " process(es); pooled ranges lost evidence");
+    } else if (candidate.processes > baseline.processes) {
+        report.note("fleet.process-count",
+                    "fleet grew from " +
+                        std::to_string(baseline.processes) + " to " +
+                        std::to_string(candidate.processes) +
+                        " process(es)");
+    }
+
+    if (candidate.metricFrequency != baseline.metricFrequency ||
+        candidate.rotateBytes != baseline.rotateBytes) {
+        report.warning(
+            "fleet.provenance",
+            "fleets pooled different provenance: baseline frq " +
+                std::to_string(baseline.metricFrequency) +
+                " / rotate_bytes " +
+                std::to_string(baseline.rotateBytes) +
+                ", candidate frq " +
+                std::to_string(candidate.metricFrequency) +
+                " / rotate_bytes " +
+                std::to_string(candidate.rotateBytes));
+    }
+    if (candidate.mixedProvenance && !baseline.mixedProvenance) {
+        report.warning("fleet.provenance",
+                       "candidate fleet pooled mixed provenance; "
+                       "the baseline did not");
+    }
+
+    std::set<std::pair<std::string, std::string>> known;
+    for (const FleetOutlier &outlier : baseline.outliers)
+        known.insert({outlier.path, outlier.metric});
+    for (const FleetOutlier &outlier : candidate.outliers) {
+        if (known.count({outlier.path, outlier.metric}) != 0)
+            continue;
+        report.error(
+            "fleet.outlier-new",
+            "member '" + outlier.path + "' is newly outlying on " +
+                outlier.metric + " (mean " +
+                diag::formatJsonNumber(outlier.memberMean) +
+                "% vs fleet " +
+                diag::formatJsonNumber(outlier.fleetMean) + "%)");
+    }
+    if (candidate.outliers.size() > baseline.outliers.size()) {
+        report.error("fleet.outlier-count",
+                     "outlier attributions grew from " +
+                         std::to_string(baseline.outliers.size()) +
+                         " to " +
+                         std::to_string(candidate.outliers.size()));
+    }
+
+    std::map<std::string, const FleetMetricRange *> base_ranges;
+    for (const FleetMetricRange &range : baseline.metrics)
+        base_ranges[range.metric] = &range;
+    for (const FleetMetricRange &range : candidate.metrics) {
+        const auto it = base_ranges.find(range.metric);
+        if (it == base_ranges.end())
+            continue;
+        const FleetMetricRange &base = *it->second;
+        const double span =
+            std::max(base.max - base.min, 1.0);
+        const double min_drift = std::abs(range.min - base.min);
+        const double max_drift = std::abs(range.max - base.max);
+        if (min_drift > options.rangeTolerance * span ||
+            max_drift > options.rangeTolerance * span) {
+            report.error(
+                "fleet.range-drift",
+                "pooled range of " + range.metric + " moved from [" +
+                    diag::formatJsonNumber(base.min) + ", " +
+                    diag::formatJsonNumber(base.max) + "] to [" +
+                    diag::formatJsonNumber(range.min) + ", " +
+                    diag::formatJsonNumber(range.max) + "]");
+        }
+    }
+
+    std::map<std::string, std::uint64_t> base_incidents;
+    for (const FleetIncident &incident : baseline.incidents)
+        base_incidents[incident.signature] = incident.count;
+    for (const FleetIncident &incident : candidate.incidents) {
+        const auto it = base_incidents.find(incident.signature);
+        if (it == base_incidents.end()) {
+            report.error("fleet.incident-new",
+                         "new incident cluster '" +
+                             incident.signature + "' (" +
+                             std::to_string(incident.count) +
+                             " bundle(s) across " +
+                             std::to_string(incident.members.size()) +
+                             " member(s))");
+        } else if (incident.count > it->second) {
+            report.warning("fleet.incident-growth",
+                           "incident cluster '" +
+                               incident.signature + "' grew from " +
+                               std::to_string(it->second) + " to " +
+                               std::to_string(incident.count) +
+                               " bundle(s)");
+        }
+    }
+}
+
+} // namespace fleet
+} // namespace heapmd

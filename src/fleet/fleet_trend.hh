@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cross-fleet trend tracking (`heapmd fleet-trend`).
+ *
+ * Compares two fleet models -- yesterday's population against
+ * today's -- and flags fleet-level drift: processes newly outside
+ * their population, pooled stable ranges that moved, and incident
+ * clusters that did not exist before.  This is the fleet analogue of
+ * `heapmd trend` over run manifests, with the same exit contract
+ * (error findings -> exit 3).
+ *
+ * Rule catalog (fleet.* family, documented in DESIGN.md section 15):
+ *   fleet.process-count  the fleet shrank (warning) or grew (note)
+ *   fleet.provenance     the fleets pooled different sampling or
+ *                        rotation provenance (warning)
+ *   fleet.outlier-new    a member/metric outlier absent from the
+ *                        baseline (error)
+ *   fleet.outlier-count  total outlier attributions grew (error)
+ *   fleet.range-drift    a pooled metric range's endpoint moved
+ *                        beyond tolerance (error)
+ *   fleet.incident-new   an incident-cluster signature absent from
+ *                        the baseline (error)
+ *   fleet.incident-growth an existing cluster gained bundles
+ *                        (warning)
+ */
+
+#ifndef HEAPMD_FLEET_FLEET_TREND_HH
+#define HEAPMD_FLEET_FLEET_TREND_HH
+
+#include "analysis/report.hh"
+#include "fleet/fleet_model.hh"
+
+namespace heapmd
+{
+namespace fleet
+{
+
+/** Tolerances of the fleet drift detectors. */
+struct FleetTrendOptions
+{
+    /**
+     * How far a pooled range endpoint may move, relative to the
+     * baseline range's span (floored at one percentage point so a
+     * degenerate zero-width range does not flag noise).
+     */
+    double rangeTolerance = 0.25;
+};
+
+/**
+ * Compare @p candidate against @p baseline, appending fleet.*
+ * findings to @p report.  Error findings mean fleet-level drift.
+ */
+void compareFleets(const FleetModel &baseline,
+                   const FleetModel &candidate,
+                   const FleetTrendOptions &options,
+                   analysis::Report &report);
+
+} // namespace fleet
+} // namespace heapmd
+
+#endif // HEAPMD_FLEET_FLEET_TREND_HH

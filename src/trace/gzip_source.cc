@@ -1,0 +1,201 @@
+#include "trace/gzip_source.hh"
+
+#include <cstring>
+#include <utility>
+
+#if HEAPMD_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+bool
+gzipSupported()
+{
+#if HEAPMD_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+isGzipPath(const std::string &path)
+{
+    static constexpr const char kExt[] = ".gz";
+    const std::size_t n = sizeof(kExt) - 1;
+    return path.size() > n &&
+           path.compare(path.size() - n, n, kExt) == 0;
+}
+
+#if HEAPMD_HAVE_ZLIB
+
+namespace
+{
+
+/** inflateInit2 windowBits: gzip wrapper only, max window. */
+constexpr int kGzipWindowBits = 15 + 16;
+
+} // namespace
+
+GzipSource::GzipSource(Source &raw, std::size_t chunk_size)
+    : raw_(raw), out_(chunk_size ? chunk_size : kDefaultChunkSize)
+{
+    auto *strm = new z_stream();
+    std::memset(strm, 0, sizeof(*strm));
+    if (::inflateInit2(strm, kGzipWindowBits) != Z_OK) {
+        delete strm;
+        fail("inflateInit2 failed");
+        return;
+    }
+    stream_ = strm;
+}
+
+GzipSource::~GzipSource()
+{
+    if (stream_ != nullptr) {
+        auto *strm = static_cast<z_stream *>(stream_);
+        ::inflateEnd(strm);
+        delete strm;
+    }
+}
+
+void
+GzipSource::fail(std::string message)
+{
+    failed_ = true;
+    done_ = true;
+    error_ = std::move(message);
+}
+
+std::size_t
+GzipSource::next(const unsigned char *&data)
+{
+    if (done_ || stream_ == nullptr)
+        return 0;
+    auto *strm = static_cast<z_stream *>(stream_);
+
+    for (;;) {
+        if (in_len_ == 0 && !raw_eof_) {
+            // May block inside a TailSource until the writer appends
+            // or the segment is known final -- exactly what live
+            // following wants.
+            in_len_ = raw_.next(in_);
+            if (in_len_ == 0)
+                raw_eof_ = true;
+        }
+
+        strm->next_in =
+            const_cast<Bytef *>(static_cast<const Bytef *>(in_));
+        strm->avail_in = static_cast<uInt>(in_len_);
+        strm->next_out = out_.data();
+        strm->avail_out = static_cast<uInt>(out_.size());
+
+        const int rc = ::inflate(strm, Z_NO_FLUSH);
+
+        const std::size_t consumed = in_len_ - strm->avail_in;
+        in_ += consumed;
+        in_len_ -= consumed;
+        const std::size_t produced = out_.size() - strm->avail_out;
+
+        if (rc == Z_STREAM_END) {
+            // One gzip member per segment; trailing bytes would be
+            // stray garbage and are ignored.
+            done_ = true;
+            if (produced == 0)
+                return 0;
+            data = out_.data();
+            return produced;
+        }
+        if (rc != Z_OK && rc != Z_BUF_ERROR) {
+            fail(std::string("gzip stream corrupt: ") +
+                 (strm->msg != nullptr ? strm->msg : zError(rc)));
+            return 0;
+        }
+        if (produced > 0) {
+            data = out_.data();
+            return produced;
+        }
+        if (raw_eof_ && in_len_ == 0) {
+            // Input dried up mid-stream: a truncated tail.  Surface
+            // it as EOF; the reader above records the missing footer.
+            done_ = true;
+            return 0;
+        }
+        // Z_BUF_ERROR with input still pending cannot make progress.
+        if (rc == Z_BUF_ERROR && in_len_ > 0 && produced == 0) {
+            fail("gzip inflate stalled");
+            return 0;
+        }
+    }
+}
+
+bool
+gzipDecodeFile(const std::string &path,
+               std::vector<unsigned char> &out, std::string &error)
+{
+    FileSource file(path);
+    if (!file.ok()) {
+        error = file.error().empty()
+                    ? "cannot open '" + path + "'"
+                    : file.error();
+        return false;
+    }
+    GzipSource gz(file);
+    out.clear();
+    const unsigned char *chunk = nullptr;
+    std::size_t n = 0;
+    while ((n = gz.next(chunk)) > 0)
+        out.insert(out.end(), chunk, chunk + n);
+    if (gz.failed()) {
+        error = "'" + path + "': " + gz.error();
+        return false;
+    }
+    return true;
+}
+
+#else // !HEAPMD_HAVE_ZLIB
+
+GzipSource::GzipSource(Source &raw, std::size_t chunk_size)
+    : raw_(raw), out_(chunk_size ? chunk_size : 1)
+{
+    fail("heapmd was built without zlib; cannot read gzip segments");
+}
+
+GzipSource::~GzipSource() = default;
+
+void
+GzipSource::fail(std::string message)
+{
+    failed_ = true;
+    done_ = true;
+    error_ = std::move(message);
+}
+
+std::size_t
+GzipSource::next(const unsigned char *&data)
+{
+    (void)data;
+    return 0;
+}
+
+bool
+gzipDecodeFile(const std::string &path,
+               std::vector<unsigned char> &out, std::string &error)
+{
+    (void)path;
+    out.clear();
+    error = "heapmd was built without zlib; cannot read gzip "
+            "segments";
+    return false;
+}
+
+#endif // HEAPMD_HAVE_ZLIB
+
+} // namespace trace
+
+} // namespace heapmd

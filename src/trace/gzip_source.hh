@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming gzip inflation for compressed trace segments.
+ *
+ * When segment compression is armed (HEAPMD_CAPTURE_COMPRESS) the
+ * shim writes ".heapmd.gz" rotation segments: each one an ordinary
+ * HMDT trace pushed through a single gzip member, with a Z_SYNC_FLUSH
+ * at every durability point so the decodable prefix grows in lockstep
+ * with the fsync'd prefix -- a crashed writer leaves a truncated but
+ * decodable tail, exactly the invariant uncompressed segments give.
+ *
+ * GzipSource is the reading half: a trace::Source decorator that
+ * inflates chunks pulled from an inner source (FileSource for batch
+ * reads, TailSource for live following).  A truncated gzip stream is
+ * reported as a plain end of input -- the TraceReader above then sees
+ * a trace without a footer, which capture provenance already
+ * tolerates -- while a corrupt stream (bad CRC, garbage bytes) sets
+ * failed().
+ *
+ * Everything here is gated on HEAPMD_HAVE_ZLIB; without zlib the
+ * class still links but fails immediately with a clear error, so
+ * callers need no conditional compilation of their own.
+ */
+
+#ifndef HEAPMD_TRACE_GZIP_SOURCE_HH
+#define HEAPMD_TRACE_GZIP_SOURCE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace heapmd
+{
+
+namespace trace
+{
+
+/** True when this build can write and read gzip segments. */
+bool gzipSupported();
+
+/** True when @p path names a gzip-compressed segment or trace. */
+bool isGzipPath(const std::string &path);
+
+/**
+ * Inflate the whole gzip file at @p path into @p out.
+ * A truncated tail decodes to the bytes that made it to disk; only a
+ * corrupt stream (or a missing file / missing zlib) fails.
+ */
+bool gzipDecodeFile(const std::string &path,
+                    std::vector<unsigned char> &out,
+                    std::string &error);
+
+/** Inflating decorator over any trace::Source. */
+class GzipSource : public Source
+{
+  public:
+    explicit GzipSource(Source &raw,
+                        std::size_t chunk_size = kDefaultChunkSize);
+    ~GzipSource() override;
+
+    GzipSource(const GzipSource &) = delete;
+    GzipSource &operator=(const GzipSource &) = delete;
+
+    std::size_t next(const unsigned char *&data) override;
+
+    /** True when the stream was corrupt (not merely truncated). */
+    bool failed() const { return failed_; }
+
+    /** Why failed() is true; empty otherwise. */
+    const std::string &error() const { return error_; }
+
+  private:
+    void fail(std::string message);
+
+    Source &raw_;
+    std::vector<unsigned char> out_;
+    //! Opaque z_stream (zlib types stay out of this header).
+    void *stream_ = nullptr;
+    const unsigned char *in_ = nullptr;
+    std::size_t in_len_ = 0;
+    bool raw_eof_ = false;
+    bool done_ = false;
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace trace
+
+} // namespace heapmd
+
+#endif // HEAPMD_TRACE_GZIP_SOURCE_HH

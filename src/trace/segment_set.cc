@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstring>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -64,12 +65,32 @@ processAlive(std::uint32_t pid)
 } // namespace
 
 std::string
-segmentPath(const std::string &base, std::uint64_t index)
+segmentPath(const std::string &base, std::uint64_t index,
+            bool compressed)
 {
     char suffix[32];
     std::snprintf(suffix, sizeof suffix, ".%06llu",
                   static_cast<unsigned long long>(index));
-    return segmentStem(base) + suffix + kSegmentExtension;
+    return segmentStem(base) + suffix +
+           (compressed ? kSegmentGzExtension : kSegmentExtension);
+}
+
+std::string
+resolveSegmentPath(const std::string &base, std::uint64_t index)
+{
+    const std::string plain = segmentPath(base, index, false);
+    if (fileExists(plain))
+        return plain;
+    const std::string gz = segmentPath(base, index, true);
+    if (fileExists(gz))
+        return gz;
+    return {};
+}
+
+bool
+segmentFileExists(const std::string &base, std::uint64_t index)
+{
+    return !resolveSegmentPath(base, index).empty();
 }
 
 std::string
@@ -104,6 +125,12 @@ loadSegmentManifest(const std::string &path, SegmentManifest &out)
             parsed.segments = value;
         else if (name == "closed")
             parsed.closed = value != 0;
+        else if (name == "compress")
+            parsed.compress = value != 0;
+        else if (name == "raw_bytes")
+            parsed.rawBytes = value;
+        else if (name == "compressed_bytes")
+            parsed.compressedBytes = value;
         // Unknown names are ignored so the format can grow.
     }
     out = parsed;
@@ -123,7 +150,11 @@ saveSegmentManifest(const std::string &path,
                 << "pid " << manifest.pid << '\n'
                 << "rotate_bytes " << manifest.rotateBytes << '\n'
                 << "segments " << manifest.segments << '\n'
-                << "closed " << (manifest.closed ? 1 : 0) << '\n';
+                << "closed " << (manifest.closed ? 1 : 0) << '\n'
+                << "compress " << (manifest.compress ? 1 : 0) << '\n'
+                << "raw_bytes " << manifest.rawBytes << '\n'
+                << "compressed_bytes " << manifest.compressedBytes
+                << '\n';
         if (!outfile.flush())
             return false;
     }
@@ -136,7 +167,6 @@ listSegmentIndices(const std::string &base)
     const std::string stem = segmentStem(base);
     const fs::path stem_path(stem);
     const std::string prefix = stem_path.filename().string() + ".";
-    const std::string ext(kSegmentExtension);
     std::string dir = stem_path.parent_path().string();
     if (dir.empty())
         dir = ".";
@@ -146,8 +176,19 @@ listSegmentIndices(const std::string &base)
     for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
          it.increment(ec)) {
         const std::string name = it->path().filename().string();
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        // Either encoding counts; a compressing writer produces gz
+        // names only, but a reader must accept whatever is on disk.
+        std::string ext(kSegmentExtension);
+        if (name.size() > prefix.size() +
+                              std::strlen(kSegmentGzExtension) &&
+            name.compare(name.size() -
+                             std::strlen(kSegmentGzExtension),
+                         std::strlen(kSegmentGzExtension),
+                         kSegmentGzExtension) == 0)
+            ext = kSegmentGzExtension;
         if (name.size() <= prefix.size() + ext.size() ||
-            name.compare(0, prefix.size(), prefix) != 0 ||
             name.compare(name.size() - ext.size(), ext.size(), ext) !=
                 0)
             continue;
@@ -168,6 +209,8 @@ listSegmentIndices(const std::string &base)
             indices.push_back(index);
     }
     std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()),
+                  indices.end());
     return indices;
 }
 
@@ -176,7 +219,7 @@ SegmentChain::SegmentChain(std::string base, Options options)
 {
     // Degrade to a plain single-file read when the base path is an
     // ordinary trace and no segment 0 exists (non-rotated capture).
-    if (!fileExists(segmentPath(base_, 0)) && fileExists(base_))
+    if (!segmentFileExists(base_, 0) && fileExists(base_))
         single_file_ = true;
 }
 
@@ -243,9 +286,12 @@ SegmentChain::openNext()
 {
     if (finished_ || failed_)
         return false;
-    const std::string path =
-        single_file_ ? base_ : segmentPath(base_, index_);
-    while (!fileExists(path)) {
+    std::string path;
+    for (;;) {
+        path = single_file_ ? base_
+                            : resolveSegmentPath(base_, index_);
+        if (!path.empty() && fileExists(path))
+            break;
         if (single_file_) {
             finished_ = true; // vanished from under us
             return false;
@@ -279,17 +325,22 @@ SegmentChain::openNext()
         // Whole file is final: plain one-pass read.
         tail.finalized = [] { return true; };
     } else {
-        const std::string successor =
-            single_file_ ? std::string()
-                         : segmentPath(base_, index_ + 1);
-        tail.finalized = [this, successor] {
-            if (!successor.empty() && fileExists(successor))
+        const bool probe_successor = !single_file_;
+        const std::uint64_t successor_index = index_ + 1;
+        tail.finalized = [this, probe_successor, successor_index] {
+            if (probe_successor &&
+                segmentFileExists(base_, successor_index))
                 return true; // successor exists => segment complete
             return setClosed();
         };
     }
     source_ = std::make_unique<TailSource>(path, std::move(tail));
-    reader_ = std::make_unique<TraceReader>(*source_);
+    trace::Source *bytes = source_.get();
+    if (isGzipPath(path)) {
+        inflate_ = std::make_unique<GzipSource>(*source_);
+        bytes = inflate_.get();
+    }
+    reader_ = std::make_unique<TraceReader>(*bytes);
     return true;
 }
 
@@ -304,14 +355,21 @@ SegmentChain::next(Event &event)
             return true;
         }
 
-        // Segment ended: clean footer or a truncated tail.
-        const bool malformed = reader_->malformed();
-        const std::string why = reader_->error();
+        // Segment ended: clean footer or a truncated tail.  A corrupt
+        // gzip stream (not a mere truncation) breaks the chain like
+        // any mid-chain damage would.
+        bool malformed = reader_->malformed();
+        std::string why = reader_->error();
+        if (inflate_ && inflate_->failed()) {
+            malformed = true;
+            why = inflate_->error();
+        }
         consumed_bytes_ += reader_->offset();
         if (!malformed)
             names_ = reader_->functionNames();
         ++segments_consumed_;
         reader_.reset();
+        inflate_.reset();
         source_.reset();
 
         if (malformed) {
@@ -319,7 +377,7 @@ SegmentChain::next(Event &event)
             // rotation finalizes a segment before creating its
             // successor.
             if (!single_file_ &&
-                fileExists(segmentPath(base_, index_ + 1))) {
+                segmentFileExists(base_, index_ + 1)) {
                 fail("segment " + std::to_string(index_) +
                      " is malformed mid-chain: " + why);
                 return false;
@@ -359,10 +417,10 @@ SegmentChain::tailLagBytes() const
     // this on every wait cycle -- a readdir here costs ~300us per
     // call against the ~1us of a couple of stat probes.
     for (std::uint64_t idx = index_;; ++idx) {
-        const std::uint64_t size = fileSize(segmentPath(base_, idx));
-        if (size == 0 && !fileExists(segmentPath(base_, idx)))
+        const std::string path = resolveSegmentPath(base_, idx);
+        if (path.empty())
             break;
-        on_disk += size;
+        on_disk += fileSize(path);
     }
     return on_disk > current_consumed ? on_disk - current_consumed
                                       : 0;

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "runtime/events.hh"
+#include "trace/gzip_source.hh"
 #include "trace/tail_source.hh"
 #include "trace/trace_reader.hh"
 
@@ -58,6 +59,9 @@ namespace trace
 /** Extension of every segment file. */
 inline constexpr const char *kSegmentExtension = ".heapmd";
 
+/** Extension of a gzip-compressed segment file. */
+inline constexpr const char *kSegmentGzExtension = ".heapmd.gz";
+
 /** First line of a segment manifest. */
 inline constexpr const char *kManifestMagic =
     "heapmd-segment-manifest";
@@ -65,8 +69,23 @@ inline constexpr const char *kManifestMagic =
 /** Current manifest format version. */
 inline constexpr std::uint64_t kManifestVersion = 1;
 
-/** Path of segment @p index of the set rooted at @p base. */
-std::string segmentPath(const std::string &base, std::uint64_t index);
+/**
+ * Path of segment @p index of the set rooted at @p base.
+ * @p compressed selects the ".heapmd.gz" naming the compressing
+ * writer uses; a set is all-plain or all-gz, never mixed.
+ */
+std::string segmentPath(const std::string &base, std::uint64_t index,
+                        bool compressed = false);
+
+/**
+ * Path of segment @p index as it exists on disk -- plain first, then
+ * the gzip variant.  Empty when neither file exists.
+ */
+std::string resolveSegmentPath(const std::string &base,
+                               std::uint64_t index);
+
+/** True when segment @p index exists in either encoding. */
+bool segmentFileExists(const std::string &base, std::uint64_t index);
 
 /** Path of the manifest of the set rooted at @p base. */
 std::string segmentManifestPath(const std::string &base);
@@ -87,6 +106,15 @@ struct SegmentManifest
 
     /** True once the writer finalized the set (orderly shutdown). */
     bool closed = false;
+
+    /** True when the writer gzips its segments (".heapmd.gz"). */
+    bool compress = false;
+
+    /** Uncompressed trace bytes recorded so far (0 = unknown). */
+    std::uint64_t rawBytes = 0;
+
+    /** Bytes on disk for those raw bytes (equal when uncompressed). */
+    std::uint64_t compressedBytes = 0;
 };
 
 /**
@@ -223,6 +251,9 @@ class SegmentChain
     std::uint64_t events_ = 0;
     std::uint64_t consumed_bytes_ = 0; //!< completed segments only
     std::unique_ptr<TailSource> source_;
+    //! Present only while decoding a ".heapmd.gz" segment; sits
+    //! between source_ and reader_.
+    std::unique_ptr<GzipSource> inflate_;
     std::unique_ptr<TraceReader> reader_;
     std::vector<std::string> names_;
     std::string error_;

@@ -29,6 +29,7 @@
 #include "metrics/metric.hh"
 #include "obsv/segment.hh"
 #include "runtime/process.hh"
+#include "trace/gzip_source.hh"
 #include "trace/segment_set.hh"
 #include "trace/trace_reader.hh"
 
@@ -377,7 +378,7 @@ class PreloadCaptureTest : public ::testing::Test
         for (std::uint64_t index :
              trace::listSegmentIndices(trace_path_))
             std::filesystem::remove(
-                trace::segmentPath(trace_path_, index), ec);
+                trace::resolveSegmentPath(trace_path_, index), ec);
         std::filesystem::remove(
             trace::segmentManifestPath(trace_path_), ec);
     }
@@ -385,13 +386,15 @@ class PreloadCaptureTest : public ::testing::Test
     /** Run capture_child in @p mode under the shim. */
     capture::SessionResult
     captureChild(const std::string &mode, std::uint64_t frq = 500,
-                 std::uint64_t rotate_bytes = 0)
+                 std::uint64_t rotate_bytes = 0,
+                 bool compress = false)
     {
         capture::SessionOptions options;
         options.tracePath = trace_path_;
         options.scanFrequency = frq;
         options.shimPath = HEAPMD_CAPTURE_SHIM_PATH;
         options.rotateBytes = rotate_bytes;
+        options.compress = compress;
         capture::SessionResult result;
         std::string error;
         const bool ok = capture::runCapture(
@@ -708,6 +711,94 @@ TEST_F(PreloadCaptureTest, MissingSegmentIsAGapError)
     while (chain.next(event))
         ;
     EXPECT_TRUE(chain.failed());
+}
+
+// ---------------------------------------------------------------
+// Gzip segment compression: the compressed set must behave exactly
+// like a plain one through audit and replay.
+// ---------------------------------------------------------------
+
+TEST_F(PreloadCaptureTest, CompressedSegmentsRoundTripEndToEnd)
+{
+    if (!trace::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+
+    const capture::SessionResult result =
+        captureChild("storm", /*frq=*/500, /*rotate_bytes=*/65536,
+                     /*compress=*/true);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 0);
+    ASSERT_GE(result.segmentPaths.size(), 2u);
+
+    // The files on disk are the gz flavor -- and smaller than the
+    // raw bytes the manifest accounts for.
+    for (std::uint64_t index :
+         trace::listSegmentIndices(trace_path_)) {
+        const std::string on_disk =
+            trace::resolveSegmentPath(trace_path_, index);
+        EXPECT_TRUE(trace::isGzipPath(on_disk)) << on_disk;
+    }
+    trace::SegmentManifest manifest;
+    ASSERT_TRUE(trace::loadSegmentManifest(
+        trace::segmentManifestPath(trace_path_), manifest));
+    EXPECT_TRUE(manifest.closed);
+    EXPECT_TRUE(manifest.compress);
+    EXPECT_GT(manifest.rawBytes, 0u);
+    EXPECT_GT(manifest.compressedBytes, 0u);
+    EXPECT_LT(manifest.compressedBytes, manifest.rawBytes);
+
+    // The lint pass decodes transparently and sees the same logical
+    // trace a plain run would produce.
+    analysis::Report report;
+    const analysis::TraceLintStats stats =
+        analysis::lintSegmentSet(trace_path_, report);
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_EQ(stats.segments, result.segmentPaths.size());
+    EXPECT_TRUE(stats.captureProvenance);
+
+    // So does the chaining replay: same sample count as the shim's
+    // own scan-pass counter, exactly like the uncompressed test.
+    trace::SegmentChain chain(trace_path_, {});
+    Process replayed(replayConfig());
+    Event event;
+    while (chain.next(event))
+        replayed.onEvent(event);
+    EXPECT_FALSE(chain.failed()) << chain.error();
+    EXPECT_FALSE(chain.sawTruncatedTail());
+    EXPECT_EQ(chain.segmentsConsumed(), result.segmentPaths.size());
+    EXPECT_EQ(chain.eventsDecoded(), stats.events);
+    EXPECT_EQ(replayed.series().size(),
+              result.counters.at("capture.scan_passes"));
+}
+
+TEST_F(PreloadCaptureTest, CompressedUnderscoreExitKeepsDecodablePrefix)
+{
+    if (!trace::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+
+    // _exit(2) skips Z_FINISH on the newest segment; the sync-flushed
+    // prefix must still decode, with only the tail truncated -- same
+    // durability contract as the plain rotation protocol.
+    const capture::SessionResult result =
+        captureChild("exit", /*frq=*/2, /*rotate_bytes=*/512,
+                     /*compress=*/true);
+    ASSERT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 2);
+    ASSERT_GE(result.segmentPaths.size(), 1u);
+
+    analysis::Report report;
+    analysis::lintSegmentSet(trace_path_, report);
+    EXPECT_TRUE(report.clean()) << report.describe();
+    EXPECT_EQ(report.errorCount(), 0u) << report.describe();
+
+    trace::SegmentChain chain(trace_path_, {});
+    Event event;
+    std::uint64_t events = 0;
+    while (chain.next(event))
+        ++events;
+    EXPECT_FALSE(chain.failed()) << chain.error();
+    EXPECT_TRUE(chain.sawTruncatedTail());
+    EXPECT_GT(events, 0u);
 }
 
 #endif // HEAPMD_CAPTURE_SHIM_PATH && HEAPMD_CAPTURE_CHILD_PATH

@@ -273,7 +273,7 @@ stripBlock(std::string &json, const std::string &from, char close)
 void
 claimVersion(std::string &json, char to)
 {
-    const auto pos = json.find("\"schemaVersion\": 3");
+    const auto pos = json.find("\"schemaVersion\": 4");
     ASSERT_NE(pos, std::string::npos);
     json[pos + 17] = to;
 }
@@ -281,9 +281,9 @@ claimVersion(std::string &json, char to)
 TEST(RunManifestTest, V1DocumentsLoadWithoutEnv)
 {
     // Hand-build a schema-1 document by stripping the env object and
-    // phases array from a canonical v3 rendering; the loader must
+    // phases array from a canonical v4 rendering; the loader must
     // accept it with those fields defaulted, and a re-save must
-    // claim v3 (it gains the newer blocks back).
+    // claim v4 (it gains the newer blocks back).
     std::string json = diag::manifestToJson(testManifest());
     stripBlock(json, "\"env\"", '}');
     stripBlock(json, "\"phases\"", ']');
@@ -297,7 +297,7 @@ TEST(RunManifestTest, V1DocumentsLoadWithoutEnv)
     EXPECT_TRUE(loaded.sanitizer.empty());
     EXPECT_TRUE(loaded.phases.empty());
     EXPECT_NE(diag::manifestToJson(loaded)
-                  .find("\"schemaVersion\": 3"),
+                  .find("\"schemaVersion\": 4"),
               std::string::npos);
 }
 

@@ -17,6 +17,11 @@
  *                          and diag artifacts (bundles, manifests)
  *   report                 render an incident bundle for a developer
  *   trend                  compare run manifests, flag regressions
+ *   fleet-merge            fold N run manifests into a population
+ *                          model: pooled stable ranges, per-process
+ *                          outliers, incident clusters
+ *   fleet-trend            compare two fleet models, flag
+ *                          fleet-level drift
  *   top                    live view of capture stats segments
  *   export                 serve segments as Prometheus /metrics
  *   monitor                online detector daemon: follow a rotating
@@ -65,12 +70,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/diag_lint.hh"
+#include "analysis/fleet_lint.hh"
 #include "analysis/flow_lint.hh"
 #include "analysis/graph_lint.hh"
 #include "analysis/model_lint.hh"
@@ -82,12 +89,16 @@
 #include "diag/render.hh"
 #include "diag/run_manifest.hh"
 #include "diag/trend.hh"
+#include "fleet/fleet_merge.hh"
+#include "fleet/fleet_model.hh"
+#include "fleet/fleet_trend.hh"
 #include "heapgraph/graph_snapshot.hh"
 #include "model/model_diff.hh"
 #include "support/build_env.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/gzip_source.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_source.hh"
 #include "trace/trace_writer.hh"
@@ -187,15 +198,18 @@ printUsage(std::FILE *to)
         "  capture [--out FILE=capture.trace] [--frq N=10000]\n"
         "          [--lib SHIM.so] [--train-out FILE]\n"
         "          [--check MODEL] [--bundle-dir DIR]\n"
-        "          [--rotate-bytes N] [--manifest FILE]\n"
-        "          [--verbose 1]\n"
+        "          [--rotate-bytes N] [--compress 1]\n"
+        "          [--manifest FILE] [--verbose 1]\n"
         "          -- <command> [args...]\n"
         "          (LD_PRELOADs the allocator shim into the command\n"
         "           and records a live trace; --frq is the\n"
         "           conservative-scan period in allocation events;\n"
         "           --rotate-bytes records rotating FILE.NNNNNN.heapmd\n"
         "           segments `monitor` can follow while the command\n"
-        "           still runs)\n"
+        "           still runs; --compress gzips each rotation\n"
+        "           segment [.heapmd.gz], with the rotation threshold\n"
+        "           still counted in raw trace bytes --\n"
+        "           HEAPMD_CAPTURE_COMPRESS=1 does the same)\n"
         "  replay  --trace FILE --model FILE [--frq N=300]\n"
         "          [--no-audit 1] [--bundle-dir DIR]\n"
         "          [--manifest FILE]\n"
@@ -207,7 +221,8 @@ printUsage(std::FILE *to)
         "  audit   [--trace FILE ...] [--segments BASE ...]\n"
         "          [--model FILE ...]\n"
         "          [--graph FILE ...] [--bundle FILE ...]\n"
-        "          [--manifest FILE ...] [--deep 0|1]\n"
+        "          [--manifest FILE ...] [--fleet FILE ...]\n"
+        "          [--deep 0|1]\n"
         "          [--bundle-dir DIR] [--max-findings N=1000]\n"
         "          (static verification: lint artifacts against the\n"
         "           rule catalog in DESIGN.md without replaying;\n"
@@ -226,7 +241,25 @@ printUsage(std::FILE *to)
         "          [--min-base N=100] [--rss-tol R=0.35]\n"
         "          [--phase-tol R=1.0]\n"
         "          (compare run manifests against a clean baseline;\n"
-        "           exits %d when a regression is flagged)\n"
+        "           exits %d when a regression is flagged; all\n"
+        "           manifests must share one schemaVersion)\n"
+        "  fleet-merge <path...> [--manifest FILE ...]\n"
+        "          [--out FILE=fleet.json] [--outlier-z Z=3.0]\n"
+        "          [--min-members N=3]\n"
+        "          (fold run manifests -- given directly or found in\n"
+        "           directories, along with any incident bundles --\n"
+        "           into one population model: pooled per-metric\n"
+        "           stable ranges, leave-one-out outlier attribution\n"
+        "           weighted by sample counts, incident clusters\n"
+        "           keyed on suspect-function signature; the output\n"
+        "           is byte-identical for any input order or --jobs;\n"
+        "           exits %d when a member is attributed as an\n"
+        "           outlier)\n"
+        "  fleet-trend --fleet FILE --baseline FILE\n"
+        "          [--range-tol R=0.25]\n"
+        "          (compare today's fleet model against yesterday's;\n"
+        "           new outliers, drifted pooled ranges, and new\n"
+        "           incident clusters exit %d)\n"
         "  top     [--pid P | --all 1] [--once 1] [--interval MS=2000]\n"
         "          [--model FILE] [--reap 1]\n"
         "          (live view of capture shim stats segments in\n"
@@ -234,10 +267,11 @@ printUsage(std::FILE *to)
         "           model's stable ranges; --reap removes segments\n"
         "           left by SIGKILLed processes)\n"
         "  export  [--listen HOST:PORT=127.0.0.1:9464] [--pid P]\n"
-        "          [--once 1]\n"
+        "          [--once 1] [--fleet FILE]\n"
         "          (serve the live segments as a Prometheus /metrics\n"
         "           HTTP endpoint; SIGINT/SIGTERM shut it down\n"
-        "           cleanly)\n"
+        "           cleanly; --fleet appends the heapmd_fleet_*\n"
+        "           families of a fleet-merge model to every scrape)\n"
         "  monitor --model FILE (--segments BASE | --pid P)\n"
         "          [--once 1] [--bundle-dir DIR] [--poll-ms N=50]\n"
         "          [--debounce N=3] [--rearm N=8] [--window N=16]\n"
@@ -257,9 +291,10 @@ printUsage(std::FILE *to)
         "  stats   [--app NAME=%s] [--seed S=1] [--version V]\n"
         "          [--scale X] [--frq N=300]\n"
         "          (runs once and prints the telemetry counters)\n"
-        "          or: --format prometheus [--pid P]\n"
+        "          or: --format prometheus [--pid P] [--fleet FILE]\n"
         "          (print the live stats segments as Prometheus\n"
-        "           text exposition instead of running anything)\n"
+        "           text exposition instead of running anything;\n"
+        "           --fleet appends the heapmd_fleet_* families)\n"
         "\n"
         "global flags (any command):\n"
         "  --trace-out FILE   Chrome trace-event JSON timeline\n"
@@ -275,7 +310,8 @@ printUsage(std::FILE *to)
         "exit status: 0 clean; 1 fatal error; 2 usage error;\n"
         "  3 findings (anomaly reports, audit defects, model drift,\n"
         "  trend regressions)\n",
-        g_argv0, kExitFindings, specAppNames().front().c_str());
+        g_argv0, kExitFindings, kExitFindings, kExitFindings,
+        specAppNames().front().c_str());
 }
 
 /**
@@ -314,17 +350,24 @@ parseJobs(const std::string &text, const char *origin)
  * spellings are accepted.  Flags may repeat; single-value accessors
  * take the last occurrence (so a repeated flag overrides), all()
  * returns every occurrence in order (trend's candidate list).
+ * Commands that opt in (fleet-merge) also take bare positional
+ * operands; everywhere else a non-flag token is a usage error.
  */
 class Args
 {
   public:
-    Args(int argc, char **argv)
+    Args(int argc, char **argv, bool allow_positional = false)
     {
         for (int i = 2; i < argc; ++i) {
             std::string key = argv[i];
-            if (key.rfind("--", 0) != 0)
+            if (key.rfind("--", 0) != 0) {
+                if (allow_positional) {
+                    positionals_.push_back(std::move(key));
+                    continue;
+                }
                 badInvocation("expected '--flag value', got '" + key +
                               "'");
+            }
             const std::size_t eq = key.find('=');
             if (eq != std::string::npos) {
                 if (eq == 2)
@@ -383,6 +426,12 @@ class Args
                                    : it->second;
     }
 
+    /** Bare operands, in command-line order (fleet-merge inputs). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
     std::uint64_t
     num(const std::string &key, std::uint64_t fallback) const
     {
@@ -402,6 +451,7 @@ class Args
 
   private:
     std::map<std::string, std::vector<std::string>> values_;
+    std::vector<std::string> positionals_;
 };
 
 HeapMDConfig
@@ -594,6 +644,39 @@ cmdListApps()
     return 0;
 }
 
+/**
+ * A trace opened for replay: the byte Source plus the inflated
+ * buffer backing it when the file was a `capture --compress` gzip
+ * segment.  Gzip decodes up front -- replay then reads from memory
+ * exactly like the mmap path reads from the page cache.
+ */
+struct OpenedTrace
+{
+    std::vector<unsigned char> inflated;
+    std::unique_ptr<trace::Source> source;
+};
+
+/** Open @p path, transparently inflating `.heapmd.gz` files. */
+OpenedTrace
+openTraceSource(const std::string &path)
+{
+    OpenedTrace out;
+    if (trace::isGzipPath(path)) {
+        std::string error;
+        if (!trace::gzipDecodeFile(path, out.inflated, error))
+            HEAPMD_FATAL("cannot decode trace '", path, "': ",
+                         error);
+        out.source = std::make_unique<trace::MemorySource>(
+            out.inflated.data(), out.inflated.size());
+        return out;
+    }
+    auto file = std::make_unique<trace::FileSource>(path);
+    if (!file->ok())
+        HEAPMD_FATAL("cannot open trace '", path, "'");
+    out.source = std::move(file);
+    return out;
+}
+
 /** What one trace replay yields for model training / manifests. */
 struct TraceRunOutcome
 {
@@ -619,10 +702,8 @@ struct TraceRunOutcome
 TraceRunOutcome
 replayTraceForMetrics(const std::string &path, std::uint64_t frq)
 {
-    trace::FileSource source(path);
-    if (!source.ok())
-        HEAPMD_FATAL("cannot open trace '", path, "'");
-    TraceReader reader(source);
+    const OpenedTrace opened = openTraceSource(path);
+    TraceReader reader(*opened.source);
 
     ProcessConfig pcfg;
     pcfg.metricFrequency =
@@ -884,11 +965,8 @@ cmdReplay(const Args &args)
     }
     const HeapModel model = loadModel(args.str("model"));
 
-    trace::FileSource source(args.str("trace"));
-    if (!source.ok())
-        HEAPMD_FATAL("cannot open trace '", args.str("trace"), "'");
-
-    TraceReader reader(source);
+    const OpenedTrace opened = openTraceSource(args.str("trace"));
+    TraceReader reader(*opened.source);
     if (reader.captureProvenance()) {
         // Live-capture traces sample at the shim's scan markers and
         // see real allocator address reuse.
@@ -954,10 +1032,8 @@ checkCapturedTrace(const std::string &trace_path,
     preflightModel(model_path);
     const HeapModel model = loadModel(model_path);
 
-    trace::FileSource source(trace_path);
-    if (!source.ok())
-        HEAPMD_FATAL("cannot open trace '", trace_path, "'");
-    TraceReader reader(source);
+    const OpenedTrace opened = openTraceSource(trace_path);
+    TraceReader reader(*opened.source);
 
     ProcessConfig pcfg;
     pcfg.metricFrequency = 1; // one sample per shim scan marker
@@ -1051,6 +1127,13 @@ cmdCapture(const Args &args)
         badInvocation("capture: --train-out needs a monolithic "
                       "trace (omit --rotate-bytes; train first, then "
                       "monitor the rotating run against that model)");
+    options.compress = args.num("compress", 0) != 0;
+    if (options.compress && options.rotateBytes == 0)
+        badInvocation("capture: --compress needs --rotate-bytes "
+                      "(gzip framing is per rotation segment)");
+    if (options.compress && !trace::gzipSupported())
+        HEAPMD_FATAL("this build has no zlib; rebuild with zlib "
+                     "available or drop --compress");
 
     capture::SessionResult session;
     std::string error;
@@ -1147,6 +1230,7 @@ cmdCapture(const Args &args)
         manifest.commandLine = g_command_line;
         manifest.program = g_capture_argv.front();
         manifest.metricFrequency = options.scanFrequency;
+        manifest.rotateBytes = options.rotateBytes;
         diag::addManifestInput(manifest, "trace", session.tracePath);
         if (args.has("check"))
             diag::addManifestInput(manifest, "model",
@@ -1318,10 +1402,11 @@ cmdAudit(const Args &args)
 {
     if (!args.has("trace") && !args.has("segments") &&
         !args.has("model") && !args.has("graph") &&
-        !args.has("bundle") && !args.has("manifest")) {
+        !args.has("bundle") && !args.has("manifest") &&
+        !args.has("fleet")) {
         HEAPMD_FATAL("audit needs at least one of --trace, "
                      "--segments, --model, --graph, --bundle, "
-                     "--manifest");
+                     "--manifest, --fleet");
     }
     if ((args.has("deep") || args.has("bundle-dir")) &&
         !args.has("trace"))
@@ -1387,6 +1472,17 @@ cmdAudit(const Args &args)
                     report.describe().c_str());
         clean = clean && report.clean();
     }
+    for (const std::string &path : args.all("fleet")) {
+        analysis::Report report(max_findings);
+        const analysis::FleetLintStats stats =
+            analysis::lintFleetFile(path, report);
+        std::printf("fleet %s: %zu members, %zu metric ranges, %zu "
+                    "outliers, %zu incident clusters\n%s",
+                    path.c_str(), stats.members, stats.metrics,
+                    stats.outliers, stats.incidents,
+                    report.describe().c_str());
+        clean = clean && report.clean();
+    }
     return clean ? 0 : kExitFindings;
 }
 
@@ -1417,12 +1513,57 @@ cmdReport(const Args &args)
     return 0;
 }
 
+/**
+ * Pre-flight for trend: every manifest in the comparison must carry a
+ * known schemaVersion, and they must all carry the *same* one --
+ * comparing a v1 document against a v4 one silently misreads the
+ * newer fields as "absent", so mixing is a usage error (exit 2), not
+ * a finding.  Files the peek cannot even parse fall through to the
+ * loader's fatal-error path (exit 1).
+ */
+void
+requireUniformManifestSchema(const std::string &baseline,
+                             const std::vector<std::string> &candidates)
+{
+    std::string first_path;
+    std::uint64_t first_version = 0;
+    std::vector<std::string> paths = {baseline};
+    paths.insert(paths.end(), candidates.begin(), candidates.end());
+    for (const std::string &path : paths) {
+        std::uint64_t version = 0;
+        std::string error;
+        if (!diag::peekManifestSchemaVersionFile(path, version,
+                                                 &error))
+            continue;
+        if (version < 1 || version > diag::kManifestSchemaVersion)
+            badInvocation("trend: manifest '" + path +
+                          "' has unknown schemaVersion " +
+                          std::to_string(version) +
+                          " (this build understands 1.." +
+                          std::to_string(diag::kManifestSchemaVersion) +
+                          ")");
+        if (first_path.empty()) {
+            first_path = path;
+            first_version = version;
+        } else if (version != first_version) {
+            badInvocation(
+                "trend: mixed manifest schema versions ('" +
+                first_path + "' is v" +
+                std::to_string(first_version) + ", '" + path +
+                "' is v" + std::to_string(version) +
+                "); re-run the older capture or compare like with "
+                "like");
+        }
+    }
+}
+
 int
 cmdTrend(const Args &args)
 {
     const std::vector<std::string> candidates = args.all("manifest");
     if (candidates.empty())
         badInvocation("trend needs at least one --manifest candidate");
+    requireUniformManifestSchema(args.str("baseline"), candidates);
 
     diag::RunManifest baseline;
     std::string error;
@@ -1457,6 +1598,139 @@ cmdTrend(const Args &args)
     if (report.clean()) {
         std::printf("no regressions across %zu candidate(s)\n",
                     candidates.size());
+        return 0;
+    }
+    return kExitFindings;
+}
+
+int
+cmdFleetMerge(const Args &args)
+{
+    std::vector<std::string> paths = args.positionals();
+    for (const std::string &path : args.all("manifest"))
+        paths.push_back(path);
+    if (paths.empty())
+        badInvocation("fleet-merge needs run manifests, incident "
+                      "bundles, or directories of them (bare "
+                      "operands and/or --manifest)");
+
+    fleet::FleetInputs inputs;
+    std::string error;
+    if (!fleet::collectFleetInputs(paths, inputs, error))
+        HEAPMD_FATAL("fleet-merge: ", error);
+
+    // Schema pre-flight: a manifest claiming a version this build
+    // does not understand is the *user's* mismatch (stale binary or
+    // future capture), so it exits 2, not 1.  Unparseable files fall
+    // through to the loader's fatal path.
+    for (const std::string &path : inputs.manifests) {
+        std::uint64_t version = 0;
+        std::string peek_error;
+        if (!diag::peekManifestSchemaVersionFile(path, version,
+                                                 &peek_error))
+            continue;
+        if (version < 1 || version > diag::kManifestSchemaVersion)
+            badInvocation(
+                "fleet-merge: manifest '" + path +
+                "' has unknown schemaVersion " +
+                std::to_string(version) +
+                " (this build understands 1.." +
+                std::to_string(diag::kManifestSchemaVersion) + ")");
+    }
+
+    fleet::FleetMergeOptions options;
+    options.jobs = g_jobs;
+    options.outlierScore =
+        args.real("outlier-z", options.outlierScore);
+    options.minMembers = static_cast<std::size_t>(
+        args.num("min-members", options.minMembers));
+
+    fleet::FleetModel model;
+    analysis::Report report;
+    if (!fleet::mergeFleet(inputs, options, model, report, error))
+        HEAPMD_FATAL("fleet-merge: ", error);
+
+    const std::string out_path = args.str("out", "fleet.json");
+    {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out)
+            HEAPMD_FATAL("cannot write '", out_path, "'");
+        fleet::saveFleetModel(model, out);
+        if (!out)
+            HEAPMD_FATAL("cannot write '", out_path, "'");
+    }
+
+    std::printf("fleet of %llu process(es): %zu metric range(s), "
+                "%zu outlier(s), %zu incident cluster(s) -> %s\n",
+                static_cast<unsigned long long>(model.processes),
+                model.metrics.size(), model.outliers.size(),
+                model.incidents.size(), out_path.c_str());
+    if (!report.findings().empty())
+        std::printf("%s", report.describe().c_str());
+    return report.clean() ? 0 : kExitFindings;
+}
+
+int
+cmdFleetTrend(const Args &args)
+{
+    const std::string baseline_path = args.str("baseline");
+    const std::string fleet_path = args.str("fleet");
+
+    // Same schema discipline as trend: unknown or mixed fleet
+    // versions are a usage error, named per file.
+    std::string first_path;
+    std::uint64_t first_version = 0;
+    for (const std::string &path : {baseline_path, fleet_path}) {
+        std::uint64_t version = 0;
+        std::string peek_error;
+        if (!fleet::peekFleetSchemaVersionFile(path, version,
+                                               &peek_error))
+            continue;
+        if (version < 1 || version > fleet::kFleetSchemaVersion)
+            badInvocation(
+                "fleet-trend: fleet model '" + path +
+                "' has unknown schemaVersion " +
+                std::to_string(version) +
+                " (this build understands 1.." +
+                std::to_string(fleet::kFleetSchemaVersion) + ")");
+        if (first_path.empty()) {
+            first_path = path;
+            first_version = version;
+        } else if (version != first_version) {
+            badInvocation("fleet-trend: mixed fleet schema versions "
+                          "('" +
+                          first_path + "' is v" +
+                          std::to_string(first_version) + ", '" +
+                          path + "' is v" +
+                          std::to_string(version) + ")");
+        }
+    }
+
+    std::string error;
+    fleet::FleetModel baseline;
+    if (!fleet::loadFleetModelFile(baseline_path, baseline, &error))
+        HEAPMD_FATAL("cannot load fleet model '", baseline_path,
+                     "': ", error);
+    fleet::FleetModel candidate;
+    if (!fleet::loadFleetModelFile(fleet_path, candidate, &error))
+        HEAPMD_FATAL("cannot load fleet model '", fleet_path, "': ",
+                     error);
+
+    fleet::FleetTrendOptions options;
+    options.rangeTolerance =
+        args.real("range-tol", options.rangeTolerance);
+
+    analysis::Report report;
+    fleet::compareFleets(baseline, candidate, options, report);
+    std::printf("%s vs baseline %s: %zu finding(s)\n",
+                fleet_path.c_str(), baseline_path.c_str(),
+                report.findings().size());
+    if (!report.findings().empty())
+        std::printf("%s", report.describe().c_str());
+    if (report.clean()) {
+        std::printf("no fleet drift across %llu process(es)\n",
+                    static_cast<unsigned long long>(
+                        candidate.processes));
         return 0;
     }
     return kExitFindings;
@@ -1686,6 +1960,21 @@ cmdExport(const Args &args)
 #else
     const std::string listen_addr =
         args.str("listen", "127.0.0.1:9464");
+
+    // --fleet appends the heapmd_fleet_* families to every scrape.
+    // The model is a static artifact, so it renders once up front --
+    // re-run fleet-merge and restart to publish a new population.
+    std::string fleet_text;
+    if (args.has("fleet")) {
+        fleet::FleetModel model;
+        std::string error;
+        if (!fleet::loadFleetModelFile(args.str("fleet"), model,
+                                       &error))
+            HEAPMD_FATAL("cannot load fleet model '",
+                         args.str("fleet"), "': ", error);
+        fleet_text = fleet::renderFleetPrometheus(model);
+    }
+
     MetricsServer server;
     server.open(listen_addr);
     std::printf("serving metrics on http://%s/metrics\n",
@@ -1696,8 +1985,10 @@ cmdExport(const Args &args)
     const bool once = args.num("once", 0) != 0;
     while (g_stop == 0) {
         const bool served = server.pump(
-            [&args] {
-                return obsv::renderPrometheus(collectSegments(args));
+            [&args, &fleet_text] {
+                return obsv::renderPrometheus(
+                           collectSegments(args)) +
+                       fleet_text;
             },
             200);
         if (served && once)
@@ -1816,8 +2107,17 @@ cmdStats(const Args &args)
         HEAPMD_FATAL("this build has no live-observability support "
                      "(POSIX shared memory required)");
 #else
-        const std::string text =
+        std::string text =
             obsv::renderPrometheus(collectSegments(args));
+        if (args.has("fleet")) {
+            fleet::FleetModel model;
+            std::string error;
+            if (!fleet::loadFleetModelFile(args.str("fleet"), model,
+                                           &error))
+                HEAPMD_FATAL("cannot load fleet model '",
+                             args.str("fleet"), "': ", error);
+            text += fleet::renderFleetPrometheus(model);
+        }
         std::fwrite(text.data(), 1, text.size(), stdout);
         return 0;
 #endif
@@ -1836,6 +2136,7 @@ struct CommandSpec
 {
     int (*run)(const Args &);
     std::set<std::string> flags;
+    bool positional = false; //!< bare operands OK (fleet-merge)
 };
 
 const std::map<std::string, CommandSpec> &
@@ -1860,7 +2161,8 @@ commandTable()
         {"capture",
          {cmdCapture,
           {"out", "frq", "lib", "check", "train-out", "bundle-dir",
-           "rotate-bytes", "manifest", "verbose", "local"}}},
+           "rotate-bytes", "compress", "manifest", "verbose",
+           "local"}}},
         {"replay",
          {cmdReplay,
           {"trace", "model", "frq", "no-audit", "bundle-dir",
@@ -1873,16 +2175,23 @@ commandTable()
         {"audit",
          {cmdAudit,
           {"trace", "segments", "model", "graph", "bundle",
-           "manifest", "max-findings", "deep", "bundle-dir"}}},
+           "manifest", "fleet", "max-findings", "deep",
+           "bundle-dir"}}},
         {"report", {cmdReport, {"bundle", "stacks", "suspects"}}},
         {"trend",
          {cmdTrend,
           {"baseline", "manifest", "counter-tol", "sample-tol",
            "min-base", "rss-tol", "phase-tol"}}},
+        {"fleet-merge",
+         {cmdFleetMerge,
+          {"out", "manifest", "outlier-z", "min-members"},
+          /*positional=*/true}},
+        {"fleet-trend",
+         {cmdFleetTrend, {"fleet", "baseline", "range-tol"}}},
         {"top",
          {cmdTop,
           {"pid", "all", "once", "interval", "model", "reap"}}},
-        {"export", {cmdExport, {"listen", "pid", "once"}}},
+        {"export", {cmdExport, {"listen", "pid", "once", "fleet"}}},
         {"monitor",
          {cmdMonitor,
           {"segments", "pid", "model", "bundle-dir", "once",
@@ -1894,7 +2203,7 @@ commandTable()
         {"stats",
          {cmdStats,
           {"app", "seed", "version", "scale", "frq", "fault", "rate",
-           "budget", "format", "pid"}}},
+           "budget", "format", "pid", "fleet"}}},
     };
     return table;
 }
@@ -1950,7 +2259,7 @@ main(int argc, char **argv)
             badInvocation("capture: no command follows '--'");
     }
 
-    const Args args(flags_end, argv);
+    const Args args(flags_end, argv, it->second.positional);
     args.checkAllowed(command, it->second.flags);
 
     if (args.has("jobs")) {
