@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Scale proof of the slot-map heap-graph core (DESIGN.md §16).
+ *
+ * Drives the identical deterministic event stream (ramp to N live
+ * objects with pointer wiring, then steady-state alloc/free/write
+ * churn) through two graph implementations:
+ *
+ *  - LegacyGraph: a faithful in-bench copy of the pre-§16 core
+ *    (std::map<Addr, ObjectId> address index, per-object hash map,
+ *    monotonic ids, per-event Registry telemetry);
+ *  - HeapGraph: the production arena + page-index core.
+ *
+ * At 1M live objects the run is GATED: the new core must fold events
+ * at >= 5x the legacy rate and >= an absolute floor, and the p99
+ * latency of a metric point (MetricEngine::sample) must stay under
+ * budget -- a metric point reads the incremental degree census, so
+ * its cost must not grow with the live-object count.  The same
+ * measurements at 10M live objects are REPORTED (the O(1) flatness
+ * evidence) but not gated: legacy at 10M would dominate CI wall time.
+ *
+ * Emits BENCH_heapgraph_scale.json; exits non-zero when a gate fails
+ * (gates are informational under sanitizers, which skew timing).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "heapgraph/heap_graph.hh"
+#include "metrics/metric_engine.hh"
+#include "support/build_env.hh"
+#include "support/logging.hh"
+#include "support/small_map.hh"
+#include "telemetry/telemetry.hh"
+
+namespace heapmd
+{
+
+namespace
+{
+
+constexpr std::uint64_t kGatedLive = 1'000'000;
+constexpr std::uint64_t kReportedLive = 10'000'000;
+/** Steady-state churn events after the ramp, per trial. */
+constexpr std::uint64_t kChurnEvents = 2'000'000;
+/** Timed trials per graph; the gate uses the fastest (min-time
+ *  estimator: scheduler noise on a shared runner only ever adds
+ *  time, so the minimum is the least-contaminated measurement). */
+constexpr int kChurnTrials = 3;
+constexpr double kMinSpeedup = 5.0;
+constexpr double kMinEventsPerSec = 1e6;
+constexpr double kMaxP99SampleNs = 10'000.0; // 10 us per metric point
+constexpr int kSamplePoints = 512;
+
+double
+nowNs()
+{
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The pre-§16 heap-graph store, reproduced verbatim minus the
+ * telemetry macros' registration side effects it shares with the
+ * production core: ordered address map (O(log n) owner lookup),
+ * per-object unordered_map keyed by monotonic id, 8-wide inline edge
+ * maps with inline provenance.  Only the event-path subset the
+ * workload drives (allocate/free/write) is carried over.
+ */
+class LegacyGraph
+{
+  public:
+    struct LegacyRecord
+    {
+        ObjectId id = kNoObject;
+        Addr addr = kNullAddr;
+        std::uint64_t size = 0;
+        FnId allocSite = kNoFunction;
+        Tick allocTick = 0;
+        SmallMap<Addr, ObjectId, 8> slots;
+        SmallMap<ObjectId, std::uint32_t, 8> outNeighbors;
+        SmallMap<Addr, ObjectId, 8> inRefs;
+        SmallMap<ObjectId, std::uint32_t, 8> inNeighbors;
+
+        std::size_t indegree() const { return inNeighbors.size(); }
+        std::size_t outdegree() const { return outNeighbors.size(); }
+
+        bool
+        contains(Addr a) const
+        {
+            return a >= addr && a - addr < size;
+        }
+    };
+
+    ObjectId
+    allocate(Addr addr, std::uint64_t size, FnId site = kNoFunction,
+             Tick tick = 0)
+    {
+        const ObjectId id = next_id_++;
+        LegacyRecord rec;
+        rec.id = id;
+        rec.addr = addr;
+        rec.size = size;
+        rec.allocSite = site;
+        rec.allocTick = tick;
+        objects_.emplace(id, std::move(rec));
+        by_addr_.emplace(addr, id);
+        hist_.addVertex();
+        return id;
+    }
+
+    bool
+    free(Addr addr)
+    {
+        auto it = by_addr_.find(addr);
+        if (it == by_addr_.end())
+            return false;
+        LegacyRecord &rec = objects_.at(it->second);
+        while (!rec.slots.empty())
+            removeEdgeInstance(rec, rec.slots.begin()->first);
+        while (!rec.inRefs.empty()) {
+            const auto [slot, src_id] = *rec.inRefs.begin();
+            removeEdgeInstance(objects_.at(src_id), slot);
+        }
+        hist_.removeVertex(rec.indegree(), rec.outdegree());
+        by_addr_.erase(it);
+        objects_.erase(rec.id);
+        return true;
+    }
+
+    void
+    write(Addr addr, Addr value)
+    {
+        LegacyRecord *owner = ownerOf(addr);
+        if (owner == nullptr)
+            return;
+        if (owner->slots.count(addr) != 0)
+            removeEdgeInstance(*owner, addr);
+        LegacyRecord *target = ownerOf(value);
+        if (target != nullptr)
+            addEdgeInstance(*owner, addr, *target);
+    }
+
+    std::uint64_t vertexCount() const { return hist_.vertexCount(); }
+    std::uint64_t edgeCount() const { return edge_count_; }
+
+  private:
+    LegacyRecord *
+    ownerOf(Addr addr)
+    {
+        if (addr == kNullAddr || by_addr_.empty())
+            return nullptr;
+        auto it = by_addr_.upper_bound(addr);
+        if (it == by_addr_.begin())
+            return nullptr;
+        --it;
+        LegacyRecord &rec = objects_.at(it->second);
+        return rec.contains(addr) ? &rec : nullptr;
+    }
+
+    void
+    addEdgeInstance(LegacyRecord &u, Addr slot, LegacyRecord &v)
+    {
+        const std::size_t u_in = u.indegree();
+        const std::size_t u_out = u.outdegree();
+        const std::size_t v_in = v.indegree();
+        const std::size_t v_out = v.outdegree();
+        u.slots.emplace(slot, v.id);
+        if (++u.outNeighbors[v.id] == 1)
+            ++edge_count_;
+        v.inRefs.emplace(slot, u.id);
+        ++v.inNeighbors[u.id];
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+        if (u.id != v.id)
+            hist_.transition(v_in, v_out, v.indegree(), v.outdegree());
+    }
+
+    void
+    removeEdgeInstance(LegacyRecord &u, Addr slot)
+    {
+        auto sit = u.slots.find(slot);
+        const ObjectId target_id = sit->second;
+        LegacyRecord &v = objects_.at(target_id);
+        const std::size_t u_in = u.indegree();
+        const std::size_t u_out = u.outdegree();
+        const std::size_t v_in = v.indegree();
+        const std::size_t v_out = v.outdegree();
+        u.slots.erase(sit);
+        auto out_it = u.outNeighbors.find(target_id);
+        if (--out_it->second == 0) {
+            u.outNeighbors.erase(out_it);
+            --edge_count_;
+        }
+        v.inRefs.erase(slot);
+        auto in_it = v.inNeighbors.find(u.id);
+        if (--in_it->second == 0)
+            v.inNeighbors.erase(in_it);
+        hist_.transition(u_in, u_out, u.indegree(), u.outdegree());
+        if (u.id != v.id)
+            hist_.transition(v_in, v_out, v.indegree(), v.outdegree());
+    }
+
+    std::unordered_map<ObjectId, LegacyRecord> objects_;
+    std::map<Addr, ObjectId> by_addr_;
+    DegreeHistogram hist_;
+    std::uint64_t edge_count_ = 0;
+    ObjectId next_id_ = 1;
+};
+
+struct ChurnResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t liveObjects = 0;
+    std::uint64_t liveEdges = 0;
+    double rampSeconds = 0.0;
+    double seconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
+    }
+};
+
+/**
+ * Deterministic workload: ramp to @p target_live objects (each new
+ * object immediately wired to a random live one), then
+ * @p churn_events of mixed alloc/free/write traffic holding the live
+ * count near the target, repeated kChurnTrials times with the
+ * fastest trial reported.  Addresses come from a bump allocator so
+ * both graph implementations see the exact same stream.  Only the
+ * steady-state churn is timed: the gate is the event rate AT the
+ * target live count, and the ramp's small-n prefix would flatter the
+ * O(log n) legacy core.
+ */
+template <typename Graph>
+ChurnResult
+runChurn(Graph &g, std::uint64_t target_live,
+         std::uint64_t churn_events)
+{
+    std::vector<std::pair<Addr, std::uint32_t>> live;
+    live.reserve(target_live + target_live / 8);
+    Addr next_addr = 0x100000;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    const auto rng = [&state]() {
+        state = state * 6364136223846793005ull +
+                1442695040888963407ull;
+        return state >> 17;
+    };
+    Tick tick = 0;
+    ChurnResult result;
+
+    const auto doAlloc = [&]() {
+        const std::uint32_t size =
+            16 + static_cast<std::uint32_t>(rng() & 0xF0);
+        const Addr addr = next_addr;
+        next_addr += (size + 15) & ~std::uint64_t{15};
+        g.allocate(addr, size, kNoFunction, ++tick);
+        live.emplace_back(addr, size);
+        ++result.events;
+    };
+    const auto doWrite = [&]() {
+        const auto &[owner, owner_size] = live[rng() % live.size()];
+        // Stores land in the first few pointer-sized fields, like the
+        // handful of pointer members a real struct carries; this also
+        // bounds out-degree, so edge density equilibrates instead of
+        // creeping for the whole run (which would make later trials
+        // measure a denser graph than earlier ones).
+        const std::uint64_t fields =
+            std::min<std::uint64_t>(owner_size / 8, 4);
+        const Addr slot = owner + (rng() % fields) * 8;
+        Addr value = 0;
+        const std::uint64_t v = rng() % 10;
+        if (v < 7) {
+            const auto &[target, target_size] =
+                live[rng() % live.size()];
+            value = target + rng() % target_size;
+        } else if (v < 9) {
+            value = rng() % 1000; // data word, not a pointer
+        }
+        g.write(slot, value);
+        ++result.events;
+    };
+    const auto doFree = [&]() {
+        const std::size_t i = rng() % live.size();
+        g.free(live[i].first);
+        live[i] = live.back();
+        live.pop_back();
+        ++result.events;
+    };
+
+    const double ramp0 = nowNs();
+    while (live.size() < target_live) {
+        doAlloc();
+        if (live.size() > 1)
+            doWrite(); // wire as we grow: realistic pointer density
+    }
+    result.rampSeconds = (nowNs() - ramp0) * 1e-9;
+
+    // Steady-state mix: pointer stores dominate a real event stream
+    // (the instrumentation sees every pointer-sized write, but only
+    // allocator calls make vertices), so churn is 80% writes with
+    // matched alloc/free traffic holding the live count on target.
+    // Best-of-kChurnTrials: the stream keeps advancing, so every
+    // trial is steady-state churn at the target live count.
+    result.seconds = 0.0;
+    for (int trial = 0; trial < kChurnTrials; ++trial) {
+        result.events = 0; // gate on the steady-state rate only
+        const double t0 = nowNs();
+        for (std::uint64_t i = 0; i < churn_events; ++i) {
+            const std::uint64_t op = rng() % 100;
+            if (live.size() < target_live - target_live / 16 ||
+                (op < 10 &&
+                 live.size() < target_live + target_live / 16))
+                doAlloc();
+            else if (op < 20)
+                doFree();
+            else
+                doWrite();
+        }
+        const double dt = (nowNs() - t0) * 1e-9;
+        if (trial == 0 || dt < result.seconds)
+            result.seconds = dt;
+    }
+    result.liveObjects = g.vertexCount();
+    result.liveEdges = g.edgeCount();
+    return result;
+}
+
+struct LatencyResult
+{
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+};
+
+/** p50/p99 over kSamplePoints timed MetricEngine::sample calls. */
+LatencyResult
+measureMetricPoint(const HeapGraph &g)
+{
+    std::vector<double> ns;
+    ns.reserve(kSamplePoints);
+    double sink = 0.0;
+    for (int i = 0; i < kSamplePoints; ++i) {
+        const double t0 = nowNs();
+        const MetricSample s = MetricEngine::sample(
+            g, static_cast<Tick>(i), static_cast<std::uint64_t>(i));
+        ns.push_back(nowNs() - t0);
+        sink += s.value(MetricId::Leaves); // defeat dead-code elim
+    }
+    if (sink < -1.0)
+        std::printf("%f\n", sink); // never taken
+    std::sort(ns.begin(), ns.end());
+    LatencyResult r;
+    r.p50Ns = ns[ns.size() / 2];
+    r.p99Ns = ns[ns.size() - 1 - ns.size() / 100];
+    return r;
+}
+
+} // namespace
+
+} // namespace heapmd
+
+int
+main()
+{
+    using namespace heapmd;
+
+    const bool sanitized =
+        std::string_view(support::kSanitizeMode) != "none";
+    std::printf("heap-graph scale: slot-map core vs legacy map core\n"
+                "(gated at %llu live objects, reported at %llu; "
+                "best of %d trials; sanitizer: %s)\n",
+                static_cast<unsigned long long>(kGatedLive),
+                static_cast<unsigned long long>(kReportedLive),
+                kChurnTrials, support::kSanitizeMode);
+    // Sanitizer builds time the instrumentation, not the data
+    // structure: run a token scale and report without gating.
+    const std::uint64_t gated_live =
+        sanitized ? kGatedLive / 20 : kGatedLive;
+    const std::uint64_t reported_live =
+        sanitized ? kReportedLive / 20 : kReportedLive;
+    const std::uint64_t churn = sanitized ? kChurnEvents / 20
+                                          : kChurnEvents;
+
+    LegacyGraph legacy;
+    const ChurnResult old_run = runChurn(legacy, gated_live, churn);
+    std::printf("legacy @ %7.2e live: %llu steady-state events in "
+                "%6.2fs (%0.0f events/s, %llu edges; ramp %0.1fs)\n",
+                static_cast<double>(gated_live),
+                static_cast<unsigned long long>(old_run.events),
+                old_run.seconds, old_run.eventsPerSec(),
+                static_cast<unsigned long long>(old_run.liveEdges),
+                old_run.rampSeconds);
+
+    LatencyResult lat_1m;
+    LatencyResult lat_10m;
+    ChurnResult new_run;
+    ChurnResult big_run;
+    {
+        HeapGraph g;
+        new_run = runChurn(g, gated_live, churn);
+        lat_1m = measureMetricPoint(g);
+    }
+    std::printf("slot-map @ %7.2e live: %llu steady-state events in "
+                "%6.2fs (%0.0f events/s, %llu edges; ramp %0.1fs); "
+                "metric point p50 %0.0fns p99 %0.0fns\n",
+                static_cast<double>(gated_live),
+                static_cast<unsigned long long>(new_run.events),
+                new_run.seconds, new_run.eventsPerSec(),
+                static_cast<unsigned long long>(new_run.liveEdges),
+                new_run.rampSeconds, lat_1m.p50Ns, lat_1m.p99Ns);
+    {
+        HeapGraph g;
+        big_run = runChurn(g, reported_live, churn);
+        lat_10m = measureMetricPoint(g);
+    }
+    std::printf("slot-map @ %7.2e live: %llu steady-state events in "
+                "%6.2fs (%0.0f events/s, %llu edges; ramp %0.1fs); "
+                "metric point p50 %0.0fns p99 %0.0fns\n",
+                static_cast<double>(reported_live),
+                static_cast<unsigned long long>(big_run.events),
+                big_run.seconds, big_run.eventsPerSec(),
+                static_cast<unsigned long long>(big_run.liveEdges),
+                big_run.rampSeconds, lat_10m.p50Ns, lat_10m.p99Ns);
+
+    const double speedup =
+        old_run.eventsPerSec() > 0.0
+            ? new_run.eventsPerSec() / old_run.eventsPerSec()
+            : 0.0;
+    const double flatness =
+        lat_1m.p99Ns > 0.0 ? lat_10m.p99Ns / lat_1m.p99Ns : 0.0;
+    const bool speedup_ok = speedup >= kMinSpeedup;
+    const bool rate_ok = new_run.eventsPerSec() >= kMinEventsPerSec;
+    const bool latency_ok = lat_1m.p99Ns <= kMaxP99SampleNs;
+    const bool pass =
+        sanitized || (speedup_ok && rate_ok && latency_ok);
+
+    std::printf("speedup %0.2fx (gate >= %0.1fx) %s; "
+                "events/s %0.0f (gate >= %0.0f) %s; "
+                "p99 metric point %0.0fns (gate <= %0.0fns) %s\n",
+                speedup, kMinSpeedup, speedup_ok ? "PASS" : "FAIL",
+                new_run.eventsPerSec(), kMinEventsPerSec,
+                rate_ok ? "PASS" : "FAIL", lat_1m.p99Ns,
+                kMaxP99SampleNs, latency_ok ? "PASS" : "FAIL");
+    std::printf("metric-point p99 growth %0.2fx from %7.2e to %7.2e "
+                "live objects (reported, not gated)\n",
+                flatness, static_cast<double>(gated_live),
+                static_cast<double>(reported_live));
+
+    std::FILE *json = std::fopen("BENCH_heapgraph_scale.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr,
+                     "cannot write BENCH_heapgraph_scale.json\n");
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"heapgraph_scale\",\n"
+        "  \"sanitizer\": \"%s\",\n"
+        "  \"gatedLiveObjects\": %llu,\n"
+        "  \"reportedLiveObjects\": %llu,\n"
+        "  \"legacyEventsPerSec\": %0.0f,\n"
+        "  \"newEventsPerSec\": %0.0f,\n"
+        "  \"newEventsPerSec10M\": %0.0f,\n"
+        "  \"speedup\": %0.2f,\n"
+        "  \"minSpeedup\": %0.1f,\n"
+        "  \"eventsPerSecFloor\": %0.0f,\n"
+        "  \"metricPointP50Ns\": %0.0f,\n"
+        "  \"metricPointP99Ns\": %0.0f,\n"
+        "  \"metricPointP50Ns10M\": %0.0f,\n"
+        "  \"metricPointP99Ns10M\": %0.0f,\n"
+        "  \"metricPointP99BudgetNs\": %0.0f,\n"
+        "  \"p99GrowthTo10M\": %0.2f,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        support::kSanitizeMode,
+        static_cast<unsigned long long>(gated_live),
+        static_cast<unsigned long long>(reported_live),
+        old_run.eventsPerSec(), new_run.eventsPerSec(),
+        big_run.eventsPerSec(), speedup, kMinSpeedup,
+        kMinEventsPerSec, lat_1m.p50Ns, lat_1m.p99Ns, lat_10m.p50Ns,
+        lat_10m.p99Ns, kMaxP99SampleNs, flatness,
+        pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_heapgraph_scale.json\n");
+    return pass ? 0 : 1;
+}

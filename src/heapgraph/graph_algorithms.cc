@@ -26,23 +26,22 @@ CompactGraph
 compact(const HeapGraph &graph)
 {
     CompactGraph cg;
-    cg.ids.reserve(graph.objects().size());
-    for (const auto &[id, rec] : graph.objects()) {
-        (void)rec;
-        cg.index.emplace(id, cg.ids.size());
-        cg.ids.push_back(id);
-    }
+    cg.ids.reserve(graph.vertexCount());
+    graph.forEachObject([&](const ObjectRecord &rec) {
+        cg.index.emplace(rec.id, cg.ids.size());
+        cg.ids.push_back(rec.id);
+    });
     cg.out.resize(cg.ids.size());
     cg.in.resize(cg.ids.size());
-    for (const auto &[id, rec] : graph.objects()) {
-        const std::size_t u = cg.index.at(id);
+    graph.forEachObject([&](const ObjectRecord &rec) {
+        const std::size_t u = cg.index.at(rec.id);
         for (const auto &[target, mult] : rec.outNeighbors) {
             (void)mult;
             const std::size_t v = cg.index.at(target);
             cg.out[u].push_back(v);
             cg.in[v].push_back(u);
         }
-    }
+    });
     return cg;
 }
 

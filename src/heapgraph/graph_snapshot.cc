@@ -13,9 +13,10 @@ void
 saveGraphSnapshot(const HeapGraph &graph, std::ostream &os)
 {
     std::vector<const ObjectRecord *> vertices;
-    vertices.reserve(graph.objects().size());
-    for (const auto &[id, record] : graph.objects())
+    vertices.reserve(graph.vertexCount());
+    graph.forEachObject([&](const ObjectRecord &record) {
         vertices.push_back(&record);
+    });
     std::sort(vertices.begin(), vertices.end(),
               [](const ObjectRecord *a, const ObjectRecord *b) {
                   return a->id < b->id;

@@ -8,18 +8,21 @@
  * allocations, and a directed edge u -> v exists iff some pointer-sized
  * slot inside u currently stores an address within v's extent.  All
  * seven degree metrics are served in O(1) from an incrementally
- * maintained DegreeHistogram.
+ * maintained DegreeHistogram, and the storage layer (slot-map arena +
+ * page-indexed extent map, DESIGN.md §16) makes the per-event fold
+ * O(1) in vertex count as well.
  */
 
 #ifndef HEAPMD_HEAPGRAPH_HEAP_GRAPH_HH
 #define HEAPMD_HEAPGRAPH_HEAP_GRAPH_HH
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 
 #include "heapgraph/degree_histogram.hh"
 #include "heapgraph/object_record.hh"
+#include "heapgraph/page_index.hh"
+#include "support/chunked_vector.hh"
+#include "support/slot_map.hh"
 #include "support/types.hh"
 
 namespace heapmd
@@ -35,6 +38,14 @@ namespace heapmd
  *    set; freeing a vertex severs its in- and out-edges, and a later
  *    allocation at the same address does NOT resurrect dangling edges;
  *  - degrees count distinct neighbours; self-edges are permitted.
+ *
+ * Storage (DESIGN.md §16): ObjectRecords live in a ChunkedVector
+ * arena indexed by dense slot, identity is generation-tagged
+ * (SlotAllocator), owner lookup goes through a two-level PageIndex,
+ * and cold provenance sits in a parallel arena.  Registry telemetry
+ * is batched: per-event counters accumulate in stats_ and are folded
+ * into the global Registry every kTelemetryFlushInterval events, on
+ * clear(), and at destruction.
  */
 class HeapGraph
 {
@@ -54,6 +65,14 @@ class HeapGraph
         std::uint64_t peakLiveBytes = 0; //!< high-water mark of the above
         std::uint64_t peakVertices = 0;  //!< high-water vertex count
     };
+
+    /** Events between Registry telemetry flushes. */
+    static constexpr std::uint64_t kTelemetryFlushInterval = 4096;
+
+    HeapGraph() = default;
+    ~HeapGraph() { flushTelemetry(); }
+    HeapGraph(const HeapGraph &) = delete;
+    HeapGraph &operator=(const HeapGraph &) = delete;
 
     /**
      * Register an allocation.
@@ -95,7 +114,8 @@ class HeapGraph
      * an object starting exactly at @p exclude.  Used by the
      * address-space-reuse tolerance of live-capture replay: a real
      * allocator handing out a range proves any object we still hold
-     * there was freed without us seeing the event.
+     * there was freed without us seeing the event.  One pass over the
+     * page range collects every victim before severing.
      *
      * @return the number of objects freed.
      */
@@ -128,17 +148,35 @@ class HeapGraph
     /** Object whose extent starts exactly at @p addr, or nullptr. */
     const ObjectRecord *objectStartingAt(Addr addr) const;
 
-    /** Object by vertex id, or nullptr when freed/unknown. */
+    /** Object by vertex id, or nullptr when freed/unknown (stale ids
+     *  fail the generation check even after the slot is recycled). */
     const ObjectRecord *objectById(ObjectId id) const;
+
+    /** Cold provenance of a live record returned by this graph. */
+    const ObjectProvenance &
+    provenanceOf(const ObjectRecord &rec) const
+    {
+        return cold_[SlotAllocator::slotOf(rec.id)];
+    }
 
     /** True when the distinct edge u -> v currently exists. */
     bool hasEdge(ObjectId u, ObjectId v) const;
 
-    /** All live objects, keyed by id (read-only iteration). */
-    const std::unordered_map<ObjectId, ObjectRecord> &
-    objects() const
+    /**
+     * Visit every live object as f(const ObjectRecord &), in arena
+     * slot order.  The order is deterministic for a given event
+     * stream (unlike hash-map iteration); callers needing id order
+     * must sort, as graph_snapshot does.
+     */
+    template <typename F>
+    void
+    forEachObject(F &&f) const
     {
-        return objects_;
+        const std::size_t n = alloc_.size();
+        for (std::size_t slot = 0; slot < n; ++slot) {
+            if (alloc_.live(static_cast<std::uint32_t>(slot)))
+                f(hot_[slot]);
+        }
     }
 
     /**
@@ -149,17 +187,41 @@ class HeapGraph
 
     /**
      * Exhaustively validate internal invariants (slot/inRef symmetry,
-     * neighbour multiplicities, interval-map agreement, histogram).
-     * Panics on any violation; intended for tests.
+     * neighbour multiplicities, histogram) and cross-validate the
+     * page index and slot-map generations against from-scratch
+     * std::map / std::unordered_map oracles.  Panics on any
+     * violation; intended for tests.
      */
     void checkConsistency() const;
 
     /** Drop every vertex and reset counters. */
     void clear();
 
+    /**
+     * Fold telemetry deltas accumulated since the last flush into the
+     * global Registry (counters graph.allocs/frees/reallocs/
+     * pointer_writes, gauges graph.nodes_live/edges_live).  Called
+     * automatically every kTelemetryFlushInterval events and at
+     * destruction; call explicitly before scraping the Registry
+     * mid-run.
+     */
+    void flushTelemetry();
+
   private:
     ObjectRecord *mutableOwnerOf(Addr addr);
     ObjectRecord *mutableById(ObjectId id);
+
+    /** Arena record backing @p slot (must be live). */
+    ObjectRecord &record(std::uint32_t slot) { return hot_[slot]; }
+    const ObjectRecord &
+    record(std::uint32_t slot) const
+    {
+        return hot_[slot];
+    }
+
+    /** Sever every edge of the live object in @p slot and release it
+     *  (the arena-level half of free()). */
+    void severAndRelease(std::uint32_t slot);
 
     /** Draw the edge instance (u, slot) -> v; updates the census. */
     void addEdgeInstance(ObjectRecord &u, Addr slot, ObjectRecord &v);
@@ -167,12 +229,27 @@ class HeapGraph
     /** Sever the edge instance recorded at (u, slot). */
     void removeEdgeInstance(ObjectRecord &u, Addr slot);
 
-    std::unordered_map<ObjectId, ObjectRecord> objects_;
-    std::map<Addr, ObjectId> by_addr_;
+    /** Count one folded event toward the batched telemetry flush. */
+    void
+    noteEvent()
+    {
+        if (++events_since_flush_ >= kTelemetryFlushInterval)
+            flushTelemetry();
+    }
+
+    SlotAllocator alloc_;
+    ChunkedVector<ObjectRecord> hot_;
+    ChunkedVector<ObjectProvenance> cold_;
+    PageIndex pages_;
     DegreeHistogram hist_;
     Stats stats_;
     std::uint64_t edge_count_ = 0;
-    ObjectId next_id_ = 1;
+
+    // Telemetry batching state: Registry values at the last flush.
+    Stats flushed_;
+    std::uint64_t flushed_nodes_ = 0;
+    std::uint64_t flushed_edges_ = 0;
+    std::uint64_t events_since_flush_ = 0;
 };
 
 } // namespace heapmd

@@ -23,18 +23,26 @@ namespace heapmd
  * Degrees count *distinct* neighbours; multiplicities are kept so the
  * distinct counts can be maintained incrementally and exactly.
  *
- * The four per-object maps use SmallMap: typical degree is 0-2 by the
- * paper's own metrics, so up to kSmallDegree entries live inline in
- * the record (no allocation, no hashing) and only unusually connected
+ * Records live in the heap-graph's slot-map arena (DESIGN.md §16),
+ * split struct-of-arrays style: this struct is the *hot* half touched
+ * by every write event (extent + adjacency), while provenance that
+ * only reports read (ObjectProvenance below) sits in a parallel cold
+ * arena so the hot record stays small -- at 10M live objects every
+ * byte here is 10 MB of resident working set.
+ *
+ * The four per-object maps use SmallMap: the paper's own metrics show
+ * typical degree is 0-2, so kSmallDegree entries live inline in the
+ * record (no allocation, no hashing) and only unusually connected
  * objects spill to a hash map.  checkConsistency() compares them
  * against std::unordered_map oracles rebuilt from scratch.
  */
 /** Inline capacity of the per-object edge maps before spilling. */
-inline constexpr std::size_t kSmallDegree = 8;
+inline constexpr std::size_t kSmallDegree = 6;
 
 struct ObjectRecord
 {
-    /** Vertex identity, unique over the life of the graph. */
+    /** Vertex identity: generation << 32 | arena slot (slot_map.hh);
+     *  unique over the life of the graph. */
     ObjectId id = kNoObject;
 
     /** Start address of the object's extent. */
@@ -42,12 +50,6 @@ struct ObjectRecord
 
     /** Extent size in bytes (never 0 for a live object). */
     std::uint64_t size = 0;
-
-    /** Function active when the object was allocated. */
-    FnId allocSite = kNoFunction;
-
-    /** Event time of the allocation. */
-    Tick allocTick = 0;
 
     /**
      * Outgoing pointer slots: slot address (within this object's
@@ -82,6 +84,20 @@ struct ObjectRecord
     {
         return a >= addr && a - addr < size;
     }
+};
+
+/**
+ * Cold per-object provenance, kept in an arena parallel to the hot
+ * ObjectRecord one and read only by reporting paths (site metrics,
+ * leak attribution).  Fetch via HeapGraph::provenanceOf().
+ */
+struct ObjectProvenance
+{
+    /** Function active when the object was allocated. */
+    FnId allocSite = kNoFunction;
+
+    /** Event time of the allocation. */
+    Tick allocTick = 0;
 };
 
 } // namespace heapmd

@@ -29,9 +29,8 @@ computeSiteMetrics(const HeapGraph &graph, std::size_t top_k,
                    std::uint64_t min_objects)
 {
     std::unordered_map<FnId, SiteAccumulator> acc;
-    for (const auto &[id, rec] : graph.objects()) {
-        (void)id;
-        SiteAccumulator &a = acc[rec.allocSite];
+    graph.forEachObject([&](const ObjectRecord &rec) {
+        SiteAccumulator &a = acc[graph.provenanceOf(rec).allocSite];
         ++a.count;
         a.bytes += rec.size;
         const std::size_t in = rec.indegree();
@@ -42,7 +41,7 @@ computeSiteMetrics(const HeapGraph &graph, std::size_t top_k,
             ++a.outdeg[out];
         if (in == out)
             ++a.in_eq_out;
-    }
+    });
 
     std::vector<SiteMetrics> sites;
     sites.reserve(acc.size());
@@ -69,7 +68,9 @@ computeSiteMetrics(const HeapGraph &graph, std::size_t top_k,
 
     std::sort(sites.begin(), sites.end(),
               [](const SiteMetrics &a, const SiteMetrics &b) {
-                  return a.objectCount > b.objectCount;
+                  if (a.objectCount != b.objectCount)
+                      return a.objectCount > b.objectCount;
+                  return a.site < b.site; // deterministic tie order
               });
     if (top_k != 0 && sites.size() > top_k)
         sites.resize(top_k);

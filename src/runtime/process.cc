@@ -155,6 +155,9 @@ Process::takeSample()
     const MetricSample sample =
         MetricEngine::sample(graph_, tick_, sample_count_);
     series_.push(sample);
+    // Graph telemetry is batched off the per-event path; a metric
+    // point is where mid-run Registry readers expect fresh values.
+    graph_.flushTelemetry();
     HEAPMD_TRACE_COUNTER("graph.nodes_live", graph_.vertexCount());
     HEAPMD_TRACE_COUNTER("graph.edges_live", graph_.edgeCount());
 

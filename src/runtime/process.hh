@@ -150,6 +150,15 @@ class Process
 
     const ProcessConfig &config() const { return config_; }
 
+    /**
+     * Fold any batched graph-telemetry deltas into the Registry.
+     * Call when a fold completes and a Registry snapshot (manifest,
+     * stats table) is about to be taken while this Process is still
+     * alive -- counters are otherwise only current as of the last
+     * metric point or batch boundary.
+     */
+    void flushTelemetry() { graph_.flushTelemetry(); }
+
     /** Register a raw-event observer (not owned; must outlive us). */
     void addEventObserver(EventObserver *observer);
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Chunked growable arena with stable element addresses.
+ *
+ * ChunkedVector<T> is the storage arena under the heap-graph's
+ * slot-map object store (DESIGN.md §16): elements live in fixed-size
+ * chunks of 2^ChunkPow slots, so
+ *
+ *  - operator[] is O(1): one shift + one mask + two dependent loads;
+ *  - growing never moves existing elements (no realloc copy of a
+ *    10M-record arena, and pointers held across push() stay valid);
+ *  - memory is returned chunk-wise on clear(), never element-wise.
+ *
+ * Chunks whose footprint reaches 1 MiB are backed by 2 MiB pages
+ * when the system allows it: a 10M-record arena is hundreds of MB of
+ * uniformly random accesses, and hugepages remove the TLB miss (and
+ * its page-walk) that otherwise rides along with nearly every record
+ * touch -- an advantage only arena storage can claim, since per-node
+ * heap allocations cannot be hugepage-backed.  Each large chunk
+ * first tries an explicit MAP_HUGETLB mapping (works when the admin
+ * reserved vm.nr_hugepages, including on hosts whose transparent
+ * hugepages are disabled); on failure it falls back per-chunk to a
+ * 2 MiB-aligned allocation advised MADV_HUGEPAGE, and on non-Linux
+ * to the plain allocator.  Small chunks (the slot-map's u32 meta
+ * words) always stay on the normal allocator.
+ *
+ * It is deliberately NOT a std::vector replacement: no erase, no
+ * insert, no iterators -- the slot-map above it recycles indices via
+ * its free list instead of compacting.
+ */
+
+#ifndef HEAPMD_SUPPORT_CHUNKED_VECTOR_HH
+#define HEAPMD_SUPPORT_CHUNKED_VECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace heapmd
+{
+
+template <typename T, std::size_t ChunkPow = 12>
+class ChunkedVector
+{
+  public:
+    /** Elements per chunk. */
+    static constexpr std::size_t kChunkSize = std::size_t{1}
+                                              << ChunkPow;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+    ChunkedVector() = default;
+    ChunkedVector(const ChunkedVector &) = delete;
+    ChunkedVector &operator=(const ChunkedVector &) = delete;
+
+    ChunkedVector(ChunkedVector &&other) noexcept
+        : chunks_(std::move(other.chunks_)),
+          chunk_huge_(std::move(other.chunk_huge_)), size_(other.size_)
+    {
+        other.chunks_.clear();
+        other.chunk_huge_.clear();
+        other.size_ = 0;
+    }
+
+    ChunkedVector &
+    operator=(ChunkedVector &&other) noexcept
+    {
+        if (this != &other) {
+            clear();
+            chunks_ = std::move(other.chunks_);
+            chunk_huge_ = std::move(other.chunk_huge_);
+            size_ = other.size_;
+            other.chunks_.clear();
+            other.chunk_huge_.clear();
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    ~ChunkedVector() { clear(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &
+    operator[](std::size_t index)
+    {
+        return chunks_[index >> ChunkPow][index & kChunkMask];
+    }
+
+    const T &
+    operator[](std::size_t index) const
+    {
+        return chunks_[index >> ChunkPow][index & kChunkMask];
+    }
+
+    /** Append a default-constructed element; returns its index. */
+    std::size_t
+    push()
+    {
+        if ((size_ & kChunkMask) == 0 &&
+            size_ >> ChunkPow == chunks_.size()) {
+            bool huge = false;
+            chunks_.push_back(allocChunk(huge));
+            chunk_huge_.push_back(huge);
+        }
+        return size_++;
+    }
+
+    /** Append a copy/move of @p value; returns its index. */
+    std::size_t
+    push(T value)
+    {
+        const std::size_t index = push();
+        (*this)[index] = std::move(value);
+        return index;
+    }
+
+    /** Drop every element and release all chunks. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < chunks_.size(); ++i)
+            freeChunk(chunks_[i], chunk_huge_[i] != 0);
+        chunks_.clear();
+        chunk_huge_.clear();
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kHugePage = std::size_t{2} << 20;
+    static constexpr std::size_t kRawBytes = sizeof(T) * kChunkSize;
+    /** Large chunks are worth a 2 MiB-aligned, hugepage-advised
+     *  mapping; tiny ones are not worth the alignment slack. */
+    static constexpr bool kUseHugePages =
+        kRawBytes >= (std::size_t{1} << 20);
+    static constexpr std::size_t kChunkBytes =
+        kUseHugePages
+            ? (kRawBytes + kHugePage - 1) / kHugePage * kHugePage
+            : kRawBytes;
+    static constexpr std::align_val_t kChunkAlign{
+        kUseHugePages ? kHugePage : alignof(T)};
+
+    static T *
+    allocChunk(bool &huge)
+    {
+        void *raw = nullptr;
+        huge = false;
+#if defined(__linux__)
+        if (kUseHugePages) {
+            raw = ::mmap(nullptr, kChunkBytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1,
+                         0);
+            if (raw == MAP_FAILED)
+                raw = nullptr;
+            else
+                huge = true;
+        }
+#endif
+        if (raw == nullptr) {
+            raw = ::operator new(kChunkBytes, kChunkAlign);
+#if defined(__linux__)
+            if (kUseHugePages)
+                ::madvise(raw, kChunkBytes, MADV_HUGEPAGE);
+#endif
+        }
+        T *data = static_cast<T *>(raw);
+        std::uninitialized_value_construct_n(data, kChunkSize);
+        return data;
+    }
+
+    static void
+    freeChunk(T *chunk, bool huge)
+    {
+        std::destroy_n(chunk, kChunkSize);
+#if defined(__linux__)
+        if (huge) {
+            ::munmap(static_cast<void *>(chunk), kChunkBytes);
+            return;
+        }
+#else
+        (void)huge;
+#endif
+        ::operator delete(static_cast<void *>(chunk), kChunkAlign);
+    }
+
+    std::vector<T *> chunks_;
+    /** 1 where chunks_[i] is a MAP_HUGETLB mapping (freed by munmap,
+     *  not operator delete). */
+    std::vector<std::uint8_t> chunk_huge_;
+    std::size_t size_ = 0;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_CHUNKED_VECTOR_HH

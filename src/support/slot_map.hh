@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Generation-tagged slot allocator: the id scheme of the heap-graph's
+ * slot-map object store (DESIGN.md §16).
+ *
+ * A SlotAllocator hands out dense 32-bit slot indices backed by a
+ * LIFO free list, and tags every slot with a 32-bit generation that
+ * is bumped each time the slot is released.  The externally visible
+ * 64-bit id of a slot is
+ *
+ *      id = generation << 32 | slot
+ *
+ * so a recycled slot produces a strictly larger id than any of its
+ * previous lives, stale ids can be rejected in O(1) by a generation
+ * compare (no freed-object map needed), and two live objects can
+ * never share an id.  Value storage lives elsewhere (the heap-graph
+ * keeps hot and cold ChunkedVector arenas indexed by slot); this
+ * class owns only the index/liveness/generation bookkeeping.
+ */
+
+#ifndef HEAPMD_SUPPORT_SLOT_MAP_HH
+#define HEAPMD_SUPPORT_SLOT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/chunked_vector.hh"
+#include "support/logging.hh"
+#include "support/prefetch.hh"
+
+namespace heapmd
+{
+
+class SlotAllocator
+{
+  public:
+    /** Sentinel slot index (never allocated). */
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /** Slot index encoded in @p id. */
+    static constexpr std::uint32_t
+    slotOf(std::uint64_t id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    /** Generation encoded in @p id. */
+    static constexpr std::uint32_t
+    genOf(std::uint64_t id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    /**
+     * Acquire a slot: recycles the most recently released index, or
+     * extends the slot space.  Fresh slots start at generation 1, so
+     * every valid id is >= 2^32 and 0 is never a live id.
+     */
+    std::uint32_t
+    acquire()
+    {
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            slot = static_cast<std::uint32_t>(meta_.push());
+            meta_[slot] = kLiveBit | (1u << 1); // generation 1, live
+            ++live_;
+            return slot;
+        }
+        meta_[slot] |= kLiveBit;
+        ++live_;
+        return slot;
+    }
+
+    /**
+     * Release a live slot: bumps its generation (invalidating every
+     * id that referenced this life) and recycles the index.
+     */
+    void
+    release(std::uint32_t slot)
+    {
+        std::uint32_t &m = meta_[slot];
+        if ((m & kLiveBit) == 0)
+            HEAPMD_PANIC("releasing dead slot ", slot);
+        m = (m & ~kLiveBit) + (1u << 1); // clear live, bump gen
+        free_.push_back(slot);
+        --live_;
+    }
+
+    /** True when @p slot currently holds a live object. */
+    bool
+    live(std::uint32_t slot) const
+    {
+        return slot < meta_.size() && (meta_[slot] & kLiveBit) != 0;
+    }
+
+    /** Current generation of @p slot (live or not). */
+    std::uint32_t
+    generation(std::uint32_t slot) const
+    {
+        return meta_[slot] >> 1;
+    }
+
+    /** Full id of a live slot. */
+    std::uint64_t
+    idOf(std::uint32_t slot) const
+    {
+        return (std::uint64_t{meta_[slot] >> 1} << 32) | slot;
+    }
+
+    /**
+     * Resolve an id to its slot, or kNoSlot when the id is stale
+     * (slot since released or recycled) or never existed.
+     */
+    std::uint32_t
+    resolve(std::uint64_t id) const
+    {
+        const std::uint32_t slot = slotOf(id);
+        if (slot >= meta_.size())
+            return kNoSlot;
+        const std::uint32_t m = meta_[slot];
+        if ((m & kLiveBit) == 0 || (m >> 1) != genOf(id))
+            return kNoSlot;
+        return slot;
+    }
+
+    /** Hint that @p slot's meta word will be read shortly.  The meta
+     *  arena is several MB at graph scale, so a resolve() on a cold
+     *  slot is a cache miss of its own; callers about to resolve a
+     *  batch of ids can overlap those fetches. */
+    void
+    prefetchMeta(std::uint32_t slot) const
+    {
+        if (slot < meta_.size())
+            prefetchRead(&meta_[slot]);
+    }
+
+    /** Slots ever created (live + free-listed). */
+    std::size_t size() const { return meta_.size(); }
+
+    /** Currently live slots. */
+    std::size_t liveCount() const { return live_; }
+
+    /** Free-listed slot count (for consistency checks). */
+    std::size_t freeCount() const { return free_.size(); }
+
+    /**
+     * Release every live slot, keeping generations: ids issued after
+     * a clear never collide with ids issued before it.
+     */
+    void
+    clear()
+    {
+        for (std::size_t slot = 0; slot < meta_.size(); ++slot) {
+            if ((meta_[slot] & kLiveBit) != 0)
+                release(static_cast<std::uint32_t>(slot));
+        }
+    }
+
+  private:
+    /** meta layout: bit 0 = live, bits 1.. = generation. */
+    static constexpr std::uint32_t kLiveBit = 1u;
+
+    ChunkedVector<std::uint32_t> meta_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_ = 0;
+};
+
+} // namespace heapmd
+
+#endif // HEAPMD_SUPPORT_SLOT_MAP_HH

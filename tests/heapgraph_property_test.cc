@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "heapgraph/heap_graph.hh"
@@ -18,6 +19,59 @@ namespace heapmd
 
 namespace
 {
+
+/**
+ * From-scratch ordered oracle of the live extent set: the
+ * std::map<Addr, ...> structure the page index replaced.  Every probe
+ * answers "who owns this address" by upper_bound walk and must agree
+ * with the graph's O(1) objectAt().
+ */
+struct ExtentOracle
+{
+    std::map<Addr, std::pair<std::uint64_t, ObjectId>> extents;
+
+    void
+    insert(Addr addr, std::uint64_t size, ObjectId id)
+    {
+        extents[addr] = {size, id};
+    }
+
+    void erase(Addr addr) { extents.erase(addr); }
+
+    /** Owner id of @p addr, or kNoObject. */
+    ObjectId
+    ownerOf(Addr addr) const
+    {
+        auto it = extents.upper_bound(addr);
+        if (it == extents.begin())
+            return kNoObject;
+        --it;
+        const auto [size, id] = it->second;
+        return addr - it->first < size ? id : kNoObject;
+    }
+};
+
+/** Probe objectAt() against the oracle at and around every extent. */
+void
+expectLookupsMatchOracle(const HeapGraph &g, const ExtentOracle &oracle,
+                         Rng &rng)
+{
+    for (const auto &[addr, ext] : oracle.extents) {
+        const auto [size, id] = ext;
+        for (const Addr probe :
+             {addr, addr + size - 1, addr + rng.below(size),
+              addr + size, addr - 1}) {
+            const ObjectId expected = oracle.ownerOf(probe);
+            const ObjectRecord *got = g.objectAt(probe);
+            ASSERT_EQ(got == nullptr ? kNoObject : got->id, expected)
+                << "objectAt(" << probe << ") disagrees with the "
+                << "ordered-map oracle";
+        }
+        const ObjectRecord *start = g.objectStartingAt(addr);
+        ASSERT_NE(start, nullptr);
+        ASSERT_EQ(start->id, id);
+    }
+}
 
 /** Compare the incremental census with a from-scratch recompute. */
 void
@@ -45,6 +99,8 @@ TEST_P(HeapGraphFuzzTest, RandomOpsKeepInvariants)
     HeapGraph g;
     AddressSpace space;
     std::vector<Addr> live;
+    ExtentOracle oracle;
+    std::vector<ObjectId> stale_ids;
 
     const int kOps = 3000;
     for (int op = 0; op < kOps; ++op) {
@@ -53,13 +109,16 @@ TEST_P(HeapGraphFuzzTest, RandomOpsKeepInvariants)
             // Allocate.
             const std::uint64_t size = 8 + rng.below(256);
             const Addr addr = space.allocate(size);
-            g.allocate(addr, size);
+            const ObjectId id = g.allocate(addr, size);
+            oracle.insert(addr, size, id);
             live.push_back(addr);
         } else if (kind < 45) {
             // Free a random live block.
             const std::size_t i = rng.below(live.size());
             const Addr addr = live[i];
+            stale_ids.push_back(g.objectStartingAt(addr)->id);
             EXPECT_TRUE(g.free(addr));
+            oracle.erase(addr);
             space.release(addr);
             live[i] = live.back();
             live.pop_back();
@@ -68,8 +127,14 @@ TEST_P(HeapGraphFuzzTest, RandomOpsKeepInvariants)
             const std::size_t i = rng.below(live.size());
             const Addr old_addr = live[i];
             const std::uint64_t new_size = 8 + rng.below(512);
+            const ObjectId old_id = g.objectStartingAt(old_addr)->id;
             const Addr new_addr = space.reallocate(old_addr, new_size);
-            g.reallocate(old_addr, new_addr, new_size);
+            if (new_addr != old_addr) // a move invalidates the id
+                stale_ids.push_back(old_id);
+            const ObjectId id =
+                g.reallocate(old_addr, new_addr, new_size);
+            oracle.erase(old_addr);
+            oracle.insert(new_addr, new_size, id);
             live[i] = new_addr;
         } else if (kind < 55) {
             // Double free / wild free: must be tolerated.
@@ -96,10 +161,18 @@ TEST_P(HeapGraphFuzzTest, RandomOpsKeepInvariants)
         if (op % 250 == 0) {
             expectCensusMatches(g);
             g.checkConsistency();
+            expectLookupsMatchOracle(g, oracle, rng);
+            // Generation tags: every freed/moved id stays dead even
+            // after its arena slot is recycled by later allocations.
+            for (ObjectId stale : stale_ids)
+                ASSERT_EQ(g.objectById(stale), nullptr);
         }
     }
     expectCensusMatches(g);
     g.checkConsistency();
+    expectLookupsMatchOracle(g, oracle, rng);
+    for (ObjectId stale : stale_ids)
+        ASSERT_EQ(g.objectById(stale), nullptr);
 
     // Tear down completely; the graph must empty out.
     for (Addr addr : live)

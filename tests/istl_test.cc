@@ -39,10 +39,9 @@ class IstlTest : public ::testing::Test
     countIndeg(std::size_t d) const
     {
         std::uint64_t n = 0;
-        for (const auto &[id, rec] : process_.graph().objects()) {
-            (void)id;
+        process_.graph().forEachObject([&](const ObjectRecord &rec) {
             n += rec.indegree() == d ? 1 : 0;
-        }
+        });
         return n;
     }
 
@@ -218,10 +217,9 @@ TEST_F(IstlTest, CircularDanglingTailFault)
     // head's address (dangling), so its graph edge is gone.
     EXPECT_EQ(process_.graph().vertexCount(), 4u);
     std::uint64_t outdeg_zero = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         outdeg_zero += rec.outdegree() == 0 ? 1 : 0;
-    }
+    });
     EXPECT_EQ(outdeg_zero, 1u); // the node that pointed at old head
     EXPECT_EQ(process_.graph().objectAt(old_head), nullptr);
 }
@@ -328,11 +326,10 @@ TEST_F(IstlTest, BstSingleChildFaultShrinksTree)
     EXPECT_EQ(tree.size(), 5u); // a single path of 5 nodes
     // Every internal node has exactly one child.
     std::uint64_t out2 = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         // out: child(ren) + parent pointer
         out2 += rec.outdegree() >= 3 ? 1 : 0;
-    }
+    });
     EXPECT_EQ(out2, 0u);
 }
 
@@ -380,10 +377,9 @@ TEST_F(IstlTest, OctTreeDagFaultSharesSubtrees)
     EXPECT_LT(oct.size(), 400u);
     // ... and some nodes have indegree >= 2.
     std::uint64_t shared = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         shared += rec.indegree() >= 2 ? 1 : 0;
-    }
+    });
     EXPECT_GT(shared, 0u);
     // DAG-safe teardown frees everything exactly once.
     oct.clear();
@@ -522,10 +518,9 @@ TEST_F(IstlTest, BTreeInternalNodesHaveHighOutdegree)
     for (std::uint64_t k = 1; k <= 400; ++k)
         btree.insert(1 + (k * 613) % 9001);
     std::uint64_t internal = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         internal += rec.outdegree() >= 4 ? 1 : 0;
-    }
+    });
     EXPECT_GT(internal, 0u);
     process_.graph().checkConsistency();
 }
@@ -551,10 +546,9 @@ TEST_F(IstlTest, BTreeLeafChainIsComplete)
     EXPECT_EQ(btree.scanLeaves(), leaves);
     // Chained leaves have outdegree 1 (next leaf) except the last.
     std::uint64_t out1 = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         out1 += rec.outdegree() == 1 ? 1 : 0;
-    }
+    });
     EXPECT_GE(out1, leaves - 1);
 }
 
@@ -570,11 +564,10 @@ TEST_F(IstlTest, BTreeLeafUnlinkedFaultBreaksChain)
     EXPECT_EQ(btree.scanLeaves(), 1u);
     // Unlinked leaves have indegree 1 / outdegree 0 instead of 2 / 1.
     std::uint64_t out0_in1 = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         if (rec.outdegree() == 0 && rec.indegree() == 1)
             ++out0_in1;
-    }
+    });
     EXPECT_GE(out0_in1, leaves - 1);
     btree.clear();
     EXPECT_EQ(process_.graph().vertexCount(), 0u);
@@ -591,13 +584,12 @@ TEST_F(IstlTest, HandlePoolShape)
     EXPECT_EQ(process_.graph().vertexCount(), 40u);
     // Handles: indegree 0, outdegree 1; payloads: indegree 1, out 0.
     std::uint64_t handle_shape = 0, payload_shape = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         if (rec.indegree() == 0 && rec.outdegree() == 1)
             ++handle_shape;
         if (rec.indegree() == 1 && rec.outdegree() == 0)
             ++payload_shape;
-    }
+    });
     EXPECT_EQ(handle_shape, 20u);
     EXPECT_EQ(payload_shape, 20u);
 }
@@ -638,10 +630,9 @@ TEST_F(IstlTest, OctTreeBudgetDagFault)
     istl::OctTree oct(ctx_);
     oct.buildBudget(400, 0.9);
     std::uint64_t shared = 0;
-    for (const auto &[id, rec] : process_.graph().objects()) {
-        (void)id;
+    process_.graph().forEachObject([&](const ObjectRecord &rec) {
         shared += rec.indegree() >= 2 ? 1 : 0;
-    }
+    });
     EXPECT_GT(shared, 0u);
     oct.clear();
     EXPECT_EQ(process_.graph().stats().unknownFrees, 0u);

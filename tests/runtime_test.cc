@@ -212,7 +212,7 @@ TEST(ProcessTest, AllocSiteIsTopOfStack)
     process.onFnExit(fn);
     const ObjectRecord *rec = process.graph().objectAt(0x1000);
     ASSERT_NE(rec, nullptr);
-    EXPECT_EQ(rec->allocSite, fn);
+    EXPECT_EQ(process.graph().provenanceOf(*rec).allocSite, fn);
 }
 
 TEST(ProcessTest, TickAdvancesPerEvent)

@@ -980,6 +980,9 @@ cmdReplay(const Args &args)
     const auto wall_start = std::chrono::steady_clock::now();
     const std::uint64_t events = replayTrace(reader, process);
     const CheckResult result = checker.finalize(process);
+    // The manifest below snapshots the Registry while the Process is
+    // still alive; fold the batched graph counters first.
+    process.flushTelemetry();
     const auto wall_nanos =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - wall_start)
@@ -1043,6 +1046,7 @@ checkCapturedTrace(const std::string &trace_path,
     checker.attach(process);
     const std::uint64_t events = replayTrace(reader, process);
     const CheckResult result = checker.finalize(process);
+    process.flushTelemetry();
 
     std::printf("checked capture (%llu events): %zu report(s) over "
                 "%llu samples\n",
